@@ -1,0 +1,124 @@
+//! Reduced-scale versions of the paper's experiments, so `cargo bench`
+//! exercises every reproduction path end to end (the full-size runs live
+//! in the `repro` binary). Each bench performs one complete measured
+//! repetition of its experiment.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use hpl_bench::{run_once, NoiseKind, RunConfig, Scheduler};
+use hpl_mpi::SchedMode;
+use hpl_sim::SimDuration;
+use hpl_workloads::micro::noise_probe_job;
+use hpl_workloads::{nas_job, NasBenchmark, NasClass};
+
+fn cfg(
+    label: &str,
+    bench: NasBenchmark,
+    sched: Scheduler,
+    mode: SchedMode,
+) -> RunConfig {
+    RunConfig::new(label, nas_job(bench, NasClass::A, 8), mode, sched).with_reps(1)
+}
+
+/// Figure 2 path: one std-Linux repetition of is.A.8 (the shortest NAS
+/// configuration, ~0.35 s simulated).
+fn bench_fig2_path(c: &mut Criterion) {
+    let conf = cfg("is.A.8", NasBenchmark::Is, Scheduler::StandardLinux, SchedMode::Cfs);
+    c.bench_function("experiment/fig2 repetition (is.A.8, std)", |b| {
+        let mut rep = 0u64;
+        b.iter(|| {
+            rep += 1;
+            black_box(run_once(&conf, rep))
+        })
+    });
+}
+
+/// Figure 4 path: one RT repetition.
+fn bench_fig4_path(c: &mut Criterion) {
+    let conf = cfg(
+        "is.A.8-rt",
+        NasBenchmark::Is,
+        Scheduler::StandardLinux,
+        SchedMode::Rt { prio: 50 },
+    );
+    c.bench_function("experiment/fig4 repetition (is.A.8, RT)", |b| {
+        let mut rep = 0u64;
+        b.iter(|| {
+            rep += 1;
+            black_box(run_once(&conf, rep))
+        })
+    });
+}
+
+/// Table Ib / Table II HPL path: one HPL repetition.
+fn bench_table_hpl_path(c: &mut Criterion) {
+    let conf = cfg("is.A.8-hpl", NasBenchmark::Is, Scheduler::Hpl, SchedMode::Hpc);
+    c.bench_function("experiment/table1b repetition (is.A.8, HPL)", |b| {
+        let mut rep = 0u64;
+        b.iter(|| {
+            rep += 1;
+            black_box(run_once(&conf, rep))
+        })
+    });
+}
+
+/// Ablation path: HPL with balancing left on.
+fn bench_ablation_path(c: &mut Criterion) {
+    let conf = cfg(
+        "is.A.8-hbo",
+        NasBenchmark::Is,
+        Scheduler::HplBalanceOn,
+        SchedMode::Hpc,
+    );
+    c.bench_function("experiment/ablation repetition (hpl-balance-on)", |b| {
+        let mut rep = 0u64;
+        b.iter(|| {
+            rep += 1;
+            black_box(run_once(&conf, rep))
+        })
+    });
+}
+
+/// Noise-injection path: probe under controlled injection.
+fn bench_injection_path(c: &mut Criterion) {
+    let conf = RunConfig::new(
+        "probe",
+        noise_probe_job(8, 50, SimDuration::from_millis(1)),
+        SchedMode::Cfs,
+        Scheduler::StandardLinux,
+    )
+    .with_noise(NoiseKind::Injection {
+        period: SimDuration::from_millis(10),
+        duration: SimDuration::from_micros(250),
+    })
+    .with_reps(1);
+    c.bench_function("experiment/noise-injection repetition", |b| {
+        let mut rep = 0u64;
+        b.iter(|| {
+            rep += 1;
+            black_box(run_once(&conf, rep))
+        })
+    });
+}
+
+/// Resonance path: the cluster projection given a fixed distribution.
+fn bench_resonance_path(c: &mut Criterion) {
+    use hpl_cluster::{EmpiricalDist, ResonanceModel};
+    let mut samples = vec![1.0; 95];
+    samples.extend(vec![2.5; 5]);
+    let model = ResonanceModel::new(EmpiricalDist::new(samples), 200);
+    c.bench_function("experiment/resonance projection (1k nodes)", |b| {
+        b.iter(|| black_box(model.expected_time(1024, 5, 3)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig2_path,
+        bench_fig4_path,
+        bench_table_hpl_path,
+        bench_ablation_path,
+        bench_injection_path,
+        bench_resonance_path
+}
+criterion_main!(benches);

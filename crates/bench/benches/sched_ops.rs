@@ -1,0 +1,138 @@
+//! Microbenchmarks of the scheduler-framework hot paths: the operations
+//! the simulated kernel performs millions of times per experiment.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use hpl_core::HplClass;
+use hpl_kernel::cfs::CfsClass;
+use hpl_kernel::rt::RtClass;
+use hpl_kernel::{KernelConfig, Policy, SchedClass, SchedCtx, Task, TaskTable};
+use hpl_sim::SimTime;
+use hpl_topology::{CpuId, CpuMask, DomainHierarchy, Topology};
+
+struct Fixture {
+    cfg: KernelConfig,
+    topo: Topology,
+    domains: DomainHierarchy,
+}
+
+impl Fixture {
+    fn new() -> Self {
+        let topo = Topology::power6_js22();
+        let domains = DomainHierarchy::build(&topo);
+        Fixture {
+            cfg: KernelConfig::default(),
+            topo,
+            domains,
+        }
+    }
+    fn ctx(&self) -> SchedCtx<'_> {
+        SchedCtx {
+            now: SimTime::ZERO,
+            cfg: &self.cfg,
+            topo: &self.topo,
+            domains: &self.domains,
+        }
+    }
+}
+
+fn tasks_with_policy(n: u32, policy: Policy) -> TaskTable {
+    let mut tt = TaskTable::new();
+    for i in 0..n {
+        tt.alloc(|p| Task::new(p, format!("t{i}"), policy, CpuMask::first_n(8)));
+    }
+    tt
+}
+
+fn bench_cfs_enqueue_pick(c: &mut Criterion) {
+    let fx = Fixture::new();
+    c.bench_function("cfs/enqueue+pick 16 tasks", |b| {
+        let mut tt = tasks_with_policy(16, Policy::Normal { nice: 0 });
+        b.iter(|| {
+            let mut cfs = CfsClass::new();
+            cfs.init(8);
+            let ctx = fx.ctx();
+            for i in 0..16u32 {
+                let pid = hpl_kernel::Pid(i);
+                tt.get_mut(pid).vruntime = (i as u64) * 1000;
+                cfs.enqueue(CpuId(0), tt.get_mut(pid), &ctx, false);
+            }
+            let mut picked = 0;
+            while let Some(p) = cfs.pick_next(CpuId(0), &tt) {
+                picked += black_box(p.0);
+            }
+            black_box(picked)
+        })
+    });
+}
+
+fn bench_rt_enqueue_pick(c: &mut Criterion) {
+    let fx = Fixture::new();
+    c.bench_function("rt/enqueue+pick 16 tasks", |b| {
+        let mut tt = tasks_with_policy(16, Policy::Fifo(50));
+        b.iter(|| {
+            let mut rt = RtClass::new();
+            rt.init(8);
+            let ctx = fx.ctx();
+            for i in 0..16u32 {
+                rt.enqueue(CpuId(0), tt.get_mut(hpl_kernel::Pid(i)), &ctx, true);
+            }
+            let mut picked = 0;
+            while let Some(p) = rt.pick_next(CpuId(0), &tt) {
+                picked += black_box(p.0);
+            }
+            black_box(picked)
+        })
+    });
+}
+
+fn bench_hpl_fork_placement(c: &mut Criterion) {
+    let fx = Fixture::new();
+    let tt = tasks_with_policy(9, Policy::Hpc);
+    let snap = hpl_kernel::LoadSnapshot {
+        nr_running: vec![0; 8],
+        curr_kind: vec![None; 8],
+        curr_rt_prio: vec![0; 8],
+    };
+    c.bench_function("hpl/fork placement (topology-aware)", |b| {
+        let mut hpl = HplClass::new();
+        hpl.init(8);
+        b.iter(|| {
+            let ctx = fx.ctx();
+            black_box(hpl.select_cpu_fork(
+                tt.get(hpl_kernel::Pid(8)),
+                CpuId(0),
+                &ctx,
+                &snap,
+                &tt,
+            ))
+        })
+    });
+}
+
+fn bench_domain_build(c: &mut Criterion) {
+    c.bench_function("topology/domain hierarchy build (64 cpus)", |b| {
+        let topo = Topology::new("big", 4, 8, 2, vec![]);
+        b.iter(|| black_box(DomainHierarchy::build(&topo)))
+    });
+}
+
+fn bench_mask_ops(c: &mut Criterion) {
+    c.bench_function("cpumask/iter+algebra", |b| {
+        let a = CpuMask::from_bits(0xF0F0_F0F0_F0F0_F0F0);
+        let m = CpuMask::from_bits(0x00FF_00FF_00FF_00FF);
+        b.iter(|| {
+            let u = a.union(m).difference(CpuMask::single(CpuId(5)));
+            black_box(u.iter().map(|c| c.0).sum::<u32>())
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_cfs_enqueue_pick,
+    bench_rt_enqueue_pick,
+    bench_hpl_fork_placement,
+    bench_domain_build,
+    bench_mask_ops
+);
+criterion_main!(benches);

@@ -1,0 +1,286 @@
+//! Repetition driver.
+//!
+//! One *repetition* reproduces the paper's measurement procedure: boot a
+//! node with its daemon population, let it settle, start `perf
+//! stat -a` (open a [`PerfSession`]), launch the application through the
+//! mode-appropriate launcher stack, run to completion, close the window,
+//! and record `(execution time, migrations, context switches, …)`.
+//! Repetitions are deterministic in `(base_seed, rep_index)` and
+//! independent, so they parallelise over host threads with results
+//! identical to a serial run.
+
+use hpl_core::hpl_node_builder;
+use hpl_kernel::noise::NoiseProfile;
+use hpl_kernel::{KernelConfig, Node, NodeBuilder};
+use hpl_mpi::{launch, JobSpec, SchedMode};
+use hpl_perf::{PerfSession, RunRecord, RunTable};
+use hpl_sim::{Rng, SimDuration};
+use hpl_topology::Topology;
+
+/// Which kernel the node boots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scheduler {
+    /// Unmodified Linux: RT + CFS + Idle, full load balancing.
+    StandardLinux,
+    /// HPL: HPC class between RT and CFS, all dynamic balancing off.
+    Hpl,
+    /// Ablation: the HPC class registered but dynamic balancing left on
+    /// (isolates the class-priority effect from the balancing effect).
+    HplBalanceOn,
+    /// Ablation: HPL plus NETTICK-style tickless operation for lone HPC
+    /// tasks (the paper's projected further improvement).
+    HplTickless,
+    /// An idealised lightweight kernel in the CNK mould: the HPC class,
+    /// no balancing, tickless, and (by convention — pair it with
+    /// [`NoiseKind::Quiet`]) no daemons at all. The yardstick for the
+    /// paper's "monolithic kernel that behaves like a micro-kernel"
+    /// claim.
+    Lwk,
+}
+
+/// Which daemon population the node runs.
+#[derive(Debug, Clone)]
+pub enum NoiseKind {
+    /// The calibrated 2010-era population.
+    Standard,
+    /// No daemons at all (idealised floor).
+    Quiet,
+    /// Standard scaled by a factor (sensitivity sweeps).
+    Scaled(f64),
+    /// Ferreira-style injection: per-CPU daemons with fixed
+    /// period/duration.
+    Injection {
+        /// Injection period.
+        period: SimDuration,
+        /// Injection duration per event.
+        duration: SimDuration,
+    },
+}
+
+impl NoiseKind {
+    fn profile(&self, ncpus: u32) -> NoiseProfile {
+        match self {
+            NoiseKind::Standard => NoiseProfile::standard(ncpus),
+            NoiseKind::Quiet => NoiseProfile::quiet(),
+            NoiseKind::Scaled(f) => NoiseProfile::standard(ncpus).scaled(*f),
+            NoiseKind::Injection { period, duration } => {
+                hpl_workloads::micro::injection_profile(ncpus, *period, *duration)
+            }
+        }
+    }
+}
+
+/// One experiment configuration.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Label for reports (e.g. `cg.A.8`).
+    pub label: String,
+    /// The MPI job.
+    pub job: JobSpec,
+    /// Launch mode (CFS / RT / HPC / pinned).
+    pub mode: SchedMode,
+    /// Kernel flavour.
+    pub scheduler: Scheduler,
+    /// Daemon population.
+    pub noise: NoiseKind,
+    /// Repetitions (the paper uses 1000).
+    pub reps: u32,
+    /// Base seed; rep `i` uses stream `(base_seed, i)`.
+    pub base_seed: u64,
+    /// Machine model.
+    pub topo: Topology,
+    /// Settle time before the measurement window opens.
+    pub warmup: SimDuration,
+}
+
+impl RunConfig {
+    /// Standard defaults on the paper's machine.
+    pub fn new(label: impl Into<String>, job: JobSpec, mode: SchedMode, scheduler: Scheduler) -> Self {
+        RunConfig {
+            label: label.into(),
+            job,
+            mode,
+            scheduler,
+            noise: NoiseKind::Standard,
+            reps: 100,
+            base_seed: 0x5EED,
+            topo: Topology::power6_js22(),
+            warmup: SimDuration::from_millis(400),
+        }
+    }
+
+    /// Set repetitions.
+    pub fn with_reps(mut self, reps: u32) -> Self {
+        self.reps = reps;
+        self
+    }
+
+    /// Set base seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.base_seed = seed;
+        self
+    }
+
+    /// Set noise kind.
+    pub fn with_noise(mut self, noise: NoiseKind) -> Self {
+        self.noise = noise;
+        self
+    }
+}
+
+fn build_node(cfg: &RunConfig, seed: u64) -> Node {
+    let noise = cfg.noise.profile(cfg.topo.total_cpus());
+    match cfg.scheduler {
+        Scheduler::StandardLinux => NodeBuilder::new(cfg.topo.clone())
+            .config(KernelConfig::default())
+            .noise(noise)
+            .seed(seed)
+            .build(),
+        Scheduler::Hpl => hpl_node_builder(cfg.topo.clone())
+            .noise(noise)
+            .seed(seed)
+            .build(),
+        Scheduler::HplBalanceOn => NodeBuilder::new(cfg.topo.clone())
+            .config(KernelConfig::default())
+            .hpc_class(Box::new(hpl_core::HplClass::new()))
+            .noise(noise)
+            .seed(seed)
+            .build(),
+        Scheduler::HplTickless | Scheduler::Lwk => {
+            let mut kc = KernelConfig::hpl();
+            kc.tickless_single_hpc = true;
+            NodeBuilder::new(cfg.topo.clone())
+                .config(kc)
+                .hpc_class(Box::new(hpl_core::HplClass::new()))
+                .noise(noise)
+                .seed(seed)
+                .build()
+        }
+    }
+}
+
+/// Upper bound on events per repetition (hang guard): generous multiple
+/// of the tick count for the longest plausible run.
+const MAX_EVENTS: u64 = 40_000_000_000;
+
+/// Execute one repetition.
+pub fn run_once(cfg: &RunConfig, rep: u64) -> RunRecord {
+    let seed = Rng::for_run(cfg.base_seed, rep).next_u64();
+    let mut node = build_node(cfg, seed);
+    node.run_for(cfg.warmup);
+    // perf stat -a window opens just before the launcher starts.
+    let mut session = PerfSession::open(&node.counters, node.now());
+    let handle = launch(&mut node, &cfg.job, cfg.mode);
+    let exec = handle.run_to_completion(&mut node, MAX_EVENTS);
+    session.close(&node.counters, node.now());
+    RunRecord::from_delta(rep, exec.as_secs_f64(), &session.delta())
+}
+
+/// Execute all repetitions, parallelised over host threads.
+pub fn run_many(cfg: &RunConfig) -> RunTable {
+    let reps = cfg.reps as u64;
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(reps.max(1) as usize);
+    if threads <= 1 || reps <= 1 {
+        let records = (0..reps).map(|i| run_once(cfg, i)).collect();
+        return RunTable::new(records);
+    }
+    let mut records: Vec<Option<RunRecord>> = (0..reps).map(|_| None).collect();
+    let next = std::sync::atomic::AtomicU64::new(0);
+    let slots = std::sync::Mutex::new(&mut records);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= reps {
+                    break;
+                }
+                let rec = run_once(cfg, i);
+                slots.lock().expect("harness mutex")[i as usize] = Some(rec);
+            });
+        }
+    });
+    RunTable::new(
+        records
+            .into_iter()
+            .map(|r| r.expect("all reps completed"))
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpl_mpi::MpiOp;
+
+    fn tiny_cfg(scheduler: Scheduler, mode: SchedMode) -> RunConfig {
+        let job = JobSpec::new(
+            8,
+            JobSpec::repeat(
+                2,
+                &[
+                    MpiOp::Compute {
+                        mean: SimDuration::from_millis(3),
+                    },
+                    MpiOp::Allreduce { bytes: 64 },
+                ],
+            ),
+        );
+        RunConfig::new("tiny", job, mode, scheduler).with_reps(4)
+    }
+
+    #[test]
+    fn run_once_produces_sane_record() {
+        let cfg = tiny_cfg(Scheduler::StandardLinux, SchedMode::Cfs);
+        let rec = run_once(&cfg, 0);
+        assert!(rec.exec_time_s > 0.005);
+        assert!(rec.context_switches > 0);
+    }
+
+    #[test]
+    fn determinism_per_rep() {
+        let cfg = tiny_cfg(Scheduler::Hpl, SchedMode::Hpc);
+        let a = run_once(&cfg, 3);
+        let b = run_once(&cfg, 3);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let cfg = tiny_cfg(Scheduler::StandardLinux, SchedMode::Cfs);
+        let serial: Vec<_> = (0..4).map(|i| run_once(&cfg, i)).collect();
+        let parallel = run_many(&cfg);
+        assert_eq!(parallel.records(), &serial[..]);
+    }
+
+    #[test]
+    fn all_schedulers_build() {
+        for s in [
+            Scheduler::StandardLinux,
+            Scheduler::Hpl,
+            Scheduler::HplBalanceOn,
+            Scheduler::HplTickless,
+            Scheduler::Lwk,
+        ] {
+            let mode = match s {
+                Scheduler::StandardLinux => SchedMode::Cfs,
+                _ => SchedMode::Hpc,
+            };
+            let cfg = tiny_cfg(s, mode).with_reps(1);
+            let rec = run_once(&cfg, 0);
+            assert!(rec.exec_time_s > 0.0);
+        }
+        // Launch-mode variants on the standard kernel.
+        for mode in [
+            SchedMode::CfsNice { nice: -10 },
+            SchedMode::CfsPinned,
+            SchedMode::Rt { prio: 40 },
+        ] {
+            let cfg = tiny_cfg(Scheduler::StandardLinux, mode).with_reps(1);
+            let rec = run_once(&cfg, 0);
+            assert!(rec.exec_time_s > 0.0, "{mode:?}");
+        }
+    }
+}

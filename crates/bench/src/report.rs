@@ -1,0 +1,137 @@
+//! Table rendering in the paper's format.
+
+use hpl_perf::RunTable;
+use hpl_sim::stats::Summary;
+use std::fmt::Write as _;
+
+/// One row of Table I (min/avg/max of migrations and switches).
+pub fn table1_row(label: &str, t: &RunTable) -> String {
+    let m = t.migration_summary();
+    let c = t.switch_summary();
+    format!(
+        "| {label:8} | {:>5.0} | {:>8.2} | {:>6.0} | {:>6.0} | {:>8.2} | {:>6.0} |",
+        m.min(),
+        m.mean(),
+        m.max(),
+        c.min(),
+        c.mean(),
+        c.max()
+    )
+}
+
+/// Header for Table I.
+pub fn table1_header() -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "| Bench    |        CPU Migrations        |       Context Switches       |"
+    );
+    let _ = writeln!(
+        s,
+        "|          |  Min. |     Avg. |   Max. |   Min. |     Avg. |   Max. |"
+    );
+    let _ = write!(
+        s,
+        "|----------|-------|----------|--------|--------|----------|--------|"
+    );
+    s
+}
+
+/// One row of Table II (time min/avg/max + variation %) for a pair of
+/// schedulers.
+pub fn table2_row(label: &str, std: &RunTable, hpl: &RunTable) -> String {
+    let s = std.time_summary();
+    let h = hpl.time_summary();
+    format!(
+        "| {label:8} | {:>7.2} | {:>7.2} | {:>7.2} | {:>8.2} | {:>7.2} | {:>7.2} | {:>7.2} | {:>7.2} |",
+        s.min(),
+        s.mean(),
+        s.max(),
+        s.variation_pct(),
+        h.min(),
+        h.mean(),
+        h.max(),
+        h.variation_pct()
+    )
+}
+
+/// Header for Table II.
+pub fn table2_header() -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "| Bench    |               Std. Linux               |                  HPL                |"
+    );
+    let _ = writeln!(
+        s,
+        "|          |    Min. |    Avg. |    Max. |   Var. % |    Min. |    Avg. |    Max. |  Var. % |"
+    );
+    let _ = write!(
+        s,
+        "|----------|---------|---------|---------|----------|---------|---------|---------|---------|"
+    );
+    s
+}
+
+/// Compact one-line summary used by ablations and sweeps.
+pub fn summary_line(label: &str, s: &Summary) -> String {
+    format!(
+        "{label:32} min={:>9.4}  avg={:>9.4}  max={:>9.4}  var%={:>8.2}",
+        s.min(),
+        s.mean(),
+        s.max(),
+        s.variation_pct()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpl_perf::RunRecord;
+
+    fn table() -> RunTable {
+        RunTable::new(vec![
+            RunRecord {
+                run: 0,
+                exec_time_s: 8.54,
+                cpu_migrations: 29,
+                context_switches: 550,
+                involuntary_preemptions: 10,
+                load_balance_calls: 5,
+            },
+            RunRecord {
+                run: 1,
+                exec_time_s: 14.59,
+                cpu_migrations: 615,
+                context_switches: 1886,
+                involuntary_preemptions: 50,
+                load_balance_calls: 9,
+            },
+        ])
+    }
+
+    #[test]
+    fn table1_row_contains_stats() {
+        let row = table1_row("ep.A.8", &table());
+        assert!(row.contains("ep.A.8"));
+        assert!(row.contains("29"));
+        assert!(row.contains("615"));
+        assert!(row.contains("1886"));
+    }
+
+    #[test]
+    fn table2_row_contains_both_sides() {
+        let t = table();
+        let row = table2_row("ep.A.8", &t, &t);
+        assert!(row.contains("8.54"));
+        assert!(row.contains("14.59"));
+        // var% = (14.59-8.54)/8.54*100 = 70.84
+        assert!(row.contains("70.84"));
+    }
+
+    #[test]
+    fn headers_are_aligned_tables() {
+        assert!(table1_header().contains("CPU Migrations"));
+        assert!(table2_header().contains("Std. Linux"));
+    }
+}

@@ -1,0 +1,112 @@
+//! The modified `chrt` launcher.
+//!
+//! The paper's users move applications into the HPC class "by means of
+//! the standard `sched_setscheduler()` system call or via our modified
+//! version of `chrt`". `chrt` sets its *own* policy to `SCHED_HPC` and
+//! then `exec`s the target command — so the target (typically `mpiexec`)
+//! inherits the class, and every rank it forks is born into the HPC
+//! class. "This introduces no run-time overhead because mpiexec only
+//! forks the other MPI tasks and waits for them to finish" — but it does
+//! account for one of the ~10 CPU migrations of Table Ib.
+
+use hpl_kernel::{Policy, ProgCtx, Program, Step, TaskSpec};
+
+/// A program that first performs `sched_setscheduler(self, policy)` and
+/// then behaves as `inner` — the process-level model of
+/// `chrt --policy <p> exec ...`.
+pub struct ChrtProgram {
+    policy: Policy,
+    inner: Box<dyn Program>,
+    policy_set: bool,
+}
+
+impl ChrtProgram {
+    /// Wrap `inner` so it runs under `policy`.
+    pub fn new(policy: Policy, inner: Box<dyn Program>) -> Self {
+        ChrtProgram {
+            policy,
+            inner,
+            policy_set: false,
+        }
+    }
+}
+
+impl Program for ChrtProgram {
+    fn next_step(&mut self, ctx: &mut ProgCtx<'_>) -> Step {
+        if !self.policy_set {
+            self.policy_set = true;
+            return Step::SetPolicy {
+                target: None,
+                policy: self.policy,
+            };
+        }
+        self.inner.next_step(ctx)
+    }
+
+    fn describe(&self) -> &str {
+        "chrt"
+    }
+}
+
+/// Build the task spec for `chrt --hpc <payload>`: the task starts as a
+/// normal CFS task (like the real `chrt` binary), switches itself into
+/// the HPC class, and then executes the payload program.
+pub fn chrt_spec(name: impl Into<String>, payload: TaskSpec) -> TaskSpec {
+    let TaskSpec {
+        program, affinity, tag, ..
+    } = payload;
+    let mut spec = TaskSpec::new(
+        name,
+        Policy::Normal { nice: 0 },
+        Box::new(ChrtProgram::new(Policy::Hpc, program)),
+    )
+    .with_affinity(affinity);
+    if let Some(t) = tag {
+        spec = spec.with_tag(t);
+    }
+    spec
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hpl_node_builder;
+    use hpl_kernel::program::ScriptProgram;
+    use hpl_kernel::TaskState;
+    use hpl_sim::SimDuration;
+    use hpl_topology::Topology;
+
+    #[test]
+    fn chrt_moves_task_into_hpc_class() {
+        let mut node = hpl_node_builder(Topology::power6_js22()).seed(1).build();
+        let payload = TaskSpec::new(
+            "app",
+            Policy::Hpc, // ignored; chrt decides the birth policy
+            ScriptProgram::boxed(
+                "app",
+                vec![Step::Compute(SimDuration::from_millis(5))],
+            ),
+        );
+        let pid = node.spawn(chrt_spec("chrt", payload));
+        // At spawn the task is CFS...
+        node.run_for(SimDuration::from_micros(50));
+        // ...after its first steps it is in the HPC class.
+        node.run_for(SimDuration::from_millis(1));
+        assert_eq!(node.tasks.get(pid).policy, Policy::Hpc);
+        node.run_until_exit(pid, 1_000_000);
+        assert_eq!(node.tasks.get(pid).state, TaskState::Dead);
+    }
+
+    #[test]
+    fn chrt_preserves_tag_and_affinity() {
+        let payload = TaskSpec::new(
+            "app",
+            Policy::Hpc,
+            ScriptProgram::boxed("app", vec![]),
+        )
+        .with_tag(42);
+        let spec = chrt_spec("chrt", payload);
+        assert_eq!(spec.tag, Some(42));
+        assert_eq!(spec.policy, Policy::Normal { nice: 0 });
+    }
+}

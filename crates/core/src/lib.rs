@@ -1,0 +1,69 @@
+//! # hpl-core — the HPL scheduling class
+//!
+//! The paper's primary contribution: a new scheduling class, `SCHED_HPC`,
+//! registered **between** the Real-Time and CFS classes. Because the
+//! Scheduler Core walks classes in priority order, registering here gives
+//! the paper's central guarantee for free: *no CFS task (user or kernel
+//! daemon) is ever selected while a runnable HPC task exists on that CPU*
+//! — while RT tasks (e.g. the migration kernel threads) retain priority
+//! over HPC work.
+//!
+//! Design decisions, straight from §IV of the paper:
+//!
+//! * **Simple round-robin run queue.** "Since HPC systems usually run at
+//!   most one task per core or hardware thread [...] a complex algorithm
+//!   to select the next task to run is not warranted."
+//! * **Load balancing only at `fork()`**, and topology-aware: one task
+//!   per core first (spreading across chips), then the second hardware
+//!   thread of each core. See [`placement`].
+//! * **No dynamic balancing, for any class**, while HPC tasks run: both
+//!   the direct cost (balancer invocations) and the indirect cost (cache
+//!   losses) exceed the benefit on a machine whose cores share no cache.
+//!   This is a kernel-config policy ([`hpl_kernel::BalanceMode::None`])
+//!   rather than a class hook, exactly as the paper describes disabling
+//!   balancing globally.
+//! * **`chrt` integration.** Applications enter the class through the
+//!   standard `sched_setscheduler` path; [`chrt`] provides the modified
+//!   launcher the paper uses (`chrt --hpc mpiexec ...`), which also puts
+//!   `mpiexec` itself in the HPC class.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chrt;
+pub mod class;
+pub mod placement;
+
+pub use chrt::chrt_spec;
+pub use class::HplClass;
+pub use placement::hpl_fork_placement;
+
+use hpl_kernel::{KernelConfig, NodeBuilder};
+use hpl_topology::Topology;
+
+/// Convenience: a node builder pre-configured the HPL way — HPC class
+/// registered between RT and CFS, and dynamic load balancing disabled for
+/// every scheduling class.
+pub fn hpl_node_builder(topo: Topology) -> NodeBuilder {
+    NodeBuilder::new(topo)
+        .config(KernelConfig::hpl())
+        .hpc_class(Box::new(HplClass::new()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpl_kernel::{ClassKind, SchedClass};
+
+    #[test]
+    fn builder_registers_hpc_class() {
+        let node = hpl_node_builder(Topology::power6_js22()).build();
+        assert!(node.supports_policy(hpl_kernel::Policy::Hpc));
+        assert_eq!(node.cfg.balance, hpl_kernel::BalanceMode::None);
+    }
+
+    #[test]
+    fn class_kind_is_hpc() {
+        assert_eq!(HplClass::new().kind(), ClassKind::Hpc);
+    }
+}

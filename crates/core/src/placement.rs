@@ -1,0 +1,159 @@
+//! Topology-aware fork-time placement.
+//!
+//! The only load balancing HPL performs happens when a task is created:
+//! "HPL first balances the load between the two chips, then between the
+//! cores in a chip, and finally between the hardware threads within a
+//! core" — i.e. the placement order fills one hardware thread of every
+//! core (spreading across sockets) before using any core's second
+//! thread. On the POWER6, whose cores share no cache but whose SMT
+//! threads share everything, this maximises per-task cache and pipeline
+//! resources for up to `total_cores` tasks.
+
+use hpl_kernel::Task;
+use hpl_topology::{CpuId, Topology};
+
+/// Count of HPC tasks currently assigned per CPU, as seen at fork time.
+/// The caller supplies this from its runqueues.
+pub type HpcLoad<'a> = &'a [u32];
+
+/// Choose the CPU for a newly forked HPC task.
+///
+/// Selection minimises, in order:
+/// 1. the number of HPC tasks on the candidate's **core**,
+/// 2. the number of HPC tasks on the candidate's **socket**,
+/// 3. the number of HPC tasks on the candidate **CPU** itself,
+/// 4. the CPU id (determinism).
+///
+/// Only CPUs allowed by the task's affinity mask are considered; the
+/// fallback (empty intersection) is the task's current CPU.
+pub fn hpl_fork_placement(topo: &Topology, task: &Task, hpc_per_cpu: HpcLoad<'_>) -> CpuId {
+    let ncpus = topo.total_cpus();
+    debug_assert_eq!(hpc_per_cpu.len(), ncpus as usize);
+
+    let core_load = |cpu: CpuId| -> u32 {
+        topo.smt_siblings(cpu)
+            .iter()
+            .map(|c| hpc_per_cpu[c.index()])
+            .sum()
+    };
+    let socket_load = |cpu: CpuId| -> u32 {
+        topo.socket_cpus(cpu)
+            .iter()
+            .map(|c| hpc_per_cpu[c.index()])
+            .sum()
+    };
+
+    let mut best: Option<(u32, u32, u32, CpuId)> = None;
+    for raw in 0..ncpus {
+        let cpu = CpuId(raw);
+        if !task.can_run_on(cpu) {
+            continue;
+        }
+        let key = (
+            core_load(cpu),
+            socket_load(cpu),
+            hpc_per_cpu[cpu.index()],
+            cpu,
+        );
+        if best.is_none_or(|b| key < b) {
+            best = Some(key);
+        }
+    }
+    best.map_or(task.cpu, |(_, _, _, cpu)| cpu)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpl_kernel::{Pid, Policy};
+    use hpl_topology::CpuMask;
+
+    fn task(affinity: CpuMask) -> Task {
+        Task::new(Pid(0), "rank", Policy::Hpc, affinity)
+    }
+
+    /// Simulate placing `n` ranks one after another and return the CPUs.
+    fn place_n(topo: &Topology, n: usize) -> Vec<u32> {
+        let mut load = vec![0u32; topo.total_cpus() as usize];
+        let t = task(topo.all_cpus());
+        (0..n)
+            .map(|_| {
+                let cpu = hpl_fork_placement(topo, &t, &load);
+                load[cpu.index()] += 1;
+                cpu.0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fills_one_thread_per_core_first() {
+        let topo = Topology::power6_js22();
+        let got = place_n(&topo, 8);
+        // First four tasks: one per core, alternating sockets
+        // (chips first, then cores, then threads).
+        // CPU layout: socket0 = {0,1,2,3} (cores 0,1), socket1 = {4,5,6,7}.
+        assert_eq!(got[0], 0); // socket0 core0 thread0
+        assert_eq!(got[1], 4); // socket1 core2 thread0 (other chip!)
+        assert_eq!(got[2], 2); // socket0 core1 thread0
+        assert_eq!(got[3], 6); // socket1 core3 thread0
+        // All four cores used before any SMT sibling.
+        let first_four: std::collections::HashSet<u32> =
+            got[..4].iter().map(|&c| c / 2).collect();
+        assert_eq!(first_four.len(), 4, "one task per core first");
+        // Next four fill the second hardware threads.
+        let second: Vec<u32> = got[4..].iter().map(|&c| c % 2).collect();
+        assert_eq!(second, vec![1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn all_cpus_distinct_for_full_node() {
+        let topo = Topology::power6_js22();
+        let got = place_n(&topo, 8);
+        let set: std::collections::HashSet<u32> = got.iter().copied().collect();
+        assert_eq!(set.len(), 8);
+    }
+
+    #[test]
+    fn ninth_task_doubles_up_least_loaded_core() {
+        let topo = Topology::power6_js22();
+        let got = place_n(&topo, 9);
+        // Ninth lands somewhere already occupied, lowest-id core.
+        assert_eq!(got[8], 0);
+    }
+
+    #[test]
+    fn respects_affinity() {
+        let topo = Topology::power6_js22();
+        let load = vec![0; 8];
+        let t = task(CpuMask::from_cpus([CpuId(5), CpuId(7)]));
+        let got = hpl_fork_placement(&topo, &t, &load);
+        assert_eq!(got, CpuId(5));
+    }
+
+    #[test]
+    fn empty_affinity_intersection_falls_back() {
+        let topo = Topology::power6_js22();
+        let load = vec![0; 8];
+        let mut t = task(CpuMask::EMPTY);
+        t.cpu = CpuId(3);
+        assert_eq!(hpl_fork_placement(&topo, &t, &load), CpuId(3));
+    }
+
+    #[test]
+    fn works_on_flat_smp() {
+        let topo = Topology::smp(4);
+        let got = place_n(&topo, 4);
+        assert_eq!(got, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn xeon_spreads_across_sockets() {
+        let topo = Topology::xeon_2s4c2t();
+        let got = place_n(&topo, 4);
+        // Sockets have CPUs 0-7 and 8-15; expect alternation.
+        assert_eq!(got[0], 0);
+        assert_eq!(got[1], 8);
+        assert!(got[2] < 8 && got[2] != 0);
+        assert!(got[3] >= 8);
+    }
+}

@@ -1,0 +1,128 @@
+//! Load-balance scheduling (when to balance, not how).
+//!
+//! The *how* of balancing lives in each scheduling class
+//! ([`crate::cfs::CfsClass`]'s periodic balance, RT push/pull). This
+//! module provides the driver state Linux keeps in `rq->next_balance`:
+//! each CPU remembers, per domain level, when it may next attempt a
+//! periodic balance; the tick checks those deadlines. New-idle balancing
+//! has no timer — it fires whenever a CPU is about to go idle — so only
+//! the periodic path needs state.
+
+use hpl_sim::{SimDuration, SimTime};
+use hpl_topology::{CpuId, DomainHierarchy};
+
+/// Per-CPU, per-domain-level periodic balance deadlines.
+#[derive(Debug)]
+pub struct BalanceClock {
+    /// `next[cpu][level]` = earliest time of the next periodic balance.
+    next: Vec<Vec<SimTime>>,
+}
+
+impl BalanceClock {
+    /// Initialise from a domain hierarchy, staggering CPUs so that all
+    /// CPUs do not balance in the same tick (Linux staggers with jiffies
+    /// offsets for the same reason).
+    pub fn new(domains: &DomainHierarchy) -> Self {
+        let mut next = Vec::with_capacity(domains.cpus());
+        for cpu in 0..domains.cpus() {
+            let chain = domains.chain(CpuId(cpu as u32));
+            let offsets: Vec<SimTime> = chain
+                .iter()
+                .map(|d| {
+                    SimTime::ZERO
+                        + SimDuration::from_nanos(
+                            d.balance_interval_ns * (cpu as u64 + 1)
+                                / (domains.cpus() as u64 + 1),
+                        )
+                })
+                .collect();
+            next.push(offsets);
+        }
+        BalanceClock { next }
+    }
+
+    /// Linux's `sd->busy_factor`: a CPU that is busy running a task
+    /// stretches its periodic balance intervals by this factor — load
+    /// balancing is chiefly the idle CPUs' job.
+    pub const BUSY_FACTOR: u64 = 32;
+
+    /// Domain levels of `cpu` whose periodic balance is due at `now`;
+    /// returns their indices and advances their deadlines. `busy`
+    /// stretches the re-arm interval by [`Self::BUSY_FACTOR`].
+    pub fn due_levels(
+        &mut self,
+        cpu: CpuId,
+        now: SimTime,
+        domains: &DomainHierarchy,
+        busy: bool,
+    ) -> Vec<usize> {
+        let chain = domains.chain(cpu);
+        let slots = &mut self.next[cpu.index()];
+        let factor = if busy { Self::BUSY_FACTOR } else { 1 };
+        let mut due = Vec::new();
+        for (level, domain) in chain.iter().enumerate() {
+            if now >= slots[level] {
+                due.push(level);
+                slots[level] =
+                    now + SimDuration::from_nanos(domain.balance_interval_ns * factor);
+            }
+        }
+        due
+    }
+
+    /// Next deadline of any level on `cpu` (diagnostics).
+    pub fn next_deadline(&self, cpu: CpuId) -> Option<SimTime> {
+        self.next[cpu.index()].iter().min().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpl_topology::Topology;
+
+    #[test]
+    fn levels_become_due_and_rearm() {
+        let topo = Topology::power6_js22();
+        let domains = DomainHierarchy::build(&topo);
+        let mut clock = BalanceClock::new(&domains);
+        let cpu = CpuId(0);
+
+        // Nothing due at t=0 (staggered offsets are positive).
+        assert!(clock.due_levels(cpu, SimTime::ZERO, &domains, false).is_empty());
+
+        // Far in the future everything is due at once.
+        let later = SimTime::ZERO + SimDuration::from_secs(1);
+        let due = clock.due_levels(cpu, later, &domains, false);
+        assert_eq!(due, vec![0, 1, 2]);
+
+        // Immediately after, nothing is due again.
+        assert!(clock
+            .due_levels(cpu, later + SimDuration::from_nanos(1), &domains, false)
+            .is_empty());
+
+        // The SMT level (2ms interval) is due again before the PKG level.
+        let due = clock.due_levels(cpu, later + SimDuration::from_millis(3), &domains, false);
+        assert!(due.contains(&0));
+        assert!(!due.contains(&2));
+    }
+
+    #[test]
+    fn cpus_are_staggered() {
+        let topo = Topology::power6_js22();
+        let domains = DomainHierarchy::build(&topo);
+        let clock = BalanceClock::new(&domains);
+        let d0 = clock.next_deadline(CpuId(0)).unwrap();
+        let d1 = clock.next_deadline(CpuId(1)).unwrap();
+        assert_ne!(d0, d1);
+    }
+
+    #[test]
+    fn flat_machine_single_level() {
+        let topo = Topology::smp(2);
+        let domains = DomainHierarchy::build(&topo);
+        let mut clock = BalanceClock::new(&domains);
+        let due = clock.due_levels(CpuId(0), SimTime::ZERO + SimDuration::from_secs(1), &domains, false);
+        assert_eq!(due, vec![0]);
+    }
+}

@@ -1,0 +1,883 @@
+//! The Completely Fair Scheduler class.
+//!
+//! Models the CFS mechanisms the paper's analysis hinges on:
+//!
+//! * **vruntime fairness** — each task accumulates virtual runtime
+//!   inversely proportional to its nice-derived weight; the leftmost
+//!   (smallest-vruntime) task runs next.
+//! * **sleeper fairness** — a task that wakes from sleep is placed at
+//!   `min_vruntime − sleeper_bonus`, so daemons that sleep most of the
+//!   time *always* look underserved. This is precisely why raising an HPC
+//!   task's static priority (nice) cannot prevent preemption: "a user
+//!   daemon that has been sleeping for enough time [...] can preempt a
+//!   process with a high static priority" (§IV).
+//! * **wakeup preemption** — the woken task preempts the current one if
+//!   its vruntime lag exceeds `wakeup_granularity`.
+//! * **load balancing** — periodic, domain-driven balancing plus new-idle
+//!   pulls, both operating on runnable-task counts (the paper: "the Linux
+//!   load balancer does not distinguish between the parallel application
+//!   and the rest of the user and kernel daemons").
+//!
+//! Simplifications relative to `fair.c`, documented in DESIGN.md: no task
+//! groups (no cgroup hierarchies exist in these experiments), integer
+//! task counts instead of weighted load in the balancer, and a vruntime
+//! clamp on enqueue standing in for `migrate_task_rq_fair`'s
+//! renormalisation.
+
+use crate::class::{ClassKind, LoadSnapshot, MigrationPlan, SchedClass, SchedCtx};
+use crate::task::{Pid, Policy, Task, TaskTable, NICE_0_WEIGHT};
+use hpl_sim::SimDuration;
+use hpl_topology::CpuId;
+use std::collections::BTreeSet;
+
+/// Per-CPU CFS runqueue.
+#[derive(Debug, Default)]
+struct CfsRq {
+    /// Queued tasks ordered by (vruntime, pid). The running task is *not*
+    /// in the tree, as in Linux.
+    tree: BTreeSet<(u64, Pid)>,
+    /// Monotonic floor of vruntime on this CPU.
+    min_vruntime: u64,
+    /// Sum of queued task weights.
+    queued_weight: u64,
+}
+
+impl CfsRq {
+    fn advance_min_vruntime(&mut self, candidate: u64) {
+        if candidate > self.min_vruntime {
+            self.min_vruntime = candidate;
+        }
+    }
+}
+
+/// The CFS scheduling class.
+#[derive(Debug, Default)]
+pub struct CfsClass {
+    rqs: Vec<CfsRq>,
+}
+
+impl CfsClass {
+    /// New, uninitialised class (the node calls [`SchedClass::init`]).
+    pub fn new() -> Self {
+        CfsClass::default()
+    }
+
+    fn rq(&self, cpu: CpuId) -> &CfsRq {
+        &self.rqs[cpu.index()]
+    }
+
+    fn rq_mut(&mut self, cpu: CpuId) -> &mut CfsRq {
+        &mut self.rqs[cpu.index()]
+    }
+
+    /// Count of this class's active tasks on `cpu`: queued plus the
+    /// current task if it is a CFS task.
+    fn active_on(&self, cpu: CpuId, snap: &LoadSnapshot) -> u32 {
+        let running = (snap.curr_kind[cpu.index()] == Some(ClassKind::Fair)) as u32;
+        self.rq(cpu).tree.len() as u32 + running
+    }
+
+    /// Pick a steal victim on `from` that may run on `to`: the leftmost
+    /// queued task whose affinity admits the destination and that
+    /// represents a *sustained* imbalance. Two Linux mechanisms are
+    /// folded into one test: `task_hot()` (don't move a task that ran
+    /// within `sched_migration_cost` — its cache is warm) and the load
+    /// tracking that makes balancing respond to time-averaged load rather
+    /// than instantaneous runqueue blips (a daemon queued for the few
+    /// microseconds before its sleeper-fairness preemption fires never
+    /// shows up in `load_avg`, so it is never worth stealing). A task is
+    /// stealable only when it has been waiting — neither run nor woken
+    /// nor moved — for at least `hot_task_threshold`.
+    fn steal_candidate(
+        &self,
+        from: CpuId,
+        to: CpuId,
+        ctx: &SchedCtx<'_>,
+        tasks: &TaskTable,
+    ) -> Option<Pid> {
+        self.rq(from).tree.iter().map(|&(_, pid)| pid).find(|&pid| {
+            let t = tasks.get(pid);
+            let waited_since = t.last_descheduled.max(t.last_wakeup);
+            let sustained = ctx.now.since(waited_since) >= ctx.cfg.hot_task_threshold;
+            t.can_run_on(to) && sustained
+        })
+    }
+
+    /// `active_load_balance`: when an SMT core runs two CFS tasks while
+    /// the balancing CPU's whole core is idle, nothing is queued to
+    /// steal — the overload consists of *running* tasks. The migration
+    /// thread then carries one running task over. Without this, a
+    /// 2-tasks-on-one-core / 0-on-another layout is stable forever.
+    fn active_balance(
+        &mut self,
+        cpu: CpuId,
+        domain: &hpl_topology::SchedDomain,
+        ctx: &SchedCtx<'_>,
+        snap: &LoadSnapshot,
+        tasks: &TaskTable,
+    ) -> Vec<MigrationPlan> {
+        let core_active = |c: CpuId| -> u32 {
+            ctx.topo
+                .smt_siblings(c)
+                .iter()
+                .map(|s| self.active_on(s, snap))
+                .sum()
+        };
+        // Only a CPU on a completely idle core relieves others.
+        if core_active(cpu) != 0 {
+            return Vec::new();
+        }
+        for victim_cpu in domain.span.iter() {
+            if ctx.topo.core_of(victim_cpu) == ctx.topo.core_of(cpu) {
+                continue;
+            }
+            if core_active(victim_cpu) < 2 {
+                continue;
+            }
+            let Some(pid) = snap.curr_kind[victim_cpu.index()]
+                .filter(|&k| k == ClassKind::Fair)
+                .and_then(|_| self.running_victim(victim_cpu, cpu, ctx, tasks))
+            else {
+                continue;
+            };
+            return vec![MigrationPlan::active(pid, victim_cpu, cpu)];
+        }
+        Vec::new()
+    }
+
+    /// The running task on `victim_cpu` if it is migratable: allowed on
+    /// the destination and on-CPU long enough to be a sustained overload
+    /// rather than a blip (Linux gates active balance behind repeated
+    /// failed passive attempts).
+    fn running_victim(
+        &self,
+        victim_cpu: CpuId,
+        to: CpuId,
+        ctx: &SchedCtx<'_>,
+        tasks: &TaskTable,
+    ) -> Option<Pid> {
+        tasks
+            .iter()
+            .find(|t| {
+                t.state == crate::task::TaskState::Running
+                    && t.cpu == victim_cpu
+                    && t.can_run_on(to)
+                    && t.ran_since_pick >= ctx.cfg.hot_task_threshold
+            })
+            .map(|t| t.pid)
+    }
+}
+
+impl SchedClass for CfsClass {
+    fn kind(&self) -> ClassKind {
+        ClassKind::Fair
+    }
+
+    fn init(&mut self, ncpus: usize) {
+        self.rqs = (0..ncpus).map(|_| CfsRq::default()).collect();
+    }
+
+    fn enqueue(&mut self, cpu: CpuId, task: &mut Task, ctx: &SchedCtx<'_>, wakeup: bool) {
+        let latency = ctx.cfg.sched_latency.as_nanos();
+        let bonus = ctx.cfg.sleeper_bonus.as_nanos();
+        let rq = self.rq_mut(cpu);
+        if wakeup {
+            // place_entity: sleepers resume at min_vruntime − bonus
+            // (GENTLE_FAIR_SLEEPERS), never *ahead* of where they slept.
+            // SCHED_BATCH receives no sleeper credit.
+            let credit = match task.policy {
+                Policy::Batch { .. } => 0,
+                _ => bonus,
+            };
+            let floor = rq.min_vruntime.saturating_sub(credit);
+            task.vruntime = task.vruntime.max(floor);
+        }
+        // Cross-CPU renormalisation stand-in: keep vruntime within a
+        // window of this runqueue's min_vruntime so a task migrated from
+        // a CPU with wildly different vruntime neither starves nor hogs.
+        let lo = rq.min_vruntime.saturating_sub(latency);
+        let hi = rq.min_vruntime.saturating_add(4 * latency);
+        task.vruntime = task.vruntime.clamp(lo, hi);
+        let inserted = rq.tree.insert((task.vruntime, task.pid));
+        debug_assert!(inserted, "{} double-enqueued on {}", task.pid, cpu);
+        rq.queued_weight += task.weight;
+    }
+
+    fn dequeue(&mut self, cpu: CpuId, task: &mut Task, _ctx: &SchedCtx<'_>) {
+        let rq = self.rq_mut(cpu);
+        let removed = rq.tree.remove(&(task.vruntime, task.pid));
+        debug_assert!(removed, "{} not queued on {}", task.pid, cpu);
+        rq.queued_weight = rq.queued_weight.saturating_sub(task.weight);
+    }
+
+    fn pick_next(&mut self, cpu: CpuId, tasks: &TaskTable) -> Option<Pid> {
+        let rq = self.rq_mut(cpu);
+        let &(vruntime, pid) = rq.tree.iter().next()?;
+        rq.tree.remove(&(vruntime, pid));
+        rq.queued_weight = rq.queued_weight.saturating_sub(tasks.get(pid).weight);
+        // min_vruntime tracks the leftmost entity.
+        rq.advance_min_vruntime(vruntime);
+        Some(pid)
+    }
+
+    fn put_prev(&mut self, cpu: CpuId, task: &mut Task, _ctx: &SchedCtx<'_>) {
+        let rq = self.rq_mut(cpu);
+        let inserted = rq.tree.insert((task.vruntime, task.pid));
+        debug_assert!(inserted);
+        rq.queued_weight += task.weight;
+    }
+
+    fn update_curr(&mut self, cpu: CpuId, task: &mut Task, ran: SimDuration) {
+        if ran.is_zero() {
+            return;
+        }
+        let delta_v = ran.as_nanos().saturating_mul(NICE_0_WEIGHT) / task.weight.max(1);
+        task.vruntime = task.vruntime.saturating_add(delta_v);
+        let rq = self.rq_mut(cpu);
+        // min_vruntime = max(min_vruntime, min(curr, leftmost)).
+        let leftmost = rq.tree.iter().next().map(|&(v, _)| v);
+        let cand = match leftmost {
+            Some(l) => l.min(task.vruntime),
+            None => task.vruntime,
+        };
+        rq.advance_min_vruntime(cand);
+    }
+
+    fn task_tick(&mut self, cpu: CpuId, task: &mut Task, ctx: &SchedCtx<'_>) -> bool {
+        let rq = self.rq(cpu);
+        if rq.tree.is_empty() {
+            return false;
+        }
+        // Ideal slice: latency share proportional to weight, floored at
+        // min_granularity.
+        let total_weight = rq.queued_weight + task.weight;
+        let slice_ns = ctx
+            .cfg
+            .sched_latency
+            .as_nanos()
+            .saturating_mul(task.weight)
+            / total_weight.max(1);
+        let slice = SimDuration::from_nanos(slice_ns).max(ctx.cfg.min_granularity);
+        if task.ran_since_pick >= slice {
+            return true;
+        }
+        // Also resched if the leftmost queued task is far behind us.
+        if let Some(&(leftmost, _)) = rq.tree.iter().next() {
+            if task.vruntime > leftmost
+                && task.vruntime - leftmost > ctx.cfg.sched_latency.as_nanos()
+            {
+                return true;
+            }
+        }
+        false
+    }
+
+    fn wakeup_preempt(
+        &self,
+        _cpu: CpuId,
+        curr: &Task,
+        woken: &Task,
+        ctx: &SchedCtx<'_>,
+    ) -> bool {
+        // SCHED_BATCH tasks neither preempt nor get preempted on wakeup.
+        if matches!(woken.policy, Policy::Batch { .. })
+            || matches!(curr.policy, Policy::Batch { .. })
+        {
+            return false;
+        }
+        if woken.vruntime >= curr.vruntime {
+            return false;
+        }
+        // Scale granularity by the woken task's weight, as wakeup_gran does.
+        let gran = ctx
+            .cfg
+            .wakeup_granularity
+            .as_nanos()
+            .saturating_mul(NICE_0_WEIGHT)
+            / woken.weight.max(1);
+        curr.vruntime - woken.vruntime > gran
+    }
+
+    fn nr_queued(&self, cpu: CpuId) -> u32 {
+        self.rq(cpu).tree.len() as u32
+    }
+
+    fn queued_pids(&self, cpu: CpuId) -> Vec<Pid> {
+        self.rq(cpu).tree.iter().map(|&(_, p)| p).collect()
+    }
+
+    fn select_cpu_fork(
+        &mut self,
+        task: &Task,
+        parent_cpu: CpuId,
+        ctx: &SchedCtx<'_>,
+        snap: &LoadSnapshot,
+        _tasks: &TaskTable,
+    ) -> CpuId {
+        // SD_BALANCE_FORK walks the domains top-down: idlest socket
+        // group, then idlest core within it, then idlest thread — so
+        // successive forks spread across packages before doubling up
+        // SMT siblings. Ties prefer the parent's CPU, then lowest id.
+        let socket_load = |cpu: CpuId| -> u32 {
+            ctx.topo
+                .socket_cpus(cpu)
+                .iter()
+                .map(|c| snap.nr_running[c.index()])
+                .sum()
+        };
+        let core_load = |cpu: CpuId| -> u32 {
+            ctx.topo
+                .smt_siblings(cpu)
+                .iter()
+                .map(|c| snap.nr_running[c.index()])
+                .sum()
+        };
+        let mut best: Option<((u32, u32, u32), CpuId)> = None;
+        for idx in 0..snap.nr_running.len() {
+            let cpu = CpuId(idx as u32);
+            if !task.can_run_on(cpu) {
+                continue;
+            }
+            let key = (socket_load(cpu), core_load(cpu), snap.nr_running[idx]);
+            let better = match best {
+                None => true,
+                Some((bk, bc)) => {
+                    key < bk || (key == bk && cpu == parent_cpu && bc != parent_cpu)
+                }
+            };
+            if better {
+                best = Some((key, cpu));
+            }
+        }
+        best.map_or(parent_cpu, |(_, c)| c)
+    }
+
+    fn select_cpu_wakeup(
+        &mut self,
+        task: &Task,
+        ctx: &SchedCtx<'_>,
+        snap: &LoadSnapshot,
+        _tasks: &TaskTable,
+    ) -> CpuId {
+        let prev = task.cpu;
+        // "Free" means nothing running or queued — counting queued tasks
+        // prevents a burst of simultaneous wakeups (e.g. a barrier
+        // release) from piling onto the first idle CPU.
+        let free = |c: CpuId| snap.nr_running[c.index()] == 0;
+        // Prev CPU free: stay (cache affinity).
+        if task.can_run_on(prev) && free(prev) {
+            return prev;
+        }
+        // Otherwise find a nearby free CPU: SMT siblings, same socket,
+        // then anywhere — Linux's wake-affine + select_idle_sibling shape.
+        let tiers = [
+            ctx.topo.smt_siblings(prev),
+            ctx.topo.socket_cpus(prev),
+            ctx.topo.all_cpus(),
+        ];
+        for tier in tiers {
+            if let Some(idle) = tier.iter().find(|&c| task.can_run_on(c) && free(c)) {
+                return idle;
+            }
+        }
+        // Nothing idle anywhere: remain on prev (no migration).
+        if task.can_run_on(prev) {
+            prev
+        } else {
+            task.affinity.first().unwrap_or(prev)
+        }
+    }
+
+    fn periodic_balance(
+        &mut self,
+        cpu: CpuId,
+        level_idx: usize,
+        ctx: &SchedCtx<'_>,
+        snap: &LoadSnapshot,
+        tasks: &TaskTable,
+    ) -> Vec<MigrationPlan> {
+        let chain = ctx.domains.chain(cpu);
+        let Some(domain) = chain.get(level_idx) else {
+            return Vec::new();
+        };
+        let local = self.active_on(cpu, snap);
+        // Find the busiest CPU in the domain span with something to steal.
+        let mut busiest: Option<(CpuId, u32)> = None;
+        for other in domain.span.iter() {
+            if other == cpu {
+                continue;
+            }
+            let load = self.active_on(other, snap);
+            if self.nr_queued(other) >= 1 && busiest.is_none_or(|(_, b)| load > b) {
+                busiest = Some((other, load));
+            }
+        }
+        let Some((victim_cpu, victim_load)) = busiest else {
+            return self.active_balance(cpu, domain, ctx, snap, tasks);
+        };
+        // Move one task whenever the victim is strictly busier — the
+        // fair.c small-imbalance behaviour (imbalance_pct 125: 2 tasks vs
+        // 1 is already a 200% imbalance). This is deliberately faithful
+        // to Linux's eagerness, ping-pong included: the paper's point is
+        // precisely that this eagerness moves HPC ranks around.
+        if victim_load < local + 1 {
+            return self.active_balance(cpu, domain, ctx, snap, tasks);
+        }
+        match self.steal_candidate(victim_cpu, cpu, ctx, tasks) {
+            Some(pid) => vec![MigrationPlan::pull(pid, victim_cpu, cpu)],
+            None => Vec::new(),
+        }
+    }
+
+
+
+    fn idle_balance(
+        &mut self,
+        cpu: CpuId,
+        ctx: &SchedCtx<'_>,
+        snap: &LoadSnapshot,
+        tasks: &TaskTable,
+    ) -> Vec<MigrationPlan> {
+        // newidle: walk domains inner→outer, pull one task from the first
+        // CPU found with more than one active task.
+        for domain in ctx.domains.chain(cpu) {
+            let mut candidates: Vec<CpuId> = domain
+                .span
+                .iter()
+                .filter(|&c| c != cpu)
+                .filter(|&c| self.active_on(c, snap) >= 2 && self.nr_queued(c) >= 1)
+                .collect();
+            // Deterministic order: busiest first, then id.
+            candidates.sort_by_key(|&c| (std::cmp::Reverse(self.active_on(c, snap)), c.0));
+            for victim_cpu in candidates {
+                if let Some(pid) = self.steal_candidate(victim_cpu, cpu, ctx, tasks) {
+                    return vec![MigrationPlan::pull(pid, victim_cpu, cpu)];
+                }
+            }
+        }
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::KernelConfig;
+    use hpl_sim::SimTime;
+    use hpl_topology::{CpuMask, DomainHierarchy, Topology};
+
+    struct Fixture {
+        cfg: KernelConfig,
+        topo: Topology,
+        domains: DomainHierarchy,
+    }
+
+    impl Fixture {
+        fn new() -> Self {
+            let topo = Topology::power6_js22();
+            let domains = DomainHierarchy::build(&topo);
+            Fixture {
+                cfg: KernelConfig::default(),
+                topo,
+                domains,
+            }
+        }
+
+        fn ctx(&self) -> SchedCtx<'_> {
+            SchedCtx {
+                // Far enough from t=0 that fresh tasks (last activity at
+                // the epoch) count as sustained-queued for steal tests.
+                now: SimTime::from_nanos(1_000_000_000),
+                cfg: &self.cfg,
+                topo: &self.topo,
+                domains: &self.domains,
+            }
+        }
+    }
+
+    fn mk_task(tt: &mut TaskTable, name: &str, nice: i8) -> Pid {
+        tt.alloc(|p| Task::new(p, name, Policy::Normal { nice }, CpuMask::first_n(8)))
+    }
+
+    fn snapshot(n: usize) -> LoadSnapshot {
+        LoadSnapshot {
+            nr_running: vec![0; n],
+            curr_kind: vec![None; n],
+            curr_rt_prio: vec![0; n],
+        }
+    }
+
+    #[test]
+    fn picks_smallest_vruntime() {
+        let fx = Fixture::new();
+        let mut cfs = CfsClass::new();
+        cfs.init(8);
+        let mut tt = TaskTable::new();
+        let a = mk_task(&mut tt, "a", 0);
+        let b = mk_task(&mut tt, "b", 0);
+        tt.get_mut(a).vruntime = 100;
+        tt.get_mut(b).vruntime = 50;
+        let ctx = fx.ctx();
+        cfs.enqueue(CpuId(0), tt.get_mut(a), &ctx, false);
+        cfs.enqueue(CpuId(0), tt.get_mut(b), &ctx, false);
+        assert_eq!(cfs.pick_next(CpuId(0), &tt), Some(b));
+        assert_eq!(cfs.pick_next(CpuId(0), &tt), Some(a));
+        assert_eq!(cfs.pick_next(CpuId(0), &tt), None);
+    }
+
+    #[test]
+    fn sleeper_gets_bonus_placement() {
+        let fx = Fixture::new();
+        let mut cfs = CfsClass::new();
+        cfs.init(8);
+        let mut tt = TaskTable::new();
+        let hpc = mk_task(&mut tt, "rank", 0);
+        let daemon = mk_task(&mut tt, "daemon", 0);
+        let ctx = fx.ctx();
+
+        // The HPC task runs for 10 s; min_vruntime follows it up.
+        cfs.enqueue(CpuId(0), tt.get_mut(hpc), &ctx, false);
+        cfs.pick_next(CpuId(0), &tt);
+        cfs.update_curr(CpuId(0), tt.get_mut(hpc), SimDuration::from_secs(10));
+        assert_eq!(cfs.rq(CpuId(0)).min_vruntime, 10_000_000_000);
+
+        // A daemon that slept for ages wakes with vruntime 0 → placed at
+        // min_vruntime − bonus, not at 0 and not at min_vruntime.
+        cfs.enqueue(CpuId(0), tt.get_mut(daemon), &ctx, true);
+        let expected = 10_000_000_000 - fx.cfg.sleeper_bonus.as_nanos();
+        assert_eq!(tt.get(daemon).vruntime, expected);
+    }
+
+    #[test]
+    fn woken_sleeper_preempts_current() {
+        let fx = Fixture::new();
+        let mut cfs = CfsClass::new();
+        cfs.init(8);
+        let mut tt = TaskTable::new();
+        let hpc = mk_task(&mut tt, "rank", 0);
+        let daemon = mk_task(&mut tt, "daemon", 0);
+        tt.get_mut(hpc).vruntime = 10_000_000_000;
+        // Daemon placed with sleeper bonus 12ms behind -> lag > 4ms gran.
+        tt.get_mut(daemon).vruntime = 10_000_000_000 - fx.cfg.sleeper_bonus.as_nanos();
+        let ctx = fx.ctx();
+        assert!(cfs.wakeup_preempt(CpuId(0), tt.get(hpc), tt.get(daemon), &ctx));
+        // A task barely behind does not preempt.
+        tt.get_mut(daemon).vruntime = 10_000_000_000 - 1_000_000;
+        assert!(!cfs.wakeup_preempt(CpuId(0), tt.get(hpc), tt.get(daemon), &ctx));
+    }
+
+    #[test]
+    fn nice_does_not_prevent_sleeper_preemption() {
+        // The paper's §IV point: an HPC task with nice -19 is still
+        // preempted by a waking daemon.
+        let fx = Fixture::new();
+        let mut cfs = CfsClass::new();
+        cfs.init(8);
+        let mut tt = TaskTable::new();
+        let hpc = mk_task(&mut tt, "rank", -19);
+        let daemon = mk_task(&mut tt, "daemon", 0);
+        let ctx = fx.ctx();
+        tt.get_mut(hpc).vruntime = 5_000_000_000;
+        cfs.enqueue(CpuId(0), tt.get_mut(hpc), &ctx, false);
+        cfs.pick_next(CpuId(0), &tt);
+        cfs.enqueue(CpuId(0), tt.get_mut(daemon), &ctx, true);
+        cfs.dequeue(CpuId(0), tt.get_mut(daemon), &ctx);
+        assert!(
+            cfs.wakeup_preempt(CpuId(0), tt.get(hpc), tt.get(daemon), &ctx),
+            "sleeper bonus defeats static priority"
+        );
+    }
+
+    #[test]
+    fn batch_tasks_get_no_bonus_and_no_preempt() {
+        let fx = Fixture::new();
+        let mut cfs = CfsClass::new();
+        cfs.init(8);
+        let mut tt = TaskTable::new();
+        let hpc = mk_task(&mut tt, "rank", 0);
+        let batch =
+            tt.alloc(|p| Task::new(p, "batch", Policy::Batch { nice: 0 }, CpuMask::first_n(8)));
+        let ctx = fx.ctx();
+        cfs.enqueue(CpuId(0), tt.get_mut(hpc), &ctx, false);
+        cfs.pick_next(CpuId(0), &tt);
+        cfs.update_curr(CpuId(0), tt.get_mut(hpc), SimDuration::from_secs(10));
+        cfs.enqueue(CpuId(0), tt.get_mut(batch), &ctx, true);
+        // No sleeper credit for batch: placed at min_vruntime, not below.
+        assert_eq!(tt.get(batch).vruntime, 10_000_000_000);
+        assert!(!cfs.wakeup_preempt(CpuId(0), tt.get(hpc), tt.get(batch), &ctx));
+    }
+
+    #[test]
+    fn update_curr_scales_with_weight() {
+        let fx = Fixture::new();
+        let mut cfs = CfsClass::new();
+        cfs.init(8);
+        let mut tt = TaskTable::new();
+        let normal = mk_task(&mut tt, "n", 0);
+        let heavy = mk_task(&mut tt, "h", -10);
+        let _ctx = fx.ctx();
+        cfs.update_curr(CpuId(0), tt.get_mut(normal), SimDuration::from_millis(1));
+        cfs.update_curr(CpuId(0), tt.get_mut(heavy), SimDuration::from_millis(1));
+        assert_eq!(tt.get(normal).vruntime, 1_000_000);
+        // nice -10 weight 9548: vruntime grows ~9.3x slower.
+        let expected = 1_000_000u64 * 1024 / 9548;
+        assert_eq!(tt.get(heavy).vruntime, expected);
+    }
+
+    #[test]
+    fn tick_expires_slice_only_with_competition() {
+        let fx = Fixture::new();
+        let mut cfs = CfsClass::new();
+        cfs.init(8);
+        let mut tt = TaskTable::new();
+        let a = mk_task(&mut tt, "a", 0);
+        let b = mk_task(&mut tt, "b", 0);
+        let ctx = fx.ctx();
+        // Alone: never resched regardless of runtime.
+        tt.get_mut(a).ran_since_pick = SimDuration::from_secs(10);
+        assert!(!cfs.task_tick(CpuId(0), tt.get_mut(a), &ctx));
+        // With a competitor queued: slice = latency/2 = 12ms.
+        cfs.enqueue(CpuId(0), tt.get_mut(b), &ctx, false);
+        tt.get_mut(a).ran_since_pick = SimDuration::from_millis(13);
+        assert!(cfs.task_tick(CpuId(0), tt.get_mut(a), &ctx));
+        tt.get_mut(a).ran_since_pick = SimDuration::from_millis(5);
+        tt.get_mut(a).vruntime = 0;
+        assert!(!cfs.task_tick(CpuId(0), tt.get_mut(a), &ctx));
+    }
+
+    #[test]
+    fn fork_placement_prefers_idlest() {
+        let fx = Fixture::new();
+        let mut cfs = CfsClass::new();
+        cfs.init(8);
+        let mut tt = TaskTable::new();
+        let t = mk_task(&mut tt, "child", 0);
+        let mut snap = snapshot(8);
+        snap.nr_running = vec![2, 1, 0, 1, 3, 0, 1, 1];
+        let ctx = fx.ctx();
+        // Socket0 is less loaded (4 vs 5); its emptiest core is core1
+        // (cpus 2,3) and cpu2 is idle.
+        let got = cfs.select_cpu_fork(tt.get(t), CpuId(0), &ctx, &snap, &tt);
+        assert_eq!(got, CpuId(2));
+        // On a fully tied machine the parent's CPU wins.
+        snap.nr_running = vec![0; 8];
+        let got = cfs.select_cpu_fork(tt.get(t), CpuId(5), &ctx, &snap, &tt);
+        assert_eq!(got, CpuId(5));
+        // Successive placements on an empty machine spread across
+        // sockets then cores before touching SMT siblings.
+        snap.nr_running = vec![0; 8];
+        let mut placed = Vec::new();
+        for _ in 0..4 {
+            let cpu = cfs.select_cpu_fork(tt.get(t), CpuId(0), &ctx, &snap, &tt);
+            snap.nr_running[cpu.index()] += 1;
+            placed.push(cpu);
+        }
+        let cores: std::collections::HashSet<u32> =
+            placed.iter().map(|c| c.0 / 2).collect();
+        assert_eq!(cores.len(), 4, "one per core first: {placed:?}");
+    }
+
+    #[test]
+    fn wakeup_placement_stays_when_no_idle() {
+        let fx = Fixture::new();
+        let mut cfs = CfsClass::new();
+        cfs.init(8);
+        let mut tt = TaskTable::new();
+        let t = mk_task(&mut tt, "d", 0);
+        tt.get_mut(t).cpu = CpuId(3);
+        let mut snap = snapshot(8);
+        snap.curr_kind = vec![Some(ClassKind::Fair); 8];
+        let ctx = fx.ctx();
+        assert_eq!(cfs.select_cpu_wakeup(tt.get(t), &ctx, &snap, &tt), CpuId(3));
+    }
+
+    #[test]
+    fn wakeup_placement_finds_nearby_idle() {
+        let fx = Fixture::new();
+        let mut cfs = CfsClass::new();
+        cfs.init(8);
+        let mut tt = TaskTable::new();
+        let t = mk_task(&mut tt, "d", 0);
+        tt.get_mut(t).cpu = CpuId(2);
+        let mut snap = snapshot(8);
+        snap.curr_kind = vec![Some(ClassKind::Fair); 8];
+        snap.nr_running = vec![1; 8];
+        // cpu3 = SMT sibling of cpu2, free; cpu7 free on other socket.
+        snap.curr_kind[3] = None;
+        snap.nr_running[3] = 0;
+        snap.curr_kind[7] = None;
+        snap.nr_running[7] = 0;
+        let ctx = fx.ctx();
+        assert_eq!(cfs.select_cpu_wakeup(tt.get(t), &ctx, &snap, &tt), CpuId(3));
+        // Sibling busy again: with only cpu7 free, the "anywhere" tier
+        // finds it.
+        snap.curr_kind[3] = Some(ClassKind::Fair);
+        snap.nr_running[3] = 1;
+        assert_eq!(cfs.select_cpu_wakeup(tt.get(t), &ctx, &snap, &tt), CpuId(7));
+        // A CPU that is idle but already has a queued wakee is not free.
+        snap.nr_running[7] = 1;
+        snap.curr_kind[7] = None;
+        assert_eq!(cfs.select_cpu_wakeup(tt.get(t), &ctx, &snap, &tt), CpuId(2));
+    }
+
+    #[test]
+    fn idle_balance_pulls_from_overloaded() {
+        let fx = Fixture::new();
+        let mut cfs = CfsClass::new();
+        cfs.init(8);
+        let mut tt = TaskTable::new();
+        let running = mk_task(&mut tt, "r", 0);
+        let queued = mk_task(&mut tt, "q", 0);
+        let ctx = fx.ctx();
+        // CPU 4 runs `running` and also has `queued` waiting.
+        tt.get_mut(queued).cpu = CpuId(4);
+        cfs.enqueue(CpuId(4), tt.get_mut(queued), &ctx, false);
+        let mut snap = snapshot(8);
+        snap.curr_kind[4] = Some(ClassKind::Fair);
+        snap.nr_running[4] = 2;
+        let _ = running;
+        let plans = cfs.idle_balance(CpuId(0), &ctx, &snap, &tt);
+        assert_eq!(plans, vec![MigrationPlan::pull(queued, CpuId(4), CpuId(0))]);
+    }
+
+    #[test]
+    fn idle_balance_ignores_single_task_cpus() {
+        let fx = Fixture::new();
+        let mut cfs = CfsClass::new();
+        cfs.init(8);
+        let tt = TaskTable::new();
+        let mut snap = snapshot(8);
+        // Everyone runs exactly one task; nothing queued anywhere.
+        snap.curr_kind = vec![Some(ClassKind::Fair); 8];
+        snap.nr_running = vec![1; 8];
+        let ctx = fx.ctx();
+        assert!(cfs.idle_balance(CpuId(2), &ctx, &snap, &tt).is_empty());
+    }
+
+    #[test]
+    fn periodic_balance_moves_on_small_imbalance() {
+        let fx = Fixture::new();
+        let mut cfs = CfsClass::new();
+        cfs.init(8);
+        let mut tt = TaskTable::new();
+        let q1 = mk_task(&mut tt, "q1", 0);
+        let ctx = fx.ctx();
+        tt.get_mut(q1).cpu = CpuId(1);
+        cfs.enqueue(CpuId(1), tt.get_mut(q1), &ctx, false);
+        let mut snap = snapshot(8);
+        snap.curr_kind[1] = Some(ClassKind::Fair);
+        // cpu1 active=2 (1 running + 1 queued), cpu0 active=0 → steal.
+        let plans = cfs.periodic_balance(CpuId(0), 0, &ctx, &snap, &tt);
+        assert_eq!(plans.len(), 1);
+        assert_eq!(plans[0].from, CpuId(1));
+        // cpu0 also busy with one: 2-vs-1 still steals (fair.c small
+        // imbalance behaviour).
+        snap.curr_kind[0] = Some(ClassKind::Fair);
+        let plans = cfs.periodic_balance(CpuId(0), 0, &ctx, &snap, &tt);
+        assert_eq!(plans.len(), 1);
+        // Equal load: no move.
+        snap.nr_running[0] = 2;
+        let q0 = mk_task(&mut tt, "q0", 0);
+        cfs.enqueue(CpuId(0), tt.get_mut(q0), &ctx, false);
+        let plans = cfs.periodic_balance(CpuId(0), 0, &ctx, &snap, &tt);
+        assert!(plans.is_empty());
+    }
+
+    #[test]
+    fn active_balance_moves_running_task_off_doubled_core() {
+        let fx = Fixture::new();
+        let mut cfs = CfsClass::new();
+        cfs.init(8);
+        let mut tt = TaskTable::new();
+        let a = mk_task(&mut tt, "a", 0);
+        let b = mk_task(&mut tt, "b", 0);
+        // cpus 0 and 1 (one core) both run CFS tasks; core of cpu4 idle.
+        tt.get_mut(a).cpu = CpuId(0);
+        tt.get_mut(a).state = crate::task::TaskState::Running;
+        tt.get_mut(a).ran_since_pick = SimDuration::from_millis(50);
+        tt.get_mut(b).cpu = CpuId(1);
+        tt.get_mut(b).state = crate::task::TaskState::Running;
+        let mut snap = snapshot(8);
+        snap.curr_kind[0] = Some(ClassKind::Fair);
+        snap.curr_kind[1] = Some(ClassKind::Fair);
+        snap.nr_running[0] = 1;
+        snap.nr_running[1] = 1;
+        let ctx = fx.ctx();
+        // cpu4 balances at the package level (level 2 on the js22).
+        let plans = cfs.periodic_balance(CpuId(4), 2, &ctx, &snap, &tt);
+        assert_eq!(plans.len(), 1, "active balance fires");
+        assert!(plans[0].active);
+        assert_eq!(plans[0].to, CpuId(4));
+        assert_eq!(plans[0].pid, a, "the sustained runner is carried");
+    }
+
+    #[test]
+    fn active_balance_needs_fully_idle_core() {
+        let fx = Fixture::new();
+        let mut cfs = CfsClass::new();
+        cfs.init(8);
+        let mut tt = TaskTable::new();
+        let a = mk_task(&mut tt, "a", 0);
+        let b = mk_task(&mut tt, "b", 0);
+        tt.get_mut(a).cpu = CpuId(0);
+        tt.get_mut(a).state = crate::task::TaskState::Running;
+        tt.get_mut(a).ran_since_pick = SimDuration::from_millis(50);
+        tt.get_mut(b).cpu = CpuId(1);
+        tt.get_mut(b).state = crate::task::TaskState::Running;
+        let mut snap = snapshot(8);
+        snap.curr_kind[0] = Some(ClassKind::Fair);
+        snap.curr_kind[1] = Some(ClassKind::Fair);
+        snap.nr_running[0] = 1;
+        snap.nr_running[1] = 1;
+        // cpu5's sibling cpu4 is busy: its core is not idle → no active
+        // balance from cpu5.
+        snap.curr_kind[4] = Some(ClassKind::Fair);
+        snap.nr_running[4] = 1;
+        let ctx = fx.ctx();
+        let plans = cfs.periodic_balance(CpuId(5), 2, &ctx, &snap, &tt);
+        assert!(plans.is_empty());
+    }
+
+    #[test]
+    fn active_balance_respects_sustain_gate() {
+        let fx = Fixture::new();
+        let mut cfs = CfsClass::new();
+        cfs.init(8);
+        let mut tt = TaskTable::new();
+        let a = mk_task(&mut tt, "a", 0);
+        let b = mk_task(&mut tt, "b", 0);
+        tt.get_mut(a).cpu = CpuId(0);
+        tt.get_mut(a).state = crate::task::TaskState::Running;
+        // Just started running: not a sustained overload yet.
+        tt.get_mut(a).ran_since_pick = SimDuration::from_micros(100);
+        tt.get_mut(b).cpu = CpuId(1);
+        tt.get_mut(b).state = crate::task::TaskState::Running;
+        tt.get_mut(b).ran_since_pick = SimDuration::from_micros(100);
+        let mut snap = snapshot(8);
+        snap.curr_kind[0] = Some(ClassKind::Fair);
+        snap.curr_kind[1] = Some(ClassKind::Fair);
+        snap.nr_running[0] = 1;
+        snap.nr_running[1] = 1;
+        let ctx = fx.ctx();
+        assert!(cfs.periodic_balance(CpuId(4), 2, &ctx, &snap, &tt).is_empty());
+    }
+
+    #[test]
+    fn steal_respects_affinity() {
+        let fx = Fixture::new();
+        let mut cfs = CfsClass::new();
+        cfs.init(8);
+        let mut tt = TaskTable::new();
+        let pinned = tt.alloc(|p| {
+            Task::new(p, "pinned", Policy::Normal { nice: 0 }, CpuMask::single(CpuId(4)))
+        });
+        let ctx = fx.ctx();
+        tt.get_mut(pinned).cpu = CpuId(4);
+        cfs.enqueue(CpuId(4), tt.get_mut(pinned), &ctx, false);
+        let mut snap = snapshot(8);
+        snap.curr_kind[4] = Some(ClassKind::Fair);
+        snap.nr_running[4] = 2;
+        // Task is pinned to cpu4: idle cpu0 cannot steal it.
+        assert!(cfs.idle_balance(CpuId(0), &ctx, &snap, &tt).is_empty());
+    }
+}

@@ -1,0 +1,251 @@
+//! Scheduler event tracing — the simulator's `sched_switch`/
+//! `sched_migrate_task` tracepoints, plus an ASCII Gantt renderer.
+//!
+//! Tracing is off by default (the experiment harness runs millions of
+//! switches); enable it with [`crate::Node::enable_trace`] for
+//! debugging, examples, and the Figure-1-style visualisations. Events
+//! carry only ids and timestamps; rendering resolves names at the end.
+
+use crate::task::Pid;
+use hpl_sim::SimTime;
+use hpl_topology::CpuId;
+use std::fmt::Write as _;
+
+/// One traced scheduler event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// `sched_switch`: `cpu` switched from `from` to `to` (`None` = idle).
+    Switch {
+        /// CPU where the switch happened.
+        cpu: CpuId,
+        /// Previous current.
+        from: Option<Pid>,
+        /// New current.
+        to: Option<Pid>,
+    },
+    /// `sched_migrate_task`.
+    Migrate {
+        /// Task moved.
+        pid: Pid,
+        /// Source CPU.
+        from: CpuId,
+        /// Destination CPU.
+        to: CpuId,
+    },
+    /// `sched_wakeup`.
+    Wakeup {
+        /// Task woken.
+        pid: Pid,
+        /// CPU it was enqueued on.
+        cpu: CpuId,
+    },
+}
+
+/// A bounded in-memory trace.
+#[derive(Debug, Default)]
+pub struct TraceBuffer {
+    events: Vec<(SimTime, TraceEvent)>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl TraceBuffer {
+    /// Create a buffer bounded at `capacity` events (oldest kept; the
+    /// drop counter records overflow, like a real trace ring's "lost
+    /// events" marker — keeping the *head* preserves the window around
+    /// the moment tracing was enabled).
+    pub fn new(capacity: usize) -> Self {
+        TraceBuffer {
+            events: Vec::new(),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Record an event.
+    pub fn record(&mut self, at: SimTime, ev: TraceEvent) {
+        if self.events.len() >= self.capacity {
+            self.dropped += 1;
+            return;
+        }
+        self.events.push((at, ev));
+    }
+
+    /// All recorded events in order.
+    pub fn events(&self) -> &[(SimTime, TraceEvent)] {
+        &self.events
+    }
+
+    /// Events that did not fit.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Reconstruct per-CPU occupancy over `[start, end)` and render an
+    /// ASCII Gantt: one row per CPU, `width` columns, each cell showing
+    /// the glyph of the task occupying the CPU at that instant
+    /// (`.` = idle). `glyph` maps a pid to a display character.
+    pub fn gantt(
+        &self,
+        ncpus: usize,
+        start: SimTime,
+        end: SimTime,
+        width: usize,
+        mut glyph: impl FnMut(Pid) -> char,
+    ) -> String {
+        assert!(end > start && width > 0);
+        let span = end.since(start).as_nanos() as f64;
+        // Build switch timelines per cpu.
+        let mut timelines: Vec<Vec<(SimTime, Option<Pid>)>> = vec![Vec::new(); ncpus];
+        for &(t, ev) in &self.events {
+            if let TraceEvent::Switch { cpu, to, .. } = ev {
+                if cpu.index() < ncpus {
+                    timelines[cpu.index()].push((t, to));
+                }
+            }
+        }
+        let mut out = String::new();
+        for (c, timeline) in timelines.iter().enumerate() {
+            let _ = write!(out, "cpu{c} |");
+            // Current occupant entering the window: last switch before start.
+            let mut idx = timeline.partition_point(|&(t, _)| t <= start);
+            let mut curr: Option<Pid> =
+                idx.checked_sub(1).and_then(|i| timeline[i].1);
+            for col in 0..width {
+                let cell_end = start
+                    + hpl_sim::SimDuration::from_nanos(
+                        (span * (col + 1) as f64 / width as f64) as u64,
+                    );
+                while idx < timeline.len() && timeline[idx].0 <= cell_end {
+                    curr = timeline[idx].1;
+                    idx += 1;
+                }
+                out.push(match curr {
+                    Some(p) => glyph(p),
+                    None => '.',
+                });
+            }
+            out.push_str("|\n");
+        }
+        let _ = writeln!(
+            out,
+            "      {start} .. {end}{}",
+            if self.dropped > 0 {
+                format!("  ({} events dropped)", self.dropped)
+            } else {
+                String::new()
+            }
+        );
+        out
+    }
+
+    /// Count events matching a predicate (test/diagnostic helper).
+    pub fn count(&self, mut pred: impl FnMut(&TraceEvent) -> bool) -> usize {
+        self.events.iter().filter(|(_, e)| pred(e)).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ns: u64) -> SimTime {
+        SimTime::from_nanos(ns)
+    }
+
+    #[test]
+    fn records_and_bounds() {
+        let mut b = TraceBuffer::new(2);
+        b.record(
+            t(1),
+            TraceEvent::Wakeup {
+                pid: Pid(1),
+                cpu: CpuId(0),
+            },
+        );
+        b.record(
+            t(2),
+            TraceEvent::Wakeup {
+                pid: Pid(2),
+                cpu: CpuId(0),
+            },
+        );
+        b.record(
+            t(3),
+            TraceEvent::Wakeup {
+                pid: Pid(3),
+                cpu: CpuId(0),
+            },
+        );
+        assert_eq!(b.events().len(), 2);
+        assert_eq!(b.dropped(), 1);
+    }
+
+    #[test]
+    fn gantt_renders_occupancy() {
+        let mut b = TraceBuffer::new(100);
+        // cpu0: idle, then A from 100 to 300, idle after.
+        b.record(
+            t(100),
+            TraceEvent::Switch {
+                cpu: CpuId(0),
+                from: None,
+                to: Some(Pid(1)),
+            },
+        );
+        b.record(
+            t(300),
+            TraceEvent::Switch {
+                cpu: CpuId(0),
+                from: Some(Pid(1)),
+                to: None,
+            },
+        );
+        let g = b.gantt(1, t(0), t(400), 8, |_| 'A');
+        let row = g.lines().next().unwrap();
+        // 8 columns over 400 ns: A occupies cells covering 100..300.
+        assert!(row.contains('A'));
+        assert!(row.starts_with("cpu0 |"));
+        assert!(row.contains('.'));
+        // Occupied roughly half the window.
+        let a_count = row.matches('A').count();
+        assert!((3..=5).contains(&a_count), "row {row}");
+    }
+
+    #[test]
+    fn gantt_carries_occupant_into_window() {
+        let mut b = TraceBuffer::new(10);
+        b.record(
+            t(10),
+            TraceEvent::Switch {
+                cpu: CpuId(0),
+                from: None,
+                to: Some(Pid(7)),
+            },
+        );
+        // Window starts after the switch: the task should fill the row.
+        let g = b.gantt(1, t(100), t(200), 4, |_| 'X');
+        assert!(g.lines().next().unwrap().contains("XXXX"));
+    }
+
+    #[test]
+    fn count_filters() {
+        let mut b = TraceBuffer::new(10);
+        b.record(
+            t(1),
+            TraceEvent::Migrate {
+                pid: Pid(1),
+                from: CpuId(0),
+                to: CpuId(1),
+            },
+        );
+        b.record(
+            t(2),
+            TraceEvent::Wakeup {
+                pid: Pid(1),
+                cpu: CpuId(1),
+            },
+        );
+        assert_eq!(b.count(|e| matches!(e, TraceEvent::Migrate { .. })), 1);
+    }
+}

@@ -1,0 +1,138 @@
+//! Property tests for the simulated kernel: invariants that must hold
+//! for *any* workload the node can run.
+
+use hpl_kernel::program::ScriptProgram;
+use hpl_kernel::{KernelConfig, NodeBuilder, Policy, Step, TaskSpec, TaskState};
+use hpl_kernel::noise::NoiseProfile;
+use hpl_sim::SimDuration;
+use hpl_topology::{CpuMask, Topology};
+use proptest::prelude::*;
+
+/// A random small task mix: policy, work length, optional sleep-first.
+#[derive(Debug, Clone)]
+struct SpecGen {
+    policy_sel: u8,
+    work_us: u64,
+    sleep_us: u64,
+    affinity_bits: u8,
+}
+
+fn spec_strategy() -> impl Strategy<Value = SpecGen> {
+    (0u8..4, 50u64..5000, 0u64..2000, 1u8..=255).prop_map(
+        |(policy_sel, work_us, sleep_us, affinity_bits)| SpecGen {
+            policy_sel,
+            work_us,
+            sleep_us,
+            affinity_bits,
+        },
+    )
+}
+
+fn build_spec(g: &SpecGen, idx: usize, with_hpc: bool) -> TaskSpec {
+    let policy = match g.policy_sel {
+        0 => Policy::Normal { nice: 0 },
+        1 => Policy::Normal { nice: 10 },
+        2 => Policy::Fifo(40),
+        _ if with_hpc => Policy::Hpc,
+        _ => Policy::Batch { nice: 0 },
+    };
+    let mut steps = Vec::new();
+    if g.sleep_us > 0 {
+        steps.push(Step::Sleep(SimDuration::from_micros(g.sleep_us)));
+    }
+    steps.push(Step::Compute(SimDuration::from_micros(g.work_us)));
+    TaskSpec::new(
+        format!("t{idx}"),
+        policy,
+        ScriptProgram::boxed("w", steps),
+    )
+    .with_affinity(CpuMask::from_bits(g.affinity_bits as u64))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every spawned task eventually exits (no lost tasks, no deadlock)
+    /// and consumes at least its nominal work.
+    #[test]
+    fn all_tasks_run_to_completion(specs in proptest::collection::vec(spec_strategy(), 1..12)) {
+        let mut node = NodeBuilder::new(Topology::power6_js22())
+            .config(KernelConfig::default())
+            .seed(42)
+            .build();
+        let pids: Vec<_> = specs
+            .iter()
+            .enumerate()
+            .map(|(i, g)| node.spawn(build_spec(g, i, false)))
+            .collect();
+        for &pid in &pids {
+            node.run_until_exit(pid, 500_000_000);
+        }
+        for (&pid, g) in pids.iter().zip(&specs) {
+            let t = node.tasks.get(pid);
+            prop_assert_eq!(t.state, TaskState::Dead);
+            prop_assert!(
+                t.total_runtime >= SimDuration::from_micros(g.work_us),
+                "{} ran {} of {}us",
+                t.name.clone(),
+                t.total_runtime,
+                g.work_us
+            );
+            // Affinity was honoured to the end.
+            prop_assert!(t.affinity.contains(t.cpu));
+        }
+    }
+
+    /// Determinism: any workload replayed with the same seed produces an
+    /// identical scheduler-visible end state.
+    #[test]
+    fn any_workload_is_deterministic(
+        specs in proptest::collection::vec(spec_strategy(), 1..8),
+        seed in any::<u64>()
+    ) {
+        let run = |seed: u64| {
+            let mut node = NodeBuilder::new(Topology::power6_js22())
+                .noise(NoiseProfile::standard(8))
+                .seed(seed)
+                .build();
+            let pids: Vec<_> = specs
+                .iter()
+                .enumerate()
+                .map(|(i, g)| node.spawn(build_spec(g, i, false)))
+                .collect();
+            for &pid in &pids {
+                node.run_until_exit(pid, 500_000_000);
+            }
+            node.state_fingerprint()
+        };
+        prop_assert_eq!(run(seed), run(seed));
+    }
+
+    /// Counter sanity for arbitrary runs: voluntary + involuntary
+    /// switches never exceed total context switches; busy time never
+    /// exceeds wall time x CPUs.
+    #[test]
+    fn counter_arithmetic_is_consistent(specs in proptest::collection::vec(spec_strategy(), 1..10)) {
+        let mut node = NodeBuilder::new(Topology::power6_js22())
+            .noise(NoiseProfile::standard(8))
+            .seed(11)
+            .build();
+        let pids: Vec<_> = specs
+            .iter()
+            .enumerate()
+            .map(|(i, g)| node.spawn(build_spec(g, i, false)))
+            .collect();
+        for &pid in &pids {
+            node.run_until_exit(pid, 500_000_000);
+        }
+        let total = node.counters.total();
+        use hpl_perf::{HwEvent, SwEvent};
+        let cs = total.sw(SwEvent::ContextSwitches);
+        let vol = total.sw(SwEvent::VoluntarySwitches);
+        let invol = total.sw(SwEvent::InvoluntaryPreemptions);
+        prop_assert!(vol + invol <= cs, "{vol}+{invol} > {cs}");
+        let busy = total.hw(HwEvent::BusyNs);
+        let wall = node.now().as_nanos() * 8;
+        prop_assert!(busy <= wall, "busy {busy} > wall x cpus {wall}");
+    }
+}

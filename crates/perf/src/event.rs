@@ -1,0 +1,202 @@
+//! Event taxonomy.
+//!
+//! Software events mirror the Linux `perf` software counters the paper
+//! reads (`context-switches`, `cpu-migrations`) plus the extra scheduler
+//! activity the study discusses (preemption kinds, balance attempts,
+//! ticks). Hardware events are the simulator's stand-ins for what real
+//! PMU counters would show: time lost to cold caches after a migration or
+//! eviction, and to SMT contention — the paper's "indirect overhead".
+
+use std::fmt;
+
+/// Software (kernel-side) events, counted exactly where the simulated
+/// kernel performs the action.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SwEvent {
+    /// `schedule()` switched from one task to a different one (including
+    /// switches to the idle task) — Linux's `nr_switches`, what
+    /// `perf stat -e context-switches` reports system-wide.
+    ContextSwitches,
+    /// A task began running on a different CPU than it last ran on —
+    /// `perf stat -e cpu-migrations`.
+    CpuMigrations,
+    /// A running task was preempted by a higher-priority or fairer task
+    /// (involuntary). Subset of `ContextSwitches`.
+    InvoluntaryPreemptions,
+    /// A running task blocked or yielded (voluntary). Subset of
+    /// `ContextSwitches`.
+    VoluntarySwitches,
+    /// Load-balancer invocations (periodic + idle), whether or not any
+    /// task moved — the "direct overhead" the paper charges to balancing.
+    LoadBalanceCalls,
+    /// Tasks actually moved by the load balancer (subset of
+    /// `CpuMigrations`; the rest are fork/exec/wakeup placements).
+    LoadBalanceMigrations,
+    /// Timer tick interrupts handled.
+    TimerTicks,
+    /// `fork()` calls.
+    Forks,
+    /// Task wakeups.
+    Wakeups,
+    /// Device interrupts handled (modelled NIC/storage IRQs).
+    Irqs,
+}
+
+/// Simulated hardware events: cycle-level costs the execution model
+/// attributes to scheduler decisions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HwEvent {
+    /// Nanoseconds of task execution (busy time across all CPUs).
+    BusyNs,
+    /// Nanoseconds lost to reduced speed while a task's working set
+    /// rewarms after a migration or an eviction by another task.
+    ColdCacheStallNs,
+    /// Nanoseconds lost to SMT sibling contention.
+    SmtContentionNs,
+    /// Nanoseconds spent executing context-switch machinery.
+    CtxSwitchOverheadNs,
+    /// Nanoseconds spent in the timer-tick handler (micro-noise).
+    TickOverheadNs,
+    /// Nanoseconds spent in device-interrupt handlers.
+    IrqOverheadNs,
+}
+
+/// Any counted event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Event {
+    /// Software event.
+    Sw(SwEvent),
+    /// Simulated hardware event.
+    Hw(HwEvent),
+}
+
+impl SwEvent {
+    /// All software events, in display order.
+    pub const ALL: [SwEvent; 10] = [
+        SwEvent::ContextSwitches,
+        SwEvent::CpuMigrations,
+        SwEvent::InvoluntaryPreemptions,
+        SwEvent::VoluntarySwitches,
+        SwEvent::LoadBalanceCalls,
+        SwEvent::LoadBalanceMigrations,
+        SwEvent::TimerTicks,
+        SwEvent::Forks,
+        SwEvent::Wakeups,
+        SwEvent::Irqs,
+    ];
+
+    /// Dense index for counter arrays.
+    #[inline]
+    pub const fn index(self) -> usize {
+        match self {
+            SwEvent::ContextSwitches => 0,
+            SwEvent::CpuMigrations => 1,
+            SwEvent::InvoluntaryPreemptions => 2,
+            SwEvent::VoluntarySwitches => 3,
+            SwEvent::LoadBalanceCalls => 4,
+            SwEvent::LoadBalanceMigrations => 5,
+            SwEvent::TimerTicks => 6,
+            SwEvent::Forks => 7,
+            SwEvent::Wakeups => 8,
+            SwEvent::Irqs => 9,
+        }
+    }
+
+    /// `perf`-style event name.
+    pub const fn name(self) -> &'static str {
+        match self {
+            SwEvent::ContextSwitches => "context-switches",
+            SwEvent::CpuMigrations => "cpu-migrations",
+            SwEvent::InvoluntaryPreemptions => "involuntary-preemptions",
+            SwEvent::VoluntarySwitches => "voluntary-switches",
+            SwEvent::LoadBalanceCalls => "load-balance-calls",
+            SwEvent::LoadBalanceMigrations => "load-balance-migrations",
+            SwEvent::TimerTicks => "timer-ticks",
+            SwEvent::Forks => "forks",
+            SwEvent::Wakeups => "wakeups",
+            SwEvent::Irqs => "irqs",
+        }
+    }
+}
+
+impl HwEvent {
+    /// All hardware events, in display order.
+    pub const ALL: [HwEvent; 6] = [
+        HwEvent::BusyNs,
+        HwEvent::ColdCacheStallNs,
+        HwEvent::SmtContentionNs,
+        HwEvent::CtxSwitchOverheadNs,
+        HwEvent::TickOverheadNs,
+        HwEvent::IrqOverheadNs,
+    ];
+
+    /// Dense index for counter arrays.
+    #[inline]
+    pub const fn index(self) -> usize {
+        match self {
+            HwEvent::BusyNs => 0,
+            HwEvent::ColdCacheStallNs => 1,
+            HwEvent::SmtContentionNs => 2,
+            HwEvent::CtxSwitchOverheadNs => 3,
+            HwEvent::TickOverheadNs => 4,
+            HwEvent::IrqOverheadNs => 5,
+        }
+    }
+
+    /// Event name for reports.
+    pub const fn name(self) -> &'static str {
+        match self {
+            HwEvent::BusyNs => "busy-ns",
+            HwEvent::ColdCacheStallNs => "cold-cache-stall-ns",
+            HwEvent::SmtContentionNs => "smt-contention-ns",
+            HwEvent::CtxSwitchOverheadNs => "ctx-switch-overhead-ns",
+            HwEvent::TickOverheadNs => "tick-overhead-ns",
+            HwEvent::IrqOverheadNs => "irq-overhead-ns",
+        }
+    }
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Event::Sw(e) => write!(f, "{}", e.name()),
+            Event::Hw(e) => write!(f, "{}", e.name()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sw_indices_are_dense_and_unique() {
+        let mut seen = vec![false; SwEvent::ALL.len()];
+        for e in SwEvent::ALL {
+            assert!(!seen[e.index()], "duplicate index for {e:?}");
+            seen[e.index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn hw_indices_are_dense_and_unique() {
+        let mut seen = vec![false; HwEvent::ALL.len()];
+        for e in HwEvent::ALL {
+            assert!(!seen[e.index()], "duplicate index for {e:?}");
+            seen[e.index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn names_match_perf_convention() {
+        assert_eq!(SwEvent::ContextSwitches.name(), "context-switches");
+        assert_eq!(SwEvent::CpuMigrations.name(), "cpu-migrations");
+        assert_eq!(format!("{}", Event::Sw(SwEvent::Forks)), "forks");
+        assert_eq!(
+            format!("{}", Event::Hw(HwEvent::BusyNs)),
+            "busy-ns"
+        );
+    }
+}

@@ -1,0 +1,32 @@
+//! # hpl-perf — performance-counter subsystem
+//!
+//! The paper's methodology rests on the Linux `perf` infrastructure
+//! (introduced in 2.6.31): software events — context switches and CPU
+//! migrations above all — correlated with execution time expose the
+//! scheduler as the dominant noise source. This crate reproduces that
+//! measurement layer for the simulated kernel:
+//!
+//! * [`event`] — the event taxonomy: software events ([`event::SwEvent`])
+//!   counted by the scheduler and hardware-ish events ([`event::HwEvent`])
+//!   derived from the execution model (cycles lost to cold caches or SMT
+//!   contention).
+//! * [`counters`] — dense per-CPU / global [`counters::CounterSet`]s with
+//!   snapshot-and-diff support.
+//! * [`session`] — [`session::PerfSession`], the equivalent of running
+//!   `perf stat -a` around an application: opens a window, diffs counters,
+//!   renders a `perf stat`-style report.
+//! * [`record`] — per-run records ([`record::RunRecord`]) and tables used
+//!   to regenerate the paper's Tables I/II and the Fig. 3 scatter data.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod counters;
+pub mod event;
+pub mod record;
+pub mod session;
+
+pub use counters::{CounterSet, PerCpuCounters};
+pub use event::{Event, HwEvent, SwEvent};
+pub use record::{RunRecord, RunTable};
+pub use session::PerfSession;

@@ -1,0 +1,235 @@
+//! Per-run records and tables.
+//!
+//! Each repetition of a benchmark yields one [`RunRecord`] — the tuple the
+//! paper's analysis works with: execution time, CPU migrations, context
+//! switches (Figures 2-4 plot distributions of these, Tables I/II report
+//! min/avg/max over 1000 repetitions). [`RunTable`] aggregates a set of
+//! records into exactly the paper's table columns.
+
+use crate::counters::CounterSet;
+use crate::event::SwEvent;
+use hpl_sim::stats::{pearson, spearman, Summary};
+
+/// The measurements of one benchmark repetition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunRecord {
+    /// Repetition index (seed derivation input).
+    pub run: u64,
+    /// Application execution time in seconds (mpiexec start → exit).
+    pub exec_time_s: f64,
+    /// System-wide CPU migrations over the perf window.
+    pub cpu_migrations: u64,
+    /// System-wide context switches over the perf window.
+    pub context_switches: u64,
+    /// Involuntary preemptions over the window.
+    pub involuntary_preemptions: u64,
+    /// Load-balancer invocations over the window.
+    pub load_balance_calls: u64,
+}
+
+impl RunRecord {
+    /// Build a record from a closed perf-window delta.
+    pub fn from_delta(run: u64, exec_time_s: f64, d: &CounterSet) -> Self {
+        RunRecord {
+            run,
+            exec_time_s,
+            cpu_migrations: d.sw(SwEvent::CpuMigrations),
+            context_switches: d.sw(SwEvent::ContextSwitches),
+            involuntary_preemptions: d.sw(SwEvent::InvoluntaryPreemptions),
+            load_balance_calls: d.sw(SwEvent::LoadBalanceCalls),
+        }
+    }
+}
+
+/// Aggregation of many runs of one benchmark configuration.
+#[derive(Debug, Clone)]
+pub struct RunTable {
+    records: Vec<RunRecord>,
+}
+
+impl RunTable {
+    /// Wrap a set of records (order irrelevant).
+    pub fn new(records: Vec<RunRecord>) -> Self {
+        RunTable { records }
+    }
+
+    /// The underlying records.
+    pub fn records(&self) -> &[RunRecord] {
+        &self.records
+    }
+
+    /// Number of repetitions.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True iff no repetitions were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Execution-time summary (Table II columns).
+    pub fn time_summary(&self) -> Summary {
+        Summary::from_slice(&self.times())
+    }
+
+    /// Migration-count summary (Table I columns).
+    pub fn migration_summary(&self) -> Summary {
+        Summary::from_slice(&self.migrations_f64())
+    }
+
+    /// Context-switch summary (Table I columns).
+    pub fn switch_summary(&self) -> Summary {
+        Summary::from_slice(&self.switches_f64())
+    }
+
+    /// Execution times as a vector (Figures 2/4 input).
+    pub fn times(&self) -> Vec<f64> {
+        self.records.iter().map(|r| r.exec_time_s).collect()
+    }
+
+    /// Migration counts as floats (Fig. 3a x-axis).
+    pub fn migrations_f64(&self) -> Vec<f64> {
+        self.records
+            .iter()
+            .map(|r| r.cpu_migrations as f64)
+            .collect()
+    }
+
+    /// Context-switch counts as floats (Fig. 3b x-axis).
+    pub fn switches_f64(&self) -> Vec<f64> {
+        self.records
+            .iter()
+            .map(|r| r.context_switches as f64)
+            .collect()
+    }
+
+    /// Pearson correlation of time against migrations (Fig. 3a).
+    pub fn time_migration_correlation(&self) -> f64 {
+        pearson(&self.migrations_f64(), &self.times())
+    }
+
+    /// Pearson correlation of time against context switches (Fig. 3b).
+    pub fn time_switch_correlation(&self) -> f64 {
+        pearson(&self.switches_f64(), &self.times())
+    }
+
+    /// Spearman (rank) correlation of time against migrations — more
+    /// robust to the heavy tails these distributions have.
+    pub fn time_migration_rank_correlation(&self) -> f64 {
+        spearman(&self.migrations_f64(), &self.times())
+    }
+
+    /// Full raw table as CSV (one row per repetition) — what a paper's
+    /// artifact-evaluation appendix would archive.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "run,exec_time_s,cpu_migrations,context_switches,involuntary_preemptions,load_balance_calls\n",
+        );
+        for r in &self.records {
+            out.push_str(&format!(
+                "{},{},{},{},{},{}\n",
+                r.run,
+                r.exec_time_s,
+                r.cpu_migrations,
+                r.context_switches,
+                r.involuntary_preemptions,
+                r.load_balance_calls
+            ));
+        }
+        out
+    }
+
+    /// Execution-time percentile (`q` in 0..=100).
+    pub fn time_percentile(&self, q: f64) -> f64 {
+        hpl_sim::stats::percentile(&self.times(), q)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(run: u64, t: f64, mig: u64, cs: u64) -> RunRecord {
+        RunRecord {
+            run,
+            exec_time_s: t,
+            cpu_migrations: mig,
+            context_switches: cs,
+            involuntary_preemptions: 0,
+            load_balance_calls: 0,
+        }
+    }
+
+    #[test]
+    fn from_delta_extracts_counters() {
+        let mut d = CounterSet::new();
+        d.add_sw(SwEvent::CpuMigrations, 52);
+        d.add_sw(SwEvent::ContextSwitches, 650);
+        let r = RunRecord::from_delta(3, 8.54, &d);
+        assert_eq!(r.run, 3);
+        assert_eq!(r.cpu_migrations, 52);
+        assert_eq!(r.context_switches, 650);
+        assert!((r.exec_time_s - 8.54).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summaries_match_paper_columns() {
+        let t = RunTable::new(vec![
+            rec(0, 8.54, 29, 550),
+            rec(1, 14.59, 615, 1886),
+            rec(2, 9.0, 50, 652),
+        ]);
+        let ts = t.time_summary();
+        assert_eq!(ts.min(), 8.54);
+        assert_eq!(ts.max(), 14.59);
+        let ms = t.migration_summary();
+        assert_eq!(ms.min(), 29.0);
+        assert_eq!(ms.max(), 615.0);
+        let cs = t.switch_summary();
+        assert_eq!(cs.max(), 1886.0);
+    }
+
+    #[test]
+    fn positive_correlation_detected() {
+        // Time grows with migrations: Fig. 3a's empirical relationship.
+        let recs: Vec<RunRecord> = (0..50)
+            .map(|i| rec(i, 8.5 + 0.01 * i as f64, 30 + i * 10, 500 + i * 20))
+            .collect();
+        let t = RunTable::new(recs);
+        assert!(t.time_migration_correlation() > 0.99);
+        assert!(t.time_switch_correlation() > 0.99);
+        assert!(t.time_migration_rank_correlation() > 0.99);
+    }
+
+    #[test]
+    fn csv_roundtrip_columns() {
+        let t = RunTable::new(vec![rec(0, 1.5, 10, 100)]);
+        let csv = t.to_csv();
+        let mut lines = csv.lines();
+        assert_eq!(
+            lines.next().unwrap(),
+            "run,exec_time_s,cpu_migrations,context_switches,involuntary_preemptions,load_balance_calls"
+        );
+        assert_eq!(lines.next().unwrap(), "0,1.5,10,100,0,0");
+    }
+
+    #[test]
+    fn percentiles_bound_by_extremes() {
+        let t = RunTable::new(vec![
+            rec(0, 1.0, 0, 0),
+            rec(1, 2.0, 0, 0),
+            rec(2, 9.0, 0, 0),
+        ]);
+        assert_eq!(t.time_percentile(0.0), 1.0);
+        assert_eq!(t.time_percentile(100.0), 9.0);
+        assert!((t.time_percentile(50.0) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = RunTable::new(vec![]);
+        assert!(t.is_empty());
+        assert!(t.time_summary().mean().is_nan());
+    }
+}

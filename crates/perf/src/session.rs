@@ -1,0 +1,114 @@
+//! `perf stat`-style measurement windows.
+//!
+//! The paper runs `perf` system-wide around each benchmark execution: the
+//! window opens before `mpiexec` starts and closes after it exits, so the
+//! launcher's own scheduler activity is *included* in the reported counts
+//! (which is why Table Ib's migration floor is ~10, not 8). A
+//! [`PerfSession`] reproduces that: snapshot at open, snapshot at close,
+//! report the delta.
+
+use crate::counters::{CounterSet, PerCpuCounters};
+use crate::event::{HwEvent, SwEvent};
+use hpl_sim::SimTime;
+use std::fmt::Write as _;
+
+/// A system-wide measurement window over the kernel's counters.
+#[derive(Debug, Clone)]
+pub struct PerfSession {
+    open_snapshot: CounterSet,
+    opened_at: SimTime,
+    closed: Option<(CounterSet, SimTime)>,
+}
+
+impl PerfSession {
+    /// Open a window: snapshots current totals.
+    pub fn open(counters: &PerCpuCounters, now: SimTime) -> Self {
+        PerfSession {
+            open_snapshot: counters.total(),
+            opened_at: now,
+            closed: None,
+        }
+    }
+
+    /// Close the window.
+    pub fn close(&mut self, counters: &PerCpuCounters, now: SimTime) {
+        debug_assert!(self.closed.is_none(), "PerfSession closed twice");
+        self.closed = Some((counters.total(), now));
+    }
+
+    /// Counter deltas over the window. Panics if the session is still open.
+    pub fn delta(&self) -> CounterSet {
+        let (end, _) = self
+            .closed
+            .as_ref()
+            .expect("PerfSession::delta before close");
+        end.delta_since(&self.open_snapshot)
+    }
+
+    /// Wall-clock length of the window in simulated seconds.
+    pub fn elapsed_secs(&self) -> f64 {
+        let (_, end) = self
+            .closed
+            .as_ref()
+            .expect("PerfSession::elapsed_secs before close");
+        end.since(self.opened_at).as_secs_f64()
+    }
+
+    /// Render a `perf stat`-style report.
+    pub fn report(&self) -> String {
+        let d = self.delta();
+        let mut out = String::new();
+        let _ = writeln!(out, " Performance counter stats (system wide):\n");
+        for e in SwEvent::ALL {
+            let _ = writeln!(out, "  {:>12}   {}", d.sw(e), e.name());
+        }
+        let _ = writeln!(out);
+        for e in HwEvent::ALL {
+            let _ = writeln!(out, "  {:>12}   {}", d.hw(e), e.name());
+        }
+        let _ = writeln!(out, "\n  {:.6} seconds time elapsed", self.elapsed_secs());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpl_sim::SimDuration;
+    use hpl_topology::CpuId;
+
+    #[test]
+    fn window_deltas() {
+        let mut pc = PerCpuCounters::new(2);
+        pc.add_sw(CpuId(0), SwEvent::ContextSwitches, 100);
+        let mut s = PerfSession::open(&pc, SimTime::ZERO);
+        pc.add_sw(CpuId(0), SwEvent::ContextSwitches, 7);
+        pc.add_sw(CpuId(1), SwEvent::CpuMigrations, 3);
+        s.close(&pc, SimTime::ZERO + SimDuration::from_secs(2));
+        let d = s.delta();
+        assert_eq!(d.sw(SwEvent::ContextSwitches), 7);
+        assert_eq!(d.sw(SwEvent::CpuMigrations), 3);
+        assert!((s.elapsed_secs() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn report_contains_events() {
+        let mut pc = PerCpuCounters::new(1);
+        let mut s = PerfSession::open(&pc, SimTime::ZERO);
+        pc.add_sw(CpuId(0), SwEvent::Forks, 9);
+        s.close(&pc, SimTime::ZERO + SimDuration::from_millis(1));
+        let r = s.report();
+        assert!(r.contains("context-switches"));
+        assert!(r.contains("cpu-migrations"));
+        assert!(r.contains("seconds time elapsed"));
+        assert!(r.contains('9'));
+    }
+
+    #[test]
+    #[should_panic]
+    fn delta_before_close_panics() {
+        let pc = PerCpuCounters::new(1);
+        let s = PerfSession::open(&pc, SimTime::ZERO);
+        let _ = s.delta();
+    }
+}

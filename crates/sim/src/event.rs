@@ -1,0 +1,230 @@
+//! Deterministic event queue.
+//!
+//! A thin wrapper over [`BinaryHeap`] that orders events by `(time, seq)`
+//! where `seq` is a monotonically increasing insertion counter. Two events
+//! scheduled for the same instant therefore pop in insertion order — the
+//! property that makes a whole simulation run a *total* order, reproducible
+//! from the RNG seed alone regardless of host platform.
+//!
+//! Events also carry a generation-friendly [`EventId`] so producers can
+//! lazily cancel: rather than removing an entry from the heap (O(n)),
+//! callers remember the id of the event they still care about and ignore
+//! stale pops. The kernel uses this for compute-completion events that are
+//! superseded whenever a task's execution speed changes.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Identifier of a scheduled event, unique within one [`EventQueue`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EventId(u64);
+
+impl EventId {
+    /// A sentinel id that no real event ever receives.
+    pub const NONE: EventId = EventId(u64::MAX);
+}
+
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
+        // first. seq breaks ties deterministically in FIFO order.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic min-priority queue of timestamped events.
+///
+/// ```
+/// use hpl_sim::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(SimTime::from_nanos(20), "later");
+/// q.schedule(SimTime::from_nanos(10), "sooner");
+/// let (t, _, what) = q.pop().unwrap();
+/// assert_eq!((t.as_nanos(), what), (10, "sooner"));
+/// assert_eq!(q.now(), t);
+/// ```
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+    now: SimTime,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Create an empty queue positioned at `t = 0`.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// Current simulated time: the timestamp of the last popped event
+    /// (or zero before the first pop).
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of pending events.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True iff no events are pending.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedule `payload` at absolute time `at`.
+    ///
+    /// Scheduling in the past is a logic error; debug builds panic, release
+    /// builds clamp to `now` so the event still fires (never silently lost).
+    pub fn schedule(&mut self, at: SimTime, payload: E) -> EventId {
+        debug_assert!(
+            at >= self.now,
+            "scheduling event in the past: at={at} now={}",
+            self.now
+        );
+        let at = at.max(self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry {
+            time: at,
+            seq,
+            payload,
+        });
+        EventId(seq)
+    }
+
+    /// Pop the next event, advancing `now` to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, EventId, E)> {
+        let entry = self.heap.pop()?;
+        debug_assert!(entry.time >= self.now, "event queue went backwards");
+        self.now = entry.time;
+        Some((entry.time, EventId(entry.seq), entry.payload))
+    }
+
+    /// Timestamp of the next pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Drop all pending events (used when a run terminates early).
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_nanos(30), "c");
+        q.schedule(SimTime::from_nanos(10), "a");
+        q.schedule(SimTime::from_nanos(20), "b");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop().map(|(_, _, p)| p)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn equal_times_pop_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_nanos(5);
+        for i in 0..100 {
+            q.schedule(t, i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop().map(|(_, _, p)| p)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn now_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_nanos(7), ());
+        q.schedule(SimTime::from_nanos(9), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_nanos(7));
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_nanos(9));
+    }
+
+    #[test]
+    fn event_ids_are_unique() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::from_nanos(1), ());
+        let b = q.schedule(SimTime::from_nanos(1), ());
+        assert_ne!(a, b);
+        assert_ne!(a, EventId::NONE);
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_nanos(10), 1u32);
+        let (t, _, v) = q.pop().unwrap();
+        assert_eq!((t.as_nanos(), v), (10, 1));
+        // Schedule relative to the new now.
+        q.schedule(t + SimDuration::from_nanos(5), 2u32);
+        q.schedule(t + SimDuration::from_nanos(3), 3u32);
+        assert_eq!(q.pop().unwrap().2, 3);
+        assert_eq!(q.pop().unwrap().2, 2);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn peek_and_len() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.schedule(SimTime::from_nanos(4), ());
+        q.schedule(SimTime::from_nanos(2), ());
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peek_time(), Some(SimTime::from_nanos(2)));
+    }
+
+    #[test]
+    fn clear_empties_queue() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_nanos(1), ());
+        q.clear();
+        assert!(q.pop().is_none());
+    }
+}

@@ -1,0 +1,173 @@
+//! ASCII rendering of histograms and scatter plots.
+//!
+//! The experiment harness regenerates the paper's figures as terminal
+//! output: Figures 2 and 4 are execution-time histograms, Figures 3a/3b
+//! are scatter plots of execution time against a software counter. These
+//! renderers also emit CSV so the raw series can be re-plotted elsewhere.
+
+use crate::stats::Histogram;
+use std::fmt::Write as _;
+
+/// Render a histogram as horizontal bars, one line per bin.
+///
+/// `width` is the maximum bar width in characters. Empty histograms render
+/// a placeholder line.
+pub fn render_histogram(h: &Histogram, width: usize) -> String {
+    let mut out = String::new();
+    let max = h.bins().iter().copied().max().unwrap_or(0);
+    if max == 0 {
+        out.push_str("(no data)\n");
+        return out;
+    }
+    for (i, &c) in h.bins().iter().enumerate() {
+        let (lo, hi) = h.bin_edges(i);
+        let bar_len = (c as f64 / max as f64 * width as f64).round() as usize;
+        let bar: String = std::iter::repeat_n('#', bar_len).collect();
+        let _ = writeln!(out, "[{lo:9.3}, {hi:9.3}) |{bar:<w$}| {c:>6}", w = width);
+    }
+    if h.underflow() > 0 {
+        let _ = writeln!(out, "  underflow: {}", h.underflow());
+    }
+    if h.overflow() > 0 {
+        let _ = writeln!(out, "  overflow:  {}", h.overflow());
+    }
+    out
+}
+
+/// Render an `(x, y)` scatter as a character grid of `cols x rows`.
+///
+/// Density is shown with ` .:+*#` glyphs; axis extremes are labelled.
+pub fn render_scatter(xs: &[f64], ys: &[f64], cols: usize, rows: usize) -> String {
+    assert_eq!(xs.len(), ys.len(), "scatter: length mismatch");
+    let mut out = String::new();
+    if xs.is_empty() {
+        out.push_str("(no data)\n");
+        return out;
+    }
+    let (xmin, xmax) = min_max(xs);
+    let (ymin, ymax) = min_max(ys);
+    let xspan = (xmax - xmin).max(1e-12);
+    let yspan = (ymax - ymin).max(1e-12);
+    let mut grid = vec![0u32; cols * rows];
+    for i in 0..xs.len() {
+        let cx = (((xs[i] - xmin) / xspan) * (cols - 1) as f64).round() as usize;
+        let cy = (((ys[i] - ymin) / yspan) * (rows - 1) as f64).round() as usize;
+        grid[(rows - 1 - cy) * cols + cx] += 1;
+    }
+    let glyphs = [' ', '.', ':', '+', '*', '#'];
+    let gmax = grid.iter().copied().max().unwrap_or(1).max(1);
+    for r in 0..rows {
+        let ylabel = if r == 0 {
+            format!("{ymax:10.3} ")
+        } else if r == rows - 1 {
+            format!("{ymin:10.3} ")
+        } else {
+            " ".repeat(11)
+        };
+        out.push_str(&ylabel);
+        out.push('|');
+        for c in 0..cols {
+            let v = grid[r * cols + c];
+            let g = if v == 0 {
+                0
+            } else {
+                1 + ((v - 1) as usize * (glyphs.len() - 2) / gmax as usize).min(glyphs.len() - 2)
+            };
+            out.push(glyphs[g]);
+        }
+        out.push('|');
+        out.push('\n');
+    }
+    let _ = writeln!(
+        out,
+        "{}{}^ x: [{:.3}, {:.3}]",
+        " ".repeat(11),
+        " ".repeat(cols / 2),
+        xmin,
+        xmax
+    );
+    out
+}
+
+/// Emit two columns as CSV with a header line.
+pub fn to_csv(header: (&str, &str), xs: &[f64], ys: &[f64]) -> String {
+    assert_eq!(xs.len(), ys.len(), "csv: length mismatch");
+    let mut out = format!("{},{}\n", header.0, header.1);
+    for i in 0..xs.len() {
+        let _ = writeln!(out, "{},{}", xs[i], ys[i]);
+    }
+    out
+}
+
+fn min_max(xs: &[f64]) -> (f64, f64) {
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for &x in xs {
+        lo = lo.min(x);
+        hi = hi.max(x);
+    }
+    (lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_rendering_has_all_bins() {
+        let mut h = Histogram::new(0.0, 4.0, 4);
+        for x in [0.5, 1.5, 1.6, 3.9] {
+            h.add(x);
+        }
+        let s = render_histogram(&h, 20);
+        assert_eq!(s.lines().count(), 4);
+        assert!(s.contains('#'));
+    }
+
+    #[test]
+    fn empty_histogram_renders_placeholder() {
+        let h = Histogram::new(0.0, 1.0, 3);
+        assert!(render_histogram(&h, 10).contains("no data"));
+    }
+
+    #[test]
+    fn overflow_lines_present() {
+        let mut h = Histogram::new(0.0, 1.0, 2);
+        h.add(0.5);
+        h.add(5.0);
+        h.add(-5.0);
+        let s = render_histogram(&h, 10);
+        assert!(s.contains("overflow"));
+        assert!(s.contains("underflow"));
+    }
+
+    #[test]
+    fn scatter_renders_grid() {
+        let xs: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| x * 2.0).collect();
+        let s = render_scatter(&xs, &ys, 40, 10);
+        // 10 grid rows + 1 x-axis label line.
+        assert_eq!(s.lines().count(), 11);
+        assert!(s.contains('.') || s.contains(':'));
+    }
+
+    #[test]
+    fn scatter_empty() {
+        assert!(render_scatter(&[], &[], 10, 5).contains("no data"));
+    }
+
+    #[test]
+    fn scatter_single_point() {
+        let s = render_scatter(&[1.0], &[1.0], 10, 5);
+        assert!(s.lines().count() >= 5);
+    }
+
+    #[test]
+    fn csv_output() {
+        let s = to_csv(("time", "migrations"), &[1.5, 2.5], &[3.0, 4.0]);
+        let lines: Vec<_> = s.lines().collect();
+        assert_eq!(lines[0], "time,migrations");
+        assert_eq!(lines[1], "1.5,3");
+        assert_eq!(lines.len(), 3);
+    }
+}

@@ -1,0 +1,486 @@
+//! Summary statistics, histograms and correlation.
+//!
+//! The paper reports `Min / Avg / Max` and a variation percentage defined
+//! (its footnote 8) as `(max − min) / min × 100`. [`Summary`] computes
+//! exactly that, plus standard deviation and percentiles for richer
+//! reporting. [`Histogram`] bins execution times for Figures 2 and 4;
+//! [`pearson`]/[`spearman`] quantify the Figure 3 relationships.
+
+use std::fmt;
+
+/// Running summary of a sample: min, max, mean, variance (Welford).
+///
+/// ```
+/// use hpl_sim::stats::Summary;
+///
+/// // The paper's ep.A.8 row: min 8.54 s, max 14.59 s -> 70.84 %.
+/// let s = Summary::from_slice(&[8.54, 9.1, 14.59]);
+/// assert!((s.variation_pct() - 70.84).abs() < 0.01);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Summary {
+    n: u64,
+    min: f64,
+    max: f64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Default for Summary {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Summary {
+    /// Empty summary.
+    pub fn new() -> Self {
+        Summary {
+            n: 0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            mean: 0.0,
+            m2: 0.0,
+        }
+    }
+
+    /// Build a summary from a slice in one pass.
+    pub fn from_slice(xs: &[f64]) -> Self {
+        let mut s = Summary::new();
+        for &x in xs {
+            s.add(x);
+        }
+        s
+    }
+
+    /// Add one observation.
+    pub fn add(&mut self, x: f64) {
+        debug_assert!(x.is_finite(), "non-finite observation {x}");
+        self.n += 1;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Merge another summary into this one (parallel reduction).
+    pub fn merge(&mut self, other: &Summary) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Smallest observation (NaN if empty).
+    pub fn min(&self) -> f64 {
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observation (NaN if empty).
+    pub fn max(&self) -> f64 {
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.max
+        }
+    }
+
+    /// Arithmetic mean (NaN if empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population standard deviation (NaN if empty).
+    pub fn stddev(&self) -> f64 {
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            (self.m2 / self.n as f64).sqrt()
+        }
+    }
+
+    /// The paper's variation metric: `(max − min) / min × 100` (%).
+    ///
+    /// Returns NaN when empty and infinity when `min == 0`.
+    pub fn variation_pct(&self) -> f64 {
+        if self.n == 0 {
+            return f64::NAN;
+        }
+        (self.max - self.min) / self.min * 100.0
+    }
+
+    /// Coefficient of variation in percent (`stddev / mean × 100`).
+    pub fn cv_pct(&self) -> f64 {
+        100.0 * self.stddev() / self.mean()
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} min={:.4} avg={:.4} max={:.4} var%={:.2}",
+            self.n,
+            self.min(),
+            self.mean(),
+            self.max(),
+            self.variation_pct()
+        )
+    }
+}
+
+/// Percentile of a sample using linear interpolation between order
+/// statistics. `q` in `[0, 100]`. Sorts a copy; fine for reporting sizes.
+pub fn percentile(xs: &[f64], q: f64) -> f64 {
+    assert!(!xs.is_empty(), "percentile of empty sample");
+    assert!((0.0..=100.0).contains(&q), "percentile {q} out of range");
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    let pos = q / 100.0 * (v.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        v[lo]
+    } else {
+        let frac = pos - lo as f64;
+        v[lo] * (1.0 - frac) + v[hi] * frac
+    }
+}
+
+/// A fixed-bin histogram over `[lo, hi)` with an overflow/underflow bin at
+/// each end, used to render the execution-time distributions of Figs. 2/4.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    count: u64,
+}
+
+impl Histogram {
+    /// Create a histogram with `nbins` equal-width bins over `[lo, hi)`.
+    pub fn new(lo: f64, hi: f64, nbins: usize) -> Self {
+        assert!(hi > lo, "histogram range empty: [{lo}, {hi})");
+        assert!(nbins > 0, "histogram needs at least one bin");
+        Histogram {
+            lo,
+            hi,
+            bins: vec![0; nbins],
+            underflow: 0,
+            overflow: 0,
+            count: 0,
+        }
+    }
+
+    /// Create a histogram sized to cover a sample with a little headroom.
+    pub fn covering(xs: &[f64], nbins: usize) -> Self {
+        let s = Summary::from_slice(xs);
+        let span = (s.max() - s.min()).max(1e-12);
+        let mut h = Histogram::new(s.min(), s.max() + span * 1e-6, nbins);
+        for &x in xs {
+            h.add(x);
+        }
+        h
+    }
+
+    /// Record one observation.
+    pub fn add(&mut self, x: f64) {
+        self.count += 1;
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let idx = ((x - self.lo) / (self.hi - self.lo) * self.bins.len() as f64) as usize;
+            let idx = idx.min(self.bins.len() - 1);
+            self.bins[idx] += 1;
+        }
+    }
+
+    /// Bin counts (excluding under/overflow).
+    pub fn bins(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// `(low_edge, high_edge)` of bin `i`.
+    pub fn bin_edges(&self, i: usize) -> (f64, f64) {
+        let w = (self.hi - self.lo) / self.bins.len() as f64;
+        (self.lo + w * i as f64, self.lo + w * (i + 1) as f64)
+    }
+
+    /// Total observations recorded, including under/overflow.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Observations below the range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations at or above the range's upper edge.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+}
+
+/// Pearson product-moment correlation of two equal-length samples.
+/// Returns NaN for degenerate inputs (length < 2 or zero variance).
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "pearson: length mismatch");
+    let n = xs.len();
+    if n < 2 {
+        return f64::NAN;
+    }
+    let mx = xs.iter().sum::<f64>() / n as f64;
+    let my = ys.iter().sum::<f64>() / n as f64;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for i in 0..n {
+        let dx = xs[i] - mx;
+        let dy = ys[i] - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return f64::NAN;
+    }
+    sxy / (sxx * syy).sqrt()
+}
+
+/// Ordinary least-squares line fit `y = slope·x + intercept` with R².
+/// Used to annotate the Fig. 3 scatters with the empirical relationship
+/// the paper reads off them.
+pub fn linear_fit(xs: &[f64], ys: &[f64]) -> Option<(f64, f64, f64)> {
+    assert_eq!(xs.len(), ys.len(), "linear_fit: length mismatch");
+    let n = xs.len();
+    if n < 2 {
+        return None;
+    }
+    let mx = xs.iter().sum::<f64>() / n as f64;
+    let my = ys.iter().sum::<f64>() / n as f64;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for i in 0..n {
+        let dx = xs[i] - mx;
+        let dy = ys[i] - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if sxx == 0.0 {
+        return None;
+    }
+    let slope = sxy / sxx;
+    let intercept = my - slope * mx;
+    let r2 = if syy == 0.0 { 1.0 } else { (sxy * sxy) / (sxx * syy) };
+    Some((slope, intercept, r2))
+}
+
+/// Spearman rank correlation (Pearson on mid-ranks; robust to the heavy
+/// tails these experiments produce).
+pub fn spearman(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "spearman: length mismatch");
+    pearson(&ranks(xs), &ranks(ys))
+}
+
+/// Mid-ranks of a sample (ties share the average rank).
+fn ranks(xs: &[f64]) -> Vec<f64> {
+    let mut idx: Vec<usize> = (0..xs.len()).collect();
+    idx.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).expect("NaN in rank input"));
+    let mut out = vec![0.0; xs.len()];
+    let mut i = 0;
+    while i < idx.len() {
+        let mut j = i;
+        while j + 1 < idx.len() && xs[idx[j + 1]] == xs[idx[i]] {
+            j += 1;
+        }
+        let avg_rank = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &idx[i..=j] {
+            out[k] = avg_rank;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_basic() {
+        let s = Summary::from_slice(&[2.0, 4.0, 6.0]);
+        assert_eq!(s.count(), 3);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 6.0);
+        assert!((s.mean() - 4.0).abs() < 1e-12);
+        assert!((s.variation_pct() - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn summary_empty_is_nan() {
+        let s = Summary::new();
+        assert!(s.min().is_nan() && s.mean().is_nan() && s.variation_pct().is_nan());
+    }
+
+    #[test]
+    fn summary_single_point() {
+        let s = Summary::from_slice(&[5.0]);
+        assert_eq!(s.variation_pct(), 0.0);
+        assert_eq!(s.stddev(), 0.0);
+    }
+
+    #[test]
+    fn summary_merge_matches_bulk() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0 + 20.0).collect();
+        let bulk = Summary::from_slice(&xs);
+        let mut a = Summary::from_slice(&xs[..37]);
+        let b = Summary::from_slice(&xs[37..]);
+        a.merge(&b);
+        assert_eq!(a.count(), bulk.count());
+        assert!((a.mean() - bulk.mean()).abs() < 1e-9);
+        assert!((a.stddev() - bulk.stddev()).abs() < 1e-9);
+        assert_eq!(a.min(), bulk.min());
+        assert_eq!(a.max(), bulk.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = Summary::from_slice(&[1.0, 2.0]);
+        a.merge(&Summary::new());
+        assert_eq!(a.count(), 2);
+        let mut e = Summary::new();
+        e.merge(&Summary::from_slice(&[1.0, 2.0]));
+        assert_eq!(e.count(), 2);
+        assert_eq!(e.min(), 1.0);
+    }
+
+    #[test]
+    fn variation_matches_paper_definition() {
+        // ep.A.8 from the paper: min 8.54, max 14.59 -> 70.84%.
+        let s = Summary::from_slice(&[8.54, 14.59, 9.0, 10.0]);
+        assert!((s.variation_pct() - 70.84).abs() < 0.01);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 100.0), 4.0);
+        assert!((percentile(&xs, 50.0) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_bins_correctly() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        for x in [0.0, 0.5, 1.0, 9.99, 5.0] {
+            h.add(x);
+        }
+        assert_eq!(h.bins()[0], 2);
+        assert_eq!(h.bins()[1], 1);
+        assert_eq!(h.bins()[5], 1);
+        assert_eq!(h.bins()[9], 1);
+        assert_eq!(h.count(), 5);
+    }
+
+    #[test]
+    fn histogram_under_overflow() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.add(-0.1);
+        h.add(1.0);
+        h.add(2.0);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+    }
+
+    #[test]
+    fn histogram_covering_includes_all() {
+        let xs: Vec<f64> = (0..100).map(|i| i as f64 / 7.0).collect();
+        let h = Histogram::covering(&xs, 12);
+        assert_eq!(h.underflow() + h.overflow(), 0);
+        assert_eq!(h.bins().iter().sum::<u64>(), 100);
+    }
+
+    #[test]
+    fn histogram_bin_edges() {
+        let h = Histogram::new(0.0, 10.0, 5);
+        assert_eq!(h.bin_edges(0), (0.0, 2.0));
+        assert_eq!(h.bin_edges(4), (8.0, 10.0));
+    }
+
+    #[test]
+    fn pearson_perfect_correlation() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&xs, &ys) - 1.0).abs() < 1e-12);
+        let neg = [8.0, 6.0, 4.0, 2.0];
+        assert!((pearson(&xs, &neg) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_degenerate_is_nan() {
+        assert!(pearson(&[1.0], &[2.0]).is_nan());
+        assert!(pearson(&[1.0, 1.0], &[2.0, 3.0]).is_nan());
+    }
+
+    #[test]
+    fn spearman_monotone_nonlinear() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let ys = [1.0, 8.0, 27.0, 64.0, 125.0];
+        assert!((spearman(&xs, &ys) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linear_fit_exact_line() {
+        let xs = [0.0, 1.0, 2.0, 3.0];
+        let ys = [1.0, 3.0, 5.0, 7.0];
+        let (slope, intercept, r2) = linear_fit(&xs, &ys).unwrap();
+        assert!((slope - 2.0).abs() < 1e-12);
+        assert!((intercept - 1.0).abs() < 1e-12);
+        assert!((r2 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linear_fit_degenerate() {
+        assert!(linear_fit(&[1.0], &[2.0]).is_none());
+        assert!(linear_fit(&[3.0, 3.0], &[1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn ranks_handle_ties() {
+        let r = ranks(&[3.0, 1.0, 3.0]);
+        assert_eq!(r, vec![2.5, 1.0, 2.5]);
+    }
+}

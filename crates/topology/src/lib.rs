@@ -1,0 +1,27 @@
+//! # hpl-topology — machine topology model
+//!
+//! Describes the hardware a simulated node runs on, at exactly the
+//! granularity the paper's HPL scheduler consumes: how many hardware
+//! threads per core, cores per chip, chips per node, and which cache
+//! levels are shared at which scope. The paper deliberately restricts
+//! itself to "hardware information common to most platforms, like number
+//! of cores/threads and cache parameters" — this crate is that information.
+//!
+//! * [`cpu`] — [`CpuId`] (a logical CPU = one hardware thread) and
+//!   [`CpuMask`], the affinity bitmask type.
+//! * [`machine`] — the socket/core/thread tree with per-level caches and
+//!   presets, including [`machine::Topology::power6_js22`], the paper's
+//!   dual-socket IBM POWER6 test machine.
+//! * [`domains`] — the scheduling-domain hierarchy (SMT → MC → PKG) the
+//!   load balancer walks, mirroring Linux's `sched_domain` construction.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cpu;
+pub mod domains;
+pub mod machine;
+
+pub use cpu::{CpuId, CpuMask};
+pub use domains::{DomainHierarchy, DomainLevel, SchedDomain};
+pub use machine::{CacheLevel, CacheScope, Topology};

@@ -1,0 +1,245 @@
+//! The paper's published results, as data.
+//!
+//! Tables Ia, Ib and II of Gioiosa/McKee/Valero (CLUSTER 2010),
+//! transcribed row by row so experiments can print paper-vs-measured
+//! comparisons and tests can assert reproduction quality without anyone
+//! re-reading the PDF. Numbers are exactly as printed (including the
+//! outliers the text discusses, e.g. cg.A.8's 46.69 s maximum).
+
+use crate::nas::{NasBenchmark, NasClass};
+
+/// Min/avg/max triple as printed in Table I.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MinAvgMax {
+    /// Minimum over the 1000 runs.
+    pub min: f64,
+    /// Average.
+    pub avg: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+/// Min/avg/max/variation row of Table II (seconds, percent).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimeRow {
+    /// Minimum execution time (s).
+    pub min: f64,
+    /// Average (s).
+    pub avg: f64,
+    /// Maximum (s).
+    pub max: f64,
+    /// The paper's variation metric `(max − min)/min × 100`.
+    pub var_pct: f64,
+}
+
+/// One benchmark configuration's published numbers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PaperRow {
+    /// Benchmark.
+    pub bench: NasBenchmark,
+    /// Problem class.
+    pub class: NasClass,
+    /// Table Ia: CPU migrations, standard Linux.
+    pub std_migrations: MinAvgMax,
+    /// Table Ia: context switches, standard Linux.
+    pub std_switches: MinAvgMax,
+    /// Table Ib: CPU migrations, HPL.
+    pub hpl_migrations: MinAvgMax,
+    /// Table Ib: context switches, HPL.
+    pub hpl_switches: MinAvgMax,
+    /// Table II: execution time, standard Linux.
+    pub std_time: TimeRow,
+    /// Table II: execution time, HPL.
+    pub hpl_time: TimeRow,
+}
+
+const fn mam(min: f64, avg: f64, max: f64) -> MinAvgMax {
+    MinAvgMax { min, avg, max }
+}
+
+const fn time(min: f64, avg: f64, max: f64, var_pct: f64) -> TimeRow {
+    TimeRow { min, avg, max, var_pct }
+}
+
+/// All twelve rows, in the paper's table order.
+pub const ROWS: [PaperRow; 12] = [
+    PaperRow {
+        bench: NasBenchmark::Cg,
+        class: NasClass::A,
+        std_migrations: mam(30.0, 63.61, 2078.0),
+        std_switches: mam(460.0, 602.57, 5755.0),
+        hpl_migrations: mam(10.0, 11.52, 14.0),
+        hpl_switches: mam(333.0, 356.32, 391.0),
+        std_time: time(0.69, 1.04, 46.69, 6608.70),
+        hpl_time: time(0.68, 0.69, 0.70, 2.94),
+    },
+    PaperRow {
+        bench: NasBenchmark::Cg,
+        class: NasClass::B,
+        std_migrations: mam(28.0, 90.62, 3499.0),
+        std_switches: mam(1726.0, 2011.80, 8243.0),
+        hpl_migrations: mam(10.0, 12.31, 21.0),
+        hpl_switches: mam(343.0, 374.72, 484.0),
+        std_time: time(36.98, 42.04, 126.48, 242.02),
+        hpl_time: time(36.96, 37.27, 38.17, 3.27),
+    },
+    PaperRow {
+        bench: NasBenchmark::Ep,
+        class: NasClass::A,
+        std_migrations: mam(29.0, 52.41, 615.0),
+        std_switches: mam(550.0, 652.62, 1886.0),
+        hpl_migrations: mam(10.0, 12.02, 18.0),
+        hpl_switches: mam(315.0, 344.77, 436.0),
+        std_time: time(8.54, 8.87, 14.59, 70.84),
+        hpl_time: time(8.54, 8.55, 8.57, 0.35),
+    },
+    PaperRow {
+        bench: NasBenchmark::Ep,
+        class: NasClass::B,
+        std_migrations: mam(28.0, 69.02, 2536.0),
+        std_switches: mam(1198.0, 1333.70, 5239.0),
+        hpl_migrations: mam(10.0, 12.04, 19.0),
+        hpl_switches: mam(329.0, 365.39, 472.0),
+        std_time: time(34.14, 34.69, 53.34, 56.24),
+        hpl_time: time(34.14, 34.19, 34.33, 0.56),
+    },
+    PaperRow {
+        bench: NasBenchmark::Ft,
+        class: NasClass::A,
+        std_migrations: mam(20.0, 53.02, 565.0),
+        std_switches: mam(318.0, 575.10, 1609.0),
+        hpl_migrations: mam(10.0, 11.43, 17.0),
+        hpl_switches: mam(331.0, 361.32, 413.0),
+        std_time: time(2.27, 2.50, 9.07, 327.31),
+        hpl_time: time(2.05, 2.06, 2.08, 1.46),
+    },
+    PaperRow {
+        bench: NasBenchmark::Ft,
+        class: NasClass::B,
+        std_migrations: mam(28.0, 51.23, 1163.0),
+        std_switches: mam(1111.0, 1222.50, 3258.0),
+        hpl_migrations: mam(10.0, 12.11, 19.0),
+        hpl_switches: mam(337.0, 365.29, 414.0),
+        std_time: time(22.56, 22.91, 41.78, 85.20),
+        hpl_time: time(22.58, 22.66, 22.71, 0.58),
+    },
+    PaperRow {
+        bench: NasBenchmark::Is,
+        class: NasClass::A,
+        std_migrations: mam(29.0, 52.18, 160.0),
+        std_switches: mam(396.0, 537.35, 956.0),
+        hpl_migrations: mam(10.0, 11.39, 14.0),
+        hpl_switches: mam(326.0, 347.37, 382.0),
+        std_time: time(0.35, 0.57, 3.27, 832.29),
+        hpl_time: time(0.35, 0.36, 0.36, 2.86),
+    },
+    PaperRow {
+        bench: NasBenchmark::Is,
+        class: NasClass::B,
+        std_migrations: mam(28.0, 52.88, 370.0),
+        std_switches: mam(519.0, 610.93, 1213.0),
+        hpl_migrations: mam(10.0, 12.07, 23.0),
+        hpl_switches: mam(340.0, 354.97, 374.0),
+        std_time: time(1.82, 1.88, 4.82, 164.84),
+        hpl_time: time(1.82, 1.83, 1.84, 1.10),
+    },
+    PaperRow {
+        bench: NasBenchmark::Lu,
+        class: NasClass::A,
+        std_migrations: mam(18.0, 70.79, 1368.0),
+        std_switches: mam(219.0, 1030.40, 3870.0),
+        hpl_migrations: mam(10.0, 12.84, 21.0),
+        hpl_switches: mam(325.0, 361.81, 604.0),
+        std_time: time(17.56, 19.34, 50.85, 189.58),
+        hpl_time: time(17.71, 17.79, 18.00, 1.64),
+    },
+    PaperRow {
+        bench: NasBenchmark::Lu,
+        class: NasClass::B,
+        std_migrations: mam(29.0, 69.04, 3657.0),
+        std_switches: mam(2518.0, 2933.50, 9131.0),
+        hpl_migrations: mam(10.0, 12.97, 22.0),
+        hpl_switches: mam(340.0, 381.46, 455.0),
+        std_time: time(71.93, 79.37, 140.03, 94.68),
+        hpl_time: time(71.81, 73.51, 77.64, 8.12),
+    },
+    PaperRow {
+        bench: NasBenchmark::Mg,
+        class: NasClass::A,
+        std_migrations: mam(29.0, 54.73, 590.0),
+        std_switches: mam(91.0, 556.24, 1776.0),
+        hpl_migrations: mam(10.0, 11.94, 22.0),
+        hpl_switches: mam(357.0, 386.60, 423.0),
+        std_time: time(1.40, 1.60, 7.80, 457.14),
+        hpl_time: time(0.96, 0.97, 0.97, 1.04),
+    },
+    PaperRow {
+        bench: NasBenchmark::Mg,
+        class: NasClass::B,
+        std_migrations: mam(29.0, 54.68, 853.0),
+        std_switches: mam(531.0, 660.43, 2396.0),
+        hpl_migrations: mam(10.0, 12.55, 17.0),
+        hpl_switches: mam(357.0, 386.44, 422.0),
+        std_time: time(4.48, 4.96, 28.35, 532.81),
+        hpl_time: time(4.48, 4.93, 4.54, 1.34),
+    },
+];
+
+/// Look up the published row for a configuration.
+pub fn row(bench: NasBenchmark, class: NasClass) -> &'static PaperRow {
+    ROWS.iter()
+        .find(|r| r.bench == bench && r.class == class)
+        .expect("all twelve configurations are tabled")
+}
+
+/// The paper's headline: average HPL variation across benchmarks.
+pub fn hpl_avg_variation_pct() -> f64 {
+    ROWS.iter().map(|r| r.hpl_time.var_pct).sum::<f64>() / ROWS.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twelve_rows_cover_all_configs() {
+        for (b, c) in crate::nas::all_configs() {
+            let r = row(b, c);
+            assert_eq!((r.bench, r.class), (b, c));
+        }
+    }
+
+    #[test]
+    fn headline_average_matches_abstract() {
+        // The abstract says 2.11% on average.
+        let avg = hpl_avg_variation_pct();
+        assert!((avg - 2.11).abs() < 0.02, "avg {avg}");
+    }
+
+    #[test]
+    fn hpl_always_beats_std_in_the_paper() {
+        for r in &ROWS {
+            assert!(r.hpl_time.var_pct < r.std_time.var_pct);
+            assert!(r.hpl_migrations.avg < r.std_migrations.avg);
+            assert!(r.hpl_switches.avg < r.std_switches.avg);
+        }
+    }
+
+    #[test]
+    fn calibration_targets_match_hpl_min() {
+        // nas.rs calibrates against these same numbers.
+        for r in &ROWS {
+            assert_eq!(
+                crate::nas::paper_hpl_min_secs(r.bench, r.class),
+                r.hpl_time.min
+            );
+        }
+    }
+
+    #[test]
+    fn migration_floor_is_ten_everywhere() {
+        for r in &ROWS {
+            assert_eq!(r.hpl_migrations.min, 10.0, "{}", r.bench.name());
+        }
+    }
+}

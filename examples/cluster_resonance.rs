@@ -1,0 +1,84 @@
+//! Noise resonance at cluster scale (the paper's §II motivation).
+//!
+//! Measures per-phase durations of a barrier-synchronised probe on the
+//! single-node simulator under the standard and HPL schedulers, then
+//! projects both to N nodes with the max-over-nodes model: each global
+//! phase takes as long as the slowest node. Also reproduces the classic
+//! Petrini trade-off: donating a core to the OS (losing 1/8 capacity but
+//! clipping the noise tail) loses on one node and wins at scale.
+//!
+//! ```text
+//! cargo run --release --example cluster_resonance
+//! ```
+
+use hpl::cluster::{EmpiricalDist, ResonanceModel};
+use hpl::prelude::*;
+use hpl::workloads::micro::noise_probe_job;
+
+/// Per-phase durations measured by watching the job barrier generation.
+fn measure_phases(hpl_mode: bool, reps: u32, seed: u64) -> Vec<f64> {
+    let mut samples = Vec::new();
+    for rep in 0..reps {
+        let seed = Rng::for_run(seed, rep as u64).next_u64();
+        let topo = Topology::power6_js22();
+        let noise = NoiseProfile::standard(8);
+        let mut node = if hpl_mode {
+            hpl_node_builder(topo).noise(noise).seed(seed).build()
+        } else {
+            NodeBuilder::new(topo).noise(noise).seed(seed).build()
+        };
+        node.run_for(SimDuration::from_millis(400));
+        let job = noise_probe_job(8, 30, SimDuration::from_millis(5));
+        let barrier = job.barrier_id();
+        let mode = if hpl_mode { SchedMode::Hpc } else { SchedMode::Cfs };
+        let handle = launch(&mut node, &job, mode);
+        let mut last_gen = node.sync.barrier_generation(barrier);
+        let mut last_t = node.now();
+        while node.tasks.get(handle.perf_pid).state != TaskState::Dead {
+            assert!(node.step());
+            let gen = node.sync.barrier_generation(barrier);
+            if gen > last_gen {
+                if last_gen > 0 {
+                    samples.push(node.now().since(last_t).as_secs_f64());
+                }
+                last_gen = gen;
+                last_t = node.now();
+            }
+        }
+    }
+    samples
+}
+
+fn main() {
+    println!("measuring per-phase distributions on the single-node simulator...");
+    let std_phases = measure_phases(false, 12, 0xBEEF);
+    let hpl_phases = measure_phases(true, 12, 0xBEEF);
+
+    let phases = 1000;
+    let std_model = ResonanceModel::new(EmpiricalDist::new(std_phases), phases);
+    let hpl_model = ResonanceModel::new(EmpiricalDist::new(hpl_phases), phases);
+    // The Petrini configuration: clip the tail (a dedicated OS core
+    // absorbs the daemons) but pay 8/7 in per-phase compute.
+    let donated = ResonanceModel::new(
+        std_model.per_phase.clipped_at_quantile(0.95).scaled(8.0 / 7.0),
+        phases,
+    );
+
+    println!("\nprojected application time, {phases} synchronised phases:\n");
+    println!(
+        "{:>6} | {:>10} | {:>10} | {:>14} | {:>8}",
+        "nodes", "std (s)", "hpl (s)", "OS-core (s)", "std/hpl"
+    );
+    for n in [1u32, 4, 16, 64, 256, 1024, 4096] {
+        let a = std_model.expected_time(n, 25, 1);
+        let b = hpl_model.expected_time(n, 25, 2);
+        let c = donated.expected_time(n, 25, 3);
+        println!("{n:>6} | {a:>10.3} | {b:>10.3} | {c:>14.3} | {:>8.2}", a / b);
+    }
+    println!(
+        "\nThe std curve climbs with node count (noise resonance); HPL stays\n\
+         flat. The donated-core configuration loses at N=1 and crosses over\n\
+         at scale — Petrini et al.'s 1.87x effect, here solved in the\n\
+         scheduler instead of by sacrificing a processor."
+    );
+}

@@ -1,0 +1,80 @@
+//! NAS showdown: a miniature Table II.
+//!
+//! Runs every NAS class-A configuration a few times under the standard
+//! scheduler and under HPL and prints the min/avg/max execution times
+//! plus the paper's variation metric. Class B is skipped by default for
+//! speed; pass `--full` to include it.
+//!
+//! ```text
+//! cargo run --release --example nas_showdown [-- --full --reps N]
+//! ```
+
+use hpl::prelude::*;
+
+fn run_side(job: &JobSpec, hpl_mode: bool, reps: u32, base_seed: u64) -> Vec<f64> {
+    (0..reps)
+        .map(|rep| {
+            let seed = Rng::for_run(base_seed, rep as u64).next_u64();
+            let topo = Topology::power6_js22();
+            let noise = NoiseProfile::standard(topo.total_cpus());
+            let mut node = if hpl_mode {
+                hpl_node_builder(topo).noise(noise).seed(seed).build()
+            } else {
+                NodeBuilder::new(topo).noise(noise).seed(seed).build()
+            };
+            node.run_for(SimDuration::from_millis(400));
+            let mode = if hpl_mode { SchedMode::Hpc } else { SchedMode::Cfs };
+            let handle = launch(&mut node, job, mode);
+            handle
+                .run_to_completion(&mut node, 40_000_000_000)
+                .as_secs_f64()
+        })
+        .collect()
+}
+
+fn stats(xs: &[f64]) -> (f64, f64, f64, f64) {
+    let min = xs.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let avg = xs.iter().sum::<f64>() / xs.len() as f64;
+    (min, avg, max, (max - min) / min * 100.0)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let full = args.iter().any(|a| a == "--full");
+    let reps: u32 = args
+        .iter()
+        .position(|a| a == "--reps")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10);
+
+    println!(
+        "| bench  | {:^33} | {:^33} |",
+        "std Linux (min/avg/max, var%)", "HPL (min/avg/max, var%)"
+    );
+    println!("|--------|{:-^35}|{:-^35}|", "", "");
+    for bench in NasBenchmark::ALL {
+        for class in NasClass::ALL {
+            if class == NasClass::B && !full {
+                continue;
+            }
+            let job = nas_job(bench, class, 8);
+            let std = stats(&run_side(&job, false, reps, 0xA));
+            let hpl = stats(&run_side(&job, true, reps, 0xA));
+            println!(
+                "| {:6} | {:7.2} {:7.2} {:7.2} {:7.1}% | {:7.2} {:7.2} {:7.2} {:7.1}% |",
+                format!("{}.{}", bench.name(), class.name()),
+                std.0,
+                std.1,
+                std.2,
+                std.3,
+                hpl.0,
+                hpl.1,
+                hpl.2,
+                hpl.3,
+            );
+        }
+    }
+    println!("\n({reps} repetitions per cell; the paper uses 1000 — see `repro table2`)");
+}

@@ -1,0 +1,76 @@
+//! Noise injection à la Ferreira/Bridges/Brightwell (SC'08).
+//!
+//! Injects controlled per-CPU noise (fixed period and duration) under a
+//! fixed-work-quantum probe and shows the *resonance* between noise
+//! granularity and application granularity: the same 2.5 % noise budget
+//! delivered as frequent short events barely hurts a coarse-grained
+//! probe but stings a fine-grained one, and rare long events hurt more
+//! than frequent short ones — while the HPL class hides CFS noise
+//! entirely either way.
+//!
+//! ```text
+//! cargo run --release --example noise_injection
+//! ```
+
+use hpl::prelude::*;
+use hpl::workloads::micro::{injection_profile, noise_probe_job};
+
+fn probe_time(
+    quantum: SimDuration,
+    iters: u32,
+    noise: NoiseProfile,
+    hpl_mode: bool,
+    seed: u64,
+) -> f64 {
+    let topo = Topology::power6_js22();
+    let mut node = if hpl_mode {
+        hpl_node_builder(topo).noise(noise).seed(seed).build()
+    } else {
+        NodeBuilder::new(topo).noise(noise).seed(seed).build()
+    };
+    node.run_for(SimDuration::from_millis(200));
+    let job = noise_probe_job(8, iters, quantum);
+    let mode = if hpl_mode { SchedMode::Hpc } else { SchedMode::Cfs };
+    let handle = launch(&mut node, &job, mode);
+    handle
+        .run_to_completion(&mut node, 40_000_000_000)
+        .as_secs_f64()
+}
+
+fn main() {
+    // Two probes with the same total work but different granularity.
+    let configs = [
+        ("fine-grained  (1 ms quanta)", SimDuration::from_millis(1), 400u32),
+        ("coarse-grained (100 ms quanta)", SimDuration::from_millis(100), 4u32),
+    ];
+    // Equal noise budgets (2.5% of one CPU), different granularity.
+    let injections = [
+        ("2.5% as  25 us every 1 ms", SimDuration::from_millis(1), SimDuration::from_micros(25)),
+        ("2.5% as 250 us every 10 ms", SimDuration::from_millis(10), SimDuration::from_micros(250)),
+        ("2.5% as 2.5 ms every 100 ms", SimDuration::from_millis(100), SimDuration::from_micros(2500)),
+    ];
+    for (probe_name, quantum, iters) in configs {
+        println!("== probe: {probe_name} ==");
+        let clean = probe_time(quantum, iters, NoiseProfile::quiet(), false, 1);
+        println!("  noise-free baseline: {clean:.4} s");
+        for (noise_name, period, duration) in injections {
+            let profile = injection_profile(8, period, duration);
+            let std = probe_time(quantum, iters, profile.clone(), false, 1);
+            let hpl = probe_time(quantum, iters, profile, true, 1);
+            println!(
+                "  {noise_name}: std {:+6.2}%   hpl {:+6.2}%",
+                (std / clean - 1.0) * 100.0,
+                (hpl / clean - 1.0) * 100.0
+            );
+        }
+        println!();
+    }
+    println!(
+        "The same noise budget hurts more when delivered as rare long events\n\
+         (each one stalls a rank past the barrier) than as frequent tiny ones\n\
+         that amortise into every quantum — and it hurts the fine-grained\n\
+         probe most, whose barriers give each hit a fresh chance to delay\n\
+         everyone (Ferreira et al.'s resonance result). Under HPL the probe\n\
+         never yields the CPU to the injector at all."
+    );
+}

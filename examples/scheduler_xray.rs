@@ -1,0 +1,89 @@
+//! X-ray a scheduling decision: trace, per-task reports, and energy.
+//!
+//! Runs a short synchronised job under standard Linux and under HPL with
+//! event tracing enabled, then prints for each:
+//!
+//! * a per-CPU Gantt chart of the launch window (ranks as digits,
+//!   daemons/launchers as 'x'),
+//! * `/proc/<pid>/sched`-style per-rank reports,
+//! * the window's energy accounting.
+//!
+//! ```text
+//! cargo run --release --example scheduler_xray
+//! ```
+
+use hpl::kernel::power::{energy_of_window, PowerModel};
+use hpl::prelude::*;
+use std::collections::HashMap;
+
+fn xray(label: &str, hpl_mode: bool) {
+    let topo = Topology::power6_js22();
+    let noise = NoiseProfile::standard(8).scaled(3.0); // extra-noisy for visible effect
+    let mut node = if hpl_mode {
+        hpl_node_builder(topo).noise(noise).seed(33).build()
+    } else {
+        NodeBuilder::new(topo).noise(noise).seed(33).build()
+    };
+    node.enable_trace(500_000);
+    node.run_for(SimDuration::from_millis(200));
+
+    let job = JobSpec::new(
+        8,
+        JobSpec::repeat(
+            8,
+            &[
+                MpiOp::Compute {
+                    mean: SimDuration::from_millis(10),
+                },
+                MpiOp::Allreduce { bytes: 64 },
+            ],
+        ),
+    );
+    let mode = if hpl_mode { SchedMode::Hpc } else { SchedMode::Cfs };
+    let mut perf = PerfSession::open(&node.counters, node.now());
+    let start = node.now();
+    let handle = launch(&mut node, &job, mode);
+    let exec = handle.run_to_completion(&mut node, 10_000_000_000);
+    perf.close(&node.counters, node.now());
+
+    println!("==== {label}: {exec} ====\n");
+    let glyphs: HashMap<Pid, char> = node
+        .tasks
+        .iter()
+        .filter(|t| t.name.starts_with("rank"))
+        .map(|t| (t.pid, t.name.as_bytes()[4] as char))
+        .collect();
+    if let Some(trace) = node.trace() {
+        print!(
+            "{}",
+            trace.gantt(8, start, node.now(), 70, |p| {
+                glyphs.get(&p).copied().unwrap_or('x')
+            })
+        );
+    }
+    println!();
+    let mut rank_pids: Vec<Pid> = glyphs.keys().copied().collect();
+    rank_pids.sort();
+    for pid in rank_pids {
+        println!("  {}", node.task_report(pid));
+    }
+    let busy = perf.delta().hw(hpl::perf::HwEvent::BusyNs);
+    let wall = SimDuration::from_secs_f64(perf.elapsed_secs());
+    let energy = energy_of_window(&PowerModel::default(), &node.topo, busy, wall);
+    println!(
+        "\n  energy {:.1} J, mean power {:.1} W, utilisation {:.1}%\n",
+        energy.total_joules,
+        energy.mean_watts,
+        energy.utilisation * 100.0
+    );
+}
+
+fn main() {
+    xray("standard Linux (CFS), 3x noise", false);
+    xray("HPL, 3x noise", true);
+    println!(
+        "Under CFS the 'x' marks cut into rank lanes (daemon preemptions)\n\
+         and rank digits hop between lanes (migrations). Under HPL each\n\
+         rank owns its lane for the whole run."
+    );
+}

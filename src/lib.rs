@@ -1,0 +1,79 @@
+//! # hpl — the HPL scheduler study, end to end
+//!
+//! A discrete-event reproduction of *"Designing OS for HPC Applications:
+//! Scheduling"* (Gioiosa, McKee, Valero — IEEE CLUSTER 2010): the **HPL**
+//! scheduling class for HPC tasks, the Linux scheduler it competes with,
+//! the machine and noise models that make the comparison meaningful, and
+//! the experiment harness that regenerates every table and figure of the
+//! paper.
+//!
+//! This crate is a facade: it re-exports the workspace crates under one
+//! roof and hosts the runnable examples and cross-crate integration
+//! tests.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use hpl::prelude::*;
+//!
+//! // A node with the paper's machine, daemons, and the HPL scheduler.
+//! let mut node = hpl_node_builder(Topology::power6_js22())
+//!     .noise(NoiseProfile::standard(8))
+//!     .seed(42)
+//!     .build();
+//! node.run_for(SimDuration::from_millis(400));
+//!
+//! // Launch a small MPI job in the HPC class and measure it.
+//! let job = JobSpec::new(8, JobSpec::repeat(3, &[
+//!     MpiOp::Compute { mean: SimDuration::from_millis(2) },
+//!     MpiOp::Allreduce { bytes: 64 },
+//! ]));
+//! let mut perf = PerfSession::open(&node.counters, node.now());
+//! let handle = launch(&mut node, &job, SchedMode::Hpc);
+//! let exec = handle.run_to_completion(&mut node, 100_000_000);
+//! perf.close(&node.counters, node.now());
+//!
+//! assert!(exec.as_secs_f64() > 0.006);
+//! println!("{}", perf.report());
+//! ```
+//!
+//! ## Crate map
+//!
+//! | Crate | Contents |
+//! |---|---|
+//! | [`sim`] | event queue, deterministic RNG, statistics, ASCII plots |
+//! | [`topology`] | sockets/cores/SMT, caches, scheduling domains |
+//! | [`perf`] | software/hardware counters, `perf stat` sessions |
+//! | [`kernel`] | the simulated node: scheduler core, CFS, RT, balancer, noise |
+//! | [`core`] | **the paper's contribution**: the HPL scheduling class |
+//! | [`mpi`] | simulated MPI runtime and the perf/chrt/mpiexec launcher |
+//! | [`workloads`] | NAS benchmark models, noise microbenchmarks |
+//! | [`cluster`] | multi-node noise-resonance projection |
+//! | [`bench`] *(dev)* | the `repro` harness regenerating each table/figure |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use hpl_cluster as cluster;
+pub use hpl_core as core;
+pub use hpl_kernel as kernel;
+pub use hpl_mpi as mpi;
+pub use hpl_perf as perf;
+pub use hpl_sim as sim;
+pub use hpl_topology as topology;
+pub use hpl_workloads as workloads;
+
+/// The names almost every user of this library needs.
+pub mod prelude {
+    pub use hpl_cluster::{EmpiricalDist, ResonanceModel};
+    pub use hpl_core::{chrt_spec, hpl_node_builder, HplClass};
+    pub use hpl_kernel::noise::NoiseProfile;
+    pub use hpl_kernel::{
+        BalanceMode, KernelConfig, Node, NodeBuilder, Pid, Policy, Step, TaskSpec, TaskState,
+    };
+    pub use hpl_mpi::{launch, JobSpec, MpiConfig, MpiOp, SchedMode};
+    pub use hpl_perf::{PerfSession, RunRecord, RunTable, SwEvent};
+    pub use hpl_sim::{Rng, SimDuration, SimTime};
+    pub use hpl_topology::{CpuId, CpuMask, Topology};
+    pub use hpl_workloads::{nas_job, NasBenchmark, NasClass};
+}

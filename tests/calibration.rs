@@ -1,0 +1,80 @@
+//! Calibration validation: simulated HPL minimum execution times must
+//! land on the paper's Table II HPL-minimum column, for every
+//! configuration. These tests run full NAS configurations (up to ~80
+//! simulated seconds each) so they are `#[ignore]`d by default:
+//!
+//! ```text
+//! cargo test --release --test calibration -- --ignored
+//! ```
+
+use hpl::prelude::*;
+use hpl::workloads::nas::paper_hpl_min_secs;
+
+fn hpl_min_of(bench: NasBenchmark, class: NasClass, reps: u64) -> f64 {
+    (0..reps)
+        .map(|rep| {
+            let seed = Rng::for_run(0xCA11B, rep).next_u64();
+            let mut node = hpl_node_builder(Topology::power6_js22())
+                .noise(NoiseProfile::standard(8))
+                .seed(seed)
+                .build();
+            node.run_for(SimDuration::from_millis(400));
+            let handle = launch(&mut node, &nas_job(bench, class, 8), SchedMode::Hpc);
+            handle
+                .run_to_completion(&mut node, 400_000_000_000)
+                .as_secs_f64()
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+fn assert_calibrated(bench: NasBenchmark, class: NasClass) {
+    let target = paper_hpl_min_secs(bench, class);
+    let got = hpl_min_of(bench, class, 3);
+    let rel = (got - target).abs() / target;
+    assert!(
+        rel < 0.05,
+        "{}.{}: simulated HPL min {got:.3}s vs paper {target:.3}s ({:.1}% off)",
+        bench.name(),
+        class.name(),
+        rel * 100.0
+    );
+}
+
+macro_rules! calibration_test {
+    ($name:ident, $bench:expr, $class:expr) => {
+        #[test]
+        #[ignore = "full-size NAS run; use cargo test --release -- --ignored"]
+        fn $name() {
+            assert_calibrated($bench, $class);
+        }
+    };
+}
+
+calibration_test!(cg_a_matches_paper, NasBenchmark::Cg, NasClass::A);
+calibration_test!(cg_b_matches_paper, NasBenchmark::Cg, NasClass::B);
+calibration_test!(ep_a_matches_paper, NasBenchmark::Ep, NasClass::A);
+calibration_test!(ep_b_matches_paper, NasBenchmark::Ep, NasClass::B);
+calibration_test!(ft_a_matches_paper, NasBenchmark::Ft, NasClass::A);
+calibration_test!(ft_b_matches_paper, NasBenchmark::Ft, NasClass::B);
+calibration_test!(is_a_matches_paper, NasBenchmark::Is, NasClass::A);
+calibration_test!(is_b_matches_paper, NasBenchmark::Is, NasClass::B);
+calibration_test!(lu_a_matches_paper, NasBenchmark::Lu, NasClass::A);
+calibration_test!(lu_b_matches_paper, NasBenchmark::Lu, NasClass::B);
+calibration_test!(mg_a_matches_paper, NasBenchmark::Mg, NasClass::A);
+calibration_test!(mg_b_matches_paper, NasBenchmark::Mg, NasClass::B);
+
+/// The cheap always-on version: the two smallest configurations.
+#[test]
+fn smallest_configs_match_paper() {
+    for (b, c) in [(NasBenchmark::Is, NasClass::A), (NasBenchmark::Cg, NasClass::A)] {
+        let target = paper_hpl_min_secs(b, c);
+        let got = hpl_min_of(b, c, 2);
+        let rel = (got - target).abs() / target;
+        assert!(
+            rel < 0.06,
+            "{}.{}: {got:.3}s vs paper {target:.3}s",
+            b.name(),
+            c.name()
+        );
+    }
+}

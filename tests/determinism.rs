@@ -1,0 +1,84 @@
+//! Reproducibility guarantees: every number in the study is a pure
+//! function of `(configuration, seed, repetition index)`.
+
+use hpl::prelude::*;
+
+fn job() -> JobSpec {
+    JobSpec::new(
+        8,
+        JobSpec::repeat(
+            4,
+            &[
+                MpiOp::Compute {
+                    mean: SimDuration::from_millis(4),
+                },
+                MpiOp::Barrier,
+            ],
+        ),
+    )
+}
+
+fn run(mode: SchedMode, hpl_mode: bool, seed: u64) -> (u64, u64, u64) {
+    let topo = Topology::power6_js22();
+    let noise = NoiseProfile::standard(8);
+    let mut node = if hpl_mode {
+        hpl::core::hpl_node_builder(topo).noise(noise).seed(seed).build()
+    } else {
+        NodeBuilder::new(topo).noise(noise).seed(seed).build()
+    };
+    node.run_for(SimDuration::from_millis(300));
+    let mut perf = PerfSession::open(&node.counters, node.now());
+    let handle = launch(&mut node, &job(), mode);
+    let exec = handle.run_to_completion(&mut node, 2_000_000_000);
+    perf.close(&node.counters, node.now());
+    let d = perf.delta();
+    (
+        exec.as_nanos(),
+        d.sw(SwEvent::ContextSwitches),
+        d.sw(SwEvent::CpuMigrations),
+    )
+}
+
+#[test]
+fn identical_seed_identical_everything() {
+    for (mode, hpl_mode) in [
+        (SchedMode::Cfs, false),
+        (SchedMode::Rt { prio: 50 }, false),
+        (SchedMode::Hpc, true),
+    ] {
+        let a = run(mode, hpl_mode, 1234);
+        let b = run(mode, hpl_mode, 1234);
+        assert_eq!(a, b, "{mode:?} not reproducible");
+    }
+}
+
+#[test]
+fn different_seeds_differ_under_noise() {
+    let a = run(SchedMode::Cfs, false, 1);
+    let b = run(SchedMode::Cfs, false, 2);
+    assert_ne!(a, b, "noise must vary across seeds");
+}
+
+#[test]
+fn node_fingerprint_is_stable() {
+    let fp = |seed: u64| {
+        let mut node = NodeBuilder::new(Topology::power6_js22())
+            .noise(NoiseProfile::standard(8))
+            .seed(seed)
+            .build();
+        node.run_for(SimDuration::from_millis(500));
+        node.state_fingerprint()
+    };
+    assert_eq!(fp(5), fp(5));
+    assert_ne!(fp(5), fp(6));
+}
+
+#[test]
+fn rng_run_streams_are_stable_across_calls() {
+    // The harness derives per-repetition seeds this way; the mapping must
+    // never change silently or archived results become irreproducible.
+    let mut r = Rng::for_run(0x5EED, 17);
+    let first = r.next_u64();
+    let mut r2 = Rng::for_run(0x5EED, 17);
+    assert_eq!(first, r2.next_u64());
+}

@@ -1,0 +1,209 @@
+//! Integration tests asserting the paper's *qualitative* claims on
+//! scaled-down workloads (full-size reproduction lives in `repro`).
+
+use hpl::prelude::*;
+
+/// A compact sync-heavy job: enough structure to exercise barriers,
+/// exchanges and the launcher stack while staying fast in debug builds.
+/// `iters x compute_ms` sizes the run; statistical claims need windows
+/// long enough (hundreds of ms) for daemon noise to act.
+fn sized_job(iters: u32, compute_ms: u64) -> JobSpec {
+    JobSpec::new(
+        8,
+        JobSpec::repeat(
+            iters,
+            &[
+                MpiOp::Compute {
+                    mean: SimDuration::from_millis(compute_ms),
+                },
+                MpiOp::Allreduce { bytes: 64 },
+                MpiOp::NeighborExchange { bytes: 16 * 1024 },
+            ],
+        ),
+    )
+}
+
+fn small_job() -> JobSpec {
+    sized_job(6, 6)
+}
+
+struct Outcome {
+    time_s: f64,
+    migrations: u64,
+    switches: u64,
+    preemptions: u64,
+}
+
+fn run_job(job: &JobSpec, mode: SchedMode, hpl_mode: bool, seed: u64) -> Outcome {
+    let topo = Topology::power6_js22();
+    let noise = NoiseProfile::standard(8);
+    let mut node = if hpl_mode {
+        hpl::core::hpl_node_builder(topo).noise(noise).seed(seed).build()
+    } else {
+        NodeBuilder::new(topo).noise(noise).seed(seed).build()
+    };
+    node.run_for(SimDuration::from_millis(300));
+    let mut perf = PerfSession::open(&node.counters, node.now());
+    let handle = launch(&mut node, job, mode);
+    let exec = handle.run_to_completion(&mut node, 20_000_000_000);
+    perf.close(&node.counters, node.now());
+    let d = perf.delta();
+    Outcome {
+        time_s: exec.as_secs_f64(),
+        migrations: d.sw(SwEvent::CpuMigrations),
+        switches: d.sw(SwEvent::ContextSwitches),
+        preemptions: d.sw(SwEvent::InvoluntaryPreemptions),
+    }
+}
+
+fn run_one(mode: SchedMode, hpl_mode: bool, seed: u64) -> Outcome {
+    run_job(&small_job(), mode, hpl_mode, seed)
+}
+
+fn run_many_seeds(mode: SchedMode, hpl_mode: bool, n: u64) -> Vec<Outcome> {
+    (0..n)
+        .map(|i| run_one(mode, hpl_mode, Rng::for_run(99, i).next_u64()))
+        .collect()
+}
+
+fn variation_pct(outcomes: &[Outcome]) -> f64 {
+    let min = outcomes.iter().map(|o| o.time_s).fold(f64::INFINITY, f64::min);
+    let max = outcomes
+        .iter()
+        .map(|o| o.time_s)
+        .fold(f64::NEG_INFINITY, f64::max);
+    (max - min) / min * 100.0
+}
+
+fn mean<F: Fn(&Outcome) -> f64>(outcomes: &[Outcome], f: F) -> f64 {
+    outcomes.iter().map(f).sum::<f64>() / outcomes.len() as f64
+}
+
+#[test]
+fn hpl_migration_floor_is_the_papers_accounting() {
+    // 8 rank forks + mpiexec + chrt + perf ≈ 10-13, never hundreds.
+    for o in run_many_seeds(SchedMode::Hpc, true, 4) {
+        assert!(
+            (9..=25).contains(&o.migrations),
+            "HPL migrations {} outside the structural floor",
+            o.migrations
+        );
+    }
+}
+
+#[test]
+fn hpl_beats_standard_linux_on_migrations_and_preemptions() {
+    let std = run_many_seeds(SchedMode::Cfs, false, 4);
+    let hpl = run_many_seeds(SchedMode::Hpc, true, 4);
+    assert!(
+        mean(&hpl, |o| o.migrations as f64) < mean(&std, |o| o.migrations as f64),
+        "hpl migrations must undercut standard Linux"
+    );
+    assert!(
+        mean(&hpl, |o| o.preemptions as f64) * 3.0 < mean(&std, |o| o.preemptions as f64),
+        "hpl preemptions {} vs std {}",
+        mean(&hpl, |o| o.preemptions as f64),
+        mean(&std, |o| o.preemptions as f64)
+    );
+}
+
+#[test]
+fn hpl_is_more_stable_than_standard_linux() {
+    // Windows of ~600 ms give the daemon population room to act.
+    let job = sized_job(10, 20);
+    let std: Vec<Outcome> = (0..6)
+        .map(|i| run_job(&job, SchedMode::Cfs, false, Rng::for_run(21, i).next_u64()))
+        .collect();
+    let hpl: Vec<Outcome> = (0..6)
+        .map(|i| run_job(&job, SchedMode::Hpc, true, Rng::for_run(21, i).next_u64()))
+        .collect();
+    let (vs, vh) = (variation_pct(&std), variation_pct(&hpl));
+    assert!(
+        vh < vs,
+        "HPL variation {vh:.2}% must undercut standard {vs:.2}%"
+    );
+    assert!(vh < 2.0, "HPL variation should be small: {vh:.2}%");
+}
+
+#[test]
+fn rt_sits_between_cfs_and_hpl() {
+    // Fig. 4's qualitative placement: RT is tighter than CFS; HPL is at
+    // least as tight as RT and strictly lower on migrations than RT
+    // (RT's push/pull still migrates).
+    let std = run_many_seeds(SchedMode::Cfs, false, 6);
+    let rt = run_many_seeds(SchedMode::Rt { prio: 50 }, false, 6);
+    let hpl = run_many_seeds(SchedMode::Hpc, true, 6);
+    assert!(variation_pct(&rt) <= variation_pct(&std));
+    assert!(mean(&hpl, |o| o.migrations as f64) < mean(&rt, |o| o.migrations as f64));
+    assert!(
+        mean(&rt, |o| o.preemptions as f64) < mean(&std, |o| o.preemptions as f64),
+        "RT ranks are not preempted by CFS daemons"
+    );
+}
+
+#[test]
+fn hpl_switches_do_not_scale_with_problem_size() {
+    // Table Ib's signature: context switches independent of data-set
+    // size. Double the per-iteration compute; switches stay put while
+    // the standard kernel's grow.
+    let big_job = || sized_job(6, 400); // ~2.4 s vs ~40 ms of compute
+    let run_with = |job: JobSpec, mode: SchedMode, hpl_mode: bool| -> f64 {
+        let outs: Vec<Outcome> = (0..3)
+            .map(|i| run_job(&job, mode, hpl_mode, Rng::for_run(7, i).next_u64()))
+            .collect();
+        mean(&outs, |o| o.switches as f64)
+    };
+    let hpl_small = run_with(small_job(), SchedMode::Hpc, true);
+    let hpl_big = run_with(big_job(), SchedMode::Hpc, true);
+    let std_small = run_with(small_job(), SchedMode::Cfs, false);
+    let std_big = run_with(big_job(), SchedMode::Cfs, false);
+    // HPL: within 25% despite 5x the runtime.
+    assert!(
+        (hpl_big - hpl_small).abs() / hpl_small < 0.25,
+        "HPL switches scale with size: {hpl_small} -> {hpl_big}"
+    );
+    // Standard Linux: clearly grows.
+    assert!(
+        std_big > std_small * 1.5,
+        "std switches should grow with size: {std_small} -> {std_big}"
+    );
+}
+
+#[test]
+fn time_correlates_with_migrations_under_standard_linux() {
+    // Fig. 3's empirical relationship; windows long enough for noise and
+    // enough samples that the rank correlation is statistically stable
+    // (the full-size version is `repro fig3a`, rho ~ 0.9).
+    let job = sized_job(12, 40);
+    let outs: Vec<Outcome> = (0..16)
+        .map(|i| run_job(&job, SchedMode::Cfs, false, Rng::for_run(31, i).next_u64()))
+        .collect();
+    let xs: Vec<f64> = outs.iter().map(|o| o.migrations as f64).collect();
+    let ys: Vec<f64> = outs.iter().map(|o| o.time_s).collect();
+    let rho = hpl::sim::stats::spearman(&xs, &ys);
+    assert!(
+        rho > 0.25,
+        "expected positive rank correlation, got {rho:.3}"
+    );
+}
+
+#[test]
+fn pinning_removes_balancing_but_not_preemption() {
+    // §IV: static affinity stops migrations yet daemons still preempt.
+    let job = sized_job(8, 50);
+    let pinned: Vec<Outcome> = (0..4)
+        .map(|i| run_job(&job, SchedMode::CfsPinned, false, Rng::for_run(41, i).next_u64()))
+        .collect();
+    let hpl: Vec<Outcome> = (0..4)
+        .map(|i| run_job(&job, SchedMode::Hpc, true, Rng::for_run(41, i).next_u64()))
+        .collect();
+    assert!(
+        mean(&pinned, |o| o.migrations as f64) < 20.0,
+        "pinning should stop balancer migrations"
+    );
+    assert!(
+        mean(&pinned, |o| o.preemptions as f64)
+            > 3.0 * mean(&hpl, |o| o.preemptions as f64).max(1.0),
+        "pinned ranks are still preempted by daemons"
+    );
+}

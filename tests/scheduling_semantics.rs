@@ -1,0 +1,162 @@
+//! Integration tests of the scheduling-class semantics across crates:
+//! class priority, starvation of lower classes, chrt, and affinity.
+
+use hpl::kernel::program::ScriptProgram;
+use hpl::prelude::*;
+
+fn hpc_node(seed: u64) -> Node {
+    hpl::core::hpl_node_builder(Topology::power6_js22())
+        .seed(seed)
+        .build()
+}
+
+fn burn(name: &str, policy: Policy, ms: u64) -> TaskSpec {
+    TaskSpec::new(
+        name,
+        policy,
+        ScriptProgram::boxed(name, vec![Step::Compute(SimDuration::from_millis(ms))]),
+    )
+}
+
+#[test]
+fn cfs_task_starves_while_hpc_runs() {
+    let mut node = hpc_node(1);
+    // Fill every CPU with HPC tasks.
+    let hpc: Vec<Pid> = (0..8)
+        .map(|i| node.spawn(burn(&format!("hpc{i}"), Policy::Hpc, 50)))
+        .collect();
+    node.run_for(SimDuration::from_millis(1));
+    let daemon = node.spawn(burn("daemon", Policy::Normal { nice: -20 }, 5));
+    node.run_for(SimDuration::from_millis(20));
+    // Even at nice -20, the CFS task has not run a nanosecond.
+    assert_eq!(node.tasks.get(daemon).total_runtime, SimDuration::ZERO);
+    assert_eq!(node.tasks.get(daemon).state, TaskState::Runnable);
+    // Once HPC tasks finish, it runs.
+    for pid in hpc {
+        node.run_until_exit(pid, 2_000_000_000);
+    }
+    node.run_until_exit(daemon, 2_000_000_000);
+    assert!(node.tasks.get(daemon).total_runtime > SimDuration::ZERO);
+}
+
+#[test]
+fn rt_task_preempts_hpc_task() {
+    let mut node = hpc_node(2);
+    let hpc = node.spawn(burn("hpc", Policy::Hpc, 50).with_affinity(CpuMask::single(CpuId(0))));
+    node.run_for(SimDuration::from_millis(1));
+    assert_eq!(node.tasks.get(hpc).state, TaskState::Running);
+    let rt = node.spawn(burn("migration", Policy::Fifo(99), 2).with_affinity(CpuMask::single(CpuId(0))));
+    node.run_for(SimDuration::from_micros(200));
+    assert_eq!(node.tasks.get(rt).state, TaskState::Running, "RT preempts HPC");
+    assert_eq!(node.tasks.get(hpc).state, TaskState::Runnable);
+    node.run_until_exit(rt, 1_000_000_000);
+    node.run_until_exit(hpc, 1_000_000_000);
+}
+
+#[test]
+fn two_hpc_tasks_round_robin_on_one_cpu() {
+    let mut node = hpc_node(3);
+    let a = node.spawn(burn("a", Policy::Hpc, 250).with_affinity(CpuMask::single(CpuId(0))));
+    let b = node.spawn(burn("b", Policy::Hpc, 250).with_affinity(CpuMask::single(CpuId(0))));
+    // After 150 ms (one and a half RR slices) both have run.
+    node.run_for(SimDuration::from_millis(150));
+    assert!(node.tasks.get(a).total_runtime > SimDuration::from_millis(40));
+    assert!(node.tasks.get(b).total_runtime > SimDuration::from_millis(40));
+    node.run_until_exit(a, 4_000_000_000);
+    node.run_until_exit(b, 4_000_000_000);
+}
+
+#[test]
+fn chrt_wrapped_tree_lands_in_hpc_class() {
+    let mut node = hpc_node(4);
+    let payload = TaskSpec::new(
+        "app",
+        Policy::Hpc,
+        ScriptProgram::boxed(
+            "app",
+            vec![
+                Step::Fork(burn("child", Policy::Hpc, 5)),
+                Step::WaitChildren,
+            ],
+        ),
+    );
+    let pid = node.spawn(chrt_spec("chrt", payload));
+    node.run_until_exit(pid, 2_000_000_000);
+    assert_eq!(node.tasks.get(pid).policy, Policy::Hpc);
+    // The forked child was born into the HPC class.
+    let child = node
+        .tasks
+        .iter()
+        .find(|t| t.name == "child")
+        .expect("child exists");
+    assert_eq!(child.policy, Policy::Hpc);
+}
+
+#[test]
+fn hpl_fork_placement_spreads_one_rank_per_core_first() {
+    let mut node = hpc_node(5);
+    let pids: Vec<Pid> = (0..4)
+        .map(|i| node.spawn(burn(&format!("r{i}"), Policy::Hpc, 30)))
+        .collect();
+    node.run_for(SimDuration::from_millis(1));
+    let mut cores: Vec<u32> = pids
+        .iter()
+        .map(|&p| node.topo.core_of(node.tasks.get(p).cpu))
+        .collect();
+    cores.sort_unstable();
+    assert_eq!(cores, vec![0, 1, 2, 3], "one rank per physical core");
+    for p in pids {
+        node.run_until_exit(p, 2_000_000_000);
+    }
+}
+
+#[test]
+fn affinity_confines_and_migrates() {
+    let mut node = hpc_node(6);
+    let t = node.spawn(burn("pin", Policy::Normal { nice: 0 }, 30));
+    node.run_for(SimDuration::from_millis(1));
+    let target = CpuId((node.tasks.get(t).cpu.0 + 3) % 8);
+    node.set_affinity(t, CpuMask::single(target));
+    node.run_for(SimDuration::from_millis(2));
+    assert_eq!(node.tasks.get(t).cpu, target);
+    node.run_until_exit(t, 2_000_000_000);
+    assert_eq!(node.tasks.get(t).cpu, target, "never left the mask");
+}
+
+#[test]
+fn hpl_performs_no_balancing_even_with_gross_imbalance() {
+    let mut node = hpc_node(7);
+    // Two CFS tasks crammed on cpu0 by affinity, then widened: with
+    // BalanceMode::None nobody ever moves them apart.
+    let a = node.spawn(burn("a", Policy::Normal { nice: 0 }, 40).with_affinity(CpuMask::single(CpuId(0))));
+    let b = node.spawn(burn("b", Policy::Normal { nice: 0 }, 40).with_affinity(CpuMask::single(CpuId(0))));
+    node.run_for(SimDuration::from_millis(1));
+    node.set_affinity(a, CpuMask::first_n(8));
+    node.set_affinity(b, CpuMask::first_n(8));
+    let migrations_before = node.counters.total().sw(SwEvent::CpuMigrations);
+    node.run_for(SimDuration::from_millis(30));
+    let migrations_after = node.counters.total().sw(SwEvent::CpuMigrations);
+    assert_eq!(
+        migrations_before, migrations_after,
+        "HPL kernel must not balance: the imbalance persists by design"
+    );
+    // Both still share cpu0 (serialised), seven CPUs idle.
+    assert_eq!(node.tasks.get(a).cpu, CpuId(0));
+    assert_eq!(node.tasks.get(b).cpu, CpuId(0));
+}
+
+#[test]
+fn standard_kernel_does_balance_the_same_imbalance() {
+    let mut node = NodeBuilder::new(Topology::power6_js22()).seed(8).build();
+    let a = node.spawn(burn("a", Policy::Normal { nice: 0 }, 40).with_affinity(CpuMask::single(CpuId(0))));
+    let b = node.spawn(burn("b", Policy::Normal { nice: 0 }, 40).with_affinity(CpuMask::single(CpuId(0))));
+    node.run_for(SimDuration::from_millis(1));
+    node.set_affinity(a, CpuMask::first_n(8));
+    node.set_affinity(b, CpuMask::first_n(8));
+    node.run_for(SimDuration::from_millis(30));
+    assert_ne!(
+        node.tasks.get(a).cpu,
+        node.tasks.get(b).cpu,
+        "the standard balancer spreads them"
+    );
+}
