@@ -1,0 +1,263 @@
+//! Offline event-loop performance regression harness.
+//!
+//! Measures simulated-events-per-second for the event-loop fast path
+//! (timer-wheel ticks + quiescence fast-forward) against the reference
+//! heap-of-everything path, over three workload shapes:
+//!
+//! * `idle-daemons` — an unloaded node running only its daemon
+//!   population; almost every event is a periodic tick, so this is the
+//!   fast path's bread and butter.
+//! * `idle-quiet` — an unloaded node with no daemons at all (the LWK /
+//!   CNK regime the paper benchmarks against): the event stream is pure
+//!   ticks and fast-forward batches entire windows arithmetically.
+//! * `hpl-tickless` — an HPC job on the HPL + tickless kernel; lone-HPC
+//!   quiescence lets whole compute phases fast-forward.
+//! * `std-cfs-busy` — a CFS job on standard Linux with balancing on;
+//!   the fast path's worst case, here to prove no regression.
+//!
+//! Both paths count *simulated* events identically (a batched tick is
+//! still an event), so the speedup is pure wall-clock. Each sweep also
+//! cross-checks the final state fingerprint between the two paths —
+//! the speedup only counts if the results are byte-identical.
+//!
+//! Writes `BENCH_eventloop.json` in the current directory. No criterion,
+//! no network: plain `Instant` timing, hand-rolled JSON.
+//!
+//! Usage: `eventloop [--quick] [--out PATH]`
+
+use hpl_core::HplClass;
+use hpl_kernel::noise::NoiseProfile;
+use hpl_kernel::{KernelConfig, Node, NodeBuilder};
+use hpl_mpi::{launch, JobSpec, MpiOp, SchedMode};
+use hpl_sim::SimDuration;
+use hpl_topology::Topology;
+use std::time::Instant;
+
+fn build(mut kc: KernelConfig, hpc_class: bool, quiet: bool, fast: bool, seed: u64) -> Node {
+    kc.fast_event_loop = fast;
+    let noise = if quiet {
+        NoiseProfile::quiet()
+    } else {
+        NoiseProfile::standard(8)
+    };
+    let mut b = NodeBuilder::new(Topology::power6_js22())
+        .config(kc)
+        .noise(noise)
+        .seed(seed);
+    if hpc_class {
+        b = b.hpc_class(Box::new(HplClass::new()));
+    }
+    b.build()
+}
+
+fn job(iters: u32) -> JobSpec {
+    JobSpec::new(
+        8,
+        JobSpec::repeat(
+            iters,
+            &[
+                MpiOp::Compute {
+                    mean: SimDuration::from_millis(4),
+                },
+                MpiOp::Barrier,
+            ],
+        ),
+    )
+}
+
+/// One timed run: (simulated events, wall seconds, state fingerprint).
+struct Obs {
+    events: u64,
+    wall_s: f64,
+    fingerprint: u64,
+}
+
+fn idle_run(fast: bool, quiet: bool, millis: u64, seed: u64) -> Obs {
+    let mut node = build(KernelConfig::default(), false, quiet, fast, seed);
+    let t0 = Instant::now();
+    node.run_for(SimDuration::from_millis(millis));
+    Obs {
+        events: node.events_processed(),
+        wall_s: t0.elapsed().as_secs_f64(),
+        fingerprint: node.state_fingerprint(),
+    }
+}
+
+fn job_run(
+    kc: KernelConfig,
+    hpc_class: bool,
+    quiet: bool,
+    mode: SchedMode,
+    fast: bool,
+    reps: u64,
+    iters: u32,
+) -> Obs {
+    let (mut events, mut fp) = (0u64, 0u64);
+    let t0 = Instant::now();
+    for rep in 0..reps {
+        let mut node = build(kc.clone(), hpc_class, quiet, fast, 0x5EED ^ rep);
+        node.run_for(SimDuration::from_millis(300));
+        let handle = launch(&mut node, &job(iters), mode);
+        handle.run_to_completion(&mut node, 4_000_000_000);
+        events += node.events_processed();
+        fp ^= node.state_fingerprint().rotate_left((rep % 64) as u32);
+    }
+    Obs {
+        events,
+        wall_s: t0.elapsed().as_secs_f64(),
+        fingerprint: fp,
+    }
+}
+
+struct Sweep {
+    name: &'static str,
+    /// Whether the workload is quiescence-dominated, i.e. actually
+    /// bound by the event loop rather than by dispatch work that is
+    /// identical on both paths. The headline speedup averages these;
+    /// the rest are no-regression guards.
+    loop_bound: bool,
+    fast: Obs,
+    reference: Obs,
+}
+
+impl Sweep {
+    fn speedup(&self) -> f64 {
+        self.reference.wall_s / self.fast.wall_s
+    }
+}
+
+/// Run a measurement twice and keep the best wall time (standard
+/// min-of-N to shed scheduler/allocator noise); the simulated side must
+/// be bit-identical across runs or the measurement itself is broken.
+fn best(f: impl Fn() -> Obs) -> Obs {
+    let a = f();
+    let b = f();
+    assert_eq!(a.events, b.events, "non-deterministic event count");
+    assert_eq!(a.fingerprint, b.fingerprint, "non-deterministic state");
+    Obs {
+        events: a.events,
+        wall_s: a.wall_s.min(b.wall_s),
+        fingerprint: a.fingerprint,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_eventloop.json".into());
+
+    let (idle_ms, reps, iters) = if quick { (40_000, 2, 120) } else { (120_000, 4, 300) };
+    let tickless = || {
+        let mut kc = KernelConfig::hpl();
+        kc.tickless_single_hpc = true;
+        kc
+    };
+
+    eprintln!("eventloop bench ({}): idle {idle_ms} ms, {reps} reps x {iters} iters",
+        if quick { "quick" } else { "full" });
+
+    let sweeps = [
+        Sweep {
+            name: "idle-daemons",
+            loop_bound: true,
+            fast: best(|| idle_run(true, false, idle_ms, 42)),
+            reference: best(|| idle_run(false, false, idle_ms, 42)),
+        },
+        Sweep {
+            name: "idle-quiet",
+            loop_bound: true,
+            fast: best(|| idle_run(true, true, idle_ms, 42)),
+            reference: best(|| idle_run(false, true, idle_ms, 42)),
+        },
+        Sweep {
+            name: "lwk-quiet",
+            loop_bound: false,
+            fast: best(|| job_run(tickless(), true, true, SchedMode::Hpc, true, reps, iters)),
+            reference: best(|| job_run(tickless(), true, true, SchedMode::Hpc, false, reps, iters)),
+        },
+        Sweep {
+            name: "hpl-tickless",
+            loop_bound: false,
+            fast: best(|| job_run(tickless(), true, false, SchedMode::Hpc, true, reps, iters)),
+            reference: best(|| job_run(tickless(), true, false, SchedMode::Hpc, false, reps, iters)),
+        },
+        Sweep {
+            name: "std-cfs-busy",
+            loop_bound: false,
+            fast: best(|| {
+                job_run(KernelConfig::default(), false, false, SchedMode::Cfs, true, reps, iters)
+            }),
+            reference: best(|| {
+                job_run(KernelConfig::default(), false, false, SchedMode::Cfs, false, reps, iters)
+            }),
+        },
+    ];
+
+    let mut ok = true;
+    for s in &sweeps {
+        if s.fast.fingerprint != s.reference.fingerprint || s.fast.events != s.reference.events {
+            eprintln!(
+                "FAIL {}: fast path diverged (events {} vs {}, fp {:016x} vs {:016x})",
+                s.name, s.fast.events, s.reference.events, s.fast.fingerprint, s.reference.fingerprint
+            );
+            ok = false;
+        }
+        eprintln!(
+            "{:>14}: {:>12} events | fast {:>8.3}s ({:>11.0} ev/s) | ref {:>8.3}s ({:>11.0} ev/s) | speedup {:.2}x",
+            s.name,
+            s.fast.events,
+            s.fast.wall_s,
+            s.fast.events as f64 / s.fast.wall_s,
+            s.reference.wall_s,
+            s.reference.events as f64 / s.reference.wall_s,
+            s.speedup()
+        );
+    }
+    let geomean = |pick: &dyn Fn(&Sweep) -> bool| {
+        let picked: Vec<f64> = sweeps
+            .iter()
+            .filter(|s| pick(s))
+            .map(|s| s.speedup().ln())
+            .collect();
+        (picked.iter().sum::<f64>() / picked.len() as f64).exp()
+    };
+    // Headline: the loop-bound sweeps, where events/sec measures the
+    // event loop itself. The busy sweeps spend their wall time in
+    // dispatch work identical on both paths; they guard regressions.
+    let headline = geomean(&|s: &Sweep| s.loop_bound);
+    let overall = geomean(&|_| true);
+    eprintln!(
+        "loop-bound speedup: {headline:.2}x | all-sweep geomean: {overall:.2}x | identical results: {ok}"
+    );
+
+    let mut json = String::from("{\n  \"bench\": \"eventloop\",\n");
+    json.push_str(&format!("  \"quick\": {quick},\n"));
+    json.push_str(&format!("  \"identical_results\": {ok},\n"));
+    json.push_str(&format!("  \"loop_bound_speedup\": {headline:.4},\n"));
+    json.push_str(&format!("  \"geomean_speedup_all\": {overall:.4},\n"));
+    json.push_str("  \"sweeps\": [\n");
+    for (i, s) in sweeps.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"loop_bound\": {}, \"events\": {}, \"fast_wall_s\": {:.6}, \"ref_wall_s\": {:.6}, \"fast_events_per_s\": {:.0}, \"ref_events_per_s\": {:.0}, \"speedup\": {:.4}}}{}\n",
+            s.name,
+            s.loop_bound,
+            s.fast.events,
+            s.fast.wall_s,
+            s.reference.wall_s,
+            s.fast.events as f64 / s.fast.wall_s,
+            s.reference.events as f64 / s.reference.wall_s,
+            s.speedup(),
+            if i + 1 < sweeps.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out, json).expect("write bench json");
+    eprintln!("wrote {out}");
+    if !ok {
+        std::process::exit(1);
+    }
+}

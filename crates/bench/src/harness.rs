@@ -9,7 +9,6 @@
 //! independent, so they parallelise over host threads with results
 //! identical to a serial run.
 
-use hpl_core::hpl_node_builder;
 use hpl_kernel::noise::NoiseProfile;
 use hpl_kernel::{KernelConfig, Node, NodeBuilder};
 use hpl_mpi::{launch, JobSpec, SchedMode};
@@ -91,6 +90,10 @@ pub struct RunConfig {
     pub topo: Topology,
     /// Settle time before the measurement window opens.
     pub warmup: SimDuration,
+    /// Event-loop fast path (timer wheel + quiescence fast-forward).
+    /// On by default; regression tests flip it off to prove the fast
+    /// and reference paths produce byte-identical records.
+    pub fast_event_loop: bool,
 }
 
 impl RunConfig {
@@ -106,6 +109,7 @@ impl RunConfig {
             base_seed: 0x5EED,
             topo: Topology::power6_js22(),
             warmup: SimDuration::from_millis(400),
+            fast_event_loop: true,
         }
     }
 
@@ -126,37 +130,35 @@ impl RunConfig {
         self.noise = noise;
         self
     }
+
+    /// Toggle the event-loop fast path (reference path when `false`).
+    pub fn with_fast_event_loop(mut self, fast: bool) -> Self {
+        self.fast_event_loop = fast;
+        self
+    }
 }
 
 fn build_node(cfg: &RunConfig, seed: u64) -> Node {
     let noise = cfg.noise.profile(cfg.topo.total_cpus());
-    match cfg.scheduler {
-        Scheduler::StandardLinux => NodeBuilder::new(cfg.topo.clone())
-            .config(KernelConfig::default())
-            .noise(noise)
-            .seed(seed)
-            .build(),
-        Scheduler::Hpl => hpl_node_builder(cfg.topo.clone())
-            .noise(noise)
-            .seed(seed)
-            .build(),
-        Scheduler::HplBalanceOn => NodeBuilder::new(cfg.topo.clone())
-            .config(KernelConfig::default())
-            .hpc_class(Box::new(hpl_core::HplClass::new()))
-            .noise(noise)
-            .seed(seed)
-            .build(),
+    let (mut kc, hpc_class) = match cfg.scheduler {
+        Scheduler::StandardLinux => (KernelConfig::default(), false),
+        Scheduler::Hpl => (KernelConfig::hpl(), true),
+        Scheduler::HplBalanceOn => (KernelConfig::default(), true),
         Scheduler::HplTickless | Scheduler::Lwk => {
             let mut kc = KernelConfig::hpl();
             kc.tickless_single_hpc = true;
-            NodeBuilder::new(cfg.topo.clone())
-                .config(kc)
-                .hpc_class(Box::new(hpl_core::HplClass::new()))
-                .noise(noise)
-                .seed(seed)
-                .build()
+            (kc, true)
         }
+    };
+    kc.fast_event_loop = cfg.fast_event_loop;
+    let mut builder = NodeBuilder::new(cfg.topo.clone())
+        .config(kc)
+        .noise(noise)
+        .seed(seed);
+    if hpc_class {
+        builder = builder.hpc_class(Box::new(hpl_core::HplClass::new()));
     }
+    builder.build()
 }
 
 /// Upper bound on events per repetition (hang guard): generous multiple
@@ -253,6 +255,25 @@ mod tests {
         let serial: Vec<_> = (0..4).map(|i| run_once(&cfg, i)).collect();
         let parallel = run_many(&cfg);
         assert_eq!(parallel.records(), &serial[..]);
+    }
+
+    #[test]
+    fn fast_event_loop_matches_reference_tables() {
+        // Whole-harness differential: with the fast path disabled the
+        // run table must be byte-identical, scheduler by scheduler.
+        for (s, mode) in [
+            (Scheduler::StandardLinux, SchedMode::Cfs),
+            (Scheduler::Hpl, SchedMode::Hpc),
+            (Scheduler::HplTickless, SchedMode::Hpc),
+        ] {
+            let fast = run_many(&tiny_cfg(s, mode));
+            let reference = run_many(&tiny_cfg(s, mode).with_fast_event_loop(false));
+            assert_eq!(
+                fast.records(),
+                reference.records(),
+                "{s:?}: fast event loop changed the run table"
+            );
+        }
     }
 
     #[test]

@@ -109,6 +109,15 @@ impl SchedClass for HplClass {
         false
     }
 
+    fn tick_skippable(&self, cpu: CpuId, _task: &Task) -> bool {
+        // With an empty runqueue the tick can only refresh the lone
+        // rank's timeslice — never request preemption — and the slice is
+        // refreshed again on enqueue/put_prev anyway. This is the steady
+        // state HPL is designed to reach (one rank per hardware thread),
+        // so under `tickless_single_hpc` the node may batch these ticks.
+        self.rqs[cpu.index()].is_empty()
+    }
+
     fn wakeup_preempt(
         &self,
         _cpu: CpuId,
@@ -352,11 +361,25 @@ mod tests {
         hpl.enqueue(CpuId(2), tt.get_mut(a), &ctx, false);
         let mut snap = snapshot(8);
         snap.nr_running[2] = 1;
-        assert!(hpl.idle_balance(CpuId(0), &ctx, &snap, &tt).is_empty());
-        assert!(hpl
-            .periodic_balance(CpuId(0), 0, &ctx, &snap, &tt)
-            .is_empty());
-        assert!(hpl.push_overload(CpuId(2), &ctx, &snap, &tt).is_empty());
+        let mut plans = Vec::new();
+        hpl.idle_balance(CpuId(0), &ctx, &snap, &tt, &mut plans);
+        hpl.periodic_balance(CpuId(0), 0, &ctx, &snap, &tt, &mut plans);
+        hpl.push_overload(CpuId(2), &ctx, &snap, &tt, &mut plans);
+        assert!(plans.is_empty());
+    }
+
+    #[test]
+    fn tick_skippable_iff_alone() {
+        let fx = Fixture::new();
+        let mut hpl = HplClass::new();
+        hpl.init(8);
+        let mut tt = TaskTable::new();
+        let a = hpc_task(&mut tt, "a");
+        let b = hpc_task(&mut tt, "b");
+        let ctx = fx.ctx();
+        assert!(hpl.tick_skippable(CpuId(0), tt.get(a)));
+        hpl.enqueue(CpuId(0), tt.get_mut(b), &ctx, false);
+        assert!(!hpl.tick_skippable(CpuId(0), tt.get(a)));
     }
 
     #[test]

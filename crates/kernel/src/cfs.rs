@@ -54,6 +54,9 @@ impl CfsRq {
 #[derive(Debug, Default)]
 pub struct CfsClass {
     rqs: Vec<CfsRq>,
+    /// Reused candidate buffer for `idle_balance` (new-idle fires on every
+    /// transition to idle; allocating a Vec per call shows up in profiles).
+    idle_scratch: Vec<CpuId>,
 }
 
 impl CfsClass {
@@ -115,7 +118,8 @@ impl CfsClass {
         ctx: &SchedCtx<'_>,
         snap: &LoadSnapshot,
         tasks: &TaskTable,
-    ) -> Vec<MigrationPlan> {
+        plans: &mut Vec<MigrationPlan>,
+    ) {
         let core_active = |c: CpuId| -> u32 {
             ctx.topo
                 .smt_siblings(c)
@@ -125,7 +129,7 @@ impl CfsClass {
         };
         // Only a CPU on a completely idle core relieves others.
         if core_active(cpu) != 0 {
-            return Vec::new();
+            return;
         }
         for victim_cpu in domain.span.iter() {
             if ctx.topo.core_of(victim_cpu) == ctx.topo.core_of(cpu) {
@@ -140,9 +144,9 @@ impl CfsClass {
             else {
                 continue;
             };
-            return vec![MigrationPlan::active(pid, victim_cpu, cpu)];
+            plans.push(MigrationPlan::active(pid, victim_cpu, cpu));
+            return;
         }
-        Vec::new()
     }
 
     /// The running task on `victim_cpu` if it is migratable: allowed on
@@ -395,10 +399,11 @@ impl SchedClass for CfsClass {
         ctx: &SchedCtx<'_>,
         snap: &LoadSnapshot,
         tasks: &TaskTable,
-    ) -> Vec<MigrationPlan> {
+        plans: &mut Vec<MigrationPlan>,
+    ) {
         let chain = ctx.domains.chain(cpu);
         let Some(domain) = chain.get(level_idx) else {
-            return Vec::new();
+            return;
         };
         let local = self.active_on(cpu, snap);
         // Find the busiest CPU in the domain span with something to steal.
@@ -413,7 +418,7 @@ impl SchedClass for CfsClass {
             }
         }
         let Some((victim_cpu, victim_load)) = busiest else {
-            return self.active_balance(cpu, domain, ctx, snap, tasks);
+            return self.active_balance(cpu, domain, ctx, snap, tasks, plans);
         };
         // Move one task whenever the victim is strictly busier — the
         // fair.c small-imbalance behaviour (imbalance_pct 125: 2 tasks vs
@@ -421,15 +426,12 @@ impl SchedClass for CfsClass {
         // to Linux's eagerness, ping-pong included: the paper's point is
         // precisely that this eagerness moves HPC ranks around.
         if victim_load < local + 1 {
-            return self.active_balance(cpu, domain, ctx, snap, tasks);
+            return self.active_balance(cpu, domain, ctx, snap, tasks, plans);
         }
-        match self.steal_candidate(victim_cpu, cpu, ctx, tasks) {
-            Some(pid) => vec![MigrationPlan::pull(pid, victim_cpu, cpu)],
-            None => Vec::new(),
+        if let Some(pid) = self.steal_candidate(victim_cpu, cpu, ctx, tasks) {
+            plans.push(MigrationPlan::pull(pid, victim_cpu, cpu));
         }
     }
-
-
 
     fn idle_balance(
         &mut self,
@@ -437,25 +439,31 @@ impl SchedClass for CfsClass {
         ctx: &SchedCtx<'_>,
         snap: &LoadSnapshot,
         tasks: &TaskTable,
-    ) -> Vec<MigrationPlan> {
+        plans: &mut Vec<MigrationPlan>,
+    ) {
         // newidle: walk domains inner→outer, pull one task from the first
         // CPU found with more than one active task.
+        let mut candidates = std::mem::take(&mut self.idle_scratch);
         for domain in ctx.domains.chain(cpu) {
-            let mut candidates: Vec<CpuId> = domain
-                .span
-                .iter()
-                .filter(|&c| c != cpu)
-                .filter(|&c| self.active_on(c, snap) >= 2 && self.nr_queued(c) >= 1)
-                .collect();
+            candidates.clear();
+            candidates.extend(
+                domain
+                    .span
+                    .iter()
+                    .filter(|&c| c != cpu)
+                    .filter(|&c| self.active_on(c, snap) >= 2 && self.nr_queued(c) >= 1),
+            );
             // Deterministic order: busiest first, then id.
             candidates.sort_by_key(|&c| (std::cmp::Reverse(self.active_on(c, snap)), c.0));
-            for victim_cpu in candidates {
+            for &victim_cpu in &candidates {
                 if let Some(pid) = self.steal_candidate(victim_cpu, cpu, ctx, tasks) {
-                    return vec![MigrationPlan::pull(pid, victim_cpu, cpu)];
+                    plans.push(MigrationPlan::pull(pid, victim_cpu, cpu));
+                    self.idle_scratch = candidates;
+                    return;
                 }
             }
         }
-        Vec::new()
+        self.idle_scratch = candidates;
     }
 }
 
@@ -500,11 +508,32 @@ mod tests {
     }
 
     fn snapshot(n: usize) -> LoadSnapshot {
-        LoadSnapshot {
-            nr_running: vec![0; n],
-            curr_kind: vec![None; n],
-            curr_rt_prio: vec![0; n],
-        }
+        LoadSnapshot::empty(n)
+    }
+
+    fn idle_plans(
+        cfs: &mut CfsClass,
+        cpu: CpuId,
+        ctx: &SchedCtx<'_>,
+        snap: &LoadSnapshot,
+        tt: &TaskTable,
+    ) -> Vec<MigrationPlan> {
+        let mut plans = Vec::new();
+        cfs.idle_balance(cpu, ctx, snap, tt, &mut plans);
+        plans
+    }
+
+    fn periodic_plans(
+        cfs: &mut CfsClass,
+        cpu: CpuId,
+        level: usize,
+        ctx: &SchedCtx<'_>,
+        snap: &LoadSnapshot,
+        tt: &TaskTable,
+    ) -> Vec<MigrationPlan> {
+        let mut plans = Vec::new();
+        cfs.periodic_balance(cpu, level, ctx, snap, tt, &mut plans);
+        plans
     }
 
     #[test]
@@ -736,7 +765,7 @@ mod tests {
         snap.curr_kind[4] = Some(ClassKind::Fair);
         snap.nr_running[4] = 2;
         let _ = running;
-        let plans = cfs.idle_balance(CpuId(0), &ctx, &snap, &tt);
+        let plans = idle_plans(&mut cfs, CpuId(0), &ctx, &snap, &tt);
         assert_eq!(plans, vec![MigrationPlan::pull(queued, CpuId(4), CpuId(0))]);
     }
 
@@ -751,7 +780,7 @@ mod tests {
         snap.curr_kind = vec![Some(ClassKind::Fair); 8];
         snap.nr_running = vec![1; 8];
         let ctx = fx.ctx();
-        assert!(cfs.idle_balance(CpuId(2), &ctx, &snap, &tt).is_empty());
+        assert!(idle_plans(&mut cfs, CpuId(2), &ctx, &snap, &tt).is_empty());
     }
 
     #[test]
@@ -767,19 +796,19 @@ mod tests {
         let mut snap = snapshot(8);
         snap.curr_kind[1] = Some(ClassKind::Fair);
         // cpu1 active=2 (1 running + 1 queued), cpu0 active=0 → steal.
-        let plans = cfs.periodic_balance(CpuId(0), 0, &ctx, &snap, &tt);
+        let plans = periodic_plans(&mut cfs, CpuId(0), 0, &ctx, &snap, &tt);
         assert_eq!(plans.len(), 1);
         assert_eq!(plans[0].from, CpuId(1));
         // cpu0 also busy with one: 2-vs-1 still steals (fair.c small
         // imbalance behaviour).
         snap.curr_kind[0] = Some(ClassKind::Fair);
-        let plans = cfs.periodic_balance(CpuId(0), 0, &ctx, &snap, &tt);
+        let plans = periodic_plans(&mut cfs, CpuId(0), 0, &ctx, &snap, &tt);
         assert_eq!(plans.len(), 1);
         // Equal load: no move.
         snap.nr_running[0] = 2;
         let q0 = mk_task(&mut tt, "q0", 0);
         cfs.enqueue(CpuId(0), tt.get_mut(q0), &ctx, false);
-        let plans = cfs.periodic_balance(CpuId(0), 0, &ctx, &snap, &tt);
+        let plans = periodic_plans(&mut cfs, CpuId(0), 0, &ctx, &snap, &tt);
         assert!(plans.is_empty());
     }
 
@@ -804,7 +833,7 @@ mod tests {
         snap.nr_running[1] = 1;
         let ctx = fx.ctx();
         // cpu4 balances at the package level (level 2 on the js22).
-        let plans = cfs.periodic_balance(CpuId(4), 2, &ctx, &snap, &tt);
+        let plans = periodic_plans(&mut cfs, CpuId(4), 2, &ctx, &snap, &tt);
         assert_eq!(plans.len(), 1, "active balance fires");
         assert!(plans[0].active);
         assert_eq!(plans[0].to, CpuId(4));
@@ -834,7 +863,7 @@ mod tests {
         snap.curr_kind[4] = Some(ClassKind::Fair);
         snap.nr_running[4] = 1;
         let ctx = fx.ctx();
-        let plans = cfs.periodic_balance(CpuId(5), 2, &ctx, &snap, &tt);
+        let plans = periodic_plans(&mut cfs, CpuId(5), 2, &ctx, &snap, &tt);
         assert!(plans.is_empty());
     }
 
@@ -859,7 +888,7 @@ mod tests {
         snap.nr_running[0] = 1;
         snap.nr_running[1] = 1;
         let ctx = fx.ctx();
-        assert!(cfs.periodic_balance(CpuId(4), 2, &ctx, &snap, &tt).is_empty());
+        assert!(periodic_plans(&mut cfs, CpuId(4), 2, &ctx, &snap, &tt).is_empty());
     }
 
     #[test]
@@ -878,6 +907,6 @@ mod tests {
         snap.curr_kind[4] = Some(ClassKind::Fair);
         snap.nr_running[4] = 2;
         // Task is pinned to cpu4: idle cpu0 cannot steal it.
-        assert!(cfs.idle_balance(CpuId(0), &ctx, &snap, &tt).is_empty());
+        assert!(idle_plans(&mut cfs, CpuId(0), &ctx, &snap, &tt).is_empty());
     }
 }

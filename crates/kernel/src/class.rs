@@ -53,8 +53,12 @@ pub struct SchedCtx<'a> {
     pub domains: &'a DomainHierarchy,
 }
 
-/// A cross-CPU snapshot the node computes before placement/balance hooks.
-#[derive(Debug, Clone)]
+/// A cross-CPU load view handed to placement/balance hooks.
+///
+/// The node maintains this *incrementally*: enqueue/dequeue/pick/put-prev
+/// adjust the counts in O(1) rather than rebuilding O(cpus × classes)
+/// vectors before every hook call (debug builds re-derive and compare).
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LoadSnapshot {
     /// Per-CPU count of active tasks (running + queued), all classes.
     pub nr_running: Vec<u32>,
@@ -65,6 +69,15 @@ pub struct LoadSnapshot {
 }
 
 impl LoadSnapshot {
+    /// An all-idle snapshot for `ncpus` CPUs.
+    pub fn empty(ncpus: usize) -> Self {
+        LoadSnapshot {
+            nr_running: vec![0; ncpus],
+            curr_kind: vec![None; ncpus],
+            curr_rt_prio: vec![0; ncpus],
+        }
+    }
+
     /// True iff `cpu` is running nothing.
     pub fn is_idle(&self, cpu: CpuId) -> bool {
         self.curr_kind[cpu.index()].is_none()
@@ -143,6 +156,18 @@ pub trait SchedClass {
     /// preempted (timeslice/fairness expiry).
     fn task_tick(&mut self, cpu: CpuId, task: &mut Task, ctx: &SchedCtx<'_>) -> bool;
 
+    /// True when [`task_tick`](Self::task_tick) is a provable no-op for
+    /// `task` running *alone* on `cpu` (nothing queued in any class): the
+    /// node may then batch such ticks arithmetically instead of
+    /// dispatching them. A class may only return true if, with an empty
+    /// runqueue on `cpu`, its tick hook never requests preemption and any
+    /// state it touches (e.g. a timeslice refresh) is re-derived on the
+    /// next enqueue/put_prev. Default: false (ticks always dispatched).
+    fn tick_skippable(&self, cpu: CpuId, task: &Task) -> bool {
+        let _ = (cpu, task);
+        false
+    }
+
     /// Should `woken` (same class) preempt `curr` right now?
     fn wakeup_preempt(
         &self,
@@ -182,7 +207,10 @@ pub trait SchedClass {
     }
 
     /// Periodic (tick-driven) balance at one domain level of `cpu`.
-    /// Returns proposed migrations. Default: none.
+    /// Proposed migrations are appended to `plans` — an out-parameter so
+    /// the node can reuse one buffer across every balance call instead of
+    /// allocating a fresh `Vec` per hook on the tick hot path. Default:
+    /// propose nothing.
     fn periodic_balance(
         &mut self,
         cpu: CpuId,
@@ -190,33 +218,35 @@ pub trait SchedClass {
         ctx: &SchedCtx<'_>,
         snap: &LoadSnapshot,
         tasks: &TaskTable,
-    ) -> Vec<MigrationPlan> {
-        let _ = (cpu, level_idx, ctx, snap, tasks);
-        Vec::new()
+        plans: &mut Vec<MigrationPlan>,
+    ) {
+        let _ = (cpu, level_idx, ctx, snap, tasks, plans);
     }
 
-    /// Balance attempt when `cpu` is about to go idle. Default: none.
+    /// Balance attempt when `cpu` is about to go idle, appending to
+    /// `plans`. Default: propose nothing.
     fn idle_balance(
         &mut self,
         cpu: CpuId,
         ctx: &SchedCtx<'_>,
         snap: &LoadSnapshot,
         tasks: &TaskTable,
-    ) -> Vec<MigrationPlan> {
-        let _ = (cpu, ctx, snap, tasks);
-        Vec::new()
+        plans: &mut Vec<MigrationPlan>,
+    ) {
+        let _ = (cpu, ctx, snap, tasks, plans);
     }
 
-    /// Push overloaded tasks away after an enqueue (RT push). Default: none.
+    /// Push overloaded tasks away after an enqueue (RT push), appending
+    /// to `plans`. Default: propose nothing.
     fn push_overload(
         &mut self,
         cpu: CpuId,
         ctx: &SchedCtx<'_>,
         snap: &LoadSnapshot,
         tasks: &TaskTable,
-    ) -> Vec<MigrationPlan> {
-        let _ = (cpu, ctx, snap, tasks);
-        Vec::new()
+        plans: &mut Vec<MigrationPlan>,
+    ) {
+        let _ = (cpu, ctx, snap, tasks, plans);
     }
 }
 

@@ -33,6 +33,14 @@ pub struct KernelConfig {
     /// HPC-class task, the tick handler cost is skipped (tickless
     /// operation). Off by default — the paper measures HPL *without* it.
     pub tickless_single_hpc: bool,
+    /// Event-loop fast path: route timer ticks through the event queue's
+    /// periodic slots (timer wheel) instead of re-scheduling them through
+    /// the binary heap, and batch provably inert ticks (idle CPU, tickless
+    /// lone-HPC CPU) arithmetically instead of dispatching them one by
+    /// one. Simulation *results* are identical either way — the reference
+    /// path exists so regression tests can prove it — but the fast path is
+    /// what makes 1000-run sweeps tractable.
+    pub fast_event_loop: bool,
 
     // ---- CFS ---------------------------------------------------------
     /// `sysctl_sched_latency` after the `1+log2(ncpus)` scaling Linux
@@ -101,6 +109,7 @@ impl Default for KernelConfig {
             tick_period: SimDuration::from_millis(1),
             tick_cost: SimDuration::from_micros(3),
             tickless_single_hpc: false,
+            fast_event_loop: true,
 
             sched_latency: SimDuration::from_millis(24),
             min_granularity: SimDuration::from_millis(3),

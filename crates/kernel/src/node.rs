@@ -44,7 +44,9 @@ enum MoveReason {
     Affinity,
 }
 
-#[derive(Debug)]
+// `Clone` because periodic timer-wheel slots re-arm by cloning their
+// payload on every pop (all variants are tiny Copy-able data).
+#[derive(Debug, Clone)]
 enum Ev {
     Tick(CpuId),
     SegDone { cpu: CpuId, gen: u64 },
@@ -153,15 +155,32 @@ impl NodeBuilder {
             advancing: Vec::new(),
             trace: None,
             irq: self.noise.irq.clone(),
+            load: LoadSnapshot::empty(ncpus),
+            plan_buf: Vec::new(),
+            tick_slots: Vec::new(),
+            ff_horizons: vec![SimTime::ZERO; ncpus],
+            ff_fired: vec![0; ncpus],
+            ff_trace: Vec::new(),
+            events: 0,
         };
-        // Stagger per-CPU ticks across the tick period.
+        // Stagger per-CPU ticks across the tick period. The fast path
+        // routes them through the queue's periodic timer-wheel slots;
+        // the reference path schedules plain events that the tick
+        // handler re-arms. Both allocate sequence numbers in the same
+        // order, so the two paths produce identical event streams.
         let period = node.cfg.tick_period;
         for c in 0..ncpus as u32 {
             let offset = SimDuration::from_nanos(
                 period.as_nanos() * (c as u64) / ncpus as u64,
             );
-            node.queue
-                .schedule(SimTime::ZERO + period + offset, Ev::Tick(CpuId(c)));
+            let first = SimTime::ZERO + period + offset;
+            if node.cfg.fast_event_loop {
+                let id = node.queue.schedule_periodic(first, period, Ev::Tick(CpuId(c)));
+                debug_assert_eq!(id.index(), c as usize);
+                node.tick_slots.push(id);
+            } else {
+                node.queue.schedule(first, Ev::Tick(CpuId(c)));
+            }
         }
         // Boot the daemon population.
         let all = node.topo.all_cpus();
@@ -243,6 +262,20 @@ pub struct Node {
     advancing: Vec<Pid>,
     trace: Option<TraceBuffer>,
     irq: Option<crate::noise::IrqSpec>,
+    /// Incrementally maintained cross-CPU load view handed to class
+    /// hooks (debug builds re-derive and compare in `drain`).
+    load: LoadSnapshot,
+    /// Reused buffer for balance-hook migration plans.
+    plan_buf: Vec<MigrationPlan>,
+    /// Timer-wheel slot per CPU (`fast_event_loop` only; slot i == cpu i).
+    tick_slots: Vec<hpl_sim::PeriodicId>,
+    /// Scratch for `fast_forward` (per-slot horizons / fire counts /
+    /// firing trace for all-idle balance replay).
+    ff_horizons: Vec<SimTime>,
+    ff_fired: Vec<u64>,
+    ff_trace: Vec<(usize, SimTime)>,
+    /// Events processed (dispatched + batch-fired ticks).
+    events: u64,
 }
 
 impl Node {
@@ -315,13 +348,13 @@ impl Node {
         }
     }
 
-    fn snapshot(&self) -> LoadSnapshot {
+    /// Rebuild the load view from scratch (O(cpus × classes)). The hot
+    /// path maintains `self.load` incrementally instead; this is the
+    /// ground truth that debug builds check it against.
+    #[cfg(debug_assertions)]
+    fn snapshot_rebuild(&self) -> LoadSnapshot {
         let n = self.cpus.len();
-        let mut snap = LoadSnapshot {
-            nr_running: vec![0; n],
-            curr_kind: vec![None; n],
-            curr_rt_prio: vec![0; n],
-        };
+        let mut snap = LoadSnapshot::empty(n);
         for i in 0..n {
             let cpu = CpuId(i as u32);
             let mut count = 0;
@@ -337,6 +370,39 @@ impl Node {
             snap.nr_running[i] = count;
         }
         snap
+    }
+
+    #[cfg(debug_assertions)]
+    fn assert_load_consistent(&self) {
+        debug_assert_eq!(
+            self.load,
+            self.snapshot_rebuild(),
+            "incremental LoadSnapshot diverged from rebuild"
+        );
+    }
+
+    /// Install `new` as the CPU's current task, keeping the incremental
+    /// load view in sync (the curr slot contributes one to `nr_running`
+    /// and defines `curr_kind`/`curr_rt_prio`). Every assignment to
+    /// `cpus[_].curr` after boot must go through here.
+    fn set_curr(&mut self, cpu: CpuId, new: Option<Pid>) {
+        let idx = cpu.index();
+        if self.cpus[idx].curr.is_some() {
+            self.load.nr_running[idx] -= 1;
+        }
+        self.cpus[idx].curr = new;
+        match new {
+            Some(pid) => {
+                self.load.nr_running[idx] += 1;
+                let t = self.tasks.get(pid);
+                self.load.curr_kind[idx] = Some(class_of_policy(t.policy));
+                self.load.curr_rt_prio[idx] = t.policy.rt_prio().unwrap_or(0);
+            }
+            None => {
+                self.load.curr_kind[idx] = None;
+                self.load.curr_rt_prio[idx] = 0;
+            }
+        }
     }
 
     // ---------------------------------------------------------------
@@ -511,6 +577,7 @@ impl Node {
         );
         let ctx = Self::sched_ctx(cfg, topo, domains, now);
         classes[ci].enqueue(cpu, tasks.get_mut(pid), &ctx, wakeup);
+        self.load.nr_running[cpu.index()] += 1;
     }
 
     fn dequeue_task(&mut self, cpu: CpuId, pid: Pid) {
@@ -525,6 +592,7 @@ impl Node {
         );
         let ctx = Self::sched_ctx(cfg, topo, domains, now);
         classes[ci].dequeue(cpu, tasks.get_mut(pid), &ctx);
+        self.load.nr_running[cpu.index()] -= 1;
     }
 
     /// Preemption check after `woken` was enqueued on `cpu`.
@@ -563,18 +631,18 @@ impl Node {
             t.state = TaskState::Runnable;
             t.last_wakeup = now;
         }
-        let snap = self.snapshot();
         let ci = self.class_idx(self.tasks.get(pid));
         let target = {
-            let (classes, tasks, cfg, topo, domains) = (
+            let (classes, tasks, cfg, topo, domains, load) = (
                 &mut self.classes,
                 &self.tasks,
                 &self.cfg,
                 &self.topo,
                 &self.domains,
+                &self.load,
             );
             let ctx = Self::sched_ctx(cfg, topo, domains, now);
-            classes[ci].select_cpu_wakeup(tasks.get(pid), &ctx, &snap, tasks)
+            classes[ci].select_cpu_wakeup(tasks.get(pid), &ctx, load, tasks)
         };
         if std::env::var_os("HPL_TRACE_WAKE").is_some() {
             eprintln!(
@@ -584,7 +652,7 @@ impl Node {
                 self.tasks.get(pid).name,
                 self.tasks.get(pid).cpu.0,
                 target.0,
-                snap.nr_running
+                self.load.nr_running
             );
         }
         self.counters.add_sw(target, SwEvent::Wakeups, 1);
@@ -598,26 +666,30 @@ impl Node {
         if self.cfg.balance == BalanceMode::Full
             && self.classes[ci].kind() == ClassKind::RealTime
         {
-            let snap = self.snapshot();
-            let plans = {
-                let (classes, tasks, cfg, topo, domains) = (
+            let mut plans = std::mem::take(&mut self.plan_buf);
+            plans.clear();
+            {
+                let (classes, tasks, cfg, topo, domains, load) = (
                     &mut self.classes,
                     &self.tasks,
                     &self.cfg,
                     &self.topo,
                     &self.domains,
+                    &self.load,
                 );
                 let ctx = Self::sched_ctx(cfg, topo, domains, now);
-                classes[ci].push_overload(target, &ctx, &snap, tasks)
-            };
-            self.apply_migrations(plans);
+                classes[ci].push_overload(target, &ctx, load, tasks, &mut plans);
+            }
+            self.apply_migrations(&plans);
+            plans.clear();
+            self.plan_buf = plans;
         }
     }
 
     /// Apply balance-produced migrations after validation.
-    fn apply_migrations(&mut self, plans: Vec<MigrationPlan>) -> u32 {
+    fn apply_migrations(&mut self, plans: &[MigrationPlan]) -> u32 {
         let mut applied = 0;
-        for plan in plans {
+        for &plan in plans {
             let t = self.tasks.get(plan.pid);
             let running_here = t.state == TaskState::Running
                 && self.cpus[plan.from.index()].curr == Some(plan.pid);
@@ -639,7 +711,7 @@ impl Node {
                 let t = self.tasks.get_mut(plan.pid);
                 t.state = TaskState::Runnable;
                 t.last_descheduled = now;
-                self.cpus[plan.from.index()].curr = None;
+                self.set_curr(plan.from, None);
                 self.counters
                     .add_sw(plan.from, SwEvent::ContextSwitches, 1);
                 self.counters
@@ -694,18 +766,18 @@ impl Node {
         }
         self.counters.add_sw(parent_cpu, SwEvent::Forks, 1);
         // Fork placement through the class's fork balancer.
-        let snap = self.snapshot();
         let ci = self.class_idx(self.tasks.get(pid));
         let target = {
-            let (classes, tasks, cfg, topo, domains) = (
+            let (classes, tasks, cfg, topo, domains, load) = (
                 &mut self.classes,
                 &self.tasks,
                 &self.cfg,
                 &self.topo,
                 &self.domains,
+                &self.load,
             );
             let ctx = Self::sched_ctx(cfg, topo, domains, now);
-            classes[ci].select_cpu_fork(tasks.get(pid), parent_cpu, &ctx, &snap, tasks)
+            classes[ci].select_cpu_fork(tasks.get(pid), parent_cpu, &ctx, load, tasks)
         };
         self.set_task_cpu(pid, target, MoveReason::Fork);
         self.enqueue_task(target, pid, false);
@@ -937,6 +1009,13 @@ impl Node {
                 self.tasks.get_mut(pid).set_policy(policy);
             }
         }
+        // If the task is some CPU's current, the load view's class/prio
+        // of that CPU just changed in place.
+        let cpu = self.tasks.get(pid).cpu;
+        if self.cpus[cpu.index()].curr == Some(pid) {
+            self.load.curr_kind[cpu.index()] = Some(class_of_policy(policy));
+            self.load.curr_rt_prio[cpu.index()] = policy.rt_prio().unwrap_or(0);
+        }
     }
 
     /// `sched_setaffinity`: restrict a task to a CPU mask.
@@ -965,7 +1044,7 @@ impl Node {
                 // this synchronously in Linux).
                 self.sync_cpu(cpu, self.now());
                 self.tasks.get_mut(pid).state = TaskState::Runnable;
-                self.cpus[cpu.index()].curr = None;
+                self.set_curr(cpu, None);
                 self.counters.add_sw(cpu, SwEvent::ContextSwitches, 1);
                 self.set_task_cpu(pid, dest, MoveReason::Affinity);
                 self.enqueue_task(dest, pid, false);
@@ -1010,40 +1089,47 @@ impl Node {
                 );
                 let ctx = Self::sched_ctx(cfg, topo, domains, now);
                 classes[ci].put_prev(cpu, tasks.get_mut(p), &ctx);
+                // put_prev re-inserted the (runnable) task into its
+                // class queue: the queue side of the load view grows.
+                self.load.nr_running[idx] += 1;
             }
         }
-        self.cpus[idx].curr = None;
+        self.set_curr(cpu, None);
 
         let mut picked = self.pick_from_classes(cpu);
         if picked.is_none() && self.cfg.balance == BalanceMode::Full {
             // New-idle balance: classes in priority order.
             self.counters.add_sw(cpu, SwEvent::LoadBalanceCalls, 1);
             self.cpus[idx].pending_overhead += self.cfg.balance_cost;
+            let mut plans = std::mem::take(&mut self.plan_buf);
             for ci in 0..self.classes.len() {
-                let snap = self.snapshot();
-                let plans = {
-                    let (classes, tasks, cfg, topo, domains) = (
+                plans.clear();
+                {
+                    let (classes, tasks, cfg, topo, domains, load) = (
                         &mut self.classes,
                         &self.tasks,
                         &self.cfg,
                         &self.topo,
                         &self.domains,
+                        &self.load,
                     );
                     let ctx = Self::sched_ctx(cfg, topo, domains, now);
-                    classes[ci].idle_balance(cpu, &ctx, &snap, tasks)
-                };
-                if self.apply_migrations(plans) > 0 {
+                    classes[ci].idle_balance(cpu, &ctx, load, tasks, &mut plans);
+                }
+                if self.apply_migrations(&plans) > 0 {
                     picked = self.pick_from_classes(cpu);
                     if picked.is_some() {
                         break;
                     }
                 }
             }
+            plans.clear();
+            self.plan_buf = plans;
         }
 
         if let Some(pid) = picked {
             self.tasks.get_mut(pid).state = TaskState::Running;
-            self.cpus[idx].curr = Some(pid);
+            self.set_curr(cpu, Some(pid));
         }
 
         let new = self.cpus[idx].curr;
@@ -1097,6 +1183,10 @@ impl Node {
     fn pick_from_classes(&mut self, cpu: CpuId) -> Option<Pid> {
         for c in self.classes.iter_mut() {
             if let Some(pid) = c.pick_next(cpu, &self.tasks) {
+                // pick_next removed the pid from its class queue; the
+                // caller re-adds it through set_curr when it installs
+                // the task as current.
+                self.load.nr_running[cpu.index()] -= 1;
                 return Some(pid);
             }
         }
@@ -1115,6 +1205,36 @@ impl Node {
                 self.schedule_completion(CpuId(idx as u32));
             }
         }
+        #[cfg(debug_assertions)]
+        self.assert_load_consistent();
+    }
+
+    /// Would this CPU's timer tick, fired at `now`, be a provable no-op
+    /// (beyond counting itself)? True for an idle CPU and — under
+    /// `tickless_single_hpc` — for a CPU whose lone HPC task's class
+    /// says the tick is skippable; in both cases only when no periodic
+    /// balance level is due, since balancing observes and mutates
+    /// cross-CPU state.
+    fn tick_is_quiescent(&self, cpu: CpuId, now: SimTime) -> bool {
+        if self.cfg.balance == BalanceMode::Full && self.balance_clock.any_due(cpu, now) {
+            return false;
+        }
+        // The incremental load view answers "is anything queued?" in
+        // O(1): `nr_running` counts the current task plus every queued
+        // task across classes (debug builds cross-check it in `drain`).
+        let idx = cpu.index();
+        match self.cpus[idx].curr {
+            // NOHZ idle: the tick only settles an idle clock.
+            None => self.load.nr_running[idx] == 0,
+            Some(pid) => {
+                if !self.cfg.tickless_single_hpc || self.load.nr_running[idx] != 1 {
+                    return false;
+                }
+                let t = self.tasks.get(pid);
+                t.policy == crate::task::Policy::Hpc
+                    && self.classes[self.class_idx(t)].tick_skippable(cpu, t)
+            }
+        }
     }
 
     // ---------------------------------------------------------------
@@ -1124,6 +1244,21 @@ impl Node {
     fn on_tick(&mut self, cpu: CpuId) {
         let now = self.now();
         let idx = cpu.index();
+
+        // Quiescent fast path: the tick is a provable no-op, so count it
+        // and return. An idle CPU's skipped sync_cpu is exact (its
+        // pending overhead is absorbed at the next sync-before-pick); a
+        // lone tickless-HPC task's accounting is settled in one lump at
+        // its next real event instead of per tick. Shared by both event
+        // paths so fast and reference runs stay byte-identical.
+        if self.tick_is_quiescent(cpu, now) {
+            self.counters.add_sw(cpu, SwEvent::TimerTicks, 1);
+            if !self.cfg.fast_event_loop {
+                self.queue.schedule(now + self.cfg.tick_period, Ev::Tick(cpu));
+            }
+            return;
+        }
+
         self.sync_cpu(cpu, now);
         self.counters.add_sw(cpu, SwEvent::TimerTicks, 1);
 
@@ -1176,29 +1311,38 @@ impl Node {
             let due = self
                 .balance_clock
                 .due_levels(cpu, now, &self.domains, busy);
+            let mut plans = std::mem::take(&mut self.plan_buf);
             for level in due {
                 self.counters.add_sw(cpu, SwEvent::LoadBalanceCalls, 1);
                 self.cpus[idx].pending_overhead += self.cfg.balance_cost;
                 for ci in 0..self.classes.len() {
-                    let snap = self.snapshot();
-                    let plans = {
-                        let (classes, tasks, cfg, topo, domains) = (
+                    plans.clear();
+                    {
+                        let (classes, tasks, cfg, topo, domains, load) = (
                             &mut self.classes,
                             &self.tasks,
                             &self.cfg,
                             &self.topo,
                             &self.domains,
+                            &self.load,
                         );
                         let ctx = Self::sched_ctx(cfg, topo, domains, now);
-                        classes[ci].periodic_balance(cpu, level, &ctx, &snap, tasks)
-                    };
-                    self.apply_migrations(plans);
+                        classes[ci].periodic_balance(cpu, level, &ctx, load, tasks, &mut plans);
+                    }
+                    self.apply_migrations(&plans);
                 }
             }
+            plans.clear();
+            self.plan_buf = plans;
         }
 
-        self.queue
-            .schedule(now + self.cfg.tick_period, Ev::Tick(cpu));
+        // Fast path: the periodic slot re-armed itself when this tick
+        // was popped (with the same sequence number this `schedule`
+        // would have drawn — the handler allocates no other events).
+        if !self.cfg.fast_event_loop {
+            self.queue
+                .schedule(now + self.cfg.tick_period, Ev::Tick(cpu));
+        }
     }
 
     fn on_seg_done(&mut self, cpu: CpuId, gen: u64) {
@@ -1274,18 +1418,156 @@ impl Node {
         let Some((_, _, ev)) = self.queue.pop() else {
             return false;
         };
+        self.events += 1;
         self.dispatch(ev);
         self.drain();
         true
     }
 
+    /// Total events processed so far (dispatched plus batch-fired
+    /// quiescent ticks). The perf-regression bench divides this by wall
+    /// time to get simulated events/second.
+    pub fn events_processed(&self) -> u64 {
+        self.events
+    }
+
+    /// Quiescence fast-forward: batch-fire timer ticks that
+    /// [`Self::tick_is_quiescent`] proves are no-ops, advancing their
+    /// wheel slots arithmetically instead of popping one event each.
+    ///
+    /// The batch window `[now, H)` is chosen so that it contains *no*
+    /// state-changing event: `H` stops at the next heap event, at any
+    /// non-quiescent CPU's next tick, and at `bound` (exclusive). Within
+    /// the window quiescence therefore cannot change, and each skipped
+    /// tick only counts itself and advances the clock — exactly what
+    /// dispatching it would have done.
+    ///
+    /// Balance deadlines get one of two treatments. When *every* CPU is
+    /// idle (no current task, nothing queued anywhere), a due periodic
+    /// balance provably moves nothing — there is no task to steal,
+    /// queued or running, so CFS finds no busiest queue and active
+    /// balance finds no victim — and its entire effect is a
+    /// `LoadBalanceCalls` bump plus a clock re-arm. Those are *replayed*
+    /// arithmetically per batched tick. Otherwise a quiescent CPU's next
+    /// due balance caps the horizon so the balance tick runs normally.
+    /// Returns the number of ticks batched.
+    fn fast_forward(&mut self, bound: Option<SimTime>) -> u64 {
+        if !self.cfg.fast_event_loop {
+            return 0;
+        }
+        // A pending reschedule/re-estimate (e.g. set_affinity called
+        // between runs) must be handled in event order by the next
+        // step()'s drain — batching ahead of it would reorder.
+        if self.resched.iter().any(|&r| r) || self.recomp.iter().any(|&r| r) {
+            return 0;
+        }
+        // Without tickless-HPC, only an empty CPU can be quiescent; a
+        // fully loaded node (every CPU running or queueing something)
+        // has nothing to batch. This is the hot bail-out while a job
+        // occupies the whole machine.
+        if !self.cfg.tickless_single_hpc && self.load.nr_running.iter().all(|&n| n > 0) {
+            return 0;
+        }
+        let mut horizon = match (self.queue.peek_heap_time(), bound) {
+            (Some(h), Some(b)) => h.min(b),
+            (Some(h), None) => h,
+            (None, Some(b)) => b,
+            // Only ticks left and no bound: let the caller's normal
+            // stepping (and its hang guard) take over.
+            (None, None) => return 0,
+        };
+        // Cheap bail-out: no tick precedes the horizon, so nothing can
+        // batch — skip the per-CPU quiescence scan entirely (the common
+        // case while the node is busy).
+        match self.queue.peek_periodic_time() {
+            Some(t) if t < horizon => {}
+            _ => return 0,
+        }
+        let now = self.now();
+        let all_idle = self.load.nr_running.iter().all(|&n| n == 0);
+        let replay_balance = self.cfg.balance == BalanceMode::Full && all_idle;
+        if !all_idle {
+            let balance_caps = self.cfg.balance == BalanceMode::Full;
+            let mut any_quiescent = false;
+            for i in 0..self.cpus.len() {
+                let cpu = CpuId(i as u32);
+                if self.tick_is_quiescent(cpu, now) {
+                    any_quiescent = true;
+                    if balance_caps {
+                        if let Some(d) = self.balance_clock.next_deadline(cpu) {
+                            horizon = horizon.min(d);
+                        }
+                    }
+                } else {
+                    horizon = horizon.min(self.queue.periodic_time(self.tick_slots[i]));
+                }
+            }
+            // Fully busy node: no tick can batch, skip the buffer setup.
+            if !any_quiescent {
+                return 0;
+            }
+        }
+        if horizon <= now {
+            return 0;
+        }
+        for h in self.ff_horizons.iter_mut() {
+            *h = horizon;
+        }
+        for f in self.ff_fired.iter_mut() {
+            *f = 0;
+        }
+        let mut fired = std::mem::take(&mut self.ff_fired);
+        let horizons = std::mem::take(&mut self.ff_horizons);
+        let total = if replay_balance {
+            let mut trace = std::mem::take(&mut self.ff_trace);
+            trace.clear();
+            let total = self
+                .queue
+                .advance_periodic_trace(&horizons, &mut fired, &mut trace);
+            // Replay each batched tick's balance pass: re-arm due levels
+            // and charge the call, exactly as `on_tick` would have, in
+            // the same global firing order. No migration plans can exist
+            // (the window is all-idle), and `pending_overhead` on an
+            // idle CPU is absorbed at its next sync anyway — the `+=`
+            // mirrors `on_tick`'s charge for strict parity.
+            let (clock, domains, counters, cpus, cost) = (
+                &mut self.balance_clock,
+                &self.domains,
+                &mut self.counters,
+                &mut self.cpus,
+                self.cfg.balance_cost,
+            );
+            for &(i, t) in trace.iter() {
+                let cpu = CpuId(i as u32);
+                clock.for_each_due(cpu, t, domains, false, |_| {
+                    counters.add_sw(cpu, SwEvent::LoadBalanceCalls, 1);
+                    cpus[i].pending_overhead += cost;
+                });
+            }
+            self.ff_trace = trace;
+            total
+        } else {
+            self.queue.advance_periodic(&horizons, &mut fired)
+        };
+        for (i, &n) in fired.iter().enumerate() {
+            if n > 0 {
+                self.counters.add_sw(CpuId(i as u32), SwEvent::TimerTicks, n);
+            }
+        }
+        self.ff_fired = fired;
+        self.ff_horizons = horizons;
+        self.events += total;
+        total
+    }
+
     /// Run until `deadline`.
     pub fn run_until_time(&mut self, deadline: SimTime) {
-        while self
-            .queue
-            .peek_time()
-            .is_some_and(|t| t <= deadline)
-        {
+        let bound = deadline + SimDuration::from_nanos(1);
+        loop {
+            self.fast_forward(Some(bound));
+            if self.queue.peek_time().is_none_or(|t| t > deadline) {
+                break;
+            }
             if !self.step() {
                 break;
             }
@@ -1298,11 +1580,12 @@ impl Node {
         self.run_until_time(deadline);
     }
 
-    /// Run until `pid` has exited. Panics after `max_events` events as a
-    /// hang guard.
+    /// Run until `pid` has exited. Panics after `max_events` dispatched
+    /// events as a hang guard (batched quiescent ticks do not count).
     pub fn run_until_exit(&mut self, pid: Pid, max_events: u64) {
         let mut budget = max_events;
         while self.tasks.get(pid).state != TaskState::Dead {
+            self.fast_forward(None);
             assert!(
                 self.step(),
                 "event queue drained before {pid} exited (deadlock?)"

@@ -264,30 +264,33 @@ impl SchedClass for RtClass {
         _ctx: &SchedCtx<'_>,
         _snap: &LoadSnapshot,
         tasks: &TaskTable,
-    ) -> Vec<MigrationPlan> {
+        plans: &mut Vec<MigrationPlan>,
+    ) {
         // pull_rt_task: a CPU dropping to non-RT work pulls the highest
-        // queued RT task from any overloaded CPU.
+        // queued RT task from any overloaded CPU. Walk each source's
+        // priority levels directly (top-down) instead of materialising a
+        // `queued_pids` Vec per CPU — this runs on every new-idle event.
         let mut best: Option<(u8, Pid, CpuId)> = None;
         for idx in 0..self.rqs.len() {
             let from = CpuId(idx as u32);
             if from == cpu {
                 continue;
             }
-            for pid in self.queued_pids(from) {
-                let t = tasks.get(pid);
-                if !t.can_run_on(cpu) {
-                    continue;
-                }
+            let rq = self.rq(from);
+            let head = (0..RT_PRIOS)
+                .rev()
+                .flat_map(|p| rq.queues[p].iter().copied())
+                .map(|pid| tasks.get(pid))
+                .find(|t| t.can_run_on(cpu));
+            if let Some(t) = head {
                 let prio = Self::prio_of(t);
                 if best.as_ref().is_none_or(|&(bp, _, _)| prio > bp) {
-                    best = Some((prio, pid, from));
+                    best = Some((prio, t.pid, from));
                 }
-                break; // queued_pids is priority-ordered: first is best here
             }
         }
-        match best {
-            Some((_, pid, from)) => vec![MigrationPlan::pull(pid, from, cpu)],
-            None => Vec::new(),
+        if let Some((_, pid, from)) = best {
+            plans.push(MigrationPlan::pull(pid, from, cpu));
         }
     }
 
@@ -297,7 +300,8 @@ impl SchedClass for RtClass {
         _ctx: &SchedCtx<'_>,
         snap: &LoadSnapshot,
         tasks: &TaskTable,
-    ) -> Vec<MigrationPlan> {
+        plans: &mut Vec<MigrationPlan>,
+    ) {
         // push_rt_task: only an *overloaded* runqueue pushes (Linux sets
         // the overload flag at rt_nr_running > 1). A single task queued
         // on a CPU that is not running RT work will simply start there at
@@ -306,9 +310,9 @@ impl SchedClass for RtClass {
         let busy_rt = snap.curr_kind[cpu.index()] == Some(ClassKind::RealTime);
         let queued = self.nr_queued(cpu);
         if queued == 0 || (queued == 1 && !busy_rt) {
-            return Vec::new();
+            return;
         }
-        let mut plans = Vec::new();
+        let start = plans.len();
         // Without a running RT task, the head waiter will run here; only
         // the tasks behind it are pushable.
         let skip = usize::from(!busy_rt);
@@ -324,13 +328,12 @@ impl SchedClass for RtClass {
                         None => snap.nr_running[c.index()] == 0,
                         _ => Self::beats_current(prio, c, snap),
                     };
-                    free_for_us && !plans.iter().any(|p: &MigrationPlan| p.to == c)
+                    free_for_us && !plans[start..].iter().any(|p| p.to == c)
                 });
             if let Some(to) = dest {
                 plans.push(MigrationPlan::pull(pid, cpu, to));
             }
         }
-        plans
     }
 }
 
@@ -376,11 +379,31 @@ mod tests {
     }
 
     fn snapshot(n: usize) -> LoadSnapshot {
-        LoadSnapshot {
-            nr_running: vec![0; n],
-            curr_kind: vec![None; n],
-            curr_rt_prio: vec![0; n],
-        }
+        LoadSnapshot::empty(n)
+    }
+
+    fn idle_plans(
+        rt: &mut RtClass,
+        cpu: CpuId,
+        ctx: &SchedCtx<'_>,
+        snap: &LoadSnapshot,
+        tt: &TaskTable,
+    ) -> Vec<MigrationPlan> {
+        let mut plans = Vec::new();
+        rt.idle_balance(cpu, ctx, snap, tt, &mut plans);
+        plans
+    }
+
+    fn push_plans(
+        rt: &mut RtClass,
+        cpu: CpuId,
+        ctx: &SchedCtx<'_>,
+        snap: &LoadSnapshot,
+        tt: &TaskTable,
+    ) -> Vec<MigrationPlan> {
+        let mut plans = Vec::new();
+        rt.push_overload(cpu, ctx, snap, tt, &mut plans);
+        plans
     }
 
     #[test]
@@ -530,7 +553,7 @@ mod tests {
         rt.enqueue(CpuId(2), tt.get_mut(lo), &ctx, true);
         rt.enqueue(CpuId(3), tt.get_mut(hi), &ctx, true);
         let snap = snapshot(8);
-        let plans = rt.idle_balance(CpuId(0), &ctx, &snap, &tt);
+        let plans = idle_plans(&mut rt, CpuId(0), &ctx, &snap, &tt);
         assert_eq!(plans, vec![MigrationPlan::pull(hi, CpuId(3), CpuId(0))]);
     }
 
@@ -558,7 +581,7 @@ mod tests {
             Some(ClassKind::RealTime),
         ];
         snap.curr_rt_prio = vec![60, 70, 0, 70, 70, 70, 70, 70];
-        let plans = rt.push_overload(CpuId(0), &ctx, &snap, &tt);
+        let plans = push_plans(&mut rt, CpuId(0), &ctx, &snap, &tt);
         assert_eq!(plans, vec![MigrationPlan::pull(w, CpuId(0), CpuId(2))]);
     }
 
@@ -574,7 +597,7 @@ mod tests {
         let mut snap = snapshot(8);
         snap.curr_kind = vec![Some(ClassKind::RealTime); 8];
         snap.curr_rt_prio = vec![99; 8];
-        assert!(rt.push_overload(CpuId(0), &ctx, &snap, &tt).is_empty());
+        assert!(push_plans(&mut rt, CpuId(0), &ctx, &snap, &tt).is_empty());
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //! stale pops. The kernel uses this for compute-completion events that are
 //! superseded whenever a task's execution speed changes.
 
-use crate::time::SimTime;
+use crate::time::{SimDuration, SimTime};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -23,6 +23,36 @@ pub struct EventId(u64);
 impl EventId {
     /// A sentinel id that no real event ever receives.
     pub const NONE: EventId = EventId(u64::MAX);
+}
+
+/// Handle to a periodic slot created by [`EventQueue::schedule_periodic`].
+///
+/// Slots are never removed, so the handle indexes a stable internal array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PeriodicId(usize);
+
+impl PeriodicId {
+    /// The slot's index (slots are numbered in creation order from 0).
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// A self-re-arming periodic event: the timer-wheel fast path.
+///
+/// One slot stands in for an infinite stream of heap entries. The pending
+/// occurrence is `(time, seq)`; when it pops, the slot re-arms in place at
+/// `time + period` with a freshly allocated `seq`. That allocation order is
+/// exactly what an explicit handler-side `schedule(now + period, ...)` as
+/// the handler's *last* seq allocation would produce, so converting such a
+/// self-re-arming event to a periodic slot preserves the queue's total
+/// `(time, seq)` order bit-for-bit.
+struct PeriodicSlot<E> {
+    time: SimTime,
+    seq: u64,
+    period: SimDuration,
+    payload: E,
 }
 
 struct Entry<E> {
@@ -69,6 +99,10 @@ impl<E> Ord for Entry<E> {
 /// ```
 pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
+    /// Timer wheel: always-armed periodic slots, merged with the heap on
+    /// pop by `(time, seq)`. A handful of slots (one per CPU) replaces the
+    /// endless schedule/pop churn of tick events through the heap.
+    periodic: Vec<PeriodicSlot<E>>,
     next_seq: u64,
     now: SimTime,
 }
@@ -84,6 +118,7 @@ impl<E> EventQueue<E> {
     pub fn new() -> Self {
         EventQueue {
             heap: BinaryHeap::new(),
+            periodic: Vec::new(),
             next_seq: 0,
             now: SimTime::ZERO,
         }
@@ -96,16 +131,17 @@ impl<E> EventQueue<E> {
         self.now
     }
 
-    /// Number of pending events.
+    /// Number of pending events. Each periodic slot always has exactly one
+    /// pending occurrence.
     #[inline]
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.heap.len() + self.periodic.len()
     }
 
     /// True iff no events are pending.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.heap.is_empty() && self.periodic.is_empty()
     }
 
     /// Schedule `payload` at absolute time `at`.
@@ -129,8 +165,88 @@ impl<E> EventQueue<E> {
         EventId(seq)
     }
 
+    /// Create a periodic slot firing first at `first`, then every `period`.
+    ///
+    /// The pending occurrence's seq is allocated here, exactly as
+    /// [`schedule`](Self::schedule) would; every subsequent occurrence
+    /// allocates its seq when the previous one pops. Slots live for the
+    /// queue's whole lifetime (ticks never stop).
+    pub fn schedule_periodic(
+        &mut self,
+        first: SimTime,
+        period: SimDuration,
+        payload: E,
+    ) -> PeriodicId {
+        debug_assert!(
+            first >= self.now,
+            "scheduling periodic event in the past: first={first} now={}",
+            self.now
+        );
+        debug_assert!(!period.is_zero(), "periodic event with zero period");
+        let first = first.max(self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.periodic.push(PeriodicSlot {
+            time: first,
+            seq,
+            period,
+            payload,
+        });
+        PeriodicId(self.periodic.len() - 1)
+    }
+
+    /// Index of the earliest periodic occurrence by `(time, seq)`.
+    fn best_periodic(&self) -> Option<usize> {
+        let mut best: Option<usize> = None;
+        for (i, s) in self.periodic.iter().enumerate() {
+            let better = match best {
+                None => true,
+                Some(b) => {
+                    let bb = &self.periodic[b];
+                    (s.time, s.seq) < (bb.time, bb.seq)
+                }
+            };
+            if better {
+                best = Some(i);
+            }
+        }
+        best
+    }
+
+    /// Pending occurrence time of a periodic slot.
+    #[inline]
+    pub fn periodic_time(&self, id: PeriodicId) -> SimTime {
+        self.periodic[id.0].time
+    }
+
     /// Pop the next event, advancing `now` to its timestamp.
-    pub fn pop(&mut self) -> Option<(SimTime, EventId, E)> {
+    ///
+    /// Merges the heap with the periodic slots under the same total
+    /// `(time, seq)` order. A popped periodic occurrence re-arms its slot
+    /// in place (see [`PeriodicSlot`] for why that preserves determinism).
+    pub fn pop(&mut self) -> Option<(SimTime, EventId, E)>
+    where
+        E: Clone,
+    {
+        let best = self.best_periodic();
+        let take_periodic = match (best, self.heap.peek()) {
+            (Some(i), Some(top)) => {
+                let s = &self.periodic[i];
+                (s.time, s.seq) < (top.time, top.seq)
+            }
+            (Some(_), None) => true,
+            (None, _) => false,
+        };
+        if take_periodic {
+            let slot = &mut self.periodic[best.expect("checked above")];
+            debug_assert!(slot.time >= self.now, "event queue went backwards");
+            self.now = slot.time;
+            let fired = (slot.time, EventId(slot.seq), slot.payload.clone());
+            slot.time += slot.period;
+            slot.seq = self.next_seq;
+            self.next_seq += 1;
+            return Some(fired);
+        }
         let entry = self.heap.pop()?;
         debug_assert!(entry.time >= self.now, "event queue went backwards");
         self.now = entry.time;
@@ -139,12 +255,104 @@ impl<E> EventQueue<E> {
 
     /// Timestamp of the next pending event, if any.
     pub fn peek_time(&self) -> Option<SimTime> {
+        let heap_t = self.heap.peek().map(|e| e.time);
+        let per_t = self.periodic.iter().map(|s| s.time).min();
+        match (heap_t, per_t) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (t, None) | (None, t) => t,
+        }
+    }
+
+    /// Timestamp of the next pending *heap* event, ignoring periodic
+    /// slots. Fast-forward uses this as a batching horizon: everything in
+    /// the heap is a real state change, while periodic occurrences below
+    /// this time may be provably inert.
+    pub fn peek_heap_time(&self) -> Option<SimTime> {
         self.heap.peek().map(|e| e.time)
+    }
+
+    /// Earliest pending periodic occurrence, ignoring the heap. Lets
+    /// fast-forward bail out cheaply when no tick precedes the next real
+    /// event.
+    pub fn peek_periodic_time(&self) -> Option<SimTime> {
+        self.periodic.iter().map(|s| s.time).min()
+    }
+
+    /// Batch-fire periodic occurrences without popping them one by one.
+    ///
+    /// Slot `i` fires (and re-arms) while its pending time is strictly
+    /// below `horizons[i]`; firings are processed in global `(time, seq)`
+    /// order across slots so seq allocation matches what sequential
+    /// [`pop`](Self::pop) calls would have produced. `fired[i]` is
+    /// incremented per firing of slot `i`; the total is returned.
+    ///
+    /// `now` advances to each fired occurrence's timestamp, exactly as a
+    /// sequence of pops would have moved it — so a caller that reads
+    /// `now()` after a batch sees the same clock as the unbatched run.
+    pub fn advance_periodic(&mut self, horizons: &[SimTime], fired: &mut [u64]) -> u64 {
+        self.advance_periodic_impl(horizons, fired, None)
+    }
+
+    /// [`advance_periodic`](Self::advance_periodic), additionally
+    /// appending each firing as `(slot index, fire time)` to `trace` in
+    /// the global firing order. Lets a caller replay per-occurrence side
+    /// effects (e.g. re-arming balance clocks) after the batch.
+    pub fn advance_periodic_trace(
+        &mut self,
+        horizons: &[SimTime],
+        fired: &mut [u64],
+        trace: &mut Vec<(usize, SimTime)>,
+    ) -> u64 {
+        self.advance_periodic_impl(horizons, fired, Some(trace))
+    }
+
+    fn advance_periodic_impl(
+        &mut self,
+        horizons: &[SimTime],
+        fired: &mut [u64],
+        mut trace: Option<&mut Vec<(usize, SimTime)>>,
+    ) -> u64 {
+        debug_assert_eq!(horizons.len(), self.periodic.len());
+        debug_assert_eq!(fired.len(), self.periodic.len());
+        let mut total = 0u64;
+        loop {
+            let mut best: Option<usize> = None;
+            for (i, s) in self.periodic.iter().enumerate() {
+                if s.time >= horizons[i] {
+                    continue;
+                }
+                let better = match best {
+                    None => true,
+                    Some(b) => {
+                        let bb = &self.periodic[b];
+                        (s.time, s.seq) < (bb.time, bb.seq)
+                    }
+                };
+                if better {
+                    best = Some(i);
+                }
+            }
+            let Some(i) = best else {
+                return total;
+            };
+            let slot = &mut self.periodic[i];
+            debug_assert!(slot.time >= self.now, "event queue went backwards");
+            self.now = slot.time;
+            if let Some(t) = trace.as_deref_mut() {
+                t.push((i, slot.time));
+            }
+            slot.time += slot.period;
+            slot.seq = self.next_seq;
+            self.next_seq += 1;
+            fired[i] += 1;
+            total += 1;
+        }
     }
 
     /// Drop all pending events (used when a run terminates early).
     pub fn clear(&mut self) {
         self.heap.clear();
+        self.periodic.clear();
     }
 }
 
@@ -225,6 +433,145 @@ mod tests {
         let mut q = EventQueue::new();
         q.schedule(SimTime::from_nanos(1), ());
         q.clear();
+        assert!(q.pop().is_none());
+    }
+
+    /// A periodic slot must produce the byte-identical `(time, id, payload)`
+    /// stream of a handler that re-schedules itself as its last action.
+    #[test]
+    fn periodic_matches_self_rescheduling_handler() {
+        let period = SimDuration::from_nanos(10);
+        let mut fast = EventQueue::new();
+        let mut refq = EventQueue::new();
+        // Two "CPUs" with staggered phases plus interleaved ad-hoc events.
+        fast.schedule_periodic(SimTime::from_nanos(10), period, "t0");
+        fast.schedule_periodic(SimTime::from_nanos(15), period, "t1");
+        refq.schedule(SimTime::from_nanos(10), "t0");
+        refq.schedule(SimTime::from_nanos(15), "t1");
+        for q in [&mut fast, &mut refq] {
+            q.schedule(SimTime::from_nanos(12), "a");
+            q.schedule(SimTime::from_nanos(20), "b");
+            q.schedule(SimTime::from_nanos(20), "c");
+        }
+        for step in 0..50 {
+            let f = fast.pop().unwrap();
+            let r = refq.pop().unwrap();
+            assert_eq!(f, r, "divergence at step {step}");
+            // Reference handler: re-arm as the last seq allocation.
+            if f.2.starts_with('t') {
+                refq.schedule(r.0 + period, r.2);
+            }
+            // Ad-hoc traffic scheduled mid-handler on both queues.
+            if f.2 == "a" {
+                fast.schedule(f.0 + SimDuration::from_nanos(7), "d");
+                refq.schedule(r.0 + SimDuration::from_nanos(7), "d");
+            }
+        }
+    }
+
+    /// Batch-advancing slots must leave the queue in the same state as
+    /// popping each occurrence individually.
+    #[test]
+    fn advance_periodic_equals_sequential_pops() {
+        let period = SimDuration::from_nanos(10);
+        let mk = |q: &mut EventQueue<&str>| {
+            q.schedule_periodic(SimTime::from_nanos(10), period, "t0");
+            q.schedule_periodic(SimTime::from_nanos(15), period, "t1");
+            q.schedule(SimTime::from_nanos(47), "stop");
+        };
+        let mut batched = EventQueue::new();
+        let mut popped = EventQueue::new();
+        mk(&mut batched);
+        mk(&mut popped);
+
+        // Fire everything strictly before t=47.
+        let horizons = [SimTime::from_nanos(47), SimTime::from_nanos(47)];
+        let mut fired = [0u64; 2];
+        let total = batched.advance_periodic(&horizons, &mut fired);
+        assert_eq!(fired, [4, 4]); // t0: 10,20,30,40  t1: 15,25,35,45
+        assert_eq!(total, 8);
+
+        let mut n = 0;
+        while popped.peek_time().unwrap() < SimTime::from_nanos(47) {
+            popped.pop().unwrap();
+            n += 1;
+        }
+        assert_eq!(n, total);
+
+        // Identical continuation: same times, same ids, same payloads.
+        for _ in 0..20 {
+            assert_eq!(batched.pop(), popped.pop());
+        }
+    }
+
+    /// Per-slot horizons cap each slot independently while keeping the
+    /// global merge order for seq allocation.
+    #[test]
+    fn advance_periodic_per_slot_horizons() {
+        let period = SimDuration::from_nanos(10);
+        let mut q = EventQueue::new();
+        q.schedule_periodic(SimTime::from_nanos(10), period, "t0");
+        q.schedule_periodic(SimTime::from_nanos(15), period, "t1");
+        q.schedule(SimTime::from_nanos(47), "stop");
+        let horizons = [SimTime::from_nanos(47), SimTime::from_nanos(40)];
+        let mut fired = [0u64; 2];
+        let total = q.advance_periodic(&horizons, &mut fired);
+        assert_eq!(fired, [4, 3]); // t0: 10,20,30,40  t1: 15,25,35
+        assert_eq!(total, 7);
+        // t1's pending occurrence at 45 was left for a normal pop; it
+        // precedes the heap event at 47 and the re-armed t0 at 50.
+        let order: Vec<_> = (0..4).map(|_| q.pop().unwrap()).collect();
+        let times: Vec<_> = order.iter().map(|e| e.0.as_nanos()).collect();
+        let what: Vec<_> = order.iter().map(|e| e.2).collect();
+        assert_eq!(times, vec![45, 47, 50, 55]);
+        assert_eq!(what, vec!["t1", "stop", "t0", "t1"]);
+    }
+
+    /// The trace variant reports every firing, in the exact global
+    /// `(time, seq)` order sequential pops would have used.
+    #[test]
+    fn advance_periodic_trace_matches_pop_order() {
+        let period = SimDuration::from_nanos(10);
+        let mk = |q: &mut EventQueue<&str>| {
+            q.schedule_periodic(SimTime::from_nanos(10), period, "t0");
+            q.schedule_periodic(SimTime::from_nanos(15), period, "t1");
+            q.schedule(SimTime::from_nanos(47), "stop");
+        };
+        let mut batched = EventQueue::new();
+        let mut popped = EventQueue::new();
+        mk(&mut batched);
+        mk(&mut popped);
+
+        let horizons = [SimTime::from_nanos(47); 2];
+        let mut fired = [0u64; 2];
+        let mut trace = Vec::new();
+        let total = batched.advance_periodic_trace(&horizons, &mut fired, &mut trace);
+        assert_eq!(total as usize, trace.len());
+
+        for (i, t) in trace {
+            let (time, _, what) = popped.pop().unwrap();
+            assert_eq!(t, time);
+            assert_eq!(what, if i == 0 { "t0" } else { "t1" });
+        }
+        assert_eq!(batched.pop(), popped.pop());
+    }
+
+    #[test]
+    fn peek_and_len_cover_periodic() {
+        let mut q = EventQueue::new();
+        let id = q.schedule_periodic(SimTime::from_nanos(8), SimDuration::from_nanos(4), 0u32);
+        q.schedule(SimTime::from_nanos(9), 1u32);
+        assert_eq!(q.len(), 2);
+        assert!(!q.is_empty());
+        assert_eq!(q.peek_time(), Some(SimTime::from_nanos(8)));
+        assert_eq!(q.peek_heap_time(), Some(SimTime::from_nanos(9)));
+        assert_eq!(q.periodic_time(id), SimTime::from_nanos(8));
+        q.pop();
+        // The slot re-armed: still two pending events.
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.periodic_time(id), SimTime::from_nanos(12));
+        q.clear();
+        assert!(q.is_empty());
         assert!(q.pop().is_none());
     }
 }

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Offline perf-regression harness for the event-loop fast path.
+#
+#   scripts/bench.sh          # full sweeps  (~1 min)
+#   scripts/bench.sh --quick  # short sweeps (~15 s)
+#
+# Writes BENCH_eventloop.json at the repo root: per-sweep events/sec and
+# wall seconds for the fast path vs the reference path, a loop-bound
+# headline speedup, and an identical-results flag (the speedup only
+# counts because the two paths are byte-identical). No criterion, no
+# network.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -p hpl-bench --bin eventloop
+exec ./target/release/eventloop "$@"

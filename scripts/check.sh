@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Repo gate: everything a PR must pass, in the order a human wants the
+# failures reported. Fully offline (vendored dev-deps, no crates.io).
+#
+#   scripts/check.sh          # tier-1 build+test, workspace tests, clippy
+#   scripts/check.sh --quick  # tier-1 only
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: release build =="
+cargo build --release
+
+echo "== tier-1: root package tests =="
+cargo test -q
+
+if [[ "${1:-}" == "--quick" ]]; then
+    exit 0
+fi
+
+echo "== workspace tests =="
+cargo test --workspace -q
+
+echo "== clippy (deny warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "all checks passed"

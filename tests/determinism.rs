@@ -73,6 +73,97 @@ fn node_fingerprint_is_stable() {
     assert_ne!(fp(5), fp(6));
 }
 
+/// Run one measured job on a node built with an explicit kernel config,
+/// returning everything observable: execution time, the counter deltas
+/// the study reports, the tick count (skipped ticks must still be
+/// charged), and the full post-run state fingerprint.
+fn run_with_config(
+    mut kc: KernelConfig,
+    hpc_class: bool,
+    mode: SchedMode,
+    fast: bool,
+    seed: u64,
+) -> (u64, u64, u64, u64, u64) {
+    kc.fast_event_loop = fast;
+    let mut builder = NodeBuilder::new(Topology::power6_js22())
+        .config(kc)
+        .noise(NoiseProfile::standard(8))
+        .seed(seed);
+    if hpc_class {
+        builder = builder.hpc_class(Box::new(HplClass::new()));
+    }
+    let mut node = builder.build();
+    node.run_for(SimDuration::from_millis(300));
+    let mut perf = PerfSession::open(&node.counters, node.now());
+    let handle = launch(&mut node, &job(), mode);
+    let exec = handle.run_to_completion(&mut node, 2_000_000_000);
+    perf.close(&node.counters, node.now());
+    let d = perf.delta();
+    (
+        exec.as_nanos(),
+        d.sw(SwEvent::ContextSwitches),
+        d.sw(SwEvent::CpuMigrations),
+        d.sw(SwEvent::TimerTicks),
+        node.state_fingerprint(),
+    )
+}
+
+#[test]
+fn fast_event_loop_matches_reference_path() {
+    // The timer-wheel + quiescence-fast-forward path must be byte-
+    // identical to the reference heap-of-everything event loop: same
+    // execution time, same counters (including ticks — a *skipped*
+    // tick is still a tick), same final task-table fingerprint.
+    let tickless = || {
+        let mut kc = KernelConfig::hpl();
+        kc.tickless_single_hpc = true;
+        kc
+    };
+    let cases: [(&str, KernelConfig, bool, SchedMode); 3] = [
+        ("standard-linux", KernelConfig::default(), false, SchedMode::Cfs),
+        ("hpl", KernelConfig::hpl(), true, SchedMode::Hpc),
+        ("hpl-tickless", tickless(), true, SchedMode::Hpc),
+    ];
+    for (name, kc, hpc, mode) in cases {
+        for seed in [7u64, 1234] {
+            let fast = run_with_config(kc.clone(), hpc, mode, true, seed);
+            let reference = run_with_config(kc.clone(), hpc, mode, false, seed);
+            assert_eq!(
+                fast, reference,
+                "{name} seed {seed}: fast event loop diverges from reference"
+            );
+        }
+    }
+}
+
+#[test]
+fn fast_forward_idle_stretch_matches_reference() {
+    // An unloaded node (daemons only) is where the quiescence
+    // fast-forward batches the most ticks; a long idle stretch must
+    // leave the clock and every task exactly where the reference
+    // path leaves them.
+    for seed in [1u64, 9] {
+        let observe = |fast: bool| {
+            let kc = KernelConfig {
+                fast_event_loop: fast,
+                ..Default::default()
+            };
+            let mut node = NodeBuilder::new(Topology::power6_js22())
+                .config(kc)
+                .noise(NoiseProfile::standard(8))
+                .seed(seed)
+                .build();
+            node.run_for(SimDuration::from_millis(800));
+            (
+                node.now(),
+                node.counters.total().sw(SwEvent::TimerTicks),
+                node.state_fingerprint(),
+            )
+        };
+        assert_eq!(observe(true), observe(false), "seed {seed}");
+    }
+}
+
 #[test]
 fn rng_run_streams_are_stable_across_calls() {
     // The harness derives per-repetition seeds this way; the mapping must

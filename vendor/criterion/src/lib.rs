@@ -1,0 +1,101 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored
+//! shim provides just enough of the criterion API for the workspace's
+//! benches to compile and run: `black_box`, `Criterion::default()` /
+//! `sample_size` / `bench_function`, `Bencher::iter`, and both forms of
+//! `criterion_group!` plus `criterion_main!`.
+//!
+//! Timing is a single wall-clock measurement over `sample_size`
+//! iterations — adequate for smoke-running `cargo bench`, not for
+//! statistics. The serious perf numbers live in the dedicated
+//! `eventloop` bench binary, which does not use this crate.
+
+// Shim crate: keep clippy focused on the real workspace code.
+#![allow(clippy::all, unused)]
+
+use std::time::Instant;
+
+/// Prevent the optimizer from deleting a computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Crude benchmark driver mirroring `criterion::Criterion`.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Set how many iterations each routine runs.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Run `f` once with a [`Bencher`] and print a one-line timing.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { iters: self.sample_size as u64, nanos: 0 };
+        f(&mut b);
+        let per_iter = b.nanos / u128::from(b.iters.max(1));
+        println!("bench: {name:<55} {per_iter:>12} ns/iter ({} iters)", b.iters);
+        self
+    }
+}
+
+/// Runs the measured routine; handed to `bench_function` closures.
+pub struct Bencher {
+    iters: u64,
+    nanos: u128,
+}
+
+impl Bencher {
+    /// Time `routine` over the configured number of iterations.
+    pub fn iter<O, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> O,
+    {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.nanos = start.elapsed().as_nanos();
+    }
+}
+
+/// Group benchmark functions; supports the plain and `name =`/`config =`
+/// forms of the real macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $cfg;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emit a `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,552 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored
+//! shim implements the subset of the proptest API the workspace tests
+//! use: `proptest!` with an optional `proptest_config` attribute,
+//! `prop_assert!`/`prop_assert_eq!`/`prop_assume!`, range / tuple /
+//! `Just` / `prop_map` / `prop_oneof!` strategies, `any::<T>()`,
+//! `proptest::collection::vec`, and `proptest::option::of`.
+//!
+//! Differences from real proptest: generation is a plain seeded PRNG
+//! (no bias toward edge cases) and failures are reported without
+//! shrinking. Test case streams are deterministic per test name, so
+//! failures reproduce exactly across runs.
+
+// Shim crate: keep clippy focused on the real workspace code.
+#![allow(clippy::all, unused)]
+
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// Everything a test file needs, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest, Just, ProptestConfig,
+        Strategy, TestCaseError,
+    };
+}
+
+/// Per-block configuration; only `cases` is honoured.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful (non-rejected) cases each test must run.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// An assertion failed; the test panics with this message.
+    Fail(String),
+    /// A `prop_assume!` filter rejected the inputs; another case is drawn.
+    Reject,
+}
+
+/// Deterministic SplitMix64 generator seeding each test from its name.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seed from a test's fully qualified name (FNV-1a).
+    pub fn from_name(name: &str) -> Self {
+        let mut h = 0xcbf2_9ce4_8422_2325_u64;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng { state: h }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A generator of values for property tests.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draw one value.
+    fn gen_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn gen_value(&self, rng: &mut TestRng) -> $t {
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                assert!(span > 0, "empty range strategy");
+                self.start.wrapping_add((rng.next_u64() % span) as $t)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn gen_value(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                let span = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+                if span == 0 {
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add((rng.next_u64() % span) as $t)
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! signed_range_strategy {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn gen_value(&self, rng: &mut TestRng) -> $t {
+                let span = (self.end as i64).wrapping_sub(self.start as i64) as u64;
+                assert!(span > 0, "empty range strategy");
+                self.start.wrapping_add((rng.next_u64() % span) as $t)
+            }
+        }
+    )*};
+}
+
+signed_range_strategy!(i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn gen_value(&self, rng: &mut TestRng) -> f64 {
+        self.start + (self.end - self.start) * rng.next_f64()
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+    fn gen_value(&self, rng: &mut TestRng) -> f64 {
+        self.start() + (self.end() - self.start()) * rng.next_f64()
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.gen_value(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+
+/// A strategy that always yields a clone of the wrapped value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn gen_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The result of [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, U, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+    fn gen_value(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.gen_value(rng))
+    }
+}
+
+/// Types with a canonical full-domain strategy, for `any::<T>()`.
+pub trait Arbitrary {
+    /// Draw an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! int_arbitrary {
+    ($($t:ty),* $(,)?) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        rng.next_f64()
+    }
+}
+
+/// The strategy returned by [`any`].
+#[derive(Debug, Clone)]
+pub struct Any<T>(PhantomData<T>);
+
+/// Full-domain strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Uniform choice between alternative strategies; built by `prop_oneof!`.
+pub struct Union<T> {
+    arms: Vec<Box<dyn Fn(&mut TestRng) -> T>>,
+}
+
+impl<T> Default for Union<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Union<T> {
+    /// An empty union; populate with [`Union::or`].
+    pub fn new() -> Self {
+        Union { arms: Vec::new() }
+    }
+
+    /// Add an alternative.
+    pub fn or<S>(mut self, s: S) -> Self
+    where
+        S: Strategy<Value = T> + 'static,
+    {
+        self.arms.push(Box::new(move |rng| s.gen_value(rng)));
+        self
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        assert!(!self.arms.is_empty(), "prop_oneof! with no arms");
+        let idx = (rng.next_u64() % self.arms.len() as u64) as usize;
+        (self.arms[idx])(rng)
+    }
+}
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::{Range, RangeInclusive};
+
+    /// Inclusive bounds on a generated collection's length.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.end > r.start, "empty size range");
+            SizeRange { lo: r.start, hi: r.end - 1 }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange { lo: *r.start(), hi: *r.end() }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    /// The strategy returned by [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    /// A `Vec` whose length is drawn from `size` and whose elements are
+    /// drawn from `elem`.
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { elem, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn gen_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi - self.size.lo) as u64 + 1;
+            let len = self.size.lo + (rng.next_u64() % span) as usize;
+            (0..len).map(|_| self.elem.gen_value(rng)).collect()
+        }
+    }
+}
+
+/// Option strategies (`proptest::option::of`).
+pub mod option {
+    use super::{Strategy, TestRng};
+
+    /// The strategy returned by [`of`].
+    #[derive(Debug, Clone)]
+    pub struct OfStrategy<S> {
+        inner: S,
+    }
+
+    /// `None` roughly a quarter of the time, else `Some` of the inner value.
+    pub fn of<S: Strategy>(inner: S) -> OfStrategy<S> {
+        OfStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OfStrategy<S> {
+        type Value = Option<S::Value>;
+        fn gen_value(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.next_u64() % 4 == 0 {
+                None
+            } else {
+                Some(self.inner.gen_value(rng))
+            }
+        }
+    }
+}
+
+/// Fail the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed at {}:{}: {}",
+                file!(),
+                line!(),
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed at {}:{}: {}",
+                file!(),
+                line!(),
+                format!($($fmt)+)
+            )));
+        }
+    };
+}
+
+/// Fail the current case unless the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__a, __b) = (&$a, &$b);
+        if !(__a == __b) {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed at {}:{}: {} == {} ({:?} vs {:?})",
+                file!(),
+                line!(),
+                stringify!($a),
+                stringify!($b),
+                __a,
+                __b
+            )));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (__a, __b) = (&$a, &$b);
+        if !(__a == __b) {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed at {}:{}: {} ({:?} vs {:?})",
+                file!(),
+                line!(),
+                format!($($fmt)+),
+                __a,
+                __b
+            )));
+        }
+    }};
+}
+
+/// Reject the current case (draw another) unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Uniform choice among the listed strategies (all must share a value type).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::Union::new()$(.or($s))+
+    };
+}
+
+/// Define property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `cases` deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = $cfg:expr;) => {};
+    (cfg = $cfg:expr;
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        #[test]
+        fn $name() {
+            let __cfg: $crate::ProptestConfig = $cfg;
+            let mut __rng =
+                $crate::TestRng::from_name(concat!(module_path!(), "::", stringify!($name)));
+            let mut __done: u32 = 0;
+            let mut __attempts: u32 = 0;
+            while __done < __cfg.cases {
+                __attempts += 1;
+                assert!(
+                    __attempts <= __cfg.cases.saturating_mul(20).max(200),
+                    "proptest: too many rejected cases in {}",
+                    stringify!($name)
+                );
+                $(
+                    let $arg = {
+                        let __s = $strat;
+                        $crate::Strategy::gen_value(&__s, &mut __rng)
+                    };
+                )+
+                let __result: ::core::result::Result<(), $crate::TestCaseError> =
+                    (move || {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                match __result {
+                    ::core::result::Result::Ok(()) => __done += 1,
+                    ::core::result::Result::Err($crate::TestCaseError::Reject) => {}
+                    ::core::result::Result::Err($crate::TestCaseError::Fail(__msg)) => {
+                        panic!(
+                            "proptest '{}' failed (case {}): {}",
+                            stringify!($name),
+                            __done,
+                            __msg
+                        )
+                    }
+                }
+            }
+        }
+        $crate::__proptest_impl! { cfg = $cfg; $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::TestRng;
+
+    #[test]
+    fn rng_is_deterministic_per_name() {
+        let mut a = TestRng::from_name("x");
+        let mut b = TestRng::from_name("x");
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = TestRng::from_name("y");
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(50))]
+
+        /// Ranges stay in bounds; tuples and maps compose.
+        fn ranges_in_bounds(
+            a in 3u64..17,
+            b in 1u8..=255,
+            c in -1e3f64..1e3,
+            v in crate::collection::vec((0u32..5, crate::option::of(0u32..2)), 2..6),
+            z in any::<u64>()
+        ) {
+            prop_assert!((3..17).contains(&a));
+            prop_assert!(b >= 1);
+            prop_assert!((-1e3..1e3).contains(&c));
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            prop_assume!(z != 1);
+            prop_assert_eq!(z == 1, false, "assume filtered {}", z);
+        }
+
+        fn oneof_and_just(x in prop_oneof![Just(7u32), (10u32..20), (0u32..3).prop_map(|v| v + 100)]) {
+            prop_assert!(x == 7 || (10..20).contains(&x) || (100..103).contains(&x));
+        }
+    }
+}
