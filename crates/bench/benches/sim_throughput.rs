@@ -13,8 +13,8 @@ fn bench_idle_node(c: &mut Criterion) {
     c.bench_function("node/idle+daemons 1 sim-second", |b| {
         b.iter(|| {
             let mut node = NodeBuilder::new(Topology::power6_js22())
-                .noise(NoiseProfile::standard(8))
-                .seed(1)
+                .with_noise(NoiseProfile::standard(8))
+                .with_seed(1)
                 .build();
             node.run_for(SimDuration::from_secs(1));
             black_box(node.now())
@@ -38,8 +38,8 @@ fn bench_busy_node(c: &mut Criterion) {
     c.bench_function("node/8-rank MPI job (~100 ms sim)", |b| {
         b.iter(|| {
             let mut node = NodeBuilder::new(Topology::power6_js22())
-                .noise(NoiseProfile::standard(8))
-                .seed(2)
+                .with_noise(NoiseProfile::standard(8))
+                .with_seed(2)
                 .build();
             node.run_for(SimDuration::from_millis(100));
             let handle = launch(&mut node, &job, SchedMode::Cfs);

@@ -23,7 +23,11 @@
 //! Writes `BENCH_eventloop.json` in the current directory. No criterion,
 //! no network: plain `Instant` timing, hand-rolled JSON.
 //!
-//! Usage: `eventloop [--quick] [--out PATH]`
+//! Usage: `eventloop [--quick|--smoke] [--out PATH]`
+//!
+//! `--smoke` is for CI gates: a seconds-long run that still exercises
+//! every sweep and the fast-vs-reference fingerprint cross-check, but
+//! whose timings are too short to mean anything.
 
 use hpl_core::HplClass;
 use hpl_kernel::noise::NoiseProfile;
@@ -41,11 +45,11 @@ fn build(mut kc: KernelConfig, hpc_class: bool, quiet: bool, fast: bool, seed: u
         NoiseProfile::standard(8)
     };
     let mut b = NodeBuilder::new(Topology::power6_js22())
-        .config(kc)
-        .noise(noise)
-        .seed(seed);
+        .with_config(kc)
+        .with_noise(noise)
+        .with_seed(seed);
     if hpc_class {
-        b = b.hpc_class(Box::new(HplClass::new()));
+        b = b.with_hpc_class(Box::new(HplClass::new()));
     }
     b.build()
 }
@@ -144,21 +148,34 @@ fn best(f: impl Fn() -> Obs) -> Obs {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let smoke = args.iter().any(|a| a == "--smoke");
     let out = args
         .iter()
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1).cloned())
         .unwrap_or_else(|| "BENCH_eventloop.json".into());
 
-    let (idle_ms, reps, iters) = if quick { (40_000, 2, 120) } else { (120_000, 4, 300) };
+    let (idle_ms, reps, iters) = if smoke {
+        (2_000, 1, 30)
+    } else if quick {
+        (40_000, 2, 120)
+    } else {
+        (120_000, 4, 300)
+    };
     let tickless = || {
         let mut kc = KernelConfig::hpl();
         kc.tickless_single_hpc = true;
         kc
     };
 
-    eprintln!("eventloop bench ({}): idle {idle_ms} ms, {reps} reps x {iters} iters",
-        if quick { "quick" } else { "full" });
+    let flavour = if smoke {
+        "smoke"
+    } else if quick {
+        "quick"
+    } else {
+        "full"
+    };
+    eprintln!("eventloop bench ({flavour}): idle {idle_ms} ms, {reps} reps x {iters} iters");
 
     let sweeps = [
         Sweep {
@@ -235,7 +252,7 @@ fn main() {
     );
 
     let mut json = String::from("{\n  \"bench\": \"eventloop\",\n");
-    json.push_str(&format!("  \"quick\": {quick},\n"));
+    json.push_str(&format!("  \"flavour\": \"{flavour}\",\n"));
     json.push_str(&format!("  \"identical_results\": {ok},\n"));
     json.push_str(&format!("  \"loop_bound_speedup\": {headline:.4},\n"));
     json.push_str(&format!("  \"geomean_speedup_all\": {overall:.4},\n"));

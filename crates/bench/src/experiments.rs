@@ -85,7 +85,7 @@ pub fn fig1(opts: &ExpOpts) -> String {
     let barrier = job.barrier_id();
 
     let mut node = NodeBuilder::new(Topology::power6_js22())
-        .seed(opts.seed)
+        .with_seed(opts.seed)
         .build();
     node.enable_trace(200_000);
     node.run_for(SimDuration::from_millis(100));
@@ -499,12 +499,12 @@ pub fn resonance(opts: &ExpOpts) -> String {
             let barrier = job.barrier_id();
             let mut node = match sched {
                 Scheduler::Hpl => hpl_core::hpl_node_builder(Topology::power6_js22())
-                    .noise(NoiseProfile::standard(8))
-                    .seed(seed)
+                    .with_noise(NoiseProfile::standard(8))
+                    .with_seed(seed)
                     .build(),
                 _ => NodeBuilder::new(Topology::power6_js22())
-                    .noise(NoiseProfile::standard(8))
-                    .seed(seed)
+                    .with_noise(NoiseProfile::standard(8))
+                    .with_seed(seed)
                     .build(),
             };
             node.run_for(SimDuration::from_millis(400));
@@ -813,21 +813,21 @@ pub fn coschedule(opts: &ExpOpts) -> String {
             let seed = Rng::for_run(opts.seed ^ 0xC05C, rep as u64).next_u64();
             let mut node = if hpl_mode {
                 hpl_core::hpl_node_builder(Topology::power6_js22())
-                    .noise(NoiseProfile::standard(8))
-                    .seed(seed)
+                    .with_noise(NoiseProfile::standard(8))
+                    .with_seed(seed)
                     .build()
             } else {
                 NodeBuilder::new(Topology::power6_js22())
-                    .noise(NoiseProfile::standard(8))
-                    .seed(seed)
+                    .with_noise(NoiseProfile::standard(8))
+                    .with_seed(seed)
                     .build()
             };
             node.run_for(SimDuration::from_millis(400));
             let mut session = hpl_perf::PerfSession::open(&node.counters, node.now());
             let ha = launch(&mut node, &mk_job(0), mode);
             let hb = launch(&mut node, &mk_job(1_000_000), mode);
-            node.run_until_exit(ha.perf_pid, 40_000_000_000);
-            node.run_until_exit(hb.perf_pid, 40_000_000_000);
+            assert!(node.run_until_exit(ha.perf_pid, 40_000_000_000).is_complete());
+            assert!(node.run_until_exit(hb.perf_pid, 40_000_000_000).is_complete());
             session.close(&node.counters, node.now());
             let ta = node
                 .tasks
@@ -923,8 +923,8 @@ pub fn uls(opts: &ExpOpts) -> String {
     for rep in 0..reps {
         let seed = Rng::for_run(opts.seed ^ 0x0715, rep as u64).next_u64();
         let mut node = NodeBuilder::new(Topology::power6_js22())
-            .noise(NoiseProfile::standard(8))
-            .seed(seed)
+            .with_noise(NoiseProfile::standard(8))
+            .with_seed(seed)
             .build();
         node.run_for(SimDuration::from_millis(400));
         let mut session = hpl_perf::PerfSession::open(&node.counters, node.now());
@@ -1039,8 +1039,8 @@ pub fn irq(opts: &ExpOpts) -> String {
                     Scheduler::Hpl => hpl_core::hpl_node_builder(Topology::power6_js22()),
                     _ => NodeBuilder::new(Topology::power6_js22()),
                 }
-                .noise(noise.clone())
-                .seed(seed)
+                .with_noise(noise.clone())
+                .with_seed(seed)
                 .build();
                 node.run_for(SimDuration::from_millis(400));
                 let handle = launch(&mut node, &job, mode);
@@ -1110,13 +1110,13 @@ pub fn energy(opts: &ExpOpts) -> String {
                     let mut kc = hpl_kernel::KernelConfig::hpl();
                     kc.tickless_single_hpc = true;
                     NodeBuilder::new(Topology::power6_js22())
-                        .config(kc)
-                        .hpc_class(Box::new(hpl_core::HplClass::new()))
+                        .with_config(kc)
+                        .with_hpc_class(Box::new(hpl_core::HplClass::new()))
                 }
                 _ => NodeBuilder::new(Topology::power6_js22()),
             }
-            .noise(NoiseProfile::standard(8))
-            .seed(seed)
+            .with_noise(NoiseProfile::standard(8))
+            .with_seed(seed)
             .build();
             node.run_for(SimDuration::from_millis(400));
             let mut session = hpl_perf::PerfSession::open(&node.counters, node.now());

@@ -94,6 +94,11 @@ pub struct RunConfig {
     /// On by default; regression tests flip it off to prove the fast
     /// and reference paths produce byte-identical records.
     pub fast_event_loop: bool,
+    /// Attach a metrics-registry observer to every repetition and carry
+    /// the collected [`hpl_perf::SchedMetrics`] in each
+    /// [`RunRecord::metrics`]. Off by default: observers do not perturb
+    /// the simulation, but the registry costs a little time per event.
+    pub collect_metrics: bool,
 }
 
 impl RunConfig {
@@ -110,6 +115,7 @@ impl RunConfig {
             topo: Topology::power6_js22(),
             warmup: SimDuration::from_millis(400),
             fast_event_loop: true,
+            collect_metrics: false,
         }
     }
 
@@ -136,6 +142,13 @@ impl RunConfig {
         self.fast_event_loop = fast;
         self
     }
+
+    /// Collect observer metrics (timeslice / off-CPU latency / migration
+    /// inter-arrival histograms and decision counters) on every rep.
+    pub fn with_metrics(mut self, collect: bool) -> Self {
+        self.collect_metrics = collect;
+        self
+    }
 }
 
 fn build_node(cfg: &RunConfig, seed: u64) -> Node {
@@ -152,11 +165,11 @@ fn build_node(cfg: &RunConfig, seed: u64) -> Node {
     };
     kc.fast_event_loop = cfg.fast_event_loop;
     let mut builder = NodeBuilder::new(cfg.topo.clone())
-        .config(kc)
-        .noise(noise)
-        .seed(seed);
+        .with_config(kc)
+        .with_noise(noise)
+        .with_seed(seed);
     if hpc_class {
-        builder = builder.hpc_class(Box::new(hpl_core::HplClass::new()));
+        builder = builder.with_hpc_class(Box::new(hpl_core::HplClass::new()));
     }
     builder.build()
 }
@@ -165,17 +178,39 @@ fn build_node(cfg: &RunConfig, seed: u64) -> Node {
 /// of the tick count for the longest plausible run.
 const MAX_EVENTS: u64 = 40_000_000_000;
 
-/// Execute one repetition.
+/// Execute one repetition. A repetition that deadlocks or exhausts its
+/// event budget is *recorded*, not panicked on: its [`RunRecord`]
+/// carries the failed [`hpl_perf::RunOutcome`] and the wall time up to
+/// the stop, so sweeps keep aggregating and reports can flag the rep.
 pub fn run_once(cfg: &RunConfig, rep: u64) -> RunRecord {
     let seed = Rng::for_run(cfg.base_seed, rep).next_u64();
     let mut node = build_node(cfg, seed);
     node.run_for(cfg.warmup);
+    // Observer attached after warmup so the registry covers the same
+    // window as the perf session.
+    let metrics_sink = cfg
+        .collect_metrics
+        .then(|| node.attach_observer(Box::new(hpl_kernel::MetricsSink::new())));
     // perf stat -a window opens just before the launcher starts.
-    let mut session = PerfSession::open(&node.counters, node.now());
+    let launched = node.now();
+    let mut session = PerfSession::open(&node.counters, launched);
     let handle = launch(&mut node, &cfg.job, cfg.mode);
-    let exec = handle.run_to_completion(&mut node, MAX_EVENTS);
+    let (exec, outcome) = match handle.try_run_to_completion(&mut node, MAX_EVENTS) {
+        Ok(exec) => (exec, hpl_perf::RunOutcome::Completed),
+        Err(outcome) => (node.now().since(launched), outcome),
+    };
     session.close(&node.counters, node.now());
-    RunRecord::from_delta(rep, exec.as_secs_f64(), &session.delta())
+    let mut rec = RunRecord::from_delta(rep, exec.as_secs_f64(), &session.delta())
+        .with_outcome(outcome);
+    if let Some(id) = metrics_sink {
+        let m = node
+            .observer::<hpl_kernel::MetricsSink>(id)
+            .expect("metrics sink attached above")
+            .metrics()
+            .clone();
+        rec = rec.with_metrics(m);
+    }
+    rec
 }
 
 /// Execute all repetitions, parallelised over host threads.
@@ -274,6 +309,28 @@ mod tests {
                 "{s:?}: fast event loop changed the run table"
             );
         }
+    }
+
+    #[test]
+    fn metrics_collection_does_not_perturb_measurements() {
+        let plain = run_many(&tiny_cfg(Scheduler::StandardLinux, SchedMode::Cfs).with_reps(2));
+        let observed = run_many(
+            &tiny_cfg(Scheduler::StandardLinux, SchedMode::Cfs)
+                .with_reps(2)
+                .with_metrics(true),
+        );
+        assert!(observed.all_completed());
+        for (a, b) in plain.records().iter().zip(observed.records()) {
+            assert_eq!(a.exec_time_s, b.exec_time_s, "observer changed timing");
+            assert_eq!(a.context_switches, b.context_switches);
+            assert_eq!(a.cpu_migrations, b.cpu_migrations);
+            assert!(a.metrics.is_none());
+            assert!(b.metrics.is_some());
+        }
+        let merged = observed.merged_metrics().expect("metrics collected");
+        assert!(merged.switches > 0);
+        assert!(merged.picks > 0);
+        assert!(merged.timeslice_ns.count() > 0);
     }
 
     #[test]

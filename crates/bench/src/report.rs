@@ -98,6 +98,8 @@ mod tests {
                 context_switches: 550,
                 involuntary_preemptions: 10,
                 load_balance_calls: 5,
+                outcome: hpl_perf::RunOutcome::Completed,
+                metrics: None,
             },
             RunRecord {
                 run: 1,
@@ -106,6 +108,8 @@ mod tests {
                 context_switches: 1886,
                 involuntary_preemptions: 50,
                 load_balance_calls: 9,
+                outcome: hpl_perf::RunOutcome::Completed,
+                metrics: None,
             },
         ])
     }

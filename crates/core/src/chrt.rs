@@ -78,7 +78,7 @@ mod tests {
 
     #[test]
     fn chrt_moves_task_into_hpc_class() {
-        let mut node = hpl_node_builder(Topology::power6_js22()).seed(1).build();
+        let mut node = hpl_node_builder(Topology::power6_js22()).with_seed(1).build();
         let payload = TaskSpec::new(
             "app",
             Policy::Hpc, // ignored; chrt decides the birth policy
@@ -93,7 +93,7 @@ mod tests {
         // ...after its first steps it is in the HPC class.
         node.run_for(SimDuration::from_millis(1));
         assert_eq!(node.tasks.get(pid).policy, Policy::Hpc);
-        node.run_until_exit(pid, 1_000_000);
+        assert!(node.run_until_exit(pid, 1_000_000).is_complete());
         assert_eq!(node.tasks.get(pid).state, TaskState::Dead);
     }
 

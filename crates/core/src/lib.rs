@@ -46,8 +46,8 @@ use hpl_topology::Topology;
 /// every scheduling class.
 pub fn hpl_node_builder(topo: Topology) -> NodeBuilder {
     NodeBuilder::new(topo)
-        .config(KernelConfig::hpl())
-        .hpc_class(Box::new(HplClass::new()))
+        .with_config(KernelConfig::hpl())
+        .with_hpc_class(Box::new(HplClass::new()))
 }
 
 #[cfg(test)]

@@ -49,9 +49,9 @@ proptest! {
     #[test]
     fn cfs_never_runs_over_runnable_hpc(specs in proptest::collection::vec(spec_strategy(), 2..10)) {
         let mut node = NodeBuilder::new(Topology::power6_js22())
-            .config(KernelConfig::hpl())
-            .hpc_class(Box::new(HplClass::new()))
-            .seed(7)
+            .with_config(KernelConfig::hpl())
+            .with_hpc_class(Box::new(HplClass::new()))
+            .with_seed(7)
             .build();
         let pids: Vec<_> = specs
             .iter()
@@ -158,9 +158,9 @@ proptest! {
     #[test]
     fn round_robin_is_fair(work_ms in 150u64..400) {
         let mut node = NodeBuilder::new(Topology::power6_js22())
-            .config(KernelConfig::hpl())
-            .hpc_class(Box::new(HplClass::new()))
-            .seed(3)
+            .with_config(KernelConfig::hpl())
+            .with_hpc_class(Box::new(HplClass::new()))
+            .with_seed(3)
             .build();
         let pin = CpuMask::single(hpl_topology::CpuId(0));
         let mk = |name: &str| {
@@ -184,7 +184,7 @@ proptest! {
             (ra - rb).abs() <= slice + 1e-6,
             "round-robin imbalance: {ra} vs {rb}"
         );
-        node.run_until_exit(a, 2_000_000_000);
-        node.run_until_exit(b, 2_000_000_000);
+        assert!(node.run_until_exit(a, 2_000_000_000).is_complete());
+        assert!(node.run_until_exit(b, 2_000_000_000).is_complete());
     }
 }

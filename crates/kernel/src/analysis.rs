@@ -70,7 +70,7 @@ impl TraceAnalysis {
         let mut migrations: HashMap<Pid, u32> = HashMap::new();
         let mut preemptions = Vec::new();
 
-        for &(t, ev) in trace.events() {
+        for (t, ev) in trace {
             if t < start || t >= end {
                 continue;
             }

@@ -38,8 +38,11 @@
 //!   default it mirrors.
 //! * [`power`] — per-CPU energy accounting (the paper's power-dimension
 //!   future work) derived from the busy-time counters.
-//! * [`trace`] — optional `sched_switch`-style event tracing with an
-//!   ASCII Gantt renderer.
+//! * [`observe`] — the unified observability subsystem: the
+//!   [`observe::SchedObserver`] sink trait wired into every kernel
+//!   decision point, with ring-buffer, Chrome-trace and metrics sinks.
+//! * [`trace`] — the bounded `sched_switch`-style event ring with an
+//!   ASCII Gantt renderer (fed through [`observe::RingSink`]).
 //! * [`analysis`] — reconstruct preemption episodes and residency from a
 //!   trace (`perf sched`-style noise attribution).
 //!
@@ -59,6 +62,7 @@ pub mod config;
 pub mod idle;
 pub mod noise;
 pub mod node;
+pub mod observe;
 pub mod power;
 pub mod program;
 pub mod rt;
@@ -68,7 +72,12 @@ pub mod trace;
 
 pub use class::{ClassKind, LoadSnapshot, MigrationPlan, SchedClass, SchedCtx};
 pub use config::{BalanceMode, KernelConfig};
+pub use hpl_perf::RunOutcome;
 pub use node::{Node, NodeBuilder};
+pub use observe::{
+    BalanceKind, ChromeTraceSink, MetricsSink, MigrateReason, ObserverId, PreemptVerdict,
+    RingSink, SchedEvent, SchedObserver, TickOutcome,
+};
 pub use program::{FnProgram, ProgCtx, Program, Step, TaskSpec};
 pub use sync::{BarrierId, ChanId};
 pub use task::{Pid, Policy, Task, TaskState, TaskTable};

@@ -25,24 +25,19 @@ use crate::cfs::CfsClass;
 use crate::class::{class_of_policy, ClassKind, LoadSnapshot, MigrationPlan, SchedClass, SchedCtx};
 use crate::config::{BalanceMode, KernelConfig};
 use crate::idle::IdleClass;
-use crate::noise::NoiseProfile;
+use crate::noise::{NoiseProfile, NOISE_TAG};
+use crate::observe::{
+    BalanceKind, MigrateReason, ObserverId, PreemptVerdict, RingSink, SchedEvent, SchedObserver,
+    TickOutcome,
+};
 use crate::program::{ProgCtx, Step, TaskSpec};
 use crate::rt::RtClass;
 use crate::sync::{SyncState, WaitOutcome, Waiting};
 use crate::task::{BlockReason, Pid, SpinTarget, Task, TaskState, TaskTable};
-use crate::trace::{TraceBuffer, TraceEvent};
-use hpl_perf::{HwEvent, PerCpuCounters, SwEvent};
+use crate::trace::TraceBuffer;
+use hpl_perf::{HwEvent, PerCpuCounters, RunOutcome, SwEvent};
 use hpl_sim::{EventQueue, Rng, SimDuration, SimTime};
 use hpl_topology::{CpuId, CpuMask, DomainHierarchy, Topology};
-
-/// Why a task's CPU assignment changed (for counter attribution).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum MoveReason {
-    Fork,
-    Wakeup,
-    Balance,
-    Affinity,
-}
 
 // `Clone` because periodic timer-wheel slots re-arm by cloning their
 // payload on every pop (all variants are tiny Copy-able data).
@@ -88,29 +83,54 @@ impl NodeBuilder {
     }
 
     /// Set the kernel configuration.
-    pub fn config(mut self, cfg: KernelConfig) -> Self {
+    pub fn with_config(mut self, cfg: KernelConfig) -> Self {
         self.cfg = cfg;
         self
     }
 
     /// Set the daemon population.
-    pub fn noise(mut self, noise: NoiseProfile) -> Self {
+    pub fn with_noise(mut self, noise: NoiseProfile) -> Self {
         self.noise = noise;
         self
     }
 
     /// Register an HPC scheduling class between RT and CFS (the paper's
     /// HPL class from the `hpl-core` crate, or any other implementation).
-    pub fn hpc_class(mut self, class: Box<dyn SchedClass>) -> Self {
+    pub fn with_hpc_class(mut self, class: Box<dyn SchedClass>) -> Self {
         assert_eq!(class.kind(), ClassKind::Hpc, "hpc_class must have kind Hpc");
         self.hpc_class = Some(class);
         self
     }
 
     /// Seed the node's RNG stream.
-    pub fn seed(mut self, seed: u64) -> Self {
+    pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
         self
+    }
+
+    /// Deprecated alias of [`Self::with_config`] (the workspace settled
+    /// on `with_*` builder naming).
+    #[deprecated(since = "0.2.0", note = "renamed to with_config")]
+    pub fn config(self, cfg: KernelConfig) -> Self {
+        self.with_config(cfg)
+    }
+
+    /// Deprecated alias of [`Self::with_noise`].
+    #[deprecated(since = "0.2.0", note = "renamed to with_noise")]
+    pub fn noise(self, noise: NoiseProfile) -> Self {
+        self.with_noise(noise)
+    }
+
+    /// Deprecated alias of [`Self::with_hpc_class`].
+    #[deprecated(since = "0.2.0", note = "renamed to with_hpc_class")]
+    pub fn hpc_class(self, class: Box<dyn SchedClass>) -> Self {
+        self.with_hpc_class(class)
+    }
+
+    /// Deprecated alias of [`Self::with_seed`].
+    #[deprecated(since = "0.2.0", note = "renamed to with_seed")]
+    pub fn seed(self, seed: u64) -> Self {
+        self.with_seed(seed)
     }
 
     /// Boot the node: builds domains, registers classes, starts the
@@ -153,7 +173,8 @@ impl NodeBuilder {
             resched: vec![false; ncpus],
             recomp: vec![false; ncpus],
             advancing: Vec::new(),
-            trace: None,
+            observers: Vec::new(),
+            ring: None,
             irq: self.noise.irq.clone(),
             load: LoadSnapshot::empty(ncpus),
             plan_buf: Vec::new(),
@@ -260,7 +281,13 @@ pub struct Node {
     recomp: Vec<bool>,
     /// Guard against re-entrant program advancement per pid.
     advancing: Vec<Pid>,
-    trace: Option<TraceBuffer>,
+    /// Attached observability sinks. Observers receive copies of
+    /// decision data and never touch scheduler state, so attaching one
+    /// cannot change the simulation; with the vec empty every decision
+    /// point reduces to a single is-empty branch.
+    observers: Vec<Box<dyn SchedObserver>>,
+    /// The sink [`Self::enable_trace`] attached, for [`Self::trace`].
+    ring: Option<ObserverId>,
     irq: Option<crate::noise::IrqSpec>,
     /// Incrementally maintained cross-CPU load view handed to class
     /// hooks (debug builds re-derive and compare in `drain`).
@@ -289,16 +316,69 @@ impl Node {
         self.cpus[cpu.index()].curr
     }
 
-    /// Start recording scheduler events (switches, migrations, wakeups)
-    /// into a bounded buffer. Cheap enough for examples and debugging;
-    /// leave off for bulk experiments.
-    pub fn enable_trace(&mut self, capacity: usize) {
-        self.trace = Some(TraceBuffer::new(capacity));
+    /// Attach an observability sink. It stays attached for the node's
+    /// lifetime and receives every scheduling decision from now on; the
+    /// returned id retrieves it through [`Self::observer`].
+    pub fn attach_observer(&mut self, obs: Box<dyn SchedObserver>) -> ObserverId {
+        self.observers.push(obs);
+        ObserverId::new(self.observers.len() - 1)
     }
 
-    /// The trace recorded so far, if tracing is enabled.
+    /// True iff at least one sink is attached (decision points publish
+    /// only then).
+    pub fn has_observers(&self) -> bool {
+        !self.observers.is_empty()
+    }
+
+    /// Downcast an attached observer to its concrete sink type.
+    pub fn observer<T: SchedObserver>(&self, id: ObserverId) -> Option<&T> {
+        self.observers
+            .get(id.index())
+            .and_then(|o| o.as_any().downcast_ref::<T>())
+    }
+
+    /// Mutable variant of [`Self::observer`].
+    pub fn observer_mut<T: SchedObserver>(&mut self, id: ObserverId) -> Option<&mut T> {
+        self.observers
+            .get_mut(id.index())
+            .and_then(|o| o.as_any_mut().downcast_mut::<T>())
+    }
+
+    /// Publish one decision to every attached sink. Callers pre-check
+    /// [`Self::has_observers`] so the disabled path never constructs the
+    /// event; this fans out only when someone is listening.
+    #[inline]
+    fn emit(&mut self, ev: SchedEvent) {
+        let now = self.queue.now();
+        for obs in self.observers.iter_mut() {
+            obs.observe(now, &ev);
+        }
+    }
+
+    /// Start recording scheduler events (switches, migrations, wakeups)
+    /// into a bounded buffer — attaches a [`RingSink`]. Cheap enough for
+    /// examples and debugging; leave off for bulk experiments.
+    pub fn enable_trace(&mut self, capacity: usize) {
+        let id = self.attach_observer(Box::new(RingSink::new(capacity)));
+        self.ring = Some(id);
+    }
+
+    /// The trace recorded so far, if [`Self::enable_trace`] was called.
     pub fn trace(&self) -> Option<&TraceBuffer> {
-        self.trace.as_ref()
+        self.ring
+            .and_then(|id| self.observer::<RingSink>(id))
+            .map(|s| s.buffer())
+    }
+
+    /// Render the Chrome-trace JSON of the [`crate::observe::ChromeTraceSink`]
+    /// behind `id`, closing open occupancy slices at the current time and
+    /// resolving task names from the task table. `None` if `id` is not a
+    /// Chrome-trace sink.
+    pub fn export_chrome_trace(&self, id: ObserverId) -> Option<String> {
+        let sink = self.observer::<crate::observe::ChromeTraceSink>(id)?;
+        Some(sink.to_json(self.now(), |pid| {
+            format!("{} {}", self.tasks.get(pid).name, pid)
+        }))
     }
 
     /// Per-task statistics in the shape of `perf stat -p <pid>` plus
@@ -537,7 +617,7 @@ impl Node {
     // State transitions
     // ---------------------------------------------------------------
 
-    fn set_task_cpu(&mut self, pid: Pid, to: CpuId, reason: MoveReason) {
+    fn set_task_cpu(&mut self, pid: Pid, to: CpuId, reason: MigrateReason) {
         let from = self.tasks.get(pid).cpu;
         if from == to {
             return;
@@ -552,10 +632,15 @@ impl Node {
         // set_task_cpu() during fork placement. We follow the paper.
         task.nr_migrations += 1;
         self.counters.add_sw(to, SwEvent::CpuMigrations, 1);
-        if let Some(tr) = &mut self.trace {
-            tr.record(self.queue.now(), TraceEvent::Migrate { pid, from, to });
+        if !self.observers.is_empty() {
+            self.emit(SchedEvent::Migrate {
+                pid,
+                from,
+                to,
+                reason,
+            });
         }
-        if reason == MoveReason::Balance {
+        if reason == MigrateReason::Balance {
             self.counters.add_sw(to, SwEvent::LoadBalanceMigrations, 1);
             // The migration thread runs briefly on both CPUs.
             self.cpus[from.index()].pending_overhead += self.cfg.migration_cost;
@@ -597,25 +682,42 @@ impl Node {
 
     /// Preemption check after `woken` was enqueued on `cpu`.
     fn check_preempt(&mut self, cpu: CpuId, woken: Pid) {
-        let Some(curr) = self.cpus[cpu.index()].curr else {
-            self.resched[cpu.index()] = true;
-            return;
-        };
-        let ci_w = self.class_idx(self.tasks.get(woken));
-        let ci_c = self.class_idx(self.tasks.get(curr));
-        if ci_w < ci_c {
-            self.resched[cpu.index()] = true;
-        } else if ci_w == ci_c {
-            let now = self.now();
-            let ctx = Self::sched_ctx(&self.cfg, &self.topo, &self.domains, now);
-            if self.classes[ci_w].wakeup_preempt(
-                cpu,
-                self.tasks.get(curr),
-                self.tasks.get(woken),
-                &ctx,
-            ) {
-                self.resched[cpu.index()] = true;
+        let curr = self.cpus[cpu.index()].curr;
+        let verdict = match curr {
+            None => PreemptVerdict::IdleCpu,
+            Some(curr) => {
+                let ci_w = self.class_idx(self.tasks.get(woken));
+                let ci_c = self.class_idx(self.tasks.get(curr));
+                match ci_w.cmp(&ci_c) {
+                    std::cmp::Ordering::Less => PreemptVerdict::HigherClass,
+                    std::cmp::Ordering::Greater => PreemptVerdict::LowerClass,
+                    std::cmp::Ordering::Equal => {
+                        let now = self.now();
+                        let ctx = Self::sched_ctx(&self.cfg, &self.topo, &self.domains, now);
+                        if self.classes[ci_w].wakeup_preempt(
+                            cpu,
+                            self.tasks.get(curr),
+                            self.tasks.get(woken),
+                            &ctx,
+                        ) {
+                            PreemptVerdict::Granted
+                        } else {
+                            PreemptVerdict::Denied
+                        }
+                    }
+                }
             }
+        };
+        if verdict.preempts() {
+            self.resched[cpu.index()] = true;
+        }
+        if !self.observers.is_empty() {
+            self.emit(SchedEvent::PreemptCheck {
+                cpu,
+                curr,
+                woken,
+                verdict,
+            });
         }
     }
 
@@ -656,10 +758,13 @@ impl Node {
             );
         }
         self.counters.add_sw(target, SwEvent::Wakeups, 1);
-        if let Some(tr) = &mut self.trace {
-            tr.record(now, TraceEvent::Wakeup { pid, cpu: target });
+        if !self.observers.is_empty() {
+            self.emit(SchedEvent::Wakeup { pid, cpu: target });
+            if self.tasks.get(pid).tag == Some(NOISE_TAG) {
+                self.emit(SchedEvent::NoiseArrival { pid, cpu: target });
+            }
         }
-        self.set_task_cpu(pid, target, MoveReason::Wakeup);
+        self.set_task_cpu(pid, target, MigrateReason::Wakeup);
         self.enqueue_task(target, pid, true);
         self.check_preempt(target, pid);
         // RT overload push.
@@ -680,7 +785,14 @@ impl Node {
                 let ctx = Self::sched_ctx(cfg, topo, domains, now);
                 classes[ci].push_overload(target, &ctx, load, tasks, &mut plans);
             }
-            self.apply_migrations(&plans);
+            let applied = self.apply_migrations(&plans);
+            if !self.observers.is_empty() {
+                self.emit(SchedEvent::Balance {
+                    cpu: target,
+                    kind: BalanceKind::RtPush,
+                    migrations: applied,
+                });
+            }
             plans.clear();
             self.plan_buf = plans;
         }
@@ -718,7 +830,7 @@ impl Node {
                     .add_sw(plan.from, SwEvent::InvoluntaryPreemptions, 1);
                 self.resched[plan.from.index()] = true;
                 // Running tasks are not in any class queue: skip dequeue.
-                self.set_task_cpu(plan.pid, plan.to, MoveReason::Balance);
+                self.set_task_cpu(plan.pid, plan.to, MigrateReason::Balance);
                 self.tasks.get_mut(plan.pid).last_wakeup = self.now();
                 self.enqueue_task(plan.to, plan.pid, false);
                 self.check_preempt(plan.to, plan.pid);
@@ -728,7 +840,7 @@ impl Node {
                 continue;
             }
             self.dequeue_task(plan.from, plan.pid);
-            self.set_task_cpu(plan.pid, plan.to, MoveReason::Balance);
+            self.set_task_cpu(plan.pid, plan.to, MigrateReason::Balance);
             // A freshly moved task restarts its sustained-wait clock, so
             // competing balance passes do not ping-pong it.
             self.tasks.get_mut(plan.pid).last_wakeup = self.now();
@@ -779,7 +891,14 @@ impl Node {
             let ctx = Self::sched_ctx(cfg, topo, domains, now);
             classes[ci].select_cpu_fork(tasks.get(pid), parent_cpu, &ctx, load, tasks)
         };
-        self.set_task_cpu(pid, target, MoveReason::Fork);
+        if !self.observers.is_empty() {
+            self.emit(SchedEvent::ForkPlaced {
+                pid,
+                parent,
+                cpu: target,
+            });
+        }
+        self.set_task_cpu(pid, target, MigrateReason::Fork);
         self.enqueue_task(target, pid, false);
         self.check_preempt(target, pid);
         pid
@@ -1034,7 +1153,7 @@ impl Node {
                     unreachable!("runnable-but-current handled in Running arm");
                 }
                 self.dequeue_task(cpu, pid);
-                self.set_task_cpu(pid, dest, MoveReason::Affinity);
+                self.set_task_cpu(pid, dest, MigrateReason::Affinity);
                 self.enqueue_task(dest, pid, false);
                 self.check_preempt(dest, pid);
             }
@@ -1046,7 +1165,7 @@ impl Node {
                 self.tasks.get_mut(pid).state = TaskState::Runnable;
                 self.set_curr(cpu, None);
                 self.counters.add_sw(cpu, SwEvent::ContextSwitches, 1);
-                self.set_task_cpu(pid, dest, MoveReason::Affinity);
+                self.set_task_cpu(pid, dest, MigrateReason::Affinity);
                 self.enqueue_task(dest, pid, false);
                 self.check_preempt(dest, pid);
                 self.resched[cpu.index()] = true;
@@ -1055,7 +1174,7 @@ impl Node {
             TaskState::Blocked(_) => {
                 // Placement fixed at wakeup; just update the stored CPU
                 // so select_cpu_wakeup starts from a legal one.
-                self.set_task_cpu(pid, dest, MoveReason::Affinity);
+                self.set_task_cpu(pid, dest, MigrateReason::Affinity);
             }
             TaskState::Dead => {}
         }
@@ -1097,11 +1216,13 @@ impl Node {
         self.set_curr(cpu, None);
 
         let mut picked = self.pick_from_classes(cpu);
+        let mut via_idle_balance = false;
         if picked.is_none() && self.cfg.balance == BalanceMode::Full {
             // New-idle balance: classes in priority order.
             self.counters.add_sw(cpu, SwEvent::LoadBalanceCalls, 1);
             self.cpus[idx].pending_overhead += self.cfg.balance_cost;
             let mut plans = std::mem::take(&mut self.plan_buf);
+            let mut pulled = 0;
             for ci in 0..self.classes.len() {
                 plans.clear();
                 {
@@ -1116,26 +1237,50 @@ impl Node {
                     let ctx = Self::sched_ctx(cfg, topo, domains, now);
                     classes[ci].idle_balance(cpu, &ctx, load, tasks, &mut plans);
                 }
-                if self.apply_migrations(&plans) > 0 {
+                let applied = self.apply_migrations(&plans);
+                pulled += applied;
+                if applied > 0 {
                     picked = self.pick_from_classes(cpu);
                     if picked.is_some() {
+                        via_idle_balance = true;
                         break;
                     }
                 }
             }
             plans.clear();
             self.plan_buf = plans;
+            if !self.observers.is_empty() {
+                self.emit(SchedEvent::Balance {
+                    cpu,
+                    kind: BalanceKind::NewIdle,
+                    migrations: pulled,
+                });
+            }
         }
 
         if let Some(pid) = picked {
             self.tasks.get_mut(pid).state = TaskState::Running;
             self.set_curr(cpu, Some(pid));
         }
+        if !self.observers.is_empty() {
+            let class = picked.map(|p| class_of_policy(self.tasks.get(p).policy));
+            self.emit(SchedEvent::Pick {
+                cpu,
+                prev,
+                picked,
+                class,
+                via_idle_balance,
+            });
+        }
 
         let new = self.cpus[idx].curr;
         if prev != new {
-            if let Some(tr) = &mut self.trace {
-                tr.record(now, TraceEvent::Switch { cpu, from: prev, to: new });
+            if !self.observers.is_empty() {
+                self.emit(SchedEvent::Switch {
+                    cpu,
+                    from: prev,
+                    to: new,
+                });
             }
             self.counters.add_sw(cpu, SwEvent::ContextSwitches, 1);
             self.cpus[idx].pending_overhead += self.cfg.ctx_switch_cost;
@@ -1253,6 +1398,12 @@ impl Node {
         // paths so fast and reference runs stay byte-identical.
         if self.tick_is_quiescent(cpu, now) {
             self.counters.add_sw(cpu, SwEvent::TimerTicks, 1);
+            if !self.observers.is_empty() {
+                self.emit(SchedEvent::Tick {
+                    cpu,
+                    outcome: TickOutcome::Quiescent,
+                });
+            }
             if !self.cfg.fast_event_loop {
                 self.queue.schedule(now + self.cfg.tick_period, Ev::Tick(cpu));
             }
@@ -1285,6 +1436,7 @@ impl Node {
         }
 
         // Scheduler-class tick (slice expiry etc.).
+        let mut tick_resched = false;
         if let Some(pid) = self.cpus[idx].curr {
             let ci = self.class_idx(self.tasks.get(pid));
             let need = {
@@ -1300,7 +1452,18 @@ impl Node {
             };
             if need {
                 self.resched[idx] = true;
+                tick_resched = true;
             }
+        }
+        if !self.observers.is_empty() {
+            let outcome = if tickless {
+                TickOutcome::Skipped
+            } else {
+                TickOutcome::Accounted {
+                    resched: tick_resched,
+                }
+            };
+            self.emit(SchedEvent::Tick { cpu, outcome });
         }
 
         // Periodic load balancing. Busy CPUs balance far less often
@@ -1315,6 +1478,7 @@ impl Node {
             for level in due {
                 self.counters.add_sw(cpu, SwEvent::LoadBalanceCalls, 1);
                 self.cpus[idx].pending_overhead += self.cfg.balance_cost;
+                let mut moved = 0;
                 for ci in 0..self.classes.len() {
                     plans.clear();
                     {
@@ -1329,7 +1493,14 @@ impl Node {
                         let ctx = Self::sched_ctx(cfg, topo, domains, now);
                         classes[ci].periodic_balance(cpu, level, &ctx, load, tasks, &mut plans);
                     }
-                    self.apply_migrations(&plans);
+                    moved += self.apply_migrations(&plans);
+                }
+                if !self.observers.is_empty() {
+                    self.emit(SchedEvent::Balance {
+                        cpu,
+                        kind: BalanceKind::Periodic { level },
+                        migrations: moved,
+                    });
                 }
             }
             plans.clear();
@@ -1395,6 +1566,12 @@ impl Node {
         self.counters.add_sw(cpu, SwEvent::Irqs, 1);
         self.counters
             .add_hw(cpu, HwEvent::IrqOverheadNs, irq.cost.as_nanos());
+        if !self.observers.is_empty() {
+            self.emit(SchedEvent::Irq {
+                cpu,
+                cost: irq.cost,
+            });
+        }
         self.recomp[cpu.index()] = true;
         let next = exp_interval(irq.rate_hz, &mut self.rng);
         self.queue.schedule(now + next, Ev::Irq);
@@ -1451,6 +1628,13 @@ impl Node {
     /// arithmetically per batched tick. Otherwise a quiescent CPU's next
     /// due balance caps the horizon so the balance tick runs normally.
     /// Returns the number of ticks batched.
+    ///
+    /// Batched ticks are *not* published to observers: they are provably
+    /// inert, so no switch, wakeup, migration or preemption decision can
+    /// occur inside the window, and replaying millions of
+    /// `Tick(Quiescent)` events would defeat the fast path. Ticks that
+    /// dispatch normally (including quiescent ones on the reference
+    /// path) are always published.
     fn fast_forward(&mut self, bound: Option<SimTime>) -> u64 {
         if !self.cfg.fast_event_loop {
             return 0;
@@ -1580,20 +1764,27 @@ impl Node {
         self.run_until_time(deadline);
     }
 
-    /// Run until `pid` has exited. Panics after `max_events` dispatched
-    /// events as a hang guard (batched quiescent ticks do not count).
-    pub fn run_until_exit(&mut self, pid: Pid, max_events: u64) {
+    /// Run until `pid` has exited, or until the run can provably not
+    /// finish: [`RunOutcome::Deadlock`] when the event queue drains with
+    /// the task still alive (a lost wakeup or blocked dependency),
+    /// [`RunOutcome::BudgetExhausted`] after `max_events` dispatched
+    /// events (hang guard; batched quiescent ticks do not count).
+    ///
+    /// The node is left exactly where the run stopped — callers can
+    /// inspect tasks, counters and observers in all three cases.
+    pub fn run_until_exit(&mut self, pid: Pid, max_events: u64) -> RunOutcome {
         let mut budget = max_events;
         while self.tasks.get(pid).state != TaskState::Dead {
             self.fast_forward(None);
-            assert!(
-                self.step(),
-                "event queue drained before {pid} exited (deadlock?)"
-            );
-            budget = budget.checked_sub(1).unwrap_or_else(|| {
-                panic!("run_until_exit: exceeded {max_events} events waiting on {pid}")
-            });
+            if !self.step() {
+                return RunOutcome::Deadlock;
+            }
+            match budget.checked_sub(1) {
+                Some(b) => budget = b,
+                None => return RunOutcome::BudgetExhausted,
+            }
         }
+        RunOutcome::Completed
     }
 
     /// Immutable access to the RNG-derived seed-sensitive state is not
@@ -1630,7 +1821,7 @@ mod tests {
     use crate::task::Policy;
 
     fn quiet_node() -> Node {
-        NodeBuilder::new(Topology::power6_js22()).seed(1).build()
+        NodeBuilder::new(Topology::power6_js22()).with_seed(1).build()
     }
 
     fn compute_spec(name: &str, ms: u64) -> TaskSpec {
@@ -1645,7 +1836,7 @@ mod tests {
     fn single_task_runs_to_completion() {
         let mut node = quiet_node();
         let pid = node.spawn(compute_spec("job", 10));
-        node.run_until_exit(pid, 1_000_000);
+        assert!(node.run_until_exit(pid, 1_000_000).is_complete());
         let t = node.tasks.get(pid);
         assert_eq!(t.state, TaskState::Dead);
         // Cold start + SMT-free: at least 10ms of wall time.
@@ -1658,7 +1849,7 @@ mod tests {
         let mut node = quiet_node();
         let pid = node.spawn(compute_spec("job", 10));
         let start = node.now();
-        node.run_until_exit(pid, 1_000_000);
+        assert!(node.run_until_exit(pid, 1_000_000).is_complete());
         let elapsed = (node.now() - start).as_secs_f64();
         // 10ms of work at cold-start speed (0.7 rising to 1.0, tau=4ms):
         // must take more than 10ms but less than 10/0.7 ms.
@@ -1668,11 +1859,11 @@ mod tests {
 
     #[test]
     fn two_tasks_on_one_cpu_share() {
-        let mut node = NodeBuilder::new(Topology::smp(1)).seed(2).build();
+        let mut node = NodeBuilder::new(Topology::smp(1)).with_seed(2).build();
         let a = node.spawn(compute_spec("a", 50));
         let b = node.spawn(compute_spec("b", 50));
-        node.run_until_exit(a, 10_000_000);
-        node.run_until_exit(b, 10_000_000);
+        assert!(node.run_until_exit(a, 10_000_000).is_complete());
+        assert!(node.run_until_exit(b, 10_000_000).is_complete());
         // Serialized on one CPU: at least 100ms.
         assert!(node.now().as_secs_f64() >= 0.100);
         let switches = node.counters.total().sw(SwEvent::ContextSwitches);
@@ -1707,8 +1898,8 @@ mod tests {
             let b = node.spawn(
                 compute_spec("b", 20).with_affinity(CpuMask::single(CpuId(cpu_b))),
             );
-            node.run_until_exit(a, 10_000_000);
-            node.run_until_exit(b, 10_000_000);
+            assert!(node.run_until_exit(a, 10_000_000).is_complete());
+            assert!(node.run_until_exit(b, 10_000_000).is_complete());
             node.now().as_secs_f64()
         };
         let same_core = run_pair(0, 1);
@@ -1733,7 +1924,7 @@ mod tests {
                 ],
             ),
         ));
-        node.run_until_exit(pid, 1_000_000);
+        assert!(node.run_until_exit(pid, 1_000_000).is_complete());
         assert!(node.now().as_secs_f64() >= 0.006);
         let total = node.counters.total();
         assert!(total.sw(SwEvent::Wakeups) >= 1);
@@ -1761,8 +1952,8 @@ mod tests {
             Policy::Normal { nice: 0 },
             ScriptProgram::boxed("slow", mk(20)),
         ));
-        node.run_until_exit(fast, 10_000_000);
-        node.run_until_exit(slow, 10_000_000);
+        assert!(node.run_until_exit(fast, 10_000_000).is_complete());
+        assert!(node.run_until_exit(slow, 10_000_000).is_complete());
         let f = node.tasks.get(fast).exited_at.unwrap();
         let s = node.tasks.get(slow).exited_at.unwrap();
         // Fast exits only marginally before slow: it waited at the barrier.
@@ -1779,7 +1970,7 @@ mod tests {
             Policy::Normal { nice: 0 },
             ScriptProgram::boxed("parent", vec![Step::Fork(child), Step::WaitChildren]),
         ));
-        node.run_until_exit(parent, 1_000_000);
+        assert!(node.run_until_exit(parent, 1_000_000).is_complete());
         assert!(node.counters.total().sw(SwEvent::Forks) >= 1);
         // Parent outlives child.
         let child_pid = Pid(parent.0 + 1);
@@ -1790,7 +1981,7 @@ mod tests {
 
     #[test]
     fn rt_task_preempts_cfs_task() {
-        let mut node = NodeBuilder::new(Topology::smp(1)).seed(3).build();
+        let mut node = NodeBuilder::new(Topology::smp(1)).with_seed(3).build();
         let cfs = node.spawn(compute_spec("cfs", 100));
         node.run_for(SimDuration::from_millis(2));
         assert_eq!(node.tasks.get(cfs).state, TaskState::Running);
@@ -1802,8 +1993,8 @@ mod tests {
         node.run_for(SimDuration::from_micros(100));
         assert_eq!(node.tasks.get(rt).state, TaskState::Running);
         assert_eq!(node.tasks.get(cfs).state, TaskState::Runnable);
-        node.run_until_exit(rt, 1_000_000);
-        node.run_until_exit(cfs, 10_000_000);
+        assert!(node.run_until_exit(rt, 1_000_000).is_complete());
+        assert!(node.run_until_exit(cfs, 10_000_000).is_complete());
     }
 
     #[test]
@@ -1835,7 +2026,7 @@ mod tests {
                 ],
             ),
         ));
-        node.run_until_exit(waiter, 1_000_000);
+        assert!(node.run_until_exit(waiter, 1_000_000).is_complete());
         let t = node.tasks.get(waiter);
         // The waiter spun (busy) rather than blocking: its runtime
         // includes the ~2ms spin.
@@ -1873,7 +2064,7 @@ mod tests {
                 ],
             ),
         ));
-        node.run_until_exit(waiter, 1_000_000);
+        assert!(node.run_until_exit(waiter, 1_000_000).is_complete());
         let t = node.tasks.get(waiter);
         // Spun ~1ms then blocked ~19ms: runtime far below wall time.
         assert!(t.total_runtime.as_secs_f64() < 0.005);
@@ -1882,13 +2073,13 @@ mod tests {
 
     #[test]
     fn set_policy_moves_between_classes() {
-        let mut node = NodeBuilder::new(Topology::smp(2)).seed(5).build();
+        let mut node = NodeBuilder::new(Topology::smp(2)).with_seed(5).build();
         let a = node.spawn(compute_spec("a", 30));
         node.run_for(SimDuration::from_millis(1));
         node.set_policy(a, Policy::Fifo(10));
         node.drain();
         assert_eq!(node.tasks.get(a).policy, Policy::Fifo(10));
-        node.run_until_exit(a, 10_000_000);
+        assert!(node.run_until_exit(a, 10_000_000).is_complete());
     }
 
     #[test]
@@ -1903,7 +2094,7 @@ mod tests {
         node.drain();
         assert_eq!(node.tasks.get(a).cpu, new_cpu);
         assert!(node.counters.total().sw(SwEvent::CpuMigrations) > before);
-        node.run_until_exit(a, 10_000_000);
+        assert!(node.run_until_exit(a, 10_000_000).is_complete());
         assert_eq!(node.tasks.get(a).cpu, new_cpu);
     }
 
@@ -1911,11 +2102,11 @@ mod tests {
     fn determinism_same_seed_same_fingerprint() {
         let run = |seed: u64| -> u64 {
             let mut node = NodeBuilder::new(Topology::power6_js22())
-                .seed(seed)
-                .noise(NoiseProfile::standard(8))
+                .with_seed(seed)
+                .with_noise(NoiseProfile::standard(8))
                 .build();
             let pid = node.spawn(compute_spec("probe", 50));
-            node.run_until_exit(pid, 50_000_000);
+            assert!(node.run_until_exit(pid, 50_000_000).is_complete());
             node.state_fingerprint()
         };
         assert_eq!(run(42), run(42));
@@ -1926,7 +2117,7 @@ mod tests {
     fn task_report_snapshots_stats() {
         let mut node = quiet_node();
         let pid = node.spawn(compute_spec("job", 5));
-        node.run_until_exit(pid, 1_000_000);
+        assert!(node.run_until_exit(pid, 1_000_000).is_complete());
         let r = node.task_report(pid);
         assert_eq!(r.name, "job");
         assert_eq!(r.state, TaskState::Dead);
@@ -1999,9 +2190,9 @@ mod tests {
             let mut kc = KernelConfig::hpl();
             kc.tickless_single_hpc = tickless;
             let mut node = NodeBuilder::new(Topology::power6_js22())
-                .config(kc)
-                .hpc_class(Box::new(Shim(crate::cfs::CfsClass::new())))
-                .seed(1)
+                .with_config(kc)
+                .with_hpc_class(Box::new(Shim(crate::cfs::CfsClass::new())))
+                .with_seed(1)
                 .build();
             let pid = node.spawn(TaskSpec::new(
                 "hpc",
@@ -2011,7 +2202,7 @@ mod tests {
                     vec![Step::Compute(SimDuration::from_millis(50))],
                 ),
             ));
-            node.run_until_exit(pid, 10_000_000);
+            assert!(node.run_until_exit(pid, 10_000_000).is_complete());
             node.counters.total().hw(HwEvent::TickOverheadNs)
         };
         let with_tick = measure(false);
@@ -2039,7 +2230,7 @@ mod tests {
         node.run_for(SimDuration::from_millis(1));
         assert!(matches!(node.tasks.get(pid).state, TaskState::Blocked(_)));
         node.set_policy(pid, Policy::Fifo(30));
-        node.run_until_exit(pid, 10_000_000);
+        assert!(node.run_until_exit(pid, 10_000_000).is_complete());
         assert_eq!(node.tasks.get(pid).policy, Policy::Fifo(30));
     }
 
@@ -2047,8 +2238,8 @@ mod tests {
     fn migration_counter_attribution() {
         // Balance migrations are a subset of all migrations.
         let mut node = NodeBuilder::new(Topology::power6_js22())
-            .seed(13)
-            .noise(NoiseProfile::standard(8))
+            .with_seed(13)
+            .with_noise(NoiseProfile::standard(8))
             .build();
         node.run_for(SimDuration::from_secs(2));
         let total = node.counters.total();
@@ -2070,14 +2261,14 @@ mod tests {
                 affinity: CpuMask::single(CpuId(0)),
             });
             let mut node = NodeBuilder::new(Topology::power6_js22())
-                .noise(noise)
-                .seed(5)
+                .with_noise(noise)
+                .with_seed(5)
                 .build();
             let start = node.now();
             let pid = node.spawn(
                 compute_spec("victim", 50).with_affinity(CpuMask::single(CpuId(cpu))),
             );
-            node.run_until_exit(pid, 50_000_000);
+            assert!(node.run_until_exit(pid, 50_000_000).is_complete());
             node.tasks.get(pid).exited_at.unwrap().since(start).as_secs_f64()
         };
         let on_irq_cpu = run_on(0);
@@ -2094,8 +2285,8 @@ mod tests {
             affinity: CpuMask::first_n(8),
         });
         let mut node = NodeBuilder::new(Topology::power6_js22())
-            .noise(noise)
-            .seed(6)
+            .with_noise(noise)
+            .with_seed(6)
             .build();
         node.run_for(SimDuration::from_secs(1));
         let irqs = node.counters.total().sw(SwEvent::Irqs);
@@ -2105,8 +2296,8 @@ mod tests {
     #[test]
     fn daemons_generate_noise() {
         let mut node = NodeBuilder::new(Topology::power6_js22())
-            .seed(7)
-            .noise(NoiseProfile::standard(8))
+            .with_seed(7)
+            .with_noise(NoiseProfile::standard(8))
             .build();
         node.run_for(SimDuration::from_secs(5));
         let total = node.counters.total();

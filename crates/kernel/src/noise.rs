@@ -19,6 +19,12 @@ use hpl_sim::{SimDuration, SimTime};
 use hpl_topology::{CpuId, CpuMask};
 use std::collections::VecDeque;
 
+/// Tag stamped on every task the noise generator creates (daemons and
+/// their burst children). The node's observers use it to tell a
+/// noise-daemon arrival apart from an application wakeup
+/// ([`crate::observe::SchedEvent::NoiseArrival`]).
+pub const NOISE_TAG: u32 = 0x4E5A; // "NZ"
+
 /// A burst: with some probability per wake cycle, fork several short
 /// CPU-burning children (log rotation, stat aggregation, compilation of
 /// monitoring reports, …).
@@ -107,6 +113,7 @@ impl DaemonSpec {
             Box::new(DaemonProgram::new(self.clone())),
         )
         .with_affinity(affinity)
+        .with_tag(NOISE_TAG)
     }
 }
 
@@ -178,7 +185,8 @@ impl Program for DaemonProgram {
                             "burst-child",
                             vec![Step::Compute(SimDuration::from_nanos(w))],
                         ),
-                    );
+                    )
+                    .with_tag(NOISE_TAG);
                     self.pending.push_back(Step::Fork(child));
                 }
             }

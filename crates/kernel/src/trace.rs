@@ -76,6 +76,23 @@ impl TraceBuffer {
         &self.events
     }
 
+    /// Iterate the recorded events in order. Prefer this (or the
+    /// `IntoIterator` impl on `&TraceBuffer`) over indexing into
+    /// [`Self::events`]: consumers stay decoupled from the storage.
+    pub fn iter(&self) -> impl Iterator<Item = (SimTime, TraceEvent)> + '_ {
+        self.events.iter().copied()
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True iff nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
     /// Events that did not fit.
     pub fn dropped(&self) -> u64 {
         self.dropped
@@ -145,6 +162,15 @@ impl TraceBuffer {
     }
 }
 
+impl<'a> IntoIterator for &'a TraceBuffer {
+    type Item = (SimTime, TraceEvent);
+    type IntoIter = std::iter::Copied<std::slice::Iter<'a, (SimTime, TraceEvent)>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.events.iter().copied()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -177,8 +203,18 @@ mod tests {
                 cpu: CpuId(0),
             },
         );
-        assert_eq!(b.events().len(), 2);
+        assert_eq!(b.len(), 2);
         assert_eq!(b.dropped(), 1);
+        // Iterator and IntoIterator agree with the recorded order.
+        let pids: Vec<u32> = b
+            .iter()
+            .map(|(_, e)| match e {
+                TraceEvent::Wakeup { pid, .. } => pid.0,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(pids, vec![1, 2]);
+        assert_eq!((&b).into_iter().count(), 2);
     }
 
     #[test]

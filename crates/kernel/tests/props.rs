@@ -57,8 +57,8 @@ proptest! {
     #[test]
     fn all_tasks_run_to_completion(specs in proptest::collection::vec(spec_strategy(), 1..12)) {
         let mut node = NodeBuilder::new(Topology::power6_js22())
-            .config(KernelConfig::default())
-            .seed(42)
+            .with_config(KernelConfig::default())
+            .with_seed(42)
             .build();
         let pids: Vec<_> = specs
             .iter()
@@ -66,7 +66,7 @@ proptest! {
             .map(|(i, g)| node.spawn(build_spec(g, i, false)))
             .collect();
         for &pid in &pids {
-            node.run_until_exit(pid, 500_000_000);
+            assert!(node.run_until_exit(pid, 500_000_000).is_complete());
         }
         for (&pid, g) in pids.iter().zip(&specs) {
             let t = node.tasks.get(pid);
@@ -92,8 +92,8 @@ proptest! {
     ) {
         let run = |seed: u64| {
             let mut node = NodeBuilder::new(Topology::power6_js22())
-                .noise(NoiseProfile::standard(8))
-                .seed(seed)
+                .with_noise(NoiseProfile::standard(8))
+                .with_seed(seed)
                 .build();
             let pids: Vec<_> = specs
                 .iter()
@@ -101,7 +101,7 @@ proptest! {
                 .map(|(i, g)| node.spawn(build_spec(g, i, false)))
                 .collect();
             for &pid in &pids {
-                node.run_until_exit(pid, 500_000_000);
+                assert!(node.run_until_exit(pid, 500_000_000).is_complete());
             }
             node.state_fingerprint()
         };
@@ -114,8 +114,8 @@ proptest! {
     #[test]
     fn counter_arithmetic_is_consistent(specs in proptest::collection::vec(spec_strategy(), 1..10)) {
         let mut node = NodeBuilder::new(Topology::power6_js22())
-            .noise(NoiseProfile::standard(8))
-            .seed(11)
+            .with_noise(NoiseProfile::standard(8))
+            .with_seed(11)
             .build();
         let pids: Vec<_> = specs
             .iter()
@@ -123,7 +123,7 @@ proptest! {
             .map(|(i, g)| node.spawn(build_spec(g, i, false)))
             .collect();
         for &pid in &pids {
-            node.run_until_exit(pid, 500_000_000);
+            assert!(node.run_until_exit(pid, 500_000_000).is_complete());
         }
         let total = node.counters.total();
         use hpl_perf::{HwEvent, SwEvent};

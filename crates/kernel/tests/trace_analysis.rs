@@ -13,8 +13,8 @@ use hpl_topology::{CpuMask, Topology};
 #[test]
 fn analysis_agrees_with_counters_on_a_noisy_run() {
     let mut node = NodeBuilder::new(Topology::power6_js22())
-        .noise(NoiseProfile::standard(8))
-        .seed(17)
+        .with_noise(NoiseProfile::standard(8))
+        .with_seed(17)
         .build();
     node.enable_trace(1_000_000);
     let start = node.now();
@@ -32,7 +32,7 @@ fn analysis_agrees_with_counters_on_a_noisy_run() {
         })
         .collect();
     for &p in &pids {
-        node.run_until_exit(p, 200_000_000);
+        assert!(node.run_until_exit(p, 200_000_000).is_complete());
     }
     let end = node.now();
 
@@ -98,7 +98,7 @@ fn analysis_agrees_with_counters_on_a_noisy_run() {
 
 #[test]
 fn quiet_hpl_style_run_shows_no_preemption_of_the_app() {
-    let mut node = NodeBuilder::new(Topology::power6_js22()).seed(3).build();
+    let mut node = NodeBuilder::new(Topology::power6_js22()).with_seed(3).build();
     node.enable_trace(100_000);
     let start = node.now();
     let pid = node.spawn(
@@ -109,7 +109,7 @@ fn quiet_hpl_style_run_shows_no_preemption_of_the_app() {
         )
         .with_affinity(CpuMask::first_n(8)),
     );
-    node.run_until_exit(pid, 100_000_000);
+    assert!(node.run_until_exit(pid, 100_000_000).is_complete());
     let analysis = TraceAnalysis::analyse(
         node.trace().unwrap(),
         8,

@@ -97,7 +97,8 @@ proptest! {
                 TraceEvent::Wakeup { pid: Pid(0), cpu: CpuId(0) },
             );
         }
-        prop_assert_eq!(b.events().len(), n.min(cap));
+        prop_assert_eq!(b.len(), n.min(cap));
+        prop_assert_eq!(b.iter().count(), n.min(cap));
         prop_assert_eq!(b.dropped() as usize, n.saturating_sub(cap));
     }
 }

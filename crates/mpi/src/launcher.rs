@@ -12,7 +12,7 @@
 use crate::runtime::{JobSpec, RankProgram};
 use hpl_core::chrt::chrt_spec;
 use hpl_kernel::program::ScriptProgram;
-use hpl_kernel::{Node, Pid, Policy, Step, TaskSpec, TaskState};
+use hpl_kernel::{Node, Pid, Policy, RunOutcome, Step, TaskSpec, TaskState};
 use hpl_sim::{SimDuration, SimTime};
 
 /// Task tag marking members of the measured application (ranks +
@@ -150,15 +150,39 @@ pub fn launch(node: &mut Node, job: &JobSpec, mode: SchedMode) -> LaunchHandle {
 impl LaunchHandle {
     /// Run the node until the whole tree (perf) has exited; returns the
     /// **application execution time**: mpiexec's lifetime, which is what
-    /// the paper's per-benchmark timers report.
-    pub fn run_to_completion(&self, node: &mut Node, max_events: u64) -> SimDuration {
-        node.run_until_exit(self.perf_pid, max_events);
+    /// the paper's per-benchmark timers report. On deadlock or budget
+    /// exhaustion the failed [`RunOutcome`] comes back as the error and
+    /// the node is left where the run stopped, so a harness can record
+    /// the failed repetition instead of tearing the whole sweep down.
+    pub fn try_run_to_completion(
+        &self,
+        node: &mut Node,
+        max_events: u64,
+    ) -> Result<SimDuration, RunOutcome> {
+        let outcome = node.run_until_exit(self.perf_pid, max_events);
+        if !outcome.is_complete() {
+            return Err(outcome);
+        }
         let mpiexec = node.tasks.get(self.mpiexec_pid);
         debug_assert_eq!(mpiexec.state, TaskState::Dead);
-        mpiexec
+        Ok(mpiexec
             .exited_at
             .expect("mpiexec dead implies exit time")
-            .since(self.launched_at)
+            .since(self.launched_at))
+    }
+
+    /// Panicking convenience wrapper around
+    /// [`Self::try_run_to_completion`] for tests and examples that treat
+    /// an unfinished run as a bug.
+    pub fn run_to_completion(&self, node: &mut Node, max_events: u64) -> SimDuration {
+        self.try_run_to_completion(node, max_events)
+            .unwrap_or_else(|outcome| {
+                panic!(
+                    "job under {} did not complete: {}",
+                    self.perf_pid,
+                    outcome.label()
+                )
+            })
     }
 }
 
@@ -187,7 +211,7 @@ mod tests {
 
     #[test]
     fn cfs_launch_runs_to_completion() {
-        let mut node = NodeBuilder::new(Topology::power6_js22()).seed(1).build();
+        let mut node = NodeBuilder::new(Topology::power6_js22()).with_seed(1).build();
         let job = tiny_job(8);
         let h = launch(&mut node, &job, SchedMode::Cfs);
         let t = h.run_to_completion(&mut node, 50_000_000);
@@ -210,7 +234,7 @@ mod tests {
 
     #[test]
     fn hpc_launch_puts_ranks_in_hpc_class() {
-        let mut node = hpl_node_builder(Topology::power6_js22()).seed(2).build();
+        let mut node = hpl_node_builder(Topology::power6_js22()).with_seed(2).build();
         let job = tiny_job(8);
         let h = launch(&mut node, &job, SchedMode::Hpc);
         h.run_to_completion(&mut node, 50_000_000);
@@ -223,7 +247,7 @@ mod tests {
 
     #[test]
     fn rt_launch_uses_fifo() {
-        let mut node = NodeBuilder::new(Topology::power6_js22()).seed(3).build();
+        let mut node = NodeBuilder::new(Topology::power6_js22()).with_seed(3).build();
         let job = tiny_job(4);
         let h = launch(&mut node, &job, SchedMode::Rt { prio: 50 });
         h.run_to_completion(&mut node, 50_000_000);
@@ -234,7 +258,7 @@ mod tests {
 
     #[test]
     fn nice_launch_sets_nice() {
-        let mut node = NodeBuilder::new(Topology::power6_js22()).seed(6).build();
+        let mut node = NodeBuilder::new(Topology::power6_js22()).with_seed(6).build();
         let job = tiny_job(4);
         let h = launch(&mut node, &job, SchedMode::CfsNice { nice: -19 });
         h.run_to_completion(&mut node, 50_000_000);
@@ -245,7 +269,7 @@ mod tests {
 
     #[test]
     fn pinned_launch_sets_affinities() {
-        let mut node = NodeBuilder::new(Topology::power6_js22()).seed(4).build();
+        let mut node = NodeBuilder::new(Topology::power6_js22()).with_seed(4).build();
         let job = tiny_job(8);
         let h = launch(&mut node, &job, SchedMode::CfsPinned);
         h.run_to_completion(&mut node, 50_000_000);
@@ -264,7 +288,7 @@ mod tests {
 
     #[test]
     fn hpl_placement_one_rank_per_core_first() {
-        let mut node = hpl_node_builder(Topology::power6_js22()).seed(5).build();
+        let mut node = hpl_node_builder(Topology::power6_js22()).with_seed(5).build();
         let job = tiny_job(4);
         let h = launch(&mut node, &job, SchedMode::Hpc);
         h.run_to_completion(&mut node, 50_000_000);
@@ -282,7 +306,7 @@ mod tests {
     #[test]
     fn deterministic_exec_time() {
         let run = |seed: u64| {
-            let mut node = hpl_node_builder(Topology::power6_js22()).seed(seed).build();
+            let mut node = hpl_node_builder(Topology::power6_js22()).with_seed(seed).build();
             let job = tiny_job(8);
             let h = launch(&mut node, &job, SchedMode::Hpc);
             h.run_to_completion(&mut node, 50_000_000)

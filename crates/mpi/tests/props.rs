@@ -62,9 +62,9 @@ proptest! {
             SchedMode::Hpc,
         ] {
             let mut node = if mode == SchedMode::Hpc {
-                hpl_node_builder(Topology::power6_js22()).seed(5).build()
+                hpl_node_builder(Topology::power6_js22()).with_seed(5).build()
             } else {
-                NodeBuilder::new(Topology::power6_js22()).seed(5).build()
+                NodeBuilder::new(Topology::power6_js22()).with_seed(5).build()
             };
             let handle = launch(&mut node, &job, mode);
             let exec = handle.run_to_completion(&mut node, 2_000_000_000);
@@ -103,7 +103,7 @@ proptest! {
             .collect();
         let job2 = to_job(&doubled, 4);
         let run = |job: &JobSpec| {
-            let mut node = NodeBuilder::new(Topology::power6_js22()).seed(9).build();
+            let mut node = NodeBuilder::new(Topology::power6_js22()).with_seed(9).build();
             let handle = launch(&mut node, job, SchedMode::Cfs);
             handle.run_to_completion(&mut node, 2_000_000_000)
         };
@@ -122,7 +122,7 @@ proptest! {
     #[test]
     fn clean_machine_time_within_model_envelope(work_ms in 5u64..40) {
         let job = to_job(&[OpGen::Compute(work_ms * 1000)], 8);
-        let mut node = NodeBuilder::new(Topology::power6_js22()).seed(3).build();
+        let mut node = NodeBuilder::new(Topology::power6_js22()).with_seed(3).build();
         let handle = launch(&mut node, &job, SchedMode::Cfs);
         let exec = handle.run_to_completion(&mut node, 2_000_000_000).as_secs_f64();
         let work = work_ms as f64 / 1000.0;

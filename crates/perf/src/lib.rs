@@ -15,6 +15,9 @@
 //! * [`session`] — [`session::PerfSession`], the equivalent of running
 //!   `perf stat -a` around an application: opens a window, diffs counters,
 //!   renders a `perf stat`-style report.
+//! * [`metrics`] — the scheduler metrics registry
+//!   ([`metrics::SchedMetrics`]): per-CPU counters and log2 histograms
+//!   filled by the kernel's observer sinks.
 //! * [`record`] — per-run records ([`record::RunRecord`]) and tables used
 //!   to regenerate the paper's Tables I/II and the Fig. 3 scatter data.
 
@@ -23,10 +26,12 @@
 
 pub mod counters;
 pub mod event;
+pub mod metrics;
 pub mod record;
 pub mod session;
 
 pub use counters::{CounterSet, PerCpuCounters};
 pub use event::{Event, HwEvent, SwEvent};
-pub use record::{RunRecord, RunTable};
+pub use metrics::{Log2Hist, SchedMetrics};
+pub use record::{RunOutcome, RunRecord, RunTable};
 pub use session::PerfSession;

@@ -8,7 +8,42 @@
 
 use crate::counters::CounterSet;
 use crate::event::SwEvent;
+use crate::metrics::SchedMetrics;
 use hpl_sim::stats::{pearson, spearman, Summary};
+
+/// How a measured run terminated.
+///
+/// The kernel's `run_until_exit` reports one of these instead of
+/// panicking, so the harness can record a failed repetition and keep
+/// aggregating instead of tearing the whole sweep down.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[must_use = "a run that did not complete usually invalidates the measurement"]
+pub enum RunOutcome {
+    /// The awaited task exited; the measurement window is valid.
+    Completed,
+    /// The event queue drained with the awaited task still alive —
+    /// a lost wakeup or blocked dependency in the simulated workload.
+    Deadlock,
+    /// The event budget was exhausted before the task exited (hang
+    /// guard tripped).
+    BudgetExhausted,
+}
+
+impl RunOutcome {
+    /// True iff the run finished normally.
+    pub fn is_complete(self) -> bool {
+        matches!(self, RunOutcome::Completed)
+    }
+
+    /// Stable lowercase label for reports/CSV.
+    pub fn label(self) -> &'static str {
+        match self {
+            RunOutcome::Completed => "completed",
+            RunOutcome::Deadlock => "deadlock",
+            RunOutcome::BudgetExhausted => "budget_exhausted",
+        }
+    }
+}
 
 /// The measurements of one benchmark repetition.
 #[derive(Debug, Clone, PartialEq)]
@@ -25,10 +60,18 @@ pub struct RunRecord {
     pub involuntary_preemptions: u64,
     /// Load-balancer invocations over the window.
     pub load_balance_calls: u64,
+    /// How the run terminated (anything but [`RunOutcome::Completed`]
+    /// taints the record).
+    pub outcome: RunOutcome,
+    /// Observer-collected scheduler metrics, when the harness ran with
+    /// metrics collection enabled.
+    pub metrics: Option<SchedMetrics>,
 }
 
 impl RunRecord {
-    /// Build a record from a closed perf-window delta.
+    /// Build a record from a closed perf-window delta (outcome
+    /// defaults to [`RunOutcome::Completed`]; see
+    /// [`with_outcome`](Self::with_outcome)).
     pub fn from_delta(run: u64, exec_time_s: f64, d: &CounterSet) -> Self {
         RunRecord {
             run,
@@ -37,7 +80,21 @@ impl RunRecord {
             context_switches: d.sw(SwEvent::ContextSwitches),
             involuntary_preemptions: d.sw(SwEvent::InvoluntaryPreemptions),
             load_balance_calls: d.sw(SwEvent::LoadBalanceCalls),
+            outcome: RunOutcome::Completed,
+            metrics: None,
         }
+    }
+
+    /// Set the termination outcome.
+    pub fn with_outcome(mut self, outcome: RunOutcome) -> Self {
+        self.outcome = outcome;
+        self
+    }
+
+    /// Attach an observer-collected metrics registry.
+    pub fn with_metrics(mut self, metrics: SchedMetrics) -> Self {
+        self.metrics = Some(metrics);
+        self
     }
 }
 
@@ -124,20 +181,44 @@ impl RunTable {
     /// artifact-evaluation appendix would archive.
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
-            "run,exec_time_s,cpu_migrations,context_switches,involuntary_preemptions,load_balance_calls\n",
+            "run,exec_time_s,cpu_migrations,context_switches,involuntary_preemptions,load_balance_calls,outcome\n",
         );
         for r in &self.records {
             out.push_str(&format!(
-                "{},{},{},{},{},{}\n",
+                "{},{},{},{},{},{},{}\n",
                 r.run,
                 r.exec_time_s,
                 r.cpu_migrations,
                 r.context_switches,
                 r.involuntary_preemptions,
-                r.load_balance_calls
+                r.load_balance_calls,
+                r.outcome.label()
             ));
         }
         out
+    }
+
+    /// True iff every repetition completed normally.
+    pub fn all_completed(&self) -> bool {
+        self.records.iter().all(|r| r.outcome.is_complete())
+    }
+
+    /// Records that did not complete (deadlocked or over budget).
+    pub fn failed_records(&self) -> Vec<&RunRecord> {
+        self.records
+            .iter()
+            .filter(|r| !r.outcome.is_complete())
+            .collect()
+    }
+
+    /// Merge the observer metrics of every repetition that collected
+    /// them; `None` when no record carries a registry.
+    pub fn merged_metrics(&self) -> Option<SchedMetrics> {
+        let mut acc: Option<SchedMetrics> = None;
+        for m in self.records.iter().filter_map(|r| r.metrics.as_ref()) {
+            acc.get_or_insert_with(SchedMetrics::new).merge(m);
+        }
+        acc
     }
 
     /// Execution-time percentile (`q` in 0..=100).
@@ -158,6 +239,8 @@ mod tests {
             context_switches: cs,
             involuntary_preemptions: 0,
             load_balance_calls: 0,
+            outcome: RunOutcome::Completed,
+            metrics: None,
         }
     }
 
@@ -209,9 +292,42 @@ mod tests {
         let mut lines = csv.lines();
         assert_eq!(
             lines.next().unwrap(),
-            "run,exec_time_s,cpu_migrations,context_switches,involuntary_preemptions,load_balance_calls"
+            "run,exec_time_s,cpu_migrations,context_switches,involuntary_preemptions,load_balance_calls,outcome"
         );
-        assert_eq!(lines.next().unwrap(), "0,1.5,10,100,0,0");
+        assert_eq!(lines.next().unwrap(), "0,1.5,10,100,0,0,completed");
+    }
+
+    #[test]
+    fn outcome_taints_table() {
+        let ok = RunTable::new(vec![rec(0, 1.0, 0, 0)]);
+        assert!(ok.all_completed());
+        assert!(ok.failed_records().is_empty());
+        let bad = RunTable::new(vec![
+            rec(0, 1.0, 0, 0),
+            rec(1, 0.5, 0, 0).with_outcome(RunOutcome::Deadlock),
+        ]);
+        assert!(!bad.all_completed());
+        assert_eq!(bad.failed_records().len(), 1);
+        assert!(bad.to_csv().contains("deadlock"));
+    }
+
+    #[test]
+    fn merged_metrics_across_reps() {
+        use crate::metrics::SchedMetrics;
+        let t = RunTable::new(vec![rec(0, 1.0, 0, 0)]);
+        assert!(t.merged_metrics().is_none());
+        let mut m0 = SchedMetrics::new();
+        m0.switches = 3;
+        let mut m1 = SchedMetrics::new();
+        m1.switches = 4;
+        m1.timeslice_ns.record(100);
+        let t = RunTable::new(vec![
+            rec(0, 1.0, 0, 0).with_metrics(m0),
+            rec(1, 1.1, 0, 0).with_metrics(m1),
+        ]);
+        let merged = t.merged_metrics().unwrap();
+        assert_eq!(merged.switches, 7);
+        assert_eq!(merged.timeslice_ns.count(), 1);
     }
 
     #[test]

@@ -96,7 +96,7 @@ mod tests {
         use hpl_kernel::NodeBuilder;
         use hpl_mpi::{launch, SchedMode};
         use hpl_topology::Topology;
-        let mut node = NodeBuilder::new(Topology::power6_js22()).seed(3).build();
+        let mut node = NodeBuilder::new(Topology::power6_js22()).with_seed(3).build();
         let job = wavefront_probe_job(8, 4, SimDuration::from_millis(1));
         let h = launch(&mut node, &job, SchedMode::Cfs);
         let t = h.run_to_completion(&mut node, 2_000_000_000);

@@ -23,9 +23,9 @@ fn measure_phases(hpl_mode: bool, reps: u32, seed: u64) -> Vec<f64> {
         let topo = Topology::power6_js22();
         let noise = NoiseProfile::standard(8);
         let mut node = if hpl_mode {
-            hpl_node_builder(topo).noise(noise).seed(seed).build()
+            hpl_node_builder(topo).with_noise(noise).with_seed(seed).build()
         } else {
-            NodeBuilder::new(topo).noise(noise).seed(seed).build()
+            NodeBuilder::new(topo).with_noise(noise).with_seed(seed).build()
         };
         node.run_for(SimDuration::from_millis(400));
         let job = noise_probe_job(8, 30, SimDuration::from_millis(5));

@@ -56,9 +56,9 @@ fn my_noise() -> NoiseProfile {
 fn run(label: &str, mode: SchedMode, hpl_kernel_mode: bool, seed: u64) {
     let topo = Topology::power6_js22();
     let mut node = if hpl_kernel_mode {
-        hpl_node_builder(topo).noise(my_noise()).seed(seed).build()
+        hpl_node_builder(topo).with_noise(my_noise()).with_seed(seed).build()
     } else {
-        NodeBuilder::new(topo).noise(my_noise()).seed(seed).build()
+        NodeBuilder::new(topo).with_noise(my_noise()).with_seed(seed).build()
     };
     node.run_for(SimDuration::from_millis(300));
     let job = stencil_job(40, SimDuration::from_millis(8));

@@ -24,9 +24,9 @@ fn probe_time(
 ) -> f64 {
     let topo = Topology::power6_js22();
     let mut node = if hpl_mode {
-        hpl_node_builder(topo).noise(noise).seed(seed).build()
+        hpl_node_builder(topo).with_noise(noise).with_seed(seed).build()
     } else {
-        NodeBuilder::new(topo).noise(noise).seed(seed).build()
+        NodeBuilder::new(topo).with_noise(noise).with_seed(seed).build()
     };
     node.run_for(SimDuration::from_millis(200));
     let job = noise_probe_job(8, iters, quantum);

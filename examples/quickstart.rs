@@ -15,9 +15,9 @@ fn measure(label: &str, hpl_mode: bool, seed: u64) {
     let topo = Topology::power6_js22();
     let noise = NoiseProfile::standard(topo.total_cpus());
     let mut node = if hpl_mode {
-        hpl_node_builder(topo).noise(noise).seed(seed).build()
+        hpl_node_builder(topo).with_noise(noise).with_seed(seed).build()
     } else {
-        NodeBuilder::new(topo).noise(noise).seed(seed).build()
+        NodeBuilder::new(topo).with_noise(noise).with_seed(seed).build()
     };
 
     // Let the daemon population settle, then measure like the paper:

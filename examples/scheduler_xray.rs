@@ -1,12 +1,20 @@
-//! X-ray a scheduling decision: trace, per-task reports, and energy.
+//! X-ray a scheduling decision: trace, per-task reports, metrics, energy —
+//! and a Chrome-trace file you can open in `chrome://tracing` or Perfetto.
 //!
 //! Runs a short synchronised job under standard Linux and under HPL with
-//! event tracing enabled, then prints for each:
+//! the full observability stack attached (ring trace, Chrome-trace
+//! exporter, metrics registry), then prints for each:
 //!
 //! * a per-CPU Gantt chart of the launch window (ranks as digits,
 //!   daemons/launchers as 'x'),
 //! * `/proc/<pid>/sched`-style per-rank reports,
-//! * the window's energy accounting.
+//! * the scheduler-metrics registry (decision counters + latency
+//!   histograms),
+//! * the window's energy accounting,
+//!
+//! and writes `target/xray_<label>.trace.json` — load it in
+//! `chrome://tracing` (or <https://ui.perfetto.dev>) to scrub through
+//! every context switch, migration and wakeup interactively.
 //!
 //! ```text
 //! cargo run --release --example scheduler_xray
@@ -16,15 +24,19 @@ use hpl::kernel::power::{energy_of_window, PowerModel};
 use hpl::prelude::*;
 use std::collections::HashMap;
 
-fn xray(label: &str, hpl_mode: bool) {
+fn xray(label: &str, file_tag: &str, hpl_mode: bool) {
     let topo = Topology::power6_js22();
     let noise = NoiseProfile::standard(8).scaled(3.0); // extra-noisy for visible effect
     let mut node = if hpl_mode {
-        hpl_node_builder(topo).noise(noise).seed(33).build()
+        hpl_node_builder(topo).with_noise(noise).with_seed(33).build()
     } else {
-        NodeBuilder::new(topo).noise(noise).seed(33).build()
+        NodeBuilder::new(topo).with_noise(noise).with_seed(33).build()
     };
+    // The full observability stack: bounded ring (Gantt + analysis),
+    // Chrome-trace exporter, and the metrics registry.
     node.enable_trace(500_000);
+    let chrome = node.attach_observer(Box::new(ChromeTraceSink::new(500_000)));
+    let metrics_id = node.attach_observer(Box::new(MetricsSink::new()));
     node.run_for(SimDuration::from_millis(200));
 
     let job = JobSpec::new(
@@ -67,6 +79,36 @@ fn xray(label: &str, hpl_mode: bool) {
     for pid in rank_pids {
         println!("  {}", node.task_report(pid));
     }
+
+    // Export the Chrome trace and prove it is well-formed and consistent
+    // with the metrics registry before telling the user to load it.
+    let json = node
+        .export_chrome_trace(chrome)
+        .expect("chrome sink attached");
+    let stats = validate_chrome_trace(&json).expect("exported trace must parse");
+    let sink = node
+        .observer::<ChromeTraceSink>(chrome)
+        .expect("chrome sink attached");
+    let m = node
+        .observer::<MetricsSink>(metrics_id)
+        .expect("metrics sink attached")
+        .metrics();
+    assert_eq!(
+        sink.switch_count(),
+        m.switches,
+        "chrome sink and metrics registry disagree on switches"
+    );
+    assert_eq!(sink.migration_count(), m.migrations);
+    assert_eq!(sink.wakeup_count(), m.wakeups);
+    let path = format!("target/xray_{file_tag}.trace.json");
+    std::fs::write(&path, &json).expect("write trace file");
+    println!(
+        "\n  chrome trace: {path} ({} slices, {} instants; open in chrome://tracing)",
+        stats.complete_events, stats.instant_events
+    );
+
+    println!("\n{}", m.report());
+
     let busy = perf.delta().hw(hpl::perf::HwEvent::BusyNs);
     let wall = SimDuration::from_secs_f64(perf.elapsed_secs());
     let energy = energy_of_window(&PowerModel::default(), &node.topo, busy, wall);
@@ -79,11 +121,14 @@ fn xray(label: &str, hpl_mode: bool) {
 }
 
 fn main() {
-    xray("standard Linux (CFS), 3x noise", false);
-    xray("HPL, 3x noise", true);
+    std::fs::create_dir_all("target").ok();
+    xray("standard Linux (CFS), 3x noise", "cfs", false);
+    xray("HPL, 3x noise", "hpl", true);
     println!(
         "Under CFS the 'x' marks cut into rank lanes (daemon preemptions)\n\
          and rank digits hop between lanes (migrations). Under HPL each\n\
-         rank owns its lane for the whole run."
+         rank owns its lane for the whole run. Load the .trace.json files\n\
+         in chrome://tracing to scrub through the same story event by\n\
+         event."
     );
 }

@@ -20,6 +20,12 @@ fi
 echo "== workspace tests =="
 cargo test --workspace -q
 
+echo "== examples build =="
+cargo build --release --examples
+
+echo "== event-loop smoke (fast vs reference fingerprints) =="
+cargo run --release -q -p hpl-bench --bin eventloop -- --smoke --out target/BENCH_eventloop_smoke.json
+
 echo "== clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 

@@ -18,8 +18,8 @@
 //!
 //! // A node with the paper's machine, daemons, and the HPL scheduler.
 //! let mut node = hpl_node_builder(Topology::power6_js22())
-//!     .noise(NoiseProfile::standard(8))
-//!     .seed(42)
+//!     .with_noise(NoiseProfile::standard(8))
+//!     .with_seed(42)
 //!     .build();
 //! node.run_for(SimDuration::from_millis(400));
 //!
@@ -49,11 +49,12 @@
 //! | [`mpi`] | simulated MPI runtime and the perf/chrt/mpiexec launcher |
 //! | [`workloads`] | NAS benchmark models, noise microbenchmarks |
 //! | [`cluster`] | multi-node noise-resonance projection |
-//! | [`bench`] *(dev)* | the `repro` harness regenerating each table/figure |
+//! | [`bench`] | run harness, `RunConfig`/`RunTable` plumbing, the `repro` binary |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use hpl_bench as bench;
 pub use hpl_cluster as cluster;
 pub use hpl_core as core;
 pub use hpl_kernel as kernel;
@@ -65,14 +66,22 @@ pub use hpl_workloads as workloads;
 
 /// The names almost every user of this library needs.
 pub mod prelude {
+    pub use hpl_bench::{run_many, run_once, NoiseKind, RunConfig, Scheduler};
     pub use hpl_cluster::{EmpiricalDist, ResonanceModel};
     pub use hpl_core::{chrt_spec, hpl_node_builder, HplClass};
-    pub use hpl_kernel::noise::NoiseProfile;
+    pub use hpl_kernel::noise::{NoiseProfile, NOISE_TAG};
+    pub use hpl_kernel::observe::{validate_chrome_trace, ChromeTraceStats};
+    pub use hpl_kernel::trace::{TraceBuffer, TraceEvent};
     pub use hpl_kernel::{
-        BalanceMode, KernelConfig, Node, NodeBuilder, Pid, Policy, Step, TaskSpec, TaskState,
+        BalanceKind, BalanceMode, ChromeTraceSink, KernelConfig, MetricsSink, MigrateReason, Node,
+        NodeBuilder, ObserverId, Pid, Policy, PreemptVerdict, RingSink, RunOutcome, SchedEvent,
+        SchedObserver, Step, TaskSpec, TaskState, TickOutcome,
     };
     pub use hpl_mpi::{launch, JobSpec, MpiConfig, MpiOp, SchedMode};
-    pub use hpl_perf::{PerfSession, RunRecord, RunTable, SwEvent};
+    pub use hpl_perf::{
+        CounterSet, HwEvent, Log2Hist, PerCpuCounters, PerfSession, RunRecord, RunTable,
+        SchedMetrics, SwEvent,
+    };
     pub use hpl_sim::{Rng, SimDuration, SimTime};
     pub use hpl_topology::{CpuId, CpuMask, Topology};
     pub use hpl_workloads::{nas_job, NasBenchmark, NasClass};

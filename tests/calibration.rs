@@ -15,8 +15,8 @@ fn hpl_min_of(bench: NasBenchmark, class: NasClass, reps: u64) -> f64 {
         .map(|rep| {
             let seed = Rng::for_run(0xCA11B, rep).next_u64();
             let mut node = hpl_node_builder(Topology::power6_js22())
-                .noise(NoiseProfile::standard(8))
-                .seed(seed)
+                .with_noise(NoiseProfile::standard(8))
+                .with_seed(seed)
                 .build();
             node.run_for(SimDuration::from_millis(400));
             let handle = launch(&mut node, &nas_job(bench, class, 8), SchedMode::Hpc);

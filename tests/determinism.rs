@@ -22,9 +22,9 @@ fn run(mode: SchedMode, hpl_mode: bool, seed: u64) -> (u64, u64, u64) {
     let topo = Topology::power6_js22();
     let noise = NoiseProfile::standard(8);
     let mut node = if hpl_mode {
-        hpl::core::hpl_node_builder(topo).noise(noise).seed(seed).build()
+        hpl::core::hpl_node_builder(topo).with_noise(noise).with_seed(seed).build()
     } else {
-        NodeBuilder::new(topo).noise(noise).seed(seed).build()
+        NodeBuilder::new(topo).with_noise(noise).with_seed(seed).build()
     };
     node.run_for(SimDuration::from_millis(300));
     let mut perf = PerfSession::open(&node.counters, node.now());
@@ -63,8 +63,8 @@ fn different_seeds_differ_under_noise() {
 fn node_fingerprint_is_stable() {
     let fp = |seed: u64| {
         let mut node = NodeBuilder::new(Topology::power6_js22())
-            .noise(NoiseProfile::standard(8))
-            .seed(seed)
+            .with_noise(NoiseProfile::standard(8))
+            .with_seed(seed)
             .build();
         node.run_for(SimDuration::from_millis(500));
         node.state_fingerprint()
@@ -86,11 +86,11 @@ fn run_with_config(
 ) -> (u64, u64, u64, u64, u64) {
     kc.fast_event_loop = fast;
     let mut builder = NodeBuilder::new(Topology::power6_js22())
-        .config(kc)
-        .noise(NoiseProfile::standard(8))
-        .seed(seed);
+        .with_config(kc)
+        .with_noise(NoiseProfile::standard(8))
+        .with_seed(seed);
     if hpc_class {
-        builder = builder.hpc_class(Box::new(HplClass::new()));
+        builder = builder.with_hpc_class(Box::new(HplClass::new()));
     }
     let mut node = builder.build();
     node.run_for(SimDuration::from_millis(300));
@@ -149,9 +149,9 @@ fn fast_forward_idle_stretch_matches_reference() {
                 ..Default::default()
             };
             let mut node = NodeBuilder::new(Topology::power6_js22())
-                .config(kc)
-                .noise(NoiseProfile::standard(8))
-                .seed(seed)
+                .with_config(kc)
+                .with_noise(NoiseProfile::standard(8))
+                .with_seed(seed)
                 .build();
             node.run_for(SimDuration::from_millis(800));
             (

@@ -1,0 +1,171 @@
+//! The observability contract: attaching observers never changes what
+//! the kernel does, and what the observers report agrees with itself.
+//!
+//! Two halves:
+//!
+//! 1. **Differential**: a run with the full sink stack attached produces
+//!    the *same* execution time, counters, and post-run state
+//!    fingerprint as a run with no observers, on both the fast and the
+//!    reference event loop. Observers are pure sinks — this is the
+//!    "zero perturbation" half of the zero-cost claim.
+//! 2. **Consistency**: the Chrome-trace export parses as valid trace
+//!    JSON and its event counts match the metrics registry and the ring
+//!    buffer, so the three sinks tell one coherent story.
+
+use hpl::prelude::*;
+
+fn job() -> JobSpec {
+    JobSpec::new(
+        8,
+        JobSpec::repeat(
+            4,
+            &[
+                MpiOp::Compute {
+                    mean: SimDuration::from_millis(4),
+                },
+                MpiOp::Barrier,
+            ],
+        ),
+    )
+}
+
+/// Everything observable about one measured run: exec time, the counter
+/// deltas the study reports, and the full post-run state fingerprint.
+type Observation = (u64, u64, u64, u64, u64);
+
+/// Run one measured job, optionally with the full observer stack
+/// (ring + Chrome exporter + metrics registry) attached from boot.
+fn run(hpc: bool, fast: bool, observed: bool, seed: u64) -> Observation {
+    let mut kc = if hpc {
+        KernelConfig::hpl()
+    } else {
+        KernelConfig::default()
+    };
+    kc.fast_event_loop = fast;
+    let mut builder = NodeBuilder::new(Topology::power6_js22())
+        .with_config(kc)
+        .with_noise(NoiseProfile::standard(8))
+        .with_seed(seed);
+    if hpc {
+        builder = builder.with_hpc_class(Box::new(HplClass::new()));
+    }
+    let mut node = builder.build();
+    if observed {
+        node.enable_trace(200_000);
+        node.attach_observer(Box::new(ChromeTraceSink::new(200_000)));
+        node.attach_observer(Box::new(MetricsSink::new()));
+    }
+    node.run_for(SimDuration::from_millis(300));
+    let mut perf = PerfSession::open(&node.counters, node.now());
+    let mode = if hpc { SchedMode::Hpc } else { SchedMode::Cfs };
+    let handle = launch(&mut node, &job(), mode);
+    let exec = handle.run_to_completion(&mut node, 2_000_000_000);
+    perf.close(&node.counters, node.now());
+    let d = perf.delta();
+    (
+        exec.as_nanos(),
+        d.sw(SwEvent::ContextSwitches),
+        d.sw(SwEvent::CpuMigrations),
+        d.sw(SwEvent::TimerTicks),
+        node.state_fingerprint(),
+    )
+}
+
+#[test]
+fn observers_do_not_perturb_the_simulation() {
+    for hpc in [false, true] {
+        for fast in [false, true] {
+            for seed in [7u64, 1234] {
+                let plain = run(hpc, fast, false, seed);
+                let observed = run(hpc, fast, true, seed);
+                assert_eq!(
+                    plain, observed,
+                    "hpc={hpc} fast={fast} seed={seed}: observers perturbed the run"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn sinks_agree_with_each_other_and_the_export_is_valid() {
+    let mut node = NodeBuilder::new(Topology::power6_js22())
+        .with_noise(NoiseProfile::standard(8))
+        .with_seed(42)
+        .build();
+    node.enable_trace(200_000);
+    let chrome = node.attach_observer(Box::new(ChromeTraceSink::new(200_000)));
+    let metrics_id = node.attach_observer(Box::new(MetricsSink::new()));
+    node.run_for(SimDuration::from_millis(200));
+    let handle = launch(&mut node, &job(), SchedMode::Cfs);
+    assert!(handle
+        .try_run_to_completion(&mut node, 2_000_000_000)
+        .is_ok());
+
+    let m = node
+        .observer::<MetricsSink>(metrics_id)
+        .unwrap()
+        .metrics()
+        .clone();
+    let sink = node.observer::<ChromeTraceSink>(chrome).unwrap();
+    // The three sinks saw the same event stream.
+    assert_eq!(sink.switch_count(), m.switches);
+    assert_eq!(sink.migration_count(), m.migrations);
+    assert_eq!(sink.wakeup_count(), m.wakeups);
+    assert_eq!(sink.dropped(), 0, "capacity was sized for the run");
+    let ring = node.trace().unwrap();
+    let ring_switches = ring
+        .iter()
+        .filter(|(_, ev)| matches!(ev, TraceEvent::Switch { .. }))
+        .count() as u64;
+    let ring_migrations = ring
+        .iter()
+        .filter(|(_, ev)| matches!(ev, TraceEvent::Migrate { .. }))
+        .count() as u64;
+    assert_eq!(ring_switches, m.switches);
+    assert_eq!(ring_migrations, m.migrations);
+    assert_eq!(ring.dropped(), 0);
+
+    // The export parses as Chrome trace JSON, and the instant events
+    // (migrations + wakeups) survive the round trip exactly.
+    let json = node.export_chrome_trace(chrome).unwrap();
+    let stats = validate_chrome_trace(&json).expect("export must be valid trace JSON");
+    assert_eq!(
+        stats.instant_events as u64,
+        m.migrations + m.wakeups,
+        "instant events lost in export"
+    );
+    assert_eq!(stats.complete_events, sink.slice_count());
+    assert!(stats.complete_events > 0, "a real run produces slices");
+
+    // The metrics registry is internally consistent too.
+    assert_eq!(m.per_cpu_switches.iter().sum::<u64>(), m.switches);
+    assert!(m.picks >= m.switches, "every switch came from a pick");
+    assert!(m.timeslice_ns.count() > 0);
+    assert!(m.timeslice_ns.count() <= m.switches);
+}
+
+#[test]
+fn metrics_registry_counts_decisions() {
+    // A noisy multi-job run exercises every decision point at least once
+    // (except RT push, which needs an overloaded RT setup).
+    let mut node = NodeBuilder::new(Topology::power6_js22())
+        .with_noise(NoiseProfile::standard(8))
+        .with_seed(9)
+        .build();
+    let metrics_id = node.attach_observer(Box::new(MetricsSink::new()));
+    node.run_for(SimDuration::from_millis(100));
+    let handle = launch(&mut node, &job(), SchedMode::Cfs);
+    assert!(node
+        .run_until_exit(handle.perf_pid, 2_000_000_000)
+        .is_complete());
+    let m = node.observer::<MetricsSink>(metrics_id).unwrap().metrics();
+    assert!(m.switches > 0);
+    assert!(m.wakeups > 0);
+    assert!(m.forks > 0);
+    assert!(m.preempt_checks > 0);
+    assert!(m.ticks > 0);
+    assert!(m.noise_arrivals > 0, "standard noise profile has daemons");
+    assert!(m.idle_balance_calls + m.periodic_balance_calls > 0);
+    assert!(m.timeslice_ns.count() > 0);
+}

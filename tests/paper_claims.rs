@@ -38,9 +38,9 @@ fn run_job(job: &JobSpec, mode: SchedMode, hpl_mode: bool, seed: u64) -> Outcome
     let topo = Topology::power6_js22();
     let noise = NoiseProfile::standard(8);
     let mut node = if hpl_mode {
-        hpl::core::hpl_node_builder(topo).noise(noise).seed(seed).build()
+        hpl::core::hpl_node_builder(topo).with_noise(noise).with_seed(seed).build()
     } else {
-        NodeBuilder::new(topo).noise(noise).seed(seed).build()
+        NodeBuilder::new(topo).with_noise(noise).with_seed(seed).build()
     };
     node.run_for(SimDuration::from_millis(300));
     let mut perf = PerfSession::open(&node.counters, node.now());

@@ -6,7 +6,7 @@ use hpl::prelude::*;
 
 fn hpc_node(seed: u64) -> Node {
     hpl::core::hpl_node_builder(Topology::power6_js22())
-        .seed(seed)
+        .with_seed(seed)
         .build()
 }
 
@@ -33,9 +33,9 @@ fn cfs_task_starves_while_hpc_runs() {
     assert_eq!(node.tasks.get(daemon).state, TaskState::Runnable);
     // Once HPC tasks finish, it runs.
     for pid in hpc {
-        node.run_until_exit(pid, 2_000_000_000);
+        assert!(node.run_until_exit(pid, 2_000_000_000).is_complete());
     }
-    node.run_until_exit(daemon, 2_000_000_000);
+    assert!(node.run_until_exit(daemon, 2_000_000_000).is_complete());
     assert!(node.tasks.get(daemon).total_runtime > SimDuration::ZERO);
 }
 
@@ -49,8 +49,8 @@ fn rt_task_preempts_hpc_task() {
     node.run_for(SimDuration::from_micros(200));
     assert_eq!(node.tasks.get(rt).state, TaskState::Running, "RT preempts HPC");
     assert_eq!(node.tasks.get(hpc).state, TaskState::Runnable);
-    node.run_until_exit(rt, 1_000_000_000);
-    node.run_until_exit(hpc, 1_000_000_000);
+    assert!(node.run_until_exit(rt, 1_000_000_000).is_complete());
+    assert!(node.run_until_exit(hpc, 1_000_000_000).is_complete());
 }
 
 #[test]
@@ -62,8 +62,8 @@ fn two_hpc_tasks_round_robin_on_one_cpu() {
     node.run_for(SimDuration::from_millis(150));
     assert!(node.tasks.get(a).total_runtime > SimDuration::from_millis(40));
     assert!(node.tasks.get(b).total_runtime > SimDuration::from_millis(40));
-    node.run_until_exit(a, 4_000_000_000);
-    node.run_until_exit(b, 4_000_000_000);
+    assert!(node.run_until_exit(a, 4_000_000_000).is_complete());
+    assert!(node.run_until_exit(b, 4_000_000_000).is_complete());
 }
 
 #[test]
@@ -81,7 +81,7 @@ fn chrt_wrapped_tree_lands_in_hpc_class() {
         ),
     );
     let pid = node.spawn(chrt_spec("chrt", payload));
-    node.run_until_exit(pid, 2_000_000_000);
+    assert!(node.run_until_exit(pid, 2_000_000_000).is_complete());
     assert_eq!(node.tasks.get(pid).policy, Policy::Hpc);
     // The forked child was born into the HPC class.
     let child = node
@@ -106,7 +106,7 @@ fn hpl_fork_placement_spreads_one_rank_per_core_first() {
     cores.sort_unstable();
     assert_eq!(cores, vec![0, 1, 2, 3], "one rank per physical core");
     for p in pids {
-        node.run_until_exit(p, 2_000_000_000);
+        assert!(node.run_until_exit(p, 2_000_000_000).is_complete());
     }
 }
 
@@ -119,7 +119,7 @@ fn affinity_confines_and_migrates() {
     node.set_affinity(t, CpuMask::single(target));
     node.run_for(SimDuration::from_millis(2));
     assert_eq!(node.tasks.get(t).cpu, target);
-    node.run_until_exit(t, 2_000_000_000);
+    assert!(node.run_until_exit(t, 2_000_000_000).is_complete());
     assert_eq!(node.tasks.get(t).cpu, target, "never left the mask");
 }
 
@@ -147,7 +147,7 @@ fn hpl_performs_no_balancing_even_with_gross_imbalance() {
 
 #[test]
 fn standard_kernel_does_balance_the_same_imbalance() {
-    let mut node = NodeBuilder::new(Topology::power6_js22()).seed(8).build();
+    let mut node = NodeBuilder::new(Topology::power6_js22()).with_seed(8).build();
     let a = node.spawn(burn("a", Policy::Normal { nice: 0 }, 40).with_affinity(CpuMask::single(CpuId(0))));
     let b = node.spawn(burn("b", Policy::Normal { nice: 0 }, 40).with_affinity(CpuMask::single(CpuId(0))));
     node.run_for(SimDuration::from_millis(1));
