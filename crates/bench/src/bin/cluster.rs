@@ -1,0 +1,266 @@
+//! Mechanistic cluster amplification sweep (the Petrini curve).
+//!
+//! Co-simulates N kernel nodes under one lockstep driver, running the
+//! same bulk-synchronous job (compute + Allreduce per iteration) under
+//! the standard-Linux CFS kernel and the HPL kernel, with per-node OS
+//! noise. For each node count the *noise amplification* is the noisy
+//! execution time over the noise-free (quiet daemons) execution time on
+//! the same cluster — network and launch overheads cancel, leaving the
+//! pure max-over-nodes resonance effect the paper's §II describes.
+//!
+//! Each mechanistic curve is cross-checked against the analytic
+//! [`ResonanceModel`] built from per-phase durations measured on a
+//! single node: the analytic slowdown must move in the same direction as
+//! the mechanistic one at every node count (CFS climbs, HPL stays
+//! near-flat).
+//!
+//! Writes `BENCH_cluster.json` in the current directory.
+//!
+//! Usage: `cluster [--quick|--smoke] [--out PATH]`
+
+use hpl_cluster::{Cluster, EmpiricalDist, Interconnect, NetConfig, ResonanceModel};
+use hpl_core::HplClass;
+use hpl_kernel::noise::NoiseProfile;
+use hpl_kernel::{KernelConfig, NodeBuilder, TaskState};
+use hpl_mpi::{launch, JobSpec, MpiOp, SchedMode};
+use hpl_sim::{Rng, SimDuration};
+use hpl_topology::Topology;
+
+const RANKS_PER_NODE: u32 = 8;
+
+fn job(nodes: u32, iters: u32) -> JobSpec {
+    JobSpec::new(
+        nodes * RANKS_PER_NODE,
+        JobSpec::repeat(
+            iters,
+            &[
+                MpiOp::Compute {
+                    mean: SimDuration::from_millis(3),
+                },
+                MpiOp::Allreduce { bytes: 64 },
+            ],
+        ),
+    )
+    .with_nodes(nodes)
+}
+
+fn build_cluster(nodes: u32, hpc: bool, noisy: bool, seed: u64) -> Cluster {
+    let built = (0..nodes)
+        .map(|i| {
+            let kc = if hpc {
+                KernelConfig::hpl()
+            } else {
+                KernelConfig::default()
+            };
+            let noise = if noisy {
+                NoiseProfile::standard(RANKS_PER_NODE)
+            } else {
+                NoiseProfile::quiet()
+            };
+            let mut b = NodeBuilder::new(Topology::power6_js22())
+                .with_config(kc)
+                .with_noise(noise)
+                .with_seed(Rng::for_run(seed, i as u64).next_u64());
+            if hpc {
+                b = b.with_hpc_class(Box::new(HplClass::new()));
+            }
+            b.build()
+        })
+        .collect();
+    Cluster::new(built, Interconnect::flat(nodes as usize, NetConfig::default()))
+}
+
+/// Mean execution time (seconds) of the job on an N-node cluster.
+fn cluster_exec(nodes: u32, hpc: bool, noisy: bool, iters: u32, reps: u32, seed: u64) -> f64 {
+    let mode = if hpc { SchedMode::Hpc } else { SchedMode::Cfs };
+    let mut total = 0.0;
+    for rep in 0..reps {
+        let mut cluster = build_cluster(nodes, hpc, noisy, seed ^ (rep as u64) << 16);
+        // Warm each node's daemon population up independently — legal
+        // before launch_job, when no cross-node traffic can exist yet.
+        for i in 0..nodes as usize {
+            cluster.node_mut(i).run_for(SimDuration::from_millis(300));
+        }
+        let handle = cluster.launch_job(&job(nodes, iters), mode);
+        let exec = cluster.run_to_completion(&handle, 400_000_000 * nodes as u64);
+        total += exec.as_secs_f64();
+    }
+    total / reps as f64
+}
+
+/// Per-phase durations on one node, by watching the job barrier
+/// generation tick over — the input for the analytic model.
+fn measure_phases(hpc: bool, iters: u32, reps: u32, seed: u64) -> Vec<f64> {
+    let mode = if hpc { SchedMode::Hpc } else { SchedMode::Cfs };
+    let mut samples = Vec::new();
+    for rep in 0..reps {
+        let mut cluster = build_cluster(1, hpc, true, seed ^ (rep as u64) << 16);
+        let node = cluster.node_mut(0);
+        node.run_for(SimDuration::from_millis(300));
+        let job = job(1, iters);
+        let barrier = job.barrier_id();
+        let handle = launch(node, &job, mode);
+        let mut last_gen = node.sync.barrier_generation(barrier);
+        let mut last_t = node.now();
+        while node.tasks.get(handle.perf_pid).state != TaskState::Dead {
+            assert!(node.step(), "single-node probe deadlocked");
+            let gen = node.sync.barrier_generation(barrier);
+            if gen > last_gen {
+                // Skip the init barrier (generation 0 -> 1): it brackets
+                // launch, not a compute phase.
+                if last_gen > 0 {
+                    samples.push(node.now().since(last_t).as_secs_f64());
+                }
+                last_gen = gen;
+                last_t = node.now();
+            }
+        }
+    }
+    samples
+}
+
+struct Point {
+    nodes: u32,
+    noisy_s: f64,
+    quiet_s: f64,
+    mech_slowdown: f64,
+    analytic_slowdown: f64,
+}
+
+struct Curve {
+    mode: &'static str,
+    points: Vec<Point>,
+    direction_ok: bool,
+}
+
+/// Mechanistic and analytic curves must agree in *direction* at every
+/// step: where the analytic slowdown climbs by more than `flat`, the
+/// mechanistic one must not fall by more than `tol`, and vice versa.
+fn directions_agree(points: &[Point]) -> bool {
+    let flat = 0.02;
+    let tol = 0.05;
+    points.windows(2).all(|w| {
+        let da = w[1].analytic_slowdown - w[0].analytic_slowdown;
+        let dm = w[1].mech_slowdown - w[0].mech_slowdown;
+        if da > flat {
+            dm > -tol
+        } else if da < -flat {
+            dm < tol
+        } else {
+            true
+        }
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_cluster.json".into());
+
+    let (node_counts, iters, reps): (&[u32], u32, u32) = if smoke {
+        (&[1, 2, 4], 8, 1)
+    } else if quick {
+        (&[1, 2, 4, 8], 20, 2)
+    } else {
+        (&[1, 2, 4, 8, 16], 30, 3)
+    };
+    let flavour = if smoke {
+        "smoke"
+    } else if quick {
+        "quick"
+    } else {
+        "full"
+    };
+    eprintln!(
+        "cluster bench ({flavour}): nodes {node_counts:?}, {iters} iters x {reps} reps"
+    );
+
+    let mut curves = Vec::new();
+    for (mode, hpc) in [("cfs", false), ("hpc", true)] {
+        let phases = measure_phases(hpc, iters, reps.max(2), 0xC1A5);
+        let model = ResonanceModel::new(
+            EmpiricalDist::try_new(phases).expect("phase probe produced samples"),
+            iters,
+        );
+        let ideal = model.ideal_time();
+        let mut points = Vec::new();
+        for &n in node_counts {
+            let noisy_s = cluster_exec(n, hpc, true, iters, reps, 0xBA5E);
+            let quiet_s = cluster_exec(n, hpc, false, iters, reps, 0xBA5E);
+            let mech_slowdown = noisy_s / quiet_s;
+            let analytic_slowdown = model.expected_time_analytic(n) / ideal;
+            eprintln!(
+                "{mode:>4} n={n:>2}: noisy {noisy_s:>8.4}s | quiet {quiet_s:>8.4}s | \
+                 slowdown {mech_slowdown:>6.3} | analytic {analytic_slowdown:>6.3}"
+            );
+            points.push(Point {
+                nodes: n,
+                noisy_s,
+                quiet_s,
+                mech_slowdown,
+                analytic_slowdown,
+            });
+        }
+        let direction_ok = directions_agree(&points);
+        curves.push(Curve {
+            mode,
+            points,
+            direction_ok,
+        });
+    }
+
+    let amplification = |c: &Curve| -> f64 {
+        c.points.last().expect("points").mech_slowdown / c.points[0].mech_slowdown
+    };
+    let cfs_amp = amplification(&curves[0]);
+    let hpc_amp = amplification(&curves[1]);
+    // The headline resonance claim: noise amplification grows with node
+    // count under CFS and stays near-flat under the HPL scheduler.
+    let resonance_ok = cfs_amp > hpc_amp && curves.iter().all(|c| c.direction_ok);
+    eprintln!(
+        "cfs amplification {cfs_amp:.3} | hpc amplification {hpc_amp:.3} | resonance_ok {resonance_ok}"
+    );
+
+    let mut json = String::from("{\n  \"bench\": \"cluster\",\n");
+    json.push_str(&format!("  \"flavour\": \"{flavour}\",\n"));
+    json.push_str(&format!("  \"iters\": {iters},\n  \"reps\": {reps},\n"));
+    json.push_str(&format!("  \"cfs_amplification\": {cfs_amp:.4},\n"));
+    json.push_str(&format!("  \"hpc_amplification\": {hpc_amp:.4},\n"));
+    json.push_str(&format!("  \"resonance_ok\": {resonance_ok},\n"));
+    json.push_str("  \"curves\": [\n");
+    for (ci, c) in curves.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"mode\": \"{}\", \"direction_ok\": {}, \"points\": [\n",
+            c.mode, c.direction_ok
+        ));
+        for (i, p) in c.points.iter().enumerate() {
+            json.push_str(&format!(
+                "      {{\"nodes\": {}, \"noisy_s\": {:.6}, \"quiet_s\": {:.6}, \"slowdown\": {:.4}, \"analytic_slowdown\": {:.4}}}{}\n",
+                p.nodes,
+                p.noisy_s,
+                p.quiet_s,
+                p.mech_slowdown,
+                p.analytic_slowdown,
+                if i + 1 < c.points.len() { "," } else { "" }
+            ));
+        }
+        json.push_str(&format!(
+            "    ]}}{}\n",
+            if ci + 1 < curves.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out, json).expect("write bench json");
+    eprintln!("wrote {out}");
+    // Smoke runs are too short for the curves to be meaningful; the gate
+    // there is "multi-node co-simulation completes at all".
+    if !smoke && !resonance_ok {
+        eprintln!("FAIL: mechanistic curves do not reproduce noise resonance");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,271 @@
+//! Lockstep co-simulation of kernel nodes over an interconnect.
+//!
+//! [`Cluster`] owns N independent kernel [`Node`]s plus one
+//! [`Interconnect`] and advances them in conservative virtual-time
+//! lockstep. Each iteration ("window") it finds the cluster-wide next
+//! event time `t`, runs every node up to — but excluding —
+//! `t + lookahead` (the interconnect's minimum wire latency), then
+//! drains the cross-node messages captured during the window, costs them
+//! through the interconnect, and posts the deliveries into the
+//! destination nodes' event queues. The lookahead rule makes this safe:
+//! a message sent at time `s >= t` cannot be delivered before
+//! `s + alpha_min >= t + lookahead`, i.e. never *inside* the window that
+//! produced it, so no node ever has to roll back.
+//!
+//! Determinism: windows are a pure function of node state, messages are
+//! routed in (source node, capture order) — a deterministic order — and
+//! the interconnect is itself deterministic, so a cluster run is exactly
+//! as replayable as a single-node run. The same seed produces the same
+//! fingerprint on the fast and reference event loops.
+
+use crate::net::Interconnect;
+use hpl_kernel::observe::ChromeTraceSink;
+use hpl_kernel::{Node, ObserverId, Pid, RunOutcome, TaskState};
+use hpl_mpi::{find_mpiexec, spawn_job_tree, JobSpec, SchedMode};
+use hpl_sim::time::{SimDuration, SimTime};
+use std::fmt::Write as _;
+
+/// Handle to a job running across the cluster: one launcher tree per
+/// node.
+#[derive(Debug, Clone)]
+pub struct ClusterJobHandle {
+    /// Root (`perf`) pid on each node, index = cluster node.
+    pub perf_pids: Vec<Pid>,
+    /// Per-node launch times (nodes need not share a clock).
+    pub launched_at: Vec<SimTime>,
+}
+
+/// N co-simulated kernel nodes joined by an interconnect.
+pub struct Cluster {
+    nodes: Vec<Node>,
+    net: Interconnect,
+    /// Placement/channel map of the active job; routes captured
+    /// [`hpl_kernel::NetMsg`]s to their destination nodes.
+    job: Option<JobSpec>,
+}
+
+impl Cluster {
+    /// Join pre-built nodes with an interconnect. Build the nodes with
+    /// whatever topology/seed/event-loop each should have — the cluster
+    /// does not care, it only requires `fabric.nodes() == nodes.len()`.
+    pub fn new(nodes: Vec<Node>, net: Interconnect) -> Self {
+        assert!(!nodes.is_empty(), "a cluster needs at least one node");
+        assert_eq!(
+            net.nodes(),
+            nodes.len(),
+            "interconnect fabric size must match the node count"
+        );
+        Cluster { nodes, net, job: None }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True iff the cluster has no nodes (never: `new` asserts).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Immutable access to node `i`.
+    pub fn node(&self, i: usize) -> &Node {
+        &self.nodes[i]
+    }
+
+    /// Mutable access to node `i` (observer registration, warmup, …).
+    /// Stepping a node directly while a job is in flight breaks
+    /// lockstep; do it only before [`Self::launch_job`].
+    pub fn node_mut(&mut self, i: usize) -> &mut Node {
+        &mut self.nodes[i]
+    }
+
+    /// All nodes, in cluster order.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// The interconnect (traffic counters, lookahead).
+    pub fn net(&self) -> &Interconnect {
+        &self.net
+    }
+
+    /// Total events dispatched across all nodes.
+    pub fn events_processed(&self) -> u64 {
+        self.nodes.iter().map(Node::events_processed).sum()
+    }
+
+    /// Earliest pending event time across the cluster, `None` when every
+    /// queue is drained.
+    pub fn next_event_time(&self) -> Option<SimTime> {
+        self.nodes.iter().filter_map(Node::next_event_time).min()
+    }
+
+    /// Combined scheduler-state hash over all nodes, for determinism
+    /// tests (same seed + same event loop family ⇒ same fingerprint).
+    pub fn state_fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf29ce484222325;
+        for node in &self.nodes {
+            h ^= node.state_fingerprint();
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        h
+    }
+
+    /// Launch `job` across the cluster: register its cross-node channels
+    /// on each source node, then spawn one `perf → (chrt →) mpiexec →
+    /// ranks` tree per node, *without* stepping any node (lockstep
+    /// starts with [`Self::step_window`]). One job at a time: the
+    /// cluster routes messages by the job's channel map.
+    pub fn launch_job(&mut self, job: &JobSpec, mode: SchedMode) -> ClusterJobHandle {
+        assert_eq!(
+            job.nodes as usize,
+            self.nodes.len(),
+            "job placement does not match cluster size"
+        );
+        assert!(self.job.is_none(), "cluster already has an active job");
+        let mut perf_pids = Vec::with_capacity(self.nodes.len());
+        let mut launched_at = Vec::with_capacity(self.nodes.len());
+        for (i, node) in self.nodes.iter_mut().enumerate() {
+            for chan in job.cross_node_channels(i as u32) {
+                node.register_net_channel(chan);
+            }
+            launched_at.push(node.now());
+            perf_pids.push(spawn_job_tree(node, job, mode, i as u32));
+        }
+        self.job = Some(job.clone());
+        ClusterJobHandle { perf_pids, launched_at }
+    }
+
+    /// Advance one lockstep window. Returns `false` when every node's
+    /// event queue is drained (nothing can ever happen again), `true`
+    /// after processing a window.
+    pub fn step_window(&mut self) -> bool {
+        let Some(t_next) = self.next_event_time() else {
+            return false;
+        };
+        // Window = [t_next, t_next + lookahead). Any message sent inside
+        // it is delivered at or after the window end (see module docs),
+        // so posting deliveries after all nodes finish cannot land in a
+        // node's past.
+        let lookahead = self.net.lookahead();
+        debug_assert!(lookahead >= SimDuration::from_nanos(1));
+        let deadline = t_next + lookahead - SimDuration::from_nanos(1);
+        for node in &mut self.nodes {
+            node.run_until_time(deadline);
+        }
+        self.route_outbound();
+        true
+    }
+
+    /// Drain captured cross-node messages from every node, cost them on
+    /// the interconnect, and schedule the deliveries. Deterministic:
+    /// nodes are drained in index order and each node's capture order is
+    /// its own dispatch order.
+    fn route_outbound(&mut self) {
+        for src in 0..self.nodes.len() {
+            if !self.nodes[src].has_outbound() {
+                continue;
+            }
+            let job = self
+                .job
+                .as_ref()
+                .expect("outbound network message without an active job");
+            let msgs = self.nodes[src].take_outbound();
+            for m in msgs {
+                let dst = job
+                    .chan_dst_node(m.chan)
+                    .expect("outbound message on a channel outside the job's pairwise range")
+                    as usize;
+                debug_assert_ne!(dst, src, "cross-node send routed back to its source");
+                let (deliver_at, queued) = self.net.transfer(m.at, src, dst, m.bytes);
+                self.nodes[dst].post_net_delivery(deliver_at, m.chan, m.tokens, m.at, queued);
+            }
+        }
+    }
+
+    /// Run lockstep windows until every node's launcher tree has exited,
+    /// then return the **application execution time**: the longest
+    /// per-node `mpiexec` lifetime, which is what the paper's
+    /// per-benchmark timers report. Fails with
+    /// [`RunOutcome::Deadlock`] if every event queue drains first, or
+    /// [`RunOutcome::BudgetExhausted`] after `max_events` additional
+    /// dispatched events cluster-wide (hang guard). In all cases the
+    /// cluster is left exactly where the run stopped.
+    pub fn try_run_to_completion(
+        &mut self,
+        handle: &ClusterJobHandle,
+        max_events: u64,
+    ) -> Result<SimDuration, RunOutcome> {
+        let start_events = self.events_processed();
+        while !self.job_done(handle) {
+            if !self.step_window() {
+                return Err(RunOutcome::Deadlock);
+            }
+            if self.events_processed() - start_events > max_events {
+                return Err(RunOutcome::BudgetExhausted);
+            }
+        }
+        let mut exec = SimDuration::ZERO;
+        for (i, node) in self.nodes.iter().enumerate() {
+            let mpiexec = find_mpiexec(node, handle.perf_pids[i])
+                .expect("completed job implies mpiexec existed");
+            let exited = node
+                .tasks
+                .get(mpiexec)
+                .exited_at
+                .expect("completed job implies mpiexec exited");
+            exec = exec.max(exited.since(handle.launched_at[i]));
+        }
+        Ok(exec)
+    }
+
+    /// Panicking convenience wrapper around
+    /// [`Self::try_run_to_completion`] for tests and examples that treat
+    /// an unfinished run as a bug.
+    pub fn run_to_completion(&mut self, handle: &ClusterJobHandle, max_events: u64) -> SimDuration {
+        self.try_run_to_completion(handle, max_events)
+            .unwrap_or_else(|outcome| panic!("cluster job did not complete: {}", outcome.label()))
+    }
+
+    /// True iff the whole launcher tree has exited on every node.
+    pub fn job_done(&self, handle: &ClusterJobHandle) -> bool {
+        handle
+            .perf_pids
+            .iter()
+            .enumerate()
+            .all(|(i, &pid)| self.nodes[i].tasks.get(pid).state == TaskState::Dead)
+    }
+
+    /// Merge each node's [`ChromeTraceSink`] into a single Chrome-trace
+    /// document, one trace *process* per node (process id = node
+    /// index plus one) so `chrome://tracing` renders the cluster as
+    /// stacked per-node track groups. `sinks[i]` must be the observer
+    /// id of a `ChromeTraceSink` registered on node `i`; returns
+    /// `None` if any id does not resolve.
+    pub fn export_chrome_trace(&self, sinks: &[ObserverId]) -> Option<String> {
+        assert_eq!(sinks.len(), self.nodes.len(), "one sink id per node");
+        let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+        let mut first = true;
+        let mut dropped = 0u64;
+        for (i, (node, &id)) in self.nodes.iter().zip(sinks).enumerate() {
+            let sink: &ChromeTraceSink = node.observer(id)?;
+            dropped += sink.dropped();
+            sink.write_events(&mut out, &mut first, i as u32 + 1, node.now(), |pid| {
+                node.tasks.get(pid).name.clone()
+            });
+        }
+        let _ = write!(out, "\n],\"otherData\":{{\"dropped\":{dropped}}}}}");
+        Some(out)
+    }
+}
+
+impl std::fmt::Debug for Cluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cluster")
+            .field("nodes", &self.nodes.len())
+            .field("net", &self.net)
+            .field("active_job", &self.job.is_some())
+            .finish()
+    }
+}

@@ -24,11 +24,52 @@
 //! Input distributions come straight from the single-node simulator: run
 //! a benchmark's per-iteration (or whole-run) times under a scheduler and
 //! feed them to [`EmpiricalDist`].
+//!
+//! ## Two layers: analytic projection and mechanistic co-simulation
+//!
+//! The [`ResonanceModel`] above is *analytic*: it extrapolates a
+//! measured single-node distribution to N nodes under the independence
+//! assumption. The [`cosim`] and [`net`] modules add the *mechanistic*
+//! counterpart: [`Cluster`] co-simulates N real kernel [`hpl_kernel::Node`]s
+//! in conservative virtual-time lockstep, with cross-node MPI traffic
+//! costed through a LogGP-style [`Interconnect`] (per-link latency,
+//! serialisation, and FIFO contention). The two layers cross-check each
+//! other — at small N with negligible network contention the mechanistic
+//! run must land on the analytic prediction — and the mechanistic layer
+//! additionally captures what the analytic one cannot: correlated noise,
+//! network queueing, and scheduler-induced migration storms interacting
+//! across nodes.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cosim;
+pub mod net;
+
+pub use cosim::{Cluster, ClusterJobHandle};
+pub use net::{Fabric, FlatFabric, Interconnect, NetConfig, Route, SwitchedFabric};
+
 use hpl_sim::Rng;
+
+/// Why a sample set cannot form an [`EmpiricalDist`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DistError {
+    /// No samples were provided.
+    Empty,
+    /// At least one sample was NaN or infinite.
+    NonFinite,
+}
+
+impl std::fmt::Display for DistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DistError::Empty => write!(f, "empirical distribution needs samples"),
+            DistError::NonFinite => write!(f, "non-finite sample in empirical distribution"),
+        }
+    }
+}
+
+impl std::error::Error for DistError {}
 
 /// An empirical distribution built from simulator samples; draws by
 /// inverse-CDF over the sorted sample (with interpolation).
@@ -39,14 +80,23 @@ pub struct EmpiricalDist {
 
 impl EmpiricalDist {
     /// Build from samples (at least one; non-finite values rejected).
-    pub fn new(mut samples: Vec<f64>) -> Self {
-        assert!(!samples.is_empty(), "empirical distribution needs samples");
-        assert!(
-            samples.iter().all(|x| x.is_finite()),
-            "non-finite sample in empirical distribution"
-        );
+    /// Panicking wrapper over [`Self::try_new`] for literal sample sets.
+    pub fn new(samples: Vec<f64>) -> Self {
+        Self::try_new(samples).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Build from samples, rejecting empty or non-finite input. Use this
+    /// over [`Self::new`] when the samples come from measurement (a
+    /// failed run can legitimately produce none).
+    pub fn try_new(mut samples: Vec<f64>) -> Result<Self, DistError> {
+        if samples.is_empty() {
+            return Err(DistError::Empty);
+        }
+        if !samples.iter().all(|x| x.is_finite()) {
+            return Err(DistError::NonFinite);
+        }
         samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-        EmpiricalDist { sorted: samples }
+        Ok(EmpiricalDist { sorted: samples })
     }
 
     /// Smallest observed value (the "noise-free" floor).
@@ -335,5 +385,21 @@ mod tests {
     #[should_panic]
     fn empty_dist_panics() {
         EmpiricalDist::new(vec![]);
+    }
+
+    #[test]
+    fn try_new_reports_bad_input_instead_of_panicking() {
+        assert_eq!(EmpiricalDist::try_new(vec![]).unwrap_err(), DistError::Empty);
+        assert_eq!(
+            EmpiricalDist::try_new(vec![1.0, f64::NAN]).unwrap_err(),
+            DistError::NonFinite
+        );
+        assert_eq!(
+            EmpiricalDist::try_new(vec![1.0, f64::INFINITY]).unwrap_err(),
+            DistError::NonFinite
+        );
+        let d = EmpiricalDist::try_new(vec![3.0, 1.0, 2.0]).expect("valid samples");
+        assert_eq!(d.min(), 1.0);
+        assert_eq!(d.max(), 3.0);
     }
 }

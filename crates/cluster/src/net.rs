@@ -1,0 +1,305 @@
+//! Interconnect model for the mechanistic cluster co-simulation.
+//!
+//! Messages are costed with a LogGP-flavoured model: a per-link wire
+//! latency `alpha` plus a serialisation term `beta · bytes`, with FIFO
+//! contention per link — a message that arrives at a busy link waits for
+//! the link to drain before its serialisation starts. The [`Fabric`]
+//! trait maps a `(src, dst)` node pair to the ordered list of links the
+//! message crosses, so topologies beyond the flat crossbar (e.g. a
+//! two-level switch) plug in without touching the co-simulation driver.
+//!
+//! The co-simulation's conservative lookahead equals the *minimum* link
+//! `alpha` over the fabric: a message sent at time `t` can never be
+//! delivered before `t + alpha_min`, so nodes may safely advance
+//! `alpha_min` past the cluster-wide next event without missing a
+//! cross-node wakeup.
+
+use hpl_sim::time::{SimDuration, SimTime};
+
+/// Per-link cost parameters of the LogGP-style model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetConfig {
+    /// Wire latency per traversed fabric (charged once per message).
+    pub alpha: SimDuration,
+    /// Serialisation cost per byte on each link the message crosses.
+    pub beta_ns_per_byte: f64,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            // Quadrics/early-InfiniBand-era numbers to match the paper's
+            // cluster generation: ~5 us one-way latency, ~1 GB/s links.
+            alpha: SimDuration::from_micros(5),
+            beta_ns_per_byte: 1.0,
+        }
+    }
+}
+
+impl NetConfig {
+    /// Serialisation time for a message of `bytes` on one link.
+    pub fn serialise(&self, bytes: u64) -> SimDuration {
+        SimDuration::from_nanos((self.beta_ns_per_byte * bytes as f64).round() as u64)
+    }
+}
+
+/// A path through the fabric: the ordered links crossed plus the cost
+/// parameters applied along them.
+#[derive(Debug, Clone)]
+pub struct Route {
+    /// Link indices in traversal order (store-and-forward).
+    pub links: Vec<usize>,
+    /// Cost parameters for this path.
+    pub cfg: NetConfig,
+}
+
+/// A network topology: maps node pairs to link paths.
+pub trait Fabric {
+    /// Number of nodes attached to the fabric.
+    fn nodes(&self) -> usize;
+    /// Total number of contention domains (FIFO links).
+    fn links(&self) -> usize;
+    /// Path for a `src -> dst` message. `src != dst`.
+    fn route(&self, src: usize, dst: usize) -> Route;
+    /// Minimum `alpha` over all paths — the co-simulation lookahead.
+    fn min_alpha(&self) -> SimDuration;
+}
+
+/// Full crossbar: every node owns one egress link, and concurrent sends
+/// from the same node serialise on it (the LogGP gap at the NIC). No
+/// shared core, so disjoint pairs never contend.
+#[derive(Debug, Clone)]
+pub struct FlatFabric {
+    nodes: usize,
+    cfg: NetConfig,
+}
+
+impl FlatFabric {
+    /// A crossbar over `nodes` nodes with uniform link parameters.
+    pub fn new(nodes: usize, cfg: NetConfig) -> Self {
+        assert!(nodes >= 1, "fabric needs at least one node");
+        assert!(
+            cfg.alpha >= SimDuration::from_nanos(1),
+            "alpha must be >= 1ns: it bounds the co-simulation lookahead"
+        );
+        FlatFabric { nodes, cfg }
+    }
+}
+
+impl Fabric for FlatFabric {
+    fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    fn links(&self) -> usize {
+        self.nodes
+    }
+
+    fn route(&self, src: usize, dst: usize) -> Route {
+        debug_assert!(src != dst && src < self.nodes && dst < self.nodes);
+        Route { links: vec![src], cfg: self.cfg }
+    }
+
+    fn min_alpha(&self) -> SimDuration {
+        self.cfg.alpha
+    }
+}
+
+/// Two-level switched fabric: each message crosses its source's uplink
+/// and its destination's downlink, both FIFO. Incast (many senders, one
+/// receiver) therefore queues on the receiver's downlink — contention the
+/// crossbar cannot express.
+#[derive(Debug, Clone)]
+pub struct SwitchedFabric {
+    nodes: usize,
+    cfg: NetConfig,
+}
+
+impl SwitchedFabric {
+    /// A single-switch fabric over `nodes` nodes.
+    pub fn new(nodes: usize, cfg: NetConfig) -> Self {
+        assert!(nodes >= 1, "fabric needs at least one node");
+        assert!(
+            cfg.alpha >= SimDuration::from_nanos(1),
+            "alpha must be >= 1ns: it bounds the co-simulation lookahead"
+        );
+        SwitchedFabric { nodes, cfg }
+    }
+}
+
+impl Fabric for SwitchedFabric {
+    fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    fn links(&self) -> usize {
+        2 * self.nodes
+    }
+
+    fn route(&self, src: usize, dst: usize) -> Route {
+        debug_assert!(src != dst && src < self.nodes && dst < self.nodes);
+        // Links [0, n) are uplinks, [n, 2n) downlinks.
+        Route { links: vec![src, self.nodes + dst], cfg: self.cfg }
+    }
+
+    fn min_alpha(&self) -> SimDuration {
+        self.cfg.alpha
+    }
+}
+
+/// The shared interconnect: a fabric plus per-link FIFO occupancy.
+///
+/// [`Interconnect::transfer`] is the single costing entry point: given a
+/// send timestamp it returns when the message reaches the destination
+/// node and how long it sat queued behind earlier traffic. The busy
+/// state makes the model *mechanistic* — ordering of transfers matters,
+/// which is why the co-simulation routes messages in deterministic
+/// (node, capture) order.
+pub struct Interconnect {
+    fabric: Box<dyn Fabric>,
+    busy_until: Vec<SimTime>,
+    messages: u64,
+    bytes: u64,
+}
+
+impl Interconnect {
+    /// Wrap a fabric with idle links.
+    pub fn new(fabric: Box<dyn Fabric>) -> Self {
+        let links = fabric.links();
+        Interconnect {
+            fabric,
+            busy_until: vec![SimTime::ZERO; links],
+            messages: 0,
+            bytes: 0,
+        }
+    }
+
+    /// Crossbar shorthand.
+    pub fn flat(nodes: usize, cfg: NetConfig) -> Self {
+        Interconnect::new(Box::new(FlatFabric::new(nodes, cfg)))
+    }
+
+    /// Single-switch shorthand.
+    pub fn switched(nodes: usize, cfg: NetConfig) -> Self {
+        Interconnect::new(Box::new(SwitchedFabric::new(nodes, cfg)))
+    }
+
+    /// Number of nodes the fabric connects.
+    pub fn nodes(&self) -> usize {
+        self.fabric.nodes()
+    }
+
+    /// Conservative lookahead: no message delivers sooner than this
+    /// after its send.
+    pub fn lookahead(&self) -> SimDuration {
+        self.fabric.min_alpha()
+    }
+
+    /// Messages transferred so far.
+    pub fn messages(&self) -> u64 {
+        self.messages
+    }
+
+    /// Payload bytes transferred so far.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Cost a `src -> dst` message of `bytes` sent at `at`. Returns
+    /// `(deliver_at, queued)`: the arrival time at the destination node
+    /// and the time spent waiting for busy links.
+    pub fn transfer(
+        &mut self,
+        at: SimTime,
+        src: usize,
+        dst: usize,
+        bytes: u64,
+    ) -> (SimTime, SimDuration) {
+        let route = self.fabric.route(src, dst);
+        let ser = route.cfg.serialise(bytes);
+        let mut head = at;
+        let mut queued = SimDuration::ZERO;
+        for &link in &route.links {
+            let start = head.max(self.busy_until[link]);
+            queued += start.since(head);
+            self.busy_until[link] = start + ser;
+            head = start + ser;
+        }
+        self.messages += 1;
+        self.bytes += bytes;
+        (head + route.cfg.alpha, queued)
+    }
+}
+
+impl std::fmt::Debug for Interconnect {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Interconnect")
+            .field("nodes", &self.fabric.nodes())
+            .field("links", &self.fabric.links())
+            .field("messages", &self.messages)
+            .field("bytes", &self.bytes)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> NetConfig {
+        NetConfig { alpha: SimDuration::from_micros(5), beta_ns_per_byte: 1.0 }
+    }
+
+    #[test]
+    fn uncontended_latency_is_alpha_plus_serialisation() {
+        let mut net = Interconnect::flat(4, cfg());
+        let at = SimTime::from_nanos(1_000);
+        let (deliver, queued) = net.transfer(at, 0, 1, 1_000);
+        // 1000 B at 1 ns/B + 5 us alpha.
+        assert_eq!(deliver, at + SimDuration::from_nanos(1_000) + SimDuration::from_micros(5));
+        assert_eq!(queued, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn back_to_back_sends_queue_on_the_egress_link() {
+        let mut net = Interconnect::flat(4, cfg());
+        let at = SimTime::from_nanos(0);
+        let (d1, q1) = net.transfer(at, 0, 1, 1_000);
+        let (d2, q2) = net.transfer(at, 0, 2, 1_000);
+        assert_eq!(q1, SimDuration::ZERO);
+        // Second message waits out the first's serialisation.
+        assert_eq!(q2, SimDuration::from_nanos(1_000));
+        assert_eq!(d2, d1 + SimDuration::from_nanos(1_000));
+    }
+
+    #[test]
+    fn disjoint_pairs_do_not_contend_on_a_crossbar() {
+        let mut net = Interconnect::flat(4, cfg());
+        let at = SimTime::from_nanos(0);
+        let (_, q1) = net.transfer(at, 0, 1, 1_000_000);
+        let (_, q2) = net.transfer(at, 2, 3, 1_000_000);
+        assert_eq!(q1, SimDuration::ZERO);
+        assert_eq!(q2, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn incast_queues_on_switched_downlink() {
+        let mut net = Interconnect::switched(4, cfg());
+        let at = SimTime::from_nanos(0);
+        let (_, q1) = net.transfer(at, 1, 0, 1_000);
+        let (_, q2) = net.transfer(at, 2, 0, 1_000);
+        assert_eq!(q1, SimDuration::ZERO);
+        // Distinct uplinks, shared downlink at node 0.
+        assert_eq!(q2, SimDuration::from_nanos(1_000));
+    }
+
+    #[test]
+    fn delivery_never_beats_the_lookahead() {
+        let mut net = Interconnect::switched(8, cfg());
+        let at = SimTime::from_nanos(123);
+        for dst in 1..8 {
+            let (deliver, _) = net.transfer(at, 0, dst, 0);
+            assert!(deliver >= at + net.lookahead());
+        }
+    }
+}

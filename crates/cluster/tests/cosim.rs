@@ -1,0 +1,105 @@
+//! End-to-end co-simulation tests: multi-node jobs complete, stay
+//! deterministic, and degrade gracefully.
+
+use hpl_cluster::{Cluster, Interconnect, NetConfig};
+use hpl_core::{hpl_node_builder, HplClass};
+use hpl_kernel::{KernelConfig, NodeBuilder};
+use hpl_mpi::{JobSpec, MpiOp, SchedMode};
+use hpl_sim::time::SimDuration;
+use hpl_topology::Topology;
+
+fn job(nodes: u32, ranks_per_node: u32, iters: u32) -> JobSpec {
+    JobSpec::new(
+        nodes * ranks_per_node,
+        JobSpec::repeat(
+            iters,
+            &[
+                MpiOp::Compute {
+                    mean: SimDuration::from_millis(2),
+                },
+                MpiOp::Allreduce { bytes: 64 },
+            ],
+        ),
+    )
+    .with_nodes(nodes)
+}
+
+fn build_cluster(nodes: usize, hpc: bool, fast: bool, seed: u64) -> Cluster {
+    let built = (0..nodes)
+        .map(|i| {
+            let mut kc = if hpc {
+                KernelConfig::hpl()
+            } else {
+                KernelConfig::default()
+            };
+            kc.fast_event_loop = fast;
+            let mut b = NodeBuilder::new(Topology::power6_js22())
+                .with_config(kc)
+                .with_seed(seed ^ ((i as u64) << 32));
+            if hpc {
+                b = b.with_hpc_class(Box::new(HplClass::new()));
+            }
+            b.build()
+        })
+        .collect();
+    Cluster::new(built, Interconnect::flat(nodes, NetConfig::default()))
+}
+
+fn run_once(nodes: u32, mode: SchedMode, hpc: bool, fast: bool, seed: u64) -> (u64, u64) {
+    let mut cluster = build_cluster(nodes as usize, hpc, fast, seed);
+    let handle = cluster.launch_job(&job(nodes, 8, 4), mode);
+    let exec = cluster.run_to_completion(&handle, 200_000_000);
+    (exec.as_nanos(), cluster.state_fingerprint())
+}
+
+#[test]
+fn two_node_hpc_allreduce_completes() {
+    let (exec, _) = run_once(2, SchedMode::Hpc, true, true, 42);
+    // 4 iterations of ~2 ms compute plus launch/teardown overheads.
+    assert!(exec > 8_000_000, "exec {exec}ns too short");
+    assert!(exec < 200_000_000, "exec {exec}ns absurdly long");
+}
+
+#[test]
+fn two_node_cfs_allreduce_completes() {
+    let (exec, _) = run_once(2, SchedMode::Cfs, false, true, 42);
+    assert!(exec > 8_000_000, "exec {exec}ns too short");
+}
+
+#[test]
+fn four_node_job_completes_on_switched_fabric() {
+    let nodes = 4;
+    let built = (0..nodes)
+        .map(|i| {
+            hpl_node_builder(Topology::power6_js22())
+                .with_seed(7 ^ ((i as u64) << 32))
+                .build()
+        })
+        .collect();
+    let mut cluster = Cluster::new(
+        built,
+        Interconnect::switched(nodes, NetConfig::default()),
+    );
+    let handle = cluster.launch_job(&job(nodes as u32, 4, 3), SchedMode::Hpc);
+    let exec = cluster.run_to_completion(&handle, 200_000_000);
+    assert!(exec.as_nanos() > 6_000_000);
+    assert!(cluster.net().messages() > 0, "inter-node rounds must use the fabric");
+}
+
+#[test]
+fn same_seed_same_run_across_event_loops() {
+    let fast = run_once(2, SchedMode::Hpc, true, true, 1234);
+    let fast2 = run_once(2, SchedMode::Hpc, true, true, 1234);
+    let reference = run_once(2, SchedMode::Hpc, true, false, 1234);
+    assert_eq!(fast, fast2, "fast loop not reproducible");
+    assert_eq!(fast, reference, "fast and reference loops diverge");
+}
+
+#[test]
+fn single_node_cluster_matches_plain_launch() {
+    // nodes=1 keeps the historic shared-memory path: no fabric traffic.
+    let (exec, _) = run_once(1, SchedMode::Hpc, true, true, 9);
+    assert!(exec > 8_000_000);
+    let cluster = build_cluster(1, true, true, 9);
+    assert_eq!(cluster.net().messages(), 0);
+}

@@ -107,7 +107,7 @@ impl TraceAnalysis {
                 TraceEvent::Migrate { pid, .. } => {
                     *migrations.entry(pid).or_default() += 1;
                 }
-                TraceEvent::Wakeup { .. } => {}
+                TraceEvent::Wakeup { .. } | TraceEvent::Net { .. } => {}
             }
         }
         // Close out tasks still running at window end.

@@ -73,7 +73,7 @@ pub mod trace;
 pub use class::{ClassKind, LoadSnapshot, MigrationPlan, SchedClass, SchedCtx};
 pub use config::{BalanceMode, KernelConfig};
 pub use hpl_perf::RunOutcome;
-pub use node::{Node, NodeBuilder};
+pub use node::{NetMsg, Node, NodeBuilder};
 pub use observe::{
     BalanceKind, ChromeTraceSink, MetricsSink, MigrateReason, ObserverId, PreemptVerdict,
     RingSink, SchedEvent, SchedObserver, TickOutcome,

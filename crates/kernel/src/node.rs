@@ -32,7 +32,7 @@ use crate::observe::{
 };
 use crate::program::{ProgCtx, Step, TaskSpec};
 use crate::rt::RtClass;
-use crate::sync::{SyncState, WaitOutcome, Waiting};
+use crate::sync::{ChanId, SyncState, WaitOutcome, Waiting};
 use crate::task::{BlockReason, Pid, SpinTarget, Task, TaskState, TaskTable};
 use crate::trace::TraceBuffer;
 use hpl_perf::{HwEvent, PerCpuCounters, RunOutcome, SwEvent};
@@ -47,6 +47,33 @@ enum Ev {
     SegDone { cpu: CpuId, gen: u64 },
     TimerWake(Pid),
     Irq,
+    /// A cross-node message arriving from the cluster interconnect:
+    /// deposit `tokens` on `chan` at this event's time. `sent_at` and
+    /// `queued_ns` ride along purely for observability (latency
+    /// breakdown); delivery semantics are exactly a local notify.
+    NetDeliver {
+        chan: ChanId,
+        tokens: u32,
+        sent_at: SimTime,
+        queued_ns: u64,
+    },
+}
+
+/// A captured outbound cross-node message: a [`Step::NetSend`] executed
+/// on a channel registered via [`Node::register_net_channel`]. The
+/// cluster driver collects these with [`Node::take_outbound`], runs them
+/// through its interconnect model, and posts the resulting delivery on
+/// the destination node with [`Node::post_net_delivery`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NetMsg {
+    /// Send time (the sender executed the step at this instant).
+    pub at: SimTime,
+    /// Destination channel (lives on the destination node).
+    pub chan: ChanId,
+    /// Tokens to deposit on delivery.
+    pub tokens: u32,
+    /// Payload size for the interconnect's alpha/beta cost model.
+    pub bytes: u64,
 }
 
 #[derive(Debug)]
@@ -182,6 +209,8 @@ impl NodeBuilder {
             ff_horizons: vec![SimTime::ZERO; ncpus],
             ff_fired: vec![0; ncpus],
             ff_trace: Vec::new(),
+            net_external: std::collections::HashSet::new(),
+            outbound: Vec::new(),
             events: 0,
         };
         // Stagger per-CPU ticks across the tick period. The fast path
@@ -301,6 +330,12 @@ pub struct Node {
     ff_horizons: Vec<SimTime>,
     ff_fired: Vec<u64>,
     ff_trace: Vec<(usize, SimTime)>,
+    /// Channels registered as network endpoints: a [`Step::NetSend`] on
+    /// one of these is captured into `outbound` instead of notifying
+    /// locally.
+    net_external: std::collections::HashSet<ChanId>,
+    /// Captured outbound messages awaiting cluster routing.
+    outbound: Vec<NetMsg>,
     /// Events processed (dispatched + batch-fired ticks).
     events: u64,
 }
@@ -1037,6 +1072,37 @@ impl Node {
                     }
                     continue;
                 }
+                Step::NetSend {
+                    chan,
+                    tokens,
+                    bytes,
+                } => {
+                    if self.net_external.contains(&chan) {
+                        self.outbound.push(NetMsg {
+                            at: self.now(),
+                            chan,
+                            tokens,
+                            bytes,
+                        });
+                        if !self.observers.is_empty() {
+                            self.emit(SchedEvent::NetSend {
+                                pid,
+                                cpu,
+                                chan,
+                                tokens,
+                                bytes,
+                            });
+                        }
+                    } else {
+                        // Same-node consumer: shared-memory fast path,
+                        // identical to a plain notify.
+                        let satisfied = self.sync.notify(chan, tokens);
+                        for (p, how) in satisfied {
+                            self.deliver(p, how);
+                        }
+                    }
+                    continue;
+                }
                 Step::Barrier { id, parties } => {
                     match self.sync.barrier_arrive(id, parties, pid, false) {
                         Some(released) => {
@@ -1587,7 +1653,76 @@ impl Node {
                 }
             }
             Ev::Irq => self.on_irq(),
+            Ev::NetDeliver {
+                chan,
+                tokens,
+                sent_at,
+                queued_ns,
+            } => {
+                if !self.observers.is_empty() {
+                    self.emit(SchedEvent::NetDeliver {
+                        chan,
+                        tokens,
+                        latency: self.now().since(sent_at),
+                        queued: SimDuration::from_nanos(queued_ns),
+                    });
+                }
+                let satisfied = self.sync.notify(chan, tokens);
+                for (p, how) in satisfied {
+                    self.deliver(p, how);
+                }
+            }
         }
+    }
+
+    /// Register `chan` as a network endpoint: from now on a
+    /// [`Step::NetSend`] targeting it is captured into the outbound
+    /// queue (for the cluster driver) instead of notifying locally.
+    /// Registration is append-only for a node's lifetime — the channel
+    /// id namespace is owned by the job layout, which never reuses a
+    /// cross-node id for a local channel.
+    pub fn register_net_channel(&mut self, chan: ChanId) {
+        self.net_external.insert(chan);
+    }
+
+    /// Drain the captured outbound messages (cluster driver API). Order
+    /// is capture order, which is simulation order.
+    pub fn take_outbound(&mut self) -> Vec<NetMsg> {
+        std::mem::take(&mut self.outbound)
+    }
+
+    /// True iff at least one captured outbound message is waiting.
+    pub fn has_outbound(&self) -> bool {
+        !self.outbound.is_empty()
+    }
+
+    /// Schedule a cross-node delivery: at time `at` (≥ now), deposit
+    /// `tokens` on `chan`, waking waiters exactly like a local notify.
+    /// `sent_at`/`queued` feed the observability latency breakdown.
+    pub fn post_net_delivery(
+        &mut self,
+        at: SimTime,
+        chan: ChanId,
+        tokens: u32,
+        sent_at: SimTime,
+        queued: SimDuration,
+    ) {
+        debug_assert!(at >= self.now(), "delivery scheduled in the past");
+        self.queue.schedule(
+            at,
+            Ev::NetDeliver {
+                chan,
+                tokens,
+                sent_at,
+                queued_ns: queued.as_nanos(),
+            },
+        );
+    }
+
+    /// Time of this node's next pending event, if any (cluster lockstep
+    /// uses the minimum over nodes to pick the next window).
+    pub fn next_event_time(&self) -> Option<SimTime> {
+        self.queue.peek_time()
     }
 
     /// Run one event. Returns false when the queue is empty.

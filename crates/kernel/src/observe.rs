@@ -37,6 +37,7 @@
 //! across both.
 
 use crate::class::ClassKind;
+use crate::sync::ChanId;
 use crate::task::Pid;
 use crate::trace::{TraceBuffer, TraceEvent};
 use hpl_perf::SchedMetrics;
@@ -199,6 +200,36 @@ pub enum SchedEvent {
         /// Migrations actually applied.
         migrations: u32,
     },
+    /// A cross-node message left this node: a [`crate::Step::NetSend`]
+    /// hit a channel registered as a network endpoint and was captured
+    /// for the cluster interconnect to route.
+    NetSend {
+        /// Sending task.
+        pid: Pid,
+        /// CPU it ran on.
+        cpu: CpuId,
+        /// Destination channel (lives on the destination node).
+        chan: ChanId,
+        /// Tokens carried.
+        tokens: u32,
+        /// Payload size.
+        bytes: u64,
+    },
+    /// A cross-node message arrived: the cluster driver's delivery
+    /// event deposited tokens into the local channel, waking any waiter
+    /// exactly as a local notify would.
+    NetDeliver {
+        /// Channel delivered to.
+        chan: ChanId,
+        /// Tokens deposited.
+        tokens: u32,
+        /// Send-to-delivery time (wire latency + serialisation +
+        /// contention queueing).
+        latency: SimDuration,
+        /// Portion of `latency` spent queued behind earlier messages on
+        /// the same link (zero on an uncontended link).
+        queued: SimDuration,
+    },
     /// A device interrupt was delivered.
     Irq {
         /// Servicing CPU.
@@ -284,6 +315,16 @@ impl SchedObserver for RingSink {
             SchedEvent::Switch { cpu, from, to } => TraceEvent::Switch { cpu, from, to },
             SchedEvent::Migrate { pid, from, to, .. } => TraceEvent::Migrate { pid, from, to },
             SchedEvent::Wakeup { pid, cpu } => TraceEvent::Wakeup { pid, cpu },
+            SchedEvent::NetSend { chan, tokens, .. } => TraceEvent::Net {
+                chan,
+                tokens,
+                out: true,
+            },
+            SchedEvent::NetDeliver { chan, tokens, .. } => TraceEvent::Net {
+                chan,
+                tokens,
+                out: false,
+            },
             _ => return,
         };
         self.buf.record(at, mapped);
@@ -314,7 +355,13 @@ struct Slice {
 enum InstantKind {
     Migrate { from: CpuId, to: CpuId },
     Wakeup,
+    NetSend { chan: u64, bytes: u64 },
+    NetDeliver { chan: u64, latency_ns: u64, queued_ns: u64 },
 }
+
+/// Synthetic `tid` for the network track in Chrome-trace output: net
+/// events render on their own row below the per-CPU tracks.
+const NET_TID: u32 = 9_999;
 
 #[derive(Debug, Clone, Copy)]
 struct Instant {
@@ -397,15 +444,33 @@ impl ChromeTraceSink {
     /// display name (the node does this from its task table). Timestamps
     /// are microseconds (the format's unit); `pid` in the output is the
     /// node (1), `tid` is the CPU, so each CPU renders as one track.
-    pub fn to_json(&self, end: SimTime, mut resolve: impl FnMut(Pid) -> String) -> String {
-        let us = |t: SimTime| t.as_nanos() as f64 / 1e3;
+    pub fn to_json(&self, end: SimTime, resolve: impl FnMut(Pid) -> String) -> String {
         let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
         let mut first = true;
+        self.write_events(&mut out, &mut first, 1, end, resolve);
+        let _ = write!(out, "\n],\"otherData\":{{\"dropped\":{}}}}}", self.dropped);
+        out
+    }
+
+    /// Append this sink's trace events to a document under Chrome-trace
+    /// process id `process` (cluster exports use one process — hence
+    /// one track group — per node). `first` tracks comma placement
+    /// across multiple appending sinks; the caller owns the surrounding
+    /// `{"traceEvents":[...]}` envelope.
+    pub fn write_events(
+        &self,
+        out: &mut String,
+        first: &mut bool,
+        process: u32,
+        end: SimTime,
+        mut resolve: impl FnMut(Pid) -> String,
+    ) {
+        let us = |t: SimTime| t.as_nanos() as f64 / 1e3;
         let mut push = |out: &mut String, ev: String| {
-            if !first {
+            if !*first {
                 out.push(',');
             }
-            first = false;
+            *first = false;
             out.push('\n');
             out.push_str(&ev);
         };
@@ -420,39 +485,64 @@ impl ChromeTraceSink {
         for s in self.slices.iter().copied().chain(closed_at_end) {
             let dur = (s.end.since(s.start).as_nanos() as f64 / 1e3).max(0.001);
             push(
-                &mut out,
+                out,
                 format!(
-                    "{{\"name\":{},\"cat\":\"sched\",\"ph\":\"X\",\"ts\":{:.3},\"dur\":{:.3},\"pid\":1,\"tid\":{},\"args\":{{\"task\":{}}}}}",
+                    "{{\"name\":{},\"cat\":\"sched\",\"ph\":\"X\",\"ts\":{:.3},\"dur\":{:.3},\"pid\":{},\"tid\":{},\"args\":{{\"task\":{}}}}}",
                     json_string(&resolve(s.pid)),
                     us(s.start),
                     dur,
+                    process,
                     s.cpu.0,
                     s.pid.0
                 ),
             );
         }
         for i in &self.instants {
-            let (name, extra) = match i.kind {
+            let (name, tid, extra) = match i.kind {
                 InstantKind::Migrate { from, to } => (
                     format!("migrate {}", resolve(i.pid)),
-                    format!(",\"from_cpu\":{},\"to_cpu\":{}", from.0, to.0),
+                    i.cpu.0,
+                    format!(
+                        ",\"task\":{},\"from_cpu\":{},\"to_cpu\":{}",
+                        i.pid.0, from.0, to.0
+                    ),
                 ),
-                InstantKind::Wakeup => (format!("wakeup {}", resolve(i.pid)), String::new()),
+                InstantKind::Wakeup => (
+                    format!("wakeup {}", resolve(i.pid)),
+                    i.cpu.0,
+                    format!(",\"task\":{}", i.pid.0),
+                ),
+                InstantKind::NetSend { chan, bytes } => (
+                    format!("net send c{chan}"),
+                    NET_TID,
+                    format!(",\"task\":{},\"chan\":{},\"bytes\":{}", i.pid.0, chan, bytes),
+                ),
+                InstantKind::NetDeliver {
+                    chan,
+                    latency_ns,
+                    queued_ns,
+                } => (
+                    format!("net recv c{chan}"),
+                    NET_TID,
+                    format!(
+                        ",\"chan\":{},\"latency_ns\":{},\"queued_ns\":{}",
+                        chan, latency_ns, queued_ns
+                    ),
+                ),
             };
             push(
-                &mut out,
+                out,
                 format!(
-                    "{{\"name\":{},\"cat\":\"sched\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{:.3},\"pid\":1,\"tid\":{},\"args\":{{\"task\":{}{}}}}}",
+                    "{{\"name\":{},\"cat\":\"sched\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{:.3},\"pid\":{},\"tid\":{},\"args\":{{\"node\":{}{}}}}}",
                     json_string(&name),
                     us(i.at),
-                    i.cpu.0,
-                    i.pid.0,
+                    process,
+                    tid,
+                    process,
                     extra
                 ),
             );
         }
-        let _ = write!(out, "\n],\"otherData\":{{\"dropped\":{}}}}}", self.dropped);
-        out
     }
 }
 
@@ -501,6 +591,50 @@ impl SchedObserver for ChromeTraceSink {
                         cpu,
                         pid,
                         kind: InstantKind::Wakeup,
+                    });
+                } else {
+                    self.dropped += 1;
+                }
+            }
+            SchedEvent::NetSend {
+                pid,
+                cpu,
+                chan,
+                bytes,
+                ..
+            } => {
+                if self.stored() < self.capacity {
+                    self.instants.push(Instant {
+                        at,
+                        cpu,
+                        pid,
+                        kind: InstantKind::NetSend {
+                            chan: chan.0,
+                            bytes,
+                        },
+                    });
+                } else {
+                    self.dropped += 1;
+                }
+            }
+            SchedEvent::NetDeliver {
+                chan,
+                latency,
+                queued,
+                ..
+            } => {
+                // No task/CPU context: the delivery happens at node scope
+                // before any waiter is dispatched.
+                if self.stored() < self.capacity {
+                    self.instants.push(Instant {
+                        at,
+                        cpu: CpuId(0),
+                        pid: Pid(0),
+                        kind: InstantKind::NetDeliver {
+                            chan: chan.0,
+                            latency_ns: latency.as_nanos(),
+                            queued_ns: queued.as_nanos(),
+                        },
                     });
                 } else {
                     self.dropped += 1;
@@ -621,6 +755,14 @@ impl SchedObserver for MetricsSink {
                 BalanceKind::Periodic { .. } => self.m.periodic_balance_calls += 1,
                 BalanceKind::RtPush => self.m.rt_push_calls += 1,
             },
+            SchedEvent::NetSend { .. } => self.m.net_sends += 1,
+            SchedEvent::NetDeliver {
+                latency, queued, ..
+            } => {
+                self.m.net_delivers += 1;
+                self.m.net_latency_ns.record(latency.as_nanos());
+                self.m.net_queue_ns.record(queued.as_nanos());
+            }
             SchedEvent::Irq { .. } => self.m.irqs += 1,
             SchedEvent::Tick { outcome, .. } => {
                 self.m.ticks += 1;

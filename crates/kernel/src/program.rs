@@ -40,6 +40,24 @@ pub enum Step {
         /// Number of tokens to deposit.
         tokens: u32,
     },
+    /// Deposit tokens on a channel whose consumer may live on another
+    /// node. If the channel is registered as a network endpoint
+    /// ([`crate::Node::register_net_channel`]) the message is captured
+    /// into the node's outbound queue — `bytes` sizes it for the
+    /// cluster interconnect's cost model — and a cluster driver routes
+    /// it to the destination node, where the delivery event deposits
+    /// the tokens. On an unregistered channel it degrades to exactly
+    /// [`Step::Notify`] (the same-node shared-memory fast path), so
+    /// programs can emit it unconditionally.
+    NetSend {
+        /// Destination channel (its waiters live on the destination
+        /// node when registered as a network endpoint).
+        chan: ChanId,
+        /// Number of tokens to deposit on delivery.
+        tokens: u32,
+        /// Payload size, for the interconnect alpha/beta model.
+        bytes: u64,
+    },
     /// Arrive at a barrier of `parties` participants; blocks unless this
     /// arrival completes the barrier.
     Barrier {
@@ -91,6 +109,11 @@ impl fmt::Debug for Step {
                 write!(f, "WaitChanSpin({chan}, {spin_limit})")
             }
             Step::Notify { chan, tokens } => write!(f, "Notify({chan}, {tokens})"),
+            Step::NetSend {
+                chan,
+                tokens,
+                bytes,
+            } => write!(f, "NetSend({chan}, {tokens}, {bytes}B)"),
             Step::Barrier { id, parties } => write!(f, "Barrier({id}, {parties})"),
             Step::BarrierSpin {
                 id,

@@ -6,6 +6,7 @@
 //! debugging, examples, and the Figure-1-style visualisations. Events
 //! carry only ids and timestamps; rendering resolves names at the end.
 
+use crate::sync::ChanId;
 use crate::task::Pid;
 use hpl_sim::SimTime;
 use hpl_topology::CpuId;
@@ -38,6 +39,17 @@ pub enum TraceEvent {
         pid: Pid,
         /// CPU it was enqueued on.
         cpu: CpuId,
+    },
+    /// A cross-node network message crossed this node's boundary: a
+    /// captured outbound send (`out == true`) or an arriving delivery
+    /// (`out == false`).
+    Net {
+        /// Channel the message targets.
+        chan: ChanId,
+        /// Tokens carried.
+        tokens: u32,
+        /// Direction: true = send captured here, false = delivered here.
+        out: bool,
     },
 }
 

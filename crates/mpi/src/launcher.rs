@@ -54,11 +54,14 @@ pub struct LaunchHandle {
     pub launched_at: SimTime,
 }
 
-/// Build the mpiexec program: fork all ranks, wait, exit.
-fn mpiexec_spec(node: &Node, job: &JobSpec, mode: SchedMode) -> TaskSpec {
+/// Build the mpiexec program forking the ranks in `ranks` (a single
+/// node's share of the job; the whole job on a single-node launch):
+/// fork each, wait, exit.
+fn mpiexec_spec(node: &Node, job: &JobSpec, mode: SchedMode, ranks: std::ops::Range<u32>) -> TaskSpec {
     let mut steps = Vec::new();
     let ncpus = node.topo.total_cpus();
-    for rank in 0..job.nprocs {
+    let first = ranks.start;
+    for rank in ranks {
         let rank_policy = match mode {
             SchedMode::Cfs | SchedMode::CfsPinned => Policy::Normal { nice: 0 },
             SchedMode::CfsNice { nice } => Policy::Normal { nice },
@@ -73,9 +76,10 @@ fn mpiexec_spec(node: &Node, job: &JobSpec, mode: SchedMode) -> TaskSpec {
         .with_tag(APP_TAG);
         if mode == SchedMode::CfsPinned {
             // One rank per hardware thread, in id order — the static
-            // binding a user would write by hand.
+            // binding a user would write by hand. Multi-node jobs pin by
+            // node-local index so each node's ranks cover its own CPUs.
             spec = spec.with_affinity(hpl_topology::CpuMask::single(hpl_topology::CpuId(
-                rank % ncpus,
+                (rank - first) % ncpus,
             )));
         }
         steps.push(Step::Fork(spec));
@@ -100,7 +104,7 @@ fn mpiexec_spec(node: &Node, job: &JobSpec, mode: SchedMode) -> TaskSpec {
 /// `perf stat -a -- chrt ... mpiexec ...`.
 pub fn launch(node: &mut Node, job: &JobSpec, mode: SchedMode) -> LaunchHandle {
     let launched_at = node.now();
-    let inner = mpiexec_spec(node, job, mode);
+    let inner = mpiexec_spec(node, job, mode, 0..job.nprocs);
     // Under HPL the paper wraps mpiexec in the modified chrt; under RT
     // the stock chrt does the same job. Either way perf is the root.
     let wrapped = match mode {
@@ -145,6 +149,46 @@ pub fn launch(node: &mut Node, job: &JobSpec, mode: SchedMode) -> LaunchHandle {
         mpiexec_pid,
         launched_at,
     }
+}
+
+/// Spawn one node's share of a multi-node job: the same
+/// `perf` → (`chrt` →) `mpiexec` → ranks tree as [`launch`], restricted
+/// to the ranks the job places on cluster node `node_idx`, and — unlike
+/// [`launch`] — **without stepping the node**. A cluster driver must
+/// keep its nodes in virtual-time lockstep, so independently running one
+/// node forward here would break the co-simulation; the driver resolves
+/// the mpiexec pid from the task table after (or during) the lockstep
+/// run instead. Returns the root (`perf`) pid.
+pub fn spawn_job_tree(node: &mut Node, job: &JobSpec, mode: SchedMode, node_idx: u32) -> Pid {
+    let inner = mpiexec_spec(node, job, mode, job.ranks_on(node_idx));
+    let wrapped = match mode {
+        SchedMode::Hpc => chrt_spec("chrt", inner),
+        _ => inner,
+    };
+    let perf_program = ScriptProgram::boxed(
+        "perf",
+        vec![
+            Step::Compute(SimDuration::from_micros(500)),
+            Step::Fork(wrapped),
+            Step::WaitChildren,
+            Step::Compute(SimDuration::from_millis(20)),
+        ],
+    );
+    node.spawn(TaskSpec::new(
+        "perf",
+        Policy::Normal { nice: 0 },
+        perf_program,
+    ))
+}
+
+/// After (part of) a lockstep run, find the mpiexec task under `perf_pid`
+/// on a node, if the fork chain has created it yet. Under HPL, `chrt`
+/// *is* mpiexec after the exec (same pid, same comm in our model).
+pub fn find_mpiexec(node: &Node, perf_pid: Pid) -> Option<Pid> {
+    node.tasks
+        .iter()
+        .find(|t| t.pid > perf_pid && (t.name == "mpiexec" || t.name == "chrt"))
+        .map(|t| t.pid)
 }
 
 impl LaunchHandle {

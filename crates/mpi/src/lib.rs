@@ -27,5 +27,5 @@
 pub mod launcher;
 pub mod runtime;
 
-pub use launcher::{launch, LaunchHandle, SchedMode};
+pub use launcher::{find_mpiexec, launch, spawn_job_tree, LaunchHandle, SchedMode};
 pub use runtime::{JobSpec, MpiConfig, MpiOp, RankProgram};

@@ -109,6 +109,10 @@ pub struct JobSpec {
     /// Base for channel/barrier id allocation; jobs on one node must use
     /// disjoint bases (the launcher offsets by job index).
     pub id_base: u64,
+    /// Number of cluster nodes the job spans (block placement:
+    /// `nprocs / nodes` consecutive ranks per node). 1 = the classic
+    /// single-node job, whose step stream is unchanged.
+    pub nodes: u32,
 }
 
 impl JobSpec {
@@ -120,6 +124,7 @@ impl JobSpec {
             ops,
             config: MpiConfig::default(),
             id_base: 0,
+            nodes: 1,
         }
     }
 
@@ -129,12 +134,100 @@ impl JobSpec {
         self
     }
 
+    /// Spread the job over `nodes` cluster nodes with block placement
+    /// (ranks `[n·rpn, (n+1)·rpn)` on node `n`, `rpn = nprocs/nodes`).
+    /// `nprocs` must divide evenly.
+    pub fn with_nodes(mut self, nodes: u32) -> Self {
+        assert!(nodes > 0, "a job needs at least one node");
+        assert_eq!(
+            self.nprocs % nodes,
+            0,
+            "nprocs {} must divide evenly over {} nodes",
+            self.nprocs,
+            nodes
+        );
+        self.nodes = nodes;
+        self
+    }
+
     /// Set the channel/barrier id base. Two jobs running concurrently on
-    /// one node must use disjoint bases; ids `base ..= base + nprocs²`
-    /// are reserved by a job.
+    /// one node must use disjoint bases; ids
+    /// `base ..= base + nprocs² + 2·nodes` are reserved by a job
+    /// (pairwise channels, per-node local barriers, per-node release
+    /// channels).
     pub fn with_id_base(mut self, base: u64) -> Self {
         self.id_base = base;
         self
+    }
+
+    /// Ranks placed on each node.
+    pub fn ranks_per_node(&self) -> u32 {
+        self.nprocs / self.nodes
+    }
+
+    /// Node index hosting `rank` (block placement).
+    pub fn node_of(&self, rank: u32) -> u32 {
+        debug_assert!(rank < self.nprocs);
+        rank / self.ranks_per_node()
+    }
+
+    /// The node-leader rank of `node` (its lowest-numbered rank; leaders
+    /// run the inter-node rounds of hierarchical collectives).
+    pub fn leader_of(&self, node: u32) -> u32 {
+        debug_assert!(node < self.nodes);
+        node * self.ranks_per_node()
+    }
+
+    /// Ranks hosted on `node`, as an inclusive-exclusive range.
+    pub fn ranks_on(&self, node: u32) -> std::ops::Range<u32> {
+        let rpn = self.ranks_per_node();
+        node * rpn..(node + 1) * rpn
+    }
+
+    /// Per-node barrier id for the intra-node round of hierarchical
+    /// collectives.
+    pub fn local_barrier_id(&self, node: u32) -> BarrierId {
+        debug_assert!(node < self.nodes);
+        BarrierId(self.id_base + 1 + (self.nprocs as u64).pow(2) + node as u64)
+    }
+
+    /// Per-node release channel: the node leader deposits one token per
+    /// local non-leader once the inter-node rounds complete.
+    pub fn release_chan(&self, node: u32) -> ChanId {
+        debug_assert!(node < self.nodes);
+        ChanId(self.id_base + 1 + (self.nprocs as u64).pow(2) + (self.nodes + node) as u64)
+    }
+
+    /// Channels a cluster driver must register as network endpoints on
+    /// `node`: every `src → dst` pair whose sender lives on `node` and
+    /// whose receiver lives elsewhere. A `NetSend` on one of these is
+    /// captured for interconnect routing instead of notifying locally.
+    pub fn cross_node_channels(&self, node: u32) -> Vec<ChanId> {
+        let mut out = Vec::new();
+        if self.nodes == 1 {
+            return out;
+        }
+        for src in self.ranks_on(node) {
+            for dst in 0..self.nprocs {
+                if self.node_of(dst) != node {
+                    out.push(self.chan_id(src, dst));
+                }
+            }
+        }
+        out
+    }
+
+    /// Destination node of a cross-node channel id, or `None` if the id
+    /// is not one of this job's pairwise channels (routing table for the
+    /// cluster driver).
+    pub fn chan_dst_node(&self, chan: ChanId) -> Option<u32> {
+        let lo = self.id_base + 1;
+        let hi = lo + (self.nprocs as u64).pow(2);
+        if !(lo..hi).contains(&chan.0) {
+            return None;
+        }
+        let dst = ((chan.0 - lo) % self.nprocs as u64) as u32;
+        Some(self.node_of(dst))
     }
 
     /// Unroll a loop: repeat `body` `times` times (helper for workload
@@ -174,6 +267,7 @@ impl JobSpec {
 pub struct RankProgram {
     rank: u32,
     nprocs: u32,
+    nodes: u32,
     ops: Vec<MpiOp>,
     config: MpiConfig,
     id_base: u64,
@@ -190,6 +284,7 @@ impl RankProgram {
         RankProgram {
             rank,
             nprocs: job.nprocs,
+            nodes: job.nodes,
             ops: job.ops.clone(),
             config: job.config.clone(),
             id_base: job.id_base,
@@ -210,6 +305,92 @@ impl RankProgram {
 
     fn chan(&self, src: u32, dst: u32) -> ChanId {
         ChanId(self.id_base + 1 + (src * self.nprocs + dst) as u64)
+    }
+
+    fn ranks_per_node(&self) -> u32 {
+        self.nprocs / self.nodes
+    }
+
+    fn node_of(&self, rank: u32) -> u32 {
+        rank / self.ranks_per_node()
+    }
+
+    fn leader_of(&self, node: u32) -> u32 {
+        node * self.ranks_per_node()
+    }
+
+    /// Phase-exit synchronisation. Single-node jobs keep the exact
+    /// historic step stream (one spin barrier); multi-node jobs run the
+    /// hierarchical form — intra-node spin barrier, then a leader-only
+    /// dissemination barrier over the interconnect carrying `bytes` per
+    /// round message, then a local release. The dissemination pattern
+    /// (round `k`: send to `(me+2ᵏ) mod n`, wait from `(me−2ᵏ) mod n`)
+    /// works for any node count, not just powers of two.
+    fn push_sync_phase(&mut self, bytes: u64) {
+        if self.nodes == 1 {
+            let b = self.barrier();
+            self.pending.push_back(b);
+            return;
+        }
+        let node = self.node_of(self.rank);
+        let rpn = self.ranks_per_node();
+        self.pending.push_back(Step::BarrierSpin {
+            id: BarrierId(self.id_base + 1 + (self.nprocs as u64).pow(2) + node as u64),
+            parties: rpn,
+            spin_limit: self.config.spin_limit,
+        });
+        let release = ChanId(
+            self.id_base + 1 + (self.nprocs as u64).pow(2) + (self.nodes + node) as u64,
+        );
+        if self.rank == self.leader_of(node) {
+            let n = self.nodes;
+            let me = self.leader_of(node);
+            let mut k = 1;
+            while k < n {
+                let to = self.leader_of((node + k) % n);
+                let from = self.leader_of((node + n - k) % n);
+                // Sender CPU overhead (the LogGP o term) for injecting
+                // the message; wire latency comes from the interconnect.
+                self.pending.push_back(Step::Compute(self.msg_cost(1, 0)));
+                self.pending.push_back(Step::NetSend {
+                    chan: self.chan(me, to),
+                    tokens: 1,
+                    bytes,
+                });
+                self.pending.push_back(Step::WaitChanSpin {
+                    chan: self.chan(from, me),
+                    spin_limit: self.config.spin_limit,
+                });
+                k *= 2;
+            }
+            if rpn > 1 {
+                self.pending.push_back(Step::Notify {
+                    chan: release,
+                    tokens: rpn - 1,
+                });
+            }
+        } else {
+            self.pending.push_back(Step::WaitChanSpin {
+                chan: release,
+                spin_limit: self.config.spin_limit,
+            });
+        }
+    }
+
+    /// A pt2p deposit on `chan`: a plain notify on single-node jobs
+    /// (byte-identical historic path), a `NetSend` on multi-node jobs —
+    /// which itself degrades to a notify when both endpoints share a
+    /// node, so only genuinely remote messages cross the interconnect.
+    fn push_send(&mut self, chan: ChanId, bytes: u64) {
+        if self.nodes == 1 {
+            self.pending.push_back(Step::Notify { chan, tokens: 1 });
+        } else {
+            self.pending.push_back(Step::NetSend {
+                chan,
+                tokens: 1,
+                bytes,
+            });
+        }
     }
 
     fn msg_cost(&self, messages: u64, bytes_each: u64) -> SimDuration {
@@ -245,12 +426,12 @@ impl RankProgram {
                 self.pending.push_back(Step::Compute(work));
                 self.pending.push_back(Step::Sleep(wait));
             }
-            self.pending.push_back(self.barrier());
+            self.push_sync_phase(8);
             return;
         }
         let Some(op) = self.ops.get(self.op_idx).cloned() else {
             // MPI_Finalize: closing barrier, then exit.
-            self.pending.push_back(self.barrier());
+            self.push_sync_phase(8);
             self.pending.push_back(Step::Exit);
             self.op_idx += 1;
             return;
@@ -265,18 +446,18 @@ impl RankProgram {
                 // Dissemination rounds cost alpha*log2(p) before sync.
                 let rounds = (p.max(2) as f64).log2().ceil() as u64;
                 self.pending.push_back(Step::Compute(self.msg_cost(rounds, 0)));
-                self.pending.push_back(self.barrier());
+                self.push_sync_phase(8);
             }
             MpiOp::Allreduce { bytes } => {
                 let rounds = (p.max(2) as f64).log2().ceil() as u64;
                 self.pending
                     .push_back(Step::Compute(self.msg_cost(rounds, bytes)));
-                self.pending.push_back(self.barrier());
+                self.push_sync_phase(bytes);
             }
             MpiOp::Alltoall { bytes } => {
                 self.pending
                     .push_back(Step::Compute(self.msg_cost(p - 1, bytes)));
-                self.pending.push_back(self.barrier());
+                self.push_sync_phase(bytes);
             }
             MpiOp::Bcast { bytes } | MpiOp::Reduce { bytes } => {
                 // Binomial tree: ceil(log2 p) rounds of (alpha + beta*b);
@@ -285,7 +466,7 @@ impl RankProgram {
                 let rounds = (p.max(2) as f64).log2().ceil() as u64;
                 self.pending
                     .push_back(Step::Compute(self.msg_cost(rounds, bytes)));
-                self.pending.push_back(self.barrier());
+                self.push_sync_phase(bytes);
             }
             MpiOp::Wavefront { bytes } => {
                 if self.nprocs == 1 {
@@ -300,10 +481,7 @@ impl RankProgram {
                 self.pending
                     .push_back(Step::Compute(self.msg_cost(1, bytes)));
                 if self.rank + 1 < self.nprocs {
-                    self.pending.push_back(Step::Notify {
-                        chan: self.chan(self.rank, self.rank + 1),
-                        tokens: 1,
-                    });
+                    self.push_send(self.chan(self.rank, self.rank + 1), bytes);
                 }
             }
             MpiOp::NeighborExchange { bytes } => {
@@ -315,14 +493,8 @@ impl RankProgram {
                 // Send both ways (message cost), then receive both ways.
                 self.pending
                     .push_back(Step::Compute(self.msg_cost(2, bytes)));
-                self.pending.push_back(Step::Notify {
-                    chan: self.chan(self.rank, left),
-                    tokens: 1,
-                });
-                self.pending.push_back(Step::Notify {
-                    chan: self.chan(self.rank, right),
-                    tokens: 1,
-                });
+                self.push_send(self.chan(self.rank, left), bytes);
+                self.push_send(self.chan(self.rank, right), bytes);
                 self.pending.push_back(Step::WaitChanSpin {
                     chan: self.chan(left, self.rank),
                     spin_limit: self.config.spin_limit,

@@ -189,6 +189,10 @@ pub struct SchedMetrics {
     pub noise_arrivals: u64,
     /// Device interrupts delivered.
     pub irqs: u64,
+    /// Cross-node messages captured for the cluster interconnect.
+    pub net_sends: u64,
+    /// Cross-node message deliveries into this node.
+    pub net_delivers: u64,
     /// Switch count per CPU, indexed by CPU id.
     pub per_cpu_switches: Vec<u64>,
     /// How long tasks held a CPU before switching out, in ns.
@@ -197,6 +201,10 @@ pub struct SchedMetrics {
     pub offcpu_latency_ns: Log2Hist,
     /// Time between successive migrations anywhere on the node, in ns.
     pub migration_interarrival_ns: Log2Hist,
+    /// Cross-node message send-to-delivery latency, in ns.
+    pub net_latency_ns: Log2Hist,
+    /// Portion of message latency spent queued on a contended link, ns.
+    pub net_queue_ns: Log2Hist,
 }
 
 impl SchedMetrics {
@@ -230,6 +238,8 @@ impl SchedMetrics {
         self.ticks_skipped += other.ticks_skipped;
         self.noise_arrivals += other.noise_arrivals;
         self.irqs += other.irqs;
+        self.net_sends += other.net_sends;
+        self.net_delivers += other.net_delivers;
         if other.per_cpu_switches.len() > self.per_cpu_switches.len() {
             self.per_cpu_switches.resize(other.per_cpu_switches.len(), 0);
         }
@@ -244,6 +254,8 @@ impl SchedMetrics {
         self.offcpu_latency_ns.merge(&other.offcpu_latency_ns);
         self.migration_interarrival_ns
             .merge(&other.migration_interarrival_ns);
+        self.net_latency_ns.merge(&other.net_latency_ns);
+        self.net_queue_ns.merge(&other.net_queue_ns);
     }
 
     /// Compact multi-line report (counters first, then histograms).
@@ -265,6 +277,12 @@ impl SchedMetrics {
             "ticks {} (skipped {}) | noise arrivals {} | irqs {}\n",
             self.ticks, self.ticks_skipped, self.noise_arrivals, self.irqs
         ));
+        if self.net_sends + self.net_delivers > 0 {
+            out.push_str(&format!(
+                "net sends {} | net delivers {}\n",
+                self.net_sends, self.net_delivers
+            ));
+        }
         out.push_str(&format!("per-cpu switches {:?}\n", self.per_cpu_switches));
         out.push_str(&self.timeslice_ns.render("timeslice_ns"));
         out.push_str(&self.offcpu_latency_ns.render("offcpu_latency_ns"));
@@ -273,6 +291,10 @@ impl SchedMetrics {
                 .migration_interarrival_ns
                 .render("migration_interarrival_ns"),
         );
+        if self.net_latency_ns.count() > 0 {
+            out.push_str(&self.net_latency_ns.render("net_latency_ns"));
+            out.push_str(&self.net_queue_ns.render("net_queue_ns"));
+        }
         out
     }
 }

@@ -43,6 +43,16 @@ impl RunOutcome {
             RunOutcome::BudgetExhausted => "budget_exhausted",
         }
     }
+
+    /// Parse a [`Self::label`] back into the outcome (CSV ingestion).
+    pub fn parse(label: &str) -> Option<Self> {
+        match label {
+            "completed" => Some(RunOutcome::Completed),
+            "deadlock" => Some(RunOutcome::Deadlock),
+            "budget_exhausted" => Some(RunOutcome::BudgetExhausted),
+            _ => None,
+        }
+    }
 }
 
 /// The measurements of one benchmark repetition.
@@ -198,6 +208,48 @@ impl RunTable {
         out
     }
 
+    /// Parse a table back from [`Self::to_csv`] output. Strict on shape:
+    /// the header must match what `to_csv` writes and every row must
+    /// carry exactly its columns (observer metrics are not serialised,
+    /// so they come back as `None`).
+    pub fn from_csv(csv: &str) -> Result<Self, String> {
+        let mut lines = csv.lines();
+        let header = lines.next().ok_or("empty CSV")?;
+        let expected = "run,exec_time_s,cpu_migrations,context_switches,involuntary_preemptions,load_balance_calls,outcome";
+        if header != expected {
+            return Err(format!("unexpected header {header:?}"));
+        }
+        let mut records = Vec::new();
+        for (i, line) in lines.enumerate() {
+            if line.is_empty() {
+                continue;
+            }
+            let fields: Vec<&str> = line.split(',').collect();
+            if fields.len() != 7 {
+                return Err(format!("row {i}: expected 7 fields, got {}", fields.len()));
+            }
+            let num = |j: usize| -> Result<u64, String> {
+                fields[j]
+                    .parse()
+                    .map_err(|_| format!("row {i}: bad integer {:?}", fields[j]))
+            };
+            records.push(RunRecord {
+                run: num(0)?,
+                exec_time_s: fields[1]
+                    .parse()
+                    .map_err(|_| format!("row {i}: bad time {:?}", fields[1]))?,
+                cpu_migrations: num(2)?,
+                context_switches: num(3)?,
+                involuntary_preemptions: num(4)?,
+                load_balance_calls: num(5)?,
+                outcome: RunOutcome::parse(fields[6])
+                    .ok_or_else(|| format!("row {i}: unknown outcome {:?}", fields[6]))?,
+                metrics: None,
+            });
+        }
+        Ok(RunTable::new(records))
+    }
+
     /// True iff every repetition completed normally.
     pub fn all_completed(&self) -> bool {
         self.records.iter().all(|r| r.outcome.is_complete())
@@ -295,6 +347,35 @@ mod tests {
             "run,exec_time_s,cpu_migrations,context_switches,involuntary_preemptions,load_balance_calls,outcome"
         );
         assert_eq!(lines.next().unwrap(), "0,1.5,10,100,0,0,completed");
+    }
+
+    #[test]
+    fn outcome_labels_roundtrip() {
+        for o in [
+            RunOutcome::Completed,
+            RunOutcome::Deadlock,
+            RunOutcome::BudgetExhausted,
+        ] {
+            assert_eq!(RunOutcome::parse(o.label()), Some(o));
+        }
+        assert_eq!(RunOutcome::parse("crashed"), None);
+    }
+
+    #[test]
+    fn csv_roundtrips_outcomes_through_table() {
+        let t = RunTable::new(vec![
+            rec(0, 8.54, 29, 550),
+            rec(1, 14.59, 615, 1886).with_outcome(RunOutcome::Deadlock),
+            rec(2, 9.0, 50, 652).with_outcome(RunOutcome::BudgetExhausted),
+        ]);
+        let parsed = RunTable::from_csv(&t.to_csv()).expect("round-trip");
+        assert_eq!(parsed.records(), t.records());
+        assert_eq!(parsed.failed_records().len(), 2);
+        // Malformed inputs are rejected, not mangled.
+        assert!(RunTable::from_csv("").is_err());
+        assert!(RunTable::from_csv("wrong,header\n").is_err());
+        let bad_outcome = "run,exec_time_s,cpu_migrations,context_switches,involuntary_preemptions,load_balance_calls,outcome\n0,1.0,0,0,0,0,crashed\n";
+        assert!(RunTable::from_csv(bad_outcome).is_err());
     }
 
     #[test]

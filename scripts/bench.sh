@@ -1,16 +1,23 @@
 #!/usr/bin/env bash
-# Offline perf-regression harness for the event-loop fast path.
+# Offline perf-regression harness.
 #
-#   scripts/bench.sh          # full sweeps  (~1 min)
-#   scripts/bench.sh --quick  # short sweeps (~15 s)
+#   scripts/bench.sh          # full sweeps  (~minutes)
+#   scripts/bench.sh --quick  # short sweeps
 #
-# Writes BENCH_eventloop.json at the repo root: per-sweep events/sec and
-# wall seconds for the fast path vs the reference path, a loop-bound
-# headline speedup, and an identical-results flag (the speedup only
-# counts because the two paths are byte-identical). No criterion, no
-# network.
+# Writes two JSON reports at the repo root:
+#
+#   BENCH_eventloop.json — per-sweep events/sec and wall seconds for the
+#     event-loop fast path vs the reference path, a loop-bound headline
+#     speedup, and an identical-results flag (the speedup only counts
+#     because the two paths are byte-identical).
+#   BENCH_cluster.json — the mechanistic multi-node amplification curve:
+#     noise slowdown vs node count under CFS and the HPL scheduler,
+#     cross-checked against the analytic resonance model.
+#
+# No criterion, no network.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cargo build --release -p hpl-bench --bin eventloop
-exec ./target/release/eventloop "$@"
+cargo build --release -p hpl-bench --bin eventloop --bin cluster
+./target/release/eventloop "$@"
+./target/release/cluster "$@"

@@ -26,6 +26,9 @@ cargo build --release --examples
 echo "== event-loop smoke (fast vs reference fingerprints) =="
 cargo run --release -q -p hpl-bench --bin eventloop -- --smoke --out target/BENCH_eventloop_smoke.json
 
+echo "== multi-node smoke (lockstep co-simulation completes) =="
+cargo run --release -q -p hpl-bench --bin cluster -- --smoke --out target/BENCH_cluster_smoke.json
+
 echo "== clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 

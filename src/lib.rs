@@ -48,7 +48,7 @@
 //! | [`core`] | **the paper's contribution**: the HPL scheduling class |
 //! | [`mpi`] | simulated MPI runtime and the perf/chrt/mpiexec launcher |
 //! | [`workloads`] | NAS benchmark models, noise microbenchmarks |
-//! | [`cluster`] | multi-node noise-resonance projection |
+//! | [`cluster`] | multi-node layer: analytic noise-resonance projection **and** mechanistic lockstep co-simulation of kernel nodes over a LogGP interconnect |
 //! | [`bench`] | run harness, `RunConfig`/`RunTable` plumbing, the `repro` binary |
 
 #![forbid(unsafe_code)]
@@ -67,7 +67,10 @@ pub use hpl_workloads as workloads;
 /// The names almost every user of this library needs.
 pub mod prelude {
     pub use hpl_bench::{run_many, run_once, NoiseKind, RunConfig, Scheduler};
-    pub use hpl_cluster::{EmpiricalDist, ResonanceModel};
+    pub use hpl_cluster::{
+        Cluster, ClusterJobHandle, DistError, EmpiricalDist, Fabric, FlatFabric, Interconnect,
+        NetConfig, ResonanceModel, SwitchedFabric,
+    };
     pub use hpl_core::{chrt_spec, hpl_node_builder, HplClass};
     pub use hpl_kernel::noise::{NoiseProfile, NOISE_TAG};
     pub use hpl_kernel::observe::{validate_chrome_trace, ChromeTraceStats};

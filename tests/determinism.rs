@@ -164,6 +164,63 @@ fn fast_forward_idle_stretch_matches_reference() {
     }
 }
 
+fn cluster_run(fast: bool, seed: u64) -> (u64, u64) {
+    let nodes = 2u32;
+    let job = JobSpec::new(
+        nodes * 8,
+        JobSpec::repeat(
+            3,
+            &[
+                MpiOp::Compute {
+                    mean: SimDuration::from_millis(3),
+                },
+                MpiOp::Allreduce { bytes: 256 },
+            ],
+        ),
+    )
+    .with_nodes(nodes);
+    let built = (0..nodes)
+        .map(|i| {
+            let mut kc = KernelConfig::hpl();
+            kc.fast_event_loop = fast;
+            NodeBuilder::new(Topology::power6_js22())
+                .with_config(kc)
+                .with_noise(NoiseProfile::standard(8))
+                .with_seed(Rng::for_run(seed, i as u64).next_u64())
+                .with_hpc_class(Box::new(HplClass::new()))
+                .build()
+        })
+        .collect();
+    let mut cluster = Cluster::new(
+        built,
+        Interconnect::flat(nodes as usize, NetConfig::default()),
+    );
+    for i in 0..nodes as usize {
+        cluster.node_mut(i).run_for(SimDuration::from_millis(300));
+    }
+    let handle = cluster.launch_job(&job, SchedMode::Hpc);
+    let exec = cluster.run_to_completion(&handle, 500_000_000);
+    (exec.as_nanos(), cluster.state_fingerprint())
+}
+
+#[test]
+fn multi_node_run_is_seed_stable_across_event_loops() {
+    // The lockstep co-simulation must inherit both single-node
+    // guarantees: bit-identical reruns for a seed, and fast-path /
+    // reference-path equivalence — now with cross-node deliveries in
+    // the event stream.
+    for seed in [7u64, 1234] {
+        let fast = cluster_run(true, seed);
+        let again = cluster_run(true, seed);
+        let reference = cluster_run(false, seed);
+        assert_eq!(fast, again, "seed {seed}: cluster run not reproducible");
+        assert_eq!(
+            fast, reference,
+            "seed {seed}: cluster fast event loop diverges from reference"
+        );
+    }
+}
+
 #[test]
 fn rng_run_streams_are_stable_across_calls() {
     // The harness derives per-repetition seeds this way; the mapping must
