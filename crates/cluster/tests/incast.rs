@@ -1,0 +1,120 @@
+//! Incast on the switched fabric: N simultaneous senders to one
+//! receiver must serialise on the receiver's downlink, and the queueing
+//! they suffer must grow linearly with arrival order.
+
+use hpl_cluster::{Interconnect, NetConfig};
+use hpl_perf::Log2Hist;
+use hpl_sim::time::{SimDuration, SimTime};
+
+fn cfg() -> NetConfig {
+    NetConfig {
+        alpha: SimDuration::from_micros(5),
+        beta_ns_per_byte: 1.0,
+    }
+}
+
+/// The k-th of N simultaneous same-size messages into one receiver
+/// waits out exactly the k−1 serialisations ahead of it, and deliveries
+/// land exactly one serialisation apart.
+#[test]
+fn incast_serialises_on_the_downlink() {
+    const N: usize = 8;
+    const BYTES: u64 = 4_096;
+    let ser = cfg().serialise(BYTES);
+    assert_eq!(ser, SimDuration::from_nanos(BYTES)); // 1 ns/B
+
+    let mut net = Interconnect::switched(N + 1, cfg());
+    let at = SimTime::from_nanos(1_000);
+    let mut deliveries = Vec::new();
+    for k in 0..N {
+        // Senders are nodes 1..=N, receiver is node 0: distinct uplinks,
+        // one shared downlink.
+        let (deliver, queued) = net.transfer(at, k + 1, 0, BYTES);
+        assert_eq!(
+            queued,
+            SimDuration::from_nanos(ser.as_nanos() * k as u64),
+            "message {k} must wait out exactly {k} serialisations"
+        );
+        deliveries.push(deliver);
+    }
+    for pair in deliveries.windows(2) {
+        assert_eq!(
+            pair[1].since(pair[0]),
+            ser,
+            "deliveries must be spaced by one serialisation"
+        );
+    }
+    // End-to-end (store-and-forward): the last message serialises once
+    // on its own uplink, then waits out the other N−1 downlink slots
+    // before its own — send + (N+1)·ser + alpha in total.
+    assert_eq!(
+        *deliveries.last().unwrap(),
+        at + SimDuration::from_nanos(ser.as_nanos() * (N as u64 + 1)) + cfg().alpha
+    );
+}
+
+/// The queue-depth histogram of an incast shows the linear build-up:
+/// strictly increasing queueing means samples spread across multiple
+/// log2 buckets with a max of (N−1)·serialise, while the same traffic
+/// on a crossbar (no shared downlink) queues not at all.
+#[test]
+fn incast_queue_histogram_reflects_buildup() {
+    const N: usize = 16;
+    const BYTES: u64 = 1_024;
+    let ser = cfg().serialise(BYTES);
+    let at = SimTime::from_nanos(0);
+
+    let mut switched = Interconnect::switched(N + 1, cfg());
+    let mut flat = Interconnect::flat(N + 1, cfg());
+    let mut sw_hist = Log2Hist::new();
+    let mut flat_hist = Log2Hist::new();
+    for k in 0..N {
+        let (_, q_sw) = switched.transfer(at, k + 1, 0, BYTES);
+        let (_, q_flat) = flat.transfer(at, k + 1, 0, BYTES);
+        sw_hist.record(q_sw.as_nanos());
+        flat_hist.record(q_flat.as_nanos());
+    }
+
+    assert_eq!(sw_hist.count(), N as u64);
+    // Queueing peaked at the full line of N-1 predecessors...
+    assert_eq!(sw_hist.max(), Some(ser.as_nanos() * (N as u64 - 1)));
+    // ...starting from zero (the head-of-line message).
+    assert_eq!(sw_hist.min(), Some(0));
+    // Linear build-up spreads the samples over several power-of-two
+    // buckets: with N=16 and 1 KiB messages the queue delays are
+    // 0, 1 Ki, 2 Ki, ..., 15 Ki ns -> buckets {0, 11..=14} populated.
+    let populated = sw_hist.buckets().iter().filter(|&&c| c > 0).count();
+    assert!(
+        populated >= 4,
+        "expected the linear ramp to span >= 4 buckets, got {populated}"
+    );
+    // Mean of 0..N-1 serialisations = (N-1)/2 serialisations.
+    let mean = sw_hist.mean().unwrap();
+    let expect = ser.as_nanos() as f64 * (N as f64 - 1.0) / 2.0;
+    assert!((mean - expect).abs() < 1e-9, "mean {mean} != {expect}");
+
+    // The crossbar control: distinct egress links, zero queueing, all
+    // N samples in the zero bucket.
+    assert_eq!(flat_hist.count(), N as u64);
+    assert_eq!(flat_hist.max(), Some(0));
+    assert_eq!(flat_hist.buckets()[0], N as u64);
+}
+
+/// Interleaved incast after the line drains: once the downlink goes
+/// idle, a late sender pays no queueing — the busy state is per-link
+/// time, not a global penalty.
+#[test]
+fn downlink_drains_between_bursts() {
+    const BYTES: u64 = 1_000;
+    let ser = cfg().serialise(BYTES);
+    let mut net = Interconnect::switched(4, cfg());
+    let t0 = SimTime::from_nanos(0);
+    let (_, q1) = net.transfer(t0, 1, 0, BYTES);
+    let (_, q2) = net.transfer(t0, 2, 0, BYTES);
+    assert_eq!(q1, SimDuration::ZERO);
+    assert_eq!(q2, ser);
+    // After both serialisations have drained, the downlink is idle.
+    let t1 = t0 + SimDuration::from_nanos(2 * ser.as_nanos());
+    let (_, q3) = net.transfer(t1, 3, 0, BYTES);
+    assert_eq!(q3, SimDuration::ZERO);
+}

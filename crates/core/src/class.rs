@@ -20,12 +20,23 @@ use std::collections::VecDeque;
 #[derive(Debug, Default)]
 pub struct HplClass {
     rqs: Vec<VecDeque<Pid>>,
+    fault_wakeup_migrate: bool,
 }
 
 impl HplClass {
     /// New, uninitialised class (the node calls [`SchedClass::init`]).
     pub fn new() -> Self {
         HplClass::default()
+    }
+
+    /// Deliberately broken wake placement for the `hpl-torture`
+    /// self-test: every wakeup rotates the task to the next allowed CPU,
+    /// violating the paper's "HPC tasks migrate only at fork" invariant.
+    /// The torture harness injects this to prove its oracle catches a
+    /// real scheduler bug and shrinks it to a replayable seed.
+    pub fn with_fault_wakeup_migrate(mut self) -> Self {
+        self.fault_wakeup_migrate = true;
+        self
     }
 
     /// HPC tasks per CPU for placement: running, queued **and blocked**
@@ -168,6 +179,17 @@ impl SchedClass for HplClass {
         // Without this, the transient 9-tasks-on-8-threads layout of the
         // launch phase would persist for the whole run, because HPL
         // performs no dynamic balancing that could ever repair it.
+        if self.fault_wakeup_migrate {
+            // Injected bug (see `with_fault_wakeup_migrate`): bounce to
+            // the next CPU in the affinity mask on every wakeup.
+            let n = ctx.topo.total_cpus();
+            for off in 1..=n {
+                let cand = CpuId((task.cpu.0 + off) % n);
+                if task.can_run_on(cand) {
+                    return cand;
+                }
+            }
+        }
         let load = self.hpc_load(tasks, task.pid);
         let prev = task.cpu;
         let core_load = |cpu: CpuId| -> u32 {

@@ -70,13 +70,13 @@ pub mod sync;
 pub mod task;
 pub mod trace;
 
-pub use class::{ClassKind, LoadSnapshot, MigrationPlan, SchedClass, SchedCtx};
+pub use class::{class_of_policy, ClassKind, LoadSnapshot, MigrationPlan, SchedClass, SchedCtx};
 pub use config::{BalanceMode, KernelConfig};
 pub use hpl_perf::RunOutcome;
 pub use node::{NetMsg, Node, NodeBuilder};
 pub use observe::{
-    BalanceKind, ChromeTraceSink, MetricsSink, MigrateReason, ObserverId, PreemptVerdict,
-    RingSink, SchedEvent, SchedObserver, TickOutcome,
+    BalanceKind, ChromeTraceSink, DeactivateReason, MetricsSink, MigrateReason, ObserverId,
+    PreemptVerdict, RingSink, SchedEvent, SchedObserver, TickOutcome,
 };
 pub use program::{FnProgram, ProgCtx, Program, Step, TaskSpec};
 pub use sync::{BarrierId, ChanId};

@@ -27,8 +27,8 @@ use crate::config::{BalanceMode, KernelConfig};
 use crate::idle::IdleClass;
 use crate::noise::{NoiseProfile, NOISE_TAG};
 use crate::observe::{
-    BalanceKind, MigrateReason, ObserverId, PreemptVerdict, RingSink, SchedEvent, SchedObserver,
-    TickOutcome,
+    BalanceKind, DeactivateReason, MigrateReason, ObserverId, PreemptVerdict, RingSink, SchedEvent,
+    SchedObserver, TickOutcome,
 };
 use crate::program::{ProgCtx, Step, TaskSpec};
 use crate::rt::RtClass;
@@ -927,6 +927,11 @@ impl Node {
             classes[ci].select_cpu_fork(tasks.get(pid), parent_cpu, &ctx, load, tasks)
         };
         if !self.observers.is_empty() {
+            self.emit(SchedEvent::SetSched {
+                pid,
+                from: None,
+                to: spec.policy,
+            });
             self.emit(SchedEvent::ForkPlaced {
                 pid,
                 parent,
@@ -956,6 +961,14 @@ impl Node {
             t.state = TaskState::Dead;
             t.exited_at = Some(now);
         }
+        if !self.observers.is_empty() {
+            let cpu = self.tasks.get(pid).cpu;
+            self.emit(SchedEvent::Deactivate {
+                pid,
+                cpu,
+                reason: DeactivateReason::Exit,
+            });
+        }
         self.sync.forget(pid);
         self.cache.forget(pid);
         let parent = self.tasks.get(pid).parent;
@@ -974,6 +987,13 @@ impl Node {
     fn block_curr(&mut self, cpu: CpuId, pid: Pid, reason: BlockReason) {
         debug_assert_eq!(self.cpus[cpu.index()].curr, Some(pid));
         self.tasks.get_mut(pid).state = TaskState::Blocked(reason);
+        if !self.observers.is_empty() {
+            self.emit(SchedEvent::Deactivate {
+                pid,
+                cpu,
+                reason: DeactivateReason::Block,
+            });
+        }
         self.resched[cpu.index()] = true;
     }
 
@@ -1003,6 +1023,16 @@ impl Node {
                     debug_assert_eq!(self.tasks.get(pid).state, TaskState::Runnable);
                     self.dequeue_task(cpu, pid);
                     self.tasks.get_mut(pid).state = TaskState::Blocked(BlockReason::Timer);
+                    if !self.observers.is_empty() {
+                        // The transient block must be visible to
+                        // observers, or the Wakeup below would arrive
+                        // for a task they believe is still runnable.
+                        self.emit(SchedEvent::Deactivate {
+                            pid,
+                            cpu,
+                            reason: DeactivateReason::Block,
+                        });
+                    }
                     self.wake_task(pid);
                 }
             }
@@ -1174,6 +1204,14 @@ impl Node {
             "no scheduling class registered for {policy:?}"
         );
         let state = self.tasks.get(pid).state;
+        if !self.observers.is_empty() {
+            let from = self.tasks.get(pid).policy;
+            self.emit(SchedEvent::SetSched {
+                pid,
+                from: Some(from),
+                to: policy,
+            });
+        }
         match state {
             TaskState::Runnable => {
                 // Dequeue under the old class, switch, re-enqueue.
@@ -1257,7 +1295,17 @@ impl Node {
         let now = self.now();
         self.sync_cpu(cpu, now);
         let idx = cpu.index();
-        let prev = self.cpus[idx].curr;
+        let mut prev = self.cpus[idx].curr;
+        if let Some(p) = prev {
+            // A prev that blocked here may have been woken and placed on
+            // another CPU before this reschedule ran — it may even be
+            // running there already. It is no longer this CPU's task:
+            // requeueing it here would run it on two CPUs at once (and
+            // exit it twice).
+            if self.tasks.get(p).cpu != cpu {
+                prev = None;
+            }
+        }
         let prev_occupied = prev.is_some();
 
         if let Some(p) = prev {
@@ -1330,12 +1378,17 @@ impl Node {
         }
         if !self.observers.is_empty() {
             let class = picked.map(|p| class_of_policy(self.tasks.get(p).policy));
+            let prev_vruntime = prev.and_then(|p| {
+                let t = self.tasks.get(p);
+                (class_of_policy(t.policy) == ClassKind::Fair).then_some(t.vruntime)
+            });
             self.emit(SchedEvent::Pick {
                 cpu,
                 prev,
                 picked,
                 class,
                 via_idle_balance,
+                prev_vruntime,
             });
         }
 

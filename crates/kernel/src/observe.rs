@@ -38,7 +38,7 @@
 
 use crate::class::ClassKind;
 use crate::sync::ChanId;
-use crate::task::Pid;
+use crate::task::{Pid, Policy};
 use crate::trace::{TraceBuffer, TraceEvent};
 use hpl_perf::SchedMetrics;
 use hpl_sim::{SimDuration, SimTime};
@@ -58,6 +58,15 @@ pub enum MigrateReason {
     Balance,
     /// `sched_setaffinity` forced it off an excluded CPU.
     Affinity,
+}
+
+/// Why a task left the runnable population ([`SchedEvent::Deactivate`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeactivateReason {
+    /// Blocked: sleep, channel/barrier wait, or `waitpid`.
+    Block,
+    /// Exited for good.
+    Exit,
 }
 
 /// Verdict of a wakeup-preemption check.
@@ -135,6 +144,12 @@ pub enum SchedEvent {
         /// Whether the pick only succeeded after a new-idle balance
         /// pulled work over.
         via_idle_balance: bool,
+        /// `prev`'s CFS virtual runtime *after* deschedule accounting
+        /// and any re-enqueue renormalisation, `None` when the CPU was
+        /// idle or `prev` is not a fair-class task. Lets an external
+        /// oracle check vruntime monotonicity across consecutive
+        /// descheduls without reaching into the task table.
+        prev_vruntime: Option<u64>,
     },
     /// `sched_switch`: the CPU's current task changed.
     Switch {
@@ -162,6 +177,28 @@ pub enum SchedEvent {
         pid: Pid,
         /// CPU it was enqueued on.
         cpu: CpuId,
+    },
+    /// The current task left the runnable population: it blocked or
+    /// exited. Emitted at the deactivation point itself, *before* the
+    /// reschedule it triggers, so a following [`SchedEvent::Pick`] that
+    /// names the pid as `prev` refers to an already-departed task.
+    Deactivate {
+        /// Task leaving the CPU.
+        pid: Pid,
+        /// CPU it was current on.
+        cpu: CpuId,
+        /// Block or exit.
+        reason: DeactivateReason,
+    },
+    /// A task's scheduling policy was established: `from` is `None` at
+    /// creation time and `Some` on a `sched_setscheduler` call.
+    SetSched {
+        /// Task whose policy changed.
+        pid: Pid,
+        /// Previous policy (`None`: task creation).
+        from: Option<Policy>,
+        /// New policy.
+        to: Policy,
     },
     /// A noise-daemon activation: the woken task belongs to the node's
     /// daemon population (fires alongside [`SchedEvent::Wakeup`]).
@@ -770,6 +807,7 @@ impl SchedObserver for MetricsSink {
                     self.m.ticks_skipped += 1;
                 }
             }
+            SchedEvent::Deactivate { .. } | SchedEvent::SetSched { .. } => {}
         }
     }
 
@@ -1090,6 +1128,7 @@ mod tests {
                 picked: Some(Pid(1)),
                 class: Some(ClassKind::Fair),
                 via_idle_balance: false,
+                prev_vruntime: None,
             },
         );
         s.observe(

@@ -362,6 +362,46 @@ mod tests {
     }
 
     #[test]
+    fn outcome_parse_rejects_garbage() {
+        // Regression: parse must return None for anything that is not a
+        // verbatim label — never panic, never guess. Fuzz-ish battery of
+        // the shapes that show up in hand-edited or truncated CSVs.
+        for garbage in [
+            "",
+            " ",
+            "completed ",
+            " completed",
+            "Completed",
+            "COMPLETED",
+            "complete",
+            "completedd",
+            "dead lock",
+            "deadlock\n",
+            "budget-exhausted",
+            "budget_exhausted2",
+            "budget",
+            "0",
+            "✓",
+            "complet\u{00e9}d",
+            "completed\0",
+            "\0",
+            "null",
+            "none",
+            "ok",
+        ] {
+            assert_eq!(
+                RunOutcome::parse(garbage),
+                None,
+                "garbage label {garbage:?} must not parse"
+            );
+        }
+        // And a whole CSV row carrying a garbage outcome errors cleanly.
+        let bad = "run,exec_time_s,cpu_migrations,context_switches,involuntary_preemptions,load_balance_calls,outcome\n0,1.0,0,0,0,0,completed \n";
+        let err = RunTable::from_csv(bad).unwrap_err();
+        assert!(err.contains("unknown outcome"), "got {err:?}");
+    }
+
+    #[test]
     fn csv_roundtrips_outcomes_through_table() {
         let t = RunTable::new(vec![
             rec(0, 8.54, 29, 550),

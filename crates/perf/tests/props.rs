@@ -1,0 +1,92 @@
+//! Property tests for the perf metrics primitives.
+
+use hpl_perf::Log2Hist;
+use proptest::prelude::*;
+
+proptest! {
+    /// Bucket ranges tile the u64 axis: each bucket's hi is the next
+    /// bucket's lo, lo < hi everywhere, and every recorded sample lands
+    /// in the one bucket whose range contains it.
+    #[test]
+    fn log2hist_bucket_monotonicity(vs in proptest::collection::vec(0u64..u64::MAX, 1..200)) {
+        for i in 0..64 {
+            let (lo, hi) = Log2Hist::bucket_range(i);
+            let (next_lo, _) = Log2Hist::bucket_range(i + 1);
+            prop_assert!(lo < hi, "bucket {} empty: [{}, {})", i, lo, hi);
+            prop_assert_eq!(hi, next_lo, "gap between buckets {} and {}", i, i + 1);
+        }
+        let mut h = Log2Hist::new();
+        for &v in &vs {
+            h.record(v);
+        }
+        prop_assert_eq!(h.count(), vs.len() as u64);
+        prop_assert_eq!(h.buckets().iter().sum::<u64>(), vs.len() as u64);
+        for (i, &c) in h.buckets().iter().enumerate() {
+            let (lo, hi) = Log2Hist::bucket_range(i);
+            let expect = vs
+                .iter()
+                .filter(|&&v| v >= lo && (v < hi || (i == 64 && v == u64::MAX)))
+                .count() as u64;
+            prop_assert_eq!(c, expect, "bucket {} [{}, {})", i, lo, hi);
+        }
+    }
+
+    /// Merging two histograms is identical to recording the
+    /// concatenation of their samples, for every split point.
+    #[test]
+    fn log2hist_merge_equals_sum(
+        vs in proptest::collection::vec(0u64..u64::MAX / 2, 0..200),
+        split in 0usize..200
+    ) {
+        let split = split.min(vs.len());
+        let mut bulk = Log2Hist::new();
+        for &v in &vs {
+            bulk.record(v);
+        }
+        let mut a = Log2Hist::new();
+        for &v in &vs[..split] {
+            a.record(v);
+        }
+        let mut b = Log2Hist::new();
+        for &v in &vs[split..] {
+            b.record(v);
+        }
+        a.merge(&b);
+        prop_assert_eq!(&a, &bulk);
+    }
+
+    /// Percentiles are monotone in q, bounded by the true extremes'
+    /// bucket ranges, and the estimate for any q stays within
+    /// [min's bucket lo, max's bucket hi).
+    #[test]
+    fn log2hist_percentile_bounded(
+        vs in proptest::collection::vec(0u64..1_000_000_000, 1..100),
+        q1 in 0.0f64..100.0,
+        q2 in 0.0f64..100.0
+    ) {
+        let mut h = Log2Hist::new();
+        for &v in &vs {
+            h.record(v);
+        }
+        let (lo, hi) = (q1.min(q2), q1.max(q2));
+        let plo = h.percentile(lo).unwrap();
+        let phi = h.percentile(hi).unwrap();
+        prop_assert!(plo <= phi, "percentile not monotone: p{}={} > p{}={}", lo, plo, hi, phi);
+        let vmin = *vs.iter().min().unwrap();
+        let vmax = *vs.iter().max().unwrap();
+        let (bucket_lo, _) = Log2Hist::bucket_range(vmin.checked_ilog2().map_or(0, |l| l as usize + 1));
+        let (_, bucket_hi) = Log2Hist::bucket_range(vmax.checked_ilog2().map_or(0, |l| l as usize + 1));
+        prop_assert!(plo >= bucket_lo && phi <= bucket_hi);
+    }
+}
+
+/// An empty histogram reports empty everything.
+#[test]
+fn log2hist_empty() {
+    let h = Log2Hist::new();
+    assert_eq!(h.count(), 0);
+    assert_eq!(h.min(), None);
+    assert_eq!(h.max(), None);
+    assert_eq!(h.mean(), None);
+    assert_eq!(h.percentile(50.0), None);
+}

@@ -1,0 +1,569 @@
+//! Scenario execution and the differential oracles.
+//!
+//! [`run_scenario`] materialises a [`Scenario`] into real kernel nodes
+//! (or a lockstep [`Cluster`]), attaches one [`InvariantOracle`] per
+//! node, runs the workload to completion and returns a [`RunReport`].
+//! [`check_scenario`] is the full torture check: the scenario runs on
+//! **both** event-loop flavours and the two runs must be bit-equal
+//! (outcome, execution time, state fingerprint) on top of both being
+//! invariant-clean and live. [`analytic_differential`] cross-checks the
+//! mechanistic cluster against the analytic [`ResonanceModel`] on a
+//! bulk-synchronous job where the model's assumptions hold.
+
+use crate::oracle::{InvariantOracle, Violation};
+use crate::scenario::{
+    Fault, ModeKind, OpKind, PolicyKind, Scenario, SoupSpec, SoupStep, TopoKind, Workload,
+};
+use hpl_cluster::{Cluster, EmpiricalDist, Interconnect, NetConfig, ResonanceModel};
+use hpl_core::HplClass;
+use hpl_kernel::noise::{IrqSpec, NoiseProfile};
+use hpl_kernel::observe::ChromeTraceSink;
+use hpl_kernel::program::ScriptProgram;
+use hpl_kernel::{
+    BarrierId, ChanId, KernelConfig, Node, NodeBuilder, ObserverId, Pid, Policy, RunOutcome, Step,
+    TaskSpec, TaskState,
+};
+use hpl_mpi::{launch, JobSpec, MpiOp, SchedMode};
+use hpl_sim::{Rng, SimDuration};
+use hpl_topology::{CpuId, CpuMask, Topology};
+
+/// Tag on all torture-soup tasks.
+pub const TORTURE_TAG: u32 = 0x7047;
+
+const CHAN_BASE: u64 = 8_000;
+const BARRIER_ID: u64 = 9_000;
+/// Per-node event budget; exceeding it is a liveness failure.
+const EVENT_BUDGET: u64 = 60_000_000;
+/// Noise warmup before the workload starts.
+const WARMUP: SimDuration = SimDuration::from_millis(300);
+
+/// Outcome of one scenario run on one event-loop flavour.
+#[derive(Debug)]
+pub struct RunReport {
+    /// Did the workload complete within budget?
+    pub outcome: RunOutcome,
+    /// Workload execution time (ns); 0 when it never completed.
+    pub exec_ns: u64,
+    /// Scheduler-state hash at the end.
+    pub fingerprint: u64,
+    /// Events dispatched (loop-flavour dependent; not compared).
+    pub events: u64,
+    /// Invariant violations from every node's oracle, including the
+    /// end-of-run conservation check.
+    pub violations: Vec<Violation>,
+    /// Chrome trace JSON, when requested.
+    pub trace: Option<String>,
+}
+
+fn topology(kind: TopoKind) -> Topology {
+    match kind {
+        TopoKind::Smp(n) => Topology::smp(n),
+        TopoKind::Power6 => Topology::power6_js22(),
+    }
+}
+
+fn policy(p: PolicyKind) -> Policy {
+    match p {
+        PolicyKind::Normal(nice) => Policy::Normal { nice },
+        PolicyKind::Batch(nice) => Policy::Batch { nice },
+        PolicyKind::Fifo(p) => Policy::Fifo(p),
+        PolicyKind::Rr(p) => Policy::Rr(p),
+        PolicyKind::Hpc => Policy::Hpc,
+    }
+}
+
+fn sched_mode(m: ModeKind) -> SchedMode {
+    match m {
+        ModeKind::Cfs => SchedMode::Cfs,
+        ModeKind::CfsNice(nice) => SchedMode::CfsNice { nice },
+        ModeKind::Rt(prio) => SchedMode::Rt { prio },
+        ModeKind::Hpc => SchedMode::Hpc,
+        ModeKind::CfsPinned => SchedMode::CfsPinned,
+    }
+}
+
+fn mpi_op(op: &OpKind) -> MpiOp {
+    match *op {
+        OpKind::Compute(ns) => MpiOp::Compute {
+            mean: SimDuration::from_nanos(ns),
+        },
+        OpKind::Barrier => MpiOp::Barrier,
+        OpKind::Allreduce(bytes) => MpiOp::Allreduce { bytes },
+        OpKind::Alltoall(bytes) => MpiOp::Alltoall { bytes },
+        OpKind::NeighborExchange(bytes) => MpiOp::NeighborExchange { bytes },
+        OpKind::Bcast(bytes) => MpiOp::Bcast { bytes },
+        OpKind::Reduce(bytes) => MpiOp::Reduce { bytes },
+    }
+}
+
+fn build_node(sc: &Scenario, node_idx: u64, fast: bool) -> Node {
+    let mut cfg = if sc.hpl {
+        KernelConfig::hpl()
+    } else {
+        KernelConfig::default()
+    };
+    cfg.fast_event_loop = fast;
+    cfg.tickless_single_hpc = sc.hpl && sc.tickless;
+    let mut noise = if sc.noise_pct == 0 {
+        NoiseProfile::quiet()
+    } else {
+        NoiseProfile::standard(sc.ncpus()).scaled(sc.noise_pct as f64 / 100.0)
+    };
+    if sc.irq {
+        noise = noise.with_irq(IrqSpec {
+            rate_hz: 250.0,
+            cost: SimDuration::from_micros(5),
+            affinity: CpuMask::single(CpuId(0)),
+        });
+    }
+    let mut b = NodeBuilder::new(topology(sc.topo))
+        .with_config(cfg)
+        .with_noise(noise)
+        .with_seed(Rng::for_run(sc.seed, node_idx).next_u64());
+    if sc.hpl {
+        let class = match sc.fault {
+            Fault::None => HplClass::new(),
+            Fault::HpcWakeupMigrate => HplClass::new().with_fault_wakeup_migrate(),
+        };
+        b = b.with_hpc_class(Box::new(class));
+    }
+    b.build()
+}
+
+/// Chan id carrying tokens from soup task `from` to soup task `to`.
+fn soup_chan(from: u32, to: u32) -> ChanId {
+    ChanId(CHAN_BASE + from as u64 * 64 + to as u64)
+}
+
+fn soup_driver_spec(soup: &SoupSpec) -> TaskSpec {
+    let parties = soup.barrier_parties();
+    let mut forks = Vec::new();
+    for (i, t) in soup.tasks.iter().enumerate() {
+        let mut steps = Vec::new();
+        for s in &t.steps {
+            steps.push(match *s {
+                SoupStep::Compute(ns) => Step::Compute(SimDuration::from_nanos(ns)),
+                SoupStep::Sleep(ns) => Step::Sleep(SimDuration::from_nanos(ns)),
+                SoupStep::Notify { to } => Step::Notify {
+                    chan: soup_chan(i as u32, to),
+                    tokens: 1,
+                },
+                SoupStep::Wait { from } => Step::WaitChan(soup_chan(from, i as u32)),
+                SoupStep::SpinWait { from, spin_ns } => Step::WaitChanSpin {
+                    chan: soup_chan(from, i as u32),
+                    spin_limit: SimDuration::from_nanos(spin_ns),
+                },
+                SoupStep::Barrier => Step::Barrier {
+                    id: BarrierId(BARRIER_ID),
+                    parties,
+                },
+                SoupStep::ForkChild { ns } => Step::Fork(
+                    TaskSpec::new(
+                        format!("soup{i}-child"),
+                        Policy::Normal { nice: 0 },
+                        ScriptProgram::boxed(
+                            "soup-child",
+                            vec![Step::Compute(SimDuration::from_nanos(ns)), Step::Exit],
+                        ),
+                    )
+                    .with_tag(TORTURE_TAG),
+                ),
+                SoupStep::WaitChildren => Step::WaitChildren,
+                SoupStep::SetPolicy(p) => Step::SetPolicy {
+                    target: None,
+                    policy: policy(p),
+                },
+            });
+        }
+        steps.push(Step::Exit);
+        let mut spec = TaskSpec::new(
+            format!("soup{i}"),
+            policy(t.policy),
+            ScriptProgram::boxed(format!("soup{i}"), steps),
+        )
+        .with_tag(TORTURE_TAG);
+        if let Some(pin) = t.pin {
+            spec = spec.with_affinity(CpuMask::single(CpuId(pin)));
+        }
+        forks.push(Step::Fork(spec));
+    }
+    forks.push(Step::WaitChildren);
+    forks.push(Step::Exit);
+    TaskSpec::new(
+        "torture-driver",
+        Policy::Normal { nice: 0 },
+        ScriptProgram::boxed("torture-driver", forks),
+    )
+    .with_tag(TORTURE_TAG)
+}
+
+fn job_spec(sc: &Scenario) -> JobSpec {
+    let Workload::Mpi(m) = &sc.workload else {
+        panic!("job_spec on a soup scenario");
+    };
+    let ops: Vec<MpiOp> = m.ops.iter().map(mpi_op).collect();
+    JobSpec::new(m.ranks_per_node * sc.nodes, ops).with_nodes(sc.nodes)
+}
+
+/// Run `sc` once on the given event-loop flavour, invariant oracles
+/// attached to every node. `with_trace` additionally captures a Chrome
+/// trace of the run (for failure artifacts).
+pub fn run_scenario(sc: &Scenario, fast: bool, with_trace: bool) -> RunReport {
+    if sc.nodes == 1 {
+        run_single(sc, fast, with_trace)
+    } else {
+        run_cluster(sc, fast, with_trace)
+    }
+}
+
+fn attach_oracle(node: &mut Node, min_alpha: Option<SimDuration>) -> ObserverId {
+    let mut oracle = InvariantOracle::for_node(node);
+    if let Some(a) = min_alpha {
+        oracle = oracle.with_min_net_latency(a);
+    }
+    node.attach_observer(Box::new(oracle))
+}
+
+fn run_single(sc: &Scenario, fast: bool, with_trace: bool) -> RunReport {
+    let mut node = build_node(sc, 0, fast);
+    let oracle_id = attach_oracle(&mut node, None);
+    let trace_id = with_trace.then(|| node.attach_observer(Box::new(ChromeTraceSink::new(200_000))));
+    node.run_for(WARMUP);
+    let (outcome, exec_ns) = match &sc.workload {
+        Workload::Soup(soup) => {
+            let started = node.now();
+            let driver = node.spawn(soup_driver_spec(soup));
+            let outcome = node.run_until_exit(driver, EVENT_BUDGET);
+            let exec = if outcome.is_complete() {
+                node.now().since(started).as_nanos()
+            } else {
+                0
+            };
+            (outcome, exec)
+        }
+        Workload::Mpi(m) => {
+            let handle = launch(&mut node, &job_spec(sc), sched_mode(m.mode));
+            match handle.try_run_to_completion(&mut node, EVENT_BUDGET) {
+                Ok(exec) => (RunOutcome::Completed, exec.as_nanos()),
+                Err(outcome) => (outcome, 0),
+            }
+        }
+    };
+    // Split borrow: run the conservation cross-check with a detached
+    // shadow, since finish() needs both the oracle (mut) and the node.
+    let mut detached = node
+        .observer_mut::<InvariantOracle>(oracle_id)
+        .map(|o| std::mem::replace(o, InvariantOracle::for_node_empty()));
+    if let Some(oracle) = detached.as_mut() {
+        oracle.finish(&node);
+    }
+    let violations = detached.map(|o| o.violations().to_vec()).unwrap_or_default();
+    let trace = trace_id.and_then(|id| node.export_chrome_trace(id));
+    RunReport {
+        outcome,
+        exec_ns,
+        fingerprint: node.state_fingerprint(),
+        events: node.events_processed(),
+        violations,
+        trace,
+    }
+}
+
+fn run_cluster(sc: &Scenario, fast: bool, with_trace: bool) -> RunReport {
+    let net_cfg = NetConfig::default();
+    let alpha = net_cfg.alpha;
+    let nodes: Vec<Node> = (0..sc.nodes).map(|i| build_node(sc, i as u64, fast)).collect();
+    let fabric = if sc.switched {
+        Interconnect::switched(sc.nodes as usize, net_cfg)
+    } else {
+        Interconnect::flat(sc.nodes as usize, net_cfg)
+    };
+    let mut cluster = Cluster::new(nodes, fabric);
+    let mut oracle_ids = Vec::new();
+    let mut trace_ids = Vec::new();
+    for i in 0..sc.nodes as usize {
+        let node = cluster.node_mut(i);
+        oracle_ids.push(attach_oracle(node, Some(alpha)));
+        if with_trace {
+            trace_ids.push(node.attach_observer(Box::new(ChromeTraceSink::new(200_000))));
+        }
+        node.run_for(WARMUP);
+    }
+    let Workload::Mpi(m) = &sc.workload else {
+        panic!("multi-node scenarios are MPI-only");
+    };
+    let handle = cluster.launch_job(&job_spec(sc), sched_mode(m.mode));
+    let budget = EVENT_BUDGET * sc.nodes as u64;
+    let (outcome, exec_ns) = match cluster.try_run_to_completion(&handle, budget) {
+        Ok(exec) => (RunOutcome::Completed, exec.as_nanos()),
+        Err(o) => (o, 0),
+    };
+    let mut violations = Vec::new();
+    for (i, &id) in oracle_ids.iter().enumerate() {
+        let mut detached = cluster
+            .node_mut(i)
+            .observer_mut::<InvariantOracle>(id)
+            .map(|o| std::mem::replace(o, InvariantOracle::for_node_empty()));
+        if let Some(oracle) = detached.as_mut() {
+            oracle.finish(cluster.node(i));
+            for v in oracle.violations() {
+                violations.push(Violation {
+                    at: v.at,
+                    rule: v.rule,
+                    detail: format!("node{i}: {}", v.detail),
+                });
+            }
+        }
+    }
+    let trace = (!trace_ids.is_empty())
+        .then(|| cluster.export_chrome_trace(&trace_ids))
+        .flatten();
+    RunReport {
+        outcome,
+        exec_ns,
+        fingerprint: cluster.state_fingerprint(),
+        events: cluster.events_processed(),
+        violations,
+        trace,
+    }
+}
+
+/// One reason a scenario failed its checks.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    /// Stable category: `invariant`, `liveness` or `divergence`.
+    pub kind: &'static str,
+    /// Specifics.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Failure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.kind, self.detail)
+    }
+}
+
+/// The full torture check for one scenario: run it on the reference and
+/// fast event loops, demand zero invariant violations, completion on
+/// both, and bit-equal end states across the two flavours.
+pub fn check_scenario(sc: &Scenario) -> Vec<Failure> {
+    let mut failures = Vec::new();
+    let r = run_scenario(sc, false, false);
+    let f = run_scenario(sc, true, false);
+    for (label, rep) in [("ref", &r), ("fast", &f)] {
+        for v in &rep.violations {
+            failures.push(Failure {
+                kind: "invariant",
+                detail: format!("[{label}] {v}"),
+            });
+        }
+        if !rep.outcome.is_complete() {
+            failures.push(Failure {
+                kind: "liveness",
+                detail: format!("[{label}] workload ended {}", rep.outcome.label()),
+            });
+        }
+    }
+    if r.outcome.is_complete() && f.outcome.is_complete() {
+        if r.fingerprint != f.fingerprint {
+            failures.push(Failure {
+                kind: "divergence",
+                detail: format!(
+                    "state fingerprint ref {:#x} vs fast {:#x}",
+                    r.fingerprint, f.fingerprint
+                ),
+            });
+        }
+        if r.exec_ns != f.exec_ns {
+            failures.push(Failure {
+                kind: "divergence",
+                detail: format!("exec time ref {}ns vs fast {}ns", r.exec_ns, f.exec_ns),
+            });
+        }
+    }
+    failures
+}
+
+// ---------------------------------------------------------------------
+// Analytic differential
+// ---------------------------------------------------------------------
+
+const AN_RANKS: u32 = 4;
+const AN_ITERS: u32 = 8;
+
+fn analytic_job(nodes: u32) -> JobSpec {
+    JobSpec::new(
+        nodes * AN_RANKS,
+        JobSpec::repeat(
+            AN_ITERS,
+            &[
+                MpiOp::Compute {
+                    mean: SimDuration::from_millis(2),
+                },
+                MpiOp::Allreduce { bytes: 8 },
+            ],
+        ),
+    )
+    .with_nodes(nodes)
+}
+
+fn analytic_cluster(nodes: u32, seed: u64, fast: bool) -> Cluster {
+    let sc = Scenario {
+        seed,
+        nodes,
+        topo: TopoKind::Power6,
+        switched: false,
+        hpl: true,
+        tickless: false,
+        noise_pct: 100,
+        irq: false,
+        fault: Fault::None,
+        workload: Workload::Soup(SoupSpec::default()), // unused
+    };
+    let built: Vec<Node> = (0..nodes).map(|i| build_node(&sc, i as u64, fast)).collect();
+    let cfg = NetConfig {
+        alpha: SimDuration::from_micros(1),
+        beta_ns_per_byte: 0.1,
+    };
+    Cluster::new(built, Interconnect::flat(nodes as usize, cfg))
+}
+
+/// Per-phase durations on an N-node mechanistic run under the HPL
+/// scheduler, watched on node 0's per-phase barrier. First iteration
+/// (launch skew) and the finalize sample are dropped, mirroring
+/// `tests/cluster.rs`.
+fn mechanistic_phases(nodes: u32, seed: u64, reps: u64, fast: bool) -> Result<Vec<f64>, Failure> {
+    let mut samples = Vec::new();
+    for rep in 0..reps {
+        let mut cluster = analytic_cluster(nodes, seed ^ (rep << 24), fast);
+        for i in 0..nodes as usize {
+            cluster.node_mut(i).run_for(WARMUP);
+        }
+        let job = analytic_job(nodes);
+        let barrier = if nodes == 1 {
+            job.barrier_id()
+        } else {
+            job.local_barrier_id(0)
+        };
+        let handle = cluster.launch_job(&job, SchedMode::Hpc);
+        let mut rep_samples = Vec::new();
+        let mut last_gen = cluster.node(0).sync.barrier_generation(barrier);
+        let mut last_t = cluster.node(0).now();
+        let mut guard = 0u64;
+        while !cluster.job_done(&handle) {
+            if !cluster.step_window() || guard > EVENT_BUDGET {
+                return Err(Failure {
+                    kind: "liveness",
+                    detail: format!("analytic probe deadlocked at N={nodes}"),
+                });
+            }
+            guard += 1;
+            let gen = cluster.node(0).sync.barrier_generation(barrier);
+            if gen > last_gen {
+                if last_gen > 0 {
+                    rep_samples.push(cluster.node(0).now().since(last_t).as_secs_f64());
+                }
+                last_gen = gen;
+                last_t = cluster.node(0).now();
+            }
+        }
+        rep_samples.truncate(AN_ITERS as usize);
+        if !rep_samples.is_empty() {
+            rep_samples.remove(0);
+        }
+        samples.extend(rep_samples);
+    }
+    Ok(samples)
+}
+
+/// Differential oracle 2: the mechanistic co-simulation must land on
+/// the analytic resonance model's expected-max prediction within
+/// `tol` at small N, where the model's independence assumptions hold
+/// (HPL scheduling, tiny flat-fabric messages). Returns the failures
+/// found (empty = agreement).
+pub fn analytic_differential(seed: u64, tol: f64) -> Vec<Failure> {
+    let mut failures = Vec::new();
+    let base = match mechanistic_phases(1, seed, 4, false) {
+        Ok(b) => b,
+        Err(f) => return vec![f],
+    };
+    let Ok(dist) = EmpiricalDist::try_new(base.clone()) else {
+        return vec![Failure {
+            kind: "divergence",
+            detail: "single-node probe produced no phase samples".into(),
+        }];
+    };
+    let model = ResonanceModel::new(dist, AN_ITERS);
+    let mean = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len() as f64;
+    for nodes in [2u32, 4] {
+        let mech = match mechanistic_phases(nodes, seed, 2, true) {
+            Ok(p) if !p.is_empty() => mean(&p),
+            Ok(_) => {
+                failures.push(Failure {
+                    kind: "divergence",
+                    detail: format!("no mechanistic phases at N={nodes}"),
+                });
+                continue;
+            }
+            Err(f) => {
+                failures.push(f);
+                continue;
+            }
+        };
+        let analytic = model.expected_time_analytic(nodes) / AN_ITERS as f64;
+        let rel = (mech - analytic).abs() / analytic;
+        if rel > tol {
+            failures.push(Failure {
+                kind: "divergence",
+                detail: format!(
+                    "N={nodes}: mechanistic phase {mech:.6}s vs analytic {analytic:.6}s (rel {rel:.3} > {tol})"
+                ),
+            });
+        }
+    }
+    failures
+}
+
+/// Debug aid: run a single-node scenario with an extra observer
+/// attached before the oracle (event-dump sinks, ad-hoc probes).
+#[doc(hidden)]
+pub fn debug_run_single(sc: &Scenario, fast: bool, extra: Box<dyn hpl_kernel::SchedObserver>) {
+    assert_eq!(sc.nodes, 1, "debug_run_single is single-node only");
+    let mut node = build_node(sc, 0, fast);
+    node.attach_observer(extra);
+    let oracle_id = attach_oracle(&mut node, None);
+    node.run_for(WARMUP);
+    match &sc.workload {
+        Workload::Soup(soup) => {
+            let driver = node.spawn(soup_driver_spec(soup));
+            let _ = node.run_until_exit(driver, EVENT_BUDGET);
+        }
+        Workload::Mpi(m) => {
+            let handle = launch(&mut node, &job_spec(sc), sched_mode(m.mode));
+            let _ = handle.try_run_to_completion(&mut node, EVENT_BUDGET);
+        }
+    }
+    let mut detached = node
+        .observer_mut::<InvariantOracle>(oracle_id)
+        .map(|o| std::mem::replace(o, InvariantOracle::for_node_empty()));
+    if let Some(oracle) = detached.as_mut() {
+        oracle.finish(&node);
+        for v in oracle.violations() {
+            eprintln!("violation: {v}");
+        }
+    }
+}
+
+// Re-exported for tests: confirm the soup builder produces the pids it
+// claims (driver + tasks) on a plain node.
+#[doc(hidden)]
+pub fn __soup_smoke(sc: &Scenario) -> (Pid, TaskState) {
+    let Workload::Soup(soup) = &sc.workload else {
+        panic!("not a soup scenario")
+    };
+    let mut node = build_node(sc, 0, false);
+    let driver = node.spawn(soup_driver_spec(soup));
+    let outcome = node.run_until_exit(driver, EVENT_BUDGET);
+    assert!(outcome.is_complete(), "soup smoke did not complete");
+    (driver, node.tasks.get(driver).state)
+}

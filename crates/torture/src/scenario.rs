@@ -1,0 +1,763 @@
+//! Random scheduler scenarios and their replayable text form.
+//!
+//! A [`Scenario`] is an explicit, fully serialisable description of one
+//! torture case: machine shape, kernel flavour, noise level, fabric,
+//! fault injection, and a workload — either an MPI job or a "soup" of
+//! interacting tasks (computes, sleeps, channels, barriers, forks,
+//! policy changes). Scenarios are *sampled* from a seed but *stored* as
+//! plain data, so the shrinker can mutate them structurally and a
+//! failure can be replayed from its artifact file byte-for-byte.
+//!
+//! Liveness by construction: soup channel waits only reference
+//! lower-indexed tasks, every notify precedes every wait in a task's
+//! step order, barrier members all pass the same number of rounds
+//! between their notifies and their waits, and forking tasks always
+//! reap their children. An acyclic wait graph cannot deadlock, so any
+//! `Deadlock` outcome a scenario produces is the scheduler's fault, not
+//! the generator's.
+
+use hpl_sim::Rng;
+
+/// Machine shape of every node in the scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TopoKind {
+    /// Flat SMP with `n` identical CPUs.
+    Smp(u32),
+    /// The paper's POWER6 JS22 blade: 2 sockets x 2 cores x SMT2.
+    Power6,
+}
+
+/// Deliberate scheduler bug to inject (oracle self-test).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// No fault: the scheduler under test is the real one.
+    None,
+    /// `HplClass` wake placement bounces to the next CPU on every
+    /// wakeup, violating "HPC migrates only at fork".
+    HpcWakeupMigrate,
+}
+
+/// Launch mode of an MPI workload (mirrors [`hpl_mpi::SchedMode`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModeKind {
+    /// Plain CFS.
+    Cfs,
+    /// CFS at a nice level.
+    CfsNice(i8),
+    /// `SCHED_RR` at an RT priority.
+    Rt(u8),
+    /// The paper's `SCHED_HPC` class.
+    Hpc,
+    /// CFS with ranks pinned round-robin.
+    CfsPinned,
+}
+
+/// One MPI collective/compute op (mirrors [`hpl_mpi::MpiOp`], with
+/// durations in nanoseconds so it serialises as integers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpKind {
+    /// Local compute with the given mean (ns).
+    Compute(u64),
+    /// Global barrier.
+    Barrier,
+    /// Allreduce of `bytes`.
+    Allreduce(u64),
+    /// Alltoall of `bytes` per pair.
+    Alltoall(u64),
+    /// Nearest-neighbour exchange of `bytes`.
+    NeighborExchange(u64),
+    /// Broadcast of `bytes`.
+    Bcast(u64),
+    /// Reduce of `bytes`.
+    Reduce(u64),
+}
+
+/// An MPI-job workload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MpiSpec {
+    /// Ranks per node (`nprocs = ranks_per_node * nodes`).
+    pub ranks_per_node: u32,
+    /// Launch mode.
+    pub mode: ModeKind,
+    /// Op sequence each rank executes.
+    pub ops: Vec<OpKind>,
+}
+
+/// Per-task policy in a soup workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyKind {
+    /// CFS at a nice level.
+    Normal(i8),
+    /// `SCHED_BATCH` at a nice level.
+    Batch(i8),
+    /// `SCHED_FIFO` at an RT priority.
+    Fifo(u8),
+    /// `SCHED_RR` at an RT priority.
+    Rr(u8),
+    /// `SCHED_HPC`.
+    Hpc,
+}
+
+/// One step of a soup task. Durations are nanoseconds; channel
+/// references are *task indices* (the builder maps them to channel ids).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SoupStep {
+    /// Compute for `ns`.
+    Compute(u64),
+    /// Sleep for `ns`.
+    Sleep(u64),
+    /// Deposit a token for task `to` (must be a *higher* index).
+    Notify {
+        /// Receiving task index.
+        to: u32,
+    },
+    /// Consume one token from task `from` (must be a *lower* index).
+    Wait {
+        /// Sending task index.
+        from: u32,
+    },
+    /// Like [`SoupStep::Wait`] but busy-waits up to `spin_ns` first.
+    SpinWait {
+        /// Sending task index.
+        from: u32,
+        /// Spin budget before blocking (ns).
+        spin_ns: u64,
+    },
+    /// Arrive at the soup-wide barrier (members only).
+    Barrier,
+    /// Fork a CFS child that computes `ns` and exits.
+    ForkChild {
+        /// Child compute length (ns).
+        ns: u64,
+    },
+    /// Reap all forked children.
+    WaitChildren,
+    /// `sched_setscheduler(self, policy)`.
+    SetPolicy(PolicyKind),
+}
+
+/// One task in a soup workload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SoupTask {
+    /// Policy at birth.
+    pub policy: PolicyKind,
+    /// Pin to one CPU (index), or run unpinned.
+    pub pin: Option<u32>,
+    /// Behaviour (executed in order, then exit).
+    pub steps: Vec<SoupStep>,
+}
+
+/// A single-node soup of interacting tasks.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SoupSpec {
+    /// The tasks, forked together by a driver that then reaps them.
+    pub tasks: Vec<SoupTask>,
+}
+
+impl SoupSpec {
+    /// Number of tasks whose step list contains a barrier arrival — the
+    /// barrier's party count. Recomputed from structure so shrinking a
+    /// member out keeps the barrier consistent.
+    pub fn barrier_parties(&self) -> u32 {
+        self.tasks
+            .iter()
+            .filter(|t| t.steps.iter().any(|s| matches!(s, SoupStep::Barrier)))
+            .count() as u32
+    }
+}
+
+/// The workload a scenario runs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Workload {
+    /// An MPI job through the real launcher stack.
+    Mpi(MpiSpec),
+    /// A single-node task soup.
+    Soup(SoupSpec),
+}
+
+/// One complete torture case.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Scenario {
+    /// Seed: drives node RNGs and all program-level jitter.
+    pub seed: u64,
+    /// Cluster size (1 = single node, no interconnect).
+    pub nodes: u32,
+    /// Per-node machine shape.
+    pub topo: TopoKind,
+    /// Switched (shared downlink) fabric instead of flat.
+    pub switched: bool,
+    /// HPL kernel config + `SCHED_HPC` class registered.
+    pub hpl: bool,
+    /// Tickless lone-HPC-task optimisation on.
+    pub tickless: bool,
+    /// Noise daemon intensity in percent of the standard profile
+    /// (0 = quiet).
+    pub noise_pct: u32,
+    /// Add a timer-interrupt source.
+    pub irq: bool,
+    /// Injected scheduler bug.
+    pub fault: Fault,
+    /// What runs.
+    pub workload: Workload,
+}
+
+impl Scenario {
+    /// CPUs per node.
+    pub fn ncpus(&self) -> u32 {
+        match self.topo {
+            TopoKind::Smp(n) => n,
+            TopoKind::Power6 => 8,
+        }
+    }
+
+    /// Sample scenario `index` of the stream identified by `base_seed`.
+    /// Deterministic: the same `(base_seed, index)` always yields the
+    /// same scenario.
+    pub fn sample(base_seed: u64, index: u64) -> Scenario {
+        let mut rng = Rng::for_run(base_seed ^ 0x7047_u64, index);
+        let nodes = if rng.chance(0.35) {
+            *rng.choose(&[2u32, 3, 4])
+        } else {
+            1
+        };
+        let topo = *rng.choose(&[
+            TopoKind::Smp(2),
+            TopoKind::Smp(4),
+            TopoKind::Power6,
+            TopoKind::Power6,
+        ]);
+        let hpl = rng.chance(0.55);
+        let workload = if nodes > 1 || rng.chance(0.5) {
+            Workload::Mpi(Self::sample_mpi(&mut rng, topo, hpl))
+        } else {
+            Workload::Soup(Self::sample_soup(&mut rng, topo, hpl))
+        };
+        Scenario {
+            seed: rng.next_u64(),
+            nodes,
+            topo,
+            switched: nodes > 1 && rng.chance(0.4),
+            hpl,
+            tickless: hpl && rng.chance(0.5),
+            noise_pct: *rng.choose(&[0u32, 0, 25, 100, 100]),
+            irq: rng.chance(0.2),
+            fault: Fault::None,
+            workload,
+        }
+    }
+
+    fn sample_mpi(rng: &mut Rng, topo: TopoKind, hpl: bool) -> MpiSpec {
+        let ncpus = match topo {
+            TopoKind::Smp(n) => n,
+            TopoKind::Power6 => 8,
+        };
+        let ranks_per_node = rng.range_u64(1, ncpus.min(8) as u64) as u32;
+        let mode = if hpl && rng.chance(0.5) {
+            ModeKind::Hpc
+        } else {
+            match rng.below(4) {
+                0 => ModeKind::Cfs,
+                1 => ModeKind::CfsNice(rng.range_u64(0, 10) as i8 - 5),
+                2 => ModeKind::Rt(rng.range_u64(40, 60) as u8),
+                _ => ModeKind::CfsPinned,
+            }
+        };
+        let iters = rng.range_u64(1, 3);
+        let mut inner = Vec::new();
+        for _ in 0..rng.range_u64(1, 3) {
+            inner.push(match rng.below(7) {
+                0 | 1 => OpKind::Compute(rng.range_u64(300_000, 3_000_000)),
+                2 => OpKind::Barrier,
+                3 => OpKind::Allreduce(rng.range_u64(8, 4096)),
+                4 => OpKind::Bcast(rng.range_u64(8, 4096)),
+                5 => OpKind::Reduce(rng.range_u64(8, 4096)),
+                _ => {
+                    if rng.chance(0.5) {
+                        OpKind::Alltoall(rng.range_u64(8, 1024))
+                    } else {
+                        OpKind::NeighborExchange(rng.range_u64(8, 1024))
+                    }
+                }
+            });
+        }
+        let mut ops = Vec::new();
+        for _ in 0..iters {
+            ops.extend_from_slice(&inner);
+        }
+        MpiSpec {
+            ranks_per_node,
+            mode,
+            ops,
+        }
+    }
+
+    fn sample_soup(rng: &mut Rng, topo: TopoKind, hpl: bool) -> SoupSpec {
+        let ncpus = match topo {
+            TopoKind::Smp(n) => n,
+            TopoKind::Power6 => 8,
+        };
+        let ntasks = rng.range_u64(2, 8) as usize;
+        let barrier_members: Vec<bool> = if ntasks >= 2 && rng.chance(0.5) {
+            let mut m: Vec<bool> = (0..ntasks).map(|_| rng.chance(0.6)).collect();
+            // A one-party barrier is legal but inert; force >= 2.
+            while m.iter().filter(|&&b| b).count() < 2 {
+                let i = rng.below(ntasks as u64) as usize;
+                m[i] = true;
+            }
+            m
+        } else {
+            vec![false; ntasks]
+        };
+        let rounds = rng.range_u64(1, 3) as usize;
+        let mut tasks = Vec::with_capacity(ntasks);
+        for (i, &in_barrier) in barrier_members.iter().enumerate() {
+            let policy = Self::sample_policy(rng, hpl);
+            let pin = rng
+                .chance(0.4)
+                .then(|| rng.below(ncpus as u64) as u32);
+            // Phase 1: computes/sleeps/notifies (to higher indices).
+            let mut steps = Vec::new();
+            for _ in 0..rng.range_u64(0, 2) {
+                steps.push(Self::sample_busy(rng));
+            }
+            for to in (i + 1)..ntasks {
+                if rng.chance(0.4) {
+                    steps.push(SoupStep::Notify { to: to as u32 });
+                }
+            }
+            // Phase 2: barrier rounds (members only).
+            if in_barrier {
+                for _ in 0..rounds {
+                    steps.push(SoupStep::Barrier);
+                }
+            }
+            // Phase 3: waits (on lower indices) and more busy work.
+            for _ in 0..rng.range_u64(0, 2) {
+                steps.push(Self::sample_busy(rng));
+            }
+            if rng.chance(0.3) {
+                steps.push(SoupStep::SetPolicy(Self::sample_policy(rng, hpl)));
+            }
+            if rng.chance(0.3) {
+                steps.push(SoupStep::ForkChild {
+                    ns: rng.range_u64(100_000, 1_000_000),
+                });
+                steps.push(SoupStep::WaitChildren);
+            }
+            tasks.push(SoupTask { policy, pin, steps });
+        }
+        // Wire the waits to match phase-1 notifies exactly: the notify
+        // side was already generated, so walk it and append one wait per
+        // token on the receiving side.
+        let notifies: Vec<(usize, usize)> = tasks
+            .iter()
+            .enumerate()
+            .flat_map(|(i, t)| {
+                t.steps
+                    .iter()
+                    .filter_map(move |s| match s {
+                        SoupStep::Notify { to } => Some((i, *to as usize)),
+                        _ => None,
+                    })
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        for (from, to) in notifies {
+            let spin = rng.chance(0.5);
+            let step = if spin {
+                SoupStep::SpinWait {
+                    from: from as u32,
+                    spin_ns: rng.range_u64(50_000, 1_000_000),
+                }
+            } else {
+                SoupStep::Wait { from: from as u32 }
+            };
+            // Waits go after any barrier and existing waits; inserting
+            // before a trailing fork/reap pair keeps children last.
+            let t = &mut tasks[to];
+            let at = t
+                .steps
+                .iter()
+                .position(|s| matches!(s, SoupStep::ForkChild { .. }))
+                .unwrap_or(t.steps.len());
+            t.steps.insert(at, step);
+        }
+        // Sometimes add a same-priority RR pair pinned to CPU 0 with
+        // computes long enough to expire slices — exercises the
+        // round-robin rotation invariant.
+        if rng.chance(0.35) {
+            let prio = rng.range_u64(30, 70) as u8;
+            for _ in 0..2 {
+                tasks.push(SoupTask {
+                    policy: PolicyKind::Rr(prio),
+                    pin: Some(0),
+                    steps: vec![
+                        SoupStep::Compute(rng.range_u64(150_000_000, 300_000_000)),
+                        SoupStep::Compute(rng.range_u64(150_000_000, 300_000_000)),
+                    ],
+                });
+            }
+        }
+        SoupSpec { tasks }
+    }
+
+    fn sample_busy(rng: &mut Rng) -> SoupStep {
+        if rng.chance(0.7) {
+            SoupStep::Compute(rng.range_u64(50_000, 3_000_000))
+        } else {
+            SoupStep::Sleep(rng.range_u64(10_000, 2_000_000))
+        }
+    }
+
+    fn sample_policy(rng: &mut Rng, hpl: bool) -> PolicyKind {
+        if hpl && rng.chance(0.3) {
+            return PolicyKind::Hpc;
+        }
+        match rng.below(4) {
+            0 => PolicyKind::Normal(rng.range_u64(0, 10) as i8 - 5),
+            1 => PolicyKind::Batch(rng.range_u64(0, 6) as i8),
+            2 => PolicyKind::Fifo(rng.range_u64(10, 90) as u8),
+            _ => PolicyKind::Rr(rng.range_u64(10, 90) as u8),
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Replayable text form
+    // -----------------------------------------------------------------
+
+    /// Serialise to the replay artifact format: a line-based
+    /// `key value` text document (`torture-scenario v1` header).
+    pub fn to_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::from("torture-scenario v1\n");
+        let _ = writeln!(s, "seed {}", self.seed);
+        let _ = writeln!(s, "nodes {}", self.nodes);
+        let topo = match self.topo {
+            TopoKind::Smp(n) => format!("smp{n}"),
+            TopoKind::Power6 => "power6".into(),
+        };
+        let _ = writeln!(s, "topo {topo}");
+        let _ = writeln!(s, "switched {}", self.switched);
+        let _ = writeln!(s, "hpl {}", self.hpl);
+        let _ = writeln!(s, "tickless {}", self.tickless);
+        let _ = writeln!(s, "noise_pct {}", self.noise_pct);
+        let _ = writeln!(s, "irq {}", self.irq);
+        let fault = match self.fault {
+            Fault::None => "none",
+            Fault::HpcWakeupMigrate => "hpc-wakeup-migrate",
+        };
+        let _ = writeln!(s, "fault {fault}");
+        match &self.workload {
+            Workload::Mpi(m) => {
+                let _ = writeln!(s, "workload mpi");
+                let _ = writeln!(s, "ranks_per_node {}", m.ranks_per_node);
+                let mode = match m.mode {
+                    ModeKind::Cfs => "cfs".into(),
+                    ModeKind::CfsNice(n) => format!("cfs-nice:{n}"),
+                    ModeKind::Rt(p) => format!("rt:{p}"),
+                    ModeKind::Hpc => "hpc".into(),
+                    ModeKind::CfsPinned => "cfs-pinned".into(),
+                };
+                let _ = writeln!(s, "mode {mode}");
+                for op in &m.ops {
+                    let _ = writeln!(s, "op {}", op_to_text(op));
+                }
+            }
+            Workload::Soup(soup) => {
+                let _ = writeln!(s, "workload soup");
+                for t in &soup.tasks {
+                    let pol = policy_to_text(t.policy);
+                    let pin = t.pin.map_or("-".into(), |c| c.to_string());
+                    let steps: Vec<String> =
+                        t.steps.iter().map(step_to_text).collect();
+                    let _ = writeln!(s, "task {pol} {pin} {}", steps.join(" "));
+                }
+            }
+        }
+        s
+    }
+
+    /// Parse the replay artifact format. Returns a description of the
+    /// first malformed line on error.
+    pub fn from_text(text: &str) -> Result<Scenario, String> {
+        let mut lines = text
+            .lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty() && !l.starts_with('#'));
+        match lines.next() {
+            Some("torture-scenario v1") => {}
+            other => return Err(format!("bad header: {other:?}")),
+        }
+        let mut sc = Scenario {
+            seed: 0,
+            nodes: 1,
+            topo: TopoKind::Power6,
+            switched: false,
+            hpl: false,
+            tickless: false,
+            noise_pct: 0,
+            irq: false,
+            fault: Fault::None,
+            workload: Workload::Soup(SoupSpec::default()),
+        };
+        let mut mpi: Option<MpiSpec> = None;
+        let mut soup: Option<SoupSpec> = None;
+        for line in lines {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (key, rest) = line.split_once(' ').unwrap_or((line, ""));
+            match key {
+                "seed" => sc.seed = parse_num(rest)?,
+                "nodes" => sc.nodes = parse_num(rest)? as u32,
+                "topo" => {
+                    sc.topo = match rest {
+                        "power6" => TopoKind::Power6,
+                        s if s.starts_with("smp") => {
+                            TopoKind::Smp(parse_num(&s[3..])? as u32)
+                        }
+                        s => return Err(format!("bad topo {s:?}")),
+                    }
+                }
+                "switched" => sc.switched = parse_bool(rest)?,
+                "hpl" => sc.hpl = parse_bool(rest)?,
+                "tickless" => sc.tickless = parse_bool(rest)?,
+                "noise_pct" => sc.noise_pct = parse_num(rest)? as u32,
+                "irq" => sc.irq = parse_bool(rest)?,
+                "fault" => {
+                    sc.fault = match rest {
+                        "none" => Fault::None,
+                        "hpc-wakeup-migrate" => Fault::HpcWakeupMigrate,
+                        s => return Err(format!("bad fault {s:?}")),
+                    }
+                }
+                "workload" => match rest {
+                    "mpi" => {
+                        mpi = Some(MpiSpec {
+                            ranks_per_node: 1,
+                            mode: ModeKind::Cfs,
+                            ops: Vec::new(),
+                        })
+                    }
+                    "soup" => soup = Some(SoupSpec::default()),
+                    s => return Err(format!("bad workload {s:?}")),
+                },
+                "ranks_per_node" => {
+                    mpi.as_mut().ok_or("ranks_per_node outside mpi workload")?
+                        .ranks_per_node = parse_num(rest)? as u32;
+                }
+                "mode" => {
+                    mpi.as_mut().ok_or("mode outside mpi workload")?.mode = match rest {
+                        "cfs" => ModeKind::Cfs,
+                        "hpc" => ModeKind::Hpc,
+                        "cfs-pinned" => ModeKind::CfsPinned,
+                        s if s.starts_with("cfs-nice:") => {
+                            ModeKind::CfsNice(parse_i8(&s[9..])?)
+                        }
+                        s if s.starts_with("rt:") => {
+                            ModeKind::Rt(parse_num(&s[3..])? as u8)
+                        }
+                        s => return Err(format!("bad mode {s:?}")),
+                    };
+                }
+                "op" => mpi
+                    .as_mut()
+                    .ok_or("op outside mpi workload")?
+                    .ops
+                    .push(op_from_text(rest)?),
+                "task" => {
+                    let soup = soup.as_mut().ok_or("task outside soup workload")?;
+                    let mut parts = rest.split_whitespace();
+                    let pol =
+                        policy_from_text(parts.next().ok_or("task missing policy")?)?;
+                    let pin = match parts.next().ok_or("task missing pin")? {
+                        "-" => None,
+                        s => Some(parse_num(s)? as u32),
+                    };
+                    let steps = parts
+                        .map(step_from_text)
+                        .collect::<Result<Vec<_>, _>>()?;
+                    soup.tasks.push(SoupTask {
+                        policy: pol,
+                        pin,
+                        steps,
+                    });
+                }
+                k => return Err(format!("unknown key {k:?}")),
+            }
+        }
+        sc.workload = match (mpi, soup) {
+            (Some(m), None) => Workload::Mpi(m),
+            (None, Some(s)) => Workload::Soup(s),
+            _ => return Err("exactly one workload section required".into()),
+        };
+        Ok(sc)
+    }
+}
+
+fn parse_num(s: &str) -> Result<u64, String> {
+    s.parse().map_err(|_| format!("bad number {s:?}"))
+}
+
+fn parse_i8(s: &str) -> Result<i8, String> {
+    s.parse().map_err(|_| format!("bad i8 {s:?}"))
+}
+
+fn parse_bool(s: &str) -> Result<bool, String> {
+    match s {
+        "true" => Ok(true),
+        "false" => Ok(false),
+        _ => Err(format!("bad bool {s:?}")),
+    }
+}
+
+fn op_to_text(op: &OpKind) -> String {
+    match op {
+        OpKind::Compute(ns) => format!("compute:{ns}"),
+        OpKind::Barrier => "barrier".into(),
+        OpKind::Allreduce(b) => format!("allreduce:{b}"),
+        OpKind::Alltoall(b) => format!("alltoall:{b}"),
+        OpKind::NeighborExchange(b) => format!("neighbor:{b}"),
+        OpKind::Bcast(b) => format!("bcast:{b}"),
+        OpKind::Reduce(b) => format!("reduce:{b}"),
+    }
+}
+
+fn op_from_text(s: &str) -> Result<OpKind, String> {
+    if s == "barrier" {
+        return Ok(OpKind::Barrier);
+    }
+    let (kind, arg) = s.split_once(':').ok_or(format!("bad op {s:?}"))?;
+    let n = parse_num(arg)?;
+    Ok(match kind {
+        "compute" => OpKind::Compute(n),
+        "allreduce" => OpKind::Allreduce(n),
+        "alltoall" => OpKind::Alltoall(n),
+        "neighbor" => OpKind::NeighborExchange(n),
+        "bcast" => OpKind::Bcast(n),
+        "reduce" => OpKind::Reduce(n),
+        k => return Err(format!("bad op kind {k:?}")),
+    })
+}
+
+fn policy_to_text(p: PolicyKind) -> String {
+    match p {
+        PolicyKind::Normal(n) => format!("normal:{n}"),
+        PolicyKind::Batch(n) => format!("batch:{n}"),
+        PolicyKind::Fifo(p) => format!("fifo:{p}"),
+        PolicyKind::Rr(p) => format!("rr:{p}"),
+        PolicyKind::Hpc => "hpc".into(),
+    }
+}
+
+fn policy_from_text(s: &str) -> Result<PolicyKind, String> {
+    if s == "hpc" {
+        return Ok(PolicyKind::Hpc);
+    }
+    let (kind, arg) = s.split_once(':').ok_or(format!("bad policy {s:?}"))?;
+    Ok(match kind {
+        "normal" => PolicyKind::Normal(parse_i8(arg)?),
+        "batch" => PolicyKind::Batch(parse_i8(arg)?),
+        "fifo" => PolicyKind::Fifo(parse_num(arg)? as u8),
+        "rr" => PolicyKind::Rr(parse_num(arg)? as u8),
+        k => return Err(format!("bad policy kind {k:?}")),
+    })
+}
+
+fn step_to_text(s: &SoupStep) -> String {
+    match s {
+        SoupStep::Compute(ns) => format!("c:{ns}"),
+        SoupStep::Sleep(ns) => format!("s:{ns}"),
+        SoupStep::Notify { to } => format!("n:{to}"),
+        SoupStep::Wait { from } => format!("w:{from}"),
+        SoupStep::SpinWait { from, spin_ns } => format!("sw:{from}:{spin_ns}"),
+        SoupStep::Barrier => "b".into(),
+        SoupStep::ForkChild { ns } => format!("f:{ns}"),
+        SoupStep::WaitChildren => "wc".into(),
+        SoupStep::SetPolicy(p) => format!("sp:{}", policy_to_text(*p)),
+    }
+}
+
+fn step_from_text(s: &str) -> Result<SoupStep, String> {
+    match s {
+        "b" => return Ok(SoupStep::Barrier),
+        "wc" => return Ok(SoupStep::WaitChildren),
+        _ => {}
+    }
+    let (kind, arg) = s.split_once(':').ok_or(format!("bad step {s:?}"))?;
+    Ok(match kind {
+        "c" => SoupStep::Compute(parse_num(arg)?),
+        "s" => SoupStep::Sleep(parse_num(arg)?),
+        "n" => SoupStep::Notify {
+            to: parse_num(arg)? as u32,
+        },
+        "w" => SoupStep::Wait {
+            from: parse_num(arg)? as u32,
+        },
+        "sw" => {
+            let (from, spin) = arg.split_once(':').ok_or(format!("bad step {s:?}"))?;
+            SoupStep::SpinWait {
+                from: parse_num(from)? as u32,
+                spin_ns: parse_num(spin)?,
+            }
+        }
+        "f" => SoupStep::ForkChild {
+            ns: parse_num(arg)?,
+        },
+        "sp" => SoupStep::SetPolicy(policy_from_text(arg)?),
+        k => return Err(format!("bad step kind {k:?}")),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampling_is_deterministic() {
+        for i in 0..20 {
+            assert_eq!(Scenario::sample(0xABCD, i), Scenario::sample(0xABCD, i));
+        }
+    }
+
+    #[test]
+    fn text_round_trips() {
+        for i in 0..50 {
+            let sc = Scenario::sample(0x5EED, i);
+            let text = sc.to_text();
+            let back = Scenario::from_text(&text)
+                .unwrap_or_else(|e| panic!("scenario {i} failed to parse: {e}\n{text}"));
+            assert_eq!(sc, back, "round-trip mismatch for scenario {i}");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(Scenario::from_text("not a scenario").is_err());
+        assert!(Scenario::from_text("torture-scenario v1\nbogus 1").is_err());
+        assert!(Scenario::from_text("torture-scenario v1\nseed 1").is_err());
+    }
+
+    #[test]
+    fn soup_waits_reference_lower_indices() {
+        for i in 0..200 {
+            let sc = Scenario::sample(0xF00D, i);
+            if let Workload::Soup(soup) = &sc.workload {
+                for (ti, t) in soup.tasks.iter().enumerate() {
+                    for s in &t.steps {
+                        match s {
+                            SoupStep::Wait { from } | SoupStep::SpinWait { from, .. } => {
+                                assert!((*from as usize) < ti, "wait on higher index")
+                            }
+                            SoupStep::Notify { to } => {
+                                assert!((*to as usize) > ti, "notify to lower index")
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! Temporary debug helper: dump the event stream of a replay file.
+//! Run with:
+//!   TORTURE_DUMP=<artifact> cargo test -p hpl-torture --release \
+//!     --test debug_dump -- --ignored --nocapture
+
+use hpl_kernel::observe::{SchedEvent, SchedObserver};
+use hpl_sim::SimTime;
+use std::any::Any;
+
+struct Dump;
+impl SchedObserver for Dump {
+    fn observe(&mut self, at: SimTime, ev: &SchedEvent) {
+        if at >= SimTime::from_nanos(299_900_000) {
+            println!("{at} {ev:?}");
+        }
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[test]
+#[ignore]
+fn dump() {
+    let path = std::env::var("TORTURE_DUMP").expect("set TORTURE_DUMP=<artifact>");
+    let sc = hpl_torture::artifact::read_artifact(std::path::Path::new(&path)).unwrap();
+    hpl_torture::runner::debug_run_single(&sc, false, Box::new(Dump));
+}

@@ -29,6 +29,9 @@ cargo run --release -q -p hpl-bench --bin eventloop -- --smoke --out target/BENC
 echo "== multi-node smoke (lockstep co-simulation completes) =="
 cargo run --release -q -p hpl-bench --bin cluster -- --smoke --out target/BENCH_cluster_smoke.json
 
+echo "== scheduler torture smoke (fuzzed scenarios + invariant oracle) =="
+cargo run --release -q -p hpl-torture --bin torture -- --smoke
+
 echo "== clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 

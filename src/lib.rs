@@ -50,6 +50,7 @@
 //! | [`workloads`] | NAS benchmark models, noise microbenchmarks |
 //! | [`cluster`] | multi-node layer: analytic noise-resonance projection **and** mechanistic lockstep co-simulation of kernel nodes over a LogGP interconnect |
 //! | [`bench`] | run harness, `RunConfig`/`RunTable` plumbing, the `repro` binary |
+//! | [`torture`] | seeded scheduler fuzzing: random scenarios, online invariant oracle, differential event-loop checks, failure shrinking (`torture` binary) |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -62,6 +63,7 @@ pub use hpl_mpi as mpi;
 pub use hpl_perf as perf;
 pub use hpl_sim as sim;
 pub use hpl_topology as topology;
+pub use hpl_torture as torture;
 pub use hpl_workloads as workloads;
 
 /// The names almost every user of this library needs.
@@ -87,5 +89,6 @@ pub mod prelude {
     };
     pub use hpl_sim::{Rng, SimDuration, SimTime};
     pub use hpl_topology::{CpuId, CpuMask, Topology};
+    pub use hpl_torture::{check_scenario, InvariantOracle, Scenario, Violation};
     pub use hpl_workloads::{nas_job, NasBenchmark, NasClass};
 }

@@ -1,5 +1,11 @@
 //! Integration tests asserting the paper's *qualitative* claims on
 //! scaled-down workloads (full-size reproduction lives in `repro`).
+//!
+//! The mechanisms these claims rest on (HPC-class shielding, wakeup
+//! migration, tick/RR behaviour) are additionally fuzzed by the
+//! torture harness: 200 seeded scenarios under an invariant oracle
+//! across both event loops, zero violations as of the sweep at seed
+//! 0x70a7 (DESIGN.md §9; regressions pinned in `tests/torture.rs`).
 
 use hpl::prelude::*;
 

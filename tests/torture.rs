@@ -1,0 +1,94 @@
+//! Regression locks from the torture harness.
+//!
+//! Each scenario below is a *minimized* failure artifact produced by
+//! `torture`'s greedy shrinker from a fuzzing run that caught a real
+//! kernel bug, committed here verbatim so the bug can never come back.
+//!
+//! The bug (fixed in `Node::schedule`): a task that blocked on CPU B,
+//! was woken and wakeup-migrated to CPU A, and picked there, remained
+//! CPU B's stale `curr`. CPU B's next reschedule saw it `Running`,
+//! requeued it locally and re-picked it — one task running on two CPUs
+//! at once, exiting twice, and waking its parent's `WaitChildren`
+//! early. The invariant oracle flagged it as a conservation violation
+//! (`Pick` of a task whose home CPU disagreed with the picking CPU).
+
+use hpl::torture::{check_scenario, Scenario};
+
+fn assert_clean(text: &str) {
+    let sc = Scenario::from_text(text).expect("embedded scenario parses");
+    let failures = check_scenario(&sc);
+    assert!(
+        failures.is_empty(),
+        "minimized regression scenario violated invariants again:\n{}",
+        failures
+            .iter()
+            .map(|f| format!("  [{}] {}", f.kind, f.detail))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+/// Shrunk from seed 0xf7df6c48df0d645b (200-scenario sweep, base seed
+/// 0x70a7): two soup tasks on a 2-CPU box, FIFO + CFS, where a
+/// barrier-wakeup migration raced the origin CPU's reschedule.
+#[test]
+fn regression_double_run_after_wakeup_migration_smp2() {
+    assert_clean(
+        "torture-scenario v1\n\
+         seed 17861113707410318427\n\
+         nodes 1\n\
+         topo smp2\n\
+         switched false\n\
+         hpl true\n\
+         tickless false\n\
+         noise_pct 0\n\
+         irq false\n\
+         fault none\n\
+         workload soup\n\
+         task fifo:44 - s:93006 c:82961 n:1 b b b c:69312\n\
+         task normal:5 - b b b c:57156 c:76346 sp:batch:5 sw:0:262211\n",
+    );
+}
+
+/// Shrunk from seed 0xc07140fbda85a46b (same sweep): a larger soup on
+/// the POWER6 topology mixing HPC, CFS and batch tasks with channel
+/// sends and a `WaitChildren`, tripping the same stale-`curr` race via
+/// a channel wakeup.
+#[test]
+fn regression_double_run_after_wakeup_migration_power6() {
+    assert_clean(
+        "torture-scenario v1\n\
+         seed 13866936178097628267\n\
+         nodes 1\n\
+         topo power6\n\
+         switched false\n\
+         hpl true\n\
+         tickless false\n\
+         noise_pct 0\n\
+         irq false\n\
+         fault none\n\
+         workload soup\n\
+         task hpc - n:1 n:6 b b c:76371 f:897424 wc\n\
+         task normal:0 5 n:3 n:5 n:6 sw:0:654910\n\
+         task hpc 1 c:50142 s:92486 s:53583\n\
+         task hpc 6 n:5 n:6 s:76509 s:91546 sw:1:99907\n\
+         task hpc - s:55262 n:6 b b\n\
+         task batch:0 - s:69330 b b c:68691 s:76554 sw:1:738847 sw:3:678900\n\
+         task batch:2 - c:68930 b b c:68849 s:81929 sw:0:705189 sw:1:622982 sw:3:769473 w:4\n",
+    );
+}
+
+/// A handful of fresh sampled scenarios stay clean under both event
+/// loops — a cheap always-on slice of the full torture sweep.
+#[test]
+fn sampled_scenarios_hold_invariants() {
+    for i in 0..4u64 {
+        let sc = Scenario::sample(0x7047_0000 + i, i);
+        let failures = check_scenario(&sc);
+        assert!(
+            failures.is_empty(),
+            "sampled scenario {i} failed:\n{:?}",
+            failures
+        );
+    }
+}
