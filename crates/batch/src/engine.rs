@@ -1,0 +1,367 @@
+//! The job lifecycle engine: submit → queued → allocated → running →
+//! completed, advanced inside the cosim event loop.
+//!
+//! [`run_batch`] owns the whole run: it replays a [`BatchTrace`] against
+//! a [`Cluster`], consulting an [`AllocPolicy`] at every lockstep window
+//! boundary. Arrivals, allocation decisions and completions are all
+//! functions of virtual time and seeded state, so a batch run is exactly
+//! as deterministic as the underlying co-simulation — the same
+//! `(cluster seed, trace, policy)` triple produces the same
+//! [`BatchReport`] bit for bit, on both event-loop flavours.
+//!
+//! Decision points are quantised to lockstep windows (a few µs, the
+//! interconnect lookahead), the cluster-level analogue of a real batch
+//! scheduler's polling interval.
+
+use crate::policy::{AllocPolicy, ClusterView, QueuedJob, RunningJob};
+use crate::trace::{BatchJob, BatchTrace};
+use hpl_cluster::{Cluster, ClusterJobHandle};
+use hpl_kernel::{RunOutcome, SchedEvent, TaskState};
+use hpl_mpi::{JobSpec, MpiOp, SchedMode};
+use hpl_sim::{SimDuration, SimTime};
+
+/// Engine knobs.
+#[derive(Debug, Clone)]
+pub struct BatchConfig {
+    /// OS-level scheduling mode every job launches under (the CFS-vs-HPL
+    /// axis of the two-level study).
+    pub mode: SchedMode,
+    /// Cluster-wide dispatched-event budget (hang guard).
+    pub max_events: u64,
+    /// Bounded-slowdown runtime floor τ: slowdown =
+    /// max((wait + run) / max(run, τ), 1). The standard guard against
+    /// tiny jobs dominating the mean; τ = 1 ms suits ms-scale jobs.
+    pub slowdown_tau: SimDuration,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        BatchConfig {
+            mode: SchedMode::Hpc,
+            max_events: 600_000_000,
+            slowdown_tau: SimDuration::from_millis(1),
+        }
+    }
+}
+
+/// Per-job result row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobOutcome {
+    /// Trace id.
+    pub id: u32,
+    /// Nodes it ran on.
+    pub nodes: u32,
+    /// Submission time (batch epoch + trace offset).
+    pub submitted: SimTime,
+    /// Launch time.
+    pub started: SimTime,
+    /// Time the last launcher tree exited (nodes released).
+    pub ended: SimTime,
+    /// Queue wait (`started - submitted`).
+    pub wait: SimDuration,
+    /// Node-occupancy time (`ended - started`).
+    pub run: SimDuration,
+    /// Bounded slowdown (see [`BatchConfig::slowdown_tau`]).
+    pub bounded_slowdown: f64,
+}
+
+/// Everything a batch run produced. `PartialEq` so determinism tests
+/// can demand bit-identical reports across repeated runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchReport {
+    /// Policy name.
+    pub policy: &'static str,
+    /// Per-job rows, in completion order.
+    pub outcomes: Vec<JobOutcome>,
+    /// First submit → last completion.
+    pub makespan: SimDuration,
+    /// Σ(job nodes × job runtime) / (cluster nodes × makespan).
+    pub utilization: f64,
+    /// Mean queue wait over all jobs.
+    pub mean_wait: SimDuration,
+    /// Mean bounded slowdown over all jobs.
+    pub mean_bounded_slowdown: f64,
+    /// Deepest the queue ever got.
+    pub max_queue_depth: u32,
+    /// Highest concurrent-job count observed on any node.
+    pub max_node_occupancy: u32,
+    /// Decision points at which some node exceeded the policy's
+    /// occupancy limit (must be 0; the torture oracle checks it).
+    pub occupancy_violations: u64,
+    /// Cluster scheduler-state fingerprint at completion, for
+    /// cross-event-loop differential checks.
+    pub fingerprint: u64,
+}
+
+impl BatchReport {
+    /// Max per-job bounded slowdown.
+    pub fn max_bounded_slowdown(&self) -> f64 {
+        self.outcomes
+            .iter()
+            .map(|o| o.bounded_slowdown)
+            .fold(1.0, f64::max)
+    }
+}
+
+/// Reserved ids below the first job's channel range (keeps clear of the
+/// default `id_base = 0` used by standalone launches during warmup).
+const ID_BASE_START: u64 = 10_000;
+/// Safety gap between consecutive jobs' id ranges.
+const ID_GAP: u64 = 16;
+
+struct Running {
+    job: BatchJob,
+    handle: ClusterJobHandle,
+    submitted: SimTime,
+    started: SimTime,
+}
+
+fn job_spec(j: &BatchJob, id_base: u64) -> JobSpec {
+    JobSpec::new(
+        j.nprocs(),
+        JobSpec::repeat(
+            j.iters,
+            &[
+                MpiOp::Compute {
+                    mean: SimDuration::from_nanos(j.compute_ns),
+                },
+                MpiOp::Allreduce { bytes: j.bytes },
+            ],
+        ),
+    )
+    .with_nodes(j.nodes)
+    .with_id_base(id_base)
+}
+
+/// Time the job released its last node: the max `perf` exit time over
+/// its placement. `None` while any tree is still alive.
+fn job_end_time(cluster: &Cluster, h: &ClusterJobHandle) -> Option<SimTime> {
+    let mut end = SimTime::ZERO;
+    for (j, &n) in h.placement.iter().enumerate() {
+        let t = cluster.node(n).tasks.get(h.perf_pids[j]);
+        if t.state != TaskState::Dead {
+            return None;
+        }
+        end = end.max(t.exited_at?);
+    }
+    Some(end)
+}
+
+/// Run `trace` on `cluster` under `policy`. The cluster should be
+/// pre-warmed (daemon populations settled) and idle; the batch epoch is
+/// the latest node clock at entry. Returns the filled [`BatchReport`],
+/// or the failing [`RunOutcome`] if the co-simulation deadlocks or the
+/// event budget runs out. Batch-level lifecycle events are published to
+/// node 0's observers ([`hpl_kernel::Node::publish`]).
+pub fn run_batch(
+    cluster: &mut Cluster,
+    trace: &BatchTrace,
+    policy: &mut dyn AllocPolicy,
+    cfg: &BatchConfig,
+) -> Result<BatchReport, RunOutcome> {
+    let nnodes = cluster.len();
+    for j in &trace.jobs {
+        assert!(
+            (j.nodes as usize) <= nnodes,
+            "job {} wants {} nodes but the cluster has {nnodes}",
+            j.id,
+            j.nodes
+        );
+    }
+    let epoch = (0..nnodes)
+        .map(|i| cluster.node(i).now())
+        .max()
+        .expect("cluster is non-empty");
+    let start_events = cluster.events_processed();
+
+    // Trace order in, arrival order out (stable on ties by trace order).
+    let mut pending: Vec<(SimTime, BatchJob)> = trace
+        .jobs
+        .iter()
+        .map(|j| (epoch + SimDuration::from_nanos(j.submit_ns), j.clone()))
+        .collect();
+    pending.sort_by_key(|(at, j)| (*at, j.id));
+    let mut pending = std::collections::VecDeque::from(pending);
+
+    let mut queue: Vec<BatchJob> = Vec::new();
+    let mut submitted_at: Vec<(u32, SimTime)> = Vec::new();
+    let mut running: Vec<Running> = Vec::new();
+    let mut outcomes: Vec<JobOutcome> = Vec::new();
+    let mut next_id_base = ID_BASE_START;
+    let mut max_queue_depth = 0u32;
+    let mut max_node_occupancy = 0u32;
+    let mut occupancy_violations = 0u64;
+    let limit = policy.occupancy_limit();
+    let total_jobs = trace.jobs.len();
+
+    while outcomes.len() < total_jobs {
+        let now = (0..nnodes)
+            .map(|i| cluster.node(i).now())
+            .max()
+            .expect("cluster is non-empty");
+
+        // 1. Harvest completions.
+        let mut i = 0;
+        while i < running.len() {
+            if let Some(ended) = job_end_time(cluster, &running[i].handle) {
+                let r = running.swap_remove(i);
+                let wait = r.started.since(r.submitted);
+                let run = ended.since(r.started);
+                let floor = run.max(cfg.slowdown_tau);
+                let slowdown = ((wait + run).as_secs_f64() / floor.as_secs_f64()).max(1.0);
+                outcomes.push(JobOutcome {
+                    id: r.job.id,
+                    nodes: r.job.nodes,
+                    submitted: r.submitted,
+                    started: r.started,
+                    ended,
+                    wait,
+                    run,
+                    bounded_slowdown: slowdown,
+                });
+                cluster.node_mut(0).publish(SchedEvent::JobEnd {
+                    job: r.job.id,
+                    queue_depth: queue.len() as u32,
+                });
+            } else {
+                i += 1;
+            }
+        }
+
+        // 2. Admit arrivals that have come due.
+        while pending.front().is_some_and(|(at, _)| *at <= now) {
+            let (at, job) = pending.pop_front().expect("checked front");
+            submitted_at.push((job.id, at));
+            queue.push(job.clone());
+            max_queue_depth = max_queue_depth.max(queue.len() as u32);
+            cluster.node_mut(0).publish(SchedEvent::JobSubmit {
+                job: job.id,
+                queue_depth: queue.len() as u32,
+            });
+        }
+
+        // 3. Allocate until the policy passes.
+        loop {
+            if queue.is_empty() {
+                break;
+            }
+            let view = ClusterView {
+                now,
+                occupancy: (0..nnodes)
+                    .map(|n| cluster.active_jobs_on(n) as u32)
+                    .collect(),
+                running: running
+                    .iter()
+                    .map(|r| RunningJob {
+                        id: r.job.id,
+                        placement: r.handle.placement.clone(),
+                        est_end: r.started + r.job.est_runtime(),
+                    })
+                    .collect(),
+            };
+            let pview: Vec<QueuedJob> = queue
+                .iter()
+                .map(|j| QueuedJob {
+                    id: j.id,
+                    nodes: j.nodes,
+                    submitted: submitted_at
+                        .iter()
+                        .find(|(id, _)| *id == j.id)
+                        .expect("queued jobs were submitted")
+                        .1,
+                    est_runtime: j.est_runtime(),
+                })
+                .collect();
+            let Some(alloc) = policy.select(&pview, &view) else {
+                break;
+            };
+            let job = queue.remove(alloc.queue_idx);
+            let submitted = pview[alloc.queue_idx].submitted;
+            let spec = job_spec(&job, next_id_base);
+            next_id_base = *spec.id_range().end() + 1 + ID_GAP;
+            let handle = cluster.launch_job_on(&spec, cfg.mode, &alloc.placement);
+            // Batch-level start stamp: the decision-point clock (node
+            // clocks inside one lockstep window can lag it by less than
+            // the lookahead, and `submitted <= now` must hold).
+            let started = now;
+            cluster.node_mut(0).publish(SchedEvent::JobStart {
+                job: job.id,
+                queue_depth: queue.len() as u32,
+                waited: started.since(submitted),
+            });
+            running.push(Running {
+                job,
+                handle,
+                submitted,
+                started,
+            });
+        }
+
+        // 4. Occupancy audit against the policy's promise.
+        let mut over = false;
+        for n in 0..nnodes {
+            let occ = cluster.active_jobs_on(n) as u32;
+            max_node_occupancy = max_node_occupancy.max(occ);
+            if occ > limit {
+                over = true;
+            }
+        }
+        if over {
+            occupancy_violations += 1;
+        }
+
+        if outcomes.len() == total_jobs {
+            break;
+        }
+
+        // 5. Advance virtual time one lockstep window.
+        if !cluster.step_window() {
+            if running.is_empty() && !pending.is_empty() {
+                // Every queue drained while waiting for the next
+                // arrival (possible only on fully tickless idle
+                // clusters): jump the clocks to the arrival.
+                let jump_to = pending.front().expect("non-empty").0;
+                for n in 0..nnodes {
+                    cluster.node_mut(n).run_until_time(jump_to);
+                }
+                continue;
+            }
+            return Err(RunOutcome::Deadlock);
+        }
+        if cluster.events_processed() - start_events > cfg.max_events {
+            return Err(RunOutcome::BudgetExhausted);
+        }
+    }
+
+    let first_submit = outcomes.iter().map(|o| o.submitted).min().unwrap_or(epoch);
+    let last_end = outcomes.iter().map(|o| o.ended).max().unwrap_or(epoch);
+    let makespan = last_end.since(first_submit);
+    let node_seconds: f64 = outcomes
+        .iter()
+        .map(|o| o.nodes as f64 * o.run.as_secs_f64())
+        .sum();
+    let denom = nnodes as f64 * makespan.as_secs_f64();
+    let utilization = if denom > 0.0 {
+        node_seconds / denom
+    } else {
+        0.0
+    };
+    let n = outcomes.len().max(1) as f64;
+    let mean_wait = SimDuration::from_nanos(
+        (outcomes.iter().map(|o| o.wait.as_nanos()).sum::<u64>() as f64 / n) as u64,
+    );
+    let mean_bounded_slowdown = outcomes.iter().map(|o| o.bounded_slowdown).sum::<f64>() / n;
+
+    Ok(BatchReport {
+        policy: policy.name(),
+        outcomes,
+        makespan,
+        utilization,
+        mean_wait,
+        mean_bounded_slowdown,
+        max_queue_depth,
+        max_node_occupancy,
+        occupancy_violations,
+        fingerprint: cluster.state_fingerprint(),
+    })
+}

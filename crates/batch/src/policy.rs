@@ -1,0 +1,396 @@
+//! Pluggable allocation policies for the batch scheduler.
+//!
+//! A policy sees the queue (in arrival order) and a [`ClusterView`] —
+//! per-node occupancy plus the estimated end times of running jobs —
+//! and picks the next job to launch together with its node placement.
+//! The engine calls [`AllocPolicy::select`] repeatedly at every decision
+//! point until it returns `None`, so a policy that can start several
+//! jobs in one window simply yields them one at a time.
+//!
+//! Three policies ship:
+//!
+//! * [`Fcfs`] — strict arrival order; the head job blocks everything
+//!   behind it until enough free nodes exist.
+//! * [`EasyBackfill`] — EASY backfilling: the head job gets a
+//!   *reservation* (a concrete node set and a shadow time computed from
+//!   the running jobs' runtime estimates) and a younger job may jump the
+//!   queue only if it cannot delay that reservation — either it finishes
+//!   before the shadow time or it runs entirely on nodes the head will
+//!   not need. Every backfill decision is logged ([`BackfillDecision`])
+//!   so tests can audit the promise.
+//! * [`Oversubscribed`] — the fractional/co-scheduling contrast: up to
+//!   two jobs share a node (occupancy limit 2), allocation is FCFS onto
+//!   the least-occupied nodes. This deliberately breaks the paper's
+//!   dedicated-node assumption to measure what OS-level scheduling does
+//!   when the batch level stops protecting it.
+
+use hpl_sim::{SimDuration, SimTime};
+
+/// A queued job as the policy sees it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueuedJob {
+    /// Trace id.
+    pub id: u32,
+    /// Nodes requested.
+    pub nodes: u32,
+    /// Submission time (batch epoch + trace offset).
+    pub submitted: SimTime,
+    /// User runtime estimate.
+    pub est_runtime: SimDuration,
+}
+
+/// A running job as the policy sees it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunningJob {
+    /// Trace id.
+    pub id: u32,
+    /// Cluster nodes it occupies.
+    pub placement: Vec<usize>,
+    /// Estimated end time (start + user estimate).
+    pub est_end: SimTime,
+}
+
+/// Snapshot of cluster state at a decision point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterView {
+    /// Decision time.
+    pub now: SimTime,
+    /// Jobs currently occupying each node, indexed by cluster node.
+    pub occupancy: Vec<u32>,
+    /// Jobs launched and not yet completed.
+    pub running: Vec<RunningJob>,
+}
+
+impl ClusterView {
+    /// Node indices with occupancy strictly below `limit`, ascending.
+    fn nodes_below(&self, limit: u32) -> Vec<usize> {
+        (0..self.occupancy.len())
+            .filter(|&n| self.occupancy[n] < limit)
+            .collect()
+    }
+}
+
+/// A policy decision: launch `queue_idx` on `placement`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Allocation {
+    /// Index into the queue slice passed to `select`.
+    pub queue_idx: usize,
+    /// Cluster nodes to run it on (one job node per entry).
+    pub placement: Vec<usize>,
+}
+
+/// A cluster-level allocation policy.
+pub trait AllocPolicy {
+    /// Short name for reports and bench output.
+    fn name(&self) -> &'static str;
+
+    /// Maximum concurrent jobs per node this policy may create (1 =
+    /// dedicated nodes). The engine cross-checks the cluster against
+    /// this bound at every decision point.
+    fn occupancy_limit(&self) -> u32 {
+        1
+    }
+
+    /// Pick the next job to launch, or `None` when nothing (more) can
+    /// start right now. `queue` is in arrival order and non-empty
+    /// entries are never reordered by the engine.
+    fn select(&mut self, queue: &[QueuedJob], view: &ClusterView) -> Option<Allocation>;
+}
+
+/// First-come-first-served on dedicated nodes.
+#[derive(Debug, Default)]
+pub struct Fcfs;
+
+impl AllocPolicy for Fcfs {
+    fn name(&self) -> &'static str {
+        "fcfs"
+    }
+
+    fn select(&mut self, queue: &[QueuedJob], view: &ClusterView) -> Option<Allocation> {
+        let head = queue.first()?;
+        let free = view.nodes_below(1);
+        if free.len() < head.nodes as usize {
+            return None;
+        }
+        Some(Allocation {
+            queue_idx: 0,
+            placement: free[..head.nodes as usize].to_vec(),
+        })
+    }
+}
+
+/// One audited backfill decision (see [`EasyBackfill::decisions`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BackfillDecision {
+    /// The job that jumped the queue.
+    pub job: u32,
+    /// The head job whose reservation it had to respect.
+    pub head: u32,
+    /// The shadow time promised to the head at this decision: the head
+    /// can start no later than this, assuming estimates hold.
+    pub shadow: SimTime,
+    /// The backfilled job's estimated end (`now + est_runtime`).
+    pub est_end: SimTime,
+    /// Nodes reserved for the head at this decision.
+    pub reserved: Vec<usize>,
+    /// Nodes the backfilled job was placed on.
+    pub placement: Vec<usize>,
+}
+
+impl BackfillDecision {
+    /// The EASY invariant for this decision: the backfilled job either
+    /// ends (by estimate) before the head's shadow time, or it runs
+    /// entirely on nodes outside the head's reservation.
+    pub fn respects_reservation(&self) -> bool {
+        self.est_end <= self.shadow || self.placement.iter().all(|n| !self.reserved.contains(n))
+    }
+}
+
+/// EASY backfilling on dedicated nodes.
+#[derive(Debug, Default)]
+pub struct EasyBackfill {
+    decisions: Vec<BackfillDecision>,
+}
+
+impl EasyBackfill {
+    /// Fresh policy with an empty audit log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Every backfill decision taken so far, in decision order — the
+    /// audit trail for the reservation-safety property tests.
+    pub fn decisions(&self) -> &[BackfillDecision] {
+        &self.decisions
+    }
+
+    /// The head job's reservation given `view`: the concrete node set
+    /// the head will run on and the shadow time at which the last of
+    /// those nodes frees up (estimates permitting). Currently-free nodes
+    /// are taken first, then nodes of running jobs in estimated-end
+    /// order. `None` if the head fits right now (no reservation needed).
+    fn reservation(head: &QueuedJob, view: &ClusterView) -> Option<(Vec<usize>, SimTime)> {
+        let free = view.nodes_below(1);
+        let need = head.nodes as usize;
+        if free.len() >= need {
+            return None;
+        }
+        let mut reserved = free;
+        let mut running: Vec<&RunningJob> = view.running.iter().collect();
+        running.sort_by_key(|r| (r.est_end, r.id));
+        let mut shadow = view.now;
+        for r in &running {
+            for &n in &r.placement {
+                if reserved.len() == need {
+                    break;
+                }
+                if !reserved.contains(&n) {
+                    reserved.push(n);
+                    shadow = r.est_end;
+                }
+            }
+            if reserved.len() == need {
+                break;
+            }
+        }
+        // A job wider than the cluster can never be satisfied; the
+        // engine rejects those at submit time, so by here the walk
+        // always completes the set.
+        debug_assert_eq!(reserved.len(), need);
+        reserved.sort_unstable();
+        Some((reserved, shadow))
+    }
+}
+
+impl AllocPolicy for EasyBackfill {
+    fn name(&self) -> &'static str {
+        "easy"
+    }
+
+    fn select(&mut self, queue: &[QueuedJob], view: &ClusterView) -> Option<Allocation> {
+        let head = queue.first()?;
+        let free = view.nodes_below(1);
+        let Some((reserved, shadow)) = Self::reservation(head, view) else {
+            // Head fits now: start it (this is also the backfill of
+            // width-compatible heads — FCFS order preserved).
+            return Some(Allocation {
+                queue_idx: 0,
+                placement: free[..head.nodes as usize].to_vec(),
+            });
+        };
+        // Head blocked: try to backfill the first younger job that
+        // cannot delay the reservation.
+        for (qi, cand) in queue.iter().enumerate().skip(1) {
+            let want = cand.nodes as usize;
+            if want > free.len() {
+                continue;
+            }
+            let est_end = view.now + cand.est_runtime;
+            let placement: Vec<usize> = if est_end <= shadow {
+                // Finishes before the head needs its nodes: any free
+                // nodes do, reserved ones included.
+                free[..want].to_vec()
+            } else {
+                // Outlives the shadow window: only nodes the head will
+                // never touch are safe.
+                let outside: Vec<usize> = free
+                    .iter()
+                    .copied()
+                    .filter(|n| !reserved.contains(n))
+                    .collect();
+                if outside.len() < want {
+                    continue;
+                }
+                outside[..want].to_vec()
+            };
+            self.decisions.push(BackfillDecision {
+                job: cand.id,
+                head: head.id,
+                shadow,
+                est_end,
+                reserved: reserved.clone(),
+                placement: placement.clone(),
+            });
+            return Some(Allocation {
+                queue_idx: qi,
+                placement,
+            });
+        }
+        None
+    }
+}
+
+/// FCFS with two jobs per node (fractional/oversubscribed allocation).
+#[derive(Debug, Default)]
+pub struct Oversubscribed;
+
+impl AllocPolicy for Oversubscribed {
+    fn name(&self) -> &'static str {
+        "oversub"
+    }
+
+    fn occupancy_limit(&self) -> u32 {
+        2
+    }
+
+    fn select(&mut self, queue: &[QueuedJob], view: &ClusterView) -> Option<Allocation> {
+        let head = queue.first()?;
+        let mut open = view.nodes_below(2);
+        if open.len() < head.nodes as usize {
+            return None;
+        }
+        // Least-occupied first (spread before stacking), ties by index.
+        open.sort_by_key(|&n| (view.occupancy[n], n));
+        let mut placement = open[..head.nodes as usize].to_vec();
+        placement.sort_unstable();
+        Some(Allocation {
+            queue_idx: 0,
+            placement,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ns: u64) -> SimTime {
+        SimTime::from_nanos(ns)
+    }
+
+    fn qj(id: u32, nodes: u32, est_ns: u64) -> QueuedJob {
+        QueuedJob {
+            id,
+            nodes,
+            submitted: t(0),
+            est_runtime: SimDuration::from_nanos(est_ns),
+        }
+    }
+
+    fn view(occ: &[u32], running: Vec<RunningJob>) -> ClusterView {
+        ClusterView {
+            now: t(1_000),
+            occupancy: occ.to_vec(),
+            running,
+        }
+    }
+
+    #[test]
+    fn fcfs_blocks_behind_wide_head() {
+        let mut p = Fcfs;
+        let queue = [qj(0, 4, 100), qj(1, 1, 100)];
+        // Only 2 free nodes: head (4-wide) blocks, and FCFS never skips.
+        let v = view(&[0, 0, 1, 1], vec![]);
+        assert!(p.select(&queue, &v).is_none());
+        let v = view(&[0, 0, 0, 0], vec![]);
+        let a = p.select(&queue, &v).unwrap();
+        assert_eq!(a.queue_idx, 0);
+        assert_eq!(a.placement, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn easy_backfills_short_job_into_shadow_window() {
+        let mut p = EasyBackfill::new();
+        // Node 0,1 busy with job 9 until t=10_000; head wants 4 nodes,
+        // so nodes 2,3 are free but reserved, shadow = 10_000.
+        let running = vec![RunningJob {
+            id: 9,
+            placement: vec![0, 1],
+            est_end: t(10_000),
+        }];
+        let queue = [qj(0, 4, 1), qj(1, 2, 5_000), qj(2, 2, 100_000)];
+        let v = view(&[1, 1, 0, 0], running);
+        // Job 1 (est end 6_000 <= shadow 10_000) backfills onto the free
+        // nodes; job 2 would outlive the shadow and both free nodes are
+        // reserved, so it must wait.
+        let a = p.select(&queue, &v).unwrap();
+        assert_eq!(a.queue_idx, 1);
+        assert_eq!(a.placement, vec![2, 3]);
+        let d = &p.decisions()[0];
+        assert_eq!(d.job, 1);
+        assert_eq!(d.head, 0);
+        assert_eq!(d.reserved, vec![0, 1, 2, 3]);
+        assert!(d.respects_reservation());
+    }
+
+    #[test]
+    fn easy_backfill_avoids_reserved_nodes_for_long_jobs() {
+        let mut p = EasyBackfill::new();
+        // Head wants 2; node 0 busy until 10_000, nodes 1..4 free. The
+        // reservation is {0 free? no}: free = [1,2,3], head needs 2 →
+        // fits immediately. Make head want 4 instead: free 3 of 4.
+        let running = vec![RunningJob {
+            id: 9,
+            placement: vec![0],
+            est_end: t(10_000),
+        }];
+        // Head wants 2 but cluster view shows free = [2,3] with node 1
+        // also busy; reserved = [2,3]... use a case where reserved is a
+        // strict subset of free: head wants 2, free = [1,2,3]: fits now.
+        // So: head wants 3, free = [1,2], reserved = [1,2,0], shadow
+        // 10_000. A long 1-node job cannot use 1 or 2 (reserved), none
+        // outside → blocked; a short one can.
+        let queue = [qj(0, 3, 1), qj(1, 1, 100_000)];
+        let v = view(&[1, 0, 0, 1], running.clone());
+        assert!(
+            p.select(&queue, &v).is_none(),
+            "long job must not take a reserved free node"
+        );
+        let queue = [qj(0, 3, 1), qj(1, 1, 2_000)];
+        let a = p.select(&queue, &v).unwrap();
+        assert_eq!(a.queue_idx, 1);
+        assert!(p.decisions()[0].respects_reservation());
+    }
+
+    #[test]
+    fn oversubscribed_stacks_two_jobs_per_node() {
+        let mut p = Oversubscribed;
+        let queue = [qj(0, 2, 100)];
+        let v = view(&[1, 1, 2, 2], vec![]);
+        let a = p.select(&queue, &v).unwrap();
+        assert_eq!(a.placement, vec![0, 1], "least-occupied under the cap");
+        let v = view(&[2, 2, 2, 2], vec![]);
+        assert!(p.select(&queue, &v).is_none(), "cap 2 is a hard limit");
+        assert_eq!(p.occupancy_limit(), 2);
+    }
+}

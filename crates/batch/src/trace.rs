@@ -1,0 +1,226 @@
+//! Workload traces feeding the batch queue.
+//!
+//! A [`BatchTrace`] is an ordered stream of [`BatchJob`] submissions —
+//! each a bulk-synchronous MPI job (compute + Allreduce iterations, the
+//! paper's canonical workload shape) with an arrival offset, a node
+//! request and a user runtime estimate (the input EASY backfilling
+//! reasons about). Traces come from two sources:
+//!
+//! * [`BatchTrace::synthetic`] — a seeded arrival process (exponential
+//!   inter-arrival times, mixed job widths) driven by the `hpl-sim`
+//!   [`Rng`], so every trace is replayable from `(seed, n, nodes)`;
+//! * hand-written text files in the round-trippable `batch-trace v1`
+//!   format ([`BatchTrace::to_text`] / [`BatchTrace::from_text`]),
+//!   mirroring the torture scenario format.
+
+use hpl_sim::{Rng, SimDuration};
+
+/// One job submission in a batch trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchJob {
+    /// Trace-unique id (also the `job` field of the published
+    /// `JobSubmit`/`JobStart`/`JobEnd` observer events).
+    pub id: u32,
+    /// Arrival offset from the batch epoch (engine start), ns.
+    pub submit_ns: u64,
+    /// Nodes requested (dedicated under FCFS/EASY; a slot under the
+    /// oversubscribed policy).
+    pub nodes: u32,
+    /// MPI ranks per node.
+    pub ranks_per_node: u32,
+    /// Bulk-synchronous iterations (compute + Allreduce each).
+    pub iters: u32,
+    /// Mean compute per iteration per rank, ns.
+    pub compute_ns: u64,
+    /// Allreduce payload, bytes.
+    pub bytes: u64,
+    /// User-supplied runtime estimate, ns — what EASY's reservation
+    /// arithmetic believes. Overestimates are safe (the head job's
+    /// promise holds); underestimates can delay the head, exactly as on
+    /// a real machine.
+    pub est_runtime_ns: u64,
+}
+
+impl BatchJob {
+    /// Total ranks.
+    pub fn nprocs(&self) -> u32 {
+        self.nodes * self.ranks_per_node
+    }
+
+    /// The runtime estimate as a duration.
+    pub fn est_runtime(&self) -> SimDuration {
+        SimDuration::from_nanos(self.est_runtime_ns)
+    }
+}
+
+/// An ordered job stream (non-decreasing `submit_ns`).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct BatchTrace {
+    /// The jobs, in submission order.
+    pub jobs: Vec<BatchJob>,
+}
+
+/// Launch/teardown overhead of one launcher tree (perf setup + mpiexec
+/// forks + perf's 20 ms counter-collection tail), folded into synthetic
+/// runtime estimates so they bracket the true node-occupancy time.
+const LAUNCH_OVERHEAD_NS: u64 = 25_000_000;
+
+impl BatchTrace {
+    /// A seeded synthetic trace of `n` jobs for a `cluster_nodes`-node
+    /// cluster: exponential inter-arrival times (mean 4 ms — fast enough
+    /// that a queue actually forms), mixed widths (1, 2, half- and
+    /// full-cluster), 1–2 ranks per node (the reference nodes have two
+    /// CPUs; CPU oversubscription makes runtimes unboundable by any
+    /// honest user estimate, and belongs to the oversubscribed *policy*,
+    /// not the trace), 2–4 iterations of 1–3 ms
+    /// compute, and generous runtime estimates (so EASY's reservations
+    /// hold): each Allreduce barrier waits on the *slowest* of nprocs
+    /// exponential compute draws, so the estimate scales the nominal
+    /// time by `2 + log2(nprocs)` — an upper bracket on the expected
+    /// max-of-exponentials factor plus tail headroom — and adds twice
+    /// the launch overhead.
+    pub fn synthetic(seed: u64, n: u32, cluster_nodes: u32) -> BatchTrace {
+        assert!(cluster_nodes >= 1);
+        let mut rng = Rng::for_run(seed ^ 0xBA7C, 0);
+        let mut jobs = Vec::with_capacity(n as usize);
+        let mut arrival_ns = 0u64;
+        let widths: Vec<u32> = [1, 2, cluster_nodes / 2, cluster_nodes]
+            .into_iter()
+            .filter(|&w| w >= 1 && w <= cluster_nodes)
+            .collect();
+        for id in 0..n {
+            arrival_ns += (rng.exp(4.0e6) as u64).min(40_000_000);
+            let nodes = *rng.choose(&widths);
+            let ranks_per_node = rng.range_u64(1, 2) as u32;
+            let iters = rng.range_u64(2, 4) as u32;
+            let compute_ns = rng.range_u64(1_000_000, 3_000_000);
+            let bytes = if rng.chance(0.5) { 64 } else { 4096 };
+            let nominal = iters as u64 * compute_ns;
+            let nprocs = (nodes * ranks_per_node) as u64;
+            let est_factor = 2 + (u64::BITS - nprocs.leading_zeros()) as u64;
+            jobs.push(BatchJob {
+                id,
+                submit_ns: arrival_ns,
+                nodes,
+                ranks_per_node,
+                iters,
+                compute_ns,
+                bytes,
+                est_runtime_ns: est_factor * nominal + 2 * LAUNCH_OVERHEAD_NS,
+            });
+        }
+        BatchTrace { jobs }
+    }
+
+    /// Serialise to the `batch-trace v1` text format: a header line then
+    /// one `job` line per submission, every field labelled. Whitespace-
+    /// and comment-tolerant on the way back in ([`Self::from_text`]).
+    pub fn to_text(&self) -> String {
+        let mut out = String::from("batch-trace v1\n");
+        for j in &self.jobs {
+            out.push_str(&format!(
+                "job {} submit {} nodes {} rpn {} iters {} compute {} bytes {} est {}\n",
+                j.id,
+                j.submit_ns,
+                j.nodes,
+                j.ranks_per_node,
+                j.iters,
+                j.compute_ns,
+                j.bytes,
+                j.est_runtime_ns
+            ));
+        }
+        out
+    }
+
+    /// Parse the `batch-trace v1` format. Lines starting with `#` and
+    /// blank lines are skipped; anything else malformed is an error.
+    pub fn from_text(text: &str) -> Result<BatchTrace, String> {
+        let mut lines = text
+            .lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty() && !l.starts_with('#'));
+        match lines.next() {
+            Some("batch-trace v1") => {}
+            other => return Err(format!("bad header {other:?}")),
+        }
+        let mut jobs = Vec::new();
+        for line in lines {
+            let toks: Vec<&str> = line.split_whitespace().collect();
+            if toks.len() != 16 || toks[0] != "job" {
+                return Err(format!("malformed job line {line:?}"));
+            }
+            let num = |label_idx: usize, label: &str| -> Result<u64, String> {
+                if toks[label_idx] != label {
+                    return Err(format!("expected {label:?} in {line:?}"));
+                }
+                toks[label_idx + 1]
+                    .parse::<u64>()
+                    .map_err(|_| format!("bad number for {label} in {line:?}"))
+            };
+            jobs.push(BatchJob {
+                id: num(0, "job")? as u32,
+                submit_ns: num(2, "submit")?,
+                nodes: num(4, "nodes")? as u32,
+                ranks_per_node: num(6, "rpn")? as u32,
+                iters: num(8, "iters")? as u32,
+                compute_ns: num(10, "compute")?,
+                bytes: num(12, "bytes")?,
+                est_runtime_ns: num(14, "est")?,
+            });
+        }
+        for j in &jobs {
+            if j.nodes == 0 || j.ranks_per_node == 0 || j.iters == 0 {
+                return Err(format!("job {} has a zero dimension", j.id));
+            }
+        }
+        Ok(BatchTrace { jobs })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_is_deterministic_and_ordered() {
+        let a = BatchTrace::synthetic(7, 12, 4);
+        let b = BatchTrace::synthetic(7, 12, 4);
+        assert_eq!(a, b);
+        assert_eq!(a.jobs.len(), 12);
+        for w in a.jobs.windows(2) {
+            assert!(w[0].submit_ns <= w[1].submit_ns);
+        }
+        for j in &a.jobs {
+            assert!(j.nodes >= 1 && j.nodes <= 4);
+            assert!(j.est_runtime_ns > j.iters as u64 * j.compute_ns);
+        }
+        // Different seeds differ.
+        assert_ne!(a, BatchTrace::synthetic(8, 12, 4));
+    }
+
+    #[test]
+    fn text_round_trip() {
+        let t = BatchTrace::synthetic(3, 6, 4);
+        let text = t.to_text();
+        let back = BatchTrace::from_text(&text).expect("round trip parses");
+        assert_eq!(t, back);
+        assert_eq!(back.to_text(), text);
+    }
+
+    #[test]
+    fn from_text_accepts_comments_rejects_garbage() {
+        let ok = BatchTrace::from_text(
+            "# a comment\nbatch-trace v1\n\njob 0 submit 5 nodes 2 rpn 2 iters 3 compute 1000000 bytes 64 est 9000000\n",
+        )
+        .unwrap();
+        assert_eq!(ok.jobs.len(), 1);
+        assert_eq!(ok.jobs[0].nprocs(), 4);
+        assert!(BatchTrace::from_text("nope").is_err());
+        assert!(BatchTrace::from_text("batch-trace v1\njob 0 submit x").is_err());
+        assert!(BatchTrace::from_text(
+            "batch-trace v1\njob 0 submit 5 nodes 0 rpn 2 iters 3 compute 1 bytes 64 est 9\n"
+        )
+        .is_err());
+    }
+}

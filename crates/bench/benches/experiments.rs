@@ -10,19 +10,19 @@ use hpl_sim::SimDuration;
 use hpl_workloads::micro::noise_probe_job;
 use hpl_workloads::{nas_job, NasBenchmark, NasClass};
 
-fn cfg(
-    label: &str,
-    bench: NasBenchmark,
-    sched: Scheduler,
-    mode: SchedMode,
-) -> RunConfig {
+fn cfg(label: &str, bench: NasBenchmark, sched: Scheduler, mode: SchedMode) -> RunConfig {
     RunConfig::new(label, nas_job(bench, NasClass::A, 8), mode, sched).with_reps(1)
 }
 
 /// Figure 2 path: one std-Linux repetition of is.A.8 (the shortest NAS
 /// configuration, ~0.35 s simulated).
 fn bench_fig2_path(c: &mut Criterion) {
-    let conf = cfg("is.A.8", NasBenchmark::Is, Scheduler::StandardLinux, SchedMode::Cfs);
+    let conf = cfg(
+        "is.A.8",
+        NasBenchmark::Is,
+        Scheduler::StandardLinux,
+        SchedMode::Cfs,
+    );
     c.bench_function("experiment/fig2 repetition (is.A.8, std)", |b| {
         let mut rep = 0u64;
         b.iter(|| {
@@ -51,7 +51,12 @@ fn bench_fig4_path(c: &mut Criterion) {
 
 /// Table Ib / Table II HPL path: one HPL repetition.
 fn bench_table_hpl_path(c: &mut Criterion) {
-    let conf = cfg("is.A.8-hpl", NasBenchmark::Is, Scheduler::Hpl, SchedMode::Hpc);
+    let conf = cfg(
+        "is.A.8-hpl",
+        NasBenchmark::Is,
+        Scheduler::Hpl,
+        SchedMode::Hpc,
+    );
     c.bench_function("experiment/table1b repetition (is.A.8, HPL)", |b| {
         let mut rep = 0u64;
         b.iter(|| {

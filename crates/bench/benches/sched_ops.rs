@@ -98,13 +98,7 @@ fn bench_hpl_fork_placement(c: &mut Criterion) {
         hpl.init(8);
         b.iter(|| {
             let ctx = fx.ctx();
-            black_box(hpl.select_cpu_fork(
-                tt.get(hpl_kernel::Pid(8)),
-                CpuId(0),
-                &ctx,
-                &snap,
-                &tt,
-            ))
+            black_box(hpl.select_cpu_fork(tt.get(hpl_kernel::Pid(8)), CpuId(0), &ctx, &snap, &tt))
         })
     });
 }

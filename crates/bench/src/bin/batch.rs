@@ -1,0 +1,230 @@
+//! Two-level scheduling sweep: batch allocation policies over CFS and
+//! HPL kernels.
+//!
+//! Runs one seeded synthetic job stream through every (allocation
+//! policy, kernel flavour) cell on the same co-simulated cluster shape:
+//! FCFS, EASY backfilling and 2-jobs-per-node oversubscription, each
+//! under the standard-Linux CFS kernel (noisy daemons contending with
+//! ranks) and the HPL kernel (`SCHED_HPC` ranks above the noise). Per
+//! cell it reports mean wait, mean/max bounded slowdown, utilization
+//! and makespan from the engine's [`BatchReport`].
+//!
+//! Gated claims (non-smoke): the run is deterministic (same seed, same
+//! report, bit for bit), no cell violates its policy's occupancy limit,
+//! EASY does not raise mean wait over FCFS on the same kernel, and the
+//! HPL kernel does not stretch the makespan over CFS under the same
+//! policy.
+//!
+//! Writes `BENCH_batch.json` in the current directory.
+//!
+//! Usage: `batch [--quick|--smoke] [--out PATH]`
+
+use hpl_batch::{
+    run_batch, AllocPolicy, BatchConfig, BatchReport, BatchTrace, EasyBackfill, Fcfs,
+    Oversubscribed,
+};
+use hpl_cluster::{Cluster, Interconnect, NetConfig};
+use hpl_core::HplClass;
+use hpl_kernel::noise::NoiseProfile;
+use hpl_kernel::{KernelConfig, NodeBuilder};
+use hpl_mpi::SchedMode;
+use hpl_sim::{Rng, SimDuration};
+use hpl_topology::Topology;
+
+const CPUS_PER_NODE: u32 = 2;
+
+fn build_cluster(nodes: u32, hpc: bool, seed: u64) -> Cluster {
+    let built = (0..nodes)
+        .map(|i| {
+            let kc = if hpc {
+                KernelConfig::hpl()
+            } else {
+                KernelConfig::default()
+            };
+            let mut b = NodeBuilder::new(Topology::smp(CPUS_PER_NODE))
+                .with_config(kc)
+                .with_noise(NoiseProfile::standard(CPUS_PER_NODE))
+                .with_seed(Rng::for_run(seed, i as u64).next_u64());
+            if hpc {
+                b = b.with_hpc_class(Box::new(HplClass::new()));
+            }
+            b.build()
+        })
+        .collect();
+    let mut cluster = Cluster::new(
+        built,
+        Interconnect::flat(nodes as usize, NetConfig::default()),
+    );
+    for i in 0..nodes as usize {
+        cluster.node_mut(i).run_for(SimDuration::from_millis(300));
+    }
+    cluster
+}
+
+fn make_policy(name: &str) -> Box<dyn AllocPolicy> {
+    match name {
+        "fcfs" => Box::new(Fcfs),
+        "easy" => Box::new(EasyBackfill::new()),
+        "oversub" => Box::new(Oversubscribed),
+        other => panic!("unknown policy {other}"),
+    }
+}
+
+fn run_cell(trace: &BatchTrace, policy: &str, hpc: bool, nodes: u32, seed: u64) -> BatchReport {
+    let mut cluster = build_cluster(nodes, hpc, seed);
+    let cfg = BatchConfig {
+        mode: if hpc { SchedMode::Hpc } else { SchedMode::Cfs },
+        ..BatchConfig::default()
+    };
+    run_batch(&mut cluster, trace, make_policy(policy).as_mut(), &cfg)
+        .unwrap_or_else(|o| panic!("batch cell {policy}/{hpc} did not complete: {o:?}"))
+}
+
+struct Cell {
+    policy: &'static str,
+    kernel: &'static str,
+    report: BatchReport,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_batch.json".into());
+
+    let (nodes, njobs): (u32, u32) = if smoke {
+        (2, 4)
+    } else if quick {
+        (4, 12)
+    } else {
+        (4, 24)
+    };
+    let flavour = if smoke {
+        "smoke"
+    } else if quick {
+        "quick"
+    } else {
+        "full"
+    };
+    let seed = 0xBA7C;
+    let trace = BatchTrace::synthetic(seed, njobs, nodes);
+    eprintln!("batch bench ({flavour}): {nodes} nodes, {njobs} jobs, seed {seed:#x}");
+
+    let policies: &[&'static str] = if smoke {
+        &["fcfs", "easy"]
+    } else {
+        &["fcfs", "easy", "oversub"]
+    };
+    let mut cells = Vec::new();
+    for &policy in policies {
+        for (kernel, hpc) in [("cfs", false), ("hpl", true)] {
+            let report = run_cell(&trace, policy, hpc, nodes, seed);
+            eprintln!(
+                "{policy:>7}/{kernel}: wait {:>8.3}ms | slowdown {:>6.2} (max {:>6.2}) | \
+                 util {:>5.3} | makespan {:>8.3}ms | depth {}",
+                report.mean_wait.as_secs_f64() * 1e3,
+                report.mean_bounded_slowdown,
+                report.max_bounded_slowdown(),
+                report.utilization,
+                report.makespan.as_secs_f64() * 1e3,
+                report.max_queue_depth
+            );
+            cells.push(Cell {
+                policy,
+                kernel,
+                report,
+            });
+        }
+    }
+
+    // Claim 1: determinism — replaying one cell reproduces its report.
+    let replay = run_cell(&trace, "easy", true, nodes, seed);
+    let deterministic = cells
+        .iter()
+        .find(|c| c.policy == "easy" && c.kernel == "hpl")
+        .map(|c| c.report == replay)
+        .unwrap_or(false);
+
+    // Claim 2: no cell exceeds its policy's occupancy limit.
+    let occupancy_ok = cells.iter().all(|c| c.report.occupancy_violations == 0);
+
+    // Claim 3: EASY does not raise mean wait over FCFS on either kernel.
+    let wait_of = |policy: &str, kernel: &str| {
+        cells
+            .iter()
+            .find(|c| c.policy == policy && c.kernel == kernel)
+            .map(|c| c.report.mean_wait.as_secs_f64())
+            .unwrap_or(f64::NAN)
+    };
+    let easy_ok = ["cfs", "hpl"].iter().all(|k| {
+        let (f, e) = (wait_of("fcfs", k), wait_of("easy", k));
+        e <= f * 1.05 + 1e-3
+    });
+
+    // Claim 4: on *dedicated* nodes the HPL kernel does not stretch the
+    // makespan over CFS (shielded ranks finish no later). The claim is
+    // deliberately not extended to the oversubscribed policy: with two
+    // jobs per node the HPL class's run-to-block scheduling serialises
+    // co-resident jobs where CFS timeslices them fairly, and HPL's
+    // makespan is legitimately longer — that contrast is the point of
+    // including the cell.
+    let makespan_of = |policy: &str, kernel: &str| {
+        cells
+            .iter()
+            .find(|c| c.policy == policy && c.kernel == kernel)
+            .map(|c| c.report.makespan.as_secs_f64())
+            .unwrap_or(f64::NAN)
+    };
+    let hpl_ok = ["fcfs", "easy"]
+        .iter()
+        .all(|p| makespan_of(p, "hpl") <= makespan_of(p, "cfs") * 1.05);
+
+    eprintln!(
+        "deterministic {deterministic} | occupancy_ok {occupancy_ok} | \
+         easy_wait_ok {easy_ok} | hpl_makespan_ok {hpl_ok}"
+    );
+
+    let mut json = String::from("{\n  \"bench\": \"batch\",\n");
+    json.push_str(&format!("  \"flavour\": \"{flavour}\",\n"));
+    json.push_str(&format!(
+        "  \"nodes\": {nodes},\n  \"jobs\": {njobs},\n  \"seed\": {seed},\n"
+    ));
+    json.push_str(&format!("  \"deterministic\": {deterministic},\n"));
+    json.push_str(&format!("  \"occupancy_ok\": {occupancy_ok},\n"));
+    json.push_str(&format!("  \"easy_wait_ok\": {easy_ok},\n"));
+    json.push_str(&format!("  \"hpl_makespan_ok\": {hpl_ok},\n"));
+    json.push_str("  \"cells\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"policy\": \"{}\", \"kernel\": \"{}\", \"mean_wait_ms\": {:.6}, \
+             \"mean_bounded_slowdown\": {:.4}, \"max_bounded_slowdown\": {:.4}, \
+             \"utilization\": {:.4}, \"makespan_ms\": {:.6}, \"max_queue_depth\": {}, \
+             \"max_node_occupancy\": {}}}{}\n",
+            c.policy,
+            c.kernel,
+            c.report.mean_wait.as_secs_f64() * 1e3,
+            c.report.mean_bounded_slowdown,
+            c.report.max_bounded_slowdown(),
+            c.report.utilization,
+            c.report.makespan.as_secs_f64() * 1e3,
+            c.report.max_queue_depth,
+            c.report.max_node_occupancy,
+            if i + 1 < cells.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out, json).expect("write bench json");
+    eprintln!("wrote {out}");
+
+    // Smoke runs gate only on "the sweep completes"; the comparative
+    // claims need the full job stream to be meaningful.
+    let claims_hold = deterministic && occupancy_ok && easy_ok && hpl_ok;
+    if !smoke && !claims_hold {
+        eprintln!("FAIL: batch sweep claims do not hold");
+        std::process::exit(1);
+    }
+}

@@ -1,23 +1,39 @@
 //! Quick calibration probe: ep.A.8 and cg.A.8 under Std/RT/HPL.
-use hpl_bench::{run_many, RunConfig, Scheduler};
 use hpl_bench::report::summary_line;
+use hpl_bench::{run_many, RunConfig, Scheduler};
 use hpl_mpi::SchedMode;
 use hpl_workloads::{nas_job, NasBenchmark, NasClass};
 
 fn main() {
-    let reps: u32 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(20);
+    let reps: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20);
     let bench: String = std::env::args().nth(2).unwrap_or_else(|| "ep".into());
     let b = match bench.as_str() {
-        "cg" => NasBenchmark::Cg, "ep" => NasBenchmark::Ep, "ft" => NasBenchmark::Ft,
-        "is" => NasBenchmark::Is, "lu" => NasBenchmark::Lu, _ => NasBenchmark::Mg,
+        "cg" => NasBenchmark::Cg,
+        "ep" => NasBenchmark::Ep,
+        "ft" => NasBenchmark::Ft,
+        "is" => NasBenchmark::Is,
+        "lu" => NasBenchmark::Lu,
+        _ => NasBenchmark::Mg,
     };
     for (name, sched, mode) in [
         ("std-cfs", Scheduler::StandardLinux, SchedMode::Cfs),
-        ("std-rt", Scheduler::StandardLinux, SchedMode::Rt { prio: 50 }),
+        (
+            "std-rt",
+            Scheduler::StandardLinux,
+            SchedMode::Rt { prio: 50 },
+        ),
         ("hpl", Scheduler::Hpl, SchedMode::Hpc),
     ] {
-        let mut cfg = RunConfig::new(format!("{bench}.A.8-{name}"), nas_job(b, NasClass::A, 8), mode, sched)
-            .with_reps(reps);
+        let mut cfg = RunConfig::new(
+            format!("{bench}.A.8-{name}"),
+            nas_job(b, NasClass::A, 8),
+            mode,
+            sched,
+        )
+        .with_reps(reps);
         if std::env::args().nth(3).as_deref() == Some("quiet") {
             cfg = cfg.with_noise(hpl_bench::NoiseKind::Quiet);
         }
@@ -28,7 +44,10 @@ fn main() {
         println!("{}", summary_line("time (s)", &table.time_summary()));
         println!("{}", summary_line("migrations", &table.migration_summary()));
         println!("{}", summary_line("ctx switches", &table.switch_summary()));
-        println!("corr(time,mig)={:.3} corr(time,cs)={:.3}",
-            table.time_migration_correlation(), table.time_switch_correlation());
+        println!(
+            "corr(time,mig)={:.3} corr(time,cs)={:.3}",
+            table.time_migration_correlation(),
+            table.time_switch_correlation()
+        );
     }
 }

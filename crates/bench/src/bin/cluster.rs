@@ -67,7 +67,10 @@ fn build_cluster(nodes: u32, hpc: bool, noisy: bool, seed: u64) -> Cluster {
             b.build()
         })
         .collect();
-    Cluster::new(built, Interconnect::flat(nodes as usize, NetConfig::default()))
+    Cluster::new(
+        built,
+        Interconnect::flat(nodes as usize, NetConfig::default()),
+    )
 }
 
 /// Mean execution time (seconds) of the job on an N-node cluster.
@@ -176,9 +179,7 @@ fn main() {
     } else {
         "full"
     };
-    eprintln!(
-        "cluster bench ({flavour}): nodes {node_counts:?}, {iters} iters x {reps} reps"
-    );
+    eprintln!("cluster bench ({flavour}): nodes {node_counts:?}, {iters} iters x {reps} reps");
 
     let mut curves = Vec::new();
     for (mode, hpc) in [("cfs", false), ("hpc", true)] {

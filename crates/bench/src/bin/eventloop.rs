@@ -200,16 +200,34 @@ fn main() {
             name: "hpl-tickless",
             loop_bound: false,
             fast: best(|| job_run(tickless(), true, false, SchedMode::Hpc, true, reps, iters)),
-            reference: best(|| job_run(tickless(), true, false, SchedMode::Hpc, false, reps, iters)),
+            reference: best(|| {
+                job_run(tickless(), true, false, SchedMode::Hpc, false, reps, iters)
+            }),
         },
         Sweep {
             name: "std-cfs-busy",
             loop_bound: false,
             fast: best(|| {
-                job_run(KernelConfig::default(), false, false, SchedMode::Cfs, true, reps, iters)
+                job_run(
+                    KernelConfig::default(),
+                    false,
+                    false,
+                    SchedMode::Cfs,
+                    true,
+                    reps,
+                    iters,
+                )
             }),
             reference: best(|| {
-                job_run(KernelConfig::default(), false, false, SchedMode::Cfs, false, reps, iters)
+                job_run(
+                    KernelConfig::default(),
+                    false,
+                    false,
+                    SchedMode::Cfs,
+                    false,
+                    reps,
+                    iters,
+                )
             }),
         },
     ];
@@ -219,7 +237,11 @@ fn main() {
         if s.fast.fingerprint != s.reference.fingerprint || s.fast.events != s.reference.events {
             eprintln!(
                 "FAIL {}: fast path diverged (events {} vs {}, fp {:016x} vs {:016x})",
-                s.name, s.fast.events, s.reference.events, s.fast.fingerprint, s.reference.fingerprint
+                s.name,
+                s.fast.events,
+                s.reference.events,
+                s.fast.fingerprint,
+                s.reference.fingerprint
             );
             ok = false;
         }

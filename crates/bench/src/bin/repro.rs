@@ -111,8 +111,25 @@ fn main() {
 
     if which == "all" {
         for name in [
-            "fig1", "fig2", "fig3a", "fig3b", "fig4", "table1a", "table1b", "table2", "compare", "ablate",
-            "noise-sweep", "resonance", "energy", "scaling", "topo-ablate", "lwk", "coschedule", "uls", "irq",
+            "fig1",
+            "fig2",
+            "fig3a",
+            "fig3b",
+            "fig4",
+            "table1a",
+            "table1b",
+            "table2",
+            "compare",
+            "ablate",
+            "noise-sweep",
+            "resonance",
+            "energy",
+            "scaling",
+            "topo-ablate",
+            "lwk",
+            "coschedule",
+            "uls",
+            "irq",
         ] {
             println!("{:=^78}", format!(" {name} "));
             println!("{}", run(name, &opts));

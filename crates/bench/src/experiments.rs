@@ -178,17 +178,32 @@ fn time_histogram(label: &str, table: &RunTable, opts: &ExpOpts, csv_name: &str)
 /// execution-time distribution that motivates the whole paper.
 pub fn fig2(opts: &ExpOpts) -> String {
     let table = run_many(&ep_a_cfg(opts, SchedMode::Cfs, Scheduler::StandardLinux));
-    let mut out = String::from("Figure 2 — ep.A.8 execution time distribution (standard Linux)\n\n");
-    out.push_str(&time_histogram("ep.A.8 / std Linux", &table, opts, "fig2.csv"));
+    let mut out =
+        String::from("Figure 2 — ep.A.8 execution time distribution (standard Linux)\n\n");
+    out.push_str(&time_histogram(
+        "ep.A.8 / std Linux",
+        &table,
+        opts,
+        "fig2.csv",
+    ));
     out
 }
 
 /// Figure 4: ep.A.8 under the RT scheduler — tighter than CFS but not
 /// noise-free; RT balancing still migrates tasks.
 pub fn fig4(opts: &ExpOpts) -> String {
-    let table = run_many(&ep_a_cfg(opts, SchedMode::Rt { prio: 50 }, Scheduler::StandardLinux));
+    let table = run_many(&ep_a_cfg(
+        opts,
+        SchedMode::Rt { prio: 50 },
+        Scheduler::StandardLinux,
+    ));
     let mut out = String::from("Figure 4 — ep.A.8 execution time distribution (RT scheduler)\n\n");
-    out.push_str(&time_histogram("ep.A.8 / SCHED_FIFO", &table, opts, "fig4.csv"));
+    out.push_str(&time_histogram(
+        "ep.A.8 / SCHED_FIFO",
+        &table,
+        opts,
+        "fig4.csv",
+    ));
     let m = table.migration_summary();
     let c = table.switch_summary();
     let _ = writeln!(
@@ -228,7 +243,11 @@ pub fn fig3(opts: &ExpOpts, panel: Fig3Panel) -> String {
     let _ = writeln!(
         out,
         "Figure 3{} — ep.A.8 execution time vs {name} (standard Linux)\n",
-        if panel == Fig3Panel::Migrations { "a" } else { "b" }
+        if panel == Fig3Panel::Migrations {
+            "a"
+        } else {
+            "b"
+        }
     );
     out.push_str(&render_scatter(&xs, &times, 64, 16));
     let _ = writeln!(
@@ -271,7 +290,11 @@ fn run_nas_side(opts: &ExpOpts, sched: Scheduler, mode: SchedMode) -> Vec<(Strin
 /// every benchmark.
 pub fn table1(opts: &ExpOpts, hpl: bool) -> String {
     let (sched, mode, title) = if hpl {
-        (Scheduler::Hpl, SchedMode::Hpc, "Table Ib — Scheduler OS noise, HPL")
+        (
+            Scheduler::Hpl,
+            SchedMode::Hpc,
+            "Table Ib — Scheduler OS noise, HPL",
+        )
     } else {
         (
             Scheduler::StandardLinux,
@@ -280,7 +303,11 @@ pub fn table1(opts: &ExpOpts, hpl: bool) -> String {
         )
     };
     let rows = run_nas_side(opts, sched, mode);
-    let mut out = format!("{title} ({} reps)\n\n{}\n", opts.reps, report::table1_header());
+    let mut out = format!(
+        "{title} ({} reps)\n\n{}\n",
+        opts.reps,
+        report::table1_header()
+    );
     for (label, table) in &rows {
         let _ = writeln!(out, "{}", report::table1_row(label, table));
     }
@@ -309,7 +336,6 @@ pub fn table2(opts: &ExpOpts) -> String {
     );
     out
 }
-
 
 // -------------------------------------------------------------------
 // Paper-vs-measured comparison (the EXPERIMENTS.md headline table)
@@ -377,19 +403,29 @@ pub fn compare(opts: &ExpOpts) -> String {
 /// Ablation study over the design choices DESIGN.md calls out: class
 /// priority alone vs balancing suppression vs static pinning vs NETTICK.
 pub fn ablate(opts: &ExpOpts) -> String {
-    let mut out = String::from(
-        "Ablations — ep.A.8 and cg.A.8 execution time under scheduler variants\n\n",
-    );
+    let mut out =
+        String::from("Ablations — ep.A.8 and cg.A.8 execution time under scheduler variants\n\n");
     let variants: [(&str, Scheduler, SchedMode); 7] = [
         ("std-cfs", Scheduler::StandardLinux, SchedMode::Cfs),
-        ("std-nice-19", Scheduler::StandardLinux, SchedMode::CfsNice { nice: -19 }),
+        (
+            "std-nice-19",
+            Scheduler::StandardLinux,
+            SchedMode::CfsNice { nice: -19 },
+        ),
         ("std-pinned", Scheduler::StandardLinux, SchedMode::CfsPinned),
-        ("std-rt", Scheduler::StandardLinux, SchedMode::Rt { prio: 50 }),
+        (
+            "std-rt",
+            Scheduler::StandardLinux,
+            SchedMode::Rt { prio: 50 },
+        ),
         ("hpl-balance-on", Scheduler::HplBalanceOn, SchedMode::Hpc),
         ("hpl", Scheduler::Hpl, SchedMode::Hpc),
         ("hpl-tickless", Scheduler::HplTickless, SchedMode::Hpc),
     ];
-    for (bench, class) in [(NasBenchmark::Ep, NasClass::A), (NasBenchmark::Cg, NasClass::A)] {
+    for (bench, class) in [
+        (NasBenchmark::Ep, NasClass::A),
+        (NasBenchmark::Cg, NasClass::A),
+    ] {
         let _ = writeln!(out, "--- {}.{}.8 ---", bench.name(), class.name());
         for (name, sched, mode) in variants {
             let cfg = RunConfig::new(
@@ -436,10 +472,15 @@ pub fn noise_sweep(opts: &ExpOpts) -> String {
     );
     let probe = || noise_probe_job(8, 200, SimDuration::from_millis(1));
     // Ideal time: measured once on a quiet standard node.
-    let ideal_cfg = RunConfig::new("probe-ideal", probe(), SchedMode::Cfs, Scheduler::StandardLinux)
-        .with_reps(3)
-        .with_seed(opts.seed)
-        .with_noise(NoiseKind::Quiet);
+    let ideal_cfg = RunConfig::new(
+        "probe-ideal",
+        probe(),
+        SchedMode::Cfs,
+        Scheduler::StandardLinux,
+    )
+    .with_reps(3)
+    .with_seed(opts.seed)
+    .with_noise(NoiseKind::Quiet);
     let ideal = run_many(&ideal_cfg).time_summary().min();
     let sweeps = [
         (SimDuration::from_millis(10), SimDuration::from_micros(25)),
@@ -450,10 +491,15 @@ pub fn noise_sweep(opts: &ExpOpts) -> String {
     let reps = opts.reps.clamp(5, 30);
     for (period, duration) in sweeps {
         let noise = NoiseKind::Injection { period, duration };
-        let std_cfg = RunConfig::new("probe-std", probe(), SchedMode::Cfs, Scheduler::StandardLinux)
-            .with_reps(reps)
-            .with_seed(opts.seed)
-            .with_noise(noise.clone());
+        let std_cfg = RunConfig::new(
+            "probe-std",
+            probe(),
+            SchedMode::Cfs,
+            Scheduler::StandardLinux,
+        )
+        .with_reps(reps)
+        .with_seed(opts.seed)
+        .with_noise(noise.clone());
         let hpl_cfg = RunConfig::new("probe-hpl", probe(), SchedMode::Hpc, Scheduler::Hpl)
             .with_reps(reps)
             .with_seed(opts.seed)
@@ -551,7 +597,6 @@ pub fn resonance(opts: &ExpOpts) -> String {
     out
 }
 
-
 // -------------------------------------------------------------------
 // Extension E — strong scaling (the paper's §III motivation)
 // -------------------------------------------------------------------
@@ -563,9 +608,8 @@ pub fn resonance(opts: &ExpOpts) -> String {
 /// node is also SMT-saturated, so the standard scheduler's daemons can
 /// only run by displacing a rank.
 pub fn scaling(opts: &ExpOpts) -> String {
-    let mut out = String::from(
-        "Strong scaling — cg.A total work on 1/2/4/8 ranks (mean of reps)\n\n",
-    );
+    let mut out =
+        String::from("Strong scaling — cg.A total work on 1/2/4/8 ranks (mean of reps)\n\n");
     let _ = writeln!(
         out,
         "{:>6} | {:>12} {:>9} | {:>12} {:>9} | {:>9}",
@@ -620,8 +664,6 @@ pub fn scaling(opts: &ExpOpts) -> String {
     out
 }
 
-
-
 // -------------------------------------------------------------------
 // Extension G — HPL vs an idealised lightweight kernel
 // -------------------------------------------------------------------
@@ -634,21 +676,33 @@ pub fn scaling(opts: &ExpOpts) -> String {
 /// within a fraction of a percent of (c) despite hosting the full
 /// daemon population.
 pub fn lwk(opts: &ExpOpts) -> String {
-    let mut out = String::from(
-        "HPL vs lightweight kernel — residual noise of a full Linux stack\n\n",
-    );
+    let mut out =
+        String::from("HPL vs lightweight kernel — residual noise of a full Linux stack\n\n");
     let _ = writeln!(
         out,
         "{:>8} | {:>14} | {:>10} | {:>10} | {:>8} | {:>9}",
         "bench", "kernel", "min (s)", "avg (s)", "var %", "vs LWK"
     );
     let reps = opts.reps.clamp(5, 200);
-    for (bench, class) in [(NasBenchmark::Ep, NasClass::A), (NasBenchmark::Cg, NasClass::A)] {
+    for (bench, class) in [
+        (NasBenchmark::Ep, NasClass::A),
+        (NasBenchmark::Cg, NasClass::A),
+    ] {
         let mut lwk_avg = None;
         for (name, sched, mode, noise) in [
-            ("lwk (quiet)", Scheduler::Lwk, SchedMode::Hpc, NoiseKind::Quiet),
+            (
+                "lwk (quiet)",
+                Scheduler::Lwk,
+                SchedMode::Hpc,
+                NoiseKind::Quiet,
+            ),
             ("hpl", Scheduler::Hpl, SchedMode::Hpc, NoiseKind::Standard),
-            ("std-linux", Scheduler::StandardLinux, SchedMode::Cfs, NoiseKind::Standard),
+            (
+                "std-linux",
+                Scheduler::StandardLinux,
+                SchedMode::Cfs,
+                NoiseKind::Standard,
+            ),
         ] {
             let cfg = RunConfig::new(
                 format!("{}.{}.8-{name}", bench.name(), class.name()),
@@ -694,9 +748,7 @@ pub fn lwk(opts: &ExpOpts) -> String {
 /// The same workload runs on the js22 and on an x86-flavoured machine
 /// whose socket-wide L3 retains most of a migrated task's warmth.
 pub fn topo_ablate(opts: &ExpOpts) -> String {
-    let mut out = String::from(
-        "Topology ablation — migration cost vs cache sharing (cg.A.8)\n\n",
-    );
+    let mut out = String::from("Topology ablation — migration cost vs cache sharing (cg.A.8)\n\n");
     let _ = writeln!(
         out,
         "{:>22} | {:>10} | {:>10} | {:>10} | {:>8}",
@@ -764,7 +816,6 @@ pub fn topo_ablate(opts: &ExpOpts) -> String {
     out
 }
 
-
 // -------------------------------------------------------------------
 // Extension H — co-scheduling two applications
 // -------------------------------------------------------------------
@@ -776,9 +827,7 @@ pub fn topo_ablate(opts: &ExpOpts) -> String {
 /// eviction), while the HPC class round-robins whole 100 ms slices, so
 /// each job runs long cache-warm bursts.
 pub fn coschedule(opts: &ExpOpts) -> String {
-    let mut out = String::from(
-        "Co-scheduling — two 8-rank jobs (ep-like) sharing one node\n\n",
-    );
+    let mut out = String::from("Co-scheduling — two 8-rank jobs (ep-like) sharing one node\n\n");
     let _ = writeln!(
         out,
         "{:>10} | {:>12} | {:>12} | {:>10} | {:>10}",
@@ -826,8 +875,12 @@ pub fn coschedule(opts: &ExpOpts) -> String {
             let mut session = hpl_perf::PerfSession::open(&node.counters, node.now());
             let ha = launch(&mut node, &mk_job(0), mode);
             let hb = launch(&mut node, &mk_job(1_000_000), mode);
-            assert!(node.run_until_exit(ha.perf_pid, 40_000_000_000).is_complete());
-            assert!(node.run_until_exit(hb.perf_pid, 40_000_000_000).is_complete());
+            assert!(node
+                .run_until_exit(ha.perf_pid, 40_000_000_000)
+                .is_complete());
+            assert!(node
+                .run_until_exit(hb.perf_pid, 40_000_000_000)
+                .is_complete());
             session.close(&node.counters, node.now());
             let ta = node
                 .tasks
@@ -869,7 +922,6 @@ pub fn coschedule(opts: &ExpOpts) -> String {
     out
 }
 
-
 // -------------------------------------------------------------------
 // Extension I — user-level scheduler comparison (§IV / Catamount PCT)
 // -------------------------------------------------------------------
@@ -885,9 +937,8 @@ pub fn coschedule(opts: &ExpOpts) -> String {
 pub fn uls(opts: &ExpOpts) -> String {
     use hpl_kernel::{FnProgram, Pid, Step, TaskSpec};
     use hpl_topology::{CpuId, CpuMask};
-    let mut out = String::from(
-        "User-level scheduler — periodic re-pinning vs kernel-level HPL (ep.A.8)\n\n",
-    );
+    let mut out =
+        String::from("User-level scheduler — periodic re-pinning vs kernel-level HPL (ep.A.8)\n\n");
     let _ = writeln!(
         out,
         "{:>16} | {:>10} | {:>10} | {:>8} | {:>10}",
@@ -990,7 +1041,6 @@ pub fn uls(opts: &ExpOpts) -> String {
     out
 }
 
-
 // -------------------------------------------------------------------
 // Extension J — interrupt noise (the limit of scheduler-level fixes)
 // -------------------------------------------------------------------
@@ -1005,9 +1055,7 @@ pub fn uls(opts: &ExpOpts) -> String {
 pub fn irq(opts: &ExpOpts) -> String {
     use hpl_kernel::noise::IrqSpec;
     use hpl_topology::{CpuId, CpuMask};
-    let mut out = String::from(
-        "Interrupt noise — 8 kHz x 15 us NIC-style IRQ load (ep.A)\n\n",
-    );
+    let mut out = String::from("Interrupt noise — 8 kHz x 15 us NIC-style IRQ load (ep.A)\n\n");
     let _ = writeln!(
         out,
         "{:>10} | {:>22} | {:>10} | {:>10} | {:>8}",
@@ -1081,9 +1129,7 @@ pub fn irq(opts: &ExpOpts) -> String {
 /// power cost/benefit of HPL's "spin hot, never migrate" policy.
 pub fn energy(opts: &ExpOpts) -> String {
     use hpl_kernel::power::{energy_delay_product, energy_of_window, PowerModel};
-    let mut out = String::from(
-        "Energy — ep.A.8 per scheduler (POWER6-flavoured power model)\n\n",
-    );
+    let mut out = String::from("Energy — ep.A.8 per scheduler (POWER6-flavoured power model)\n\n");
     let _ = writeln!(
         out,
         "{:>12} | {:>9} | {:>9} | {:>8} | {:>6} | {:>10}",
@@ -1093,7 +1139,11 @@ pub fn energy(opts: &ExpOpts) -> String {
     let reps = opts.reps.clamp(3, 30);
     for (name, sched, mode) in [
         ("std-cfs", Scheduler::StandardLinux, SchedMode::Cfs),
-        ("std-rt", Scheduler::StandardLinux, SchedMode::Rt { prio: 50 }),
+        (
+            "std-rt",
+            Scheduler::StandardLinux,
+            SchedMode::Rt { prio: 50 },
+        ),
         ("hpl", Scheduler::Hpl, SchedMode::Hpc),
         ("hpl-tickless", Scheduler::HplTickless, SchedMode::Hpc),
     ] {

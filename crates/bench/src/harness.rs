@@ -103,7 +103,12 @@ pub struct RunConfig {
 
 impl RunConfig {
     /// Standard defaults on the paper's machine.
-    pub fn new(label: impl Into<String>, job: JobSpec, mode: SchedMode, scheduler: Scheduler) -> Self {
+    pub fn new(
+        label: impl Into<String>,
+        job: JobSpec,
+        mode: SchedMode,
+        scheduler: Scheduler,
+    ) -> Self {
         RunConfig {
             label: label.into(),
             job,
@@ -200,8 +205,8 @@ pub fn run_once(cfg: &RunConfig, rep: u64) -> RunRecord {
         Err(outcome) => (node.now().since(launched), outcome),
     };
     session.close(&node.counters, node.now());
-    let mut rec = RunRecord::from_delta(rep, exec.as_secs_f64(), &session.delta())
-        .with_outcome(outcome);
+    let mut rec =
+        RunRecord::from_delta(rep, exec.as_secs_f64(), &session.delta()).with_outcome(outcome);
     if let Some(id) = metrics_sink {
         let m = node
             .observer::<hpl_kernel::MetricsSink>(id)

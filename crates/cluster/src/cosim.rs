@@ -17,6 +17,12 @@
 //! the interconnect is itself deterministic, so a cluster run is exactly
 //! as replayable as a single-node run. The same seed produces the same
 //! fingerprint on the fast and reference event loops.
+//!
+//! The cluster supports **concurrent jobs**: each [`Self::launch_job_on`]
+//! places a job on a subset of nodes, jobs sharing a node must reserve
+//! disjoint channel-id ranges ([`JobSpec::id_range`]), and completion is
+//! tracked per [`ClusterJobHandle`] so a batch driver (see `hpl-batch`)
+//! can overlap jobs and harvest them independently.
 
 use crate::net::Interconnect;
 use hpl_kernel::observe::ChromeTraceSink;
@@ -25,23 +31,41 @@ use hpl_mpi::{find_mpiexec, spawn_job_tree, JobSpec, SchedMode};
 use hpl_sim::time::{SimDuration, SimTime};
 use std::fmt::Write as _;
 
-/// Handle to a job running across the cluster: one launcher tree per
-/// node.
+/// Handle to a job running across (a subset of) the cluster: one
+/// launcher tree per job node.
 #[derive(Debug, Clone)]
 pub struct ClusterJobHandle {
-    /// Root (`perf`) pid on each node, index = cluster node.
+    /// Index of this job in the cluster's launch order (stable; jobs are
+    /// never removed from the routing table).
+    pub job_id: usize,
+    /// Cluster node hosting each job-relative node: `placement[j]` is
+    /// the cluster index of job node `j`.
+    pub placement: Vec<usize>,
+    /// Root (`perf`) pid on each job node, index = **job-relative**
+    /// node (cluster node `placement[j]`).
     pub perf_pids: Vec<Pid>,
-    /// Per-node launch times (nodes need not share a clock).
+    /// Per-job-node launch times (nodes need not share a clock).
     pub launched_at: Vec<SimTime>,
+}
+
+/// A launched job the cluster routes messages for. Jobs stay in the
+/// table after completing (their ids keep routing deterministic); the
+/// id-range disjointness rule makes dead entries unreachable.
+struct ActiveJob {
+    job: JobSpec,
+    /// Job-relative node -> cluster node.
+    placement: Vec<usize>,
+    /// Root (`perf`) pid per job-relative node.
+    perf_pids: Vec<Pid>,
 }
 
 /// N co-simulated kernel nodes joined by an interconnect.
 pub struct Cluster {
     nodes: Vec<Node>,
     net: Interconnect,
-    /// Placement/channel map of the active job; routes captured
+    /// Every job ever launched, in launch order; routes captured
     /// [`hpl_kernel::NetMsg`]s to their destination nodes.
-    job: Option<JobSpec>,
+    jobs: Vec<ActiveJob>,
 }
 
 impl Cluster {
@@ -55,7 +79,11 @@ impl Cluster {
             nodes.len(),
             "interconnect fabric size must match the node count"
         );
-        Cluster { nodes, net, job: None }
+        Cluster {
+            nodes,
+            net,
+            jobs: Vec::new(),
+        }
     }
 
     /// Number of nodes.
@@ -75,7 +103,7 @@ impl Cluster {
 
     /// Mutable access to node `i` (observer registration, warmup, …).
     /// Stepping a node directly while a job is in flight breaks
-    /// lockstep; do it only before [`Self::launch_job`].
+    /// lockstep; do it only before the first launch.
     pub fn node_mut(&mut self, i: usize) -> &mut Node {
         &mut self.nodes[i]
     }
@@ -112,29 +140,85 @@ impl Cluster {
         h
     }
 
-    /// Launch `job` across the cluster: register its cross-node channels
-    /// on each source node, then spawn one `perf → (chrt →) mpiexec →
-    /// ranks` tree per node, *without* stepping any node (lockstep
-    /// starts with [`Self::step_window`]). One job at a time: the
-    /// cluster routes messages by the job's channel map.
+    /// Launch `job` across the **whole** cluster (identity placement:
+    /// job node `j` on cluster node `j`). Equivalent to
+    /// [`Self::launch_job_on`] with `[0, 1, …, len-1]`.
     pub fn launch_job(&mut self, job: &JobSpec, mode: SchedMode) -> ClusterJobHandle {
         assert_eq!(
             job.nodes as usize,
             self.nodes.len(),
             "job placement does not match cluster size"
         );
-        assert!(self.job.is_none(), "cluster already has an active job");
-        let mut perf_pids = Vec::with_capacity(self.nodes.len());
-        let mut launched_at = Vec::with_capacity(self.nodes.len());
-        for (i, node) in self.nodes.iter_mut().enumerate() {
-            for chan in job.cross_node_channels(i as u32) {
+        let placement: Vec<usize> = (0..self.nodes.len()).collect();
+        self.launch_job_on(job, mode, &placement)
+    }
+
+    /// Launch `job` on the cluster-node subset `placement` (job node `j`
+    /// runs on cluster node `placement[j]`): register its cross-node
+    /// channels on each source node, then spawn one `perf → (chrt →)
+    /// mpiexec → ranks` tree per job node, *without* stepping any node
+    /// (lockstep starts with [`Self::step_window`]). Jobs may overlap in
+    /// time and share nodes, but jobs that share a node must reserve
+    /// disjoint id ranges ([`JobSpec::with_id_base`]) so message routing
+    /// stays unambiguous — this is asserted here.
+    pub fn launch_job_on(
+        &mut self,
+        job: &JobSpec,
+        mode: SchedMode,
+        placement: &[usize],
+    ) -> ClusterJobHandle {
+        assert_eq!(
+            job.nodes as usize,
+            placement.len(),
+            "job wants {} nodes but placement has {}",
+            job.nodes,
+            placement.len()
+        );
+        for (j, &n) in placement.iter().enumerate() {
+            assert!(
+                n < self.nodes.len(),
+                "placement[{j}] = {n} outside the cluster"
+            );
+            assert!(
+                !placement[..j].contains(&n),
+                "placement maps two job nodes onto cluster node {n}"
+            );
+        }
+        for prev in &self.jobs {
+            if !prev.placement.iter().any(|n| placement.contains(n)) {
+                continue;
+            }
+            let (a, b) = (prev.job.id_range(), job.id_range());
+            assert!(
+                a.end() < b.start() || b.end() < a.start(),
+                "jobs sharing a node must have disjoint id ranges \
+                 ({:?} vs {:?}); use JobSpec::with_id_base",
+                a,
+                b
+            );
+        }
+        let mut perf_pids = Vec::with_capacity(placement.len());
+        let mut launched_at = Vec::with_capacity(placement.len());
+        for (j, &n) in placement.iter().enumerate() {
+            let node = &mut self.nodes[n];
+            for chan in job.cross_node_channels(j as u32) {
                 node.register_net_channel(chan);
             }
             launched_at.push(node.now());
-            perf_pids.push(spawn_job_tree(node, job, mode, i as u32));
+            perf_pids.push(spawn_job_tree(node, job, mode, j as u32));
         }
-        self.job = Some(job.clone());
-        ClusterJobHandle { perf_pids, launched_at }
+        let job_id = self.jobs.len();
+        self.jobs.push(ActiveJob {
+            job: job.clone(),
+            placement: placement.to_vec(),
+            perf_pids: perf_pids.clone(),
+        });
+        ClusterJobHandle {
+            job_id,
+            placement: placement.to_vec(),
+            perf_pids,
+            launched_at,
+        }
     }
 
     /// Advance one lockstep window. Returns `false` when every node's
@@ -161,22 +245,25 @@ impl Cluster {
     /// Drain captured cross-node messages from every node, cost them on
     /// the interconnect, and schedule the deliveries. Deterministic:
     /// nodes are drained in index order and each node's capture order is
-    /// its own dispatch order.
+    /// its own dispatch order. Each message is routed by the unique job
+    /// that (a) placed a node on the source and (b) owns the channel id
+    /// — unique because overlapping jobs have disjoint id ranges.
     fn route_outbound(&mut self) {
         for src in 0..self.nodes.len() {
             if !self.nodes[src].has_outbound() {
                 continue;
             }
-            let job = self
-                .job
-                .as_ref()
-                .expect("outbound network message without an active job");
             let msgs = self.nodes[src].take_outbound();
             for m in msgs {
-                let dst = job
-                    .chan_dst_node(m.chan)
-                    .expect("outbound message on a channel outside the job's pairwise range")
-                    as usize;
+                let (job, placement) = self
+                    .jobs
+                    .iter()
+                    .filter(|aj| aj.placement.contains(&src))
+                    .find(|aj| aj.job.chan_dst_node(m.chan).is_some())
+                    .map(|aj| (&aj.job, &aj.placement))
+                    .expect("outbound message on a channel no job on this node owns");
+                let dst_job = job.chan_dst_node(m.chan).expect("checked above") as usize;
+                let dst = placement[dst_job];
                 debug_assert_ne!(dst, src, "cross-node send routed back to its source");
                 let (deliver_at, queued) = self.net.transfer(m.at, src, dst, m.bytes);
                 self.nodes[dst].post_net_delivery(deliver_at, m.chan, m.tokens, m.at, queued);
@@ -184,7 +271,8 @@ impl Cluster {
         }
     }
 
-    /// Run lockstep windows until every node's launcher tree has exited,
+    /// Run lockstep windows until **this handle's** launcher trees have
+    /// exited (other in-flight jobs keep running and are untouched),
     /// then return the **application execution time**: the longest
     /// per-node `mpiexec` lifetime, which is what the paper's
     /// per-benchmark timers report. Fails with
@@ -206,18 +294,9 @@ impl Cluster {
                 return Err(RunOutcome::BudgetExhausted);
             }
         }
-        let mut exec = SimDuration::ZERO;
-        for (i, node) in self.nodes.iter().enumerate() {
-            let mpiexec = find_mpiexec(node, handle.perf_pids[i])
-                .expect("completed job implies mpiexec existed");
-            let exited = node
-                .tasks
-                .get(mpiexec)
-                .exited_at
-                .expect("completed job implies mpiexec exited");
-            exec = exec.max(exited.since(handle.launched_at[i]));
-        }
-        Ok(exec)
+        Ok(self
+            .job_exec_time(handle)
+            .expect("job_done implies mpiexec exited"))
     }
 
     /// Panicking convenience wrapper around
@@ -228,13 +307,47 @@ impl Cluster {
             .unwrap_or_else(|outcome| panic!("cluster job did not complete: {}", outcome.label()))
     }
 
-    /// True iff the whole launcher tree has exited on every node.
+    /// True iff the whole launcher tree has exited on every node **of
+    /// this job** — other jobs do not affect the answer.
     pub fn job_done(&self, handle: &ClusterJobHandle) -> bool {
         handle
             .perf_pids
             .iter()
-            .enumerate()
-            .all(|(i, &pid)| self.nodes[i].tasks.get(pid).state == TaskState::Dead)
+            .zip(&handle.placement)
+            .all(|(&pid, &n)| self.nodes[n].tasks.get(pid).state == TaskState::Dead)
+    }
+
+    /// Application execution time of a completed job: the longest
+    /// per-node `mpiexec` lifetime since launch. `None` until every
+    /// node's mpiexec has exited.
+    pub fn job_exec_time(&self, handle: &ClusterJobHandle) -> Option<SimDuration> {
+        let mut exec = SimDuration::ZERO;
+        for (j, &n) in handle.placement.iter().enumerate() {
+            let node = &self.nodes[n];
+            let mpiexec = find_mpiexec(node, handle.perf_pids[j])?;
+            let exited = node.tasks.get(mpiexec).exited_at?;
+            exec = exec.max(exited.since(handle.launched_at[j]));
+        }
+        Some(exec)
+    }
+
+    /// Number of jobs currently occupying cluster node `n`: launched,
+    /// placed on `n`, and whose launcher tree on `n` has not yet exited.
+    /// This is the quantity a batch policy's occupancy limit bounds.
+    pub fn active_jobs_on(&self, n: usize) -> usize {
+        self.jobs
+            .iter()
+            .filter(|aj| {
+                aj.placement.iter().position(|&p| p == n).is_some_and(|j| {
+                    self.nodes[n].tasks.get(aj.perf_pids[j]).state != TaskState::Dead
+                })
+            })
+            .count()
+    }
+
+    /// Total jobs ever launched on the cluster.
+    pub fn jobs_launched(&self) -> usize {
+        self.jobs.len()
     }
 
     /// Merge each node's [`ChromeTraceSink`] into a single Chrome-trace
@@ -265,7 +378,7 @@ impl std::fmt::Debug for Cluster {
         f.debug_struct("Cluster")
             .field("nodes", &self.nodes.len())
             .field("net", &self.net)
-            .field("active_job", &self.job.is_some())
+            .field("jobs_launched", &self.jobs.len())
             .finish()
     }
 }

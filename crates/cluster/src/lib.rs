@@ -317,10 +317,7 @@ mod tests {
         let m = ResonanceModel::new(noisy(), 50);
         let curve = m.slowdown_curve(&[1, 16, 256, 4096], 40, 7);
         for w in curve.windows(2) {
-            assert!(
-                w[1].1 >= w[0].1,
-                "slowdown must be monotone: {curve:?}"
-            );
+            assert!(w[1].1 >= w[0].1, "slowdown must be monotone: {curve:?}");
         }
         // At one node the slowdown is modest (mean/min = 1.1).
         assert!(curve[0].1 < 1.3);
@@ -333,10 +330,7 @@ mod tests {
         // Config A: full capacity, noisy. Config B: 8/7 slower (one core
         // donated to the OS) but tail-free — the Petrini trade.
         let a = ResonanceModel::new(noisy(), 50);
-        let b = ResonanceModel::new(
-            noisy().clipped_at_quantile(0.94).scaled(8.0 / 7.0),
-            50,
-        );
+        let b = ResonanceModel::new(noisy().clipped_at_quantile(0.94).scaled(8.0 / 7.0), 50);
         let rows = compare_configs(&a, &b, &[1, 4096], 40, 11);
         let (_, a1, b1) = rows[0];
         let (_, a4k, b4k) = rows[1];
@@ -362,7 +356,10 @@ mod tests {
         let m = ResonanceModel::new(noisy(), 10);
         let an = m.expected_time_analytic(1);
         let expected = m.per_phase.mean() * 10.0;
-        assert!((an - expected).abs() / expected < 0.01, "{an} vs {expected}");
+        assert!(
+            (an - expected).abs() / expected < 0.01,
+            "{an} vs {expected}"
+        );
     }
 
     #[test]
@@ -375,10 +372,7 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let m = ResonanceModel::new(noisy(), 10);
-        assert_eq!(
-            m.expected_time(64, 10, 3),
-            m.expected_time(64, 10, 3)
-        );
+        assert_eq!(m.expected_time(64, 10, 3), m.expected_time(64, 10, 3));
     }
 
     #[test]
@@ -389,7 +383,10 @@ mod tests {
 
     #[test]
     fn try_new_reports_bad_input_instead_of_panicking() {
-        assert_eq!(EmpiricalDist::try_new(vec![]).unwrap_err(), DistError::Empty);
+        assert_eq!(
+            EmpiricalDist::try_new(vec![]).unwrap_err(),
+            DistError::Empty
+        );
         assert_eq!(
             EmpiricalDist::try_new(vec![1.0, f64::NAN]).unwrap_err(),
             DistError::NonFinite

@@ -97,7 +97,10 @@ impl Fabric for FlatFabric {
 
     fn route(&self, src: usize, dst: usize) -> Route {
         debug_assert!(src != dst && src < self.nodes && dst < self.nodes);
-        Route { links: vec![src], cfg: self.cfg }
+        Route {
+            links: vec![src],
+            cfg: self.cfg,
+        }
     }
 
     fn min_alpha(&self) -> SimDuration {
@@ -139,7 +142,10 @@ impl Fabric for SwitchedFabric {
     fn route(&self, src: usize, dst: usize) -> Route {
         debug_assert!(src != dst && src < self.nodes && dst < self.nodes);
         // Links [0, n) are uplinks, [n, 2n) downlinks.
-        Route { links: vec![src, self.nodes + dst], cfg: self.cfg }
+        Route {
+            links: vec![src, self.nodes + dst],
+            cfg: self.cfg,
+        }
     }
 
     fn min_alpha(&self) -> SimDuration {
@@ -247,7 +253,10 @@ mod tests {
     use super::*;
 
     fn cfg() -> NetConfig {
-        NetConfig { alpha: SimDuration::from_micros(5), beta_ns_per_byte: 1.0 }
+        NetConfig {
+            alpha: SimDuration::from_micros(5),
+            beta_ns_per_byte: 1.0,
+        }
     }
 
     #[test]
@@ -256,7 +265,10 @@ mod tests {
         let at = SimTime::from_nanos(1_000);
         let (deliver, queued) = net.transfer(at, 0, 1, 1_000);
         // 1000 B at 1 ns/B + 5 us alpha.
-        assert_eq!(deliver, at + SimDuration::from_nanos(1_000) + SimDuration::from_micros(5));
+        assert_eq!(
+            deliver,
+            at + SimDuration::from_nanos(1_000) + SimDuration::from_micros(5)
+        );
         assert_eq!(queued, SimDuration::ZERO);
     }
 

@@ -76,14 +76,14 @@ fn four_node_job_completes_on_switched_fabric() {
                 .build()
         })
         .collect();
-    let mut cluster = Cluster::new(
-        built,
-        Interconnect::switched(nodes, NetConfig::default()),
-    );
+    let mut cluster = Cluster::new(built, Interconnect::switched(nodes, NetConfig::default()));
     let handle = cluster.launch_job(&job(nodes as u32, 4, 3), SchedMode::Hpc);
     let exec = cluster.run_to_completion(&handle, 200_000_000);
     assert!(exec.as_nanos() > 6_000_000);
-    assert!(cluster.net().messages() > 0, "inter-node rounds must use the fabric");
+    assert!(
+        cluster.net().messages() > 0,
+        "inter-node rounds must use the fabric"
+    );
 }
 
 #[test]
@@ -102,4 +102,65 @@ fn single_node_cluster_matches_plain_launch() {
     assert!(exec > 8_000_000);
     let cluster = build_cluster(1, true, true, 9);
     assert_eq!(cluster.net().messages(), 0);
+}
+
+#[test]
+fn two_overlapping_jobs_complete_per_handle() {
+    // Regression for the single-outstanding-job assumption: a short job
+    // on node 0 and a long job on node 1, in flight at the same time.
+    // Completion must be per-handle — the short job reporting done must
+    // not depend on (or imply) the long one.
+    let mut cluster = build_cluster(2, true, true, 77);
+    let short = job(1, 4, 2).with_id_base(10_000);
+    let long = job(1, 4, 12).with_id_base(20_000);
+    let h_short = cluster.launch_job_on(&short, SchedMode::Hpc, &[0]);
+    let h_long = cluster.launch_job_on(&long, SchedMode::Hpc, &[1]);
+    assert_eq!(cluster.active_jobs_on(0), 1);
+    assert_eq!(cluster.active_jobs_on(1), 1);
+
+    let exec_short = cluster.run_to_completion(&h_short, 200_000_000);
+    assert!(cluster.job_done(&h_short));
+    assert!(
+        !cluster.job_done(&h_long),
+        "short-job completion must not falsely mark the long job done"
+    );
+    assert_eq!(cluster.active_jobs_on(0), 0);
+    assert_eq!(cluster.active_jobs_on(1), 1);
+
+    let exec_long = cluster.run_to_completion(&h_long, 200_000_000);
+    assert!(cluster.job_done(&h_long));
+    assert!(
+        exec_long > exec_short,
+        "12-iteration job ({exec_long}) should outlast the 2-iteration one ({exec_short})"
+    );
+    assert_eq!(cluster.active_jobs_on(1), 0);
+}
+
+#[test]
+fn two_concurrent_multi_node_jobs_share_the_cluster() {
+    // Two 2-node jobs co-resident on the same two nodes (disjoint id
+    // ranges): cross-node traffic from both must route correctly and
+    // each handle must complete independently.
+    let mut cluster = build_cluster(2, true, true, 99);
+    let a = job(2, 4, 3).with_id_base(10_000);
+    let b = job(2, 4, 3).with_id_base(20_000);
+    let ha = cluster.launch_job_on(&a, SchedMode::Hpc, &[0, 1]);
+    let hb = cluster.launch_job_on(&b, SchedMode::Hpc, &[0, 1]);
+    assert_eq!(cluster.active_jobs_on(0), 2);
+    let exec_a = cluster.run_to_completion(&ha, 400_000_000);
+    let exec_b = cluster.run_to_completion(&hb, 400_000_000);
+    assert!(exec_a.as_nanos() > 6_000_000);
+    assert!(exec_b.as_nanos() > 6_000_000);
+    assert!(cluster.job_done(&ha) && cluster.job_done(&hb));
+    assert!(cluster.net().messages() > 0);
+}
+
+#[test]
+#[should_panic(expected = "disjoint id ranges")]
+fn overlapping_id_ranges_on_shared_node_rejected() {
+    let mut cluster = build_cluster(2, true, true, 5);
+    let a = job(1, 4, 2).with_id_base(10_000);
+    let b = job(1, 4, 2).with_id_base(10_004);
+    cluster.launch_job_on(&a, SchedMode::Hpc, &[0]);
+    cluster.launch_job_on(&b, SchedMode::Hpc, &[0]);
 }

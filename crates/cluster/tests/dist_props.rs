@@ -48,14 +48,19 @@ proptest! {
 /// the finiteness scan), and the `Display` messages are stable.
 #[test]
 fn try_new_error_paths() {
-    assert_eq!(EmpiricalDist::try_new(vec![]).unwrap_err(), DistError::Empty);
+    assert_eq!(
+        EmpiricalDist::try_new(vec![]).unwrap_err(),
+        DistError::Empty
+    );
     // Empty wins even though there is nothing non-finite to find.
     assert_eq!(
         EmpiricalDist::try_new(Vec::new()).unwrap_err().to_string(),
         "empirical distribution needs samples"
     );
     assert_eq!(
-        EmpiricalDist::try_new(vec![f64::NAN]).unwrap_err().to_string(),
+        EmpiricalDist::try_new(vec![f64::NAN])
+            .unwrap_err()
+            .to_string(),
         "non-finite sample in empirical distribution"
     );
     // A lone zero or negative sample is legal — only NaN/inf are not.

@@ -53,7 +53,10 @@ impl Program for ChrtProgram {
 /// the HPC class, and then executes the payload program.
 pub fn chrt_spec(name: impl Into<String>, payload: TaskSpec) -> TaskSpec {
     let TaskSpec {
-        program, affinity, tag, ..
+        program,
+        affinity,
+        tag,
+        ..
     } = payload;
     let mut spec = TaskSpec::new(
         name,
@@ -78,14 +81,13 @@ mod tests {
 
     #[test]
     fn chrt_moves_task_into_hpc_class() {
-        let mut node = hpl_node_builder(Topology::power6_js22()).with_seed(1).build();
+        let mut node = hpl_node_builder(Topology::power6_js22())
+            .with_seed(1)
+            .build();
         let payload = TaskSpec::new(
             "app",
             Policy::Hpc, // ignored; chrt decides the birth policy
-            ScriptProgram::boxed(
-                "app",
-                vec![Step::Compute(SimDuration::from_millis(5))],
-            ),
+            ScriptProgram::boxed("app", vec![Step::Compute(SimDuration::from_millis(5))]),
         );
         let pid = node.spawn(chrt_spec("chrt", payload));
         // At spawn the task is CFS...
@@ -99,12 +101,8 @@ mod tests {
 
     #[test]
     fn chrt_preserves_tag_and_affinity() {
-        let payload = TaskSpec::new(
-            "app",
-            Policy::Hpc,
-            ScriptProgram::boxed("app", vec![]),
-        )
-        .with_tag(42);
+        let payload =
+            TaskSpec::new("app", Policy::Hpc, ScriptProgram::boxed("app", vec![])).with_tag(42);
         let spec = chrt_spec("chrt", payload);
         assert_eq!(spec.tag, Some(42));
         assert_eq!(spec.policy, Policy::Normal { nice: 0 });

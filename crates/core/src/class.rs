@@ -208,8 +208,7 @@ impl SchedClass for HplClass {
             .all_cpus()
             .iter()
             .any(|c| task.can_run_on(c) && core_load(c) == 0);
-        let contended =
-            load[prev.index()] >= 1 || (free_core_exists && core_load(prev) >= 1);
+        let contended = load[prev.index()] >= 1 || (free_core_exists && core_load(prev) >= 1);
         let free_exists = free_core_exists
             || (0..load.len()).any(|i| load[i] == 0 && task.can_run_on(CpuId(i as u32)));
         if contended && free_exists {

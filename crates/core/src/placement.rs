@@ -96,9 +96,8 @@ mod tests {
         assert_eq!(got[1], 4); // socket1 core2 thread0 (other chip!)
         assert_eq!(got[2], 2); // socket0 core1 thread0
         assert_eq!(got[3], 6); // socket1 core3 thread0
-        // All four cores used before any SMT sibling.
-        let first_four: std::collections::HashSet<u32> =
-            got[..4].iter().map(|&c| c / 2).collect();
+                               // All four cores used before any SMT sibling.
+        let first_four: std::collections::HashSet<u32> = got[..4].iter().map(|&c| c / 2).collect();
         assert_eq!(first_four.len(), 4, "one task per core first");
         // Next four fill the second hardware threads.
         let second: Vec<u32> = got[4..].iter().map(|&c| c % 2).collect();

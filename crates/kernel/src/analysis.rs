@@ -81,8 +81,7 @@ impl TraceAnalysis {
                     }
                     if let Some(prev) = from {
                         if let Some((since, _)) = running_since.remove(&prev) {
-                            *running_total.entry(prev).or_default() +=
-                                t.since(since.max(start));
+                            *running_total.entry(prev).or_default() += t.since(since.max(start));
                         }
                         if let Some(next) = to {
                             // Candidate preemption: resolved when (if)

@@ -31,8 +31,7 @@ impl BalanceClock {
                 .map(|d| {
                     SimTime::ZERO
                         + SimDuration::from_nanos(
-                            d.balance_interval_ns * (cpu as u64 + 1)
-                                / (domains.cpus() as u64 + 1),
+                            d.balance_interval_ns * (cpu as u64 + 1) / (domains.cpus() as u64 + 1),
                         )
                 })
                 .collect();
@@ -77,8 +76,7 @@ impl BalanceClock {
         let factor = if busy { Self::BUSY_FACTOR } else { 1 };
         for (level, domain) in chain.iter().enumerate() {
             if now >= slots[level] {
-                slots[level] =
-                    now + SimDuration::from_nanos(domain.balance_interval_ns * factor);
+                slots[level] = now + SimDuration::from_nanos(domain.balance_interval_ns * factor);
                 f(level);
             }
         }
@@ -110,7 +108,9 @@ mod tests {
         let cpu = CpuId(0);
 
         // Nothing due at t=0 (staggered offsets are positive).
-        assert!(clock.due_levels(cpu, SimTime::ZERO, &domains, false).is_empty());
+        assert!(clock
+            .due_levels(cpu, SimTime::ZERO, &domains, false)
+            .is_empty());
 
         // Far in the future everything is due at once.
         let later = SimTime::ZERO + SimDuration::from_secs(1);
@@ -159,7 +159,12 @@ mod tests {
         let topo = Topology::smp(2);
         let domains = DomainHierarchy::build(&topo);
         let mut clock = BalanceClock::new(&domains);
-        let due = clock.due_levels(CpuId(0), SimTime::ZERO + SimDuration::from_secs(1), &domains, false);
+        let due = clock.due_levels(
+            CpuId(0),
+            SimTime::ZERO + SimDuration::from_secs(1),
+            &domains,
+            false,
+        );
         assert_eq!(due, vec![0]);
     }
 }

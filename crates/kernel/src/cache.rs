@@ -145,7 +145,10 @@ mod tests {
     fn warmth_starts_cold() {
         let (cfg, topo, model) = setup();
         assert_eq!(model.warmth(&topo, CpuId(0), Pid(1)), 0.0);
-        assert!((model.speed_factor(&cfg, &topo, CpuId(0), Pid(1)) - cfg.cache_cold_factor).abs() < 1e-12);
+        assert!(
+            (model.speed_factor(&cfg, &topo, CpuId(0), Pid(1)) - cfg.cache_cold_factor).abs()
+                < 1e-12
+        );
     }
 
     #[test]
@@ -185,7 +188,10 @@ mod tests {
         // Daemon runs 5ms on the same core.
         model.run_for(&cfg, &topo, CpuId(0), daemon, SimDuration::from_millis(5));
         let after = model.warmth(&topo, CpuId(0), hpc);
-        assert!(after < before * 0.5, "eviction too weak: {before} -> {after}");
+        assert!(
+            after < before * 0.5,
+            "eviction too weak: {before} -> {after}"
+        );
     }
 
     #[test]

@@ -255,12 +255,8 @@ impl SchedClass for CfsClass {
         // Ideal slice: latency share proportional to weight, floored at
         // min_granularity.
         let total_weight = rq.queued_weight + task.weight;
-        let slice_ns = ctx
-            .cfg
-            .sched_latency
-            .as_nanos()
-            .saturating_mul(task.weight)
-            / total_weight.max(1);
+        let slice_ns =
+            ctx.cfg.sched_latency.as_nanos().saturating_mul(task.weight) / total_weight.max(1);
         let slice = SimDuration::from_nanos(slice_ns).max(ctx.cfg.min_granularity);
         if task.ran_since_pick >= slice {
             return true;
@@ -276,13 +272,7 @@ impl SchedClass for CfsClass {
         false
     }
 
-    fn wakeup_preempt(
-        &self,
-        _cpu: CpuId,
-        curr: &Task,
-        woken: &Task,
-        ctx: &SchedCtx<'_>,
-    ) -> bool {
+    fn wakeup_preempt(&self, _cpu: CpuId, curr: &Task, woken: &Task, ctx: &SchedCtx<'_>) -> bool {
         // SCHED_BATCH tasks neither preempt nor get preempted on wakeup.
         if matches!(woken.policy, Policy::Batch { .. })
             || matches!(curr.policy, Policy::Batch { .. })
@@ -345,9 +335,7 @@ impl SchedClass for CfsClass {
             let key = (socket_load(cpu), core_load(cpu), snap.nr_running[idx]);
             let better = match best {
                 None => true,
-                Some((bk, bc)) => {
-                    key < bk || (key == bk && cpu == parent_cpu && bc != parent_cpu)
-                }
+                Some((bk, bc)) => key < bk || (key == bk && cpu == parent_cpu && bc != parent_cpu),
             };
             if better {
                 best = Some((key, cpu));
@@ -701,8 +689,7 @@ mod tests {
             snap.nr_running[cpu.index()] += 1;
             placed.push(cpu);
         }
-        let cores: std::collections::HashSet<u32> =
-            placed.iter().map(|c| c.0 / 2).collect();
+        let cores: std::collections::HashSet<u32> = placed.iter().map(|c| c.0 / 2).collect();
         assert_eq!(cores.len(), 4, "one per core first: {placed:?}");
     }
 
@@ -898,7 +885,12 @@ mod tests {
         cfs.init(8);
         let mut tt = TaskTable::new();
         let pinned = tt.alloc(|p| {
-            Task::new(p, "pinned", Policy::Normal { nice: 0 }, CpuMask::single(CpuId(4)))
+            Task::new(
+                p,
+                "pinned",
+                Policy::Normal { nice: 0 },
+                CpuMask::single(CpuId(4)),
+            )
         });
         let ctx = fx.ctx();
         tt.get_mut(pinned).cpu = CpuId(4);

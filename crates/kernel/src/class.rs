@@ -169,13 +169,7 @@ pub trait SchedClass {
     }
 
     /// Should `woken` (same class) preempt `curr` right now?
-    fn wakeup_preempt(
-        &self,
-        cpu: CpuId,
-        curr: &Task,
-        woken: &Task,
-        ctx: &SchedCtx<'_>,
-    ) -> bool;
+    fn wakeup_preempt(&self, cpu: CpuId, curr: &Task, woken: &Task, ctx: &SchedCtx<'_>) -> bool;
 
     /// Number of tasks queued (excluding any running task).
     fn nr_queued(&self, cpu: CpuId) -> u32;

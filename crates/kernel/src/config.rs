@@ -164,7 +164,10 @@ impl KernelConfig {
             return Err("tick_period must be non-zero".into());
         }
         if !(0.0..=1.0).contains(&self.smt_busy_factor) || self.smt_busy_factor <= 0.0 {
-            return Err(format!("smt_busy_factor {} out of (0,1]", self.smt_busy_factor));
+            return Err(format!(
+                "smt_busy_factor {} out of (0,1]",
+                self.smt_busy_factor
+            ));
         }
         if !(0.0..=1.0).contains(&self.cache_cold_factor) || self.cache_cold_factor <= 0.0 {
             return Err(format!(

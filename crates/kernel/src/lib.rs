@@ -60,8 +60,8 @@ pub mod cfs;
 pub mod class;
 pub mod config;
 pub mod idle;
-pub mod noise;
 pub mod node;
+pub mod noise;
 pub mod observe;
 pub mod power;
 pub mod program;

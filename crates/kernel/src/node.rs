@@ -44,7 +44,10 @@ use hpl_topology::{CpuId, CpuMask, DomainHierarchy, Topology};
 #[derive(Debug, Clone)]
 enum Ev {
     Tick(CpuId),
-    SegDone { cpu: CpuId, gen: u64 },
+    SegDone {
+        cpu: CpuId,
+        gen: u64,
+    },
     TimerWake(Pid),
     Irq,
     /// A cross-node message arriving from the cluster interconnect:
@@ -135,31 +138,6 @@ impl NodeBuilder {
         self
     }
 
-    /// Deprecated alias of [`Self::with_config`] (the workspace settled
-    /// on `with_*` builder naming).
-    #[deprecated(since = "0.2.0", note = "renamed to with_config")]
-    pub fn config(self, cfg: KernelConfig) -> Self {
-        self.with_config(cfg)
-    }
-
-    /// Deprecated alias of [`Self::with_noise`].
-    #[deprecated(since = "0.2.0", note = "renamed to with_noise")]
-    pub fn noise(self, noise: NoiseProfile) -> Self {
-        self.with_noise(noise)
-    }
-
-    /// Deprecated alias of [`Self::with_hpc_class`].
-    #[deprecated(since = "0.2.0", note = "renamed to with_hpc_class")]
-    pub fn hpc_class(self, class: Box<dyn SchedClass>) -> Self {
-        self.with_hpc_class(class)
-    }
-
-    /// Deprecated alias of [`Self::with_seed`].
-    #[deprecated(since = "0.2.0", note = "renamed to with_seed")]
-    pub fn seed(self, seed: u64) -> Self {
-        self.with_seed(seed)
-    }
-
     /// Boot the node: builds domains, registers classes, starts the
     /// daemon population and the per-CPU timer ticks.
     pub fn build(self) -> Node {
@@ -220,12 +198,12 @@ impl NodeBuilder {
         // order, so the two paths produce identical event streams.
         let period = node.cfg.tick_period;
         for c in 0..ncpus as u32 {
-            let offset = SimDuration::from_nanos(
-                period.as_nanos() * (c as u64) / ncpus as u64,
-            );
+            let offset = SimDuration::from_nanos(period.as_nanos() * (c as u64) / ncpus as u64);
             let first = SimTime::ZERO + period + offset;
             if node.cfg.fast_event_loop {
-                let id = node.queue.schedule_periodic(first, period, Ev::Tick(CpuId(c)));
+                let id = node
+                    .queue
+                    .schedule_periodic(first, period, Ev::Tick(CpuId(c)));
                 debug_assert_eq!(id.index(), c as usize);
                 node.tick_slots.push(id);
             } else {
@@ -387,6 +365,19 @@ impl Node {
         let now = self.queue.now();
         for obs in self.observers.iter_mut() {
             obs.observe(now, &ev);
+        }
+    }
+
+    /// Publish an externally-sourced event to this node's sinks, stamped
+    /// with the node's current time. This is how layers *above* the
+    /// kernel (the cluster driver, the `hpl-batch` scheduler) thread
+    /// their decisions — job submits/starts/ends, queue depths — into
+    /// the same observer stream as the kernel's own, so a single Chrome
+    /// trace shows both scheduling levels. Observers are pure sinks, so
+    /// publishing cannot perturb the simulation.
+    pub fn publish(&mut self, ev: SchedEvent) {
+        if self.has_observers() {
+            self.emit(ev);
         }
     }
 
@@ -607,8 +598,10 @@ impl Node {
         let smt_loss = ideal_ns - smt_progress_ns;
         let cache_loss = ideal_ns.saturating_sub(work_ns).saturating_sub(smt_loss);
         self.counters.add_hw(cpu, HwEvent::BusyNs, ideal_ns);
-        self.counters.add_hw(cpu, HwEvent::SmtContentionNs, smt_loss);
-        self.counters.add_hw(cpu, HwEvent::ColdCacheStallNs, cache_loss);
+        self.counters
+            .add_hw(cpu, HwEvent::SmtContentionNs, smt_loss);
+        self.counters
+            .add_hw(cpu, HwEvent::ColdCacheStallNs, cache_loss);
 
         let task = self.tasks.get_mut(pid);
         task.segment_remaining = task.segment_remaining.saturating_sub(work_ns);
@@ -645,7 +638,8 @@ impl Node {
         // Pending overheads delay completion by exactly their length.
         dt_s += self.cpus[idx].pending_overhead.as_secs_f64();
         let dt = SimDuration::from_secs_f64(dt_s).max(SimDuration::from_nanos(1));
-        self.queue.schedule(self.now() + dt, Ev::SegDone { cpu, gen });
+        self.queue
+            .schedule(self.now() + dt, Ev::SegDone { cpu, gen });
     }
 
     // ---------------------------------------------------------------
@@ -680,8 +674,11 @@ impl Node {
             // The migration thread runs briefly on both CPUs.
             self.cpus[from.index()].pending_overhead += self.cfg.migration_cost;
             self.cpus[to.index()].pending_overhead += self.cfg.migration_cost;
-            self.counters
-                .add_hw(to, HwEvent::CtxSwitchOverheadNs, self.cfg.migration_cost.as_nanos());
+            self.counters.add_hw(
+                to,
+                HwEvent::CtxSwitchOverheadNs,
+                self.cfg.migration_cost.as_nanos(),
+            );
         }
     }
 
@@ -803,9 +800,7 @@ impl Node {
         self.enqueue_task(target, pid, true);
         self.check_preempt(target, pid);
         // RT overload push.
-        if self.cfg.balance == BalanceMode::Full
-            && self.classes[ci].kind() == ClassKind::RealTime
-        {
+        if self.cfg.balance == BalanceMode::Full && self.classes[ci].kind() == ClassKind::RealTime {
             let mut plans = std::mem::take(&mut self.plan_buf);
             plans.clear();
             {
@@ -859,8 +854,7 @@ impl Node {
                 t.state = TaskState::Runnable;
                 t.last_descheduled = now;
                 self.set_curr(plan.from, None);
-                self.counters
-                    .add_sw(plan.from, SwEvent::ContextSwitches, 1);
+                self.counters.add_sw(plan.from, SwEvent::ContextSwitches, 1);
                 self.counters
                     .add_sw(plan.from, SwEvent::InvoluntaryPreemptions, 1);
                 self.resched[plan.from.index()] = true;
@@ -1072,8 +1066,7 @@ impl Node {
                 }
                 Step::Sleep(dur) => {
                     self.block_curr(cpu, pid, BlockReason::Timer);
-                    self.queue
-                        .schedule(self.now() + dur, Ev::TimerWake(pid));
+                    self.queue.schedule(self.now() + dur, Ev::TimerWake(pid));
                     break;
                 }
                 Step::WaitChan(chan) => match self.sync.wait(chan, pid) {
@@ -1083,18 +1076,16 @@ impl Node {
                         break;
                     }
                 },
-                Step::WaitChanSpin { chan, spin_limit } => {
-                    match self.sync.spin_wait(chan, pid) {
-                        WaitOutcome::Proceed => continue,
-                        WaitOutcome::Wait => {
-                            let t = self.tasks.get_mut(pid);
-                            t.spin = Some(SpinTarget::Chan(chan));
-                            t.segment_remaining = spin_limit.as_nanos().max(1);
-                            self.recomp[cpu.index()] = true;
-                            break;
-                        }
+                Step::WaitChanSpin { chan, spin_limit } => match self.sync.spin_wait(chan, pid) {
+                    WaitOutcome::Proceed => continue,
+                    WaitOutcome::Wait => {
+                        let t = self.tasks.get_mut(pid);
+                        t.spin = Some(SpinTarget::Chan(chan));
+                        t.segment_remaining = spin_limit.as_nanos().max(1);
+                        self.recomp[cpu.index()] = true;
+                        break;
                     }
-                }
+                },
                 Step::Notify { chan, tokens } => {
                     let satisfied = self.sync.notify(chan, tokens);
                     for (p, how) in satisfied {
@@ -1524,7 +1515,8 @@ impl Node {
                 });
             }
             if !self.cfg.fast_event_loop {
-                self.queue.schedule(now + self.cfg.tick_period, Ev::Tick(cpu));
+                self.queue
+                    .schedule(now + self.cfg.tick_period, Ev::Tick(cpu));
             }
             return;
         }
@@ -1538,15 +1530,10 @@ impl Node {
         // HPC task.
         let tickless = self.cpus[idx].curr.is_none()
             || (self.cfg.tickless_single_hpc
-                && self.cpus[idx].curr.is_some_and(|pid| {
-                    self.tasks.get(pid).policy == crate::task::Policy::Hpc
-                })
-                && self
-                    .classes
-                    .iter()
-                    .map(|c| c.nr_queued(cpu))
-                    .sum::<u32>()
-                    == 0);
+                && self.cpus[idx]
+                    .curr
+                    .is_some_and(|pid| self.tasks.get(pid).policy == crate::task::Policy::Hpc)
+                && self.classes.iter().map(|c| c.nr_queued(cpu)).sum::<u32>() == 0);
         if !tickless {
             self.cpus[idx].pending_overhead += self.cfg.tick_cost;
             self.counters
@@ -1590,9 +1577,7 @@ impl Node {
         // steals; a CPU left idle re-arms quickly.
         if self.cfg.balance == BalanceMode::Full {
             let busy = self.cpus[idx].curr.is_some();
-            let due = self
-                .balance_clock
-                .due_levels(cpu, now, &self.domains, busy);
+            let due = self.balance_clock.due_levels(cpu, now, &self.domains, busy);
             let mut plans = std::mem::take(&mut self.plan_buf);
             for level in due {
                 self.counters.add_sw(cpu, SwEvent::LoadBalanceCalls, 1);
@@ -1923,7 +1908,8 @@ impl Node {
         };
         for (i, &n) in fired.iter().enumerate() {
             if n > 0 {
-                self.counters.add_sw(CpuId(i as u32), SwEvent::TimerTicks, n);
+                self.counters
+                    .add_sw(CpuId(i as u32), SwEvent::TimerTicks, n);
             }
         }
         self.ff_fired = fired;
@@ -2009,7 +1995,9 @@ mod tests {
     use crate::task::Policy;
 
     fn quiet_node() -> Node {
-        NodeBuilder::new(Topology::power6_js22()).with_seed(1).build()
+        NodeBuilder::new(Topology::power6_js22())
+            .with_seed(1)
+            .build()
     }
 
     fn compute_spec(name: &str, ms: u64) -> TaskSpec {
@@ -2061,13 +2049,13 @@ mod tests {
     #[test]
     fn eight_tasks_fill_eight_cpus() {
         let mut node = quiet_node();
-        let pids: Vec<Pid> = (0..8).map(|i| node.spawn(compute_spec(&format!("t{i}"), 20))).collect();
+        let pids: Vec<Pid> = (0..8)
+            .map(|i| node.spawn(compute_spec(&format!("t{i}"), 20)))
+            .collect();
         node.run_for(SimDuration::from_millis(1));
         // All eight should be running on distinct CPUs.
-        let cpus: std::collections::HashSet<u32> = pids
-            .iter()
-            .map(|&p| node.tasks.get(p).cpu.0)
-            .collect();
+        let cpus: std::collections::HashSet<u32> =
+            pids.iter().map(|&p| node.tasks.get(p).cpu.0).collect();
         assert_eq!(cpus.len(), 8, "tasks spread across all CPUs");
         for &p in &pids {
             assert_eq!(node.tasks.get(p).state, TaskState::Running);
@@ -2080,12 +2068,8 @@ mod tests {
         // longer than two tasks on different cores.
         let run_pair = |cpu_a: u32, cpu_b: u32| -> f64 {
             let mut node = quiet_node();
-            let a = node.spawn(
-                compute_spec("a", 20).with_affinity(CpuMask::single(CpuId(cpu_a))),
-            );
-            let b = node.spawn(
-                compute_spec("b", 20).with_affinity(CpuMask::single(CpuId(cpu_b))),
-            );
+            let a = node.spawn(compute_spec("a", 20).with_affinity(CpuMask::single(CpuId(cpu_a))));
+            let b = node.spawn(compute_spec("b", 20).with_affinity(CpuMask::single(CpuId(cpu_b))));
             assert!(node.run_until_exit(a, 10_000_000).is_complete());
             assert!(node.run_until_exit(b, 10_000_000).is_complete());
             node.now().as_secs_f64()
@@ -2126,7 +2110,10 @@ mod tests {
         let mk = |ms: u64| {
             vec![
                 Step::Compute(SimDuration::from_millis(ms)),
-                Step::Barrier { id: bar, parties: 2 },
+                Step::Barrier {
+                    id: bar,
+                    parties: 2,
+                },
                 Step::Compute(SimDuration::from_millis(1)),
             ]
         };
@@ -2210,7 +2197,10 @@ mod tests {
                 "notifier",
                 vec![
                     Step::Compute(SimDuration::from_millis(2)),
-                    Step::Notify { chan: ch, tokens: 1 },
+                    Step::Notify {
+                        chan: ch,
+                        tokens: 1,
+                    },
                 ],
             ),
         ));
@@ -2248,7 +2238,10 @@ mod tests {
                 "notifier",
                 vec![
                     Step::Sleep(SimDuration::from_millis(20)),
-                    Step::Notify { chan: ch, tokens: 1 },
+                    Step::Notify {
+                        chan: ch,
+                        tokens: 1,
+                    },
                 ],
             ),
         ));
@@ -2453,11 +2446,15 @@ mod tests {
                 .with_seed(5)
                 .build();
             let start = node.now();
-            let pid = node.spawn(
-                compute_spec("victim", 50).with_affinity(CpuMask::single(CpuId(cpu))),
-            );
+            let pid =
+                node.spawn(compute_spec("victim", 50).with_affinity(CpuMask::single(CpuId(cpu))));
             assert!(node.run_until_exit(pid, 50_000_000).is_complete());
-            node.tasks.get(pid).exited_at.unwrap().since(start).as_secs_f64()
+            node.tasks
+                .get(pid)
+                .exited_at
+                .unwrap()
+                .since(start)
+                .as_secs_f64()
         };
         let on_irq_cpu = run_on(0);
         let elsewhere = run_on(4);

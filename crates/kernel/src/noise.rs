@@ -144,7 +144,9 @@ impl DaemonProgram {
     }
 
     fn sample_service(&self, ctx: &mut ProgCtx<'_>) -> SimDuration {
-        let s = ctx.rng.lognormal(self.spec.service_mu, self.spec.service_sigma);
+        let s = ctx
+            .rng
+            .lognormal(self.spec.service_mu, self.spec.service_sigma);
         SimDuration::from_secs_f64(s)
             .min(self.spec.service_max)
             .max(SimDuration::from_micros(1))
@@ -165,7 +167,9 @@ impl Program for DaemonProgram {
         // One full cycle: (burst?) work, then sleep. Queue the tail.
         if let Some(burst) = &self.spec.burst {
             if ctx.rng.chance(burst.probability) {
-                let n = ctx.rng.range_u64(burst.children.0 as u64, burst.children.1 as u64);
+                let n = ctx
+                    .rng
+                    .range_u64(burst.children.0 as u64, burst.children.1 as u64);
                 for i in 0..n {
                     // Heavy-tailed child durations (bounded Pareto): most
                     // housekeeping jobs are short, the occasional one
@@ -180,7 +184,9 @@ impl Program for DaemonProgram {
                     let w = SimDuration::from_secs_f64(w_s).as_nanos();
                     let child = TaskSpec::new(
                         format!("{}-job{i}", self.spec.name),
-                        Policy::Normal { nice: self.spec.nice },
+                        Policy::Normal {
+                            nice: self.spec.nice,
+                        },
                         crate::program::ScriptProgram::boxed(
                             "burst-child",
                             vec![Step::Compute(SimDuration::from_nanos(w))],
@@ -191,7 +197,8 @@ impl Program for DaemonProgram {
                 }
             }
         }
-        self.pending.push_back(Step::Compute(self.sample_service(ctx)));
+        self.pending
+            .push_back(Step::Compute(self.sample_service(ctx)));
         self.pending.push_back(Step::Sleep(self.sample_period(ctx)));
         self.pending.pop_front().expect("cycle queued")
     }
@@ -395,7 +402,11 @@ mod tests {
 
     #[test]
     fn daemon_cycles_sleep_compute() {
-        let spec = DaemonSpec::periodic("d", SimDuration::from_millis(100), SimDuration::from_micros(50));
+        let spec = DaemonSpec::periodic(
+            "d",
+            SimDuration::from_millis(100),
+            SimDuration::from_micros(50),
+        );
         let mut p = DaemonProgram::new(spec);
         let mut rng = Rng::new(1);
         // Phase sleep first.
@@ -408,7 +419,11 @@ mod tests {
 
     #[test]
     fn service_times_are_bounded() {
-        let spec = DaemonSpec::periodic("d", SimDuration::from_millis(100), SimDuration::from_micros(50));
+        let spec = DaemonSpec::periodic(
+            "d",
+            SimDuration::from_millis(100),
+            SimDuration::from_micros(50),
+        );
         let cap = spec.service_max;
         let mut p = DaemonProgram::new(spec);
         let mut rng = Rng::new(2);
@@ -423,12 +438,16 @@ mod tests {
 
     #[test]
     fn burst_forks_children() {
-        let spec = DaemonSpec::periodic("cron", SimDuration::from_millis(10), SimDuration::from_micros(50))
-            .with_burst(BurstSpec {
-                probability: 1.0,
-                children: (2, 2),
-                child_work: (SimDuration::from_millis(1), SimDuration::from_millis(2)),
-            });
+        let spec = DaemonSpec::periodic(
+            "cron",
+            SimDuration::from_millis(10),
+            SimDuration::from_micros(50),
+        )
+        .with_burst(BurstSpec {
+            probability: 1.0,
+            children: (2, 2),
+            child_work: (SimDuration::from_millis(1), SimDuration::from_millis(2)),
+        });
         let mut p = DaemonProgram::new(spec);
         let mut rng = Rng::new(3);
         let _ = step_of(&mut p, &mut rng); // phase
@@ -476,7 +495,11 @@ mod tests {
 
     #[test]
     fn deterministic_given_seed() {
-        let spec = DaemonSpec::periodic("d", SimDuration::from_millis(100), SimDuration::from_micros(50));
+        let spec = DaemonSpec::periodic(
+            "d",
+            SimDuration::from_millis(100),
+            SimDuration::from_micros(50),
+        );
         let mut p1 = DaemonProgram::new(spec.clone());
         let mut p2 = DaemonProgram::new(spec);
         let mut r1 = Rng::new(9);

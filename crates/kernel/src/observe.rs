@@ -281,6 +281,32 @@ pub enum SchedEvent {
         /// What the tick did.
         outcome: TickOutcome,
     },
+    /// A batch-level job entered the cluster queue. Batch events are
+    /// published by the cluster-level scheduler (`hpl-batch`) through
+    /// [`crate::Node::publish`] on its head node, so one observer stream
+    /// carries both scheduling levels.
+    JobSubmit {
+        /// Batch job id (trace order).
+        job: u32,
+        /// Queue depth after the submit.
+        queue_depth: u32,
+    },
+    /// A batch-level job was allocated nodes and launched.
+    JobStart {
+        /// Batch job id.
+        job: u32,
+        /// Queue depth after the job left the queue.
+        queue_depth: u32,
+        /// Time the job spent queued (submit → start).
+        waited: SimDuration,
+    },
+    /// A batch-level job's launcher trees all exited.
+    JobEnd {
+        /// Batch job id.
+        job: u32,
+        /// Queue depth at completion time.
+        queue_depth: u32,
+    },
 }
 
 /// A sink for kernel scheduling decisions.
@@ -390,15 +416,43 @@ struct Slice {
 
 #[derive(Debug, Clone, Copy)]
 enum InstantKind {
-    Migrate { from: CpuId, to: CpuId },
+    Migrate {
+        from: CpuId,
+        to: CpuId,
+    },
     Wakeup,
-    NetSend { chan: u64, bytes: u64 },
-    NetDeliver { chan: u64, latency_ns: u64, queued_ns: u64 },
+    NetSend {
+        chan: u64,
+        bytes: u64,
+    },
+    NetDeliver {
+        chan: u64,
+        latency_ns: u64,
+        queued_ns: u64,
+    },
+    JobSubmit {
+        job: u32,
+        depth: u32,
+    },
+    JobStart {
+        job: u32,
+        depth: u32,
+        waited_ns: u64,
+    },
+    JobEnd {
+        job: u32,
+        depth: u32,
+    },
 }
 
 /// Synthetic `tid` for the network track in Chrome-trace output: net
 /// events render on their own row below the per-CPU tracks.
 const NET_TID: u32 = 9_999;
+
+/// Synthetic `tid` for the batch-scheduler track: cluster-level job
+/// lifecycle events render on one row below the network track, so a
+/// single trace shows both scheduling levels.
+const BATCH_TID: u32 = 9_998;
 
 #[derive(Debug, Clone, Copy)]
 struct Instant {
@@ -552,7 +606,10 @@ impl ChromeTraceSink {
                 InstantKind::NetSend { chan, bytes } => (
                     format!("net send c{chan}"),
                     NET_TID,
-                    format!(",\"task\":{},\"chan\":{},\"bytes\":{}", i.pid.0, chan, bytes),
+                    format!(
+                        ",\"task\":{},\"chan\":{},\"bytes\":{}",
+                        i.pid.0, chan, bytes
+                    ),
                 ),
                 InstantKind::NetDeliver {
                     chan,
@@ -565,6 +622,25 @@ impl ChromeTraceSink {
                         ",\"chan\":{},\"latency_ns\":{},\"queued_ns\":{}",
                         chan, latency_ns, queued_ns
                     ),
+                ),
+                InstantKind::JobSubmit { job, depth } => (
+                    format!("job submit j{job}"),
+                    BATCH_TID,
+                    format!(",\"job\":{job},\"queue_depth\":{depth}"),
+                ),
+                InstantKind::JobStart {
+                    job,
+                    depth,
+                    waited_ns,
+                } => (
+                    format!("job start j{job}"),
+                    BATCH_TID,
+                    format!(",\"job\":{job},\"queue_depth\":{depth},\"waited_ns\":{waited_ns}"),
+                ),
+                InstantKind::JobEnd { job, depth } => (
+                    format!("job end j{job}"),
+                    BATCH_TID,
+                    format!(",\"job\":{job},\"queue_depth\":{depth}"),
                 ),
             };
             push(
@@ -671,6 +747,56 @@ impl SchedObserver for ChromeTraceSink {
                             chan: chan.0,
                             latency_ns: latency.as_nanos(),
                             queued_ns: queued.as_nanos(),
+                        },
+                    });
+                } else {
+                    self.dropped += 1;
+                }
+            }
+            SchedEvent::JobSubmit { job, queue_depth } => {
+                if self.stored() < self.capacity {
+                    self.instants.push(Instant {
+                        at,
+                        cpu: CpuId(0),
+                        pid: Pid(0),
+                        kind: InstantKind::JobSubmit {
+                            job,
+                            depth: queue_depth,
+                        },
+                    });
+                } else {
+                    self.dropped += 1;
+                }
+            }
+            SchedEvent::JobStart {
+                job,
+                queue_depth,
+                waited,
+            } => {
+                if self.stored() < self.capacity {
+                    self.instants.push(Instant {
+                        at,
+                        cpu: CpuId(0),
+                        pid: Pid(0),
+                        kind: InstantKind::JobStart {
+                            job,
+                            depth: queue_depth,
+                            waited_ns: waited.as_nanos(),
+                        },
+                    });
+                } else {
+                    self.dropped += 1;
+                }
+            }
+            SchedEvent::JobEnd { job, queue_depth } => {
+                if self.stored() < self.capacity {
+                    self.instants.push(Instant {
+                        at,
+                        cpu: CpuId(0),
+                        pid: Pid(0),
+                        kind: InstantKind::JobEnd {
+                            job,
+                            depth: queue_depth,
                         },
                     });
                 } else {
@@ -807,6 +933,20 @@ impl SchedObserver for MetricsSink {
                     self.m.ticks_skipped += 1;
                 }
             }
+            SchedEvent::JobSubmit { queue_depth, .. } => {
+                self.m.job_submits += 1;
+                self.m.batch_queue_depth.record(queue_depth as u64);
+            }
+            SchedEvent::JobStart {
+                queue_depth,
+                waited,
+                ..
+            } => {
+                self.m.job_starts += 1;
+                self.m.batch_queue_depth.record(queue_depth as u64);
+                self.m.job_wait_ns.record(waited.as_nanos());
+            }
+            SchedEvent::JobEnd { .. } => self.m.job_ends += 1,
             SchedEvent::Deactivate { .. } | SchedEvent::SetSched { .. } => {}
         }
     }
@@ -1042,9 +1182,7 @@ impl<'a> JsonParser<'a> {
                             .map_err(|_| "bad \\u escape")?;
                             self.pos += 4;
                             // Surrogates are rejected (we never emit them).
-                            out.push(
-                                char::from_u32(code).ok_or("surrogate in \\u escape")?,
-                            );
+                            out.push(char::from_u32(code).ok_or("surrogate in \\u escape")?);
                         }
                         other => return Err(format!("bad escape \\{}", other as char)),
                     }
@@ -1056,9 +1194,7 @@ impl<'a> JsonParser<'a> {
                     // Consume one UTF-8 scalar (input is &str, so valid).
                     let s = &self.bytes[self.pos..];
                     let ch = std::str::from_utf8(&s[..s.iter().take(4).count().min(s.len())])
-                        .or_else(|e| {
-                            std::str::from_utf8(&s[..e.valid_up_to().max(1)])
-                        })
+                        .or_else(|e| std::str::from_utf8(&s[..e.valid_up_to().max(1)]))
                         .map_err(|_| "invalid utf8")?
                         .chars()
                         .next()

@@ -126,7 +126,9 @@ pub fn compare_edp(
     let edp = |(r, start, end): (&EnergyReport, SimTime, SimTime)| {
         energy_delay_product(r, end.since(start))
     };
-    edp(a).partial_cmp(&edp(b)).unwrap_or(std::cmp::Ordering::Equal)
+    edp(a)
+        .partial_cmp(&edp(b))
+        .unwrap_or(std::cmp::Ordering::Equal)
 }
 
 #[cfg(test)]
@@ -173,12 +175,7 @@ mod tests {
     #[test]
     fn busy_time_clamped_to_capacity() {
         let m = PowerModel::default();
-        let r = energy_of_window(
-            &m,
-            &topo(),
-            u64::MAX,
-            SimDuration::from_millis(1),
-        );
+        let r = energy_of_window(&m, &topo(), u64::MAX, SimDuration::from_millis(1));
         assert!(r.utilisation <= 1.0);
         assert!(r.total_joules.is_finite());
     }

@@ -112,7 +112,9 @@ impl SchedClass for RtClass {
     fn pick_next(&mut self, cpu: CpuId, _tasks: &TaskTable) -> Option<Pid> {
         let rq = self.rq_mut(cpu);
         let prio = rq.highest()? as usize;
-        let pid = rq.queues[prio].pop_front().expect("highest() said non-empty");
+        let pid = rq.queues[prio]
+            .pop_front()
+            .expect("highest() said non-empty");
         rq.nr_queued -= 1;
         Some(pid)
     }
@@ -155,13 +157,7 @@ impl SchedClass for RtClass {
         }
     }
 
-    fn wakeup_preempt(
-        &self,
-        _cpu: CpuId,
-        curr: &Task,
-        woken: &Task,
-        _ctx: &SchedCtx<'_>,
-    ) -> bool {
+    fn wakeup_preempt(&self, _cpu: CpuId, curr: &Task, woken: &Task, _ctx: &SchedCtx<'_>) -> bool {
         Self::prio_of(woken) > Self::prio_of(curr)
     }
 
@@ -247,9 +243,7 @@ impl SchedClass for RtClass {
             let load = snap.nr_running[idx];
             let better = match best {
                 None => true,
-                Some((bl, bc)) => {
-                    load < bl || (load == bl && cpu == prev && bc != prev)
-                }
+                Some((bl, bc)) => load < bl || (load == bl && cpu == prev && bc != prev),
             };
             if better {
                 best = Some((load, cpu));
@@ -533,10 +527,16 @@ mod tests {
         // All CPUs run higher-prio RT except cpu5 (CFS) and cpu6 (idle).
         snap.curr_kind[5] = Some(ClassKind::Fair);
         snap.curr_kind[6] = None;
-        assert_eq!(rt.select_cpu_fork(tt.get(t), CpuId(0), &ctx, &snap, &tt), CpuId(6));
+        assert_eq!(
+            rt.select_cpu_fork(tt.get(t), CpuId(0), &ctx, &snap, &tt),
+            CpuId(6)
+        );
         snap.curr_kind[6] = Some(ClassKind::RealTime);
         snap.curr_rt_prio[6] = 70;
-        assert_eq!(rt.select_cpu_fork(tt.get(t), CpuId(0), &ctx, &snap, &tt), CpuId(5));
+        assert_eq!(
+            rt.select_cpu_fork(tt.get(t), CpuId(0), &ctx, &snap, &tt),
+            CpuId(5)
+        );
     }
 
     #[test]

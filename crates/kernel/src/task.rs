@@ -331,7 +331,12 @@ mod tests {
 
     #[test]
     fn task_creation_defaults() {
-        let t = Task::new(Pid(3), "rank0", Policy::Normal { nice: 0 }, CpuMask::first_n(8));
+        let t = Task::new(
+            Pid(3),
+            "rank0",
+            Policy::Normal { nice: 0 },
+            CpuMask::first_n(8),
+        );
         assert_eq!(t.weight, NICE_0_WEIGHT);
         assert_eq!(t.state, TaskState::Runnable);
         assert!(t.can_run_on(CpuId(7)));

@@ -138,8 +138,7 @@ impl TraceBuffer {
             let _ = write!(out, "cpu{c} |");
             // Current occupant entering the window: last switch before start.
             let mut idx = timeline.partition_point(|&(t, _)| t <= start);
-            let mut curr: Option<Pid> =
-                idx.checked_sub(1).and_then(|i| timeline[i].1);
+            let mut curr: Option<Pid> = idx.checked_sub(1).and_then(|i| timeline[i].1);
             for col in 0..width {
                 let cell_end = start
                     + hpl_sim::SimDuration::from_nanos(

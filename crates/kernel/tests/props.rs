@@ -1,9 +1,9 @@
 //! Property tests for the simulated kernel: invariants that must hold
 //! for *any* workload the node can run.
 
+use hpl_kernel::noise::NoiseProfile;
 use hpl_kernel::program::ScriptProgram;
 use hpl_kernel::{KernelConfig, NodeBuilder, Policy, Step, TaskSpec, TaskState};
-use hpl_kernel::noise::NoiseProfile;
 use hpl_sim::SimDuration;
 use hpl_topology::{CpuMask, Topology};
 use proptest::prelude::*;
@@ -41,12 +41,8 @@ fn build_spec(g: &SpecGen, idx: usize, with_hpc: bool) -> TaskSpec {
         steps.push(Step::Sleep(SimDuration::from_micros(g.sleep_us)));
     }
     steps.push(Step::Compute(SimDuration::from_micros(g.work_us)));
-    TaskSpec::new(
-        format!("t{idx}"),
-        policy,
-        ScriptProgram::boxed("w", steps),
-    )
-    .with_affinity(CpuMask::from_bits(g.affinity_bits as u64))
+    TaskSpec::new(format!("t{idx}"), policy, ScriptProgram::boxed("w", steps))
+        .with_affinity(CpuMask::from_bits(g.affinity_bits as u64))
 }
 
 proptest! {

@@ -24,10 +24,7 @@ fn analysis_agrees_with_counters_on_a_noisy_run() {
             node.spawn(TaskSpec::new(
                 format!("busy{i}"),
                 Policy::Normal { nice: 0 },
-                ScriptProgram::boxed(
-                    "busy",
-                    vec![Step::Compute(SimDuration::from_millis(400))],
-                ),
+                ScriptProgram::boxed("busy", vec![Step::Compute(SimDuration::from_millis(400))]),
             ))
         })
         .collect();
@@ -42,10 +39,7 @@ fn analysis_agrees_with_counters_on_a_noisy_run() {
 
     // Preemptions happened (daemons vs busy tasks) and their count is
     // bounded by the kernel's own involuntary-switch counter.
-    let invol = node
-        .counters
-        .total()
-        .sw(SwEvent::InvoluntaryPreemptions) as usize;
+    let invol = node.counters.total().sw(SwEvent::InvoluntaryPreemptions) as usize;
     assert!(
         !analysis.preemptions.is_empty(),
         "a noisy run must show preemption episodes"
@@ -98,7 +92,9 @@ fn analysis_agrees_with_counters_on_a_noisy_run() {
 
 #[test]
 fn quiet_hpl_style_run_shows_no_preemption_of_the_app() {
-    let mut node = NodeBuilder::new(Topology::power6_js22()).with_seed(3).build();
+    let mut node = NodeBuilder::new(Topology::power6_js22())
+        .with_seed(3)
+        .build();
     node.enable_trace(100_000);
     let start = node.now();
     let pid = node.spawn(

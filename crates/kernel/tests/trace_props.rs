@@ -12,21 +12,19 @@ use proptest::prelude::*;
 /// Generate a well-formed switch history for one CPU: alternating
 /// occupants (None = idle) at strictly increasing times.
 fn history_strategy() -> impl Strategy<Value = Vec<(u64, Option<u32>)>> {
-    proptest::collection::vec((1u64..50, proptest::option::of(0u32..6)), 0..40).prop_map(
-        |steps| {
-            let mut t = 0u64;
-            let mut out = Vec::new();
-            let mut curr: Option<u32> = None;
-            for (dt, next) in steps {
-                t += dt;
-                if next != curr {
-                    out.push((t, next));
-                    curr = next;
-                }
+    proptest::collection::vec((1u64..50, proptest::option::of(0u32..6)), 0..40).prop_map(|steps| {
+        let mut t = 0u64;
+        let mut out = Vec::new();
+        let mut curr: Option<u32> = None;
+        for (dt, next) in steps {
+            t += dt;
+            if next != curr {
+                out.push((t, next));
+                curr = next;
             }
-            out
-        },
-    )
+        }
+        out
+    })
 }
 
 fn build_trace(history: &[(u64, Option<u32>)]) -> TraceBuffer {

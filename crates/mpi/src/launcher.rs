@@ -57,7 +57,12 @@ pub struct LaunchHandle {
 /// Build the mpiexec program forking the ranks in `ranks` (a single
 /// node's share of the job; the whole job on a single-node launch):
 /// fork each, wait, exit.
-fn mpiexec_spec(node: &Node, job: &JobSpec, mode: SchedMode, ranks: std::ops::Range<u32>) -> TaskSpec {
+fn mpiexec_spec(
+    node: &Node,
+    job: &JobSpec,
+    mode: SchedMode,
+    ranks: std::ops::Range<u32>,
+) -> TaskSpec {
     let mut steps = Vec::new();
     let ncpus = node.topo.total_cpus();
     let first = ranks.start;
@@ -94,8 +99,7 @@ fn mpiexec_spec(node: &Node, job: &JobSpec, mode: SchedMode, ranks: std::ops::Ra
         SchedMode::Rt { prio } => Policy::Fifo(prio),
         _ => Policy::Normal { nice: 0 },
     };
-    TaskSpec::new("mpiexec", policy, ScriptProgram::boxed("mpiexec", steps))
-        .with_tag(APP_TAG)
+    TaskSpec::new("mpiexec", policy, ScriptProgram::boxed("mpiexec", steps)).with_tag(APP_TAG)
 }
 
 /// Launch the application under `mode`, returning once the process tree
@@ -184,10 +188,13 @@ pub fn spawn_job_tree(node: &mut Node, job: &JobSpec, mode: SchedMode, node_idx:
 /// After (part of) a lockstep run, find the mpiexec task under `perf_pid`
 /// on a node, if the fork chain has created it yet. Under HPL, `chrt`
 /// *is* mpiexec after the exec (same pid, same comm in our model).
+///
+/// Resolution is by parenthood, not pid order, so it stays unambiguous
+/// when several jobs' launcher trees coexist on one node.
 pub fn find_mpiexec(node: &Node, perf_pid: Pid) -> Option<Pid> {
     node.tasks
         .iter()
-        .find(|t| t.pid > perf_pid && (t.name == "mpiexec" || t.name == "chrt"))
+        .find(|t| t.parent == Some(perf_pid) && (t.name == "mpiexec" || t.name == "chrt"))
         .map(|t| t.pid)
 }
 
@@ -255,7 +262,9 @@ mod tests {
 
     #[test]
     fn cfs_launch_runs_to_completion() {
-        let mut node = NodeBuilder::new(Topology::power6_js22()).with_seed(1).build();
+        let mut node = NodeBuilder::new(Topology::power6_js22())
+            .with_seed(1)
+            .build();
         let job = tiny_job(8);
         let h = launch(&mut node, &job, SchedMode::Cfs);
         let t = h.run_to_completion(&mut node, 50_000_000);
@@ -278,7 +287,9 @@ mod tests {
 
     #[test]
     fn hpc_launch_puts_ranks_in_hpc_class() {
-        let mut node = hpl_node_builder(Topology::power6_js22()).with_seed(2).build();
+        let mut node = hpl_node_builder(Topology::power6_js22())
+            .with_seed(2)
+            .build();
         let job = tiny_job(8);
         let h = launch(&mut node, &job, SchedMode::Hpc);
         h.run_to_completion(&mut node, 50_000_000);
@@ -291,7 +302,9 @@ mod tests {
 
     #[test]
     fn rt_launch_uses_fifo() {
-        let mut node = NodeBuilder::new(Topology::power6_js22()).with_seed(3).build();
+        let mut node = NodeBuilder::new(Topology::power6_js22())
+            .with_seed(3)
+            .build();
         let job = tiny_job(4);
         let h = launch(&mut node, &job, SchedMode::Rt { prio: 50 });
         h.run_to_completion(&mut node, 50_000_000);
@@ -302,7 +315,9 @@ mod tests {
 
     #[test]
     fn nice_launch_sets_nice() {
-        let mut node = NodeBuilder::new(Topology::power6_js22()).with_seed(6).build();
+        let mut node = NodeBuilder::new(Topology::power6_js22())
+            .with_seed(6)
+            .build();
         let job = tiny_job(4);
         let h = launch(&mut node, &job, SchedMode::CfsNice { nice: -19 });
         h.run_to_completion(&mut node, 50_000_000);
@@ -313,7 +328,9 @@ mod tests {
 
     #[test]
     fn pinned_launch_sets_affinities() {
-        let mut node = NodeBuilder::new(Topology::power6_js22()).with_seed(4).build();
+        let mut node = NodeBuilder::new(Topology::power6_js22())
+            .with_seed(4)
+            .build();
         let job = tiny_job(8);
         let h = launch(&mut node, &job, SchedMode::CfsPinned);
         h.run_to_completion(&mut node, 50_000_000);
@@ -332,7 +349,9 @@ mod tests {
 
     #[test]
     fn hpl_placement_one_rank_per_core_first() {
-        let mut node = hpl_node_builder(Topology::power6_js22()).with_seed(5).build();
+        let mut node = hpl_node_builder(Topology::power6_js22())
+            .with_seed(5)
+            .build();
         let job = tiny_job(4);
         let h = launch(&mut node, &job, SchedMode::Hpc);
         h.run_to_completion(&mut node, 50_000_000);
@@ -350,7 +369,9 @@ mod tests {
     #[test]
     fn deterministic_exec_time() {
         let run = |seed: u64| {
-            let mut node = hpl_node_builder(Topology::power6_js22()).with_seed(seed).build();
+            let mut node = hpl_node_builder(Topology::power6_js22())
+                .with_seed(seed)
+                .build();
             let job = tiny_job(8);
             let h = launch(&mut node, &job, SchedMode::Hpc);
             h.run_to_completion(&mut node, 50_000_000)

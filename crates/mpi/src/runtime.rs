@@ -160,6 +160,14 @@ impl JobSpec {
         self
     }
 
+    /// The inclusive id range this job reserves (see
+    /// [`Self::with_id_base`]). Concurrent jobs sharing a node must have
+    /// disjoint ranges; a batch driver allocates bases by striding past
+    /// the previous job's range end.
+    pub fn id_range(&self) -> std::ops::RangeInclusive<u64> {
+        self.id_base..=self.id_base + (self.nprocs as u64).pow(2) + 2 * self.nodes as u64
+    }
+
     /// Ranks placed on each node.
     pub fn ranks_per_node(&self) -> u32 {
         self.nprocs / self.nodes
@@ -339,9 +347,8 @@ impl RankProgram {
             parties: rpn,
             spin_limit: self.config.spin_limit,
         });
-        let release = ChanId(
-            self.id_base + 1 + (self.nprocs as u64).pow(2) + (self.nodes + node) as u64,
-        );
+        let release =
+            ChanId(self.id_base + 1 + (self.nprocs as u64).pow(2) + (self.nodes + node) as u64);
         if self.rank == self.leader_of(node) {
             let n = self.nodes;
             let me = self.leader_of(node);
@@ -394,8 +401,8 @@ impl RankProgram {
     }
 
     fn msg_cost(&self, messages: u64, bytes_each: u64) -> SimDuration {
-        let per_msg = self.config.alpha.as_nanos() as f64
-            + self.config.beta_ns_per_byte * bytes_each as f64;
+        let per_msg =
+            self.config.alpha.as_nanos() as f64 + self.config.beta_ns_per_byte * bytes_each as f64;
         SimDuration::from_nanos((per_msg * messages as f64).round() as u64)
     }
 
@@ -419,7 +426,8 @@ impl RankProgram {
             // paper's Table I minimum columns comes from — and an init
             // barrier.
             let setup = SimDuration::from_micros(300 + 120 * self.rank as u64);
-            self.pending.push_back(Step::Compute(self.jittered(ctx, setup)));
+            self.pending
+                .push_back(Step::Compute(self.jittered(ctx, setup)));
             for _ in 0..10 {
                 let work = SimDuration::from_micros(ctx.rng.range_u64(80, 250));
                 let wait = SimDuration::from_micros(ctx.rng.range_u64(300, 3000));
@@ -440,12 +448,14 @@ impl RankProgram {
         let p = self.nprocs as u64;
         match op {
             MpiOp::Compute { mean } => {
-                self.pending.push_back(Step::Compute(self.jittered(ctx, mean)));
+                self.pending
+                    .push_back(Step::Compute(self.jittered(ctx, mean)));
             }
             MpiOp::Barrier => {
                 // Dissemination rounds cost alpha*log2(p) before sync.
                 let rounds = (p.max(2) as f64).log2().ceil() as u64;
-                self.pending.push_back(Step::Compute(self.msg_cost(rounds, 0)));
+                self.pending
+                    .push_back(Step::Compute(self.msg_cost(rounds, 0)));
                 self.push_sync_phase(8);
             }
             MpiOp::Allreduce { bytes } => {
@@ -565,10 +575,18 @@ mod tests {
 
     #[test]
     fn init_has_setup_rounds_and_barrier() {
-        let job = JobSpec::new(4, vec![MpiOp::Compute { mean: SimDuration::from_millis(1) }]);
+        let job = JobSpec::new(
+            4,
+            vec![MpiOp::Compute {
+                mean: SimDuration::from_millis(1),
+            }],
+        );
         let mut p = RankProgram::new(&job, 0);
         let mut rng = Rng::new(1);
-        assert!(matches!(next(&mut p, &mut rng), Step::Compute(_)), "setup first");
+        assert!(
+            matches!(next(&mut p, &mut rng), Step::Compute(_)),
+            "setup first"
+        );
         let mut sleeps = 0;
         loop {
             match next(&mut p, &mut rng) {
@@ -626,11 +644,22 @@ mod tests {
         let mut p = RankProgram::new(&job, 1);
         let mut rng = Rng::new(5);
         skip_init(&mut p, &mut rng);
-        assert!(matches!(next(&mut p, &mut rng), Step::Compute(_)), "message cost");
-        assert!(matches!(next(&mut p, &mut rng), Step::Notify { chan, .. } if chan == job.chan_id(1, 0)));
-        assert!(matches!(next(&mut p, &mut rng), Step::Notify { chan, .. } if chan == job.chan_id(1, 2)));
-        assert!(matches!(next(&mut p, &mut rng), Step::WaitChanSpin { chan, .. } if chan == job.chan_id(0, 1)));
-        assert!(matches!(next(&mut p, &mut rng), Step::WaitChanSpin { chan, .. } if chan == job.chan_id(2, 1)));
+        assert!(
+            matches!(next(&mut p, &mut rng), Step::Compute(_)),
+            "message cost"
+        );
+        assert!(
+            matches!(next(&mut p, &mut rng), Step::Notify { chan, .. } if chan == job.chan_id(1, 0))
+        );
+        assert!(
+            matches!(next(&mut p, &mut rng), Step::Notify { chan, .. } if chan == job.chan_id(1, 2))
+        );
+        assert!(
+            matches!(next(&mut p, &mut rng), Step::WaitChanSpin { chan, .. } if chan == job.chan_id(0, 1))
+        );
+        assert!(
+            matches!(next(&mut p, &mut rng), Step::WaitChanSpin { chan, .. } if chan == job.chan_id(2, 1))
+        );
     }
 
     #[test]
@@ -650,7 +679,12 @@ mod tests {
 
     #[test]
     fn jitter_is_bounded_and_seeded() {
-        let job = JobSpec::new(2, vec![MpiOp::Compute { mean: SimDuration::from_millis(10) }]);
+        let job = JobSpec::new(
+            2,
+            vec![MpiOp::Compute {
+                mean: SimDuration::from_millis(10),
+            }],
+        );
         let mut p1 = RankProgram::new(&job, 0);
         let mut p2 = RankProgram::new(&job, 0);
         let mut r1 = Rng::new(7);
@@ -669,7 +703,10 @@ mod tests {
 
     #[test]
     fn bcast_and_reduce_synchronise() {
-        let job = JobSpec::new(8, vec![MpiOp::Bcast { bytes: 4096 }, MpiOp::Reduce { bytes: 8 }]);
+        let job = JobSpec::new(
+            8,
+            vec![MpiOp::Bcast { bytes: 4096 }, MpiOp::Reduce { bytes: 8 }],
+        );
         let mut p = RankProgram::new(&job, 2);
         let mut rng = Rng::new(21);
         skip_init(&mut p, &mut rng);
@@ -722,7 +759,12 @@ mod tests {
 
     #[test]
     fn repeat_unrolls() {
-        let body = [MpiOp::Compute { mean: SimDuration::from_millis(1) }, MpiOp::Barrier];
+        let body = [
+            MpiOp::Compute {
+                mean: SimDuration::from_millis(1),
+            },
+            MpiOp::Barrier,
+        ];
         let ops = JobSpec::repeat(3, &body);
         assert_eq!(ops.len(), 6);
         let job = JobSpec::new(2, ops);

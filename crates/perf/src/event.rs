@@ -194,9 +194,6 @@ mod tests {
         assert_eq!(SwEvent::ContextSwitches.name(), "context-switches");
         assert_eq!(SwEvent::CpuMigrations.name(), "cpu-migrations");
         assert_eq!(format!("{}", Event::Sw(SwEvent::Forks)), "forks");
-        assert_eq!(
-            format!("{}", Event::Hw(HwEvent::BusyNs)),
-            "busy-ns"
-        );
+        assert_eq!(format!("{}", Event::Hw(HwEvent::BusyNs)), "busy-ns");
     }
 }

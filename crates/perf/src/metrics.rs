@@ -193,6 +193,12 @@ pub struct SchedMetrics {
     pub net_sends: u64,
     /// Cross-node message deliveries into this node.
     pub net_delivers: u64,
+    /// Batch-level job submissions (cluster scheduler queue arrivals).
+    pub job_submits: u64,
+    /// Batch-level job starts (queue → allocated → launched).
+    pub job_starts: u64,
+    /// Batch-level job completions.
+    pub job_ends: u64,
     /// Switch count per CPU, indexed by CPU id.
     pub per_cpu_switches: Vec<u64>,
     /// How long tasks held a CPU before switching out, in ns.
@@ -205,6 +211,10 @@ pub struct SchedMetrics {
     pub net_latency_ns: Log2Hist,
     /// Portion of message latency spent queued on a contended link, ns.
     pub net_queue_ns: Log2Hist,
+    /// Batch queue depth sampled at every submit/start event.
+    pub batch_queue_depth: Log2Hist,
+    /// Batch job queue wait (submit → start), in ns.
+    pub job_wait_ns: Log2Hist,
 }
 
 impl SchedMetrics {
@@ -240,8 +250,12 @@ impl SchedMetrics {
         self.irqs += other.irqs;
         self.net_sends += other.net_sends;
         self.net_delivers += other.net_delivers;
+        self.job_submits += other.job_submits;
+        self.job_starts += other.job_starts;
+        self.job_ends += other.job_ends;
         if other.per_cpu_switches.len() > self.per_cpu_switches.len() {
-            self.per_cpu_switches.resize(other.per_cpu_switches.len(), 0);
+            self.per_cpu_switches
+                .resize(other.per_cpu_switches.len(), 0);
         }
         for (s, o) in self
             .per_cpu_switches
@@ -256,6 +270,8 @@ impl SchedMetrics {
             .merge(&other.migration_interarrival_ns);
         self.net_latency_ns.merge(&other.net_latency_ns);
         self.net_queue_ns.merge(&other.net_queue_ns);
+        self.batch_queue_depth.merge(&other.batch_queue_depth);
+        self.job_wait_ns.merge(&other.job_wait_ns);
     }
 
     /// Compact multi-line report (counters first, then histograms).
@@ -294,6 +310,14 @@ impl SchedMetrics {
         if self.net_latency_ns.count() > 0 {
             out.push_str(&self.net_latency_ns.render("net_latency_ns"));
             out.push_str(&self.net_queue_ns.render("net_queue_ns"));
+        }
+        if self.job_submits + self.job_starts + self.job_ends > 0 {
+            out.push_str(&format!(
+                "job submits {} | starts {} | ends {}\n",
+                self.job_submits, self.job_starts, self.job_ends
+            ));
+            out.push_str(&self.batch_queue_depth.render("batch_queue_depth"));
+            out.push_str(&self.job_wait_ns.render("job_wait_ns"));
         }
         out
     }

@@ -300,7 +300,9 @@ mod tests {
     #[test]
     fn pareto_is_heavy_tailed() {
         let mut r = Rng::new(23);
-        let xs: Vec<f64> = (0..50_000).map(|_| r.pareto_bounded(1.0, 1.0, 1000.0)).collect();
+        let xs: Vec<f64> = (0..50_000)
+            .map(|_| r.pareto_bounded(1.0, 1.0, 1000.0))
+            .collect();
         let near_lo = xs.iter().filter(|&&x| x < 2.0).count() as f64 / xs.len() as f64;
         let tail = xs.iter().filter(|&&x| x > 100.0).count() as f64 / xs.len() as f64;
         assert!(near_lo > 0.4, "mass near lo = {near_lo}");

@@ -44,7 +44,10 @@ impl SimTime {
     /// (callers assert in debug builds).
     #[inline]
     pub fn since(self, earlier: SimTime) -> SimDuration {
-        debug_assert!(self >= earlier, "SimTime::since: earlier {earlier:?} is after {self:?}");
+        debug_assert!(
+            self >= earlier,
+            "SimTime::since: earlier {earlier:?} is after {self:?}"
+        );
         SimDuration(self.0.saturating_sub(earlier.0))
     }
 

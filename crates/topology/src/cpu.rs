@@ -48,7 +48,10 @@ impl CpuMask {
     /// A mask of the first `n` CPUs (`cpu0..cpu{n-1}`).
     #[inline]
     pub fn first_n(n: u32) -> Self {
-        assert!(n <= Self::CAPACITY, "CpuMask::first_n({n}) exceeds capacity");
+        assert!(
+            n <= Self::CAPACITY,
+            "CpuMask::first_n({n}) exceeds capacity"
+        );
         if n == 64 {
             CpuMask(u64::MAX)
         } else {

@@ -232,7 +232,8 @@ impl Topology {
     /// matches.)
     pub fn cpu_id(&self, socket: u32, core_in_socket: u32, thread: u32) -> CpuId {
         debug_assert!(
-            socket < self.sockets && core_in_socket < self.cores_per_socket
+            socket < self.sockets
+                && core_in_socket < self.cores_per_socket
                 && thread < self.threads_per_core
         );
         CpuId(

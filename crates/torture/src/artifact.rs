@@ -34,7 +34,11 @@ pub fn write_failure(dir: &Path, shrunk: &Shrunk) -> std::io::Result<ArtifactPat
     let scn_path = dir.join(format!("failure-{seed:#x}.torture"));
     let mut f = std::fs::File::create(&scn_path)?;
     writeln!(f, "# hpl-torture failure artifact")?;
-    writeln!(f, "# replay: cargo run --release --bin torture -- --replay {}", scn_path.display())?;
+    writeln!(
+        f,
+        "# replay: cargo run --release --bin torture -- --replay {}",
+        scn_path.display()
+    )?;
     for msg in &shrunk.failures {
         writeln!(f, "# failure: {msg}")?;
     }

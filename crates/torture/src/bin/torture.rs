@@ -41,10 +41,7 @@ fn parse_args() -> Args {
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
-        let mut val = |name: &str| {
-            it.next()
-                .unwrap_or_else(|| panic!("{name} needs a value"))
-        };
+        let mut val = |name: &str| it.next().unwrap_or_else(|| panic!("{name} needs a value"));
         match arg.as_str() {
             "--scenarios" => a.scenarios = val("--scenarios").parse().expect("bad --scenarios"),
             "--seed" => {
@@ -80,13 +77,9 @@ fn parse_args() -> Args {
 
 fn describe(sc: &Scenario) -> String {
     let wl = match &sc.workload {
-        Workload::Mpi(m) => format!(
-            "mpi {}r/{:?} {} ops",
-            m.ranks_per_node,
-            m.mode,
-            m.ops.len()
-        ),
+        Workload::Mpi(m) => format!("mpi {}r/{:?} {} ops", m.ranks_per_node, m.mode, m.ops.len()),
         Workload::Soup(s) => format!("soup {} tasks", s.tasks.len()),
+        Workload::Batch(b) => format!("batch {:?} {} jobs", b.policy, b.jobs.len()),
     };
     format!(
         "n{} {:?}{}{}{} noise{}% {}",

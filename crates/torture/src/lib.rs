@@ -4,7 +4,9 @@
 //! and "the scheduler is correct": it generates random-but-live
 //! scenarios ([`Scenario::sample`]) spanning topology shapes, program
 //! soups (fork/sleep/barrier/channel ops under mixed CFS/RT/HPC
-//! policies), MPI jobs, noise intensities and 1–4-node LogGP fabrics,
+//! policies), MPI jobs, batch-scheduled multi-job streams (FCFS or
+//! EASY through `hpl-batch`, audited for occupancy-limit and
+//! reservation breaches), noise intensities and 1–4-node LogGP fabrics,
 //! then runs each one with an online [`InvariantOracle`] attached — a
 //! [`hpl_kernel::observe::SchedObserver`] sink that replays the
 //! kernel's decision stream against the paper's invariants (class
@@ -37,6 +39,8 @@ pub mod shrink;
 
 pub use oracle::{InvariantOracle, Violation};
 pub use runner::{analytic_differential, check_scenario, run_scenario, Failure, RunReport};
-pub use scenario::{Fault, ModeKind, MpiSpec, OpKind, PolicyKind, Scenario, SoupSpec, SoupStep,
-    SoupTask, TopoKind, Workload};
+pub use scenario::{
+    BatchPolicyKind, BatchSpec, Fault, ModeKind, MpiSpec, OpKind, PolicyKind, Scenario, SoupSpec,
+    SoupStep, SoupTask, TopoKind, Workload,
+};
 pub use shrink::{shrink, Shrunk};

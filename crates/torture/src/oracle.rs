@@ -254,7 +254,10 @@ impl InvariantOracle {
             self.record(
                 at,
                 "conservation",
-                format!("shadow tracks {} tasks, kernel has {nkernel}", self.tasks.len()),
+                format!(
+                    "shadow tracks {} tasks, kernel has {nkernel}",
+                    self.tasks.len()
+                ),
             );
             found += 1;
         }
@@ -344,7 +347,9 @@ impl InvariantOracle {
                             self.record(
                                 at,
                                 "class-order",
-                                format!("pick of {q} reported class {class:?}, policy says {kind:?}"),
+                                format!(
+                                    "pick of {q} reported class {class:?}, policy says {kind:?}"
+                                ),
                             );
                         }
                         // Shielding: no runnable task of a higher class
@@ -496,7 +501,11 @@ impl InvariantOracle {
     ) {
         use hpl_kernel::PreemptVerdict as V;
         let Some(wk) = self.class_of(woken) else {
-            self.record(at, "conservation", format!("preempt check for unknown {woken}"));
+            self.record(
+                at,
+                "conservation",
+                format!("preempt check for unknown {woken}"),
+            );
             return;
         };
         match curr {
@@ -706,7 +715,13 @@ impl SchedObserver for InvariantOracle {
             SchedEvent::Balance { .. }
             | SchedEvent::NetSend { .. }
             | SchedEvent::Irq { .. }
-            | SchedEvent::NoiseArrival { .. } => {}
+            | SchedEvent::NoiseArrival { .. }
+            // Batch-level job lifecycle events come from above the
+            // kernel; the batch occupancy invariant is checked by the
+            // runner against Cluster::active_jobs_on instead.
+            | SchedEvent::JobSubmit { .. }
+            | SchedEvent::JobStart { .. }
+            | SchedEvent::JobEnd { .. } => {}
         }
     }
 

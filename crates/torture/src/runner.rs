@@ -12,8 +12,10 @@
 
 use crate::oracle::{InvariantOracle, Violation};
 use crate::scenario::{
-    Fault, ModeKind, OpKind, PolicyKind, Scenario, SoupSpec, SoupStep, TopoKind, Workload,
+    BatchPolicyKind, BatchSpec, Fault, ModeKind, OpKind, PolicyKind, Scenario, SoupSpec, SoupStep,
+    TopoKind, Workload,
 };
+use hpl_batch::{run_batch, BatchConfig, BatchTrace, EasyBackfill, Fcfs};
 use hpl_cluster::{Cluster, EmpiricalDist, Interconnect, NetConfig, ResonanceModel};
 use hpl_core::HplClass;
 use hpl_kernel::noise::{IrqSpec, NoiseProfile};
@@ -205,11 +207,74 @@ fn job_spec(sc: &Scenario) -> JobSpec {
     JobSpec::new(m.ranks_per_node * sc.nodes, ops).with_nodes(sc.nodes)
 }
 
+/// Drive a batch workload on the already-built cluster and translate
+/// batch-level invariant breaches into oracle-style violations: node
+/// occupancy above the policy's limit, and — under EASY — any audited
+/// backfill decision that intrudes on the head job's reservation.
+fn run_batch_workload(
+    sc: &Scenario,
+    b: &BatchSpec,
+    cluster: &mut Cluster,
+    budget: u64,
+    violations: &mut Vec<Violation>,
+) -> (RunOutcome, u64) {
+    let trace = BatchTrace {
+        jobs: b.jobs.clone(),
+    };
+    let cfg = BatchConfig {
+        mode: if sc.hpl {
+            SchedMode::Hpc
+        } else {
+            SchedMode::Cfs
+        },
+        max_events: budget,
+        ..BatchConfig::default()
+    };
+    let result = match b.policy {
+        BatchPolicyKind::Fcfs => run_batch(cluster, &trace, &mut Fcfs, &cfg),
+        BatchPolicyKind::Easy => {
+            let mut policy = EasyBackfill::new();
+            let result = run_batch(cluster, &trace, &mut policy, &cfg);
+            for d in policy.decisions() {
+                if !d.respects_reservation() {
+                    violations.push(Violation {
+                        at: d.shadow,
+                        rule: "batch-reservation",
+                        detail: format!(
+                            "backfill of job {} intrudes on head {}'s reservation: {d:?}",
+                            d.job, d.head
+                        ),
+                    });
+                }
+            }
+            result
+        }
+    };
+    match result {
+        Ok(report) => {
+            if report.occupancy_violations > 0 {
+                violations.push(Violation {
+                    at: cluster.node(0).now(),
+                    rule: "batch-occupancy",
+                    detail: format!(
+                        "{} allocation rounds exceeded the policy occupancy limit (peak {})",
+                        report.occupancy_violations, report.max_node_occupancy
+                    ),
+                });
+            }
+            (RunOutcome::Completed, report.makespan.as_nanos())
+        }
+        Err(o) => (o, 0),
+    }
+}
+
 /// Run `sc` once on the given event-loop flavour, invariant oracles
 /// attached to every node. `with_trace` additionally captures a Chrome
 /// trace of the run (for failure artifacts).
 pub fn run_scenario(sc: &Scenario, fast: bool, with_trace: bool) -> RunReport {
-    if sc.nodes == 1 {
+    // Batch workloads always go through the cluster path: the batch
+    // engine drives a `Cluster` even when it has a single node.
+    if sc.nodes == 1 && !matches!(sc.workload, Workload::Batch(_)) {
         run_single(sc, fast, with_trace)
     } else {
         run_cluster(sc, fast, with_trace)
@@ -227,7 +292,8 @@ fn attach_oracle(node: &mut Node, min_alpha: Option<SimDuration>) -> ObserverId 
 fn run_single(sc: &Scenario, fast: bool, with_trace: bool) -> RunReport {
     let mut node = build_node(sc, 0, fast);
     let oracle_id = attach_oracle(&mut node, None);
-    let trace_id = with_trace.then(|| node.attach_observer(Box::new(ChromeTraceSink::new(200_000))));
+    let trace_id =
+        with_trace.then(|| node.attach_observer(Box::new(ChromeTraceSink::new(200_000))));
     node.run_for(WARMUP);
     let (outcome, exec_ns) = match &sc.workload {
         Workload::Soup(soup) => {
@@ -248,6 +314,7 @@ fn run_single(sc: &Scenario, fast: bool, with_trace: bool) -> RunReport {
                 Err(outcome) => (outcome, 0),
             }
         }
+        Workload::Batch(_) => unreachable!("batch workloads run on the cluster path"),
     };
     // Split borrow: run the conservation cross-check with a detached
     // shadow, since finish() needs both the oracle (mut) and the node.
@@ -257,7 +324,9 @@ fn run_single(sc: &Scenario, fast: bool, with_trace: bool) -> RunReport {
     if let Some(oracle) = detached.as_mut() {
         oracle.finish(&node);
     }
-    let violations = detached.map(|o| o.violations().to_vec()).unwrap_or_default();
+    let violations = detached
+        .map(|o| o.violations().to_vec())
+        .unwrap_or_default();
     let trace = trace_id.and_then(|id| node.export_chrome_trace(id));
     RunReport {
         outcome,
@@ -272,7 +341,9 @@ fn run_single(sc: &Scenario, fast: bool, with_trace: bool) -> RunReport {
 fn run_cluster(sc: &Scenario, fast: bool, with_trace: bool) -> RunReport {
     let net_cfg = NetConfig::default();
     let alpha = net_cfg.alpha;
-    let nodes: Vec<Node> = (0..sc.nodes).map(|i| build_node(sc, i as u64, fast)).collect();
+    let nodes: Vec<Node> = (0..sc.nodes)
+        .map(|i| build_node(sc, i as u64, fast))
+        .collect();
     let fabric = if sc.switched {
         Interconnect::switched(sc.nodes as usize, net_cfg)
     } else {
@@ -289,16 +360,22 @@ fn run_cluster(sc: &Scenario, fast: bool, with_trace: bool) -> RunReport {
         }
         node.run_for(WARMUP);
     }
-    let Workload::Mpi(m) = &sc.workload else {
-        panic!("multi-node scenarios are MPI-only");
-    };
-    let handle = cluster.launch_job(&job_spec(sc), sched_mode(m.mode));
     let budget = EVENT_BUDGET * sc.nodes as u64;
-    let (outcome, exec_ns) = match cluster.try_run_to_completion(&handle, budget) {
-        Ok(exec) => (RunOutcome::Completed, exec.as_nanos()),
-        Err(o) => (o, 0),
+    let mut batch_violations = Vec::new();
+    let (outcome, exec_ns) = match &sc.workload {
+        Workload::Mpi(m) => {
+            let handle = cluster.launch_job(&job_spec(sc), sched_mode(m.mode));
+            match cluster.try_run_to_completion(&handle, budget) {
+                Ok(exec) => (RunOutcome::Completed, exec.as_nanos()),
+                Err(o) => (o, 0),
+            }
+        }
+        Workload::Batch(b) => {
+            run_batch_workload(sc, b, &mut cluster, budget, &mut batch_violations)
+        }
+        Workload::Soup(_) => panic!("multi-node scenarios cannot run a soup"),
     };
-    let mut violations = Vec::new();
+    let mut violations = batch_violations;
     for (i, &id) in oracle_ids.iter().enumerate() {
         let mut detached = cluster
             .node_mut(i)
@@ -420,7 +497,9 @@ fn analytic_cluster(nodes: u32, seed: u64, fast: bool) -> Cluster {
         fault: Fault::None,
         workload: Workload::Soup(SoupSpec::default()), // unused
     };
-    let built: Vec<Node> = (0..nodes).map(|i| build_node(&sc, i as u64, fast)).collect();
+    let built: Vec<Node> = (0..nodes)
+        .map(|i| build_node(&sc, i as u64, fast))
+        .collect();
     let cfg = NetConfig {
         alpha: SimDuration::from_micros(1),
         beta_ns_per_byte: 0.1,
@@ -542,6 +621,7 @@ pub fn debug_run_single(sc: &Scenario, fast: bool, extra: Box<dyn hpl_kernel::Sc
             let handle = launch(&mut node, &job_spec(sc), sched_mode(m.mode));
             let _ = handle.try_run_to_completion(&mut node, EVENT_BUDGET);
         }
+        Workload::Batch(_) => panic!("debug_run_single cannot run batch workloads"),
     }
     let mut detached = node
         .observer_mut::<InvariantOracle>(oracle_id)

@@ -2,9 +2,10 @@
 //!
 //! A [`Scenario`] is an explicit, fully serialisable description of one
 //! torture case: machine shape, kernel flavour, noise level, fabric,
-//! fault injection, and a workload — either an MPI job or a "soup" of
+//! fault injection, and a workload — an MPI job, a "soup" of
 //! interacting tasks (computes, sleeps, channels, barriers, forks,
-//! policy changes). Scenarios are *sampled* from a seed but *stored* as
+//! policy changes), or a batch-scheduled multi-job stream.
+//! Scenarios are *sampled* from a seed but *stored* as
 //! plain data, so the shrinker can mutate them structurally and a
 //! failure can be replayed from its artifact file byte-for-byte.
 //!
@@ -16,6 +17,7 @@
 //! `Deadlock` outcome a scenario produces is the scheduler's fault, not
 //! the generator's.
 
+use hpl_batch::BatchJob;
 use hpl_sim::Rng;
 
 /// Machine shape of every node in the scenario.
@@ -166,6 +168,27 @@ impl SoupSpec {
     }
 }
 
+/// Allocation policy of a batch workload (mirrors the `hpl-batch`
+/// policies the torture harness exercises).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchPolicyKind {
+    /// Strict first-come-first-served.
+    Fcfs,
+    /// EASY backfilling with a head-job reservation.
+    Easy,
+}
+
+/// A two-level batch-scheduling workload: a small job stream pushed
+/// through `hpl_batch::run_batch` on the scenario's cluster.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchSpec {
+    /// Allocation policy under test.
+    pub policy: BatchPolicyKind,
+    /// The job stream (ids are trace-local; widths never exceed the
+    /// scenario's node count).
+    pub jobs: Vec<BatchJob>,
+}
+
 /// The workload a scenario runs.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Workload {
@@ -173,6 +196,8 @@ pub enum Workload {
     Mpi(MpiSpec),
     /// A single-node task soup.
     Soup(SoupSpec),
+    /// A batch-scheduled multi-job stream on the cluster.
+    Batch(BatchSpec),
 }
 
 /// One complete torture case.
@@ -227,7 +252,9 @@ impl Scenario {
             TopoKind::Power6,
         ]);
         let hpl = rng.chance(0.55);
-        let workload = if nodes > 1 || rng.chance(0.5) {
+        let workload = if nodes > 1 && rng.chance(0.25) {
+            Workload::Batch(Self::sample_batch(&mut rng, nodes, topo))
+        } else if nodes > 1 || rng.chance(0.5) {
             Workload::Mpi(Self::sample_mpi(&mut rng, topo, hpl))
         } else {
             Workload::Soup(Self::sample_soup(&mut rng, topo, hpl))
@@ -291,6 +318,49 @@ impl Scenario {
         }
     }
 
+    /// 2–4 jobs with staggered arrivals, widths within the cluster and
+    /// ranks within the node (CPU oversubscription makes runtimes
+    /// unboundable by honest estimates, which would turn EASY's
+    /// reservation promise into noise), under FCFS or EASY. Estimates
+    /// use the same generous max-of-exponentials bracket as
+    /// `hpl_batch::BatchTrace::synthetic`.
+    fn sample_batch(rng: &mut Rng, nodes: u32, topo: TopoKind) -> BatchSpec {
+        let ncpus = match topo {
+            TopoKind::Smp(n) => n,
+            TopoKind::Power6 => 8,
+        };
+        let policy = if rng.chance(0.5) {
+            BatchPolicyKind::Fcfs
+        } else {
+            BatchPolicyKind::Easy
+        };
+        let njobs = rng.range_u64(2, 4) as u32;
+        let mut submit_ns = 0u64;
+        let jobs = (0..njobs)
+            .map(|id| {
+                submit_ns += (rng.exp(3.0e6) as u64).min(20_000_000);
+                let width = rng.range_u64(1, nodes as u64) as u32;
+                let ranks_per_node = rng.range_u64(1, ncpus.min(2) as u64) as u32;
+                let iters = rng.range_u64(1, 3) as u32;
+                let compute_ns = rng.range_u64(500_000, 2_000_000);
+                let nominal = iters as u64 * compute_ns;
+                let nprocs = (width * ranks_per_node) as u64;
+                let est_factor = 2 + (u64::BITS - nprocs.leading_zeros()) as u64;
+                BatchJob {
+                    id,
+                    submit_ns,
+                    nodes: width,
+                    ranks_per_node,
+                    iters,
+                    compute_ns,
+                    bytes: if rng.chance(0.5) { 64 } else { 1024 },
+                    est_runtime_ns: est_factor * nominal + 50_000_000,
+                }
+            })
+            .collect();
+        BatchSpec { policy, jobs }
+    }
+
     fn sample_soup(rng: &mut Rng, topo: TopoKind, hpl: bool) -> SoupSpec {
         let ncpus = match topo {
             TopoKind::Smp(n) => n,
@@ -312,9 +382,7 @@ impl Scenario {
         let mut tasks = Vec::with_capacity(ntasks);
         for (i, &in_barrier) in barrier_members.iter().enumerate() {
             let policy = Self::sample_policy(rng, hpl);
-            let pin = rng
-                .chance(0.4)
-                .then(|| rng.below(ncpus as u64) as u32);
+            let pin = rng.chance(0.4).then(|| rng.below(ncpus as u64) as u32);
             // Phase 1: computes/sleeps/notifies (to higher indices).
             let mut steps = Vec::new();
             for _ in 0..rng.range_u64(0, 2) {
@@ -468,9 +536,30 @@ impl Scenario {
                 for t in &soup.tasks {
                     let pol = policy_to_text(t.policy);
                     let pin = t.pin.map_or("-".into(), |c| c.to_string());
-                    let steps: Vec<String> =
-                        t.steps.iter().map(step_to_text).collect();
+                    let steps: Vec<String> = t.steps.iter().map(step_to_text).collect();
                     let _ = writeln!(s, "task {pol} {pin} {}", steps.join(" "));
+                }
+            }
+            Workload::Batch(b) => {
+                let _ = writeln!(s, "workload batch");
+                let policy = match b.policy {
+                    BatchPolicyKind::Fcfs => "fcfs",
+                    BatchPolicyKind::Easy => "easy",
+                };
+                let _ = writeln!(s, "policy {policy}");
+                for j in &b.jobs {
+                    let _ = writeln!(
+                        s,
+                        "bjob {} {} {} {} {} {} {} {}",
+                        j.id,
+                        j.submit_ns,
+                        j.nodes,
+                        j.ranks_per_node,
+                        j.iters,
+                        j.compute_ns,
+                        j.bytes,
+                        j.est_runtime_ns
+                    );
                 }
             }
         }
@@ -502,6 +591,7 @@ impl Scenario {
         };
         let mut mpi: Option<MpiSpec> = None;
         let mut soup: Option<SoupSpec> = None;
+        let mut batch: Option<BatchSpec> = None;
         for line in lines {
             let line = line.trim();
             if line.is_empty() || line.starts_with('#') {
@@ -514,9 +604,7 @@ impl Scenario {
                 "topo" => {
                     sc.topo = match rest {
                         "power6" => TopoKind::Power6,
-                        s if s.starts_with("smp") => {
-                            TopoKind::Smp(parse_num(&s[3..])? as u32)
-                        }
+                        s if s.starts_with("smp") => TopoKind::Smp(parse_num(&s[3..])? as u32),
                         s => return Err(format!("bad topo {s:?}")),
                     }
                 }
@@ -541,10 +629,50 @@ impl Scenario {
                         })
                     }
                     "soup" => soup = Some(SoupSpec::default()),
+                    "batch" => {
+                        batch = Some(BatchSpec {
+                            policy: BatchPolicyKind::Fcfs,
+                            jobs: Vec::new(),
+                        })
+                    }
                     s => return Err(format!("bad workload {s:?}")),
                 },
+                "policy" => {
+                    batch
+                        .as_mut()
+                        .ok_or("policy outside batch workload")?
+                        .policy = match rest {
+                        "fcfs" => BatchPolicyKind::Fcfs,
+                        "easy" => BatchPolicyKind::Easy,
+                        s => return Err(format!("bad batch policy {s:?}")),
+                    };
+                }
+                "bjob" => {
+                    let batch = batch.as_mut().ok_or("bjob outside batch workload")?;
+                    let nums = rest
+                        .split_whitespace()
+                        .map(parse_num)
+                        .collect::<Result<Vec<_>, _>>()?;
+                    let [id, submit_ns, nodes, rpn, iters, compute_ns, bytes, est]: [u64; 8] = nums
+                        .try_into()
+                        .map_err(|_| format!("bjob needs 8 fields: {rest:?}"))?;
+                    if nodes == 0 || rpn == 0 || iters == 0 {
+                        return Err(format!("bjob {id} has a zero dimension"));
+                    }
+                    batch.jobs.push(BatchJob {
+                        id: id as u32,
+                        submit_ns,
+                        nodes: nodes as u32,
+                        ranks_per_node: rpn as u32,
+                        iters: iters as u32,
+                        compute_ns,
+                        bytes,
+                        est_runtime_ns: est,
+                    });
+                }
                 "ranks_per_node" => {
-                    mpi.as_mut().ok_or("ranks_per_node outside mpi workload")?
+                    mpi.as_mut()
+                        .ok_or("ranks_per_node outside mpi workload")?
                         .ranks_per_node = parse_num(rest)? as u32;
                 }
                 "mode" => {
@@ -552,12 +680,8 @@ impl Scenario {
                         "cfs" => ModeKind::Cfs,
                         "hpc" => ModeKind::Hpc,
                         "cfs-pinned" => ModeKind::CfsPinned,
-                        s if s.starts_with("cfs-nice:") => {
-                            ModeKind::CfsNice(parse_i8(&s[9..])?)
-                        }
-                        s if s.starts_with("rt:") => {
-                            ModeKind::Rt(parse_num(&s[3..])? as u8)
-                        }
+                        s if s.starts_with("cfs-nice:") => ModeKind::CfsNice(parse_i8(&s[9..])?),
+                        s if s.starts_with("rt:") => ModeKind::Rt(parse_num(&s[3..])? as u8),
                         s => return Err(format!("bad mode {s:?}")),
                     };
                 }
@@ -569,15 +693,12 @@ impl Scenario {
                 "task" => {
                     let soup = soup.as_mut().ok_or("task outside soup workload")?;
                     let mut parts = rest.split_whitespace();
-                    let pol =
-                        policy_from_text(parts.next().ok_or("task missing policy")?)?;
+                    let pol = policy_from_text(parts.next().ok_or("task missing policy")?)?;
                     let pin = match parts.next().ok_or("task missing pin")? {
                         "-" => None,
                         s => Some(parse_num(s)? as u32),
                     };
-                    let steps = parts
-                        .map(step_from_text)
-                        .collect::<Result<Vec<_>, _>>()?;
+                    let steps = parts.map(step_from_text).collect::<Result<Vec<_>, _>>()?;
                     soup.tasks.push(SoupTask {
                         policy: pol,
                         pin,
@@ -587,9 +708,10 @@ impl Scenario {
                 k => return Err(format!("unknown key {k:?}")),
             }
         }
-        sc.workload = match (mpi, soup) {
-            (Some(m), None) => Workload::Mpi(m),
-            (None, Some(s)) => Workload::Soup(s),
+        sc.workload = match (mpi, soup, batch) {
+            (Some(m), None, None) => Workload::Mpi(m),
+            (None, Some(s), None) => Workload::Soup(s),
+            (None, None, Some(b)) => Workload::Batch(b),
             _ => return Err("exactly one workload section required".into()),
         };
         Ok(sc)

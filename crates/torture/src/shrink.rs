@@ -37,6 +37,10 @@ fn uses_hpc(sc: &Scenario) -> bool {
                     .iter()
                     .any(|s| matches!(s, SoupStep::SetPolicy(crate::scenario::PolicyKind::Hpc)))
         }),
+        // Batch jobs launch under Hpc exactly when the HPL class is on,
+        // so dropping the class changes the workload's scheduling class
+        // — never a vacuous simplification.
+        Workload::Batch(_) => sc.hpl,
     }
 }
 
@@ -122,14 +126,44 @@ fn candidates(sc: &Scenario) -> Vec<(&'static str, Scenario)> {
             if let Workload::Soup(s) = &mut c.workload {
                 for t in &mut s.tasks {
                     let before = t.steps.len();
-                    t.steps.retain(|s| {
-                        !matches!(s, SoupStep::Barrier | SoupStep::SetPolicy(_))
-                    });
+                    t.steps
+                        .retain(|s| !matches!(s, SoupStep::Barrier | SoupStep::SetPolicy(_)));
                     changed |= t.steps.len() != before;
                 }
             }
             if changed {
                 push("strip barriers and setpolicy", c);
+            }
+        }
+        Workload::Batch(b) => {
+            for k in (0..b.jobs.len()).rev() {
+                if b.jobs.len() > 1 {
+                    let mut c = sc.clone();
+                    if let Workload::Batch(b) = &mut c.workload {
+                        b.jobs.remove(k);
+                    }
+                    push("drop a batch job", c);
+                }
+            }
+            let mut c = sc.clone();
+            let mut changed = false;
+            if let Workload::Batch(b) = &mut c.workload {
+                for j in &mut b.jobs {
+                    if j.compute_ns > 100_000 {
+                        j.compute_ns /= 2;
+                        changed = true;
+                    }
+                }
+            }
+            if changed {
+                push("halve batch computes", c);
+            }
+            if b.policy == crate::scenario::BatchPolicyKind::Easy {
+                let mut c = sc.clone();
+                if let Workload::Batch(b) = &mut c.workload {
+                    b.policy = crate::scenario::BatchPolicyKind::Fcfs;
+                }
+                push("easy to fcfs", c);
             }
         }
     }
@@ -167,15 +201,25 @@ fn candidates(sc: &Scenario) -> Vec<(&'static str, Scenario)> {
         c.topo = TopoKind::Smp(2);
         push("shrink topology", c);
     }
-    // Pins may now point past the shrunk topology; clamp them.
+    // Pins may now point past the shrunk topology, and batch job shapes
+    // past the shrunk cluster; clamp them.
     for (_, c) in &mut out {
         let n = c.ncpus();
-        if let Workload::Soup(s) = &mut c.workload {
-            for t in &mut s.tasks {
-                if let Some(pin) = &mut t.pin {
-                    *pin %= n;
+        match &mut c.workload {
+            Workload::Soup(s) => {
+                for t in &mut s.tasks {
+                    if let Some(pin) = &mut t.pin {
+                        *pin %= n;
+                    }
                 }
             }
+            Workload::Batch(b) => {
+                for j in &mut b.jobs {
+                    j.nodes = j.nodes.min(c.nodes);
+                    j.ranks_per_node = j.ranks_per_node.min(n);
+                }
+            }
+            Workload::Mpi(_) => {}
         }
     }
     out
@@ -209,8 +253,10 @@ fn drop_soup_task(s: &mut crate::scenario::SoupSpec, k: usize) {
 /// [`check_scenario`]; the returned scenario still fails it.
 pub fn shrink(sc: &Scenario, mut on_step: impl FnMut(&'static str)) -> Shrunk {
     let mut current = sc.clone();
-    let mut failures: Vec<String> =
-        check_scenario(&current).iter().map(|f| f.to_string()).collect();
+    let mut failures: Vec<String> = check_scenario(&current)
+        .iter()
+        .map(|f| f.to_string())
+        .collect();
     let mut runs = 1;
     let mut steps = Vec::new();
     'outer: loop {

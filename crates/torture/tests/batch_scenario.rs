@@ -1,0 +1,66 @@
+//! Batch-workload torture scenarios: the grammar samples them, the text
+//! form replays them, and the full differential check (both event
+//! loops, oracles attached, occupancy + reservation audits) holds.
+
+use hpl_torture::{check_scenario, run_scenario, Scenario, Workload};
+
+/// First sampled batch scenario of a seed stream.
+fn first_batch(base_seed: u64) -> Scenario {
+    (0..200)
+        .map(|i| Scenario::sample(base_seed, i))
+        .find(|sc| matches!(sc.workload, Workload::Batch(_)))
+        .expect("sampler never produced a batch workload in 200 draws")
+}
+
+#[test]
+fn sampler_produces_batch_scenarios_that_round_trip() {
+    let sc = first_batch(0xBA7C5);
+    let Workload::Batch(b) = &sc.workload else {
+        unreachable!()
+    };
+    assert!((2..=4).contains(&b.jobs.len()), "{} jobs", b.jobs.len());
+    for j in &b.jobs {
+        assert!(j.nodes >= 1 && j.nodes <= sc.nodes);
+        assert!(j.est_runtime_ns > j.iters as u64 * j.compute_ns);
+    }
+    let text = sc.to_text();
+    let back = Scenario::from_text(&text).expect("batch scenario parses back");
+    assert_eq!(sc, back);
+}
+
+#[test]
+fn batch_scenario_passes_the_full_check() {
+    let sc = first_batch(0xBA7C5);
+    let failures = check_scenario(&sc);
+    assert!(
+        failures.is_empty(),
+        "batch scenario failed: {:?}",
+        failures.iter().map(|f| f.to_string()).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn hand_written_batch_scenario_replays() {
+    let text = "\
+torture-scenario v1
+seed 99
+nodes 2
+topo smp2
+switched false
+hpl true
+tickless false
+noise_pct 0
+irq false
+fault none
+workload batch
+policy easy
+bjob 0 0 2 1 2 1000000 64 60000000
+bjob 1 1000000 1 1 2 1000000 64 60000000
+";
+    let sc = Scenario::from_text(text).expect("parses");
+    assert_eq!(sc.to_text(), text);
+    let report = run_scenario(&sc, true, false);
+    assert!(report.outcome.is_complete(), "outcome {:?}", report.outcome);
+    assert!(report.violations.is_empty(), "{:?}", report.violations);
+    assert!(report.exec_ns > 0, "makespan must be recorded");
+}

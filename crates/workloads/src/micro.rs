@@ -73,10 +73,7 @@ mod tests {
         let job = noise_probe_job(8, 100, SimDuration::from_millis(1));
         assert_eq!(job.ops.len(), 200);
         assert_eq!(job.config.compute_jitter, 0.0);
-        assert_eq!(
-            job.total_compute(),
-            SimDuration::from_millis(100)
-        );
+        assert_eq!(job.total_compute(), SimDuration::from_millis(100));
     }
 
     #[test]
@@ -96,7 +93,9 @@ mod tests {
         use hpl_kernel::NodeBuilder;
         use hpl_mpi::{launch, SchedMode};
         use hpl_topology::Topology;
-        let mut node = NodeBuilder::new(Topology::power6_js22()).with_seed(3).build();
+        let mut node = NodeBuilder::new(Topology::power6_js22())
+            .with_seed(3)
+            .build();
         let job = wavefront_probe_job(8, 4, SimDuration::from_millis(1));
         let h = launch(&mut node, &job, SchedMode::Cfs);
         let t = h.run_to_completion(&mut node, 2_000_000_000);
@@ -114,7 +113,11 @@ mod tests {
 
     #[test]
     fn injection_profile_pins_per_cpu() {
-        let p = injection_profile(8, SimDuration::from_millis(10), SimDuration::from_micros(50));
+        let p = injection_profile(
+            8,
+            SimDuration::from_millis(10),
+            SimDuration::from_micros(50),
+        );
         assert_eq!(p.daemons.len(), 8);
         assert!(p.daemons.iter().all(|d| d.pinned.is_some()));
     }

@@ -220,9 +220,7 @@ fn msg_cost(cfg: &MpiConfig, op: &MpiOp, nprocs: u32) -> f64 {
     match op {
         MpiOp::Compute { .. } => 0.0,
         MpiOp::Barrier => p.max(2.0).log2().ceil() * alpha,
-        MpiOp::Allreduce { bytes } => {
-            p.max(2.0).log2().ceil() * (alpha + beta * *bytes as f64)
-        }
+        MpiOp::Allreduce { bytes } => p.max(2.0).log2().ceil() * (alpha + beta * *bytes as f64),
         MpiOp::Alltoall { bytes } => (p - 1.0) * (alpha + beta * *bytes as f64),
         MpiOp::NeighborExchange { bytes } => 2.0 * (alpha + beta * *bytes as f64),
         MpiOp::Bcast { bytes } | MpiOp::Reduce { bytes } => {
@@ -256,8 +254,7 @@ pub fn nas_job(bench: NasBenchmark, class: NasClass, nprocs: u32) -> JobSpec {
     // (rank forks, MPI_Init connection rounds, finalize) that is wall
     // time, not SMT-scaled work; subtract it before converting.
     const LAUNCH_OVERHEAD_SECS: f64 = 0.025;
-    let total_work =
-        (s.target_secs - LAUNCH_OVERHEAD_SECS).max(0.01) * calibration_thread_factor();
+    let total_work = (s.target_secs - LAUNCH_OVERHEAD_SECS).max(0.01) * calibration_thread_factor();
     let comm_per_iter: f64 = s.comm.iter().map(|op| msg_cost(&cfg, op, 8)).sum();
     let tail_cost: f64 = s.tail.iter().map(|op| msg_cost(&cfg, op, 8)).sum();
     let compute_total = (total_work - comm_per_iter * s.iters as f64 - tail_cost).max(0.01);

@@ -58,7 +58,12 @@ const fn mam(min: f64, avg: f64, max: f64) -> MinAvgMax {
 }
 
 const fn time(min: f64, avg: f64, max: f64, var_pct: f64) -> TimeRow {
-    TimeRow { min, avg, max, var_pct }
+    TimeRow {
+        min,
+        avg,
+        max,
+        var_pct,
+    }
 }
 
 /// All twelve rows, in the paper's table order.

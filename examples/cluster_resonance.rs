@@ -23,14 +23,24 @@ fn measure_phases(hpl_mode: bool, reps: u32, seed: u64) -> Vec<f64> {
         let topo = Topology::power6_js22();
         let noise = NoiseProfile::standard(8);
         let mut node = if hpl_mode {
-            hpl_node_builder(topo).with_noise(noise).with_seed(seed).build()
+            hpl_node_builder(topo)
+                .with_noise(noise)
+                .with_seed(seed)
+                .build()
         } else {
-            NodeBuilder::new(topo).with_noise(noise).with_seed(seed).build()
+            NodeBuilder::new(topo)
+                .with_noise(noise)
+                .with_seed(seed)
+                .build()
         };
         node.run_for(SimDuration::from_millis(400));
         let job = noise_probe_job(8, 30, SimDuration::from_millis(5));
         let barrier = job.barrier_id();
-        let mode = if hpl_mode { SchedMode::Hpc } else { SchedMode::Cfs };
+        let mode = if hpl_mode {
+            SchedMode::Hpc
+        } else {
+            SchedMode::Cfs
+        };
         let handle = launch(&mut node, &job, mode);
         let mut last_gen = node.sync.barrier_generation(barrier);
         let mut last_t = node.now();
@@ -60,7 +70,10 @@ fn main() {
     // The Petrini configuration: clip the tail (a dedicated OS core
     // absorbs the daemons) but pay 8/7 in per-phase compute.
     let donated = ResonanceModel::new(
-        std_model.per_phase.clipped_at_quantile(0.95).scaled(8.0 / 7.0),
+        std_model
+            .per_phase
+            .clipped_at_quantile(0.95)
+            .scaled(8.0 / 7.0),
         phases,
     );
 
@@ -73,7 +86,10 @@ fn main() {
         let a = std_model.expected_time(n, 25, 1);
         let b = hpl_model.expected_time(n, 25, 2);
         let c = donated.expected_time(n, 25, 3);
-        println!("{n:>6} | {a:>10.3} | {b:>10.3} | {c:>14.3} | {:>8.2}", a / b);
+        println!(
+            "{n:>6} | {a:>10.3} | {b:>10.3} | {c:>14.3} | {:>8.2}",
+            a / b
+        );
     }
     println!(
         "\nThe std curve climbs with node count (noise resonance); HPL stays\n\

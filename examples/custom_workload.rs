@@ -56,9 +56,15 @@ fn my_noise() -> NoiseProfile {
 fn run(label: &str, mode: SchedMode, hpl_kernel_mode: bool, seed: u64) {
     let topo = Topology::power6_js22();
     let mut node = if hpl_kernel_mode {
-        hpl_node_builder(topo).with_noise(my_noise()).with_seed(seed).build()
+        hpl_node_builder(topo)
+            .with_noise(my_noise())
+            .with_seed(seed)
+            .build()
     } else {
-        NodeBuilder::new(topo).with_noise(my_noise()).with_seed(seed).build()
+        NodeBuilder::new(topo)
+            .with_noise(my_noise())
+            .with_seed(seed)
+            .build()
     };
     node.run_for(SimDuration::from_millis(300));
     let job = stencil_job(40, SimDuration::from_millis(8));
@@ -78,8 +84,18 @@ fn main() {
     println!("custom stencil, 8 ranks, 40 steps, noisy custom daemons\n");
     for seed in [11, 12, 13] {
         run("standard CFS", SchedMode::Cfs, false, seed);
-        run("static pinning (sched_setaffinity)", SchedMode::CfsPinned, false, seed);
-        run("RT scheduler (SCHED_FIFO)", SchedMode::Rt { prio: 50 }, false, seed);
+        run(
+            "static pinning (sched_setaffinity)",
+            SchedMode::CfsPinned,
+            false,
+            seed,
+        );
+        run(
+            "RT scheduler (SCHED_FIFO)",
+            SchedMode::Rt { prio: 50 },
+            false,
+            seed,
+        );
         run("HPL (SCHED_HPC)", SchedMode::Hpc, true, seed);
         println!();
     }

@@ -18,12 +18,22 @@ fn run_side(job: &JobSpec, hpl_mode: bool, reps: u32, base_seed: u64) -> Vec<f64
             let topo = Topology::power6_js22();
             let noise = NoiseProfile::standard(topo.total_cpus());
             let mut node = if hpl_mode {
-                hpl_node_builder(topo).with_noise(noise).with_seed(seed).build()
+                hpl_node_builder(topo)
+                    .with_noise(noise)
+                    .with_seed(seed)
+                    .build()
             } else {
-                NodeBuilder::new(topo).with_noise(noise).with_seed(seed).build()
+                NodeBuilder::new(topo)
+                    .with_noise(noise)
+                    .with_seed(seed)
+                    .build()
             };
             node.run_for(SimDuration::from_millis(400));
-            let mode = if hpl_mode { SchedMode::Hpc } else { SchedMode::Cfs };
+            let mode = if hpl_mode {
+                SchedMode::Hpc
+            } else {
+                SchedMode::Cfs
+            };
             let handle = launch(&mut node, job, mode);
             handle
                 .run_to_completion(&mut node, 40_000_000_000)

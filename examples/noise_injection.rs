@@ -24,13 +24,23 @@ fn probe_time(
 ) -> f64 {
     let topo = Topology::power6_js22();
     let mut node = if hpl_mode {
-        hpl_node_builder(topo).with_noise(noise).with_seed(seed).build()
+        hpl_node_builder(topo)
+            .with_noise(noise)
+            .with_seed(seed)
+            .build()
     } else {
-        NodeBuilder::new(topo).with_noise(noise).with_seed(seed).build()
+        NodeBuilder::new(topo)
+            .with_noise(noise)
+            .with_seed(seed)
+            .build()
     };
     node.run_for(SimDuration::from_millis(200));
     let job = noise_probe_job(8, iters, quantum);
-    let mode = if hpl_mode { SchedMode::Hpc } else { SchedMode::Cfs };
+    let mode = if hpl_mode {
+        SchedMode::Hpc
+    } else {
+        SchedMode::Cfs
+    };
     let handle = launch(&mut node, &job, mode);
     handle
         .run_to_completion(&mut node, 40_000_000_000)
@@ -40,14 +50,34 @@ fn probe_time(
 fn main() {
     // Two probes with the same total work but different granularity.
     let configs = [
-        ("fine-grained  (1 ms quanta)", SimDuration::from_millis(1), 400u32),
-        ("coarse-grained (100 ms quanta)", SimDuration::from_millis(100), 4u32),
+        (
+            "fine-grained  (1 ms quanta)",
+            SimDuration::from_millis(1),
+            400u32,
+        ),
+        (
+            "coarse-grained (100 ms quanta)",
+            SimDuration::from_millis(100),
+            4u32,
+        ),
     ];
     // Equal noise budgets (2.5% of one CPU), different granularity.
     let injections = [
-        ("2.5% as  25 us every 1 ms", SimDuration::from_millis(1), SimDuration::from_micros(25)),
-        ("2.5% as 250 us every 10 ms", SimDuration::from_millis(10), SimDuration::from_micros(250)),
-        ("2.5% as 2.5 ms every 100 ms", SimDuration::from_millis(100), SimDuration::from_micros(2500)),
+        (
+            "2.5% as  25 us every 1 ms",
+            SimDuration::from_millis(1),
+            SimDuration::from_micros(25),
+        ),
+        (
+            "2.5% as 250 us every 10 ms",
+            SimDuration::from_millis(10),
+            SimDuration::from_micros(250),
+        ),
+        (
+            "2.5% as 2.5 ms every 100 ms",
+            SimDuration::from_millis(100),
+            SimDuration::from_micros(2500),
+        ),
     ];
     for (probe_name, quantum, iters) in configs {
         println!("== probe: {probe_name} ==");

@@ -15,16 +15,26 @@ fn measure(label: &str, hpl_mode: bool, seed: u64) {
     let topo = Topology::power6_js22();
     let noise = NoiseProfile::standard(topo.total_cpus());
     let mut node = if hpl_mode {
-        hpl_node_builder(topo).with_noise(noise).with_seed(seed).build()
+        hpl_node_builder(topo)
+            .with_noise(noise)
+            .with_seed(seed)
+            .build()
     } else {
-        NodeBuilder::new(topo).with_noise(noise).with_seed(seed).build()
+        NodeBuilder::new(topo)
+            .with_noise(noise)
+            .with_seed(seed)
+            .build()
     };
 
     // Let the daemon population settle, then measure like the paper:
     // perf stat -a around the launcher.
     node.run_for(SimDuration::from_millis(400));
     let job = nas_job(NasBenchmark::Ep, NasClass::A, 8);
-    let mode = if hpl_mode { SchedMode::Hpc } else { SchedMode::Cfs };
+    let mode = if hpl_mode {
+        SchedMode::Hpc
+    } else {
+        SchedMode::Cfs
+    };
 
     let mut perf = PerfSession::open(&node.counters, node.now());
     let handle = launch(&mut node, &job, mode);
@@ -34,10 +44,7 @@ fn measure(label: &str, hpl_mode: bool, seed: u64) {
     let delta = perf.delta();
     println!("== {label} ==");
     println!("  execution time:    {exec}");
-    println!(
-        "  cpu-migrations:    {}",
-        delta.sw(SwEvent::CpuMigrations)
-    );
+    println!("  cpu-migrations:    {}", delta.sw(SwEvent::CpuMigrations));
     println!(
         "  context-switches:  {}",
         delta.sw(SwEvent::ContextSwitches)

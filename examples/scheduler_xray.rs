@@ -28,9 +28,15 @@ fn xray(label: &str, file_tag: &str, hpl_mode: bool) {
     let topo = Topology::power6_js22();
     let noise = NoiseProfile::standard(8).scaled(3.0); // extra-noisy for visible effect
     let mut node = if hpl_mode {
-        hpl_node_builder(topo).with_noise(noise).with_seed(33).build()
+        hpl_node_builder(topo)
+            .with_noise(noise)
+            .with_seed(33)
+            .build()
     } else {
-        NodeBuilder::new(topo).with_noise(noise).with_seed(33).build()
+        NodeBuilder::new(topo)
+            .with_noise(noise)
+            .with_seed(33)
+            .build()
     };
     // The full observability stack: bounded ring (Gantt + analysis),
     // Chrome-trace exporter, and the metrics registry.
@@ -51,7 +57,11 @@ fn xray(label: &str, file_tag: &str, hpl_mode: bool) {
             ],
         ),
     );
-    let mode = if hpl_mode { SchedMode::Hpc } else { SchedMode::Cfs };
+    let mode = if hpl_mode {
+        SchedMode::Hpc
+    } else {
+        SchedMode::Cfs
+    };
     let mut perf = PerfSession::open(&node.counters, node.now());
     let start = node.now();
     let handle = launch(&mut node, &job, mode);

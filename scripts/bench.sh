@@ -4,7 +4,7 @@
 #   scripts/bench.sh          # full sweeps  (~minutes)
 #   scripts/bench.sh --quick  # short sweeps
 #
-# Writes two JSON reports at the repo root:
+# Writes three JSON reports at the repo root:
 #
 #   BENCH_eventloop.json — per-sweep events/sec and wall seconds for the
 #     event-loop fast path vs the reference path, a loop-bound headline
@@ -13,11 +13,16 @@
 #   BENCH_cluster.json — the mechanistic multi-node amplification curve:
 #     noise slowdown vs node count under CFS and the HPL scheduler,
 #     cross-checked against the analytic resonance model.
+#   BENCH_batch.json — the two-level scheduling sweep: batch allocation
+#     policies (FCFS, EASY backfilling, 2x oversubscription) crossed
+#     with CFS and HPL kernels; per-cell mean wait, bounded slowdown,
+#     utilization and makespan, with determinism and ordering claims.
 #
 # No criterion, no network.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cargo build --release -p hpl-bench --bin eventloop --bin cluster
+cargo build --release -p hpl-bench --bin eventloop --bin cluster --bin batch
 ./target/release/eventloop "$@"
 ./target/release/cluster "$@"
+./target/release/batch "$@"

@@ -7,6 +7,9 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "== format =="
+cargo fmt --check
+
 echo "== tier-1: release build =="
 cargo build --release
 
@@ -31,6 +34,9 @@ cargo run --release -q -p hpl-bench --bin cluster -- --smoke --out target/BENCH_
 
 echo "== scheduler torture smoke (fuzzed scenarios + invariant oracle) =="
 cargo run --release -q -p hpl-torture --bin torture -- --smoke
+
+echo "== batch scheduler smoke (two-level sweep completes) =="
+cargo run --release -q -p hpl-bench --bin batch -- --smoke --out target/BENCH_batch_smoke.json
 
 echo "== clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings

@@ -49,12 +49,14 @@
 //! | [`mpi`] | simulated MPI runtime and the perf/chrt/mpiexec launcher |
 //! | [`workloads`] | NAS benchmark models, noise microbenchmarks |
 //! | [`cluster`] | multi-node layer: analytic noise-resonance projection **and** mechanistic lockstep co-simulation of kernel nodes over a LogGP interconnect |
+//! | [`batch`] | two-level scheduling: cluster batch queue, FCFS/EASY-backfill/oversubscribed allocation policies, multi-job lifecycle engine (`run_batch`) |
 //! | [`bench`] | run harness, `RunConfig`/`RunTable` plumbing, the `repro` binary |
 //! | [`torture`] | seeded scheduler fuzzing: random scenarios, online invariant oracle, differential event-loop checks, failure shrinking (`torture` binary) |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use hpl_batch as batch;
 pub use hpl_bench as bench;
 pub use hpl_cluster as cluster;
 pub use hpl_core as core;
@@ -68,6 +70,10 @@ pub use hpl_workloads as workloads;
 
 /// The names almost every user of this library needs.
 pub mod prelude {
+    pub use hpl_batch::{
+        run_batch, AllocPolicy, BatchConfig, BatchJob, BatchReport, BatchTrace, EasyBackfill, Fcfs,
+        Oversubscribed,
+    };
     pub use hpl_bench::{run_many, run_once, NoiseKind, RunConfig, Scheduler};
     pub use hpl_cluster::{
         Cluster, ClusterJobHandle, DistError, EmpiricalDist, Fabric, FlatFabric, Interconnect,

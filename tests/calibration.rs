@@ -66,7 +66,10 @@ calibration_test!(mg_b_matches_paper, NasBenchmark::Mg, NasClass::B);
 /// The cheap always-on version: the two smallest configurations.
 #[test]
 fn smallest_configs_match_paper() {
-    for (b, c) in [(NasBenchmark::Is, NasClass::A), (NasBenchmark::Cg, NasClass::A)] {
+    for (b, c) in [
+        (NasBenchmark::Is, NasClass::A),
+        (NasBenchmark::Cg, NasClass::A),
+    ] {
         let target = paper_hpl_min_secs(b, c);
         let got = hpl_min_of(b, c, 2);
         let rel = (got - target).abs() / target;

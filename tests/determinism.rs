@@ -22,9 +22,15 @@ fn run(mode: SchedMode, hpl_mode: bool, seed: u64) -> (u64, u64, u64) {
     let topo = Topology::power6_js22();
     let noise = NoiseProfile::standard(8);
     let mut node = if hpl_mode {
-        hpl::core::hpl_node_builder(topo).with_noise(noise).with_seed(seed).build()
+        hpl::core::hpl_node_builder(topo)
+            .with_noise(noise)
+            .with_seed(seed)
+            .build()
     } else {
-        NodeBuilder::new(topo).with_noise(noise).with_seed(seed).build()
+        NodeBuilder::new(topo)
+            .with_noise(noise)
+            .with_seed(seed)
+            .build()
     };
     node.run_for(SimDuration::from_millis(300));
     let mut perf = PerfSession::open(&node.counters, node.now());
@@ -120,7 +126,12 @@ fn fast_event_loop_matches_reference_path() {
         kc
     };
     let cases: [(&str, KernelConfig, bool, SchedMode); 3] = [
-        ("standard-linux", KernelConfig::default(), false, SchedMode::Cfs),
+        (
+            "standard-linux",
+            KernelConfig::default(),
+            false,
+            SchedMode::Cfs,
+        ),
         ("hpl", KernelConfig::hpl(), true, SchedMode::Hpc),
         ("hpl-tickless", tickless(), true, SchedMode::Hpc),
     ];

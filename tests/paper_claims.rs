@@ -44,9 +44,15 @@ fn run_job(job: &JobSpec, mode: SchedMode, hpl_mode: bool, seed: u64) -> Outcome
     let topo = Topology::power6_js22();
     let noise = NoiseProfile::standard(8);
     let mut node = if hpl_mode {
-        hpl::core::hpl_node_builder(topo).with_noise(noise).with_seed(seed).build()
+        hpl::core::hpl_node_builder(topo)
+            .with_noise(noise)
+            .with_seed(seed)
+            .build()
     } else {
-        NodeBuilder::new(topo).with_noise(noise).with_seed(seed).build()
+        NodeBuilder::new(topo)
+            .with_noise(noise)
+            .with_seed(seed)
+            .build()
     };
     node.run_for(SimDuration::from_millis(300));
     let mut perf = PerfSession::open(&node.counters, node.now());
@@ -73,7 +79,10 @@ fn run_many_seeds(mode: SchedMode, hpl_mode: bool, n: u64) -> Vec<Outcome> {
 }
 
 fn variation_pct(outcomes: &[Outcome]) -> f64 {
-    let min = outcomes.iter().map(|o| o.time_s).fold(f64::INFINITY, f64::min);
+    let min = outcomes
+        .iter()
+        .map(|o| o.time_s)
+        .fold(f64::INFINITY, f64::min);
     let max = outcomes
         .iter()
         .map(|o| o.time_s)
@@ -198,7 +207,14 @@ fn pinning_removes_balancing_but_not_preemption() {
     // §IV: static affinity stops migrations yet daemons still preempt.
     let job = sized_job(8, 50);
     let pinned: Vec<Outcome> = (0..4)
-        .map(|i| run_job(&job, SchedMode::CfsPinned, false, Rng::for_run(41, i).next_u64()))
+        .map(|i| {
+            run_job(
+                &job,
+                SchedMode::CfsPinned,
+                false,
+                Rng::for_run(41, i).next_u64(),
+            )
+        })
         .collect();
     let hpl: Vec<Outcome> = (0..4)
         .map(|i| run_job(&job, SchedMode::Hpc, true, Rng::for_run(41, i).next_u64()))

@@ -54,9 +54,14 @@ fn rt_task_preempts_hpc_task() {
     let hpc = node.spawn(burn("hpc", Policy::Hpc, 50).with_affinity(CpuMask::single(CpuId(0))));
     node.run_for(SimDuration::from_millis(1));
     assert_eq!(node.tasks.get(hpc).state, TaskState::Running);
-    let rt = node.spawn(burn("migration", Policy::Fifo(99), 2).with_affinity(CpuMask::single(CpuId(0))));
+    let rt =
+        node.spawn(burn("migration", Policy::Fifo(99), 2).with_affinity(CpuMask::single(CpuId(0))));
     node.run_for(SimDuration::from_micros(200));
-    assert_eq!(node.tasks.get(rt).state, TaskState::Running, "RT preempts HPC");
+    assert_eq!(
+        node.tasks.get(rt).state,
+        TaskState::Running,
+        "RT preempts HPC"
+    );
     assert_eq!(node.tasks.get(hpc).state, TaskState::Runnable);
     assert!(node.run_until_exit(rt, 1_000_000_000).is_complete());
     assert!(node.run_until_exit(hpc, 1_000_000_000).is_complete());
@@ -137,8 +142,10 @@ fn hpl_performs_no_balancing_even_with_gross_imbalance() {
     let mut node = hpc_node(7);
     // Two CFS tasks crammed on cpu0 by affinity, then widened: with
     // BalanceMode::None nobody ever moves them apart.
-    let a = node.spawn(burn("a", Policy::Normal { nice: 0 }, 40).with_affinity(CpuMask::single(CpuId(0))));
-    let b = node.spawn(burn("b", Policy::Normal { nice: 0 }, 40).with_affinity(CpuMask::single(CpuId(0))));
+    let a = node
+        .spawn(burn("a", Policy::Normal { nice: 0 }, 40).with_affinity(CpuMask::single(CpuId(0))));
+    let b = node
+        .spawn(burn("b", Policy::Normal { nice: 0 }, 40).with_affinity(CpuMask::single(CpuId(0))));
     node.run_for(SimDuration::from_millis(1));
     node.set_affinity(a, CpuMask::first_n(8));
     node.set_affinity(b, CpuMask::first_n(8));
@@ -156,9 +163,13 @@ fn hpl_performs_no_balancing_even_with_gross_imbalance() {
 
 #[test]
 fn standard_kernel_does_balance_the_same_imbalance() {
-    let mut node = NodeBuilder::new(Topology::power6_js22()).with_seed(8).build();
-    let a = node.spawn(burn("a", Policy::Normal { nice: 0 }, 40).with_affinity(CpuMask::single(CpuId(0))));
-    let b = node.spawn(burn("b", Policy::Normal { nice: 0 }, 40).with_affinity(CpuMask::single(CpuId(0))));
+    let mut node = NodeBuilder::new(Topology::power6_js22())
+        .with_seed(8)
+        .build();
+    let a = node
+        .spawn(burn("a", Policy::Normal { nice: 0 }, 40).with_affinity(CpuMask::single(CpuId(0))));
+    let b = node
+        .spawn(burn("b", Policy::Normal { nice: 0 }, 40).with_affinity(CpuMask::single(CpuId(0))));
     node.run_for(SimDuration::from_millis(1));
     node.set_affinity(a, CpuMask::first_n(8));
     node.set_affinity(b, CpuMask::first_n(8));

@@ -44,10 +44,16 @@ impl Criterion {
     where
         F: FnMut(&mut Bencher),
     {
-        let mut b = Bencher { iters: self.sample_size as u64, nanos: 0 };
+        let mut b = Bencher {
+            iters: self.sample_size as u64,
+            nanos: 0,
+        };
         f(&mut b);
         let per_iter = b.nanos / u128::from(b.iters.max(1));
-        println!("bench: {name:<55} {per_iter:>12} ns/iter ({} iters)", b.iters);
+        println!(
+            "bench: {name:<55} {per_iter:>12} ns/iter ({} iters)",
+            b.iters
+        );
         self
     }
 }
