@@ -5,13 +5,13 @@ use hpl_batch::{
     run_batch, AllocPolicy, BatchConfig, BatchJob, BatchReport, BatchTrace, EasyBackfill, Fcfs,
     Oversubscribed,
 };
-use hpl_cluster::{Cluster, Interconnect, NetConfig};
+use hpl_cluster::{Cluster, CosimConfig, Interconnect, NetConfig};
 use hpl_core::HplClass;
 use hpl_kernel::{KernelConfig, NodeBuilder};
 use hpl_sim::{Rng, SimDuration};
 use hpl_topology::Topology;
 
-fn build_cluster(nodes: usize, seed: u64) -> Cluster {
+fn build_cluster_with(nodes: usize, seed: u64, cosim: CosimConfig) -> Cluster {
     let built = (0..nodes)
         .map(|i| {
             NodeBuilder::new(Topology::smp(2))
@@ -21,11 +21,19 @@ fn build_cluster(nodes: usize, seed: u64) -> Cluster {
                 .build()
         })
         .collect();
-    let mut cluster = Cluster::new(built, Interconnect::flat(nodes, NetConfig::default()));
+    let mut cluster = Cluster::with_config(
+        built,
+        Interconnect::flat(nodes, NetConfig::default()),
+        cosim,
+    );
     for i in 0..nodes {
         cluster.node_mut(i).run_for(SimDuration::from_millis(100));
     }
     cluster
+}
+
+fn build_cluster(nodes: usize, seed: u64) -> Cluster {
+    build_cluster_with(nodes, seed, CosimConfig::serial())
 }
 
 fn bj(id: u32, submit_ms: u64, nodes: u32, iters: u32, compute_ms: u64) -> BatchJob {
@@ -277,6 +285,45 @@ job 1 submit 500000 nodes 1 rpn 2 iters 2 compute 1000000 bytes 64 est 35000000
     assert_eq!(report.outcomes.len(), 2);
     assert!(report.makespan > SimDuration::ZERO);
     assert!(report.utilization > 0.0 && report.utilization <= 1.0);
+}
+
+/// The host-side execution policy is invisible at the batch level: a
+/// pooled-window run must reproduce the serial [`BatchReport`] bit for
+/// bit — same outcomes, same makespan, same fingerprint. Threads are
+/// forced to 2 so the pool genuinely crosses host threads even on a
+/// single-core CI box, and the density threshold is dropped so small
+/// windows still take the pooled path.
+#[test]
+fn parallel_batch_run_matches_serial_bit_for_bit() {
+    let trace = backfill_friendly();
+    type PolicyMaker = fn() -> Box<dyn AllocPolicy>;
+    let mks: [(&str, PolicyMaker); 2] = [
+        ("fcfs", || Box::new(Fcfs)),
+        ("easy", || Box::new(EasyBackfill::new())),
+    ];
+    for (name, mk) in mks {
+        let mut serial_cluster = build_cluster(4, 42);
+        let serial = run_batch(
+            &mut serial_cluster,
+            &trace,
+            mk().as_mut(),
+            &BatchConfig::default(),
+        )
+        .expect("serial batch run completes");
+        let cosim = CosimConfig::parallel().with_threads(2).with_min_active(2);
+        let mut parallel_cluster = build_cluster_with(4, 42, cosim);
+        let parallel = run_batch(
+            &mut parallel_cluster,
+            &trace,
+            mk().as_mut(),
+            &BatchConfig::default(),
+        )
+        .expect("parallel batch run completes");
+        assert_eq!(
+            serial, parallel,
+            "{name}: pooled windows must reproduce the serial report bit for bit"
+        );
+    }
 }
 
 /// Observer purity holds at the batch level too: attaching sinks must

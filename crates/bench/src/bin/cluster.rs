@@ -14,11 +14,20 @@
 //! the mechanistic one at every node count (CFS climbs, HPL stays
 //! near-flat).
 //!
+//! A second section benchmarks the **parallel lockstep driver**: a
+//! weak-scaling sweep (64 / 256 / 1024 nodes) of the same
+//! bulk-synchronous job, stepped once serially and once on the host
+//! thread pool. The sweep reports host wall-clock speedup per cell and
+//! asserts the two runs are **bit-identical** (fingerprint, execution
+//! time, event count, interconnect counters). The speedup figure is
+//! meaningful only on a multi-core host — `host_threads` is recorded
+//! alongside so a single-core CI number is never mistaken for a regression.
+//!
 //! Writes `BENCH_cluster.json` in the current directory.
 //!
 //! Usage: `cluster [--quick|--smoke] [--out PATH]`
 
-use hpl_cluster::{Cluster, EmpiricalDist, Interconnect, NetConfig, ResonanceModel};
+use hpl_cluster::{Cluster, CosimConfig, EmpiricalDist, Interconnect, NetConfig, ResonanceModel};
 use hpl_core::HplClass;
 use hpl_kernel::noise::NoiseProfile;
 use hpl_kernel::{KernelConfig, NodeBuilder, TaskState};
@@ -130,6 +139,106 @@ struct Point {
     analytic_slowdown: f64,
 }
 
+// ---------------------------------------------------------------------
+// Weak-scaling sweep of the parallel lockstep driver
+// ---------------------------------------------------------------------
+
+/// Ranks per node in the weak-scaling cells (small nodes, many of them).
+const WEAK_RANKS: u32 = 2;
+
+struct WeakPoint {
+    nodes: u32,
+    serial_wall_s: f64,
+    parallel_wall_s: f64,
+    speedup: f64,
+    exec_s: f64,
+    events: u64,
+    bit_identical: bool,
+}
+
+fn weak_job(nodes: u32, iters: u32) -> JobSpec {
+    JobSpec::new(
+        nodes * WEAK_RANKS,
+        JobSpec::repeat(
+            iters,
+            &[
+                MpiOp::Compute {
+                    mean: SimDuration::from_micros(200),
+                },
+                MpiOp::Allreduce { bytes: 64 },
+            ],
+        ),
+    )
+    .with_nodes(nodes)
+}
+
+fn weak_cluster(nodes: u32, seed: u64, cosim: CosimConfig) -> Cluster {
+    let built = (0..nodes)
+        .map(|i| {
+            NodeBuilder::new(Topology::smp(WEAK_RANKS))
+                .with_config(KernelConfig::hpl())
+                .with_noise(NoiseProfile::standard(WEAK_RANKS).scaled(0.25))
+                .with_seed(Rng::for_run(seed, i as u64).next_u64())
+                .with_hpc_class(Box::new(HplClass::new()))
+                .build()
+        })
+        .collect();
+    let mut cluster = Cluster::with_config(
+        built,
+        Interconnect::flat(nodes as usize, NetConfig::default()),
+        cosim,
+    );
+    for i in 0..nodes as usize {
+        cluster.node_mut(i).run_for(SimDuration::from_millis(20));
+    }
+    cluster
+}
+
+/// Run one weak-scaling cell under `cosim`; returns (host wall seconds,
+/// execution seconds, fingerprint, events, net messages, net bytes).
+fn weak_run(
+    nodes: u32,
+    iters: u32,
+    seed: u64,
+    cosim: CosimConfig,
+) -> (f64, f64, u64, u64, u64, u64) {
+    let mut cluster = weak_cluster(nodes, seed, cosim);
+    let handle = cluster.launch_job(&weak_job(nodes, iters), SchedMode::Hpc);
+    let t0 = std::time::Instant::now();
+    let exec = cluster.run_to_completion(&handle, 100_000_000 * nodes as u64);
+    let wall = t0.elapsed().as_secs_f64();
+    (
+        wall,
+        exec.as_secs_f64(),
+        cluster.state_fingerprint(),
+        cluster.events_processed(),
+        cluster.net().messages(),
+        cluster.net().bytes(),
+    )
+}
+
+/// One weak-scaling cell: serial vs pooled stepping of the same job,
+/// demanding bit-identical simulated results.
+fn weak_cell(nodes: u32, iters: u32, threads: usize) -> WeakPoint {
+    let seed = 0x5CA1E ^ (nodes as u64) << 20;
+    let (ser_wall, ser_exec, ser_fp, ser_ev, ser_msg, ser_bytes) =
+        weak_run(nodes, iters, seed, CosimConfig::serial());
+    let par_cfg = CosimConfig::parallel().with_threads(threads);
+    let (par_wall, par_exec, par_fp, par_ev, par_msg, par_bytes) =
+        weak_run(nodes, iters, seed, par_cfg);
+    let bit_identical = (ser_exec, ser_fp, ser_ev, ser_msg, ser_bytes)
+        == (par_exec, par_fp, par_ev, par_msg, par_bytes);
+    WeakPoint {
+        nodes,
+        serial_wall_s: ser_wall,
+        parallel_wall_s: par_wall,
+        speedup: ser_wall / par_wall,
+        exec_s: ser_exec,
+        events: ser_ev,
+        bit_identical,
+    }
+}
+
 struct Curve {
     mode: &'static str,
     points: Vec<Point>,
@@ -215,6 +324,50 @@ fn main() {
         });
     }
 
+    // Weak-scaling sweep of the parallel driver: scale the cluster,
+    // hold per-node work fixed, race the serial driver against the
+    // pooled one on the same seeds.
+    let (weak_cells, weak_iters): (&[u32], u32) = if smoke {
+        (&[8, 16], 2)
+    } else if quick {
+        (&[64, 128], 3)
+    } else {
+        (&[64, 256, 1024], 3)
+    };
+    let host_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    // At least two stepping threads even on a single-core host, so the
+    // bit-equality claim always covers real cross-thread execution.
+    let weak_threads = host_threads.max(2);
+    eprintln!(
+        "weak scaling: cells {weak_cells:?}, {weak_iters} iters, \
+         {weak_threads} stepping threads (host has {host_threads})"
+    );
+    let mut weak_points = Vec::new();
+    for &n in weak_cells {
+        let p = weak_cell(n, weak_iters, weak_threads);
+        eprintln!(
+            "weak n={:>5}: serial {:>7.3}s | parallel {:>7.3}s | speedup {:>5.2}x | \
+             sim exec {:.4}s | {} events | bit_identical {}",
+            p.nodes,
+            p.serial_wall_s,
+            p.parallel_wall_s,
+            p.speedup,
+            p.exec_s,
+            p.events,
+            p.bit_identical
+        );
+        weak_points.push(p);
+    }
+    let weak_identical = weak_points.iter().all(|p| p.bit_identical);
+    // The >= 2x speedup claim applies on multi-core hosts; a pool of
+    // oversubscribed threads on one core can only measure overhead.
+    let speedup_meaningful = host_threads >= 2;
+    let weak_speedup_ok = !speedup_meaningful
+        || weak_points
+            .iter()
+            .filter(|p| p.nodes >= 256)
+            .all(|p| p.speedup >= 2.0);
+
     let amplification = |c: &Curve| -> f64 {
         c.points.last().expect("points").mech_slowdown / c.points[0].mech_slowdown
     };
@@ -255,9 +408,42 @@ fn main() {
             if ci + 1 < curves.len() { "," } else { "" }
         ));
     }
-    json.push_str("  ]\n}\n");
+    json.push_str("  ],\n");
+    json.push_str("  \"weak_scaling\": {\n");
+    json.push_str(&format!("    \"host_threads\": {host_threads},\n"));
+    json.push_str(&format!("    \"stepping_threads\": {weak_threads},\n"));
+    json.push_str(&format!("    \"iters\": {weak_iters},\n"));
+    json.push_str(&format!("    \"bit_identical\": {weak_identical},\n"));
+    json.push_str(&format!(
+        "    \"speedup_meaningful\": {speedup_meaningful},\n"
+    ));
+    json.push_str(&format!("    \"speedup_ok\": {weak_speedup_ok},\n"));
+    json.push_str("    \"points\": [\n");
+    for (i, p) in weak_points.iter().enumerate() {
+        json.push_str(&format!(
+            "      {{\"nodes\": {}, \"serial_wall_s\": {:.4}, \"parallel_wall_s\": {:.4}, \
+             \"speedup\": {:.3}, \"exec_s\": {:.6}, \"events\": {}, \"bit_identical\": {}}}{}\n",
+            p.nodes,
+            p.serial_wall_s,
+            p.parallel_wall_s,
+            p.speedup,
+            p.exec_s,
+            p.events,
+            p.bit_identical,
+            if i + 1 < weak_points.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("    ]\n  }\n}\n");
     std::fs::write(&out, json).expect("write bench json");
     eprintln!("wrote {out}");
+    if !weak_identical {
+        eprintln!("FAIL: parallel stepping diverged from the serial driver");
+        std::process::exit(1);
+    }
+    if !weak_speedup_ok {
+        eprintln!("FAIL: pooled stepping under 2x at >= 256 nodes on a multi-core host");
+        std::process::exit(1);
+    }
     // Smoke runs are too short for the curves to be meaningful; the gate
     // there is "multi-node co-simulation completes at all".
     if !smoke && !resonance_ok {

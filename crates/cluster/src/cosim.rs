@@ -25,11 +25,84 @@
 //! can overlap jobs and harvest them independently.
 
 use crate::net::Interconnect;
+use crate::pool::WorkerPool;
+use crate::window::Window;
 use hpl_kernel::observe::ChromeTraceSink;
-use hpl_kernel::{Node, ObserverId, Pid, RunOutcome, TaskState};
+use hpl_kernel::{NetMsg, Node, ObserverId, Pid, RunOutcome, TaskState};
 use hpl_mpi::{find_mpiexec, spawn_job_tree, JobSpec, SchedMode};
 use hpl_sim::time::{SimDuration, SimTime};
 use std::fmt::Write as _;
+
+/// Host-side execution policy of the lockstep driver.
+///
+/// Within a conservative window node steps are independent, so the
+/// driver may fan the active nodes out over a persistent host thread
+/// pool; the observable result is **byte-identical** to the serial path
+/// (same fingerprints, traces, metrics and reports) because all
+/// cross-node effects are merged serially in fixed `(node, capture)`
+/// order after the window — see [`Cluster::step_window`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CosimConfig {
+    /// Step windows on a worker pool instead of in a serial loop.
+    pub parallel: bool,
+    /// Stepping threads to use when `parallel` (including the calling
+    /// thread). `0` = the host's available parallelism.
+    pub threads: usize,
+    /// Minimum number of *active* nodes (nodes with an event inside the
+    /// window) before a window is worth fanning out; sparser windows run
+    /// serially even when `parallel` is set. Windows dense enough to
+    /// matter are exactly the ones that amortise the round-trip.
+    pub parallel_min_active: usize,
+}
+
+impl Default for CosimConfig {
+    fn default() -> Self {
+        CosimConfig {
+            parallel: false,
+            threads: 0,
+            parallel_min_active: 8,
+        }
+    }
+}
+
+impl CosimConfig {
+    /// Serial lockstep (the default).
+    pub fn serial() -> Self {
+        CosimConfig::default()
+    }
+
+    /// Parallel lockstep on the host's available cores.
+    pub fn parallel() -> Self {
+        CosimConfig {
+            parallel: true,
+            ..CosimConfig::default()
+        }
+    }
+
+    /// Override the stepping-thread count (including the caller).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Override the dense-window threshold.
+    pub fn with_min_active(mut self, min_active: usize) -> Self {
+        self.parallel_min_active = min_active;
+        self
+    }
+
+    /// Stepping threads a cluster of `nodes` would actually use: the
+    /// explicit count, else host parallelism, never more than the node
+    /// count and at least one.
+    pub fn effective_threads(&self, nodes: usize) -> usize {
+        let t = if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        };
+        t.clamp(1, nodes.max(1))
+    }
+}
 
 /// Handle to a job running across (a subset of) the cluster: one
 /// launcher tree per job node.
@@ -66,13 +139,35 @@ pub struct Cluster {
     /// Every job ever launched, in launch order; routes captured
     /// [`hpl_kernel::NetMsg`]s to their destination nodes.
     jobs: Vec<ActiveJob>,
+    /// Host-side execution policy (serial vs pooled window stepping).
+    cfg: CosimConfig,
+    /// Worker pool, spawned lazily on the first window dense enough to
+    /// fan out; `None` until then and in serial mode.
+    pool: Option<WorkerPool>,
+    /// Scratch: indices of nodes with an event inside the current
+    /// window. Reused across windows so steady-state stepping does not
+    /// allocate.
+    active: Vec<usize>,
+    /// Scratch: one window's captured outbound messages, swap-cycled
+    /// with each node's capture buffer so neither side reallocates.
+    outbox: Vec<NetMsg>,
 }
 
 impl Cluster {
     /// Join pre-built nodes with an interconnect. Build the nodes with
     /// whatever topology/seed/event-loop each should have — the cluster
     /// does not care, it only requires `fabric.nodes() == nodes.len()`.
+    /// Runs serial lockstep; use [`Self::with_config`] to fan windows
+    /// out over host threads.
     pub fn new(nodes: Vec<Node>, net: Interconnect) -> Self {
+        Cluster::with_config(nodes, net, CosimConfig::serial())
+    }
+
+    /// [`Self::new`] with an explicit host-side execution policy. The
+    /// policy is invisible in every observable output — fingerprints,
+    /// traces, metrics, reports are byte-identical across policies —
+    /// it only changes host wall-clock time.
+    pub fn with_config(nodes: Vec<Node>, net: Interconnect, cfg: CosimConfig) -> Self {
         assert!(!nodes.is_empty(), "a cluster needs at least one node");
         assert_eq!(
             net.nodes(),
@@ -83,7 +178,24 @@ impl Cluster {
             nodes,
             net,
             jobs: Vec::new(),
+            cfg,
+            pool: None,
+            active: Vec::new(),
+            outbox: Vec::new(),
         }
+    }
+
+    /// The host-side execution policy.
+    pub fn config(&self) -> CosimConfig {
+        self.cfg
+    }
+
+    /// Replace the host-side execution policy mid-run (safe at any
+    /// window boundary: the policy never affects simulated state). An
+    /// existing pool is dropped so a new thread count takes effect.
+    pub fn set_config(&mut self, cfg: CosimConfig) {
+        self.cfg = cfg;
+        self.pool = None;
     }
 
     /// Number of nodes.
@@ -224,19 +336,39 @@ impl Cluster {
     /// Advance one lockstep window. Returns `false` when every node's
     /// event queue is drained (nothing can ever happen again), `true`
     /// after processing a window.
+    ///
+    /// The window `[t_next, t_next + lookahead)` is a half-open
+    /// [`Window`]; any message sent inside it is delivered at or after
+    /// the window end (see module docs), so per-node stepping is
+    /// independent and deliveries posted after all nodes finish cannot
+    /// land in a node's past. Only the *active* nodes — those with an
+    /// event inside the window — are stepped at all (for an inactive
+    /// node `run_until_time` is a pure no-op, so skipping it is exact);
+    /// under [`CosimConfig::parallel`] a dense-enough active set is
+    /// fanned out over the worker pool, with every cross-node effect
+    /// still merged serially in fixed `(node, capture)` order by
+    /// `route_outbound`, which is what keeps the result byte-identical
+    /// to the serial path.
     pub fn step_window(&mut self) -> bool {
         let Some(t_next) = self.next_event_time() else {
             return false;
         };
-        // Window = [t_next, t_next + lookahead). Any message sent inside
-        // it is delivered at or after the window end (see module docs),
-        // so posting deliveries after all nodes finish cannot land in a
-        // node's past.
-        let lookahead = self.net.lookahead();
-        debug_assert!(lookahead >= SimDuration::from_nanos(1));
-        let deadline = t_next + lookahead - SimDuration::from_nanos(1);
-        for node in &mut self.nodes {
-            node.run_until_time(deadline);
+        let window = Window::conservative(t_next, self.net.lookahead());
+        let deadline = window.deadline();
+        self.active.clear();
+        for (i, node) in self.nodes.iter().enumerate() {
+            if node.next_event_time().is_some_and(|t| t <= deadline) {
+                self.active.push(i);
+            }
+        }
+        let workers = self.cfg.effective_threads(self.nodes.len()) - 1;
+        if self.cfg.parallel && workers > 0 && self.active.len() >= self.cfg.parallel_min_active {
+            let pool = self.pool.get_or_insert_with(|| WorkerPool::new(workers));
+            pool.step_round(&mut self.nodes, &self.active, deadline);
+        } else {
+            for &i in &self.active {
+                self.nodes[i].run_until_time(deadline);
+            }
         }
         self.route_outbound();
         true
@@ -245,16 +377,19 @@ impl Cluster {
     /// Drain captured cross-node messages from every node, cost them on
     /// the interconnect, and schedule the deliveries. Deterministic:
     /// nodes are drained in index order and each node's capture order is
-    /// its own dispatch order. Each message is routed by the unique job
-    /// that (a) placed a node on the source and (b) owns the channel id
-    /// — unique because overlapping jobs have disjoint id ranges.
+    /// its own dispatch order — this serial merge is what erases any
+    /// host-thread interleaving from the parallel stepping path. Each
+    /// message is routed by the unique job that (a) placed a node on the
+    /// source and (b) owns the channel id — unique because overlapping
+    /// jobs have disjoint id ranges.
     fn route_outbound(&mut self) {
+        let mut buf = std::mem::take(&mut self.outbox);
         for src in 0..self.nodes.len() {
             if !self.nodes[src].has_outbound() {
                 continue;
             }
-            let msgs = self.nodes[src].take_outbound();
-            for m in msgs {
+            self.nodes[src].drain_outbound_into(&mut buf);
+            for &m in buf.iter() {
                 let (job, placement) = self
                     .jobs
                     .iter()
@@ -269,6 +404,7 @@ impl Cluster {
                 self.nodes[dst].post_net_delivery(deliver_at, m.chan, m.tokens, m.at, queued);
             }
         }
+        self.outbox = buf;
     }
 
     /// Run lockstep windows until **this handle's** launcher trees have

@@ -40,14 +40,20 @@
 //! network queueing, and scheduler-induced migration storms interacting
 //! across nodes.
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the one sanctioned exception is the
+// `pool` module's disjoint-access worker pool, which carries its own
+// safety argument and per-site `#[allow]`s.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cosim;
 pub mod net;
+mod pool;
+pub mod window;
 
-pub use cosim::{Cluster, ClusterJobHandle};
+pub use cosim::{Cluster, ClusterJobHandle, CosimConfig};
 pub use net::{Fabric, FlatFabric, Interconnect, NetConfig, Route, SwitchedFabric};
+pub use window::Window;
 
 use hpl_sim::Rng;
 

@@ -59,8 +59,17 @@ pub trait Fabric {
     fn nodes(&self) -> usize;
     /// Total number of contention domains (FIFO links).
     fn links(&self) -> usize;
-    /// Path for a `src -> dst` message. `src != dst`.
-    fn route(&self, src: usize, dst: usize) -> Route;
+    /// Path for a `src -> dst` message, written into `links` (cleared
+    /// first); returns the cost parameters for the path. `src != dst`.
+    /// This is the allocation-free primitive [`Interconnect::transfer`]
+    /// costs every message through.
+    fn route_into(&self, src: usize, dst: usize, links: &mut Vec<usize>) -> NetConfig;
+    /// Path for a `src -> dst` message as an owned [`Route`]. `src != dst`.
+    fn route(&self, src: usize, dst: usize) -> Route {
+        let mut links = Vec::new();
+        let cfg = self.route_into(src, dst, &mut links);
+        Route { links, cfg }
+    }
     /// Minimum `alpha` over all paths — the co-simulation lookahead.
     fn min_alpha(&self) -> SimDuration;
 }
@@ -95,12 +104,11 @@ impl Fabric for FlatFabric {
         self.nodes
     }
 
-    fn route(&self, src: usize, dst: usize) -> Route {
+    fn route_into(&self, src: usize, dst: usize, links: &mut Vec<usize>) -> NetConfig {
         debug_assert!(src != dst && src < self.nodes && dst < self.nodes);
-        Route {
-            links: vec![src],
-            cfg: self.cfg,
-        }
+        links.clear();
+        links.push(src);
+        self.cfg
     }
 
     fn min_alpha(&self) -> SimDuration {
@@ -139,13 +147,12 @@ impl Fabric for SwitchedFabric {
         2 * self.nodes
     }
 
-    fn route(&self, src: usize, dst: usize) -> Route {
+    fn route_into(&self, src: usize, dst: usize, links: &mut Vec<usize>) -> NetConfig {
         debug_assert!(src != dst && src < self.nodes && dst < self.nodes);
         // Links [0, n) are uplinks, [n, 2n) downlinks.
-        Route {
-            links: vec![src, self.nodes + dst],
-            cfg: self.cfg,
-        }
+        links.clear();
+        links.extend_from_slice(&[src, self.nodes + dst]);
+        self.cfg
     }
 
     fn min_alpha(&self) -> SimDuration {
@@ -166,6 +173,9 @@ pub struct Interconnect {
     busy_until: Vec<SimTime>,
     messages: u64,
     bytes: u64,
+    /// Scratch path buffer reused across transfers, so costing a
+    /// message never allocates.
+    route_buf: Vec<usize>,
 }
 
 impl Interconnect {
@@ -177,6 +187,7 @@ impl Interconnect {
             busy_until: vec![SimTime::ZERO; links],
             messages: 0,
             bytes: 0,
+            route_buf: Vec::new(),
         }
     }
 
@@ -221,11 +232,11 @@ impl Interconnect {
         dst: usize,
         bytes: u64,
     ) -> (SimTime, SimDuration) {
-        let route = self.fabric.route(src, dst);
-        let ser = route.cfg.serialise(bytes);
+        let cfg = self.fabric.route_into(src, dst, &mut self.route_buf);
+        let ser = cfg.serialise(bytes);
         let mut head = at;
         let mut queued = SimDuration::ZERO;
-        for &link in &route.links {
+        for &link in &self.route_buf {
             let start = head.max(self.busy_until[link]);
             queued += start.since(head);
             self.busy_until[link] = start + ser;
@@ -233,7 +244,7 @@ impl Interconnect {
         }
         self.messages += 1;
         self.bytes += bytes;
-        (head + route.cfg.alpha, queued)
+        (head + cfg.alpha, queued)
     }
 }
 

@@ -82,6 +82,53 @@ impl BalanceClock {
         }
     }
 
+    /// Arithmetically replay the balance side of `ticks` consecutive
+    /// idle ticks of `cpu` at `first`, `first + period`, …, exactly as
+    /// per-tick [`for_each_due`](Self::for_each_due) calls with
+    /// `busy = false` would: each due level re-arms to its due tick plus
+    /// the level's interval. Returns the total number of due
+    /// `(tick, level)` pairs — the tick fast-forward charges one
+    /// `LoadBalanceCalls` count and one balance-cost overhead per pair.
+    ///
+    /// Levels are independent and dues recur with a constant stride on
+    /// the tick grid — after a due at tick `t` the next due tick is
+    /// exactly `t + ⌈interval/period⌉·period` — so each level is a
+    /// closed form, O(1) instead of O(dues), let alone O(ticks).
+    pub fn replay_idle_dues(
+        &mut self,
+        cpu: CpuId,
+        domains: &DomainHierarchy,
+        first: SimTime,
+        ticks: u64,
+        period: SimDuration,
+    ) -> u64 {
+        debug_assert!(ticks > 0);
+        let chain = domains.chain(cpu);
+        let slots = &mut self.next[cpu.index()];
+        let p = period.as_nanos();
+        let last = first + SimDuration::from_nanos(p * (ticks - 1));
+        let mut calls = 0u64;
+        for (level, domain) in chain.iter().enumerate() {
+            let due = slots[level];
+            if due > last {
+                continue;
+            }
+            // Earliest tick at or after the deadline; it exists because
+            // `last` itself is on the tick grid.
+            let t0 = if due <= first {
+                first
+            } else {
+                first + SimDuration::from_nanos((due - first).as_nanos().div_ceil(p) * p)
+            };
+            let interval = SimDuration::from_nanos(domain.balance_interval_ns);
+            let stride = SimDuration::from_nanos(domain.balance_interval_ns.div_ceil(p) * p);
+            let n = (last - t0).as_nanos() / stride.as_nanos() + 1;
+            calls += n;
+            slots[level] = t0 + stride * (n - 1) + interval;
+        }
+        calls
+    }
+
     /// Next deadline of any level on `cpu` (diagnostics).
     pub fn next_deadline(&self, cpu: CpuId) -> Option<SimTime> {
         self.next[cpu.index()].iter().min().copied()
@@ -152,6 +199,37 @@ mod tests {
         let d0 = clock.next_deadline(CpuId(0)).unwrap();
         let d1 = clock.next_deadline(CpuId(1)).unwrap();
         assert_ne!(d0, d1);
+    }
+
+    /// The arithmetic replay must leave the clock byte-identical to
+    /// per-tick `for_each_due` calls and report the same total dues,
+    /// across phases, tick counts and both topologies' interval mixes.
+    #[test]
+    fn replay_idle_dues_matches_per_tick_calls() {
+        for topo in [Topology::power6_js22(), Topology::smp(4)] {
+            let domains = DomainHierarchy::build(&topo);
+            let period = SimDuration::from_millis(1);
+            for cpu in 0..domains.cpus() {
+                let cpu = CpuId(cpu as u32);
+                for (phase_ns, ticks) in [(1_000_000u64, 1u64), (1_500_000, 7), (3_000_000, 500)] {
+                    let mut ticked = BalanceClock::new(&domains);
+                    let mut replayed = BalanceClock::new(&domains);
+                    let first = SimTime::from_nanos(phase_ns);
+                    let mut per_tick = 0u64;
+                    for k in 0..ticks {
+                        let t = first + period * k;
+                        ticked.for_each_due(cpu, t, &domains, false, |_| per_tick += 1);
+                    }
+                    let bulk = replayed.replay_idle_dues(cpu, &domains, first, ticks, period);
+                    assert_eq!(per_tick, bulk, "{topo:?} cpu {cpu:?} ticks {ticks}");
+                    assert_eq!(
+                        ticked.next[cpu.index()],
+                        replayed.next[cpu.index()],
+                        "{topo:?} cpu {cpu:?} ticks {ticks}: deadlines diverged"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

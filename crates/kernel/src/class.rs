@@ -128,7 +128,10 @@ impl MigrationPlan {
 /// * `pick_next` removes the returned pid from the queue (the node tracks
 ///   it as the CPU's current task);
 /// * `put_prev` re-inserts a still-runnable previous task.
-pub trait SchedClass {
+///
+/// `Send` because whole [`crate::Node`]s move between host threads in
+/// the cluster's parallel co-simulation; class state is plain data.
+pub trait SchedClass: Send {
     /// Which kind of class this is.
     fn kind(&self) -> ClassKind;
 

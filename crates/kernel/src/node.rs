@@ -186,7 +186,7 @@ impl NodeBuilder {
             tick_slots: Vec::new(),
             ff_horizons: vec![SimTime::ZERO; ncpus],
             ff_fired: vec![0; ncpus],
-            ff_trace: Vec::new(),
+            ff_start: vec![SimTime::ZERO; ncpus],
             net_external: std::collections::HashSet::new(),
             outbound: Vec::new(),
             events: 0,
@@ -304,10 +304,10 @@ pub struct Node {
     /// Timer-wheel slot per CPU (`fast_event_loop` only; slot i == cpu i).
     tick_slots: Vec<hpl_sim::PeriodicId>,
     /// Scratch for `fast_forward` (per-slot horizons / fire counts /
-    /// firing trace for all-idle balance replay).
+    /// pre-batch tick times for all-idle balance replay).
     ff_horizons: Vec<SimTime>,
     ff_fired: Vec<u64>,
-    ff_trace: Vec<(usize, SimTime)>,
+    ff_start: Vec<SimTime>,
     /// Channels registered as network endpoints: a [`Step::NetSend`] on
     /// one of these is captured into `outbound` instead of notifying
     /// locally.
@@ -1729,6 +1729,17 @@ impl Node {
         std::mem::take(&mut self.outbound)
     }
 
+    /// Drain the captured outbound messages into `buf` (cleared first),
+    /// handing the node `buf`'s old allocation as its next capture
+    /// buffer. A driver that routes every window through the same
+    /// scratch vector therefore recycles capacity in both directions and
+    /// the per-window hot path stops allocating. Order is capture order,
+    /// exactly as [`Self::take_outbound`].
+    pub fn drain_outbound_into(&mut self, buf: &mut Vec<NetMsg>) {
+        buf.clear();
+        std::mem::swap(buf, &mut self.outbound);
+    }
+
     /// True iff at least one captured outbound message is waiting.
     pub fn has_outbound(&self) -> bool {
         !self.outbound.is_empty()
@@ -1812,6 +1823,32 @@ impl Node {
         if !self.cfg.fast_event_loop {
             return 0;
         }
+        // O(1) bail-out first: nothing can batch unless a tick precedes
+        // the next heap event (and the bound). This is the merge cost a
+        // busy node pays per dispatched event, so it runs before the
+        // per-CPU scans below.
+        let Some(per_t) = self.queue.peek_periodic_time() else {
+            return 0;
+        };
+        let mut horizon = match (self.queue.peek_heap_time(), bound) {
+            (Some(h), Some(b)) => h.min(b),
+            (Some(h), None) => h,
+            (None, Some(b)) => b,
+            // Only ticks left and no bound: let the caller's normal
+            // stepping (and its hang guard) take over.
+            (None, None) => return 0,
+        };
+        if per_t >= horizon {
+            return 0;
+        }
+        // Profitability gate: a window under two tick periods cannot
+        // fire enough ticks to pay for the per-CPU quiescence scan
+        // below. Dispatching those ticks normally is exact — the
+        // quiescent tick handler is itself O(1) — so skipping the batch
+        // only trades wall time, never behaviour.
+        if horizon - per_t < self.cfg.tick_period * 2 {
+            return 0;
+        }
         // A pending reschedule/re-estimate (e.g. set_affinity called
         // between runs) must be handled in event order by the next
         // step()'s drain — batching ahead of it would reorder.
@@ -1824,21 +1861,6 @@ impl Node {
         // occupies the whole machine.
         if !self.cfg.tickless_single_hpc && self.load.nr_running.iter().all(|&n| n > 0) {
             return 0;
-        }
-        let mut horizon = match (self.queue.peek_heap_time(), bound) {
-            (Some(h), Some(b)) => h.min(b),
-            (Some(h), None) => h,
-            (None, Some(b)) => b,
-            // Only ticks left and no bound: let the caller's normal
-            // stepping (and its hang guard) take over.
-            (None, None) => return 0,
-        };
-        // Cheap bail-out: no tick precedes the horizon, so nothing can
-        // batch — skip the per-CPU quiescence scan entirely (the common
-        // case while the node is busy).
-        match self.queue.peek_periodic_time() {
-            Some(t) if t < horizon => {}
-            _ => return 0,
         }
         let now = self.now();
         let all_idle = self.load.nr_running.iter().all(|&n| n == 0);
@@ -1873,39 +1895,46 @@ impl Node {
         for f in self.ff_fired.iter_mut() {
             *f = 0;
         }
+        // Pre-advance pending tick times: the balance replay below needs
+        // each slot's first batched fire time.
+        if replay_balance {
+            for i in 0..self.ff_start.len() {
+                self.ff_start[i] = self.queue.periodic_time(self.tick_slots[i]);
+            }
+        }
         let mut fired = std::mem::take(&mut self.ff_fired);
         let horizons = std::mem::take(&mut self.ff_horizons);
-        let total = if replay_balance {
-            let mut trace = std::mem::take(&mut self.ff_trace);
-            trace.clear();
-            let total = self
-                .queue
-                .advance_periodic_trace(&horizons, &mut fired, &mut trace);
-            // Replay each batched tick's balance pass: re-arm due levels
-            // and charge the call, exactly as `on_tick` would have, in
-            // the same global firing order. No migration plans can exist
-            // (the window is all-idle), and `pending_overhead` on an
-            // idle CPU is absorbed at its next sync anyway — the `+=`
-            // mirrors `on_tick`'s charge for strict parity.
-            let (clock, domains, counters, cpus, cost) = (
-                &mut self.balance_clock,
-                &self.domains,
-                &mut self.counters,
-                &mut self.cpus,
-                self.cfg.balance_cost,
-            );
-            for &(i, t) in trace.iter() {
+        let total = self.queue.advance_periodic(&horizons, &mut fired);
+        if replay_balance {
+            // Replay each batched tick's balance pass arithmetically:
+            // re-arm due levels and charge the calls, exactly as
+            // `on_tick` would have. CPUs are independent here — a due
+            // level only touches its own clock slot and counters (no
+            // migration plans can exist in an all-idle window), so
+            // per-CPU jump-from-due-to-due replay gives the same state
+            // as the global per-tick order. `pending_overhead` on an
+            // idle CPU is absorbed at its next sync anyway — the charge
+            // mirrors `on_tick`'s for strict parity.
+            let period = self.cfg.tick_period;
+            let cost = self.cfg.balance_cost;
+            for (i, &n) in fired.iter().enumerate() {
+                if n == 0 {
+                    continue;
+                }
                 let cpu = CpuId(i as u32);
-                clock.for_each_due(cpu, t, domains, false, |_| {
-                    counters.add_sw(cpu, SwEvent::LoadBalanceCalls, 1);
-                    cpus[i].pending_overhead += cost;
-                });
+                let calls = self.balance_clock.replay_idle_dues(
+                    cpu,
+                    &self.domains,
+                    self.ff_start[i],
+                    n,
+                    period,
+                );
+                if calls > 0 {
+                    self.counters.add_sw(cpu, SwEvent::LoadBalanceCalls, calls);
+                    self.cpus[i].pending_overhead += cost * calls;
+                }
             }
-            self.ff_trace = trace;
-            total
-        } else {
-            self.queue.advance_periodic(&horizons, &mut fired)
-        };
+        }
         for (i, &n) in fired.iter().enumerate() {
             if n > 0 {
                 self.counters
@@ -1987,6 +2016,15 @@ impl Node {
         h
     }
 }
+
+// A whole node must be movable to another host thread: the cluster's
+// parallel co-simulation steps disjoint nodes on a worker pool. This
+// is what the `Send` supertraits on `Program`, `SchedClass` and
+// `SchedObserver` buy; a non-`Send` field regression fails right here.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<Node>();
+};
 
 #[cfg(test)]
 mod tests {

@@ -313,8 +313,10 @@ pub enum SchedEvent {
 ///
 /// Implementations must be pure consumers: `observe` may only mutate
 /// the sink itself. The kernel guarantees events arrive in simulation
-/// order with non-decreasing timestamps.
-pub trait SchedObserver: Any {
+/// order with non-decreasing timestamps. `Send` because whole
+/// [`crate::Node`]s move between host threads in the cluster's parallel
+/// co-simulation.
+pub trait SchedObserver: Any + Send {
     /// Receive one decision, stamped with the simulation time at which
     /// it was made.
     fn observe(&mut self, at: SimTime, ev: &SchedEvent);

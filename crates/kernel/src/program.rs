@@ -140,8 +140,9 @@ pub struct ProgCtx<'a> {
 }
 
 /// A task behaviour. Implementations must be deterministic given the
-/// `ProgCtx` RNG stream.
-pub trait Program {
+/// `ProgCtx` RNG stream, and `Send` because whole [`crate::Node`]s move
+/// between host threads in the cluster's parallel co-simulation.
+pub trait Program: Send {
     /// Produce the next step. Called again only after the previous step
     /// has fully completed.
     fn next_step(&mut self, ctx: &mut ProgCtx<'_>) -> Step;
@@ -220,13 +221,13 @@ impl<F: FnMut(&mut ProgCtx<'_>) -> Step> FnProgram<F> {
     /// Boxed, for direct use in a [`TaskSpec`].
     pub fn boxed(label: impl Into<String>, f: F) -> Box<dyn Program>
     where
-        F: 'static,
+        F: 'static + Send,
     {
         Box::new(FnProgram::new(label, f))
     }
 }
 
-impl<F: FnMut(&mut ProgCtx<'_>) -> Step> Program for FnProgram<F> {
+impl<F: FnMut(&mut ProgCtx<'_>) -> Step + Send> Program for FnProgram<F> {
     fn next_step(&mut self, ctx: &mut ProgCtx<'_>) -> Step {
         (self.f)(ctx)
     }

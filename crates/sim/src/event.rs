@@ -13,7 +13,7 @@
 //! superseded whenever a task's execution speed changes.
 
 use crate::time::{SimDuration, SimTime};
-use std::cmp::Ordering;
+use std::cmp::{Ordering, Reverse};
 use std::collections::BinaryHeap;
 
 /// Identifier of a scheduled event, unique within one [`EventQueue`].
@@ -103,6 +103,12 @@ pub struct EventQueue<E> {
     /// pop by `(time, seq)`. A handful of slots (one per CPU) replaces the
     /// endless schedule/pop churn of tick events through the heap.
     periodic: Vec<PeriodicSlot<E>>,
+    /// Mirror min-heap over the slots' pending occurrences, keyed
+    /// `(time, seq, slot)`. Every slot has exactly one entry, refreshed
+    /// when its occurrence fires, so the earliest pending occurrence is
+    /// an O(1) peek instead of an O(slots) scan — the timer-wheel merge
+    /// cost a busy `pop`/`peek_time` pays on every call.
+    periodic_order: BinaryHeap<Reverse<(SimTime, u64, usize)>>,
     next_seq: u64,
     now: SimTime,
 }
@@ -119,6 +125,7 @@ impl<E> EventQueue<E> {
         EventQueue {
             heap: BinaryHeap::new(),
             periodic: Vec::new(),
+            periodic_order: BinaryHeap::new(),
             next_seq: 0,
             now: SimTime::ZERO,
         }
@@ -192,25 +199,30 @@ impl<E> EventQueue<E> {
             period,
             payload,
         });
-        PeriodicId(self.periodic.len() - 1)
+        let idx = self.periodic.len() - 1;
+        self.periodic_order.push(Reverse((first, seq, idx)));
+        PeriodicId(idx)
     }
 
-    /// Index of the earliest periodic occurrence by `(time, seq)`.
-    fn best_periodic(&self) -> Option<usize> {
-        let mut best: Option<usize> = None;
-        for (i, s) in self.periodic.iter().enumerate() {
-            let better = match best {
-                None => true,
-                Some(b) => {
-                    let bb = &self.periodic[b];
-                    (s.time, s.seq) < (bb.time, bb.seq)
-                }
-            };
-            if better {
-                best = Some(i);
-            }
-        }
-        best
+    /// Fire the pending occurrence of the slot at the mirror heap's
+    /// root: advance `now`, re-arm the slot one period later with a
+    /// fresh seq, and refresh its mirror entry. Returns the fired
+    /// occurrence as `(time, id, slot index)`.
+    fn fire_best_periodic(&mut self) -> (SimTime, EventId, usize) {
+        let Reverse((time, seq, i)) = self.periodic_order.pop().expect("a pending occurrence");
+        let slot = &mut self.periodic[i];
+        debug_assert_eq!(
+            (slot.time, slot.seq),
+            (time, seq),
+            "mirror heap out of sync with slot {i}"
+        );
+        debug_assert!(time >= self.now, "event queue went backwards");
+        self.now = time;
+        slot.time += slot.period;
+        slot.seq = self.next_seq;
+        self.next_seq += 1;
+        self.periodic_order.push(Reverse((slot.time, slot.seq, i)));
+        (time, EventId(seq), i)
     }
 
     /// Pending occurrence time of a periodic slot.
@@ -228,24 +240,14 @@ impl<E> EventQueue<E> {
     where
         E: Clone,
     {
-        let best = self.best_periodic();
-        let take_periodic = match (best, self.heap.peek()) {
-            (Some(i), Some(top)) => {
-                let s = &self.periodic[i];
-                (s.time, s.seq) < (top.time, top.seq)
-            }
+        let take_periodic = match (self.periodic_order.peek(), self.heap.peek()) {
+            (Some(&Reverse((t, seq, _))), Some(top)) => (t, seq) < (top.time, top.seq),
             (Some(_), None) => true,
             (None, _) => false,
         };
         if take_periodic {
-            let slot = &mut self.periodic[best.expect("checked above")];
-            debug_assert!(slot.time >= self.now, "event queue went backwards");
-            self.now = slot.time;
-            let fired = (slot.time, EventId(slot.seq), slot.payload.clone());
-            slot.time += slot.period;
-            slot.seq = self.next_seq;
-            self.next_seq += 1;
-            return Some(fired);
+            let (time, id, i) = self.fire_best_periodic();
+            return Some((time, id, self.periodic[i].payload.clone()));
         }
         let entry = self.heap.pop()?;
         debug_assert!(entry.time >= self.now, "event queue went backwards");
@@ -256,7 +258,7 @@ impl<E> EventQueue<E> {
     /// Timestamp of the next pending event, if any.
     pub fn peek_time(&self) -> Option<SimTime> {
         let heap_t = self.heap.peek().map(|e| e.time);
-        let per_t = self.periodic.iter().map(|s| s.time).min();
+        let per_t = self.periodic_order.peek().map(|&Reverse((t, _, _))| t);
         match (heap_t, per_t) {
             (Some(a), Some(b)) => Some(a.min(b)),
             (t, None) | (None, t) => t,
@@ -275,7 +277,7 @@ impl<E> EventQueue<E> {
     /// fast-forward bail out cheaply when no tick precedes the next real
     /// event.
     pub fn peek_periodic_time(&self) -> Option<SimTime> {
-        self.periodic.iter().map(|s| s.time).min()
+        self.periodic_order.peek().map(|&Reverse((t, _, _))| t)
     }
 
     /// Batch-fire periodic occurrences without popping them one by one.
@@ -289,70 +291,136 @@ impl<E> EventQueue<E> {
     /// `now` advances to each fired occurrence's timestamp, exactly as a
     /// sequence of pops would have moved it — so a caller that reads
     /// `now()` after a batch sees the same clock as the unbatched run.
+    ///
+    /// When every slot shares one period and the pending occurrences all
+    /// fit in a single period-wide window — always true for per-CPU
+    /// ticks, which start staggered inside one period and each firing
+    /// preserves that spread — the whole batch is computed arithmetically
+    /// in O(slots²) instead of O(firings · log slots): the global firing
+    /// order is then a fixed round-robin over the slots, so each slot's
+    /// firing count, final pending time and final seq have closed forms.
+    /// Other configurations take the per-firing merge loop.
     pub fn advance_periodic(&mut self, horizons: &[SimTime], fired: &mut [u64]) -> u64 {
-        self.advance_periodic_impl(horizons, fired, None)
-    }
-
-    /// [`advance_periodic`](Self::advance_periodic), additionally
-    /// appending each firing as `(slot index, fire time)` to `trace` in
-    /// the global firing order. Lets a caller replay per-occurrence side
-    /// effects (e.g. re-arming balance clocks) after the batch.
-    pub fn advance_periodic_trace(
-        &mut self,
-        horizons: &[SimTime],
-        fired: &mut [u64],
-        trace: &mut Vec<(usize, SimTime)>,
-    ) -> u64 {
-        self.advance_periodic_impl(horizons, fired, Some(trace))
-    }
-
-    fn advance_periodic_impl(
-        &mut self,
-        horizons: &[SimTime],
-        fired: &mut [u64],
-        mut trace: Option<&mut Vec<(usize, SimTime)>>,
-    ) -> u64 {
         debug_assert_eq!(horizons.len(), self.periodic.len());
         debug_assert_eq!(fired.len(), self.periodic.len());
+        if let Some(total) = self.advance_bulk(horizons, fired) {
+            return total;
+        }
+        self.advance_loop(horizons, fired)
+    }
+
+    /// Closed-form batch advance. Returns `None` (leaving the queue
+    /// untouched) when the preconditions do not hold: uniform period and
+    /// pending-time spread of at most one period.
+    fn advance_bulk(&mut self, horizons: &[SimTime], fired: &mut [u64]) -> Option<u64> {
+        let first = self.periodic.first()?;
+        let period = first.period;
+        let (mut lo, mut hi) = (first.time, first.time);
+        for s in &self.periodic[1..] {
+            if s.period != period {
+                return None;
+            }
+            lo = lo.min(s.time);
+            hi = hi.max(s.time);
+        }
+        if hi - lo > period {
+            return None;
+        }
+        let p = period.as_nanos();
+        // Firing count: slot fires at `t + k·p < horizon`, k = 0, 1, …
+        let count = |t: SimTime, h: SimTime| -> u64 {
+            if t >= h {
+                0
+            } else {
+                (h - t).as_nanos().div_ceil(p)
+            }
+        };
         let mut total = 0u64;
-        loop {
-            let mut best: Option<usize> = None;
-            for (i, s) in self.periodic.iter().enumerate() {
-                if s.time >= horizons[i] {
+        let mut last_fire = self.now;
+        for (i, s) in self.periodic.iter().enumerate() {
+            let n = count(s.time, horizons[i]);
+            if n > 0 {
+                total += n;
+                last_fire = last_fire.max(s.time + period * (n - 1));
+            }
+        }
+        if total == 0 {
+            return Some(0);
+        }
+        // Because the spread is within one period, firings round-robin
+        // through the slots in their pending `(time, seq)` order (at an
+        // exact time tie the later-phased slot still carries the older —
+        // smaller — seq, so the round order is stable). Each firing's
+        // re-arm draws the next global seq, so slot i's final seq is
+        // `base + (firings strictly before its last fire)`: its own
+        // `n_i − 1` earlier rounds, plus `min(n_j, n_i)` from every slot
+        // ordered before it in the round and `min(n_j, n_i − 1)` from
+        // every slot after it.
+        let base = self.next_seq;
+        self.periodic_order.clear();
+        for (i, s) in self.periodic.iter().enumerate() {
+            let n_i = count(s.time, horizons[i]);
+            if n_i == 0 {
+                self.periodic_order.push(Reverse((s.time, s.seq, i)));
+                continue;
+            }
+            let mut before = n_i - 1;
+            for (j, o) in self.periodic.iter().enumerate() {
+                if j == i {
                     continue;
                 }
-                let better = match best {
-                    None => true,
-                    Some(b) => {
-                        let bb = &self.periodic[b];
-                        (s.time, s.seq) < (bb.time, bb.seq)
-                    }
+                let n_j = count(o.time, horizons[j]);
+                before += if (o.time, o.seq) < (s.time, s.seq) {
+                    n_j.min(n_i)
+                } else {
+                    n_j.min(n_i - 1)
                 };
-                if better {
-                    best = Some(i);
-                }
             }
-            let Some(i) = best else {
-                return total;
-            };
-            let slot = &mut self.periodic[i];
-            debug_assert!(slot.time >= self.now, "event queue went backwards");
-            self.now = slot.time;
-            if let Some(t) = trace.as_deref_mut() {
-                t.push((i, slot.time));
+            self.periodic_order
+                .push(Reverse((s.time + period * n_i, base + before, i)));
+            fired[i] += n_i;
+        }
+        // The rebuilt mirror holds every slot's new pending occurrence;
+        // write the slots back from it.
+        let (order, slots) = (&self.periodic_order, &mut self.periodic);
+        for &Reverse((t, seq, i)) in order.iter() {
+            slots[i].time = t;
+            slots[i].seq = seq;
+        }
+        self.next_seq = base + total;
+        self.now = last_fire;
+        Some(total)
+    }
+
+    /// Per-firing batch advance: pops the mirror heap one occurrence at
+    /// a time, in global `(time, seq)` order, for configurations the
+    /// closed form does not cover. A slot whose occurrence fails its
+    /// horizon stays failed for the whole call (its pending time only
+    /// moves *up* when it fires, which it will not), so it is parked
+    /// aside once and restored when the batch is done.
+    fn advance_loop(&mut self, horizons: &[SimTime], fired: &mut [u64]) -> u64 {
+        let mut total = 0u64;
+        let mut parked: Vec<Reverse<(SimTime, u64, usize)>> = Vec::new();
+        while let Some(&Reverse((t, _, i))) = self.periodic_order.peek() {
+            if t >= horizons[i] {
+                parked.push(self.periodic_order.pop().expect("peeked"));
+                continue;
             }
-            slot.time += slot.period;
-            slot.seq = self.next_seq;
-            self.next_seq += 1;
+            let (_, _, i) = self.fire_best_periodic();
             fired[i] += 1;
             total += 1;
         }
+        for entry in parked {
+            self.periodic_order.push(entry);
+        }
+        total
     }
 
     /// Drop all pending events (used when a run terminates early).
     pub fn clear(&mut self) {
         self.heap.clear();
         self.periodic.clear();
+        self.periodic_order.clear();
     }
 }
 
@@ -527,33 +595,87 @@ mod tests {
         assert_eq!(what, vec!["t1", "stop", "t0", "t1"]);
     }
 
-    /// The trace variant reports every firing, in the exact global
-    /// `(time, seq)` order sequential pops would have used.
+    /// The closed-form bulk advance and the per-firing merge loop must
+    /// leave byte-identical queues: same firing counts, same clock, same
+    /// seq allocation, same continuation stream. A seeded LCG explores
+    /// phase ties, full-period spreads and ragged per-slot horizons.
     #[test]
-    fn advance_periodic_trace_matches_pop_order() {
-        let period = SimDuration::from_nanos(10);
-        let mk = |q: &mut EventQueue<&str>| {
-            q.schedule_periodic(SimTime::from_nanos(10), period, "t0");
-            q.schedule_periodic(SimTime::from_nanos(15), period, "t1");
-            q.schedule(SimTime::from_nanos(47), "stop");
+    fn bulk_advance_matches_firing_loop() {
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        let mut rng = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 33
         };
-        let mut batched = EventQueue::new();
-        let mut popped = EventQueue::new();
-        mk(&mut batched);
-        mk(&mut popped);
-
-        let horizons = [SimTime::from_nanos(47); 2];
-        let mut fired = [0u64; 2];
-        let mut trace = Vec::new();
-        let total = batched.advance_periodic_trace(&horizons, &mut fired, &mut trace);
-        assert_eq!(total as usize, trace.len());
-
-        for (i, t) in trace {
-            let (time, _, what) = popped.pop().unwrap();
-            assert_eq!(t, time);
-            assert_eq!(what, if i == 0 { "t0" } else { "t1" });
+        let p = 10u64;
+        for round in 0..300 {
+            let nslots = 1 + (rng() % 6) as usize;
+            let mut bulk = EventQueue::new();
+            let mut looped = EventQueue::new();
+            for i in 0..nslots {
+                // Offsets in [0, p] inclusive: phase ties and the exact
+                // one-period spread are both legal bulk inputs.
+                let first = SimTime::from_nanos(rng() % (p + 1));
+                for q in [&mut bulk, &mut looped] {
+                    q.schedule_periodic(first, SimDuration::from_nanos(p), i);
+                }
+            }
+            // One shared horizon, sometimes capped at a random subset's
+            // pending occurrences — the shape the kernel produces when
+            // non-quiescent CPUs freeze their tick slots. (A horizon
+            // that fires one slot past another's remaining occurrence
+            // would run the queue backwards on the next pop, so fully
+            // independent per-slot horizons are not a legal input.)
+            let mut h = SimTime::from_nanos(rng() % (6 * p));
+            for i in 0..nslots {
+                if rng() % 4 == 0 {
+                    h = h.min(bulk.periodic_time(PeriodicId(i)));
+                }
+            }
+            let horizons = vec![h; nslots];
+            let mut fired_bulk = vec![0u64; nslots];
+            let mut fired_loop = vec![0u64; nslots];
+            let tb = bulk
+                .advance_bulk(&horizons, &mut fired_bulk)
+                .expect("uniform period within one spread takes the closed form");
+            let tl = looped.advance_loop(&horizons, &mut fired_loop);
+            assert_eq!(tb, tl, "round {round}: firing totals diverged");
+            assert_eq!(fired_bulk, fired_loop, "round {round}: per-slot counts");
+            assert_eq!(bulk.now(), looped.now(), "round {round}: clock");
+            for step in 0..4 * nslots {
+                assert_eq!(
+                    bulk.pop(),
+                    looped.pop(),
+                    "round {round}: continuation diverged at pop {step}"
+                );
+            }
         }
-        assert_eq!(batched.pop(), popped.pop());
+    }
+
+    /// Configurations outside the closed form — mixed periods, or slots
+    /// drifted more than one period apart — fall back to the firing
+    /// loop inside `advance_periodic` and stay exact.
+    #[test]
+    fn bulk_advance_declines_nonuniform_configurations() {
+        let mut q = EventQueue::new();
+        q.schedule_periodic(SimTime::from_nanos(0), SimDuration::from_nanos(10), "a");
+        q.schedule_periodic(SimTime::from_nanos(25), SimDuration::from_nanos(10), "b");
+        let horizons = [SimTime::from_nanos(40); 2];
+        let mut fired = [0u64; 2];
+        assert!(q.advance_bulk(&horizons, &mut fired).is_none());
+        let total = q.advance_periodic(&horizons, &mut fired);
+        assert_eq!(fired, [4, 2]); // a: 0,10,20,30  b: 25,35
+        assert_eq!(total, 6);
+
+        let mut q = EventQueue::new();
+        q.schedule_periodic(SimTime::from_nanos(0), SimDuration::from_nanos(10), "a");
+        q.schedule_periodic(SimTime::from_nanos(5), SimDuration::from_nanos(7), "b");
+        let mut fired = [0u64; 2];
+        assert!(q.advance_bulk(&horizons, &mut fired).is_none());
+        let total = q.advance_periodic(&horizons, &mut fired);
+        assert_eq!(fired, [4, 5]); // a: 0,10,20,30  b: 5,12,19,26,33
+        assert_eq!(total, 9);
     }
 
     #[test]

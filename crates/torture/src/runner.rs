@@ -16,7 +16,7 @@ use crate::scenario::{
     TopoKind, Workload,
 };
 use hpl_batch::{run_batch, BatchConfig, BatchTrace, EasyBackfill, Fcfs};
-use hpl_cluster::{Cluster, EmpiricalDist, Interconnect, NetConfig, ResonanceModel};
+use hpl_cluster::{Cluster, CosimConfig, EmpiricalDist, Interconnect, NetConfig, ResonanceModel};
 use hpl_core::HplClass;
 use hpl_kernel::noise::{IrqSpec, NoiseProfile};
 use hpl_kernel::observe::ChromeTraceSink;
@@ -349,7 +349,19 @@ fn run_cluster(sc: &Scenario, fast: bool, with_trace: bool) -> RunReport {
     } else {
         Interconnect::flat(sc.nodes as usize, net_cfg)
     };
-    let mut cluster = Cluster::new(nodes, fabric);
+    // Parallel scenarios force at least two stepping threads and a
+    // minimal density threshold, so the pool genuinely crosses host
+    // threads even on small clusters and single-core CI hosts — the
+    // point is torturing the parallel driver, not going fast.
+    let cosim = if sc.parallel {
+        let host = std::thread::available_parallelism().map_or(1, |n| n.get());
+        CosimConfig::parallel()
+            .with_threads(host.max(2))
+            .with_min_active(2)
+    } else {
+        CosimConfig::serial()
+    };
+    let mut cluster = Cluster::with_config(nodes, fabric, cosim);
     let mut oracle_ids = Vec::new();
     let mut trace_ids = Vec::new();
     for i in 0..sc.nodes as usize {
@@ -458,6 +470,40 @@ pub fn check_scenario(sc: &Scenario) -> Vec<Failure> {
             });
         }
     }
+    // Third leg for parallel scenarios: the same scenario under the
+    // serial driver must be bit-equal to the pooled run — host-thread
+    // scheduling is not allowed to leak into simulated state.
+    if sc.parallel {
+        let mut serial_sc = sc.clone();
+        serial_sc.parallel = false;
+        let s = run_scenario(&serial_sc, true, false);
+        if !s.outcome.is_complete() {
+            failures.push(Failure {
+                kind: "liveness",
+                detail: format!("[serial] workload ended {}", s.outcome.label()),
+            });
+        }
+        if s.outcome.is_complete() && f.outcome.is_complete() {
+            if s.fingerprint != f.fingerprint {
+                failures.push(Failure {
+                    kind: "divergence",
+                    detail: format!(
+                        "state fingerprint serial {:#x} vs parallel {:#x}",
+                        s.fingerprint, f.fingerprint
+                    ),
+                });
+            }
+            if s.exec_ns != f.exec_ns {
+                failures.push(Failure {
+                    kind: "divergence",
+                    detail: format!(
+                        "exec time serial {}ns vs parallel {}ns",
+                        s.exec_ns, f.exec_ns
+                    ),
+                });
+            }
+        }
+    }
     failures
 }
 
@@ -494,6 +540,7 @@ fn analytic_cluster(nodes: u32, seed: u64, fast: bool) -> Cluster {
         tickless: false,
         noise_pct: 100,
         irq: false,
+        parallel: false,
         fault: Fault::None,
         workload: Workload::Soup(SoupSpec::default()), // unused
     };

@@ -220,6 +220,10 @@ pub struct Scenario {
     pub noise_pct: u32,
     /// Add a timer-interrupt source.
     pub irq: bool,
+    /// Step co-simulation windows on a host thread pool (multi-node
+    /// scenarios only; must be invisible in every observable output —
+    /// the differential oracle checks exactly that).
+    pub parallel: bool,
     /// Injected scheduler bug.
     pub fault: Fault,
     /// What runs.
@@ -268,6 +272,7 @@ impl Scenario {
             tickless: hpl && rng.chance(0.5),
             noise_pct: *rng.choose(&[0u32, 0, 25, 100, 100]),
             irq: rng.chance(0.2),
+            parallel: nodes > 1 && rng.chance(0.35),
             fault: Fault::None,
             workload,
         }
@@ -510,6 +515,7 @@ impl Scenario {
         let _ = writeln!(s, "tickless {}", self.tickless);
         let _ = writeln!(s, "noise_pct {}", self.noise_pct);
         let _ = writeln!(s, "irq {}", self.irq);
+        let _ = writeln!(s, "parallel {}", self.parallel);
         let fault = match self.fault {
             Fault::None => "none",
             Fault::HpcWakeupMigrate => "hpc-wakeup-migrate",
@@ -586,6 +592,9 @@ impl Scenario {
             tickless: false,
             noise_pct: 0,
             irq: false,
+            // Absent in pre-parallel artifacts; defaults to the
+            // behaviour those artifacts were recorded under.
+            parallel: false,
             fault: Fault::None,
             workload: Workload::Soup(SoupSpec::default()),
         };
@@ -613,6 +622,7 @@ impl Scenario {
                 "tickless" => sc.tickless = parse_bool(rest)?,
                 "noise_pct" => sc.noise_pct = parse_num(rest)? as u32,
                 "irq" => sc.irq = parse_bool(rest)?,
+                "parallel" => sc.parallel = parse_bool(rest)?,
                 "fault" => {
                     sc.fault = match rest {
                         "none" => Fault::None,
@@ -852,6 +862,28 @@ mod tests {
                 .unwrap_or_else(|e| panic!("scenario {i} failed to parse: {e}\n{text}"));
             assert_eq!(sc, back, "round-trip mismatch for scenario {i}");
         }
+    }
+
+    #[test]
+    fn pre_parallel_artifacts_parse_with_parallel_off() {
+        // Artifacts written before the `parallel` key existed must keep
+        // replaying under the serial driver they were recorded with.
+        let sc = Scenario::from_text("torture-scenario v1\nseed 3\nnodes 2\nworkload soup\n")
+            .expect("legacy artifact parses");
+        assert!(!sc.parallel);
+    }
+
+    #[test]
+    fn parallel_is_sampled_only_on_multi_node_scenarios() {
+        let mut seen_parallel = false;
+        for i in 0..300 {
+            let sc = Scenario::sample(0xBEEF, i);
+            if sc.parallel {
+                assert!(sc.nodes > 1, "parallel stepping needs a cluster");
+                seen_parallel = true;
+            }
+        }
+        assert!(seen_parallel, "sampler never exercises the parallel driver");
     }
 
     #[test]

@@ -187,6 +187,13 @@ fn candidates(sc: &Scenario) -> Vec<(&'static str, Scenario)> {
         c.switched = false;
         push("flat fabric", c);
     }
+    if sc.parallel {
+        // Adopting this step means the bug reproduces under the serial
+        // driver too — i.e. it is a scheduler bug, not a pool bug.
+        let mut c = sc.clone();
+        c.parallel = false;
+        push("disable parallel stepping", c);
+    }
     if sc.hpl && sc.fault == Fault::None && !uses_hpc(sc) {
         let mut c = sc.clone();
         c.hpl = false;
@@ -201,9 +208,11 @@ fn candidates(sc: &Scenario) -> Vec<(&'static str, Scenario)> {
         c.topo = TopoKind::Smp(2);
         push("shrink topology", c);
     }
-    // Pins may now point past the shrunk topology, and batch job shapes
-    // past the shrunk cluster; clamp them.
+    // Pins may now point past the shrunk topology, batch job shapes
+    // past the shrunk cluster, and parallel stepping past a
+    // single-node shrink; clamp them.
     for (_, c) in &mut out {
+        c.parallel &= c.nodes > 1;
         let n = c.ncpus();
         match &mut c.workload {
             Workload::Soup(s) => {

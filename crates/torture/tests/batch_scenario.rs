@@ -51,6 +51,7 @@ hpl true
 tickless false
 noise_pct 0
 irq false
+parallel false
 fault none
 workload batch
 policy easy

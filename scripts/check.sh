@@ -32,6 +32,9 @@ cargo run --release -q -p hpl-bench --bin eventloop -- --smoke --out target/BENC
 echo "== multi-node smoke (lockstep co-simulation completes) =="
 cargo run --release -q -p hpl-bench --bin cluster -- --smoke --out target/BENCH_cluster_smoke.json
 
+echo "== parallel co-sim differential (release: serial vs pooled bit-equality) =="
+cargo test -q --release --test parallel_cosim
+
 echo "== scheduler torture smoke (fuzzed scenarios + invariant oracle) =="
 cargo run --release -q -p hpl-torture --bin torture -- --smoke
 

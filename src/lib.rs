@@ -76,8 +76,8 @@ pub mod prelude {
     };
     pub use hpl_bench::{run_many, run_once, NoiseKind, RunConfig, Scheduler};
     pub use hpl_cluster::{
-        Cluster, ClusterJobHandle, DistError, EmpiricalDist, Fabric, FlatFabric, Interconnect,
-        NetConfig, ResonanceModel, SwitchedFabric,
+        Cluster, ClusterJobHandle, CosimConfig, DistError, EmpiricalDist, Fabric, FlatFabric,
+        Interconnect, NetConfig, ResonanceModel, SwitchedFabric, Window,
     };
     pub use hpl_core::{chrt_spec, hpl_node_builder, HplClass};
     pub use hpl_kernel::noise::{NoiseProfile, NOISE_TAG};
