@@ -1,24 +1,56 @@
 //! The job lifecycle engine: submit → queued → allocated → running →
-//! completed, advanced inside the cosim event loop.
+//! completed (or failed → requeued), advanced inside the cosim event
+//! loop.
 //!
-//! [`run_batch`] owns the whole run: it replays a [`BatchTrace`] against
+//! [`BatchRun`] owns the whole run: it replays a [`BatchTrace`] against
 //! a [`Cluster`], consulting an [`AllocPolicy`] at every lockstep window
-//! boundary. Arrivals, allocation decisions and completions are all
-//! functions of virtual time and seeded state, so a batch run is exactly
-//! as deterministic as the underlying co-simulation — the same
-//! `(cluster seed, trace, policy)` triple produces the same
-//! [`BatchReport`] bit for bit, on both event-loop flavours.
+//! boundary. Arrivals, allocation decisions, completions and fault
+//! handling are all functions of virtual time and seeded state, so a
+//! batch run is exactly as deterministic as the underlying
+//! co-simulation — the same `(cluster seed, fault plan, trace, policy)`
+//! tuple produces the same [`BatchReport`] bit for bit, on both
+//! event-loop flavours.
 //!
 //! Decision points are quantised to lockstep windows (a few µs, the
 //! interconnect lookahead), the cluster-level analogue of a real batch
 //! scheduler's polling interval.
+//!
+//! ## Failure semantics
+//!
+//! When a node crash (see `hpl_cluster::FaultPlan`) kills a running
+//! job, the engine requeues it at the tail of the queue — the job loses
+//! its position, the standard cluster-manager default — keeping its
+//! original submit time so wait and slowdown measure the full sojourn.
+//! With [`BatchConfig::checkpoint`] set, jobs write periodic
+//! checkpoints and a requeued job restarts from the last checkpoint
+//! every surviving node committed (plus a restore penalty) instead of
+//! from scratch.
 
 use crate::policy::{AllocPolicy, ClusterView, QueuedJob, RunningJob};
 use crate::trace::{BatchJob, BatchTrace};
-use hpl_cluster::{Cluster, ClusterJobHandle};
+use hpl_cluster::{Cluster, ClusterJobHandle, Placement};
 use hpl_kernel::{RunOutcome, SchedEvent, TaskState};
 use hpl_mpi::{JobSpec, MpiOp, SchedMode};
 use hpl_sim::{SimDuration, SimTime};
+
+/// Periodic checkpointing for batch jobs (see [`BatchConfig`]).
+///
+/// Every `every_iters` iterations each rank quiesces, writes its state
+/// (`cost` of compute per rank) and commits at a per-node checkpoint
+/// barrier. A job requeued after a crash restarts from the last
+/// checkpoint committed by **every surviving node** (the consistent
+/// cut), paying `restore` once, instead of recomputing from iteration
+/// zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointSpec {
+    /// Checkpoint interval in job iterations (≥ 1).
+    pub every_iters: u32,
+    /// Per-rank cost of writing one checkpoint.
+    pub cost: SimDuration,
+    /// One-time per-rank cost of restoring from a checkpoint on
+    /// restart.
+    pub restore: SimDuration,
+}
 
 /// Engine knobs.
 #[derive(Debug, Clone)]
@@ -32,6 +64,9 @@ pub struct BatchConfig {
     /// max((wait + run) / max(run, τ), 1). The standard guard against
     /// tiny jobs dominating the mean; τ = 1 ms suits ms-scale jobs.
     pub slowdown_tau: SimDuration,
+    /// Periodic checkpoint/restart for every job; `None` (the default)
+    /// means failed jobs recompute from scratch.
+    pub checkpoint: Option<CheckpointSpec>,
 }
 
 impl Default for BatchConfig {
@@ -40,6 +75,7 @@ impl Default for BatchConfig {
             mode: SchedMode::Hpc,
             max_events: 600_000_000,
             slowdown_tau: SimDuration::from_millis(1),
+            checkpoint: None,
         }
     }
 }
@@ -63,6 +99,9 @@ pub struct JobOutcome {
     pub run: SimDuration,
     /// Bounded slowdown (see [`BatchConfig::slowdown_tau`]).
     pub bounded_slowdown: f64,
+    /// Times this job was requeued after a node crash before it
+    /// finally completed.
+    pub requeues: u32,
 }
 
 /// Everything a batch run produced. `PartialEq` so determinism tests
@@ -88,6 +127,12 @@ pub struct BatchReport {
     /// Decision points at which some node exceeded the policy's
     /// occupancy limit (must be 0; the torture oracle checks it).
     pub occupancy_violations: u64,
+    /// Total crash-triggered requeues across all jobs.
+    pub requeues: u64,
+    /// Jobs that never completed (must be 0 on an `Ok` report: every
+    /// submitted job either finishes or is requeued until it does; the
+    /// torture oracle checks it).
+    pub jobs_lost: u64,
     /// Cluster scheduler-state fingerprint at completion, for
     /// cross-event-loop differential checks.
     pub fingerprint: u64,
@@ -109,28 +154,51 @@ const ID_BASE_START: u64 = 10_000;
 /// Safety gap between consecutive jobs' id ranges.
 const ID_GAP: u64 = 16;
 
+/// A queued job plus its crash-recovery state: how many leading
+/// iterations the next launch may skip (covered by committed
+/// checkpoints) and how often it has been requeued.
+struct Queued {
+    job: BatchJob,
+    skip_iters: u32,
+    requeues: u32,
+}
+
 struct Running {
     job: BatchJob,
+    spec: JobSpec,
     handle: ClusterJobHandle,
     submitted: SimTime,
     started: SimTime,
+    skip_iters: u32,
+    requeues: u32,
 }
 
-fn job_spec(j: &BatchJob, id_base: u64) -> JobSpec {
-    JobSpec::new(
-        j.nprocs(),
-        JobSpec::repeat(
-            j.iters,
-            &[
-                MpiOp::Compute {
-                    mean: SimDuration::from_nanos(j.compute_ns),
-                },
-                MpiOp::Allreduce { bytes: j.bytes },
-            ],
-        ),
-    )
-    .with_nodes(j.nodes)
-    .with_id_base(id_base)
+/// Build the MPI program for one launch attempt. With `ckpt` set, a
+/// checkpoint op follows every `every_iters`-th iteration except the
+/// last (finishing *is* the commit); `skip_iters` leading iterations
+/// are replaced by a single restore compute when recovering. With
+/// `ckpt = None` and `skip_iters = 0` this emits exactly the
+/// pre-fault-era op list, so existing runs are untouched bit for bit.
+fn job_spec(j: &BatchJob, id_base: u64, ckpt: Option<&CheckpointSpec>, skip_iters: u32) -> JobSpec {
+    let mut ops = Vec::new();
+    if skip_iters > 0 {
+        let c = ckpt.expect("skipping iterations requires a checkpoint spec");
+        ops.push(MpiOp::Compute { mean: c.restore });
+    }
+    for it in skip_iters..j.iters {
+        ops.push(MpiOp::Compute {
+            mean: SimDuration::from_nanos(j.compute_ns),
+        });
+        ops.push(MpiOp::Allreduce { bytes: j.bytes });
+        if let Some(c) = ckpt {
+            if (it + 1) % c.every_iters == 0 && it + 1 < j.iters {
+                ops.push(MpiOp::Checkpoint { cost: c.cost });
+            }
+        }
+    }
+    JobSpec::new(j.nprocs(), ops)
+        .with_nodes(j.nodes)
+        .with_id_base(id_base)
 }
 
 /// Time the job released its last node: the max `perf` exit time over
@@ -147,19 +215,96 @@ fn job_end_time(cluster: &Cluster, h: &ClusterJobHandle) -> Option<SimTime> {
     Some(end)
 }
 
-/// Run `trace` on `cluster` under `policy`. The cluster should be
-/// pre-warmed (daemon populations settled) and idle; the batch epoch is
-/// the latest node clock at entry. Returns the filled [`BatchReport`],
-/// or the failing [`RunOutcome`] if the co-simulation deadlocks or the
-/// event budget runs out. Batch-level lifecycle events are published to
-/// node 0's observers ([`hpl_kernel::Node::publish`]).
+/// Builder for one batch run — the construction-API counterpart of
+/// `hpl_cluster::ClusterBuilder`.
+///
+/// ```ignore
+/// let report = BatchRun::new(&trace)
+///     .mode(SchedMode::Hpc)
+///     .checkpoint(CheckpointSpec { every_iters: 2, cost, restore })
+///     .run(&mut cluster, &mut policy)?;
+/// ```
+#[derive(Debug)]
+pub struct BatchRun<'a> {
+    trace: &'a BatchTrace,
+    cfg: BatchConfig,
+}
+
+impl<'a> BatchRun<'a> {
+    /// Start describing a run of `trace` with default [`BatchConfig`].
+    pub fn new(trace: &'a BatchTrace) -> Self {
+        BatchRun {
+            trace,
+            cfg: BatchConfig::default(),
+        }
+    }
+
+    /// Replace the whole config at once.
+    pub fn config(mut self, cfg: BatchConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// OS-level scheduling mode for every job.
+    pub fn mode(mut self, mode: SchedMode) -> Self {
+        self.cfg.mode = mode;
+        self
+    }
+
+    /// Cluster-wide dispatched-event budget.
+    pub fn max_events(mut self, max_events: u64) -> Self {
+        self.cfg.max_events = max_events;
+        self
+    }
+
+    /// Bounded-slowdown runtime floor τ.
+    pub fn slowdown_tau(mut self, tau: SimDuration) -> Self {
+        self.cfg.slowdown_tau = tau;
+        self
+    }
+
+    /// Enable periodic checkpoint/restart for every job.
+    pub fn checkpoint(mut self, spec: CheckpointSpec) -> Self {
+        self.cfg.checkpoint = Some(spec);
+        self
+    }
+
+    /// Execute the run. The cluster should be pre-warmed (daemon
+    /// populations settled) and idle; the batch epoch is the latest
+    /// node clock at entry. Returns the filled [`BatchReport`], or the
+    /// failing [`RunOutcome`] if the co-simulation deadlocks or the
+    /// event budget runs out. Batch-level lifecycle events are
+    /// published to node 0's observers ([`hpl_kernel::Node::publish`]).
+    pub fn run(
+        self,
+        cluster: &mut Cluster,
+        policy: &mut dyn AllocPolicy,
+    ) -> Result<BatchReport, RunOutcome> {
+        run_batch_inner(cluster, self.trace, policy, &self.cfg)
+    }
+}
+
+/// Run `trace` on `cluster` under `policy`.
+#[deprecated(note = "use BatchRun::new(trace)…run(cluster, policy)")]
 pub fn run_batch(
     cluster: &mut Cluster,
     trace: &BatchTrace,
     policy: &mut dyn AllocPolicy,
     cfg: &BatchConfig,
 ) -> Result<BatchReport, RunOutcome> {
+    run_batch_inner(cluster, trace, policy, cfg)
+}
+
+fn run_batch_inner(
+    cluster: &mut Cluster,
+    trace: &BatchTrace,
+    policy: &mut dyn AllocPolicy,
+    cfg: &BatchConfig,
+) -> Result<BatchReport, RunOutcome> {
     let nnodes = cluster.len();
+    if let Some(c) = &cfg.checkpoint {
+        assert!(c.every_iters >= 1, "checkpoint interval must be >= 1");
+    }
     for j in &trace.jobs {
         assert!(
             (j.nodes as usize) <= nnodes,
@@ -183,7 +328,7 @@ pub fn run_batch(
     pending.sort_by_key(|(at, j)| (*at, j.id));
     let mut pending = std::collections::VecDeque::from(pending);
 
-    let mut queue: Vec<BatchJob> = Vec::new();
+    let mut queue: Vec<Queued> = Vec::new();
     let mut submitted_at: Vec<(u32, SimTime)> = Vec::new();
     let mut running: Vec<Running> = Vec::new();
     let mut outcomes: Vec<JobOutcome> = Vec::new();
@@ -191,6 +336,7 @@ pub fn run_batch(
     let mut max_queue_depth = 0u32;
     let mut max_node_occupancy = 0u32;
     let mut occupancy_violations = 0u64;
+    let mut total_requeues = 0u64;
     let limit = policy.occupancy_limit();
     let total_jobs = trace.jobs.len();
 
@@ -200,9 +346,47 @@ pub fn run_batch(
             .max()
             .expect("cluster is non-empty");
 
-        // 1. Harvest completions.
+        // 1. Harvest completions and crash casualties. The failure
+        //    check comes first: a crashed job's perf pids are stale
+        //    (its node may have restarted), so `job_end_time` must
+        //    never look at them.
         let mut i = 0;
         while i < running.len() {
+            if cluster.job_failed(&running[i].handle) {
+                let r = running.swap_remove(i);
+                // Restart point: the last checkpoint every surviving
+                // node committed. Generations count commits *in this
+                // attempt*, on top of whatever the attempt already
+                // skipped.
+                let mut skip = 0;
+                if let Some(c) = &cfg.checkpoint {
+                    let committed = cluster
+                        .job_survivors(&r.handle)
+                        .iter()
+                        .map(|&j| {
+                            cluster
+                                .node(r.handle.placement[j])
+                                .sync
+                                .barrier_generation(r.spec.ckpt_barrier_id(j as u32))
+                        })
+                        .min()
+                        .unwrap_or(0);
+                    skip = (r.skip_iters + committed as u32 * c.every_iters)
+                        .min(r.job.iters.saturating_sub(1));
+                }
+                total_requeues += 1;
+                cluster.node_mut(0).publish(SchedEvent::JobSubmit {
+                    job: r.job.id,
+                    queue_depth: queue.len() as u32 + 1,
+                });
+                queue.push(Queued {
+                    job: r.job,
+                    skip_iters: skip,
+                    requeues: r.requeues + 1,
+                });
+                max_queue_depth = max_queue_depth.max(queue.len() as u32);
+                continue;
+            }
             if let Some(ended) = job_end_time(cluster, &running[i].handle) {
                 let r = running.swap_remove(i);
                 let wait = r.started.since(r.submitted);
@@ -218,6 +402,7 @@ pub fn run_batch(
                     wait,
                     run,
                     bounded_slowdown: slowdown,
+                    requeues: r.requeues,
                 });
                 cluster.node_mut(0).publish(SchedEvent::JobEnd {
                     job: r.job.id,
@@ -232,7 +417,11 @@ pub fn run_batch(
         while pending.front().is_some_and(|(at, _)| *at <= now) {
             let (at, job) = pending.pop_front().expect("checked front");
             submitted_at.push((job.id, at));
-            queue.push(job.clone());
+            queue.push(Queued {
+                job: job.clone(),
+                skip_iters: 0,
+                requeues: 0,
+            });
             max_queue_depth = max_queue_depth.max(queue.len() as u32);
             cluster.node_mut(0).publish(SchedEvent::JobSubmit {
                 job: job.id,
@@ -258,42 +447,46 @@ pub fn run_batch(
                         est_end: r.started + r.job.est_runtime(),
                     })
                     .collect(),
+                down: (0..nnodes).map(|n| !cluster.node_available(n)).collect(),
             };
             let pview: Vec<QueuedJob> = queue
                 .iter()
-                .map(|j| QueuedJob {
-                    id: j.id,
-                    nodes: j.nodes,
+                .map(|q| QueuedJob {
+                    id: q.job.id,
+                    nodes: q.job.nodes,
                     submitted: submitted_at
                         .iter()
-                        .find(|(id, _)| *id == j.id)
+                        .find(|(id, _)| *id == q.job.id)
                         .expect("queued jobs were submitted")
                         .1,
-                    est_runtime: j.est_runtime(),
+                    est_runtime: q.job.est_runtime(),
                 })
                 .collect();
             let Some(alloc) = policy.select(&pview, &view) else {
                 break;
             };
-            let job = queue.remove(alloc.queue_idx);
+            let q = queue.remove(alloc.queue_idx);
             let submitted = pview[alloc.queue_idx].submitted;
-            let spec = job_spec(&job, next_id_base);
+            let spec = job_spec(&q.job, next_id_base, cfg.checkpoint.as_ref(), q.skip_iters);
             next_id_base = *spec.id_range().end() + 1 + ID_GAP;
-            let handle = cluster.launch_job_on(&spec, cfg.mode, &alloc.placement);
+            let handle = cluster.launch(&spec, cfg.mode, Placement::on(&alloc.placement));
             // Batch-level start stamp: the decision-point clock (node
             // clocks inside one lockstep window can lag it by less than
             // the lookahead, and `submitted <= now` must hold).
             let started = now;
             cluster.node_mut(0).publish(SchedEvent::JobStart {
-                job: job.id,
+                job: q.job.id,
                 queue_depth: queue.len() as u32,
                 waited: started.since(submitted),
             });
             running.push(Running {
-                job,
+                job: q.job,
+                spec,
                 handle,
                 submitted,
                 started,
+                skip_iters: q.skip_iters,
+                requeues: q.requeues,
             });
         }
 
@@ -322,6 +515,11 @@ pub fn run_batch(
                 // clusters): jump the clocks to the arrival.
                 let jump_to = pending.front().expect("non-empty").0;
                 for n in 0..nnodes {
+                    // Crashed nodes stay frozen — a restart event will
+                    // re-clock them when (if) it lands.
+                    if cluster.node_down(n) {
+                        continue;
+                    }
                     cluster.node_mut(n).run_until_time(jump_to);
                 }
                 continue;
@@ -351,6 +549,7 @@ pub fn run_batch(
         (outcomes.iter().map(|o| o.wait.as_nanos()).sum::<u64>() as f64 / n) as u64,
     );
     let mean_bounded_slowdown = outcomes.iter().map(|o| o.bounded_slowdown).sum::<f64>() / n;
+    let jobs_lost = (total_jobs - outcomes.len()) as u64;
 
     Ok(BatchReport {
         policy: policy.name(),
@@ -362,6 +561,8 @@ pub fn run_batch(
         max_queue_depth,
         max_node_occupancy,
         occupancy_violations,
+        requeues: total_requeues,
+        jobs_lost,
         fingerprint: cluster.state_fingerprint(),
     })
 }

@@ -15,11 +15,14 @@
 //!   [`Fcfs`], [`EasyBackfill`] (head-job reservation + audited shadow-
 //!   window backfilling) and [`Oversubscribed`] (two jobs per node, the
 //!   anti-dedicated-node contrast) implementations;
-//! * [`run_batch`] — the job lifecycle engine (submit → queued →
-//!   allocated → running → completed) advanced inside the cosim event
-//!   loop, so arrivals, allocation decisions and completions are
-//!   deterministic virtual-time events; it fills a [`BatchReport`] with
-//!   per-job wait, bounded slowdown, makespan and utilization.
+//! * [`BatchRun`] — the job lifecycle engine (submit → queued →
+//!   allocated → running → completed, or failed → requeued) advanced
+//!   inside the cosim event loop, so arrivals, allocation decisions,
+//!   completions and crash-triggered requeues are deterministic
+//!   virtual-time events; it fills a [`BatchReport`] with per-job wait,
+//!   bounded slowdown, makespan, utilization and requeue counts.
+//!   [`CheckpointSpec`] adds periodic checkpoint/restart so requeued
+//!   jobs resume from their last committed checkpoint.
 //!
 //! Batch-level lifecycle events (`JobSubmit`/`JobStart`/`JobEnd`, queue
 //! depth) are published through the node-0 [`hpl_kernel::SchedObserver`]
@@ -27,28 +30,30 @@
 //! decisions above the kernel's.
 //!
 //! ```
-//! use hpl_batch::{run_batch, BatchConfig, BatchTrace, Fcfs};
+//! use hpl_batch::{BatchRun, BatchTrace, Fcfs};
 //! use hpl_cluster::{Cluster, Interconnect, NetConfig};
 //! use hpl_core::hpl_node_builder;
 //! use hpl_sim::{Rng, SimDuration};
 //! use hpl_topology::Topology;
 //!
-//! let nodes = (0..2u64)
-//!     .map(|i| {
+//! let mut cluster = Cluster::builder()
+//!     .nodes_with(2, |i| {
 //!         hpl_node_builder(Topology::smp(2))
-//!             .with_seed(Rng::for_run(42, i).next_u64())
+//!             .with_seed(Rng::for_run(42, i as u64).next_u64())
 //!             .build()
 //!     })
-//!     .collect();
-//! let mut cluster = Cluster::new(nodes, Interconnect::flat(2, NetConfig::default()));
+//!     .fabric(Interconnect::flat(2, NetConfig::default()))
+//!     .build();
 //! for i in 0..2 {
 //!     cluster.node_mut(i).run_for(SimDuration::from_millis(100));
 //! }
 //! let trace = BatchTrace::synthetic(7, 3, 2);
-//! let report = run_batch(&mut cluster, &trace, &mut Fcfs, &BatchConfig::default())
+//! let report = BatchRun::new(&trace)
+//!     .run(&mut cluster, &mut Fcfs)
 //!     .expect("batch run completes");
 //! assert_eq!(report.outcomes.len(), 3);
 //! assert_eq!(report.occupancy_violations, 0);
+//! assert_eq!(report.requeues, 0);
 //! ```
 
 #![forbid(unsafe_code)]
@@ -58,7 +63,9 @@ pub mod engine;
 pub mod policy;
 pub mod trace;
 
-pub use engine::{run_batch, BatchConfig, BatchReport, JobOutcome};
+#[allow(deprecated)]
+pub use engine::run_batch;
+pub use engine::{BatchConfig, BatchReport, BatchRun, CheckpointSpec, JobOutcome};
 pub use policy::{
     AllocPolicy, Allocation, BackfillDecision, ClusterView, EasyBackfill, Fcfs, Oversubscribed,
     QueuedJob, RunningJob,

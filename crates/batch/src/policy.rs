@@ -59,13 +59,17 @@ pub struct ClusterView {
     pub occupancy: Vec<u32>,
     /// Jobs launched and not yet completed.
     pub running: Vec<RunningJob>,
+    /// Nodes that are crashed or drained, indexed by cluster node.
+    /// Policies never place work on these.
+    pub down: Vec<bool>,
 }
 
 impl ClusterView {
     /// Node indices with occupancy strictly below `limit`, ascending.
+    /// Down or drained nodes are never eligible.
     fn nodes_below(&self, limit: u32) -> Vec<usize> {
         (0..self.occupancy.len())
-            .filter(|&n| self.occupancy[n] < limit)
+            .filter(|&n| self.occupancy[n] < limit && !self.down[n])
             .collect()
     }
 }
@@ -194,9 +198,14 @@ impl EasyBackfill {
             }
         }
         // A job wider than the cluster can never be satisfied; the
-        // engine rejects those at submit time, so by here the walk
-        // always completes the set.
-        debug_assert_eq!(reserved.len(), need);
+        // engine rejects those at submit time, so with every node up the
+        // walk always completes the set. Crashed/drained nodes can shrink
+        // the pool below the head's width until a restart lands — then
+        // the head's start time is unknowable, so the shadow moves to the
+        // far future and backfill can proceed without breaking a promise.
+        if reserved.len() < need {
+            shadow = SimTime::from_nanos(u64::MAX);
+        }
         reserved.sort_unstable();
         Some((reserved, shadow))
     }
@@ -312,6 +321,7 @@ mod tests {
             now: t(1_000),
             occupancy: occ.to_vec(),
             running,
+            down: vec![false; occ.len()],
         }
     }
 
@@ -380,6 +390,27 @@ mod tests {
         let a = p.select(&queue, &v).unwrap();
         assert_eq!(a.queue_idx, 1);
         assert!(p.decisions()[0].respects_reservation());
+    }
+
+    #[test]
+    fn down_nodes_are_never_allocated() {
+        let mut p = Fcfs;
+        let queue = [qj(0, 2, 100)];
+        let mut v = view(&[0, 0, 0, 0], vec![]);
+        v.down = vec![false, true, true, false];
+        let a = p.select(&queue, &v).unwrap();
+        assert_eq!(a.placement, vec![0, 3], "placement skips down nodes");
+        v.down = vec![true, true, true, false];
+        assert!(
+            p.select(&queue, &v).is_none(),
+            "too few up nodes blocks the head"
+        );
+        // Oversubscription does not rescue a down node either.
+        let mut o = Oversubscribed;
+        let mut v = view(&[0, 1, 0, 0], vec![]);
+        v.down = vec![false, false, true, true];
+        let a = o.select(&queue, &v).unwrap();
+        assert_eq!(a.placement, vec![0, 1]);
     }
 
     #[test]

@@ -2,8 +2,7 @@
 //! FCFS-vs-EASY divergence, and the EASY reservation-safety invariants.
 
 use hpl_batch::{
-    run_batch, AllocPolicy, BatchConfig, BatchJob, BatchReport, BatchTrace, EasyBackfill, Fcfs,
-    Oversubscribed,
+    AllocPolicy, BatchJob, BatchReport, BatchRun, BatchTrace, EasyBackfill, Fcfs, Oversubscribed,
 };
 use hpl_cluster::{Cluster, CosimConfig, Interconnect, NetConfig};
 use hpl_core::HplClass;
@@ -12,20 +11,17 @@ use hpl_sim::{Rng, SimDuration};
 use hpl_topology::Topology;
 
 fn build_cluster_with(nodes: usize, seed: u64, cosim: CosimConfig) -> Cluster {
-    let built = (0..nodes)
-        .map(|i| {
+    let mut cluster = Cluster::builder()
+        .nodes_with(nodes, move |i| {
             NodeBuilder::new(Topology::smp(2))
                 .with_config(KernelConfig::hpl())
                 .with_seed(Rng::for_run(seed, i as u64).next_u64())
                 .with_hpc_class(Box::new(HplClass::new()))
                 .build()
         })
-        .collect();
-    let mut cluster = Cluster::with_config(
-        built,
-        Interconnect::flat(nodes, NetConfig::default()),
-        cosim,
-    );
+        .fabric(Interconnect::flat(nodes, NetConfig::default()))
+        .cosim(cosim)
+        .build();
     for i in 0..nodes {
         cluster.node_mut(i).run_for(SimDuration::from_millis(100));
     }
@@ -66,7 +62,9 @@ fn backfill_friendly() -> BatchTrace {
 
 fn run(trace: &BatchTrace, policy: &mut dyn AllocPolicy, seed: u64) -> BatchReport {
     let mut cluster = build_cluster(4, seed);
-    run_batch(&mut cluster, trace, policy, &BatchConfig::default()).expect("batch run completes")
+    BatchRun::new(trace)
+        .run(&mut cluster, policy)
+        .expect("batch run completes")
 }
 
 #[test]
@@ -158,7 +156,8 @@ fn easy_backfill_never_delays_the_head_reservation() {
         let trace = BatchTrace::synthetic(seed, 8, 4);
         let mut policy = EasyBackfill::new();
         let mut cluster = build_cluster(4, seed ^ 0xE451);
-        let report = run_batch(&mut cluster, &trace, &mut policy, &BatchConfig::default())
+        let report = BatchRun::new(&trace)
+            .run(&mut cluster, &mut policy)
             .expect("batch run completes");
         assert_eq!(report.occupancy_violations, 0, "seed {seed}");
         let slack = SimDuration::from_millis(1);
@@ -200,17 +199,13 @@ fn oversubscribed_coschedules_two_jobs_per_node() {
     let mk_cluster = || build_cluster(1, 7);
 
     let mut cluster = mk_cluster();
-    let fcfs = run_batch(&mut cluster, &trace, &mut Fcfs, &BatchConfig::default()).unwrap();
+    let fcfs = BatchRun::new(&trace).run(&mut cluster, &mut Fcfs).unwrap();
     assert_eq!(fcfs.max_node_occupancy, 1);
 
     let mut cluster = mk_cluster();
-    let over = run_batch(
-        &mut cluster,
-        &trace,
-        &mut Oversubscribed,
-        &BatchConfig::default(),
-    )
-    .unwrap();
+    let over = BatchRun::new(&trace)
+        .run(&mut cluster, &mut Oversubscribed)
+        .unwrap();
     assert_eq!(over.max_node_occupancy, 2, "co-scheduling must stack jobs");
     assert_eq!(over.occupancy_violations, 0, "limit 2 is still a limit");
     // Sharing a node shrinks wait but stretches runtimes.
@@ -239,13 +234,9 @@ fn batch_events_reach_observers_and_chrome_trace() {
                 .attach_observer(Box::new(ChromeTraceSink::new(200_000)))
         })
         .collect();
-    let report = run_batch(
-        &mut cluster,
-        &trace,
-        &mut EasyBackfill::new(),
-        &BatchConfig::default(),
-    )
-    .unwrap();
+    let report = BatchRun::new(&trace)
+        .run(&mut cluster, &mut EasyBackfill::new())
+        .unwrap();
     assert_eq!(report.outcomes.len(), 4);
 
     let m = cluster
@@ -280,8 +271,9 @@ job 1 submit 500000 nodes 1 rpn 2 iters 2 compute 1000000 bytes 64 est 35000000
     let trace = BatchTrace::from_text(text).expect("parses");
     assert_eq!(trace.to_text(), text);
     let mut cluster = build_cluster(2, 11);
-    let report =
-        run_batch(&mut cluster, &trace, &mut Fcfs, &BatchConfig::default()).expect("completes");
+    let report = BatchRun::new(&trace)
+        .run(&mut cluster, &mut Fcfs)
+        .expect("completes");
     assert_eq!(report.outcomes.len(), 2);
     assert!(report.makespan > SimDuration::ZERO);
     assert!(report.utilization > 0.0 && report.utilization <= 1.0);
@@ -303,22 +295,14 @@ fn parallel_batch_run_matches_serial_bit_for_bit() {
     ];
     for (name, mk) in mks {
         let mut serial_cluster = build_cluster(4, 42);
-        let serial = run_batch(
-            &mut serial_cluster,
-            &trace,
-            mk().as_mut(),
-            &BatchConfig::default(),
-        )
-        .expect("serial batch run completes");
+        let serial = BatchRun::new(&trace)
+            .run(&mut serial_cluster, mk().as_mut())
+            .expect("serial batch run completes");
         let cosim = CosimConfig::parallel().with_threads(2).with_min_active(2);
         let mut parallel_cluster = build_cluster_with(4, 42, cosim);
-        let parallel = run_batch(
-            &mut parallel_cluster,
-            &trace,
-            mk().as_mut(),
-            &BatchConfig::default(),
-        )
-        .expect("parallel batch run completes");
+        let parallel = BatchRun::new(&trace)
+            .run(&mut parallel_cluster, mk().as_mut())
+            .expect("parallel batch run completes");
         assert_eq!(
             serial, parallel,
             "{name}: pooled windows must reproduce the serial report bit for bit"
@@ -338,12 +322,8 @@ fn observed_batch_run_matches_unobserved() {
             .node_mut(i)
             .attach_observer(Box::new(hpl_kernel::MetricsSink::new()));
     }
-    let observed = run_batch(
-        &mut cluster,
-        &trace,
-        &mut EasyBackfill::new(),
-        &BatchConfig::default(),
-    )
-    .unwrap();
+    let observed = BatchRun::new(&trace)
+        .run(&mut cluster, &mut EasyBackfill::new())
+        .unwrap();
     assert_eq!(unobserved, observed);
 }

@@ -20,8 +20,7 @@
 //! Usage: `batch [--quick|--smoke] [--out PATH]`
 
 use hpl_batch::{
-    run_batch, AllocPolicy, BatchConfig, BatchReport, BatchTrace, EasyBackfill, Fcfs,
-    Oversubscribed,
+    AllocPolicy, BatchReport, BatchRun, BatchTrace, EasyBackfill, Fcfs, Oversubscribed,
 };
 use hpl_cluster::{Cluster, Interconnect, NetConfig};
 use hpl_core::HplClass;
@@ -34,8 +33,8 @@ use hpl_topology::Topology;
 const CPUS_PER_NODE: u32 = 2;
 
 fn build_cluster(nodes: u32, hpc: bool, seed: u64) -> Cluster {
-    let built = (0..nodes)
-        .map(|i| {
+    let mut cluster = Cluster::builder()
+        .nodes_with(nodes as usize, move |i| {
             let kc = if hpc {
                 KernelConfig::hpl()
             } else {
@@ -50,11 +49,8 @@ fn build_cluster(nodes: u32, hpc: bool, seed: u64) -> Cluster {
             }
             b.build()
         })
-        .collect();
-    let mut cluster = Cluster::new(
-        built,
-        Interconnect::flat(nodes as usize, NetConfig::default()),
-    );
+        .fabric(Interconnect::flat(nodes as usize, NetConfig::default()))
+        .build();
     for i in 0..nodes as usize {
         cluster.node_mut(i).run_for(SimDuration::from_millis(300));
     }
@@ -72,11 +68,9 @@ fn make_policy(name: &str) -> Box<dyn AllocPolicy> {
 
 fn run_cell(trace: &BatchTrace, policy: &str, hpc: bool, nodes: u32, seed: u64) -> BatchReport {
     let mut cluster = build_cluster(nodes, hpc, seed);
-    let cfg = BatchConfig {
-        mode: if hpc { SchedMode::Hpc } else { SchedMode::Cfs },
-        ..BatchConfig::default()
-    };
-    run_batch(&mut cluster, trace, make_policy(policy).as_mut(), &cfg)
+    BatchRun::new(trace)
+        .mode(if hpc { SchedMode::Hpc } else { SchedMode::Cfs })
+        .run(&mut cluster, make_policy(policy).as_mut())
         .unwrap_or_else(|o| panic!("batch cell {policy}/{hpc} did not complete: {o:?}"))
 }
 

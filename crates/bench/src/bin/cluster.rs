@@ -27,7 +27,9 @@
 //!
 //! Usage: `cluster [--quick|--smoke] [--out PATH]`
 
-use hpl_cluster::{Cluster, CosimConfig, EmpiricalDist, Interconnect, NetConfig, ResonanceModel};
+use hpl_cluster::{
+    Cluster, CosimConfig, EmpiricalDist, Interconnect, NetConfig, Placement, ResonanceModel,
+};
 use hpl_core::HplClass;
 use hpl_kernel::noise::NoiseProfile;
 use hpl_kernel::{KernelConfig, NodeBuilder, TaskState};
@@ -54,8 +56,8 @@ fn job(nodes: u32, iters: u32) -> JobSpec {
 }
 
 fn build_cluster(nodes: u32, hpc: bool, noisy: bool, seed: u64) -> Cluster {
-    let built = (0..nodes)
-        .map(|i| {
+    Cluster::builder()
+        .nodes_with(nodes as usize, move |i| {
             let kc = if hpc {
                 KernelConfig::hpl()
             } else {
@@ -75,11 +77,8 @@ fn build_cluster(nodes: u32, hpc: bool, noisy: bool, seed: u64) -> Cluster {
             }
             b.build()
         })
-        .collect();
-    Cluster::new(
-        built,
-        Interconnect::flat(nodes as usize, NetConfig::default()),
-    )
+        .fabric(Interconnect::flat(nodes as usize, NetConfig::default()))
+        .build()
 }
 
 /// Mean execution time (seconds) of the job on an N-node cluster.
@@ -89,11 +88,11 @@ fn cluster_exec(nodes: u32, hpc: bool, noisy: bool, iters: u32, reps: u32, seed:
     for rep in 0..reps {
         let mut cluster = build_cluster(nodes, hpc, noisy, seed ^ (rep as u64) << 16);
         // Warm each node's daemon population up independently — legal
-        // before launch_job, when no cross-node traffic can exist yet.
+        // before launch, when no cross-node traffic can exist yet.
         for i in 0..nodes as usize {
             cluster.node_mut(i).run_for(SimDuration::from_millis(300));
         }
-        let handle = cluster.launch_job(&job(nodes, iters), mode);
+        let handle = cluster.launch(&job(nodes, iters), mode, Placement::All);
         let exec = cluster.run_to_completion(&handle, 400_000_000 * nodes as u64);
         total += exec.as_secs_f64();
     }
@@ -173,8 +172,8 @@ fn weak_job(nodes: u32, iters: u32) -> JobSpec {
 }
 
 fn weak_cluster(nodes: u32, seed: u64, cosim: CosimConfig) -> Cluster {
-    let built = (0..nodes)
-        .map(|i| {
+    let mut cluster = Cluster::builder()
+        .nodes_with(nodes as usize, move |i| {
             NodeBuilder::new(Topology::smp(WEAK_RANKS))
                 .with_config(KernelConfig::hpl())
                 .with_noise(NoiseProfile::standard(WEAK_RANKS).scaled(0.25))
@@ -182,12 +181,9 @@ fn weak_cluster(nodes: u32, seed: u64, cosim: CosimConfig) -> Cluster {
                 .with_hpc_class(Box::new(HplClass::new()))
                 .build()
         })
-        .collect();
-    let mut cluster = Cluster::with_config(
-        built,
-        Interconnect::flat(nodes as usize, NetConfig::default()),
-        cosim,
-    );
+        .fabric(Interconnect::flat(nodes as usize, NetConfig::default()))
+        .cosim(cosim)
+        .build();
     for i in 0..nodes as usize {
         cluster.node_mut(i).run_for(SimDuration::from_millis(20));
     }
@@ -203,7 +199,7 @@ fn weak_run(
     cosim: CosimConfig,
 ) -> (f64, f64, u64, u64, u64, u64) {
     let mut cluster = weak_cluster(nodes, seed, cosim);
-    let handle = cluster.launch_job(&weak_job(nodes, iters), SchedMode::Hpc);
+    let handle = cluster.launch(&weak_job(nodes, iters), SchedMode::Hpc, Placement::All);
     let t0 = std::time::Instant::now();
     let exec = cluster.run_to_completion(&handle, 100_000_000 * nodes as u64);
     let wall = t0.elapsed().as_secs_f64();

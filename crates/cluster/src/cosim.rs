@@ -18,13 +18,25 @@
 //! as replayable as a single-node run. The same seed produces the same
 //! fingerprint on the fast and reference event loops.
 //!
-//! The cluster supports **concurrent jobs**: each [`Self::launch_job_on`]
-//! places a job on a subset of nodes, jobs sharing a node must reserve
-//! disjoint channel-id ranges ([`JobSpec::id_range`]), and completion is
-//! tracked per [`ClusterJobHandle`] so a batch driver (see `hpl-batch`)
-//! can overlap jobs and harvest them independently.
+//! The cluster supports **concurrent jobs**: each [`Cluster::launch`]
+//! places a job on a subset of nodes ([`Placement`]), jobs sharing a
+//! node must reserve disjoint channel-id ranges ([`JobSpec::id_range`]),
+//! and completion is tracked per [`ClusterJobHandle`] so a batch driver
+//! (see `hpl-batch`) can overlap jobs and harvest them independently.
+//!
+//! Clusters are constructed through [`ClusterBuilder`]: nodes, fabric,
+//! host-side execution policy and the [`FaultPlan`] are all fixed at
+//! build time, so a run's configuration is part of its identity. Node
+//! crash/drain/restart events from the plan are applied at window
+//! boundaries of the lockstep loop (see [`Cluster::step_window`]): a
+//! crashed node freezes (its pending deliveries drop and it no longer
+//! contributes to the cluster-wide next event time), any job with a live
+//! launcher tree on it is marked failed, and a later restart rebuilds
+//! the node from the builder's factory at the cluster's current time —
+//! new launches then re-register their channels on the fresh kernel.
 
-use crate::net::Interconnect;
+use crate::fault::{FaultPlan, NodeFault};
+use crate::net::{Interconnect, LinkFaults, NetConfig};
 use crate::pool::WorkerPool;
 use crate::window::Window;
 use hpl_kernel::observe::ChromeTraceSink;
@@ -130,6 +142,164 @@ struct ActiveJob {
     placement: Vec<usize>,
     /// Root (`perf`) pid per job-relative node.
     perf_pids: Vec<Pid>,
+    /// Node incarnation at launch, per job-relative node: a pid is only
+    /// meaningful on the incarnation that spawned it, so every task-table
+    /// read is guarded by this (a restarted node has a fresh table).
+    incarnations: Vec<u64>,
+    /// Set when a node hosting a live launcher tree of this job
+    /// crashes. Failed jobs release occupancy, stop routing, and never
+    /// complete; a batch driver requeues them.
+    failed: bool,
+}
+
+/// Where [`Cluster::launch`] places a job's nodes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Placement {
+    /// Identity placement across the whole cluster: job node `j` on
+    /// cluster node `j`. The job's width must equal the cluster's.
+    All,
+    /// Explicit subset: job node `j` on cluster node `nodes[j]`.
+    Nodes(Vec<usize>),
+}
+
+impl Placement {
+    /// Shorthand for [`Placement::Nodes`] from a slice.
+    pub fn on(nodes: &[usize]) -> Self {
+        Placement::Nodes(nodes.to_vec())
+    }
+
+    fn resolve(self, cluster_len: usize) -> Vec<usize> {
+        match self {
+            Placement::All => (0..cluster_len).collect(),
+            Placement::Nodes(nodes) => nodes,
+        }
+    }
+}
+
+/// Constructs a [`Cluster`]. Everything about a run — the nodes, the
+/// fabric, the host-side execution policy, the fault schedule — is
+/// fixed here, at build time.
+///
+/// ```no_run
+/// # use hpl_cluster::{Cluster, CosimConfig, FaultPlan, Interconnect, NetConfig};
+/// # fn build_node(i: usize) -> hpl_kernel::Node { unimplemented!() }
+/// let cluster = Cluster::builder()
+///     .nodes_with(4, build_node)
+///     .fabric(Interconnect::switched(4, NetConfig::default()))
+///     .cosim(CosimConfig::parallel())
+///     .faults(FaultPlan::none())
+///     .build();
+/// ```
+pub struct ClusterBuilder {
+    nodes: Vec<Node>,
+    factory: Option<Box<dyn FnMut(usize) -> Node>>,
+    net: Option<Interconnect>,
+    cosim: CosimConfig,
+    faults: FaultPlan,
+}
+
+impl ClusterBuilder {
+    /// Provide pre-built nodes. Build them with whatever
+    /// topology/seed/event-loop each should have — the cluster does not
+    /// care. Restart fault events need [`Self::nodes_with`] instead
+    /// (there is nothing to rebuild a crashed node from otherwise).
+    pub fn nodes(mut self, nodes: Vec<Node>) -> Self {
+        self.nodes = nodes;
+        self.factory = None;
+        self
+    }
+
+    /// Provide nodes via a factory (`factory(i)` builds node `i`). The
+    /// factory is kept: a [`NodeFault::Restart`] event rebuilds the
+    /// crashed node by calling it again.
+    pub fn nodes_with(
+        mut self,
+        count: usize,
+        mut factory: impl FnMut(usize) -> Node + 'static,
+    ) -> Self {
+        self.nodes = (0..count).map(&mut factory).collect();
+        self.factory = Some(Box::new(factory));
+        self
+    }
+
+    /// The interconnect. Defaults to a flat crossbar with
+    /// [`NetConfig::default`] parameters over the node count.
+    pub fn fabric(mut self, net: Interconnect) -> Self {
+        self.net = Some(net);
+        self
+    }
+
+    /// Host-side execution policy (serial vs pooled window stepping).
+    /// Invisible in every observable output; defaults to serial.
+    pub fn cosim(mut self, cfg: CosimConfig) -> Self {
+        self.cosim = cfg;
+        self
+    }
+
+    /// The run's fault schedule. Defaults to [`FaultPlan::none`], which
+    /// is zero-cost: no fault state is consulted anywhere.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = plan;
+        self
+    }
+
+    /// Build the cluster.
+    ///
+    /// Panics if no nodes were provided, the fabric size does not match
+    /// the node count, a fault event targets a node outside the
+    /// cluster, or the plan has restarts without a node factory.
+    pub fn build(self) -> Cluster {
+        let ClusterBuilder {
+            nodes,
+            factory,
+            net,
+            cosim,
+            faults,
+        } = self;
+        assert!(!nodes.is_empty(), "a cluster needs at least one node");
+        let mut net = net.unwrap_or_else(|| Interconnect::flat(nodes.len(), NetConfig::default()));
+        assert_eq!(
+            net.nodes(),
+            nodes.len(),
+            "interconnect fabric size must match the node count"
+        );
+        for e in &faults.events {
+            assert!(
+                e.node < nodes.len(),
+                "fault event targets node {} outside the cluster",
+                e.node
+            );
+        }
+        assert!(
+            !faults.has_restarts() || factory.is_some(),
+            "restart fault events need ClusterBuilder::nodes_with (a node factory)"
+        );
+        if faults.loss.is_some() || !faults.degrade.is_empty() {
+            net.install_faults(LinkFaults {
+                seed: faults.seed,
+                loss: faults.loss,
+                degrade: faults.degrade.clone(),
+            });
+        }
+        let n = nodes.len();
+        let fault_events = faults.sorted_events();
+        Cluster {
+            nodes,
+            net,
+            jobs: Vec::new(),
+            cfg: cosim,
+            pool: None,
+            active: Vec::new(),
+            outbox: Vec::new(),
+            factory,
+            fault_events,
+            fault_cursor: 0,
+            down: vec![false; n],
+            drained: vec![false; n],
+            incarnation: vec![0; n],
+            crashes: 0,
+        }
+    }
 }
 
 /// N co-simulated kernel nodes joined by an interconnect.
@@ -151,38 +321,53 @@ pub struct Cluster {
     /// Scratch: one window's captured outbound messages, swap-cycled
     /// with each node's capture buffer so neither side reallocates.
     outbox: Vec<NetMsg>,
+    /// Node factory from [`ClusterBuilder::nodes_with`]; rebuilds
+    /// crashed nodes on restart events.
+    factory: Option<Box<dyn FnMut(usize) -> Node>>,
+    /// The plan's node events, in application order.
+    fault_events: Vec<crate::fault::NodeEvent>,
+    /// First not-yet-applied entry of `fault_events`.
+    fault_cursor: usize,
+    /// `down[n]`: node `n` crashed and has not restarted. A down node
+    /// is frozen — excluded from the next-event minimum and the active
+    /// list, never stepped, deliveries to it dropped.
+    down: Vec<bool>,
+    /// `drained[n]`: node `n` accepts no new launches (but keeps
+    /// running what it has).
+    drained: Vec<bool>,
+    /// Restart generation per node; bumped when a node is rebuilt.
+    incarnation: Vec<u64>,
+    /// Crash events applied so far.
+    crashes: u64,
 }
 
 impl Cluster {
-    /// Join pre-built nodes with an interconnect. Build the nodes with
-    /// whatever topology/seed/event-loop each should have — the cluster
-    /// does not care, it only requires `fabric.nodes() == nodes.len()`.
-    /// Runs serial lockstep; use [`Self::with_config`] to fan windows
-    /// out over host threads.
-    pub fn new(nodes: Vec<Node>, net: Interconnect) -> Self {
-        Cluster::with_config(nodes, net, CosimConfig::serial())
+    /// Start building a cluster: nodes, fabric, execution policy and
+    /// fault schedule are all fixed at [`ClusterBuilder::build`].
+    pub fn builder() -> ClusterBuilder {
+        ClusterBuilder {
+            nodes: Vec::new(),
+            factory: None,
+            net: None,
+            cosim: CosimConfig::serial(),
+            faults: FaultPlan::none(),
+        }
     }
 
-    /// [`Self::new`] with an explicit host-side execution policy. The
-    /// policy is invisible in every observable output — fingerprints,
-    /// traces, metrics, reports are byte-identical across policies —
-    /// it only changes host wall-clock time.
+    /// Join pre-built nodes with an interconnect, serial lockstep.
+    #[deprecated(note = "use Cluster::builder().nodes(..).fabric(..).build()")]
+    pub fn new(nodes: Vec<Node>, net: Interconnect) -> Self {
+        Cluster::builder().nodes(nodes).fabric(net).build()
+    }
+
+    /// Join pre-built nodes with an explicit host-side execution policy.
+    #[deprecated(note = "use Cluster::builder().nodes(..).fabric(..).cosim(..).build()")]
     pub fn with_config(nodes: Vec<Node>, net: Interconnect, cfg: CosimConfig) -> Self {
-        assert!(!nodes.is_empty(), "a cluster needs at least one node");
-        assert_eq!(
-            net.nodes(),
-            nodes.len(),
-            "interconnect fabric size must match the node count"
-        );
-        Cluster {
-            nodes,
-            net,
-            jobs: Vec::new(),
-            cfg,
-            pool: None,
-            active: Vec::new(),
-            outbox: Vec::new(),
-        }
+        Cluster::builder()
+            .nodes(nodes)
+            .fabric(net)
+            .cosim(cfg)
+            .build()
     }
 
     /// The host-side execution policy.
@@ -190,9 +375,11 @@ impl Cluster {
         self.cfg
     }
 
-    /// Replace the host-side execution policy mid-run (safe at any
-    /// window boundary: the policy never affects simulated state). An
-    /// existing pool is dropped so a new thread count takes effect.
+    /// Replace the host-side execution policy mid-run. An existing pool
+    /// is dropped so a new thread count takes effect.
+    #[deprecated(
+        note = "configure via ClusterBuilder::cosim — a run's execution policy is fixed at build"
+    )]
     pub fn set_config(&mut self, cfg: CosimConfig) {
         self.cfg = cfg;
         self.pool = None;
@@ -236,9 +423,57 @@ impl Cluster {
     }
 
     /// Earliest pending event time across the cluster, `None` when every
-    /// queue is drained.
+    /// queue is drained. Down nodes are frozen and contribute nothing —
+    /// their pending events can never fire.
     pub fn next_event_time(&self) -> Option<SimTime> {
-        self.nodes.iter().filter_map(Node::next_event_time).min()
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !self.down[*i])
+            .filter_map(|(_, n)| n.next_event_time())
+            .min()
+    }
+
+    /// True iff node `n` has crashed and not restarted.
+    pub fn node_down(&self, n: usize) -> bool {
+        self.down[n]
+    }
+
+    /// True iff node `n` is drained (no new launches).
+    pub fn node_drained(&self, n: usize) -> bool {
+        self.drained[n]
+    }
+
+    /// True iff node `n` can host new launches (neither down nor
+    /// drained).
+    pub fn node_available(&self, n: usize) -> bool {
+        !self.down[n] && !self.drained[n]
+    }
+
+    /// Crash events applied so far.
+    pub fn crashes(&self) -> u64 {
+        self.crashes
+    }
+
+    /// True iff this handle's job was failed by a node crash. Failed
+    /// jobs release occupancy, never complete, and must be relaunched
+    /// (fresh id range) by whoever owns the queue.
+    pub fn job_failed(&self, handle: &ClusterJobHandle) -> bool {
+        self.jobs[handle.job_id].failed
+    }
+
+    /// Job-relative node indices of `handle` whose cluster node still
+    /// holds the job's tasks: up, and on the same incarnation that
+    /// spawned them. For a failed job this is where checkpoint progress
+    /// can still be read.
+    pub fn job_survivors(&self, handle: &ClusterJobHandle) -> Vec<usize> {
+        let aj = &self.jobs[handle.job_id];
+        (0..aj.placement.len())
+            .filter(|&j| {
+                let n = aj.placement[j];
+                !self.down[n] && aj.incarnations[j] == self.incarnation[n]
+            })
+            .collect()
     }
 
     /// Combined scheduler-state hash over all nodes, for determinism
@@ -252,33 +487,40 @@ impl Cluster {
         h
     }
 
-    /// Launch `job` across the **whole** cluster (identity placement:
-    /// job node `j` on cluster node `j`). Equivalent to
-    /// [`Self::launch_job_on`] with `[0, 1, …, len-1]`.
+    /// Launch `job` across the **whole** cluster.
+    #[deprecated(note = "use Cluster::launch(job, mode, Placement::All)")]
     pub fn launch_job(&mut self, job: &JobSpec, mode: SchedMode) -> ClusterJobHandle {
-        assert_eq!(
-            job.nodes as usize,
-            self.nodes.len(),
-            "job placement does not match cluster size"
-        );
-        let placement: Vec<usize> = (0..self.nodes.len()).collect();
-        self.launch_job_on(job, mode, &placement)
+        self.launch(job, mode, Placement::All)
     }
 
-    /// Launch `job` on the cluster-node subset `placement` (job node `j`
-    /// runs on cluster node `placement[j]`): register its cross-node
-    /// channels on each source node, then spawn one `perf → (chrt →)
-    /// mpiexec → ranks` tree per job node, *without* stepping any node
-    /// (lockstep starts with [`Self::step_window`]). Jobs may overlap in
-    /// time and share nodes, but jobs that share a node must reserve
-    /// disjoint id ranges ([`JobSpec::with_id_base`]) so message routing
-    /// stays unambiguous — this is asserted here.
+    /// Launch `job` on an explicit cluster-node subset.
+    #[deprecated(note = "use Cluster::launch(job, mode, Placement::on(placement))")]
     pub fn launch_job_on(
         &mut self,
         job: &JobSpec,
         mode: SchedMode,
         placement: &[usize],
     ) -> ClusterJobHandle {
+        self.launch(job, mode, Placement::on(placement))
+    }
+
+    /// Launch `job` on `placement` (job node `j` runs on cluster node
+    /// `placement[j]`; [`Placement::All`] is the identity placement over
+    /// the whole cluster): register its cross-node channels on each
+    /// source node, then spawn one `perf → (chrt →) mpiexec → ranks`
+    /// tree per job node, *without* stepping any node (lockstep starts
+    /// with [`Self::step_window`]). Jobs may overlap in time and share
+    /// nodes, but jobs that share a node must reserve disjoint id ranges
+    /// ([`JobSpec::with_id_base`]) so message routing stays unambiguous
+    /// — this is asserted here, as is every target node being up and
+    /// undrained.
+    pub fn launch(
+        &mut self,
+        job: &JobSpec,
+        mode: SchedMode,
+        placement: Placement,
+    ) -> ClusterJobHandle {
+        let placement = placement.resolve(self.nodes.len());
         assert_eq!(
             job.nodes as usize,
             placement.len(),
@@ -294,6 +536,11 @@ impl Cluster {
             assert!(
                 !placement[..j].contains(&n),
                 "placement maps two job nodes onto cluster node {n}"
+            );
+            assert!(
+                !self.down[n] && !self.drained[n],
+                "placement[{j}] = {n} is {}",
+                if self.down[n] { "down" } else { "drained" }
             );
         }
         for prev in &self.jobs {
@@ -320,14 +567,17 @@ impl Cluster {
             perf_pids.push(spawn_job_tree(node, job, mode, j as u32));
         }
         let job_id = self.jobs.len();
+        let incarnations = placement.iter().map(|&n| self.incarnation[n]).collect();
         self.jobs.push(ActiveJob {
             job: job.clone(),
-            placement: placement.to_vec(),
+            placement: placement.clone(),
             perf_pids: perf_pids.clone(),
+            incarnations,
+            failed: false,
         });
         ClusterJobHandle {
             job_id,
-            placement: placement.to_vec(),
+            placement,
             perf_pids,
             launched_at,
         }
@@ -349,19 +599,47 @@ impl Cluster {
     /// still merged serially in fixed `(node, capture)` order by
     /// `route_outbound`, which is what keeps the result byte-identical
     /// to the serial path.
+    /// Fault events from the plan are applied here, at window
+    /// boundaries: every event due at or before the upcoming window's
+    /// start lands before any node is stepped (so a crash has
+    /// window-granular timing — the first boundary at or after its
+    /// scheduled time — exactly like a health-check poll would). When
+    /// all queues drain but fault events remain (e.g. a restart of the
+    /// only node with work), the events are applied and the loop
+    /// continues, so a restart can wake an otherwise-idle cluster.
     pub fn step_window(&mut self) -> bool {
-        let Some(t_next) = self.next_event_time() else {
-            return false;
+        let t_next = loop {
+            let t_next = self.next_event_time();
+            let due = match (self.fault_events.get(self.fault_cursor), t_next) {
+                (Some(e), Some(t)) => e.at <= t,
+                (Some(_), None) => true,
+                (None, _) => false,
+            };
+            if due {
+                self.apply_next_fault();
+                continue;
+            }
+            match t_next {
+                Some(t) => break t,
+                None => return false,
+            }
         };
         let window = Window::conservative(t_next, self.net.lookahead());
         let deadline = window.deadline();
         self.active.clear();
         for (i, node) in self.nodes.iter().enumerate() {
+            if self.down[i] {
+                // A down node leaves the active list permanently: it is
+                // never re-claimed by the pool, its frozen events never
+                // fire. (Restart replaces the node wholesale.)
+                continue;
+            }
             if node.next_event_time().is_some_and(|t| t <= deadline) {
                 self.active.push(i);
             }
         }
-        let workers = self.cfg.effective_threads(self.nodes.len()) - 1;
+        let alive = self.nodes.len() - self.down.iter().filter(|&&d| d).count();
+        let workers = self.cfg.effective_threads(alive) - 1;
         if self.cfg.parallel && workers > 0 && self.active.len() >= self.cfg.parallel_min_active {
             let pool = self.pool.get_or_insert_with(|| WorkerPool::new(workers));
             pool.step_round(&mut self.nodes, &self.active, deadline);
@@ -372,6 +650,101 @@ impl Cluster {
         }
         self.route_outbound();
         true
+    }
+
+    /// Apply the next scheduled node fault. Runs serially between
+    /// windows, so the decision is identical under every host execution
+    /// policy.
+    fn apply_next_fault(&mut self) {
+        let ev = self.fault_events[self.fault_cursor];
+        self.fault_cursor += 1;
+        match ev.kind {
+            NodeFault::Drain => {
+                self.drained[ev.node] = true;
+            }
+            NodeFault::Crash => {
+                if self.down[ev.node] {
+                    return;
+                }
+                // Fail every job with a live launcher tree on the node
+                // (the node's task table is still valid here — it is
+                // only replaced on restart). Jobs whose tree already
+                // exited on this node are unaffected.
+                for aj in &mut self.jobs {
+                    if aj.failed {
+                        continue;
+                    }
+                    if let Some(j) = aj.placement.iter().position(|&p| p == ev.node) {
+                        if aj.incarnations[j] == self.incarnation[ev.node]
+                            && self.nodes[ev.node].tasks.get(aj.perf_pids[j]).state
+                                != TaskState::Dead
+                        {
+                            aj.failed = true;
+                        }
+                    }
+                }
+                self.down[ev.node] = true;
+                self.crashes += 1;
+                // Runtime-level abort on the survivors: reap each failed
+                // job's task tree on its other nodes, so orphaned ranks
+                // don't spin against (and skew placement for) whatever
+                // runs there next. Checkpoint barrier generations stay
+                // readable — killing a task doesn't unwind the commits
+                // it already made.
+                for ji in 0..self.jobs.len() {
+                    let aj = &self.jobs[ji];
+                    if !aj.failed || !aj.placement.contains(&ev.node) {
+                        continue;
+                    }
+                    let victims: Vec<(usize, hpl_kernel::Pid)> = aj
+                        .placement
+                        .iter()
+                        .enumerate()
+                        .filter(|&(j, &n)| {
+                            n != ev.node
+                                && !self.down[n]
+                                && aj.incarnations[j] == self.incarnation[n]
+                        })
+                        .map(|(j, &n)| (n, aj.perf_pids[j]))
+                        .collect();
+                    for (n, pid) in victims {
+                        if self.nodes[n].tasks.get(pid).state != TaskState::Dead {
+                            self.nodes[n].kill_tree(pid);
+                        }
+                    }
+                }
+            }
+            NodeFault::Restart => {
+                if !self.down[ev.node] {
+                    // Restart of an up node just lifts a drain.
+                    self.drained[ev.node] = false;
+                    return;
+                }
+                let factory = self
+                    .factory
+                    .as_mut()
+                    .expect("restart events are rejected at build without a factory");
+                let mut fresh = factory(ev.node);
+                // Replay the fresh kernel's boot up to the cluster's
+                // present, so it rejoins lockstep without dragging the
+                // window back into everyone else's past. Deliveries
+                // pending in the dead node's queue vanish with it.
+                let target = self
+                    .nodes
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| !self.down[*i])
+                    .map(|(_, n)| n.now())
+                    .max()
+                    .unwrap_or(SimTime::ZERO)
+                    .max(ev.at);
+                fresh.run_until_time(target);
+                self.nodes[ev.node] = fresh;
+                self.down[ev.node] = false;
+                self.drained[ev.node] = false;
+                self.incarnation[ev.node] += 1;
+            }
+        }
     }
 
     /// Drain captured cross-node messages from every node, cost them on
@@ -385,21 +758,30 @@ impl Cluster {
     fn route_outbound(&mut self) {
         let mut buf = std::mem::take(&mut self.outbox);
         for src in 0..self.nodes.len() {
-            if !self.nodes[src].has_outbound() {
+            if self.down[src] || !self.nodes[src].has_outbound() {
                 continue;
             }
             self.nodes[src].drain_outbound_into(&mut buf);
             for &m in buf.iter() {
-                let (job, placement) = self
+                let aj = self
                     .jobs
                     .iter()
                     .filter(|aj| aj.placement.contains(&src))
                     .find(|aj| aj.job.chan_dst_node(m.chan).is_some())
-                    .map(|aj| (&aj.job, &aj.placement))
                     .expect("outbound message on a channel no job on this node owns");
-                let dst_job = job.chan_dst_node(m.chan).expect("checked above") as usize;
-                let dst = placement[dst_job];
+                // A failed job's runtime is torn down: in-flight traffic
+                // from its surviving ranks goes nowhere. (The ranks
+                // themselves quiesce — they spin out their limit, then
+                // block forever on peers that no longer exist.)
+                if aj.failed {
+                    continue;
+                }
+                let dst_job = aj.job.chan_dst_node(m.chan).expect("checked above") as usize;
+                let dst = aj.placement[dst_job];
                 debug_assert_ne!(dst, src, "cross-node send routed back to its source");
+                if self.down[dst] {
+                    continue;
+                }
                 let (deliver_at, queued) = self.net.transfer(m.at, src, dst, m.bytes);
                 self.nodes[dst].post_net_delivery(deliver_at, m.chan, m.tokens, m.at, queued);
             }
@@ -423,6 +805,10 @@ impl Cluster {
     ) -> Result<SimDuration, RunOutcome> {
         let start_events = self.events_processed();
         while !self.job_done(handle) {
+            if self.job_failed(handle) {
+                // A crash killed part of the job: it can never complete.
+                return Err(RunOutcome::Deadlock);
+            }
             if !self.step_window() {
                 return Err(RunOutcome::Deadlock);
             }
@@ -444,21 +830,39 @@ impl Cluster {
     }
 
     /// True iff the whole launcher tree has exited on every node **of
-    /// this job** — other jobs do not affect the answer.
+    /// this job** — other jobs do not affect the answer. Always `false`
+    /// for a failed job, and for a job whose node was since restarted
+    /// (its pids belong to a dead incarnation); poll every window, as
+    /// the engines do, and completion is observed before any later
+    /// crash can obscure it.
     pub fn job_done(&self, handle: &ClusterJobHandle) -> bool {
-        handle
-            .perf_pids
-            .iter()
-            .zip(&handle.placement)
-            .all(|(&pid, &n)| self.nodes[n].tasks.get(pid).state == TaskState::Dead)
+        let aj = &self.jobs[handle.job_id];
+        !aj.failed
+            && handle
+                .perf_pids
+                .iter()
+                .zip(&handle.placement)
+                .enumerate()
+                .all(|(j, (&pid, &n))| {
+                    !self.down[n]
+                        && aj.incarnations[j] == self.incarnation[n]
+                        && self.nodes[n].tasks.get(pid).state == TaskState::Dead
+                })
     }
 
     /// Application execution time of a completed job: the longest
     /// per-node `mpiexec` lifetime since launch. `None` until every
-    /// node's mpiexec has exited.
+    /// node's mpiexec has exited, and forever for a failed job.
     pub fn job_exec_time(&self, handle: &ClusterJobHandle) -> Option<SimDuration> {
+        let aj = &self.jobs[handle.job_id];
+        if aj.failed {
+            return None;
+        }
         let mut exec = SimDuration::ZERO;
         for (j, &n) in handle.placement.iter().enumerate() {
+            if self.down[n] || aj.incarnations[j] != self.incarnation[n] {
+                return None;
+            }
             let node = &self.nodes[n];
             let mpiexec = find_mpiexec(node, handle.perf_pids[j])?;
             let exited = node.tasks.get(mpiexec).exited_at?;
@@ -468,15 +872,18 @@ impl Cluster {
     }
 
     /// Number of jobs currently occupying cluster node `n`: launched,
-    /// placed on `n`, and whose launcher tree on `n` has not yet exited.
-    /// This is the quantity a batch policy's occupancy limit bounds.
+    /// placed on `n`, not failed, and whose launcher tree on `n` has not
+    /// yet exited. This is the quantity a batch policy's occupancy limit
+    /// bounds; a crash releases its jobs' occupancy here immediately.
     pub fn active_jobs_on(&self, n: usize) -> usize {
         self.jobs
             .iter()
             .filter(|aj| {
-                aj.placement.iter().position(|&p| p == n).is_some_and(|j| {
-                    self.nodes[n].tasks.get(aj.perf_pids[j]).state != TaskState::Dead
-                })
+                !aj.failed
+                    && aj.placement.iter().position(|&p| p == n).is_some_and(|j| {
+                        aj.incarnations[j] == self.incarnation[n]
+                            && self.nodes[n].tasks.get(aj.perf_pids[j]).state != TaskState::Dead
+                    })
             })
             .count()
     }

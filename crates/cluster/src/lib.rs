@@ -47,11 +47,13 @@
 #![warn(missing_docs)]
 
 pub mod cosim;
+pub mod fault;
 pub mod net;
 mod pool;
 pub mod window;
 
-pub use cosim::{Cluster, ClusterJobHandle, CosimConfig};
+pub use cosim::{Cluster, ClusterBuilder, ClusterJobHandle, CosimConfig, Placement};
+pub use fault::{DegradeWindow, FaultPlan, LossSpec, NodeEvent, NodeFault};
 pub use net::{Fabric, FlatFabric, Interconnect, NetConfig, Route, SwitchedFabric};
 pub use window::Window;
 

@@ -14,6 +14,7 @@
 //! `alpha_min` past the cluster-wide next event without missing a
 //! cross-node wakeup.
 
+use crate::fault::{DegradeWindow, LossSpec};
 use hpl_sim::time::{SimDuration, SimTime};
 
 /// Per-link cost parameters of the LogGP-style model.
@@ -176,6 +177,20 @@ pub struct Interconnect {
     /// Scratch path buffer reused across transfers, so costing a
     /// message never allocates.
     route_buf: Vec<usize>,
+    /// Link-level fault state, installed by the cluster builder from a
+    /// [`crate::FaultPlan`]. `None` (the default) is the zero-cost
+    /// healthy path.
+    faults: Option<LinkFaults>,
+    retransmits: u64,
+}
+
+/// The link-level slice of a fault plan: loss/retransmit and
+/// degradation. Node events stay with the co-simulation driver.
+#[derive(Debug, Clone)]
+pub(crate) struct LinkFaults {
+    pub seed: u64,
+    pub loss: Option<LossSpec>,
+    pub degrade: Vec<DegradeWindow>,
 }
 
 impl Interconnect {
@@ -188,7 +203,15 @@ impl Interconnect {
             messages: 0,
             bytes: 0,
             route_buf: Vec::new(),
+            faults: None,
+            retransmits: 0,
         }
+    }
+
+    /// Install the link-level slice of a fault plan. Called once by the
+    /// cluster builder, before any traffic flows.
+    pub(crate) fn install_faults(&mut self, faults: LinkFaults) {
+        self.faults = Some(faults);
     }
 
     /// Crossbar shorthand.
@@ -222,9 +245,21 @@ impl Interconnect {
         self.bytes
     }
 
+    /// Retransmissions charged so far (0 without a lossy fault plan).
+    pub fn retransmits(&self) -> u64 {
+        self.retransmits
+    }
+
     /// Cost a `src -> dst` message of `bytes` sent at `at`. Returns
     /// `(deliver_at, queued)`: the arrival time at the destination node
     /// and the time spent waiting for busy links.
+    ///
+    /// Under an installed fault plan, degradation windows scale the
+    /// path's cost parameters by the send time's combined factor, and
+    /// the loss model may charge retransmission timeouts on top of the
+    /// arrival time. Both only ever *delay* delivery, so the
+    /// conservative lookahead ([`Self::lookahead`]) stays a valid lower
+    /// bound.
     pub fn transfer(
         &mut self,
         at: SimTime,
@@ -232,7 +267,19 @@ impl Interconnect {
         dst: usize,
         bytes: u64,
     ) -> (SimTime, SimDuration) {
-        let cfg = self.fabric.route_into(src, dst, &mut self.route_buf);
+        let mut cfg = self.fabric.route_into(src, dst, &mut self.route_buf);
+        if let Some(f) = &self.faults {
+            let mut factor = 1u32;
+            for w in &f.degrade {
+                if w.from <= at && at < w.to {
+                    factor = factor.saturating_mul(w.factor);
+                }
+            }
+            if factor > 1 {
+                cfg.alpha = cfg.alpha * factor as u64;
+                cfg.beta_ns_per_byte *= factor as f64;
+            }
+        }
         let ser = cfg.serialise(bytes);
         let mut head = at;
         let mut queued = SimDuration::ZERO;
@@ -242,9 +289,20 @@ impl Interconnect {
             self.busy_until[link] = start + ser;
             head = start + ser;
         }
+        let msg_index = self.messages;
         self.messages += 1;
         self.bytes += bytes;
-        (head + cfg.alpha, queued)
+        let mut deliver = head + cfg.alpha;
+        if let Some(f) = &self.faults {
+            if let Some(loss) = &f.loss {
+                let lost = loss.retries_for(f.seed, msg_index);
+                if lost > 0 {
+                    deliver += loss.rto * lost as u64;
+                    self.retransmits += lost as u64;
+                }
+            }
+        }
+        (deliver, queued)
     }
 }
 
@@ -314,6 +372,74 @@ mod tests {
         assert_eq!(q1, SimDuration::ZERO);
         // Distinct uplinks, shared downlink at node 0.
         assert_eq!(q2, SimDuration::from_nanos(1_000));
+    }
+
+    #[test]
+    fn degrade_window_scales_cost_only_inside_the_window() {
+        use crate::fault::DegradeWindow;
+        let mut net = Interconnect::flat(4, cfg());
+        net.install_faults(LinkFaults {
+            seed: 0,
+            loss: None,
+            degrade: vec![DegradeWindow {
+                from: SimTime::from_nanos(10_000),
+                to: SimTime::from_nanos(20_000),
+                factor: 3,
+            }],
+        });
+        // Before the window: base cost.
+        let at = SimTime::from_nanos(1_000);
+        let (d, _) = net.transfer(at, 0, 1, 1_000);
+        assert_eq!(
+            d,
+            at + SimDuration::from_nanos(1_000) + SimDuration::from_micros(5)
+        );
+        // Inside: alpha and serialisation both 3x.
+        let at = SimTime::from_nanos(15_000);
+        let (d, _) = net.transfer(at, 2, 3, 1_000);
+        assert_eq!(
+            d,
+            at + SimDuration::from_nanos(3_000) + SimDuration::from_micros(15)
+        );
+        // Delivery still respects the healthy lookahead lower bound.
+        assert!(d >= at + net.lookahead());
+    }
+
+    #[test]
+    fn lossy_plan_charges_deterministic_retransmits() {
+        use crate::fault::LossSpec;
+        let faults = LinkFaults {
+            seed: 42,
+            loss: Some(LossSpec {
+                ppm: 400_000,
+                rto: SimDuration::from_micros(50),
+                max_retries: 4,
+            }),
+            degrade: Vec::new(),
+        };
+        let run = |faults: Option<LinkFaults>| {
+            let mut net = Interconnect::flat(4, cfg());
+            if let Some(f) = faults {
+                net.install_faults(f);
+            }
+            let mut deliveries = Vec::new();
+            for i in 0..50u64 {
+                let at = SimTime::from_nanos(i * 100_000);
+                deliveries.push(net.transfer(at, 0, 1, 64).0);
+            }
+            (deliveries, net.retransmits())
+        };
+        let (healthy, r0) = run(None);
+        let (lossy_a, ra) = run(Some(faults.clone()));
+        let (lossy_b, rb) = run(Some(faults));
+        assert_eq!(r0, 0);
+        assert!(ra > 0, "40% loss never fired across 50 messages");
+        assert_eq!((lossy_a.clone(), ra), (lossy_b, rb), "loss must replay");
+        // Retransmits only ever delay delivery, in whole-RTO steps.
+        for (h, l) in healthy.iter().zip(&lossy_a) {
+            assert!(l >= h);
+            assert_eq!((l.since(*h)).as_nanos() % 50_000, 0);
+        }
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! End-to-end co-simulation tests: multi-node jobs complete, stay
 //! deterministic, and degrade gracefully.
 
-use hpl_cluster::{Cluster, Interconnect, NetConfig};
+use hpl_cluster::{Cluster, Interconnect, NetConfig, Placement};
 use hpl_core::{hpl_node_builder, HplClass};
 use hpl_kernel::{KernelConfig, NodeBuilder};
 use hpl_mpi::{JobSpec, MpiOp, SchedMode};
@@ -25,8 +25,8 @@ fn job(nodes: u32, ranks_per_node: u32, iters: u32) -> JobSpec {
 }
 
 fn build_cluster(nodes: usize, hpc: bool, fast: bool, seed: u64) -> Cluster {
-    let built = (0..nodes)
-        .map(|i| {
+    Cluster::builder()
+        .nodes_with(nodes, move |i| {
             let mut kc = if hpc {
                 KernelConfig::hpl()
             } else {
@@ -41,13 +41,13 @@ fn build_cluster(nodes: usize, hpc: bool, fast: bool, seed: u64) -> Cluster {
             }
             b.build()
         })
-        .collect();
-    Cluster::new(built, Interconnect::flat(nodes, NetConfig::default()))
+        .fabric(Interconnect::flat(nodes, NetConfig::default()))
+        .build()
 }
 
 fn run_once(nodes: u32, mode: SchedMode, hpc: bool, fast: bool, seed: u64) -> (u64, u64) {
     let mut cluster = build_cluster(nodes as usize, hpc, fast, seed);
-    let handle = cluster.launch_job(&job(nodes, 8, 4), mode);
+    let handle = cluster.launch(&job(nodes, 8, 4), mode, Placement::All);
     let exec = cluster.run_to_completion(&handle, 200_000_000);
     (exec.as_nanos(), cluster.state_fingerprint())
 }
@@ -69,15 +69,15 @@ fn two_node_cfs_allreduce_completes() {
 #[test]
 fn four_node_job_completes_on_switched_fabric() {
     let nodes = 4;
-    let built = (0..nodes)
-        .map(|i| {
+    let mut cluster = Cluster::builder()
+        .nodes_with(nodes, |i| {
             hpl_node_builder(Topology::power6_js22())
                 .with_seed(7 ^ ((i as u64) << 32))
                 .build()
         })
-        .collect();
-    let mut cluster = Cluster::new(built, Interconnect::switched(nodes, NetConfig::default()));
-    let handle = cluster.launch_job(&job(nodes as u32, 4, 3), SchedMode::Hpc);
+        .fabric(Interconnect::switched(nodes, NetConfig::default()))
+        .build();
+    let handle = cluster.launch(&job(nodes as u32, 4, 3), SchedMode::Hpc, Placement::All);
     let exec = cluster.run_to_completion(&handle, 200_000_000);
     assert!(exec.as_nanos() > 6_000_000);
     assert!(
@@ -113,8 +113,8 @@ fn two_overlapping_jobs_complete_per_handle() {
     let mut cluster = build_cluster(2, true, true, 77);
     let short = job(1, 4, 2).with_id_base(10_000);
     let long = job(1, 4, 12).with_id_base(20_000);
-    let h_short = cluster.launch_job_on(&short, SchedMode::Hpc, &[0]);
-    let h_long = cluster.launch_job_on(&long, SchedMode::Hpc, &[1]);
+    let h_short = cluster.launch(&short, SchedMode::Hpc, Placement::on(&[0]));
+    let h_long = cluster.launch(&long, SchedMode::Hpc, Placement::on(&[1]));
     assert_eq!(cluster.active_jobs_on(0), 1);
     assert_eq!(cluster.active_jobs_on(1), 1);
 
@@ -144,8 +144,8 @@ fn two_concurrent_multi_node_jobs_share_the_cluster() {
     let mut cluster = build_cluster(2, true, true, 99);
     let a = job(2, 4, 3).with_id_base(10_000);
     let b = job(2, 4, 3).with_id_base(20_000);
-    let ha = cluster.launch_job_on(&a, SchedMode::Hpc, &[0, 1]);
-    let hb = cluster.launch_job_on(&b, SchedMode::Hpc, &[0, 1]);
+    let ha = cluster.launch(&a, SchedMode::Hpc, Placement::on(&[0, 1]));
+    let hb = cluster.launch(&b, SchedMode::Hpc, Placement::on(&[0, 1]));
     assert_eq!(cluster.active_jobs_on(0), 2);
     let exec_a = cluster.run_to_completion(&ha, 400_000_000);
     let exec_b = cluster.run_to_completion(&hb, 400_000_000);
@@ -161,6 +161,6 @@ fn overlapping_id_ranges_on_shared_node_rejected() {
     let mut cluster = build_cluster(2, true, true, 5);
     let a = job(1, 4, 2).with_id_base(10_000);
     let b = job(1, 4, 2).with_id_base(10_004);
-    cluster.launch_job_on(&a, SchedMode::Hpc, &[0]);
-    cluster.launch_job_on(&b, SchedMode::Hpc, &[0]);
+    cluster.launch(&a, SchedMode::Hpc, Placement::on(&[0]));
+    cluster.launch(&b, SchedMode::Hpc, Placement::on(&[0]));
 }

@@ -946,6 +946,87 @@ impl Node {
         pid
     }
 
+    /// Forcibly terminate `root` and every live descendant (harness
+    /// API) — the kernel half of a runtime-level job abort: when a peer
+    /// node crashes, surviving nodes reap the job's local task tree so
+    /// orphaned ranks cannot keep spinning on (and distorting placement
+    /// across) this node's CPUs. Each member gets ordinary — if abrupt
+    /// — exit accounting: `exited_at` stamped, sync waits forgotten,
+    /// child bookkeeping propagated to parents outside the tree.
+    /// Returns the number of tasks killed. Must be called between
+    /// events (a window boundary), like every harness API.
+    pub fn kill_tree(&mut self, root: Pid) -> usize {
+        // Parent-before-child order, so an in-tree parent is already
+        // dead when its child's exit bookkeeping runs and is never
+        // spuriously woken from a `Children` wait.
+        let mut members = vec![root];
+        let mut i = 0;
+        while i < members.len() {
+            let p = members[i];
+            members.extend(
+                self.tasks
+                    .iter()
+                    .filter(|t| t.parent == Some(p) && t.state != TaskState::Dead)
+                    .map(|t| t.pid),
+            );
+            i += 1;
+        }
+        let now = self.now();
+        let mut killed = 0;
+        for &pid in &members {
+            let (state, cpu) = {
+                let t = self.tasks.get(pid);
+                (t.state, t.cpu)
+            };
+            match state {
+                TaskState::Dead => continue,
+                TaskState::Running => {
+                    // Yank it off its CPU mid-segment (the affinity
+                    // path's forced-migration dance, minus the requeue).
+                    self.sync_cpu(cpu, now);
+                    self.set_curr(cpu, None);
+                    self.counters.add_sw(cpu, SwEvent::ContextSwitches, 1);
+                    self.resched[cpu.index()] = true;
+                    self.recomp[cpu.index()] = true;
+                }
+                TaskState::Runnable => {
+                    debug_assert_ne!(
+                        self.cpus[cpu.index()].curr,
+                        Some(pid),
+                        "between events a CPU's current task is Running"
+                    );
+                    self.dequeue_task(cpu, pid);
+                }
+                TaskState::Blocked(_) => {}
+            }
+            {
+                let t = self.tasks.get_mut(pid);
+                t.state = TaskState::Dead;
+                t.exited_at = Some(now);
+                t.spin = None;
+            }
+            if !self.observers.is_empty() {
+                self.emit(SchedEvent::Deactivate {
+                    pid,
+                    cpu,
+                    reason: DeactivateReason::Exit,
+                });
+            }
+            self.sync.forget(pid);
+            self.cache.forget(pid);
+            if let Some(pp) = self.tasks.get(pid).parent {
+                let p = self.tasks.get_mut(pp);
+                p.alive_children = p.alive_children.saturating_sub(1);
+                if p.alive_children == 0 && p.state == TaskState::Blocked(BlockReason::Children) {
+                    self.wake_task(pp);
+                }
+            }
+            killed += 1;
+        }
+        self.drain();
+        killed
+    }
+
     /// Exit the current task `pid`.
     fn do_exit(&mut self, pid: Pid) {
         let now = self.now();
@@ -2118,6 +2199,53 @@ mod tests {
             same_core > diff_core * 1.3,
             "same-core {same_core} vs diff-core {diff_core}"
         );
+    }
+
+    #[test]
+    fn kill_tree_reaps_running_and_blocked_descendants() {
+        let mut node = quiet_node();
+        let parent = node.spawn(TaskSpec::new(
+            "root",
+            Policy::Normal { nice: 0 },
+            ScriptProgram::boxed(
+                "root",
+                vec![
+                    Step::Fork(compute_spec("kid-a", 200)),
+                    Step::Fork(compute_spec("kid-b", 200)),
+                    Step::WaitChildren,
+                ],
+            ),
+        ));
+        node.run_for(SimDuration::from_millis(2));
+        let kids: Vec<Pid> = node
+            .tasks
+            .iter()
+            .filter(|t| t.parent == Some(parent))
+            .map(|t| t.pid)
+            .collect();
+        assert_eq!(kids.len(), 2);
+        assert_eq!(
+            node.tasks.get(parent).state,
+            TaskState::Blocked(BlockReason::Children)
+        );
+        for &k in &kids {
+            assert_eq!(node.tasks.get(k).state, TaskState::Running);
+        }
+        let when = node.now();
+        assert_eq!(node.kill_tree(parent), 3, "root and both kids reaped");
+        for &p in [parent].iter().chain(&kids) {
+            let t = node.tasks.get(p);
+            assert_eq!(t.state, TaskState::Dead);
+            assert_eq!(t.exited_at, Some(when));
+        }
+        // The CPUs are genuinely free again: a fresh 10 ms job finishes
+        // promptly instead of contending with 200 ms zombies.
+        let start = node.now();
+        let fresh = node.spawn(compute_spec("after", 10));
+        assert!(node.run_until_exit(fresh, 1_000_000).is_complete());
+        assert!((node.now() - start).as_secs_f64() < 0.016);
+        // Killing an already-dead tree is a no-op.
+        assert_eq!(node.kill_tree(parent), 0);
     }
 
     #[test]

@@ -84,6 +84,17 @@ pub enum MpiOp {
         /// Payload forwarded along the pipeline.
         bytes: u64,
     },
+    /// A coordinated application checkpoint: quiesce (sync phase), write
+    /// the checkpoint (`cost` of per-rank I/O-bound work), then arrive
+    /// at a per-node checkpoint barrier whose generation counter is the
+    /// *observable* record of how many checkpoints this node has
+    /// committed — a batch driver reads it off surviving nodes after a
+    /// crash to decide how much work a requeued job may skip
+    /// (restart-from-last-checkpoint).
+    Checkpoint {
+        /// Per-rank cost of writing the checkpoint.
+        cost: SimDuration,
+    },
 }
 
 /// A complete MPI job: per-rank script plus config.
@@ -154,18 +165,40 @@ impl JobSpec {
     /// one node must use disjoint bases; ids
     /// `base ..= base + nprocs² + 2·nodes` are reserved by a job
     /// (pairwise channels, per-node local barriers, per-node release
-    /// channels).
+    /// channels), plus `nodes` more checkpoint-barrier ids when the op
+    /// list checkpoints.
     pub fn with_id_base(mut self, base: u64) -> Self {
         self.id_base = base;
         self
     }
 
+    /// True iff the op list contains a [`MpiOp::Checkpoint`].
+    pub fn has_checkpoints(&self) -> bool {
+        self.ops
+            .iter()
+            .any(|op| matches!(op, MpiOp::Checkpoint { .. }))
+    }
+
     /// The inclusive id range this job reserves (see
     /// [`Self::with_id_base`]). Concurrent jobs sharing a node must have
     /// disjoint ranges; a batch driver allocates bases by striding past
-    /// the previous job's range end.
+    /// the previous job's range end. The per-node checkpoint-barrier ids
+    /// are reserved **only** for checkpointing jobs, so the id layout of
+    /// every pre-existing job is untouched.
     pub fn id_range(&self) -> std::ops::RangeInclusive<u64> {
-        self.id_base..=self.id_base + (self.nprocs as u64).pow(2) + 2 * self.nodes as u64
+        let ckpt = if self.has_checkpoints() {
+            self.nodes as u64
+        } else {
+            0
+        };
+        self.id_base..=self.id_base + (self.nprocs as u64).pow(2) + 2 * self.nodes as u64 + ckpt
+    }
+
+    /// Per-node checkpoint barrier: its kernel-side generation counter
+    /// equals the number of checkpoints the node's ranks have committed.
+    pub fn ckpt_barrier_id(&self, node: u32) -> BarrierId {
+        debug_assert!(node < self.nodes);
+        BarrierId(self.id_base + 1 + (self.nprocs as u64).pow(2) + (2 * self.nodes + node) as u64)
     }
 
     /// Ranks placed on each node.
@@ -494,6 +527,26 @@ impl RankProgram {
                     self.push_send(self.chan(self.rank, self.rank + 1), bytes);
                 }
             }
+            MpiOp::Checkpoint { cost } => {
+                // Quiesce for a consistent cut, write the checkpoint,
+                // then commit it at the per-node checkpoint barrier —
+                // the generation bump is what makes the checkpoint
+                // observable to the batch driver.
+                self.push_sync_phase(8);
+                self.pending
+                    .push_back(Step::Compute(self.jittered(ctx, cost)));
+                let node = self.node_of(self.rank);
+                self.pending.push_back(Step::BarrierSpin {
+                    id: BarrierId(
+                        self.id_base
+                            + 1
+                            + (self.nprocs as u64).pow(2)
+                            + (2 * self.nodes + node) as u64,
+                    ),
+                    parties: self.ranks_per_node(),
+                    spin_limit: self.config.spin_limit,
+                });
+            }
             MpiOp::NeighborExchange { bytes } => {
                 if self.nprocs == 1 {
                     return;
@@ -600,6 +653,59 @@ mod tests {
             }
         }
         assert!(sleeps >= 3, "init includes blocking connection rounds");
+    }
+
+    #[test]
+    fn checkpoint_ids_are_reserved_only_when_checkpointing() {
+        let plain = JobSpec::new(4, vec![MpiOp::Barrier]).with_nodes(2);
+        let ckpt = JobSpec::new(
+            4,
+            vec![MpiOp::Checkpoint {
+                cost: SimDuration::from_micros(200),
+            }],
+        )
+        .with_nodes(2);
+        // Same base: the checkpointing job reserves exactly `nodes`
+        // extra ids past the historic layout, so non-checkpointing jobs
+        // keep their id ranges (and batch id striding) bit-for-bit.
+        assert_eq!(*ckpt.id_range().end(), *plain.id_range().end() + 2);
+        assert!(ckpt.has_checkpoints() && !plain.has_checkpoints());
+        for node in 0..2 {
+            let id = ckpt.ckpt_barrier_id(node).0;
+            assert!(ckpt.id_range().contains(&id));
+            assert!(id > *plain.id_range().end());
+        }
+    }
+
+    #[test]
+    fn checkpoint_expands_to_sync_write_and_commit_barrier() {
+        let job = JobSpec::new(
+            4,
+            vec![MpiOp::Checkpoint {
+                cost: SimDuration::from_micros(200),
+            }],
+        )
+        .with_nodes(2);
+        let mut p = RankProgram::new(&job, 0);
+        let mut rng = Rng::new(9);
+        skip_init(&mut p, &mut rng);
+        // Multi-node sync phase for rank 0 (a node leader): local
+        // barrier, then dissemination rounds, then release, then the
+        // checkpoint write and the per-node commit barrier.
+        let mut steps = Vec::new();
+        for _ in 0..32 {
+            let s = next(&mut p, &mut rng);
+            let done = matches!(
+                s,
+                Step::BarrierSpin { id, parties, .. }
+                    if id == job.ckpt_barrier_id(0) && parties == job.ranks_per_node()
+            );
+            steps.push(s);
+            if done {
+                return;
+            }
+        }
+        panic!("no checkpoint commit barrier in {steps:?}");
     }
 
     #[test]

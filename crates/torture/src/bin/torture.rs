@@ -6,9 +6,13 @@
 //! replayable artifact) and a mechanistic-vs-analytic differential.
 //!
 //! ```text
-//! torture [--scenarios N] [--seed S] [--smoke] [--replay FILE]
+//! torture [--scenarios N] [--seed S] [--smoke] [--faults] [--replay FILE]
 //!         [--out DIR] [--skip-selftest] [--skip-analytic]
 //! ```
+//!
+//! `--faults` forces a fault plan (message loss, degrade windows,
+//! crash/restart churn on batch workloads) onto every multi-node
+//! scenario instead of leaving the plan to the sampler's dice.
 //!
 //! Exit code 0 = everything held; 1 = a failure was found (artifact
 //! paths are printed).
@@ -23,6 +27,7 @@ struct Args {
     scenarios: u64,
     seed: u64,
     smoke: bool,
+    faults: bool,
     replay: Option<PathBuf>,
     out: PathBuf,
     selftest: bool,
@@ -34,6 +39,7 @@ fn parse_args() -> Args {
         scenarios: 200,
         seed: 0x70A7,
         smoke: false,
+        faults: false,
         replay: None,
         out: PathBuf::from("target/torture"),
         selftest: true,
@@ -55,13 +61,14 @@ fn parse_args() -> Args {
                 a.smoke = true;
                 a.scenarios = 40;
             }
+            "--faults" => a.faults = true,
             "--replay" => a.replay = Some(PathBuf::from(val("--replay"))),
             "--out" => a.out = PathBuf::from(val("--out")),
             "--skip-selftest" => a.selftest = false,
             "--skip-analytic" => a.analytic = false,
             "--help" | "-h" => {
                 println!(
-                    "torture [--scenarios N] [--seed S] [--smoke] [--replay FILE] \
+                    "torture [--scenarios N] [--seed S] [--smoke] [--faults] [--replay FILE] \
                      [--out DIR] [--skip-selftest] [--skip-analytic]"
                 );
                 std::process::exit(0);
@@ -82,12 +89,13 @@ fn describe(sc: &Scenario) -> String {
         Workload::Batch(b) => format!("batch {:?} {} jobs", b.policy, b.jobs.len()),
     };
     format!(
-        "n{} {:?}{}{}{} noise{}% {}",
+        "n{} {:?}{}{}{}{} noise{}% {}",
         sc.nodes,
         sc.topo,
         if sc.hpl { " hpl" } else { "" },
         if sc.tickless { " tickless" } else { "" },
         if sc.switched { " switched" } else { "" },
+        if sc.faults.is_none() { "" } else { " faults" },
         sc.noise_pct,
         wl
     )
@@ -215,7 +223,10 @@ fn main() {
         args.scenarios, args.seed
     );
     for i in 0..args.scenarios {
-        let sc = Scenario::sample(args.seed, i);
+        let mut sc = Scenario::sample(args.seed, i);
+        if args.faults && sc.nodes > 1 && sc.faults.is_none() {
+            sc.install_fault_plan(args.seed ^ i.rotate_left(17));
+        }
         if !torture_one(&sc, &args.out) {
             failed += 1;
         }

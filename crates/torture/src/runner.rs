@@ -15,8 +15,11 @@ use crate::scenario::{
     BatchPolicyKind, BatchSpec, Fault, ModeKind, OpKind, PolicyKind, Scenario, SoupSpec, SoupStep,
     TopoKind, Workload,
 };
-use hpl_batch::{run_batch, BatchConfig, BatchTrace, EasyBackfill, Fcfs};
-use hpl_cluster::{Cluster, CosimConfig, EmpiricalDist, Interconnect, NetConfig, ResonanceModel};
+use hpl_batch::{BatchConfig, BatchRun, BatchTrace, CheckpointSpec, EasyBackfill, Fcfs};
+use hpl_cluster::{
+    Cluster, CosimConfig, EmpiricalDist, Interconnect, NetConfig, NodeFault, Placement,
+    ResonanceModel,
+};
 use hpl_core::HplClass;
 use hpl_kernel::noise::{IrqSpec, NoiseProfile};
 use hpl_kernel::observe::ChromeTraceSink;
@@ -221,6 +224,14 @@ fn run_batch_workload(
     let trace = BatchTrace {
         jobs: b.jobs.clone(),
     };
+    // Under crash churn, give jobs a checkpoint cadence so a requeued
+    // job resumes instead of recomputing — exercising the full
+    // crash/requeue/restore path, not just the requeue.
+    let crashes = sc
+        .faults
+        .events
+        .iter()
+        .any(|e| matches!(e.kind, NodeFault::Crash));
     let cfg = BatchConfig {
         mode: if sc.hpl {
             SchedMode::Hpc
@@ -228,13 +239,18 @@ fn run_batch_workload(
             SchedMode::Cfs
         },
         max_events: budget,
+        checkpoint: crashes.then_some(CheckpointSpec {
+            every_iters: 1,
+            cost: SimDuration::from_micros(200),
+            restore: SimDuration::from_micros(500),
+        }),
         ..BatchConfig::default()
     };
     let result = match b.policy {
-        BatchPolicyKind::Fcfs => run_batch(cluster, &trace, &mut Fcfs, &cfg),
+        BatchPolicyKind::Fcfs => BatchRun::new(&trace).config(cfg).run(cluster, &mut Fcfs),
         BatchPolicyKind::Easy => {
             let mut policy = EasyBackfill::new();
-            let result = run_batch(cluster, &trace, &mut policy, &cfg);
+            let result = BatchRun::new(&trace).config(cfg).run(cluster, &mut policy);
             for d in policy.decisions() {
                 if !d.respects_reservation() {
                     violations.push(Violation {
@@ -252,6 +268,19 @@ fn run_batch_workload(
     };
     match result {
         Ok(report) => {
+            if report.jobs_lost > 0 {
+                violations.push(Violation {
+                    at: cluster.node(0).now(),
+                    rule: "batch-lost-job",
+                    detail: format!(
+                        "{} of {} jobs never completed ({} requeues) — a crash may \
+                         delay a job, never lose it",
+                        report.jobs_lost,
+                        trace.jobs.len(),
+                        report.requeues
+                    ),
+                });
+            }
             if report.occupancy_violations > 0 {
                 violations.push(Violation {
                     at: cluster.node(0).now(),
@@ -341,9 +370,6 @@ fn run_single(sc: &Scenario, fast: bool, with_trace: bool) -> RunReport {
 fn run_cluster(sc: &Scenario, fast: bool, with_trace: bool) -> RunReport {
     let net_cfg = NetConfig::default();
     let alpha = net_cfg.alpha;
-    let nodes: Vec<Node> = (0..sc.nodes)
-        .map(|i| build_node(sc, i as u64, fast))
-        .collect();
     let fabric = if sc.switched {
         Interconnect::switched(sc.nodes as usize, net_cfg)
     } else {
@@ -361,7 +387,17 @@ fn run_cluster(sc: &Scenario, fast: bool, with_trace: bool) -> RunReport {
     } else {
         CosimConfig::serial()
     };
-    let mut cluster = Cluster::with_config(nodes, fabric, cosim);
+    // Nodes come from a factory (not a pre-built Vec) so a fault plan's
+    // restart events can rebuild a crashed node from the same recipe.
+    let factory_sc = sc.clone();
+    let mut cluster = Cluster::builder()
+        .nodes_with(sc.nodes as usize, move |i| {
+            build_node(&factory_sc, i as u64, fast)
+        })
+        .fabric(fabric)
+        .cosim(cosim)
+        .faults(sc.faults.clone())
+        .build();
     let mut oracle_ids = Vec::new();
     let mut trace_ids = Vec::new();
     for i in 0..sc.nodes as usize {
@@ -376,7 +412,7 @@ fn run_cluster(sc: &Scenario, fast: bool, with_trace: bool) -> RunReport {
     let mut batch_violations = Vec::new();
     let (outcome, exec_ns) = match &sc.workload {
         Workload::Mpi(m) => {
-            let handle = cluster.launch_job(&job_spec(sc), sched_mode(m.mode));
+            let handle = cluster.launch(&job_spec(sc), sched_mode(m.mode), Placement::All);
             match cluster.try_run_to_completion(&handle, budget) {
                 Ok(exec) => (RunOutcome::Completed, exec.as_nanos()),
                 Err(o) => (o, 0),
@@ -542,16 +578,17 @@ fn analytic_cluster(nodes: u32, seed: u64, fast: bool) -> Cluster {
         irq: false,
         parallel: false,
         fault: Fault::None,
+        faults: hpl_cluster::FaultPlan::none(),
         workload: Workload::Soup(SoupSpec::default()), // unused
     };
-    let built: Vec<Node> = (0..nodes)
-        .map(|i| build_node(&sc, i as u64, fast))
-        .collect();
     let cfg = NetConfig {
         alpha: SimDuration::from_micros(1),
         beta_ns_per_byte: 0.1,
     };
-    Cluster::new(built, Interconnect::flat(nodes as usize, cfg))
+    Cluster::builder()
+        .nodes_with(nodes as usize, move |i| build_node(&sc, i as u64, fast))
+        .fabric(Interconnect::flat(nodes as usize, cfg))
+        .build()
 }
 
 /// Per-phase durations on an N-node mechanistic run under the HPL
@@ -571,7 +608,7 @@ fn mechanistic_phases(nodes: u32, seed: u64, reps: u64, fast: bool) -> Result<Ve
         } else {
             job.local_barrier_id(0)
         };
-        let handle = cluster.launch_job(&job, SchedMode::Hpc);
+        let handle = cluster.launch(&job, SchedMode::Hpc, Placement::All);
         let mut rep_samples = Vec::new();
         let mut last_gen = cluster.node(0).sync.barrier_generation(barrier);
         let mut last_t = cluster.node(0).now();

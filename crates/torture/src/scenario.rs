@@ -18,6 +18,8 @@
 //! the generator's.
 
 use hpl_batch::BatchJob;
+use hpl_cluster::{DegradeWindow, FaultPlan, LossSpec, NodeEvent, NodeFault};
+use hpl_sim::time::{SimDuration, SimTime};
 use hpl_sim::Rng;
 
 /// Machine shape of every node in the scenario.
@@ -226,6 +228,9 @@ pub struct Scenario {
     pub parallel: bool,
     /// Injected scheduler bug.
     pub fault: Fault,
+    /// Node/link fault schedule — crashes, drains, restarts, message
+    /// loss, degrade windows (empty = healthy run).
+    pub faults: FaultPlan,
     /// What runs.
     pub workload: Workload,
 }
@@ -263,7 +268,7 @@ impl Scenario {
         } else {
             Workload::Soup(Self::sample_soup(&mut rng, topo, hpl))
         };
-        Scenario {
+        let mut sc = Scenario {
             seed: rng.next_u64(),
             nodes,
             topo,
@@ -274,7 +279,29 @@ impl Scenario {
             irq: rng.chance(0.2),
             parallel: nodes > 1 && rng.chance(0.35),
             fault: Fault::None,
+            faults: FaultPlan::none(),
             workload,
+        };
+        // Fault plans are drawn last, so scenario streams sampled before
+        // the fault layer existed keep every other field unchanged.
+        // Crash/restart churn rides only on batch workloads — a
+        // fixed-width MPI job that loses a node can never complete,
+        // which would read as a liveness failure, not a scheduler bug.
+        if sc.nodes > 1 && rng.chance(0.3) {
+            sc.install_fault_plan(rng.next_u64());
+        }
+        sc
+    }
+
+    /// Install a sampled [`FaultPlan`] appropriate for this scenario's
+    /// workload: full churn (crash + restart) for batch workloads,
+    /// link-only faults (loss, degrade) for everything else. No-op when
+    /// the draw schedules nothing.
+    pub fn install_fault_plan(&mut self, seed: u64) {
+        let churn = matches!(self.workload, Workload::Batch(_));
+        let plan = FaultPlan::sample(seed, if churn { self.nodes as usize } else { 1 });
+        if !plan.is_none() {
+            self.faults = plan;
         }
     }
 
@@ -521,6 +548,35 @@ impl Scenario {
             Fault::HpcWakeupMigrate => "hpc-wakeup-migrate",
         };
         let _ = writeln!(s, "fault {fault}");
+        if !self.faults.is_none() {
+            let _ = writeln!(s, "fault_seed {}", self.faults.seed);
+            if let Some(l) = &self.faults.loss {
+                let _ = writeln!(
+                    s,
+                    "fault_loss {} {} {}",
+                    l.ppm,
+                    l.rto.as_nanos(),
+                    l.max_retries
+                );
+            }
+            for w in &self.faults.degrade {
+                let _ = writeln!(
+                    s,
+                    "fault_degrade {} {} {}",
+                    w.from.as_nanos(),
+                    w.to.as_nanos(),
+                    w.factor
+                );
+            }
+            for e in &self.faults.events {
+                let kind = match e.kind {
+                    NodeFault::Crash => "crash",
+                    NodeFault::Drain => "drain",
+                    NodeFault::Restart => "restart",
+                };
+                let _ = writeln!(s, "fault_node {kind} {} {}", e.node, e.at.as_nanos());
+            }
+        }
         match &self.workload {
             Workload::Mpi(m) => {
                 let _ = writeln!(s, "workload mpi");
@@ -596,6 +652,8 @@ impl Scenario {
             // behaviour those artifacts were recorded under.
             parallel: false,
             fault: Fault::None,
+            // Absent in pre-fault-layer artifacts; a healthy cluster.
+            faults: FaultPlan::none(),
             workload: Workload::Soup(SoupSpec::default()),
         };
         let mut mpi: Option<MpiSpec> = None;
@@ -629,6 +687,58 @@ impl Scenario {
                         "hpc-wakeup-migrate" => Fault::HpcWakeupMigrate,
                         s => return Err(format!("bad fault {s:?}")),
                     }
+                }
+                "fault_seed" => sc.faults.seed = parse_num(rest)?,
+                "fault_loss" => {
+                    let nums = rest
+                        .split_whitespace()
+                        .map(parse_num)
+                        .collect::<Result<Vec<_>, _>>()?;
+                    let [ppm, rto_ns, max_retries]: [u64; 3] = nums
+                        .try_into()
+                        .map_err(|_| format!("fault_loss needs 3 fields: {rest:?}"))?;
+                    if ppm > 1_000_000 {
+                        return Err(format!("fault_loss ppm {ppm} > 1000000"));
+                    }
+                    sc.faults.loss = Some(LossSpec {
+                        ppm: ppm as u32,
+                        rto: SimDuration::from_nanos(rto_ns),
+                        max_retries: max_retries as u32,
+                    });
+                }
+                "fault_degrade" => {
+                    let nums = rest
+                        .split_whitespace()
+                        .map(parse_num)
+                        .collect::<Result<Vec<_>, _>>()?;
+                    let [from, to, factor]: [u64; 3] = nums
+                        .try_into()
+                        .map_err(|_| format!("fault_degrade needs 3 fields: {rest:?}"))?;
+                    if from >= to || factor < 1 {
+                        return Err(format!("fault_degrade: bad window {rest:?}"));
+                    }
+                    sc.faults.degrade.push(DegradeWindow {
+                        from: SimTime::from_nanos(from),
+                        to: SimTime::from_nanos(to),
+                        factor: factor as u32,
+                    });
+                }
+                "fault_node" => {
+                    let mut parts = rest.split_whitespace();
+                    let kind = match parts.next().ok_or("fault_node missing kind")? {
+                        "crash" => NodeFault::Crash,
+                        "drain" => NodeFault::Drain,
+                        "restart" => NodeFault::Restart,
+                        s => return Err(format!("bad fault_node kind {s:?}")),
+                    };
+                    let node = parse_num(parts.next().ok_or("fault_node missing node")?)? as usize;
+                    let at = SimTime::from_nanos(parse_num(
+                        parts.next().ok_or("fault_node missing time")?,
+                    )?);
+                    if parts.next().is_some() {
+                        return Err(format!("fault_node: trailing tokens in {rest:?}"));
+                    }
+                    sc.faults.events.push(NodeEvent { at, node, kind });
                 }
                 "workload" => match rest {
                     "mpi" => {
@@ -884,6 +994,59 @@ mod tests {
             }
         }
         assert!(seen_parallel, "sampler never exercises the parallel driver");
+    }
+
+    #[test]
+    fn fault_plans_sample_only_where_they_are_survivable() {
+        let mut seen_plan = false;
+        let mut seen_crash = false;
+        for i in 0..600 {
+            let sc = Scenario::sample(0xFA17, i);
+            if sc.faults.is_none() {
+                continue;
+            }
+            seen_plan = true;
+            assert!(sc.nodes > 1, "fault plans need a cluster");
+            let crashes = sc
+                .faults
+                .events
+                .iter()
+                .any(|e| matches!(e.kind, NodeFault::Crash));
+            if crashes {
+                seen_crash = true;
+                assert!(
+                    matches!(sc.workload, Workload::Batch(_)),
+                    "crash churn must ride on a batch workload"
+                );
+                assert!(sc.faults.has_restarts(), "every sampled crash is paired");
+            }
+        }
+        assert!(seen_plan, "sampler never draws a fault plan");
+        assert!(seen_crash, "sampler never draws crash churn");
+    }
+
+    #[test]
+    fn fault_plan_keys_round_trip() {
+        let mut sc = Scenario::sample(0x5EED, 0);
+        sc.nodes = 3;
+        sc.faults = FaultPlan::none()
+            .with_seed(77)
+            .with_loss(5_000, SimDuration::from_micros(40), 3)
+            .degrade(SimTime::from_nanos(1_000), SimTime::from_nanos(9_000), 4)
+            .crash(2, SimTime::from_nanos(5_000))
+            .drain(1, SimTime::from_nanos(6_000))
+            .restart(2, SimTime::from_nanos(7_000));
+        let text = sc.to_text();
+        let back = Scenario::from_text(&text).expect("faulted scenario parses");
+        assert_eq!(back, sc);
+        assert_eq!(back.to_text(), text);
+    }
+
+    #[test]
+    fn legacy_artifacts_default_to_a_healthy_cluster() {
+        let sc = Scenario::from_text("torture-scenario v1\nseed 3\nnodes 2\nworkload soup\n")
+            .expect("legacy artifact parses");
+        assert!(sc.faults.is_none());
     }
 
     #[test]

@@ -194,6 +194,13 @@ fn candidates(sc: &Scenario) -> Vec<(&'static str, Scenario)> {
         c.parallel = false;
         push("disable parallel stepping", c);
     }
+    if !sc.faults.is_none() {
+        // Adopting this step means the bug reproduces on a healthy
+        // cluster — the fault plan was incidental, not causal.
+        let mut c = sc.clone();
+        c.faults = hpl_cluster::FaultPlan::none();
+        push("drop fault plan", c);
+    }
     if sc.hpl && sc.fault == Fault::None && !uses_hpc(sc) {
         let mut c = sc.clone();
         c.hpl = false;
@@ -209,10 +216,15 @@ fn candidates(sc: &Scenario) -> Vec<(&'static str, Scenario)> {
         push("shrink topology", c);
     }
     // Pins may now point past the shrunk topology, batch job shapes
-    // past the shrunk cluster, and parallel stepping past a
-    // single-node shrink; clamp them.
+    // past the shrunk cluster, and parallel stepping and fault events
+    // past a single-node shrink; clamp them.
     for (_, c) in &mut out {
         c.parallel &= c.nodes > 1;
+        if c.nodes == 1 {
+            c.faults = hpl_cluster::FaultPlan::none();
+        } else {
+            c.faults.events.retain(|e| e.node < c.nodes as usize);
+        }
         let n = c.ncpus();
         match &mut c.workload {
             Workload::Soup(s) => {

@@ -227,6 +227,9 @@ fn msg_cost(cfg: &MpiConfig, op: &MpiOp, nprocs: u32) -> f64 {
             p.max(2.0).log2().ceil() * (alpha + beta * *bytes as f64)
         }
         MpiOp::Wavefront { bytes } => alpha + beta * *bytes as f64,
+        // Quiesce (barrier-shaped sync phase) plus the local write; the
+        // commit barrier is node-local and costs no fabric messages.
+        MpiOp::Checkpoint { cost } => p.max(2.0).log2().ceil() * alpha + cost.as_secs_f64(),
     }
 }
 

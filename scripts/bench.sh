@@ -4,7 +4,7 @@
 #   scripts/bench.sh          # full sweeps  (~minutes)
 #   scripts/bench.sh --quick  # short sweeps
 #
-# Writes three JSON reports at the repo root:
+# Writes four JSON reports at the repo root:
 #
 #   BENCH_eventloop.json — per-sweep events/sec and wall seconds for the
 #     event-loop fast path vs the reference path, a loop-bound headline
@@ -17,12 +17,17 @@
 #     policies (FCFS, EASY backfilling, 2x oversubscription) crossed
 #     with CFS and HPL kernels; per-cell mean wait, bounded slowdown,
 #     utilization and makespan, with determinism and ordering claims.
+#   BENCH_faults.json — the crash/churn sweep: the batch stream under a
+#     rising crash count with checkpoint/restart requeue; gates on
+#     zero lost jobs, zero occupancy violations, bit-identical replay
+#     and graceful bounded-slowdown degradation.
 #
 # No criterion, no network.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cargo build --release -p hpl-bench --bin eventloop --bin cluster --bin batch
+cargo build --release -p hpl-bench --bin eventloop --bin cluster --bin batch --bin faults
 ./target/release/eventloop "$@"
 ./target/release/cluster "$@"
 ./target/release/batch "$@"
+./target/release/faults "$@"

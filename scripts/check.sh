@@ -38,8 +38,14 @@ cargo test -q --release --test parallel_cosim
 echo "== scheduler torture smoke (fuzzed scenarios + invariant oracle) =="
 cargo run --release -q -p hpl-torture --bin torture -- --smoke
 
+echo "== fault torture smoke (forced fault plans: loss, degrade, crash/restart churn) =="
+cargo run --release -q -p hpl-torture --bin torture -- --smoke --faults --skip-analytic --skip-selftest
+
 echo "== batch scheduler smoke (two-level sweep completes) =="
 cargo run --release -q -p hpl-bench --bin batch -- --smoke --out target/BENCH_batch_smoke.json
+
+echo "== fault sweep smoke (crash/requeue sweep completes) =="
+cargo run --release -q -p hpl-bench --bin faults -- --smoke --out target/BENCH_faults_smoke.json
 
 echo "== clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings

@@ -37,6 +37,40 @@
 //! println!("{}", perf.report());
 //! ```
 //!
+//! ## Multi-node quick start
+//!
+//! Clusters are described with [`Cluster::builder`](cluster::Cluster::builder):
+//! node factory, fabric, co-sim driver and (optionally) a deterministic
+//! [`FaultPlan`](cluster::FaultPlan), then `build()`. Jobs launch with
+//! an explicit [`Placement`](cluster::Placement).
+//!
+//! ```
+//! use hpl::prelude::*;
+//!
+//! let mut cluster = Cluster::builder()
+//!     .nodes_with(2, |i| {
+//!         hpl_node_builder(Topology::smp(2))
+//!             .with_noise(NoiseProfile::standard(2))
+//!             .with_seed(Rng::for_run(7, i as u64).next_u64())
+//!             .build()
+//!     })
+//!     .fabric(Interconnect::flat(2, NetConfig::default()))
+//!     .cosim(CosimConfig::serial())
+//!     .faults(FaultPlan::none()) // or .with_loss(...)/.crash(...)/.restart(...)
+//!     .build();
+//! for i in 0..2 {
+//!     cluster.node_mut(i).run_for(SimDuration::from_millis(50));
+//! }
+//!
+//! let job = JobSpec::new(4, JobSpec::repeat(2, &[
+//!     MpiOp::Compute { mean: SimDuration::from_micros(500) },
+//!     MpiOp::Allreduce { bytes: 64 },
+//! ])).with_nodes(2);
+//! let handle = cluster.launch(&job, SchedMode::Hpc, Placement::All);
+//! let exec = cluster.run_to_completion(&handle, 50_000_000);
+//! assert!(exec.as_nanos() > 0);
+//! ```
+//!
 //! ## Crate map
 //!
 //! | Crate | Contents |
@@ -48,8 +82,8 @@
 //! | [`core`] | **the paper's contribution**: the HPL scheduling class |
 //! | [`mpi`] | simulated MPI runtime and the perf/chrt/mpiexec launcher |
 //! | [`workloads`] | NAS benchmark models, noise microbenchmarks |
-//! | [`cluster`] | multi-node layer: analytic noise-resonance projection **and** mechanistic lockstep co-simulation of kernel nodes over a LogGP interconnect |
-//! | [`batch`] | two-level scheduling: cluster batch queue, FCFS/EASY-backfill/oversubscribed allocation policies, multi-job lifecycle engine (`run_batch`) |
+//! | [`cluster`] | multi-node layer: analytic noise-resonance projection **and** mechanistic lockstep co-simulation of kernel nodes over a LogGP interconnect, with deterministic fault injection (`FaultPlan`: message loss, link degradation, node crash/drain/restart) |
+//! | [`batch`] | two-level scheduling: cluster batch queue, FCFS/EASY-backfill/oversubscribed allocation policies, multi-job lifecycle engine (`BatchRun`) with checkpoint/restart and crash requeue |
 //! | [`bench`] | run harness, `RunConfig`/`RunTable` plumbing, the `repro` binary |
 //! | [`torture`] | seeded scheduler fuzzing: random scenarios, online invariant oracle, differential event-loop checks, failure shrinking (`torture` binary) |
 
@@ -71,13 +105,14 @@ pub use hpl_workloads as workloads;
 /// The names almost every user of this library needs.
 pub mod prelude {
     pub use hpl_batch::{
-        run_batch, AllocPolicy, BatchConfig, BatchJob, BatchReport, BatchTrace, EasyBackfill, Fcfs,
-        Oversubscribed,
+        AllocPolicy, BatchConfig, BatchJob, BatchReport, BatchRun, BatchTrace, CheckpointSpec,
+        EasyBackfill, Fcfs, JobOutcome, Oversubscribed,
     };
     pub use hpl_bench::{run_many, run_once, NoiseKind, RunConfig, Scheduler};
     pub use hpl_cluster::{
-        Cluster, ClusterJobHandle, CosimConfig, DistError, EmpiricalDist, Fabric, FlatFabric,
-        Interconnect, NetConfig, ResonanceModel, SwitchedFabric, Window,
+        Cluster, ClusterBuilder, ClusterJobHandle, CosimConfig, DegradeWindow, DistError,
+        EmpiricalDist, Fabric, FaultPlan, FlatFabric, Interconnect, LossSpec, NetConfig, NodeEvent,
+        NodeFault, Placement, ResonanceModel, SwitchedFabric, Window,
     };
     pub use hpl_core::{chrt_spec, hpl_node_builder, HplClass};
     pub use hpl_kernel::noise::{NoiseProfile, NOISE_TAG};

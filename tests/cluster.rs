@@ -45,19 +45,19 @@ fn build_cluster(nodes: u32, seed: u64) -> Cluster {
     // balancing reacts to late ranks across phases — emergent behaviour
     // the analytic layer cannot express, and precisely why the
     // mechanistic layer exists.)
-    let built = (0..nodes)
-        .map(|i| {
+    let cfg = NetConfig {
+        alpha: SimDuration::from_micros(1),
+        beta_ns_per_byte: 0.1,
+    };
+    Cluster::builder()
+        .nodes_with(nodes as usize, move |i| {
             hpl_node_builder(Topology::power6_js22())
                 .with_noise(NoiseProfile::standard(RANKS_PER_NODE))
                 .with_seed(Rng::for_run(seed, i as u64).next_u64())
                 .build()
         })
-        .collect();
-    let cfg = NetConfig {
-        alpha: SimDuration::from_micros(1),
-        beta_ns_per_byte: 0.1,
-    };
-    Cluster::new(built, Interconnect::flat(nodes as usize, cfg))
+        .fabric(Interconnect::flat(nodes as usize, cfg))
+        .build()
 }
 
 /// Per-phase durations on an N-node mechanistic run, measured on node
@@ -77,7 +77,7 @@ fn mechanistic_phases(nodes: u32, seed: u64, reps: u64) -> Vec<f64> {
         } else {
             job.local_barrier_id(0)
         };
-        let handle = cluster.launch_job(&job, SchedMode::Hpc);
+        let handle = cluster.launch(&job, SchedMode::Hpc, Placement::All);
         let mut rep_samples = Vec::new();
         let mut last_gen = cluster.node(0).sync.barrier_generation(barrier);
         let mut last_t = cluster.node(0).now();

@@ -190,8 +190,8 @@ fn cluster_run(fast: bool, seed: u64) -> (u64, u64) {
         ),
     )
     .with_nodes(nodes);
-    let built = (0..nodes)
-        .map(|i| {
+    let mut cluster = Cluster::builder()
+        .nodes_with(nodes as usize, move |i| {
             let mut kc = KernelConfig::hpl();
             kc.fast_event_loop = fast;
             NodeBuilder::new(Topology::power6_js22())
@@ -201,15 +201,12 @@ fn cluster_run(fast: bool, seed: u64) -> (u64, u64) {
                 .with_hpc_class(Box::new(HplClass::new()))
                 .build()
         })
-        .collect();
-    let mut cluster = Cluster::new(
-        built,
-        Interconnect::flat(nodes as usize, NetConfig::default()),
-    );
+        .fabric(Interconnect::flat(nodes as usize, NetConfig::default()))
+        .build();
     for i in 0..nodes as usize {
         cluster.node_mut(i).run_for(SimDuration::from_millis(300));
     }
-    let handle = cluster.launch_job(&job, SchedMode::Hpc);
+    let handle = cluster.launch(&job, SchedMode::Hpc, Placement::All);
     let exec = cluster.run_to_completion(&handle, 500_000_000);
     (exec.as_nanos(), cluster.state_fingerprint())
 }

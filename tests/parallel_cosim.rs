@@ -54,21 +54,24 @@ fn job(nodes: u32) -> JobSpec {
 fn observe(case: &Case, cosim: CosimConfig) -> Observed {
     let mut kcfg = KernelConfig::hpl();
     kcfg.tickless_single_hpc = case.tickless;
-    let built: Vec<Node> = (0..case.nodes)
-        .map(|i| {
-            hpl_node_builder(Topology::smp(RANKS_PER_NODE))
-                .with_config(kcfg.clone())
-                .with_noise(NoiseProfile::standard(RANKS_PER_NODE).scaled(0.25))
-                .with_seed(Rng::for_run(case.seed, i as u64).next_u64())
-                .build()
-        })
-        .collect();
     let net = if case.switched {
         Interconnect::switched(case.nodes as usize, NetConfig::default())
     } else {
         Interconnect::flat(case.nodes as usize, NetConfig::default())
     };
-    let mut cluster = Cluster::with_config(built, net, cosim);
+    let seed = case.seed;
+    let nodes = case.nodes;
+    let mut cluster = Cluster::builder()
+        .nodes_with(nodes as usize, move |i| {
+            hpl_node_builder(Topology::smp(RANKS_PER_NODE))
+                .with_config(kcfg.clone())
+                .with_noise(NoiseProfile::standard(RANKS_PER_NODE).scaled(0.25))
+                .with_seed(Rng::for_run(seed, i as u64).next_u64())
+                .build()
+        })
+        .fabric(net)
+        .cosim(cosim)
+        .build();
     let mut metric_ids = Vec::new();
     let mut trace_ids = Vec::new();
     for i in 0..case.nodes as usize {
@@ -77,7 +80,7 @@ fn observe(case: &Case, cosim: CosimConfig) -> Observed {
         trace_ids.push(node.attach_observer(Box::new(ChromeTraceSink::new(100_000))));
         node.run_for(SimDuration::from_millis(50));
     }
-    let handle = cluster.launch_job(&job(case.nodes), SchedMode::Hpc);
+    let handle = cluster.launch(&job(case.nodes), SchedMode::Hpc, Placement::All);
     let exec = cluster.run_to_completion(&handle, 80_000_000);
     let metrics = metric_ids
         .iter()
