@@ -67,6 +67,14 @@ pub struct BatchConfig {
     /// Periodic checkpoint/restart for every job; `None` (the default)
     /// means failed jobs recompute from scratch.
     pub checkpoint: Option<CheckpointSpec>,
+    /// Walltime enforcement: kill a job once it has occupied its nodes
+    /// for `factor ×` its runtime estimate (`1.0` = kill exactly at
+    /// estimate expiry, the production default on most clusters).
+    /// Killed jobs are not requeued — they end at the kill, flagged
+    /// [`JobOutcome::killed`] and counted in
+    /// [`BatchReport::jobs_killed`]. `None` (the default) never kills,
+    /// which preserves every pre-existing run bit for bit.
+    pub walltime_factor: Option<f64>,
 }
 
 impl Default for BatchConfig {
@@ -76,6 +84,7 @@ impl Default for BatchConfig {
             max_events: 600_000_000,
             slowdown_tau: SimDuration::from_millis(1),
             checkpoint: None,
+            walltime_factor: None,
         }
     }
 }
@@ -102,6 +111,11 @@ pub struct JobOutcome {
     /// Times this job was requeued after a node crash before it
     /// finally completed.
     pub requeues: u32,
+    /// Submitting user (trace field; fair-share key).
+    pub user: u32,
+    /// True iff the job was killed at its walltime limit
+    /// ([`BatchConfig::walltime_factor`]) instead of completing.
+    pub killed: bool,
 }
 
 /// Everything a batch run produced. `PartialEq` so determinism tests
@@ -133,9 +147,32 @@ pub struct BatchReport {
     /// submitted job either finishes or is requeued until it does; the
     /// torture oracle checks it).
     pub jobs_lost: u64,
+    /// Jobs killed at their walltime limit (0 unless
+    /// [`BatchConfig::walltime_factor`] is set).
+    pub jobs_killed: u64,
+    /// Per-user wait/slowdown breakdown, ascending by user id. Empty
+    /// only if the trace was empty.
+    pub user_stats: Vec<UserStats>,
     /// Cluster scheduler-state fingerprint at completion, for
     /// cross-event-loop differential checks.
     pub fingerprint: u64,
+}
+
+/// Per-user aggregate over a report's outcomes — the fairness lens:
+/// fair-share should narrow the spread of `mean_bounded_slowdown`
+/// across users relative to FCFS on the same trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UserStats {
+    /// User id (trace field).
+    pub user: u32,
+    /// Jobs this user completed (killed ones included).
+    pub jobs: u32,
+    /// Of those, jobs killed at their walltime limit.
+    pub killed: u32,
+    /// Mean queue wait over the user's jobs.
+    pub mean_wait: SimDuration,
+    /// Mean bounded slowdown over the user's jobs.
+    pub mean_bounded_slowdown: f64,
 }
 
 impl BatchReport {
@@ -171,6 +208,7 @@ struct Running {
     started: SimTime,
     skip_iters: u32,
     requeues: u32,
+    killed: bool,
 }
 
 /// Build the MPI program for one launch attempt. With `ckpt` set, a
@@ -269,6 +307,14 @@ impl<'a> BatchRun<'a> {
         self
     }
 
+    /// Enforce walltime limits: kill jobs at `factor ×` their runtime
+    /// estimate (see [`BatchConfig::walltime_factor`]).
+    pub fn walltime(mut self, factor: f64) -> Self {
+        assert!(factor >= 1.0, "walltime factor below 1.0 kills on launch");
+        self.cfg.walltime_factor = Some(factor);
+        self
+    }
+
     /// Execute the run. The cluster should be pre-warmed (daemon
     /// populations settled) and idle; the batch epoch is the latest
     /// node clock at entry. Returns the filled [`BatchReport`], or the
@@ -282,17 +328,6 @@ impl<'a> BatchRun<'a> {
     ) -> Result<BatchReport, RunOutcome> {
         run_batch_inner(cluster, self.trace, policy, &self.cfg)
     }
-}
-
-/// Run `trace` on `cluster` under `policy`.
-#[deprecated(note = "use BatchRun::new(trace)…run(cluster, policy)")]
-pub fn run_batch(
-    cluster: &mut Cluster,
-    trace: &BatchTrace,
-    policy: &mut dyn AllocPolicy,
-    cfg: &BatchConfig,
-) -> Result<BatchReport, RunOutcome> {
-    run_batch_inner(cluster, trace, policy, cfg)
 }
 
 fn run_batch_inner(
@@ -346,7 +381,26 @@ fn run_batch_inner(
             .max()
             .expect("cluster is non-empty");
 
-        // 1. Harvest completions and crash casualties. The failure
+        // 1. Enforce walltime limits: a live job whose occupancy has
+        //    reached `factor ×` its estimate is killed on the spot
+        //    (its launcher trees die with node-local exit stamps, so
+        //    the harvest below collects it this same decision point
+        //    and its nodes free immediately). Crashed jobs are left to
+        //    the requeue path; a job that finished inside the window
+        //    reaps zero tasks and completes normally.
+        if let Some(factor) = cfg.walltime_factor {
+            for r in running.iter_mut() {
+                if r.killed || cluster.job_failed(&r.handle) {
+                    continue;
+                }
+                let limit = r.job.est_runtime().mul_f64(factor);
+                if now.since(r.started) >= limit && cluster.cancel_job(&r.handle) > 0 {
+                    r.killed = true;
+                }
+            }
+        }
+
+        // 2. Harvest completions and crash casualties. The failure
         //    check comes first: a crashed job's perf pids are stale
         //    (its node may have restarted), so `job_end_time` must
         //    never look at them.
@@ -403,6 +457,8 @@ fn run_batch_inner(
                     run,
                     bounded_slowdown: slowdown,
                     requeues: r.requeues,
+                    user: r.job.user,
+                    killed: r.killed,
                 });
                 cluster.node_mut(0).publish(SchedEvent::JobEnd {
                     job: r.job.id,
@@ -413,7 +469,7 @@ fn run_batch_inner(
             }
         }
 
-        // 2. Admit arrivals that have come due.
+        // 3. Admit arrivals that have come due.
         while pending.front().is_some_and(|(at, _)| *at <= now) {
             let (at, job) = pending.pop_front().expect("checked front");
             submitted_at.push((job.id, at));
@@ -429,7 +485,7 @@ fn run_batch_inner(
             });
         }
 
-        // 3. Allocate until the policy passes.
+        // 4. Allocate until the policy passes.
         loop {
             if queue.is_empty() {
                 break;
@@ -460,6 +516,8 @@ fn run_batch_inner(
                         .expect("queued jobs were submitted")
                         .1,
                     est_runtime: q.job.est_runtime(),
+                    user: q.job.user,
+                    class: q.job.class,
                 })
                 .collect();
             let Some(alloc) = policy.select(&pview, &view) else {
@@ -487,10 +545,11 @@ fn run_batch_inner(
                 started,
                 skip_iters: q.skip_iters,
                 requeues: q.requeues,
+                killed: false,
             });
         }
 
-        // 4. Occupancy audit against the policy's promise.
+        // 5. Occupancy audit against the policy's promise.
         let mut over = false;
         for n in 0..nnodes {
             let occ = cluster.active_jobs_on(n) as u32;
@@ -507,7 +566,7 @@ fn run_batch_inner(
             break;
         }
 
-        // 5. Advance virtual time one lockstep window.
+        // 6. Advance virtual time one lockstep window.
         if !cluster.step_window() {
             if running.is_empty() && !pending.is_empty() {
                 // Every queue drained while waiting for the next
@@ -550,6 +609,30 @@ fn run_batch_inner(
     );
     let mean_bounded_slowdown = outcomes.iter().map(|o| o.bounded_slowdown).sum::<f64>() / n;
     let jobs_lost = (total_jobs - outcomes.len()) as u64;
+    let jobs_killed = outcomes.iter().filter(|o| o.killed).count() as u64;
+
+    // Per-user breakdown, ascending by user id (BTreeMap order) so the
+    // report stays bit-comparable across runs.
+    let mut by_user: std::collections::BTreeMap<u32, Vec<&JobOutcome>> =
+        std::collections::BTreeMap::new();
+    for o in &outcomes {
+        by_user.entry(o.user).or_default().push(o);
+    }
+    let user_stats: Vec<UserStats> = by_user
+        .into_iter()
+        .map(|(user, rows)| {
+            let n = rows.len() as f64;
+            UserStats {
+                user,
+                jobs: rows.len() as u32,
+                killed: rows.iter().filter(|o| o.killed).count() as u32,
+                mean_wait: SimDuration::from_nanos(
+                    (rows.iter().map(|o| o.wait.as_nanos()).sum::<u64>() as f64 / n) as u64,
+                ),
+                mean_bounded_slowdown: rows.iter().map(|o| o.bounded_slowdown).sum::<f64>() / n,
+            }
+        })
+        .collect();
 
     Ok(BatchReport {
         policy: policy.name(),
@@ -563,6 +646,8 @@ fn run_batch_inner(
         occupancy_violations,
         requeues: total_requeues,
         jobs_lost,
+        jobs_killed,
+        user_stats,
         fingerprint: cluster.state_fingerprint(),
     })
 }

@@ -61,13 +61,14 @@
 
 pub mod engine;
 pub mod policy;
+pub mod swf;
 pub mod trace;
 
-#[allow(deprecated)]
-pub use engine::run_batch;
-pub use engine::{BatchConfig, BatchReport, BatchRun, CheckpointSpec, JobOutcome};
+pub use engine::{BatchConfig, BatchReport, BatchRun, CheckpointSpec, JobOutcome, UserStats};
 pub use policy::{
-    AllocPolicy, Allocation, BackfillDecision, ClusterView, EasyBackfill, Fcfs, Oversubscribed,
-    QueuedJob, RunningJob,
+    AllocPolicy, Allocation, BackfillDecision, ClusterView, ConservativeBackfill, EasyBackfill,
+    FairShare, FairShareDispatch, Fcfs, MultiQueue, Oversubscribed, QueuedJob, ReservationDecision,
+    RunningJob,
 };
+pub use swf::{SwfJob, SwfMap, SwfTrace, TraceTransform};
 pub use trace::{BatchJob, BatchTrace};

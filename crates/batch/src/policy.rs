@@ -7,7 +7,7 @@
 //! point until it returns `None`, so a policy that can start several
 //! jobs in one window simply yields them one at a time.
 //!
-//! Three policies ship:
+//! The policy zoo (the scheduler-taxonomy axis of the related work):
 //!
 //! * [`Fcfs`] — strict arrival order; the head job blocks everything
 //!   behind it until enough free nodes exist.
@@ -18,13 +18,31 @@
 //!   before the shadow time or it runs entirely on nodes the head will
 //!   not need. Every backfill decision is logged ([`BackfillDecision`])
 //!   so tests can audit the promise.
+//! * [`ConservativeBackfill`] — *every* queued job (up to a reservation
+//!   depth) holds a reservation, not just the head; a job starts out of
+//!   order only into a genuine hole in that schedule, so no admission
+//!   ever delays an earlier-queued job's promised start. Each admission
+//!   is audited ([`ReservationDecision`]).
+//! * [`MultiQueue`] — priority classes with aging: dispatch from the
+//!   best effective class (job class minus levels earned by waiting),
+//!   FCFS within a class, so low-priority jobs cannot starve.
+//! * [`FairShare`] — per-user decayed usage accounting and
+//!   share-ordered dispatch: among jobs that fit, the user with the
+//!   lowest usage-to-share ratio goes first (audited per dispatch via
+//!   [`FairShareDispatch`]).
 //! * [`Oversubscribed`] — the fractional/co-scheduling contrast: up to
 //!   two jobs share a node (occupancy limit 2), allocation is FCFS onto
 //!   the least-occupied nodes. This deliberately breaks the paper's
 //!   dedicated-node assumption to measure what OS-level scheduling does
 //!   when the batch level stops protecting it.
+//!
+//! Audit trails are bounded: policies log into a fixed-capacity
+//! [`AuditLog`] ring (newest kept), with running totals and violation
+//! counters that see *every* decision, so thousand-job SWF runs don't
+//! grow memory linearly with admissions.
 
 use hpl_sim::{SimDuration, SimTime};
+use std::collections::{BTreeMap, VecDeque};
 
 /// A queued job as the policy sees it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -37,6 +55,64 @@ pub struct QueuedJob {
     pub submitted: SimTime,
     /// User runtime estimate.
     pub est_runtime: SimDuration,
+    /// Submitting user (fair-share key).
+    pub user: u32,
+    /// Priority class (0 = highest; multi-queue key).
+    pub class: u32,
+}
+
+/// Default capacity of a policy's bounded audit ring.
+pub const AUDIT_LOG_CAP: usize = 4096;
+
+/// A bounded decision log: keeps the newest `cap` entries, counts them
+/// all. Policies push every decision through [`AuditLog::push`], which
+/// returns the entry back so violation counters can be updated without
+/// borrowing the ring.
+#[derive(Debug, Clone)]
+pub struct AuditLog<T> {
+    recent: VecDeque<T>,
+    cap: usize,
+    total: u64,
+}
+
+impl<T> AuditLog<T> {
+    /// An empty log keeping at most `cap` recent entries.
+    pub fn with_cap(cap: usize) -> Self {
+        AuditLog {
+            recent: VecDeque::new(),
+            cap: cap.max(1),
+            total: 0,
+        }
+    }
+
+    fn push(&mut self, entry: T) {
+        if self.recent.len() == self.cap {
+            self.recent.pop_front();
+        }
+        self.recent.push_back(entry);
+        self.total += 1;
+    }
+
+    /// The retained (newest) entries, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.recent.iter()
+    }
+
+    /// Entries ever pushed, including ones the ring has since dropped.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Entries the ring has dropped (`total - retained`).
+    pub fn dropped(&self) -> u64 {
+        self.total - self.recent.len() as u64
+    }
+}
+
+impl<T> Default for AuditLog<T> {
+    fn default() -> Self {
+        Self::with_cap(AUDIT_LOG_CAP)
+    }
 }
 
 /// A running job as the policy sees it.
@@ -153,7 +229,8 @@ impl BackfillDecision {
 /// EASY backfilling on dedicated nodes.
 #[derive(Debug, Default)]
 pub struct EasyBackfill {
-    decisions: Vec<BackfillDecision>,
+    decisions: AuditLog<BackfillDecision>,
+    violations: u64,
 }
 
 impl EasyBackfill {
@@ -162,10 +239,24 @@ impl EasyBackfill {
         Self::default()
     }
 
-    /// Every backfill decision taken so far, in decision order — the
-    /// audit trail for the reservation-safety property tests.
-    pub fn decisions(&self) -> &[BackfillDecision] {
-        &self.decisions
+    /// The retained backfill decisions, oldest first — the audit trail
+    /// for the reservation-safety property tests. Bounded to the newest
+    /// [`AUDIT_LOG_CAP`] entries; [`Self::decisions_total`] and
+    /// [`Self::reservation_violations`] see every decision ever taken.
+    pub fn decisions(&self) -> impl Iterator<Item = &BackfillDecision> {
+        self.decisions.iter()
+    }
+
+    /// Backfill decisions ever taken (including ring-dropped ones).
+    pub fn decisions_total(&self) -> u64 {
+        self.decisions.total()
+    }
+
+    /// Decisions that violated [`BackfillDecision::respects_reservation`]
+    /// — counted at decision time over the full run, so the invariant
+    /// stays checkable after the ring wraps. Must be 0.
+    pub fn reservation_violations(&self) -> u64 {
+        self.violations
     }
 
     /// The head job's reservation given `view`: the concrete node set
@@ -252,20 +343,537 @@ impl AllocPolicy for EasyBackfill {
                 }
                 outside[..want].to_vec()
             };
-            self.decisions.push(BackfillDecision {
+            let d = BackfillDecision {
                 job: cand.id,
                 head: head.id,
                 shadow,
                 est_end,
                 reserved: reserved.clone(),
                 placement: placement.clone(),
-            });
+            };
+            if !d.respects_reservation() {
+                self.violations += 1;
+            }
+            self.decisions.push(d);
             return Some(Allocation {
                 queue_idx: qi,
                 placement,
             });
         }
         None
+    }
+}
+
+/// One audited conservative-backfill admission (see
+/// [`ConservativeBackfill::decisions`]): the admitted job plus every
+/// earlier-queued job's reservation as it stood at that moment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReservationDecision {
+    /// The admitted job.
+    pub job: u32,
+    /// Nodes it was placed on.
+    pub placement: Vec<usize>,
+    /// Its estimated end (`now + est_runtime`).
+    pub est_end: SimTime,
+    /// Earlier-queued jobs' reservations at admission: `(job id,
+    /// promised start, reserved nodes)`. Jobs the scheduler could not
+    /// reserve for (cluster shrunk below their width by faults) are
+    /// absent — they hold no promise to delay.
+    pub earlier: Vec<(u32, SimTime, Vec<usize>)>,
+}
+
+impl ReservationDecision {
+    /// The conservative invariant: the admitted job delays no earlier
+    /// reservation — for every earlier job it either ends (by estimate)
+    /// before that job's promised start, or it touches none of that
+    /// job's reserved nodes.
+    pub fn respects_reservations(&self) -> bool {
+        self.earlier.iter().all(|(_, start, nodes)| {
+            self.est_end <= *start || self.placement.iter().all(|n| !nodes.contains(n))
+        })
+    }
+}
+
+/// A reservation in the conservative schedule: when and where a queued
+/// job is promised to run.
+#[derive(Debug, Clone)]
+struct PlannedStart {
+    start: SimTime,
+    nodes: Vec<usize>,
+}
+
+/// Conservative backfilling on dedicated nodes: every queued job (up to
+/// [`Self::with_depth`]) holds a concrete reservation — a node set and
+/// a promised start computed from running jobs' estimates and all
+/// earlier reservations — and a job is admitted out of arrival order
+/// only when its own reservation starts *now*, i.e. it fits into a hole
+/// that delays nobody ahead of it. The contrast with EASY is the
+/// classic one: EASY protects only the head job's start time,
+/// conservative protects every queued job's.
+///
+/// Reservation planning is O(queue × nodes × profile events) and is
+/// memoized: the plan is recomputed only when the queue, the running
+/// set, occupancy or node health changes, or when the clock crosses a
+/// running job's estimated end (which can reorder the availability
+/// profile).
+#[derive(Debug)]
+pub struct ConservativeBackfill {
+    depth: usize,
+    decisions: AuditLog<ReservationDecision>,
+    violations: u64,
+    /// Memo: fingerprint of the last planned view, the clock horizon it
+    /// stays valid for, and whether the plan admitted nothing.
+    memo: Option<(u64, SimTime)>,
+}
+
+impl Default for ConservativeBackfill {
+    fn default() -> Self {
+        ConservativeBackfill {
+            depth: 32,
+            decisions: AuditLog::default(),
+            violations: 0,
+            memo: None,
+        }
+    }
+}
+
+impl ConservativeBackfill {
+    /// Fresh policy with the default reservation depth (32).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Cap how many queued jobs hold reservations (and are candidates
+    /// for admission) per decision. Real conservative schedulers cap
+    /// this too; jobs beyond the horizon simply wait their turn.
+    pub fn with_depth(mut self, depth: usize) -> Self {
+        self.depth = depth.max(1);
+        self
+    }
+
+    /// The retained admission audits, oldest first (bounded ring; see
+    /// [`Self::admissions_total`] / [`Self::reservation_violations`]).
+    pub fn decisions(&self) -> impl Iterator<Item = &ReservationDecision> {
+        self.decisions.iter()
+    }
+
+    /// Admissions ever audited (including ring-dropped ones).
+    pub fn admissions_total(&self) -> u64 {
+        self.decisions.total()
+    }
+
+    /// Admissions that violated
+    /// [`ReservationDecision::respects_reservations`], counted at
+    /// admission over the full run. Must be 0.
+    pub fn reservation_violations(&self) -> u64 {
+        self.violations
+    }
+
+    /// Plan reservations for the first `depth` queued jobs, in order.
+    /// Returns each job's promised `(start, nodes)`; `None` entries are
+    /// jobs the current up-node pool cannot ever satisfy (their promise
+    /// is vacuous until a restart widens the pool).
+    fn plan(&self, queue: &[QueuedJob], view: &ClusterView) -> Vec<Option<PlannedStart>> {
+        let now = view.now;
+        let n_nodes = view.occupancy.len();
+        let eps = SimDuration::from_nanos(1);
+        // Availability: node n is busy until `until[n]`. An occupied
+        // node whose job overran its estimate is busy until "just after
+        // now" — unknowable, but certainly not free this instant.
+        let until: Vec<SimTime> = (0..n_nodes)
+            .map(|n| {
+                if view.down[n] {
+                    SimTime::MAX
+                } else if view.occupancy[n] > 0 {
+                    let est = view
+                        .running
+                        .iter()
+                        .filter(|r| r.placement.contains(&n))
+                        .map(|r| r.est_end)
+                        .max()
+                        .unwrap_or(now);
+                    est.max(now + eps)
+                } else {
+                    now
+                }
+            })
+            .collect();
+        // Future reserved intervals per node, appended as we plan.
+        let mut reserved: Vec<Vec<(SimTime, SimTime)>> = vec![Vec::new(); n_nodes];
+        let mut plans = Vec::with_capacity(queue.len().min(self.depth));
+        for q in queue.iter().take(self.depth) {
+            let need = q.nodes as usize;
+            let dur = q.est_runtime.max(eps);
+            // Candidate start times: now, every busy-until, every
+            // reservation end. The earliest feasible one wins.
+            let mut cands: Vec<SimTime> = Vec::with_capacity(n_nodes + 8);
+            cands.push(now);
+            for n in 0..n_nodes {
+                if until[n] > now && until[n] < SimTime::MAX {
+                    cands.push(until[n]);
+                }
+                for &(_, e) in &reserved[n] {
+                    cands.push(e);
+                }
+            }
+            cands.sort_unstable();
+            cands.dedup();
+            let mut plan: Option<PlannedStart> = None;
+            for &t in &cands {
+                let end = t + dur;
+                let free: Vec<usize> = (0..n_nodes)
+                    .filter(|&n| {
+                        until[n] <= t && reserved[n].iter().all(|&(s, e)| e <= t || s >= end)
+                    })
+                    .take(need)
+                    .collect();
+                if free.len() == need {
+                    plan = Some(PlannedStart {
+                        start: t,
+                        nodes: free,
+                    });
+                    break;
+                }
+            }
+            if let Some(p) = &plan {
+                let end = p.start + dur;
+                for &n in &p.nodes {
+                    reserved[n].push((p.start, end));
+                }
+            }
+            plans.push(plan);
+        }
+        plans
+    }
+
+    /// Fingerprint of everything the plan depends on except the bare
+    /// clock (FNV-1a). Clock crossings of running estimates are handled
+    /// by the memo horizon instead.
+    fn view_fingerprint(&self, queue: &[QueuedJob], view: &ClusterView) -> u64 {
+        let mut h: u64 = 0xcbf29ce484222325;
+        let mut mix = |v: u64| {
+            h ^= v;
+            h = h.wrapping_mul(0x100000001b3);
+        };
+        mix(queue.len() as u64);
+        for q in queue.iter().take(self.depth) {
+            mix(q.id as u64);
+            mix(q.nodes as u64);
+            mix(q.est_runtime.as_nanos());
+        }
+        for r in &view.running {
+            mix(r.id as u64);
+            mix(r.est_end.as_nanos());
+            for &n in &r.placement {
+                mix(n as u64);
+            }
+        }
+        for (n, &occ) in view.occupancy.iter().enumerate() {
+            mix(((occ as u64) << 1) | view.down[n] as u64);
+        }
+        h
+    }
+}
+
+impl AllocPolicy for ConservativeBackfill {
+    fn name(&self) -> &'static str {
+        "conservative"
+    }
+
+    fn select(&mut self, queue: &[QueuedJob], view: &ClusterView) -> Option<Allocation> {
+        if queue.is_empty() {
+            return None;
+        }
+        let fp = self.view_fingerprint(queue, view);
+        if let Some((memo_fp, horizon)) = self.memo {
+            if memo_fp == fp && view.now < horizon {
+                // Same queue/running/occupancy and no estimate crossed:
+                // the last plan admitted nothing and still admits
+                // nothing (admissibility can only decay as time passes
+                // within a horizon).
+                return None;
+            }
+        }
+        let plans = self.plan(queue, view);
+        for (qi, plan) in plans.iter().enumerate() {
+            let Some(p) = plan else { continue };
+            if p.start > view.now {
+                continue;
+            }
+            // Admission: this job's reservation starts now. Audit it
+            // against every earlier reservation.
+            let d = ReservationDecision {
+                job: queue[qi].id,
+                placement: p.nodes.clone(),
+                est_end: view.now + queue[qi].est_runtime,
+                earlier: plans[..qi]
+                    .iter()
+                    .zip(queue)
+                    .filter_map(|(e, q)| e.as_ref().map(|e| (q.id, e.start, e.nodes.clone())))
+                    .collect(),
+            };
+            if !d.respects_reservations() {
+                self.violations += 1;
+            }
+            self.decisions.push(d);
+            self.memo = None;
+            return Some(Allocation {
+                queue_idx: qi,
+                placement: p.nodes.clone(),
+            });
+        }
+        // Nothing admissible: remember that until the view changes or
+        // the clock crosses the next running estimate.
+        let horizon = view
+            .running
+            .iter()
+            .map(|r| r.est_end)
+            .filter(|&e| e > view.now)
+            .min()
+            .unwrap_or(SimTime::MAX);
+        self.memo = Some((fp, horizon));
+        None
+    }
+}
+
+/// Priority classes with aging on dedicated nodes. A job's *effective*
+/// class is its trace class (clamped to `levels`) minus one level per
+/// `age_step` spent waiting, floored at 0 — so every job eventually
+/// reaches the top class and FCFS order within it, which is the
+/// classic starvation guard. Dispatch is head-of-best-class blocking
+/// (no backfill): the highest-priority oldest job waits for its nodes.
+#[derive(Debug)]
+pub struct MultiQueue {
+    levels: u32,
+    age_step: SimDuration,
+    dispatches: u64,
+}
+
+impl Default for MultiQueue {
+    fn default() -> Self {
+        MultiQueue {
+            levels: 3,
+            age_step: SimDuration::from_millis(20),
+            dispatches: 0,
+        }
+    }
+}
+
+impl MultiQueue {
+    /// `levels` priority classes (trace classes clamp into
+    /// `0..levels`), one promotion per `age_step` of queue wait.
+    pub fn new(levels: u32, age_step: SimDuration) -> Self {
+        assert!(levels >= 1, "need at least one class");
+        assert!(age_step > SimDuration::ZERO, "aging needs a step");
+        MultiQueue {
+            levels,
+            age_step,
+            dispatches: 0,
+        }
+    }
+
+    /// Jobs dispatched so far.
+    pub fn dispatches(&self) -> u64 {
+        self.dispatches
+    }
+
+    /// The effective class of `q` at `now`: clamped class minus earned
+    /// promotions.
+    pub fn effective_class(&self, q: &QueuedJob, now: SimTime) -> u32 {
+        let class = q.class.min(self.levels - 1);
+        let promoted = (now.since(q.submitted).as_nanos() / self.age_step.as_nanos()) as u32;
+        class.saturating_sub(promoted)
+    }
+}
+
+impl AllocPolicy for MultiQueue {
+    fn name(&self) -> &'static str {
+        "multiq"
+    }
+
+    fn select(&mut self, queue: &[QueuedJob], view: &ClusterView) -> Option<Allocation> {
+        let head = queue
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, q)| (self.effective_class(q, view.now), q.submitted, q.id))?;
+        let free = view.nodes_below(1);
+        if free.len() < head.1.nodes as usize {
+            return None;
+        }
+        self.dispatches += 1;
+        Some(Allocation {
+            queue_idx: head.0,
+            placement: free[..head.1.nodes as usize].to_vec(),
+        })
+    }
+}
+
+/// One audited fair-share dispatch (see [`FairShare::decisions`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FairShareDispatch {
+    /// The dispatched job.
+    pub job: u32,
+    /// Its user.
+    pub user: u32,
+    /// The user's usage-to-share ratio at dispatch (decayed
+    /// node-seconds over share weight).
+    pub ratio: f64,
+    /// The minimum ratio over all queued jobs that *fit* the free
+    /// nodes at this decision (the dispatched job included).
+    pub min_fittable_ratio: f64,
+}
+
+impl FairShareDispatch {
+    /// The fair-share invariant: the dispatched job's user had the
+    /// lowest usage/share ratio among all queued jobs that could have
+    /// started instead (ties broken by arrival order).
+    pub fn respects_shares(&self) -> bool {
+        self.ratio <= self.min_fittable_ratio + 1e-9
+    }
+}
+
+/// Fair-share dispatch on dedicated nodes: per-user usage accumulates
+/// at launch (nodes × estimated runtime), decays exponentially with a
+/// configurable half-life, and dispatch order among jobs that fit the
+/// free nodes is lowest usage-to-share ratio first (then arrival
+/// order). Work-conserving: if the poorest user's job doesn't fit, the
+/// next-poorest fittable job runs — the skip is what the audit records.
+#[derive(Debug)]
+pub struct FairShare {
+    half_life: SimDuration,
+    shares: BTreeMap<u32, f64>,
+    usage: BTreeMap<u32, f64>,
+    last_decay: Option<SimTime>,
+    decisions: AuditLog<FairShareDispatch>,
+    violations: u64,
+}
+
+impl Default for FairShare {
+    fn default() -> Self {
+        FairShare {
+            half_life: SimDuration::from_millis(50),
+            shares: BTreeMap::new(),
+            usage: BTreeMap::new(),
+            last_decay: None,
+            decisions: AuditLog::default(),
+            violations: 0,
+        }
+    }
+}
+
+impl FairShare {
+    /// Fresh policy: equal shares, 50 ms usage half-life (virtual
+    /// milliseconds — the traces here run jobs in the ms range).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the usage half-life.
+    pub fn with_half_life(mut self, half_life: SimDuration) -> Self {
+        assert!(half_life > SimDuration::ZERO, "half-life must be positive");
+        self.half_life = half_life;
+        self
+    }
+
+    /// Give `user` a share weight (default 1.0). Dispatch order uses
+    /// usage ÷ share, so doubling a share halves the cost of usage.
+    pub fn with_share(mut self, user: u32, weight: f64) -> Self {
+        assert!(weight > 0.0, "shares must be positive");
+        self.shares.insert(user, weight);
+        self
+    }
+
+    /// The user's current decayed usage, node-seconds.
+    pub fn usage(&self, user: u32) -> f64 {
+        self.usage.get(&user).copied().unwrap_or(0.0)
+    }
+
+    /// The retained dispatch audits, oldest first (bounded ring; see
+    /// [`Self::dispatches_total`] / [`Self::share_violations`]).
+    pub fn decisions(&self) -> impl Iterator<Item = &FairShareDispatch> {
+        self.decisions.iter()
+    }
+
+    /// Dispatches ever audited (including ring-dropped ones).
+    pub fn dispatches_total(&self) -> u64 {
+        self.decisions.total()
+    }
+
+    /// Dispatches that violated [`FairShareDispatch::respects_shares`],
+    /// counted over the full run. Must be 0.
+    pub fn share_violations(&self) -> u64 {
+        self.violations
+    }
+
+    fn share(&self, user: u32) -> f64 {
+        self.shares.get(&user).copied().unwrap_or(1.0)
+    }
+
+    fn ratio(&self, user: u32) -> f64 {
+        self.usage(user) / self.share(user)
+    }
+
+    fn decay_to(&mut self, now: SimTime) {
+        let Some(last) = self.last_decay else {
+            self.last_decay = Some(now);
+            return;
+        };
+        if now <= last {
+            return;
+        }
+        let dt = now.since(last).as_secs_f64();
+        let factor = 0.5_f64.powf(dt / self.half_life.as_secs_f64());
+        for u in self.usage.values_mut() {
+            *u *= factor;
+        }
+        self.last_decay = Some(now);
+    }
+}
+
+impl AllocPolicy for FairShare {
+    fn name(&self) -> &'static str {
+        "fairshare"
+    }
+
+    fn select(&mut self, queue: &[QueuedJob], view: &ClusterView) -> Option<Allocation> {
+        if queue.is_empty() {
+            return None;
+        }
+        self.decay_to(view.now);
+        let free = view.nodes_below(1);
+        // Among fittable jobs, lowest usage/share ratio first; ties by
+        // arrival then id so the order is total and deterministic.
+        let pick = queue
+            .iter()
+            .enumerate()
+            .filter(|(_, q)| q.nodes as usize <= free.len())
+            .min_by(|(_, a), (_, b)| {
+                self.ratio(a.user)
+                    .total_cmp(&self.ratio(b.user))
+                    .then(a.submitted.cmp(&b.submitted))
+                    .then(a.id.cmp(&b.id))
+            })?;
+        let (qi, q) = pick;
+        let min_fittable_ratio = queue
+            .iter()
+            .filter(|c| c.nodes as usize <= free.len())
+            .map(|c| self.ratio(c.user))
+            .fold(f64::INFINITY, f64::min);
+        let d = FairShareDispatch {
+            job: q.id,
+            user: q.user,
+            ratio: self.ratio(q.user),
+            min_fittable_ratio,
+        };
+        if !d.respects_shares() {
+            self.violations += 1;
+        }
+        self.decisions.push(d);
+        *self.usage.entry(q.user).or_insert(0.0) += q.nodes as f64 * q.est_runtime.as_secs_f64();
+        Some(Allocation {
+            queue_idx: qi,
+            placement: free[..q.nodes as usize].to_vec(),
+        })
     }
 }
 
@@ -313,6 +921,8 @@ mod tests {
             nodes,
             submitted: t(0),
             est_runtime: SimDuration::from_nanos(est_ns),
+            user: 0,
+            class: 0,
         }
     }
 
@@ -356,7 +966,7 @@ mod tests {
         let a = p.select(&queue, &v).unwrap();
         assert_eq!(a.queue_idx, 1);
         assert_eq!(a.placement, vec![2, 3]);
-        let d = &p.decisions()[0];
+        let d = p.decisions().next().unwrap();
         assert_eq!(d.job, 1);
         assert_eq!(d.head, 0);
         assert_eq!(d.reserved, vec![0, 1, 2, 3]);
@@ -389,7 +999,7 @@ mod tests {
         let queue = [qj(0, 3, 1), qj(1, 1, 2_000)];
         let a = p.select(&queue, &v).unwrap();
         assert_eq!(a.queue_idx, 1);
-        assert!(p.decisions()[0].respects_reservation());
+        assert!(p.decisions().next().unwrap().respects_reservation());
     }
 
     #[test]
@@ -411,6 +1021,221 @@ mod tests {
         v.down = vec![false, false, true, true];
         let a = o.select(&queue, &v).unwrap();
         assert_eq!(a.placement, vec![0, 1]);
+    }
+
+    #[test]
+    fn audit_log_ring_keeps_newest_and_counts_all() {
+        let mut log: AuditLog<u32> = AuditLog::with_cap(3);
+        for i in 0..5 {
+            log.push(i);
+        }
+        assert_eq!(log.total(), 5);
+        assert_eq!(log.dropped(), 2);
+        assert_eq!(log.iter().copied().collect::<Vec<_>>(), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn conservative_backfills_only_into_true_holes() {
+        // Job 9 runs on nodes 0,1 until 10_000. Queue: head wants 4
+        // nodes (must wait for 0,1), then a 2-node job ending after the
+        // head's promised start, then a 2-node job ending before it.
+        let running = vec![RunningJob {
+            id: 9,
+            placement: vec![0, 1],
+            est_end: t(10_000),
+        }];
+        let v = view(&[1, 1, 0, 0], running);
+        // Long filler would push the head's reservation (its nodes 2,3
+        // are exactly where the head must run at 10_000): blocked.
+        let mut p = ConservativeBackfill::new();
+        let queue = [qj(0, 4, 1_000), qj(1, 2, 100_000)];
+        assert!(p.select(&queue, &v).is_none());
+        assert_eq!(p.admissions_total(), 0);
+        // Short filler (ends 6_000 <= 10_000) fits the hole: admitted,
+        // and the audit shows the head's reservation intact.
+        let queue = [qj(0, 4, 1_000), qj(1, 2, 5_000)];
+        let a = p.select(&queue, &v).unwrap();
+        assert_eq!(a.queue_idx, 1);
+        assert_eq!(a.placement, vec![2, 3]);
+        let d = p.decisions().next().unwrap();
+        assert_eq!(d.job, 1);
+        assert_eq!(d.earlier.len(), 1);
+        assert_eq!(d.earlier[0].0, 0);
+        assert_eq!(d.earlier[0].1, t(10_000));
+        assert!(d.respects_reservations());
+        assert_eq!(p.reservation_violations(), 0);
+    }
+
+    #[test]
+    fn conservative_protects_second_queued_job_where_easy_does_not() {
+        // The canonical EASY-vs-conservative divergence: job 9 holds
+        // nodes 0,1 until 10_000; queue = [4-wide head, 2-wide mid
+        // (est 20_000), 2-wide tail (est 9_000)]. EASY reserves only
+        // for the head (shadow 10_000, reserved all 4 nodes), so the
+        // tail (ends 10_000 <= shadow... est 9_000 ends exactly at
+        // 10_000) backfills — delaying the mid job, which EASY never
+        // promised anything. Conservative reserves for the mid job at
+        // 10_000 too, so the tail (which would end at 10_000 on nodes
+        // 2,3 that the *head* needs) still fits, but a tail that ends
+        // later than 10_000 cannot start even though EASY's shadow
+        // check on the head alone might allow it on non-reserved nodes.
+        let running = vec![RunningJob {
+            id: 9,
+            placement: vec![0, 1],
+            est_end: t(10_000),
+        }];
+        let v = view(&[1, 1, 0, 0], running);
+        let queue = [qj(0, 2, 1_000), qj(1, 2, 20_000), qj(2, 2, 9_000)];
+        // Head (2-wide) fits now on 2,3 for both policies; admit it
+        // conceptually by checking queue_idx 0 first.
+        let mut c = ConservativeBackfill::new();
+        let a = c.select(&queue, &v).unwrap();
+        assert_eq!(a.queue_idx, 0, "head fits immediately");
+        // Now the interesting shape: head 4-wide waits at 10_000, mid
+        // 2-wide would be planned at 10_000 + 1_000 on freed nodes; a
+        // tail ending past the head's start but on nodes the *mid* job
+        // will need must wait under conservative.
+        let queue = [qj(0, 4, 1_000), qj(1, 2, 20_000), qj(2, 2, 9_500)];
+        let mut c = ConservativeBackfill::new();
+        assert!(
+            c.select(&queue, &v).is_none(),
+            "tail ends at 10_500 > head start 10_000 on reserved nodes"
+        );
+        assert_eq!(c.reservation_violations(), 0);
+    }
+
+    #[test]
+    fn conservative_memo_invalidates_on_view_change() {
+        let running = vec![RunningJob {
+            id: 9,
+            placement: vec![0, 1],
+            est_end: t(10_000),
+        }];
+        let v = view(&[1, 1, 0, 0], running.clone());
+        let queue = [qj(0, 4, 1_000), qj(1, 2, 100_000)];
+        let mut p = ConservativeBackfill::new();
+        assert!(p.select(&queue, &v).is_none());
+        // Same view again: memoized None.
+        assert!(p.select(&queue, &v).is_none());
+        // Running job finished early: nodes free, head admissible.
+        let v2 = view(&[0, 0, 0, 0], vec![]);
+        let a = p.select(&queue, &v2).unwrap();
+        assert_eq!(a.queue_idx, 0);
+        // Memo horizon: same fingerprint but clock past the estimate
+        // crossing must replan rather than reuse the None.
+        let mut p = ConservativeBackfill::new();
+        assert!(p.select(&queue, &v).is_none());
+        let mut v3 = view(&[1, 1, 0, 0], running);
+        v3.now = t(10_001);
+        // Job 9 overran its estimate; occupied nodes are busy until
+        // "just after now", so the 4-wide head still can't start — but
+        // the replan must actually run (no stale memo panic/false
+        // admit). The observable: still None, and a subsequent free
+        // view admits.
+        assert!(p.select(&queue, &v3).is_none());
+        let a = p.select(&queue, &v2).unwrap();
+        assert_eq!(a.queue_idx, 0);
+    }
+
+    #[test]
+    fn multiqueue_prefers_better_class_and_ages() {
+        let mut p = MultiQueue::new(3, SimDuration::from_nanos(10_000));
+        let mut lo = qj(0, 1, 100);
+        lo.class = 2;
+        let mut hi = qj(1, 1, 100);
+        hi.class = 0;
+        hi.submitted = t(500);
+        // Both fit; class 0 wins despite arriving later.
+        let v = view(&[0, 0], vec![]);
+        let a = p.select(&[lo, hi], &v).unwrap();
+        assert_eq!(a.queue_idx, 1);
+        // After 2 age steps the class-2 job is effectively class 0 and
+        // its earlier submit time breaks the tie.
+        let mut v = view(&[0, 0], vec![]);
+        v.now = t(20_000);
+        assert_eq!(p.effective_class(&lo, v.now), 0);
+        let a = p.select(&[lo, hi], &v).unwrap();
+        assert_eq!(a.queue_idx, 0);
+        assert_eq!(p.dispatches(), 2);
+    }
+
+    #[test]
+    fn multiqueue_head_blocks_like_fcfs_within_class() {
+        let mut p = MultiQueue::default();
+        let wide = qj(0, 4, 100);
+        let narrow = qj(1, 1, 100);
+        // Same class: the wide head blocks the narrow job (no backfill
+        // in the multi-queue policy).
+        let v = view(&[0, 0, 1, 1], vec![]);
+        assert!(p.select(&[wide, narrow], &v).is_none());
+    }
+
+    #[test]
+    fn fairshare_orders_by_usage_ratio_and_audits() {
+        let mut p = FairShare::new();
+        let mut a0 = qj(0, 1, 1_000_000);
+        a0.user = 0;
+        let mut b0 = qj(1, 1, 1_000_000);
+        b0.user = 1;
+        b0.submitted = t(500);
+        let v = view(&[0, 0], vec![]);
+        // Fresh users: arrival order breaks the 0-0 ratio tie.
+        let a = p.select(&[a0, b0], &v).unwrap();
+        assert_eq!(a.queue_idx, 0);
+        assert!(p.usage(0) > 0.0);
+        // User 0 now has usage; user 1's job goes first even though a
+        // second user-0 job arrived earlier.
+        let mut a1 = qj(2, 1, 1_000_000);
+        a1.user = 0;
+        let sel = p.select(&[a1, b0], &v).unwrap();
+        assert_eq!(sel.queue_idx, 1, "poorer user wins");
+        assert_eq!(p.dispatches_total(), 2);
+        assert_eq!(p.share_violations(), 0);
+        for d in p.decisions() {
+            assert!(d.respects_shares());
+        }
+    }
+
+    #[test]
+    fn fairshare_is_work_conserving_and_decays() {
+        let mut p = FairShare::new().with_half_life(SimDuration::from_nanos(1_000));
+        let mut wide = qj(0, 4, 1_000);
+        wide.user = 0;
+        let mut narrow = qj(1, 1, 1_000);
+        narrow.user = 1;
+        // Only 1 free node: user 0's wide job can't fit, user 1 runs.
+        let v = view(&[1, 1, 1, 0], vec![]);
+        let a = p.select(&[wide, narrow], &v).unwrap();
+        assert_eq!(a.queue_idx, 1);
+        let u1 = p.usage(1);
+        assert!(u1 > 0.0);
+        // 10 half-lives later the usage has decayed ~1000x.
+        let mut v2 = view(&[0, 0, 0, 0], vec![]);
+        v2.now = t(11_000);
+        let _ = p.select(&[wide], &v2);
+        assert!(p.usage(1) < u1 / 500.0, "usage decays with half-life");
+    }
+
+    #[test]
+    fn fairshare_shares_weight_the_ratio() {
+        let mut p = FairShare::new().with_share(0, 4.0).with_share(1, 1.0);
+        let mut a0 = qj(0, 1, 1_000_000);
+        a0.user = 0;
+        let v = view(&[0, 0], vec![]);
+        let _ = p.select(&[a0], &v).unwrap();
+        let mut a1 = qj(1, 1, 1_000_000);
+        a1.user = 0;
+        let mut b0 = qj(2, 1, 4_000_000);
+        b0.user = 1;
+        b0.submitted = t(500);
+        // User 0 used 1 node-ms against share 4 (ratio ~0.25e-3); user
+        // 1 has 0. User 1 wins; after running 4 node-ms against share
+        // 1, user 0 wins the next round despite new usage.
+        let sel = p.select(&[a1, b0], &v).unwrap();
+        assert_eq!(sel.queue_idx, 1);
+        let sel = p.select(&[a1], &v).unwrap();
+        assert_eq!(sel.queue_idx, 0);
+        assert!(p.ratio(0) < p.ratio(1), "share 4 discounts usage 4x");
     }
 
     #[test]

@@ -37,8 +37,16 @@ pub struct BatchJob {
     /// User-supplied runtime estimate, ns — what EASY's reservation
     /// arithmetic believes. Overestimates are safe (the head job's
     /// promise holds); underestimates can delay the head, exactly as on
-    /// a real machine.
+    /// a real machine. Under walltime enforcement this is also the
+    /// job's limit: the engine kills the job when it outlives the
+    /// estimate (plus the configured grace).
     pub est_runtime_ns: u64,
+    /// Submitting user (fair-share accounting key; SWF field 12).
+    /// `0` is a fine default for single-user traces.
+    pub user: u32,
+    /// Priority class for multi-queue policies (0 = highest; SWF queue
+    /// number, field 15). Policies that don't discriminate ignore it.
+    pub class: u32,
 }
 
 impl BatchJob {
@@ -63,7 +71,7 @@ pub struct BatchTrace {
 /// Launch/teardown overhead of one launcher tree (perf setup + mpiexec
 /// forks + perf's 20 ms counter-collection tail), folded into synthetic
 /// runtime estimates so they bracket the true node-occupancy time.
-const LAUNCH_OVERHEAD_NS: u64 = 25_000_000;
+pub(crate) const LAUNCH_OVERHEAD_NS: u64 = 25_000_000;
 
 impl BatchTrace {
     /// A seeded synthetic trace of `n` jobs for a `cluster_nodes`-node
@@ -107,19 +115,44 @@ impl BatchTrace {
                 compute_ns,
                 bytes,
                 est_runtime_ns: est_factor * nominal + 2 * LAUNCH_OVERHEAD_NS,
+                user: 0,
+                class: 0,
             });
         }
         BatchTrace { jobs }
     }
 
-    /// Serialise to the `batch-trace v1` text format: a header line then
+    /// Like [`Self::synthetic`] but spread across `users` submitting
+    /// users (round-robin with a seeded shuffle) and `classes` priority
+    /// classes, so fair-share and multi-queue policies have something to
+    /// discriminate on. `synthetic(seed, n, nodes)` is exactly
+    /// `multi_user(seed, n, nodes, 1, 1)`.
+    pub fn multi_user(
+        seed: u64,
+        n: u32,
+        cluster_nodes: u32,
+        users: u32,
+        classes: u32,
+    ) -> BatchTrace {
+        assert!(users >= 1 && classes >= 1);
+        let mut trace = Self::synthetic(seed, n, cluster_nodes);
+        let mut rng = Rng::for_run(seed ^ 0x05E6, 1);
+        for j in &mut trace.jobs {
+            j.user = rng.below(users as u64) as u32;
+            j.class = rng.below(classes as u64) as u32;
+        }
+        trace
+    }
+
+    /// Serialise to the `batch-trace v2` text format: a header line then
     /// one `job` line per submission, every field labelled. Whitespace-
-    /// and comment-tolerant on the way back in ([`Self::from_text`]).
+    /// and comment-tolerant on the way back in ([`Self::from_text`]),
+    /// which also still reads the pre-user/class `v1` lines.
     pub fn to_text(&self) -> String {
-        let mut out = String::from("batch-trace v1\n");
+        let mut out = String::from("batch-trace v2\n");
         for j in &self.jobs {
             out.push_str(&format!(
-                "job {} submit {} nodes {} rpn {} iters {} compute {} bytes {} est {}\n",
+                "job {} submit {} nodes {} rpn {} iters {} compute {} bytes {} est {} user {} class {}\n",
                 j.id,
                 j.submit_ns,
                 j.nodes,
@@ -127,27 +160,33 @@ impl BatchTrace {
                 j.iters,
                 j.compute_ns,
                 j.bytes,
-                j.est_runtime_ns
+                j.est_runtime_ns,
+                j.user,
+                j.class
             ));
         }
         out
     }
 
-    /// Parse the `batch-trace v1` format. Lines starting with `#` and
-    /// blank lines are skipped; anything else malformed is an error.
+    /// Parse the `batch-trace v2` format (or `v1`, whose job lines
+    /// simply lack the trailing `user`/`class` fields — both default to
+    /// 0). Lines starting with `#` and blank lines are skipped; anything
+    /// else malformed is an error.
     pub fn from_text(text: &str) -> Result<BatchTrace, String> {
         let mut lines = text
             .lines()
             .map(str::trim)
             .filter(|l| !l.is_empty() && !l.starts_with('#'));
-        match lines.next() {
-            Some("batch-trace v1") => {}
+        let v2 = match lines.next() {
+            Some("batch-trace v1") => false,
+            Some("batch-trace v2") => true,
             other => return Err(format!("bad header {other:?}")),
-        }
+        };
+        let want_toks = if v2 { 20 } else { 16 };
         let mut jobs = Vec::new();
         for line in lines {
             let toks: Vec<&str> = line.split_whitespace().collect();
-            if toks.len() != 16 || toks[0] != "job" {
+            if toks.len() != want_toks || toks[0] != "job" {
                 return Err(format!("malformed job line {line:?}"));
             }
             let num = |label_idx: usize, label: &str| -> Result<u64, String> {
@@ -167,6 +206,8 @@ impl BatchTrace {
                 compute_ns: num(10, "compute")?,
                 bytes: num(12, "bytes")?,
                 est_runtime_ns: num(14, "est")?,
+                user: if v2 { num(16, "user")? as u32 } else { 0 },
+                class: if v2 { num(18, "class")? as u32 } else { 0 },
             });
         }
         for j in &jobs {
@@ -216,11 +257,38 @@ mod tests {
         .unwrap();
         assert_eq!(ok.jobs.len(), 1);
         assert_eq!(ok.jobs[0].nprocs(), 4);
+        assert_eq!((ok.jobs[0].user, ok.jobs[0].class), (0, 0), "v1 defaults");
         assert!(BatchTrace::from_text("nope").is_err());
         assert!(BatchTrace::from_text("batch-trace v1\njob 0 submit x").is_err());
         assert!(BatchTrace::from_text(
             "batch-trace v1\njob 0 submit 5 nodes 0 rpn 2 iters 3 compute 1 bytes 64 est 9\n"
         )
         .is_err());
+        // v2 lines carry user and class; a v2 header demands them.
+        let v2 = BatchTrace::from_text(
+            "batch-trace v2\njob 0 submit 5 nodes 2 rpn 2 iters 3 compute 1000000 bytes 64 est 9000000 user 3 class 1\n",
+        )
+        .unwrap();
+        assert_eq!((v2.jobs[0].user, v2.jobs[0].class), (3, 1));
+        assert!(BatchTrace::from_text(
+            "batch-trace v2\njob 0 submit 5 nodes 2 rpn 2 iters 3 compute 1 bytes 64 est 9\n"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn multi_user_spreads_users_and_classes() {
+        let t = BatchTrace::multi_user(11, 24, 4, 3, 2);
+        assert_eq!(t, BatchTrace::multi_user(11, 24, 4, 3, 2));
+        assert!(t.jobs.iter().any(|j| j.user != t.jobs[0].user));
+        assert!(t.jobs.iter().any(|j| j.class != t.jobs[0].class));
+        assert!(t.jobs.iter().all(|j| j.user < 3 && j.class < 2));
+        // The single-user case is exactly the plain synthetic trace.
+        assert_eq!(
+            BatchTrace::multi_user(7, 8, 4, 1, 1),
+            BatchTrace::synthetic(7, 8, 4)
+        );
+        let text = t.to_text();
+        assert_eq!(BatchTrace::from_text(&text).unwrap(), t);
     }
 }

@@ -43,6 +43,8 @@ fn bj(id: u32, submit_ms: u64, nodes: u32, iters: u32, compute_ms: u64) -> Batch
         compute_ns: compute_ms * 1_000_000,
         bytes: 64,
         est_runtime_ns: 2 * nominal + 30_000_000,
+        user: 0,
+        class: 0,
     }
 }
 
@@ -264,12 +266,20 @@ fn batch_events_reach_observers_and_chrome_trace() {
 fn trace_file_round_trip_drives_engine() {
     // A trace written by hand in the text format runs end to end.
     let text = "\
-batch-trace v1
-job 0 submit 0 nodes 2 rpn 2 iters 2 compute 2000000 bytes 64 est 40000000
-job 1 submit 500000 nodes 1 rpn 2 iters 2 compute 1000000 bytes 64 est 35000000
+batch-trace v2
+job 0 submit 0 nodes 2 rpn 2 iters 2 compute 2000000 bytes 64 est 40000000 user 1 class 0
+job 1 submit 500000 nodes 1 rpn 2 iters 2 compute 1000000 bytes 64 est 35000000 user 0 class 1
 ";
     let trace = BatchTrace::from_text(text).expect("parses");
     assert_eq!(trace.to_text(), text);
+    // v1 text (no user/class) still parses, defaulting both to 0.
+    let v1 = "\
+batch-trace v1
+job 0 submit 0 nodes 1 rpn 2 iters 2 compute 1000 bytes 64 est 40000
+";
+    let old = BatchTrace::from_text(v1).expect("v1 parses");
+    assert_eq!(old.jobs[0].user, 0);
+    assert_eq!(old.jobs[0].class, 0);
     let mut cluster = build_cluster(2, 11);
     let report = BatchRun::new(&trace)
         .run(&mut cluster, &mut Fcfs)

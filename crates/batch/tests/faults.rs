@@ -53,6 +53,8 @@ fn long_job_trace() -> BatchTrace {
             compute_ns,
             bytes: 64,
             est_runtime_ns: 2 * nominal + 30_000_000,
+            user: 0,
+            class: 0,
         }],
     }
 }

@@ -1,28 +1,39 @@
 //! Two-level scheduling sweep: batch allocation policies over CFS and
-//! HPL kernels.
+//! HPL kernels, plus a production-workload (SWF) policy-zoo sweep.
 //!
-//! Runs one seeded synthetic job stream through every (allocation
-//! policy, kernel flavour) cell on the same co-simulated cluster shape:
-//! FCFS, EASY backfilling and 2-jobs-per-node oversubscription, each
-//! under the standard-Linux CFS kernel (noisy daemons contending with
-//! ranks) and the HPL kernel (`SCHED_HPC` ranks above the noise). Per
-//! cell it reports mean wait, mean/max bounded slowdown, utilization
-//! and makespan from the engine's [`BatchReport`].
+//! Part 1 (synthetic): one seeded synthetic job stream through every
+//! (allocation policy, kernel flavour) cell on the same co-simulated
+//! cluster shape: FCFS, EASY backfilling and 2-jobs-per-node
+//! oversubscription, each under the standard-Linux CFS kernel (noisy
+//! daemons contending with ranks) and the HPL kernel (`SCHED_HPC`
+//! ranks above the noise). Per cell it reports mean wait, mean/max
+//! bounded slowdown, utilization and makespan from the engine's
+//! [`BatchReport`].
 //!
-//! Gated claims (non-smoke): the run is deterministic (same seed, same
-//! report, bit for bit), no cell violates its policy's occupancy limit,
-//! EASY does not raise mean wait over FCFS on the same kernel, and the
-//! HPL kernel does not stretch the makespan over CFS under the same
-//! policy.
+//! Part 2 (SWF): the vendored Parallel-Workloads-Archive-style fixture
+//! (or `--trace FILE`) is parsed, mapped and replayed under the full
+//! policy zoo — FCFS, EASY, conservative backfilling, multi-queue with
+//! aging, and fair share — on the HPL kernel, plus one walltime-
+//! enforcement cell under honest (undershooting) user estimates.
+//!
+//! Gated claims (non-smoke): the synthetic run is deterministic, no
+//! cell violates its policy's occupancy limit, EASY does not raise
+//! mean wait over FCFS, the HPL kernel does not stretch the makespan
+//! over CFS on dedicated nodes; and on the SWF sweep — bit-exact
+//! replay, zero conservative reservation violations, fair-share
+//! user-slowdown spread no wider than FCFS's, serial-vs-pooled bit
+//! equality on an SWF cell, and walltime kills that fire without
+//! losing jobs or leaking occupancy.
 //!
 //! Writes `BENCH_batch.json` in the current directory.
 //!
-//! Usage: `batch [--quick|--smoke] [--out PATH]`
+//! Usage: `batch [--quick|--smoke|--swf-smoke] [--trace FILE] [--out PATH]`
 
 use hpl_batch::{
-    AllocPolicy, BatchReport, BatchRun, BatchTrace, EasyBackfill, Fcfs, Oversubscribed,
+    AllocPolicy, BatchReport, BatchRun, BatchTrace, ConservativeBackfill, EasyBackfill, FairShare,
+    Fcfs, MultiQueue, Oversubscribed, SwfMap, SwfTrace, TraceTransform,
 };
-use hpl_cluster::{Cluster, Interconnect, NetConfig};
+use hpl_cluster::{Cluster, CosimConfig, Interconnect, NetConfig};
 use hpl_core::HplClass;
 use hpl_kernel::noise::NoiseProfile;
 use hpl_kernel::{KernelConfig, NodeBuilder};
@@ -32,7 +43,10 @@ use hpl_topology::Topology;
 
 const CPUS_PER_NODE: u32 = 2;
 
-fn build_cluster(nodes: u32, hpc: bool, seed: u64) -> Cluster {
+/// The vendored 200-job SWF fixture (also used by the crate tests).
+const SWF_FIXTURE: &str = include_str!("../../../batch/tests/data/sp2_sample.swf");
+
+fn build_cluster(nodes: u32, hpc: bool, seed: u64, cosim: CosimConfig) -> Cluster {
     let mut cluster = Cluster::builder()
         .nodes_with(nodes as usize, move |i| {
             let kc = if hpc {
@@ -50,6 +64,7 @@ fn build_cluster(nodes: u32, hpc: bool, seed: u64) -> Cluster {
             b.build()
         })
         .fabric(Interconnect::flat(nodes as usize, NetConfig::default()))
+        .cosim(cosim)
         .build();
     for i in 0..nodes as usize {
         cluster.node_mut(i).run_for(SimDuration::from_millis(300));
@@ -62,12 +77,15 @@ fn make_policy(name: &str) -> Box<dyn AllocPolicy> {
         "fcfs" => Box::new(Fcfs),
         "easy" => Box::new(EasyBackfill::new()),
         "oversub" => Box::new(Oversubscribed),
+        "conservative" => Box::new(ConservativeBackfill::new()),
+        "multiq" => Box::new(MultiQueue::default()),
+        "fairshare" => Box::new(FairShare::new()),
         other => panic!("unknown policy {other}"),
     }
 }
 
 fn run_cell(trace: &BatchTrace, policy: &str, hpc: bool, nodes: u32, seed: u64) -> BatchReport {
-    let mut cluster = build_cluster(nodes, hpc, seed);
+    let mut cluster = build_cluster(nodes, hpc, seed, CosimConfig::serial());
     BatchRun::new(trace)
         .mode(if hpc { SchedMode::Hpc } else { SchedMode::Cfs })
         .run(&mut cluster, make_policy(policy).as_mut())
@@ -80,16 +98,136 @@ struct Cell {
     report: BatchReport,
 }
 
+/// Max − min of per-user mean bounded slowdown: the fairness spread a
+/// fair-share policy should narrow relative to FCFS.
+fn user_slowdown_spread(r: &BatchReport) -> f64 {
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for u in &r.user_stats {
+        lo = lo.min(u.mean_bounded_slowdown);
+        hi = hi.max(u.mean_bounded_slowdown);
+    }
+    if r.user_stats.is_empty() {
+        0.0
+    } else {
+        hi - lo
+    }
+}
+
+fn cell_json(policy: &str, r: &BatchReport, last: bool) -> String {
+    format!(
+        "    {{\"policy\": \"{}\", \"mean_wait_ms\": {:.6}, \
+         \"mean_bounded_slowdown\": {:.4}, \"max_bounded_slowdown\": {:.4}, \
+         \"utilization\": {:.4}, \"makespan_ms\": {:.6}, \"max_queue_depth\": {}, \
+         \"jobs_killed\": {}, \"user_slowdown_spread\": {:.4}}}{}\n",
+        policy,
+        r.mean_wait.as_secs_f64() * 1e3,
+        r.mean_bounded_slowdown,
+        r.max_bounded_slowdown(),
+        r.utilization,
+        r.makespan.as_secs_f64() * 1e3,
+        r.max_queue_depth,
+        r.jobs_killed,
+        user_slowdown_spread(r),
+        if last { "" } else { "," }
+    )
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let smoke = args.iter().any(|a| a == "--smoke");
+    let swf_smoke = args.iter().any(|a| a == "--swf-smoke");
+    let trace_file = args
+        .iter()
+        .position(|a| a == "--trace")
+        .and_then(|i| args.get(i + 1).cloned());
     let out = args
         .iter()
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1).cloned())
         .unwrap_or_else(|| "BENCH_batch.json".into());
 
+    let seed = 0xBA7C;
+
+    // ---------- SWF source ----------
+    let swf_text = match &trace_file {
+        Some(path) => std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("cannot read --trace {path}: {e}")),
+        None => SWF_FIXTURE.to_string(),
+    };
+    let swf = SwfTrace::from_text(&swf_text).unwrap_or_else(|e| panic!("SWF parse error: {e}"));
+    let swf_source = trace_file.as_deref().unwrap_or("vendored sp2_sample.swf");
+
+    // ---------- SWF smoke: parse → run the zoo → audit → exit ----------
+    if swf_smoke {
+        let nodes = 8u32;
+        let take = 50usize;
+        let (mapped, dropped) = swf.to_batch(&SwfMap::for_cluster(nodes).ns_per_sec(2_000.0));
+        let trace = TraceTransform::new()
+            .take(take)
+            .arrival_scale(0.1)
+            .apply(&mapped);
+        eprintln!(
+            "swf smoke: {} of {} jobs ({dropped} dropped in mapping), {nodes} nodes",
+            trace.jobs.len(),
+            swf.jobs.len()
+        );
+        let mut ok = true;
+        for policy in ["conservative", "multiq", "fairshare"] {
+            let report = match policy {
+                "conservative" => {
+                    let mut p = ConservativeBackfill::new();
+                    let mut cluster = build_cluster(nodes, true, seed, CosimConfig::serial());
+                    let r = BatchRun::new(&trace)
+                        .run(&mut cluster, &mut p)
+                        .expect("swf smoke cell completes");
+                    if p.reservation_violations() > 0 {
+                        eprintln!(
+                            "FAIL: {} conservative reservation violations",
+                            p.reservation_violations()
+                        );
+                        ok = false;
+                    }
+                    r
+                }
+                "fairshare" => {
+                    let mut p = FairShare::new();
+                    let mut cluster = build_cluster(nodes, true, seed, CosimConfig::serial());
+                    let r = BatchRun::new(&trace)
+                        .run(&mut cluster, &mut p)
+                        .expect("swf smoke cell completes");
+                    if p.share_violations() > 0 {
+                        eprintln!("FAIL: {} fair-share order violations", p.share_violations());
+                        ok = false;
+                    }
+                    r
+                }
+                _ => run_cell(&trace, policy, true, nodes, seed),
+            };
+            if report.occupancy_violations > 0 || report.jobs_lost > 0 {
+                eprintln!(
+                    "FAIL: {policy} occupancy_violations {} jobs_lost {}",
+                    report.occupancy_violations, report.jobs_lost
+                );
+                ok = false;
+            }
+            eprintln!(
+                "{policy:>13}: wait {:>8.3}ms | slowdown {:>6.2} | util {:>5.3} | makespan {:>8.3}ms",
+                report.mean_wait.as_secs_f64() * 1e3,
+                report.mean_bounded_slowdown,
+                report.utilization,
+                report.makespan.as_secs_f64() * 1e3,
+            );
+        }
+        if !ok {
+            eprintln!("FAIL: swf smoke invariants violated");
+            std::process::exit(1);
+        }
+        eprintln!("swf smoke: zero invariant violations across the policy zoo");
+        return;
+    }
+
+    // ---------- Part 1: synthetic sweep (unchanged cells) ----------
     let (nodes, njobs): (u32, u32) = if smoke {
         (2, 4)
     } else if quick {
@@ -104,7 +242,6 @@ fn main() {
     } else {
         "full"
     };
-    let seed = 0xBA7C;
     let trace = BatchTrace::synthetic(seed, njobs, nodes);
     eprintln!("batch bench ({flavour}): {nodes} nodes, {njobs} jobs, seed {seed:#x}");
 
@@ -182,6 +319,129 @@ fn main() {
          easy_wait_ok {easy_ok} | hpl_makespan_ok {hpl_ok}"
     );
 
+    // ---------- Part 2: SWF policy-zoo sweep (HPL kernel) ----------
+    let (swf_nodes, swf_take): (u32, usize) = if smoke {
+        (4, 12)
+    } else if quick {
+        (8, 40)
+    } else {
+        (8, 80)
+    };
+    let swf_seed = seed ^ 0x5F;
+    let (mapped, swf_dropped) = swf.to_batch(&SwfMap::for_cluster(swf_nodes).ns_per_sec(2_000.0));
+    let swf_trace = TraceTransform::new()
+        .take(swf_take)
+        .arrival_scale(0.1)
+        .apply(&mapped);
+    eprintln!(
+        "swf sweep: {} ({} of {} jobs, {swf_dropped} dropped), {swf_nodes} nodes",
+        swf_source,
+        swf_trace.jobs.len(),
+        swf.jobs.len()
+    );
+
+    let zoo: &[&'static str] = &["fcfs", "easy", "conservative", "multiq", "fairshare"];
+    let mut swf_cells: Vec<(&'static str, BatchReport)> = Vec::new();
+    let mut conservative_violations = u64::MAX;
+    for &policy in zoo {
+        let report = if policy == "conservative" {
+            let mut p = ConservativeBackfill::new();
+            let mut cluster = build_cluster(swf_nodes, true, swf_seed, CosimConfig::serial());
+            let r = BatchRun::new(&swf_trace)
+                .run(&mut cluster, &mut p)
+                .expect("swf cell completes");
+            conservative_violations = p.reservation_violations();
+            r
+        } else {
+            run_cell(&swf_trace, policy, true, swf_nodes, swf_seed)
+        };
+        eprintln!(
+            "{policy:>13}/swf: wait {:>8.3}ms | slowdown {:>6.2} | util {:>5.3} | \
+             makespan {:>8.3}ms | spread {:>6.2}",
+            report.mean_wait.as_secs_f64() * 1e3,
+            report.mean_bounded_slowdown,
+            report.utilization,
+            report.makespan.as_secs_f64() * 1e3,
+            user_slowdown_spread(&report)
+        );
+        swf_cells.push((policy, report));
+    }
+
+    // SWF claim 1: bit-exact replay across reps.
+    let rep = run_cell(&swf_trace, "fcfs", true, swf_nodes, swf_seed);
+    let swf_deterministic = swf_cells
+        .iter()
+        .find(|(p, _)| *p == "fcfs")
+        .map(|(_, r)| *r == rep)
+        .unwrap_or(false);
+
+    // SWF claim 2: conservative admissions never delayed an earlier
+    // reservation.
+    let swf_conservative_ok = conservative_violations == 0;
+
+    // SWF claim 3: fair share does not widen the per-user slowdown
+    // spread relative to FCFS on the same stream.
+    let spread_of = |name: &str| {
+        swf_cells
+            .iter()
+            .find(|(p, _)| *p == name)
+            .map(|(_, r)| user_slowdown_spread(r))
+            .unwrap_or(f64::NAN)
+    };
+    let swf_fairshare_ok = spread_of("fairshare") <= spread_of("fcfs") * 1.05 + 1e-6;
+
+    // SWF claim 4: pooled windows reproduce the serial SWF report bit
+    // for bit (the cross-event-loop equality on a production stream).
+    let pooled = {
+        let cosim = CosimConfig::parallel().with_threads(2).with_min_active(2);
+        let mut cluster = build_cluster(swf_nodes, true, swf_seed, cosim);
+        BatchRun::new(&swf_trace)
+            .run(&mut cluster, &mut ConservativeBackfill::new())
+            .expect("pooled swf cell completes")
+    };
+    let swf_pooled_equal = swf_cells
+        .iter()
+        .find(|(p, _)| *p == "conservative")
+        .map(|(_, r)| *r == pooled)
+        .unwrap_or(false);
+
+    // SWF claim 5: under honest estimates with walltime enforcement,
+    // kills fire, nothing is lost, and occupancy stays clean.
+    let (honest_mapped, _) =
+        swf.to_batch(&SwfMap::for_cluster(swf_nodes).ns_per_sec(2_000.0).honest());
+    let honest_trace = TraceTransform::new()
+        .take(swf_take)
+        .arrival_scale(0.1)
+        .apply(&honest_mapped);
+    let walltime_report = {
+        let mut cluster = build_cluster(swf_nodes, true, swf_seed, CosimConfig::serial());
+        BatchRun::new(&honest_trace)
+            .walltime(1.0)
+            .run(&mut cluster, &mut Fcfs)
+            .expect("walltime swf cell completes")
+    };
+    eprintln!(
+        "     walltime/swf: {} of {} jobs killed | wait {:>8.3}ms | util {:>5.3}",
+        walltime_report.jobs_killed,
+        honest_trace.jobs.len(),
+        walltime_report.mean_wait.as_secs_f64() * 1e3,
+        walltime_report.utilization
+    );
+    let swf_walltime_ok = walltime_report.jobs_killed > 0
+        && (walltime_report.jobs_killed as usize) < honest_trace.jobs.len()
+        && walltime_report.jobs_lost == 0
+        && walltime_report.occupancy_violations == 0;
+
+    let swf_occupancy_ok = swf_cells.iter().all(|(_, r)| r.occupancy_violations == 0)
+        && swf_cells.iter().all(|(_, r)| r.jobs_lost == 0);
+
+    eprintln!(
+        "swf_deterministic {swf_deterministic} | swf_conservative_ok {swf_conservative_ok} | \
+         swf_fairshare_ok {swf_fairshare_ok} | swf_pooled_equal {swf_pooled_equal} | \
+         swf_walltime_ok {swf_walltime_ok} | swf_occupancy_ok {swf_occupancy_ok}"
+    );
+
+    // ---------- JSON ----------
     let mut json = String::from("{\n  \"bench\": \"batch\",\n");
     json.push_str(&format!("  \"flavour\": \"{flavour}\",\n"));
     json.push_str(&format!(
@@ -210,13 +470,44 @@ fn main() {
             if i + 1 < cells.len() { "," } else { "" }
         ));
     }
-    json.push_str("  ]\n}\n");
+    json.push_str("  ],\n");
+    json.push_str("  \"swf\": {\n");
+    json.push_str(&format!("    \"source\": \"{swf_source}\",\n"));
+    json.push_str(&format!(
+        "    \"nodes\": {swf_nodes},\n    \"jobs\": {},\n    \"dropped\": {swf_dropped},\n",
+        swf_trace.jobs.len()
+    ));
+    json.push_str(&format!("    \"deterministic\": {swf_deterministic},\n"));
+    json.push_str(&format!(
+        "    \"conservative_reservations_ok\": {swf_conservative_ok},\n"
+    ));
+    json.push_str(&format!(
+        "    \"fairshare_spread_ok\": {swf_fairshare_ok},\n"
+    ));
+    json.push_str(&format!("    \"pooled_equal\": {swf_pooled_equal},\n"));
+    json.push_str(&format!("    \"walltime_ok\": {swf_walltime_ok},\n"));
+    json.push_str(&format!("    \"occupancy_ok\": {swf_occupancy_ok},\n"));
+    json.push_str("    \"cells\": [\n");
+    for (p, r) in &swf_cells {
+        json.push_str(&cell_json(p, r, false));
+    }
+    json.push_str(&cell_json("walltime-fcfs", &walltime_report, true));
+    json.push_str("    ]\n  }\n}\n");
     std::fs::write(&out, json).expect("write bench json");
     eprintln!("wrote {out}");
 
     // Smoke runs gate only on "the sweep completes"; the comparative
     // claims need the full job stream to be meaningful.
-    let claims_hold = deterministic && occupancy_ok && easy_ok && hpl_ok;
+    let claims_hold = deterministic
+        && occupancy_ok
+        && easy_ok
+        && hpl_ok
+        && swf_deterministic
+        && swf_conservative_ok
+        && swf_fairshare_ok
+        && swf_pooled_equal
+        && swf_walltime_ok
+        && swf_occupancy_ok;
     if !smoke && !claims_hold {
         eprintln!("FAIL: batch sweep claims do not hold");
         std::process::exit(1);

@@ -476,6 +476,38 @@ impl Cluster {
             .collect()
     }
 
+    /// Forcibly terminate a running job: reap its launcher tree on every
+    /// node that still holds one (walltime-limit enforcement, user
+    /// cancellation). Call between lockstep windows only, like fault
+    /// events, so the decision is identical under every host execution
+    /// policy. The job's occupancy releases immediately and
+    /// [`Self::job_done`] turns true once every tree is dead, so an
+    /// engine harvesting completions observes the kill as an early end
+    /// (each node's `perf` task records its node-local kill time in
+    /// `exited_at`). No-op on a job already failed by a crash — crash
+    /// recovery owns those. Returns the number of trees reaped.
+    pub fn cancel_job(&mut self, handle: &ClusterJobHandle) -> usize {
+        let aj = &self.jobs[handle.job_id];
+        if aj.failed {
+            return 0;
+        }
+        let victims: Vec<(usize, hpl_kernel::Pid)> = aj
+            .placement
+            .iter()
+            .enumerate()
+            .filter(|&(j, &n)| !self.down[n] && aj.incarnations[j] == self.incarnation[n])
+            .map(|(j, &n)| (n, aj.perf_pids[j]))
+            .collect();
+        let mut reaped = 0;
+        for (n, pid) in victims {
+            if self.nodes[n].tasks.get(pid).state != TaskState::Dead {
+                self.nodes[n].kill_tree(pid);
+                reaped += 1;
+            }
+        }
+        reaped
+    }
+
     /// Combined scheduler-state hash over all nodes, for determinism
     /// tests (same seed + same event loop family ⇒ same fingerprint).
     pub fn state_fingerprint(&self) -> u64 {
@@ -485,23 +517,6 @@ impl Cluster {
             h = h.wrapping_mul(0x100000001b3);
         }
         h
-    }
-
-    /// Launch `job` across the **whole** cluster.
-    #[deprecated(note = "use Cluster::launch(job, mode, Placement::All)")]
-    pub fn launch_job(&mut self, job: &JobSpec, mode: SchedMode) -> ClusterJobHandle {
-        self.launch(job, mode, Placement::All)
-    }
-
-    /// Launch `job` on an explicit cluster-node subset.
-    #[deprecated(note = "use Cluster::launch(job, mode, Placement::on(placement))")]
-    pub fn launch_job_on(
-        &mut self,
-        job: &JobSpec,
-        mode: SchedMode,
-        placement: &[usize],
-    ) -> ClusterJobHandle {
-        self.launch(job, mode, Placement::on(placement))
     }
 
     /// Launch `job` on `placement` (job node `j` runs on cluster node

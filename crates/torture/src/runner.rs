@@ -15,7 +15,10 @@ use crate::scenario::{
     BatchPolicyKind, BatchSpec, Fault, ModeKind, OpKind, PolicyKind, Scenario, SoupSpec, SoupStep,
     TopoKind, Workload,
 };
-use hpl_batch::{BatchConfig, BatchRun, BatchTrace, CheckpointSpec, EasyBackfill, Fcfs};
+use hpl_batch::{
+    BatchConfig, BatchRun, BatchTrace, CheckpointSpec, ConservativeBackfill, EasyBackfill,
+    FairShare, Fcfs, MultiQueue,
+};
 use hpl_cluster::{
     Cluster, CosimConfig, EmpiricalDist, Interconnect, NetConfig, NodeFault, Placement,
     ResonanceModel,
@@ -212,8 +215,12 @@ fn job_spec(sc: &Scenario) -> JobSpec {
 
 /// Drive a batch workload on the already-built cluster and translate
 /// batch-level invariant breaches into oracle-style violations: node
-/// occupancy above the policy's limit, and — under EASY — any audited
-/// backfill decision that intrudes on the head job's reservation.
+/// occupancy above the policy's limit; under EASY, any audited backfill
+/// decision that intrudes on the head job's reservation; under
+/// conservative, any admission that delays an earlier-queued job's
+/// reservation; under fair share, any dispatch that skips a poorer
+/// user's fittable job; and, when walltime kills fired, any node still
+/// occupied after every job completed (a kill that leaked its nodes).
 fn run_batch_workload(
     sc: &Scenario,
     b: &BatchSpec,
@@ -244,6 +251,7 @@ fn run_batch_workload(
             cost: SimDuration::from_micros(200),
             restore: SimDuration::from_micros(500),
         }),
+        walltime_factor: b.walltime.then_some(1.0),
         ..BatchConfig::default()
     };
     let result = match b.policy {
@@ -259,6 +267,61 @@ fn run_batch_workload(
                         detail: format!(
                             "backfill of job {} intrudes on head {}'s reservation: {d:?}",
                             d.job, d.head
+                        ),
+                    });
+                }
+            }
+            result
+        }
+        BatchPolicyKind::Conservative => {
+            let mut policy = ConservativeBackfill::new();
+            let result = BatchRun::new(&trace).config(cfg).run(cluster, &mut policy);
+            for d in policy.decisions() {
+                if !d.respects_reservations() {
+                    violations.push(Violation {
+                        at: d.est_end,
+                        rule: "batch-conservative-reservation",
+                        detail: format!(
+                            "admission of job {} delays an earlier-queued reservation: {d:?}",
+                            d.job
+                        ),
+                    });
+                }
+            }
+            // The counter sees ring-dropped admissions too.
+            if policy.reservation_violations() as usize
+                > violations
+                    .iter()
+                    .filter(|v| v.rule == "batch-conservative-reservation")
+                    .count()
+            {
+                violations.push(Violation {
+                    at: cluster.node(0).now(),
+                    rule: "batch-conservative-reservation",
+                    detail: format!(
+                        "{} reservation violations total (some aged out of the audit ring)",
+                        policy.reservation_violations()
+                    ),
+                });
+            }
+            result
+        }
+        BatchPolicyKind::MultiQueue => {
+            let mut policy = MultiQueue::default();
+            BatchRun::new(&trace).config(cfg).run(cluster, &mut policy)
+        }
+        BatchPolicyKind::FairShare => {
+            let mut policy = FairShare::new();
+            let result = BatchRun::new(&trace).config(cfg).run(cluster, &mut policy);
+            for d in policy.decisions() {
+                if !d.respects_shares() {
+                    violations.push(Violation {
+                        at: cluster.node(0).now(),
+                        rule: "batch-fairshare-order",
+                        detail: format!(
+                            "dispatch of job {} (user {}, ratio {:.3}) skipped a poorer \
+                             fittable user (min ratio {:.3})",
+                            d.job, d.user, d.ratio, d.min_fittable_ratio
                         ),
                     });
                 }
@@ -290,6 +353,26 @@ fn run_batch_workload(
                         report.occupancy_violations, report.max_node_occupancy
                     ),
                 });
+            }
+            if report.jobs_killed > 0 {
+                // A walltime kill must fully release its nodes: with
+                // every job completed or killed, no node may still
+                // count an active batch job.
+                for n in 0..cluster.len() {
+                    let live = cluster.active_jobs_on(n);
+                    if live > 0 {
+                        violations.push(Violation {
+                            at: cluster.node(0).now(),
+                            rule: "batch-occupancy-leak",
+                            detail: format!(
+                                "node {n} still runs {live} job task(s) after all \
+                                 {} jobs ended ({} killed)",
+                                trace.jobs.len(),
+                                report.jobs_killed
+                            ),
+                        });
+                    }
+                }
             }
             (RunOutcome::Completed, report.makespan.as_nanos())
         }

@@ -178,14 +178,24 @@ pub enum BatchPolicyKind {
     Fcfs,
     /// EASY backfilling with a head-job reservation.
     Easy,
+    /// Conservative backfilling: every queued job holds a reservation.
+    Conservative,
+    /// Priority classes with aging.
+    MultiQueue,
+    /// Per-user decayed-usage fair share.
+    FairShare,
 }
 
 /// A two-level batch-scheduling workload: a small job stream pushed
-/// through `hpl_batch::run_batch` on the scenario's cluster.
+/// through `hpl_batch::BatchRun` on the scenario's cluster.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BatchSpec {
     /// Allocation policy under test.
     pub policy: BatchPolicyKind,
+    /// Enforce walltime limits (kill at 1.0 × estimate). Sampled
+    /// scenarios with this on may include a deliberately under-
+    /// estimated job so the kill path actually fires.
+    pub walltime: bool,
     /// The job stream (ids are trace-local; widths never exceed the
     /// scenario's node count).
     pub jobs: Vec<BatchJob>,
@@ -361,11 +371,14 @@ impl Scenario {
             TopoKind::Smp(n) => n,
             TopoKind::Power6 => 8,
         };
-        let policy = if rng.chance(0.5) {
-            BatchPolicyKind::Fcfs
-        } else {
-            BatchPolicyKind::Easy
-        };
+        let policy = *rng.choose(&[
+            BatchPolicyKind::Fcfs,
+            BatchPolicyKind::Easy,
+            BatchPolicyKind::Conservative,
+            BatchPolicyKind::MultiQueue,
+            BatchPolicyKind::FairShare,
+        ]);
+        let walltime = rng.chance(0.3);
         let njobs = rng.range_u64(2, 4) as u32;
         let mut submit_ns = 0u64;
         let jobs = (0..njobs)
@@ -378,6 +391,10 @@ impl Scenario {
                 let nominal = iters as u64 * compute_ns;
                 let nprocs = (width * ranks_per_node) as u64;
                 let est_factor = 2 + (u64::BITS - nprocs.leading_zeros()) as u64;
+                // Under walltime enforcement, some jobs under-estimate
+                // (half their nominal compute) so the kill path fires;
+                // the occupancy-leak oracle then has something to bite.
+                let doomed = walltime && rng.chance(0.4);
                 BatchJob {
                     id,
                     submit_ns,
@@ -386,11 +403,21 @@ impl Scenario {
                     iters,
                     compute_ns,
                     bytes: if rng.chance(0.5) { 64 } else { 1024 },
-                    est_runtime_ns: est_factor * nominal + 50_000_000,
+                    est_runtime_ns: if doomed {
+                        (nominal / 2).max(1_000_000)
+                    } else {
+                        est_factor * nominal + 50_000_000
+                    },
+                    user: rng.below(3) as u32,
+                    class: rng.below(2) as u32,
                 }
             })
             .collect();
-        BatchSpec { policy, jobs }
+        BatchSpec {
+            policy,
+            walltime,
+            jobs,
+        }
     }
 
     fn sample_soup(rng: &mut Rng, topo: TopoKind, hpl: bool) -> SoupSpec {
@@ -607,12 +634,18 @@ impl Scenario {
                 let policy = match b.policy {
                     BatchPolicyKind::Fcfs => "fcfs",
                     BatchPolicyKind::Easy => "easy",
+                    BatchPolicyKind::Conservative => "conservative",
+                    BatchPolicyKind::MultiQueue => "multiq",
+                    BatchPolicyKind::FairShare => "fairshare",
                 };
                 let _ = writeln!(s, "policy {policy}");
+                if b.walltime {
+                    let _ = writeln!(s, "walltime true");
+                }
                 for j in &b.jobs {
                     let _ = writeln!(
                         s,
-                        "bjob {} {} {} {} {} {} {} {}",
+                        "bjob {} {} {} {} {} {} {} {} {} {}",
                         j.id,
                         j.submit_ns,
                         j.nodes,
@@ -620,7 +653,9 @@ impl Scenario {
                         j.iters,
                         j.compute_ns,
                         j.bytes,
-                        j.est_runtime_ns
+                        j.est_runtime_ns,
+                        j.user,
+                        j.class
                     );
                 }
             }
@@ -752,6 +787,7 @@ impl Scenario {
                     "batch" => {
                         batch = Some(BatchSpec {
                             policy: BatchPolicyKind::Fcfs,
+                            walltime: false,
                             jobs: Vec::new(),
                         })
                     }
@@ -764,18 +800,37 @@ impl Scenario {
                         .policy = match rest {
                         "fcfs" => BatchPolicyKind::Fcfs,
                         "easy" => BatchPolicyKind::Easy,
+                        "conservative" => BatchPolicyKind::Conservative,
+                        "multiq" => BatchPolicyKind::MultiQueue,
+                        "fairshare" => BatchPolicyKind::FairShare,
                         s => return Err(format!("bad batch policy {s:?}")),
+                    };
+                }
+                "walltime" => {
+                    batch
+                        .as_mut()
+                        .ok_or("walltime outside batch workload")?
+                        .walltime = match rest {
+                        "true" => true,
+                        "false" => false,
+                        s => return Err(format!("bad walltime {s:?}")),
                     };
                 }
                 "bjob" => {
                     let batch = batch.as_mut().ok_or("bjob outside batch workload")?;
-                    let nums = rest
+                    let mut nums = rest
                         .split_whitespace()
                         .map(parse_num)
                         .collect::<Result<Vec<_>, _>>()?;
-                    let [id, submit_ns, nodes, rpn, iters, compute_ns, bytes, est]: [u64; 8] = nums
+                    // Pre-policy-zoo scenarios lack the trailing
+                    // user/class pair; both default to 0.
+                    if nums.len() == 8 {
+                        nums.extend([0, 0]);
+                    }
+                    let [id, submit_ns, nodes, rpn, iters, compute_ns, bytes, est, user, class]:
+                        [u64; 10] = nums
                         .try_into()
-                        .map_err(|_| format!("bjob needs 8 fields: {rest:?}"))?;
+                        .map_err(|_| format!("bjob needs 8 or 10 fields: {rest:?}"))?;
                     if nodes == 0 || rpn == 0 || iters == 0 {
                         return Err(format!("bjob {id} has a zero dimension"));
                     }
@@ -788,6 +843,8 @@ impl Scenario {
                         compute_ns,
                         bytes,
                         est_runtime_ns: est,
+                        user: user as u32,
+                        class: class as u32,
                     });
                 }
                 "ranks_per_node" => {

@@ -158,12 +158,21 @@ fn candidates(sc: &Scenario) -> Vec<(&'static str, Scenario)> {
             if changed {
                 push("halve batch computes", c);
             }
-            if b.policy == crate::scenario::BatchPolicyKind::Easy {
+            if b.policy != crate::scenario::BatchPolicyKind::Fcfs {
                 let mut c = sc.clone();
                 if let Workload::Batch(b) = &mut c.workload {
                     b.policy = crate::scenario::BatchPolicyKind::Fcfs;
                 }
-                push("easy to fcfs", c);
+                push("policy to fcfs", c);
+            }
+            if b.walltime {
+                // Adopting this step means the bug is not in the kill
+                // path — walltime enforcement was incidental.
+                let mut c = sc.clone();
+                if let Workload::Batch(b) = &mut c.workload {
+                    b.walltime = false;
+                }
+                push("drop walltime", c);
             }
         }
     }

@@ -55,11 +55,31 @@ parallel false
 fault none
 workload batch
 policy easy
-bjob 0 0 2 1 2 1000000 64 60000000
-bjob 1 1000000 1 1 2 1000000 64 60000000
+bjob 0 0 2 1 2 1000000 64 60000000 1 0
+bjob 1 1000000 1 1 2 1000000 64 60000000 0 1
 ";
     let sc = Scenario::from_text(text).expect("parses");
     assert_eq!(sc.to_text(), text);
+    // The pre-policy-zoo 8-field bjob form (no user/class) still
+    // parses, defaulting both to 0.
+    let legacy = text
+        .lines()
+        .map(|l| {
+            if let Some(stripped) = l.strip_prefix("bjob ") {
+                let cut: Vec<&str> = stripped.split_whitespace().take(8).collect();
+                format!("bjob {}", cut.join(" "))
+            } else {
+                l.to_string()
+            }
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+        + "\n";
+    let old = Scenario::from_text(&legacy).expect("8-field bjob parses");
+    let hpl_torture::Workload::Batch(b) = &old.workload else {
+        panic!("batch workload expected")
+    };
+    assert!(b.jobs.iter().all(|j| j.user == 0 && j.class == 0));
     let report = run_scenario(&sc, true, false);
     assert!(report.outcome.is_complete(), "outcome {:?}", report.outcome);
     assert!(report.violations.is_empty(), "{:?}", report.violations);

@@ -17,6 +17,12 @@
 #     policies (FCFS, EASY backfilling, 2x oversubscription) crossed
 #     with CFS and HPL kernels; per-cell mean wait, bounded slowdown,
 #     utilization and makespan, with determinism and ordering claims.
+#     Plus the SWF policy-zoo sweep over the vendored production trace
+#     (FCFS/EASY/conservative/multi-queue/fair-share + a walltime-
+#     enforcement cell), gated on bit-exact replay, zero conservative
+#     reservation violations, fair-share spread <= FCFS, and
+#     serial-vs-pooled bit equality. `batch --trace FILE.swf` replays
+#     an external SWF trace instead of the vendored fixture.
 #   BENCH_faults.json — the crash/churn sweep: the batch stream under a
 #     rising crash count with checkpoint/restart requeue; gates on
 #     zero lost jobs, zero occupancy violations, bit-identical replay

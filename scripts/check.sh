@@ -44,6 +44,9 @@ cargo run --release -q -p hpl-torture --bin torture -- --smoke --faults --skip-a
 echo "== batch scheduler smoke (two-level sweep completes) =="
 cargo run --release -q -p hpl-bench --bin batch -- --smoke --out target/BENCH_batch_smoke.json
 
+echo "== SWF smoke (parse vendored trace, run the policy zoo, audit invariants) =="
+cargo run --release -q -p hpl-bench --bin batch -- --swf-smoke
+
 echo "== fault sweep smoke (crash/requeue sweep completes) =="
 cargo run --release -q -p hpl-bench --bin faults -- --smoke --out target/BENCH_faults_smoke.json
 

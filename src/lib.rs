@@ -83,7 +83,7 @@
 //! | [`mpi`] | simulated MPI runtime and the perf/chrt/mpiexec launcher |
 //! | [`workloads`] | NAS benchmark models, noise microbenchmarks |
 //! | [`cluster`] | multi-node layer: analytic noise-resonance projection **and** mechanistic lockstep co-simulation of kernel nodes over a LogGP interconnect, with deterministic fault injection (`FaultPlan`: message loss, link degradation, node crash/drain/restart) |
-//! | [`batch`] | two-level scheduling: cluster batch queue, FCFS/EASY-backfill/oversubscribed allocation policies, multi-job lifecycle engine (`BatchRun`) with checkpoint/restart and crash requeue |
+//! | [`batch`] | two-level scheduling: cluster batch queue, the allocation-policy zoo (FCFS, EASY and conservative backfilling, multi-queue with aging, fair share, oversubscribed), SWF production-trace ingestion (`SwfTrace`/`SwfMap`/`TraceTransform`), multi-job lifecycle engine (`BatchRun`) with walltime enforcement, checkpoint/restart and crash requeue |
 //! | [`bench`] | run harness, `RunConfig`/`RunTable` plumbing, the `repro` binary |
 //! | [`torture`] | seeded scheduler fuzzing: random scenarios, online invariant oracle, differential event-loop checks, failure shrinking (`torture` binary) |
 
@@ -106,7 +106,8 @@ pub use hpl_workloads as workloads;
 pub mod prelude {
     pub use hpl_batch::{
         AllocPolicy, BatchConfig, BatchJob, BatchReport, BatchRun, BatchTrace, CheckpointSpec,
-        EasyBackfill, Fcfs, JobOutcome, Oversubscribed,
+        ConservativeBackfill, EasyBackfill, FairShare, Fcfs, JobOutcome, MultiQueue,
+        Oversubscribed, SwfMap, SwfTrace, TraceTransform, UserStats,
     };
     pub use hpl_bench::{run_many, run_once, NoiseKind, RunConfig, Scheduler};
     pub use hpl_cluster::{
