@@ -128,7 +128,11 @@ pub struct BatchReport {
     pub outcomes: Vec<JobOutcome>,
     /// First submit → last completion.
     pub makespan: SimDuration,
-    /// Σ(job nodes × job runtime) / (cluster nodes × makespan).
+    /// Busy-node time over capacity: the union of each node's job-
+    /// occupancy intervals, summed over nodes, divided by
+    /// (cluster nodes × makespan). A node hosting two co-resident jobs
+    /// (Oversubscribed/DFRS) counts its wall-clock time once, so the
+    /// figure never exceeds 1.0 by double-counting node-seconds.
     pub utilization: f64,
     /// Mean queue wait over all jobs.
     pub mean_wait: SimDuration,
@@ -237,6 +241,50 @@ fn job_spec(j: &BatchJob, id_base: u64, ckpt: Option<&CheckpointSpec>, skip_iter
     JobSpec::new(j.nprocs(), ops)
         .with_nodes(j.nodes)
         .with_id_base(id_base)
+}
+
+/// One job attempt's node occupancy: the nodes it held and the interval
+/// it held them for. Collected for every attempt — completed, killed,
+/// or crashed-and-requeued — so utilization can integrate true busy
+/// time per node.
+struct BusySpan {
+    placement: Vec<usize>,
+    from: SimTime,
+    until: SimTime,
+}
+
+/// Busy node-seconds: per node, the measure of the union of its
+/// occupancy intervals (co-resident jobs overlap instead of adding), of
+/// the first `nnodes` node indices, summed over nodes. This is the
+/// utilization numerator — with dedicated nodes it equals
+/// Σ(nodes × run), under oversubscription it is strictly smaller than
+/// that double-counting sum and can never exceed `nnodes × makespan`.
+fn busy_node_seconds(spans: &[BusySpan], nnodes: usize) -> f64 {
+    let mut per_node: Vec<Vec<(SimTime, SimTime)>> = vec![Vec::new(); nnodes];
+    for s in spans {
+        for &n in &s.placement {
+            per_node[n].push((s.from, s.until));
+        }
+    }
+    let mut total = 0.0f64;
+    for spans in per_node.iter_mut() {
+        spans.sort();
+        let mut cur: Option<(SimTime, SimTime)> = None;
+        for &(from, until) in spans.iter() {
+            match cur {
+                Some((cs, ce)) if from <= ce => cur = Some((cs, ce.max(until))),
+                Some((cs, ce)) => {
+                    total += ce.since(cs).as_secs_f64();
+                    cur = Some((from, until));
+                }
+                None => cur = Some((from, until)),
+            }
+        }
+        if let Some((cs, ce)) = cur {
+            total += ce.since(cs).as_secs_f64();
+        }
+    }
+    total
 }
 
 /// Time the job released its last node: the max `perf` exit time over
@@ -367,6 +415,7 @@ fn run_batch_inner(
     let mut submitted_at: Vec<(u32, SimTime)> = Vec::new();
     let mut running: Vec<Running> = Vec::new();
     let mut outcomes: Vec<JobOutcome> = Vec::new();
+    let mut busy_spans: Vec<BusySpan> = Vec::new();
     let mut next_id_base = ID_BASE_START;
     let mut max_queue_depth = 0u32;
     let mut max_node_occupancy = 0u32;
@@ -408,6 +457,13 @@ fn run_batch_inner(
         while i < running.len() {
             if cluster.job_failed(&running[i].handle) {
                 let r = running.swap_remove(i);
+                // The attempt occupied its nodes until this decision
+                // point (the crash landed inside the last window).
+                busy_spans.push(BusySpan {
+                    placement: r.handle.placement.clone(),
+                    from: r.started,
+                    until: now,
+                });
                 // Restart point: the last checkpoint every surviving
                 // node committed. Generations count commits *in this
                 // attempt*, on top of whatever the attempt already
@@ -443,6 +499,11 @@ fn run_batch_inner(
             }
             if let Some(ended) = job_end_time(cluster, &running[i].handle) {
                 let r = running.swap_remove(i);
+                busy_spans.push(BusySpan {
+                    placement: r.handle.placement.clone(),
+                    from: r.started,
+                    until: ended,
+                });
                 let wait = r.started.since(r.submitted);
                 let run = ended.since(r.started);
                 let floor = run.max(cfg.slowdown_tau);
@@ -549,7 +610,35 @@ fn run_batch_inner(
             });
         }
 
-        // 5. Occupancy audit against the policy's promise.
+        // 5. Fractional-share reallocation (DFRS): the policy may
+        //    recompute per-job CPU shares at its own period; each share
+        //    is published so observers and the torture oracle can audit
+        //    conservation. Slot-based policies return nothing here and
+        //    stay untouched bit for bit.
+        let share_view = ClusterView {
+            now,
+            occupancy: (0..nnodes)
+                .map(|n| cluster.active_jobs_on(n) as u32)
+                .collect(),
+            running: running
+                .iter()
+                .map(|r| RunningJob {
+                    id: r.job.id,
+                    placement: r.handle.placement.clone(),
+                    est_end: r.started + r.job.est_runtime(),
+                })
+                .collect(),
+            down: (0..nnodes).map(|n| !cluster.node_available(n)).collect(),
+        };
+        for (node, job, share_milli) in policy.share_update(&share_view) {
+            cluster.node_mut(0).publish(SchedEvent::JobShare {
+                job,
+                node: node as u32,
+                share_milli,
+            });
+        }
+
+        // 6. Occupancy audit against the policy's promise.
         let mut over = false;
         for n in 0..nnodes {
             let occ = cluster.active_jobs_on(n) as u32;
@@ -566,7 +655,7 @@ fn run_batch_inner(
             break;
         }
 
-        // 6. Advance virtual time one lockstep window.
+        // 7. Advance virtual time one lockstep window.
         if !cluster.step_window() {
             if running.is_empty() && !pending.is_empty() {
                 // Every queue drained while waiting for the next
@@ -593,10 +682,7 @@ fn run_batch_inner(
     let first_submit = outcomes.iter().map(|o| o.submitted).min().unwrap_or(epoch);
     let last_end = outcomes.iter().map(|o| o.ended).max().unwrap_or(epoch);
     let makespan = last_end.since(first_submit);
-    let node_seconds: f64 = outcomes
-        .iter()
-        .map(|o| o.nodes as f64 * o.run.as_secs_f64())
-        .sum();
+    let node_seconds = busy_node_seconds(&busy_spans, nnodes);
     let denom = nnodes as f64 * makespan.as_secs_f64();
     let utilization = if denom > 0.0 {
         node_seconds / denom
@@ -650,4 +736,48 @@ fn run_batch_inner(
         user_stats,
         fingerprint: cluster.state_fingerprint(),
     })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(placement: &[usize], from_ns: u64, until_ns: u64) -> BusySpan {
+        BusySpan {
+            placement: placement.to_vec(),
+            from: SimTime::from_nanos(from_ns),
+            until: SimTime::from_nanos(until_ns),
+        }
+    }
+
+    #[test]
+    fn busy_seconds_count_coresident_jobs_once() {
+        // Two jobs fully overlapping on node 0 (oversubscription): the
+        // node was busy 1 s, not 2 s.
+        let spans = [span(&[0], 0, 1_000_000_000), span(&[0], 0, 1_000_000_000)];
+        assert_eq!(busy_node_seconds(&spans, 2), 1.0);
+        // Partial overlap merges into one interval per node.
+        let spans = [
+            span(&[0], 0, 600_000_000),
+            span(&[0], 400_000_000, 1_000_000_000),
+        ];
+        assert_eq!(busy_node_seconds(&spans, 1), 1.0);
+        // Disjoint intervals add; a multi-node span counts every node.
+        let spans = [
+            span(&[0, 1], 0, 500_000_000),
+            span(&[0], 700_000_000, 900_000_000),
+        ];
+        assert_eq!(busy_node_seconds(&spans, 2), 1.2);
+        assert_eq!(busy_node_seconds(&[], 4), 0.0);
+    }
+
+    #[test]
+    fn busy_seconds_bound_oversubscribed_utilization() {
+        // The old Σ(nodes × run) numerator would report 2.0 node-
+        // seconds here against 1.0 of capacity (utilization 2.0); the
+        // interval union caps at the node's wall-clock time.
+        let spans = [span(&[0], 0, 1_000_000_000), span(&[0], 0, 1_000_000_000)];
+        let capacity = 1.0 * 1.0; // 1 node × 1 s makespan
+        assert!(busy_node_seconds(&spans, 1) <= capacity);
+    }
 }

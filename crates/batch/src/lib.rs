@@ -13,8 +13,10 @@
 //!   processes and a round-trippable `batch-trace v1` text format;
 //! * [`AllocPolicy`] — the pluggable allocation policy trait, with
 //!   [`Fcfs`], [`EasyBackfill`] (head-job reservation + audited shadow-
-//!   window backfilling) and [`Oversubscribed`] (two jobs per node, the
-//!   anti-dedicated-node contrast) implementations;
+//!   window backfilling), [`Oversubscribed`] (two jobs per node, the
+//!   anti-dedicated-node contrast) and [`Dfrs`] (fractional shares with
+//!   audited periodic reallocation, realised at the OS level by gang
+//!   rotation) implementations;
 //! * [`BatchRun`] — the job lifecycle engine (submit → queued →
 //!   allocated → running → completed, or failed → requeued) advanced
 //!   inside the cosim event loop, so arrivals, allocation decisions,
@@ -66,9 +68,9 @@ pub mod trace;
 
 pub use engine::{BatchConfig, BatchReport, BatchRun, CheckpointSpec, JobOutcome, UserStats};
 pub use policy::{
-    AllocPolicy, Allocation, BackfillDecision, ClusterView, ConservativeBackfill, EasyBackfill,
-    FairShare, FairShareDispatch, Fcfs, MultiQueue, Oversubscribed, QueuedJob, ReservationDecision,
-    RunningJob,
+    AllocPolicy, Allocation, BackfillDecision, ClusterView, ConservativeBackfill, Dfrs,
+    DfrsDecision, EasyBackfill, FairShare, FairShareDispatch, Fcfs, MultiQueue, Oversubscribed,
+    QueuedJob, ReservationDecision, RunningJob,
 };
 pub use swf::{SwfJob, SwfMap, SwfTrace, TraceTransform};
 pub use trace::{BatchJob, BatchTrace};

@@ -35,6 +35,12 @@
 //!   the least-occupied nodes. This deliberately breaks the paper's
 //!   dedicated-node assumption to measure what OS-level scheduling does
 //!   when the batch level stops protecting it.
+//! * [`Dfrs`] — dynamic fractional resource scheduling: oversubscribed
+//!   FCFS packing by remaining fraction plus *periodic reallocation* of
+//!   per-job fractional CPU shares (audited via [`DfrsDecision`]), the
+//!   batch-vs-fractional comparison of Casanova/Stillwell/Vivien. The
+//!   OS level realises the shares through gang rotation
+//!   (`KernelConfig::gang_epoch`).
 //!
 //! Audit trails are bounded: policies log into a fixed-capacity
 //! [`AuditLog`] ring (newest kept), with running totals and violation
@@ -175,6 +181,18 @@ pub trait AllocPolicy {
     /// start right now. `queue` is in arrival order and non-empty
     /// entries are never reordered by the engine.
     fn select(&mut self, queue: &[QueuedJob], view: &ClusterView) -> Option<Allocation>;
+
+    /// Recompute per-job fractional CPU shares, if this policy manages
+    /// any. Called once per decision point, after allocation; every
+    /// returned `(node, job, share_milli)` triple is published by the
+    /// engine as a `SchedEvent::JobShare` so observers and the torture
+    /// oracle can audit conservation. Slot-based policies (everything
+    /// except [`Dfrs`]) keep the default empty answer, which publishes
+    /// nothing and leaves their runs untouched bit for bit.
+    fn share_update(&mut self, view: &ClusterView) -> Vec<(usize, u32, u32)> {
+        let _ = view;
+        Vec::new()
+    }
 }
 
 /// First-come-first-served on dedicated nodes.
@@ -907,6 +925,190 @@ impl AllocPolicy for Oversubscribed {
     }
 }
 
+/// One audited DFRS reallocation (see [`Dfrs::decisions`]).
+///
+/// At every reallocation epoch the policy recomputes each running job's
+/// fractional CPU share on every node it occupies, in milli-units
+/// (1000 = one full node). The record keeps the complete share vector
+/// so property tests and the torture runner can check conservation
+/// after the fact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DfrsDecision {
+    /// Decision time (the epoch boundary that triggered it).
+    pub at: SimTime,
+    /// Reallocation epoch index (`now / period`).
+    pub epoch: u64,
+    /// `(node, job, share_milli)` triples, ascending by node then job
+    /// id.
+    pub shares: Vec<(usize, u32, u32)>,
+}
+
+impl DfrsDecision {
+    /// The DFRS conservation invariant for this decision: on every node
+    /// the shares handed out sum to at most 1000 milli — no node ever
+    /// promises more than one CPU's worth of fractional capacity.
+    pub fn respects_shares(&self) -> bool {
+        let mut per_node: BTreeMap<usize, u32> = BTreeMap::new();
+        for &(node, _, share) in &self.shares {
+            *per_node.entry(node).or_insert(0) += share;
+        }
+        per_node.values().all(|&sum| sum <= 1000)
+    }
+}
+
+/// Dynamic fractional resource scheduling (DFRS) — the fractional side
+/// of the Casanova/Stillwell/Vivien batch-vs-fractional comparison.
+///
+/// Allocation is FCFS with up to two jobs per node (occupancy limit 2,
+/// like [`Oversubscribed`]), but candidate nodes are packed by
+/// *remaining fraction*: the head job goes to the nodes with the most
+/// unpromised fractional capacity, ties broken by node index. On top of
+/// allocation the policy *reallocates* at a fixed period: each epoch
+/// every node's capacity is split evenly among its co-resident jobs
+/// (the yield-maximising split for symmetric CPU-bound jobs), with any
+/// remainder milli rotated by `(seed, epoch)` so no job is
+/// systematically favoured. Reallocations are pure functions of the
+/// cluster view ([`Dfrs::shares_for`]), audited ([`DfrsDecision`]) and
+/// handed to the engine through [`AllocPolicy::share_update`]; the OS
+/// level realises the shares via gang rotation
+/// (`KernelConfig::gang_epoch`).
+#[derive(Debug)]
+pub struct Dfrs {
+    period: SimDuration,
+    seed: u64,
+    last_epoch: Option<u64>,
+    decisions: AuditLog<DfrsDecision>,
+    violations: u64,
+}
+
+impl Dfrs {
+    /// Fresh policy reallocating every `period` (must be non-zero) with
+    /// remainder rotation keyed by `seed`.
+    pub fn new(period: SimDuration, seed: u64) -> Self {
+        assert!(
+            period > SimDuration::ZERO,
+            "DFRS reallocation period must be non-zero"
+        );
+        Dfrs {
+            period,
+            seed,
+            last_epoch: None,
+            decisions: AuditLog::default(),
+            violations: 0,
+        }
+    }
+
+    /// The retained reallocation decisions, oldest first — the audit
+    /// trail for the share-conservation property tests. Bounded to the
+    /// newest [`AUDIT_LOG_CAP`] entries; [`Self::decisions_total`] and
+    /// [`Self::share_violations`] see every decision ever taken.
+    pub fn decisions(&self) -> impl Iterator<Item = &DfrsDecision> {
+        self.decisions.iter()
+    }
+
+    /// Reallocation decisions ever taken (including ring-dropped ones).
+    pub fn decisions_total(&self) -> u64 {
+        self.decisions.total()
+    }
+
+    /// Decisions that violated [`DfrsDecision::respects_shares`] —
+    /// counted at decision time over the full run, so the invariant
+    /// stays checkable after the ring wraps. Must be 0.
+    pub fn share_violations(&self) -> u64 {
+        self.violations
+    }
+
+    /// Fractional capacity of a node still unpromised when `occ` jobs
+    /// occupy it, in milli-units: each resident job is promised half a
+    /// node under the occupancy-2 limit.
+    fn remaining_milli(occ: u32) -> u32 {
+        1000u32.saturating_sub(occ * 500)
+    }
+
+    /// The share vector for one epoch — a *pure* function of
+    /// `(seed, epoch, view)`, shared by the live policy and the property
+    /// tests that replay it: same inputs, same shares, bit for bit. Per
+    /// node the split is even (`1000 / k` milli each over `k` residents)
+    /// with the remainder milli assigned round-robin starting at job
+    /// index `(seed ^ epoch) % k`, so shares sum to exactly 1000 on
+    /// every occupied node.
+    pub fn shares_for(seed: u64, epoch: u64, view: &ClusterView) -> Vec<(usize, u32, u32)> {
+        let mut shares = Vec::new();
+        for node in 0..view.occupancy.len() {
+            let mut jobs: Vec<u32> = view
+                .running
+                .iter()
+                .filter(|r| r.placement.contains(&node))
+                .map(|r| r.id)
+                .collect();
+            if jobs.is_empty() {
+                continue;
+            }
+            jobs.sort_unstable();
+            let k = jobs.len();
+            let base = 1000 / k as u32;
+            let rem = 1000 % k;
+            let start = ((seed ^ epoch) % k as u64) as usize;
+            for (i, &job) in jobs.iter().enumerate() {
+                let extra = ((i + k - start) % k < rem) as u32;
+                shares.push((node, job, base + extra));
+            }
+        }
+        shares
+    }
+}
+
+impl AllocPolicy for Dfrs {
+    fn name(&self) -> &'static str {
+        "dfrs"
+    }
+
+    fn occupancy_limit(&self) -> u32 {
+        2
+    }
+
+    fn select(&mut self, queue: &[QueuedJob], view: &ClusterView) -> Option<Allocation> {
+        let head = queue.first()?;
+        let mut open = view.nodes_below(2);
+        if open.len() < head.nodes as usize {
+            return None;
+        }
+        // Most remaining fraction first (an empty node has 1000 milli
+        // unpromised, a half-shared one 500), ties by index — the
+        // fractional restatement of least-occupied-first packing.
+        open.sort_by_key(|&n| (1000 - Self::remaining_milli(view.occupancy[n]), n));
+        let mut placement = open[..head.nodes as usize].to_vec();
+        placement.sort_unstable();
+        Some(Allocation {
+            queue_idx: 0,
+            placement,
+        })
+    }
+
+    fn share_update(&mut self, view: &ClusterView) -> Vec<(usize, u32, u32)> {
+        let epoch = view.now.as_nanos() / self.period.as_nanos();
+        if self.last_epoch == Some(epoch) {
+            return Vec::new();
+        }
+        self.last_epoch = Some(epoch);
+        let shares = Self::shares_for(self.seed, epoch, view);
+        if shares.is_empty() {
+            // Idle cluster: nothing to reallocate, nothing to audit.
+            return shares;
+        }
+        let d = DfrsDecision {
+            at: view.now,
+            epoch,
+            shares: shares.clone(),
+        };
+        if !d.respects_shares() {
+            self.violations += 1;
+        }
+        self.decisions.push(d);
+        shares
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1248,5 +1450,80 @@ mod tests {
         let v = view(&[2, 2, 2, 2], vec![]);
         assert!(p.select(&queue, &v).is_none(), "cap 2 is a hard limit");
         assert_eq!(p.occupancy_limit(), 2);
+    }
+
+    fn rj(id: u32, placement: &[usize]) -> RunningJob {
+        RunningJob {
+            id,
+            placement: placement.to_vec(),
+            est_end: t(1_000_000),
+        }
+    }
+
+    #[test]
+    fn dfrs_packs_by_remaining_fraction() {
+        let mut p = Dfrs::new(SimDuration::from_millis(1), 7);
+        let queue = [qj(0, 2, 100)];
+        // Node 2 is full; nodes 1 and 3 have a whole node unpromised.
+        let v = view(&[1, 0, 2, 0], vec![]);
+        let a = p.select(&queue, &v).unwrap();
+        assert_eq!(a.placement, vec![1, 3], "most remaining fraction first");
+        let v = view(&[2, 2, 2, 2], vec![]);
+        assert!(p.select(&queue, &v).is_none(), "cap 2 is a hard limit");
+        assert_eq!(p.occupancy_limit(), 2);
+    }
+
+    #[test]
+    fn dfrs_shares_conserve_on_every_node() {
+        // Three co-residents force a remainder: 1000 = 3 × 333 + 1.
+        let running = vec![rj(10, &[0, 1]), rj(11, &[0]), rj(12, &[0])];
+        for epoch in 0..8u64 {
+            for seed in 0..8u64 {
+                let v = view(&[3, 1, 0], running.clone());
+                let shares = Dfrs::shares_for(seed, epoch, &v);
+                let mut per_node = BTreeMap::new();
+                for &(n, _, s) in &shares {
+                    *per_node.entry(n).or_insert(0u32) += s;
+                }
+                assert_eq!(per_node.get(&0), Some(&1000), "fractions conserve");
+                assert_eq!(per_node.get(&1), Some(&1000));
+                assert_eq!(per_node.get(&2), None, "idle node promises nothing");
+            }
+        }
+        // The remainder milli rotates with the epoch: job 10 doesn't
+        // absorb it every time.
+        let v = view(&[3, 1, 0], running);
+        let who_extra = |epoch| {
+            Dfrs::shares_for(0, epoch, &v)
+                .iter()
+                .find(|&&(n, _, s)| n == 0 && s == 334)
+                .map(|&(_, j, _)| j)
+                .unwrap()
+        };
+        assert_ne!(who_extra(0), who_extra(1), "remainder rotates by epoch");
+    }
+
+    #[test]
+    fn dfrs_reallocation_is_pure_and_periodic() {
+        let mut a = Dfrs::new(SimDuration::from_nanos(1_000), 42);
+        let mut b = Dfrs::new(SimDuration::from_nanos(1_000), 42);
+        let running = vec![rj(1, &[0]), rj(2, &[0])];
+        let mut v = view(&[2, 0], running);
+        v.now = t(1_500);
+        let sa = a.share_update(&v);
+        assert!(!sa.is_empty(), "first epoch crossing reallocates");
+        assert_eq!(sa, b.share_update(&v), "same seed + view, same shares");
+        v.now = t(1_900);
+        assert!(
+            a.share_update(&v).is_empty(),
+            "no reallocation within an epoch"
+        );
+        v.now = t(2_100);
+        assert!(!a.share_update(&v).is_empty(), "next epoch reallocates");
+        assert_eq!(a.decisions_total(), 2);
+        assert_eq!(a.share_violations(), 0);
+        for d in a.decisions() {
+            assert!(d.respects_shares());
+        }
     }
 }

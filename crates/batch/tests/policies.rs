@@ -3,8 +3,8 @@
 //! accounting, each driven through the full co-simulated engine.
 
 use hpl_batch::{
-    BatchJob, BatchRun, BatchTrace, ConservativeBackfill, FairShare, Fcfs, MultiQueue, SwfMap,
-    SwfTrace, TraceTransform,
+    BatchJob, BatchRun, BatchTrace, ConservativeBackfill, Dfrs, FairShare, Fcfs, MultiQueue,
+    SwfMap, SwfTrace, TraceTransform,
 };
 use hpl_cluster::{Cluster, Interconnect, NetConfig};
 use hpl_core::HplClass;
@@ -19,6 +19,25 @@ fn build_cluster(nodes: usize, seed: u64) -> Cluster {
         .nodes_with(nodes, move |i| {
             NodeBuilder::new(Topology::smp(2))
                 .with_config(KernelConfig::hpl())
+                .with_seed(Rng::for_run(seed, i as u64).next_u64())
+                .with_hpc_class(Box::new(HplClass::new()))
+                .build()
+        })
+        .fabric(Interconnect::flat(nodes, NetConfig::default()))
+        .build();
+    for i in 0..nodes {
+        cluster.node_mut(i).run_for(SimDuration::from_millis(100));
+    }
+    cluster
+}
+
+fn build_gang_cluster(nodes: usize, seed: u64, epoch: SimDuration) -> Cluster {
+    let mut cluster = Cluster::builder()
+        .nodes_with(nodes, move |i| {
+            let mut cfg = KernelConfig::hpl();
+            cfg.gang_epoch = Some(epoch);
+            NodeBuilder::new(Topology::smp(2))
+                .with_config(cfg)
                 .with_seed(Rng::for_run(seed, i as u64).next_u64())
                 .with_hpc_class(Box::new(HplClass::new()))
                 .build()
@@ -174,6 +193,43 @@ fn fairshare_audits_hold_and_balance_users() {
         "the sparse user must not be starved by the flooding user: light {} heavy {}",
         light.mean_bounded_slowdown,
         heavy.mean_bounded_slowdown
+    );
+}
+
+/// DFRS through the full gang-rotating engine on a real workload
+/// slice: every reallocation conserves per-node shares, occupancy
+/// stays within the fractional limit, the busy-node utilization
+/// integral stays physical (≤ 1.0), and the whole run — shares
+/// included — is deterministic bit for bit.
+#[test]
+fn dfrs_shares_conserve_and_runs_are_deterministic() {
+    let trace = swf_slice(8, 25);
+    let mk = || {
+        let mut cluster = build_gang_cluster(8, 2024, SimDuration::from_micros(500));
+        let mut policy = Dfrs::new(SimDuration::from_millis(1), 2024);
+        let report = BatchRun::new(&trace)
+            .run(&mut cluster, &mut policy)
+            .expect("completes");
+        let decisions: Vec<_> = policy.decisions().cloned().collect();
+        (report, decisions, policy.share_violations())
+    };
+    let (a, da, va) = mk();
+    let (b, db, _) = mk();
+    assert_eq!(a, b, "same seed, same report, bit for bit");
+    assert_eq!(da, db, "reallocation trail is deterministic too");
+    assert_eq!(a.outcomes.len(), 25);
+    assert_eq!(a.jobs_lost, 0);
+    assert_eq!(a.occupancy_violations, 0);
+    assert!(a.max_node_occupancy <= 2, "fractional limit is 2 jobs/node");
+    assert_eq!(va, 0, "per-node share sums stay <= 1000 milli");
+    assert!(!da.is_empty(), "audit trail populated");
+    for d in &da {
+        assert!(d.respects_shares(), "{d:?}");
+    }
+    assert!(
+        a.utilization <= 1.0,
+        "busy-node integral can't exceed capacity: {}",
+        a.utilization
     );
 }
 

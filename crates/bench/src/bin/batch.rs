@@ -16,22 +16,31 @@
 //! aging, and fair share — on the HPL kernel, plus one walltime-
 //! enforcement cell under honest (undershooting) user estimates.
 //!
+//! Part 1 also sweeps the gang-rotation cells: `oversub` and `dfrs`
+//! under the HPL kernel with `KernelConfig::gang_epoch` set, so
+//! co-resident jobs rotate in synchronized epochs instead of
+//! serialising behind the HPL class's run-to-block order.
+//!
 //! Gated claims (non-smoke): the synthetic run is deterministic, no
 //! cell violates its policy's occupancy limit, EASY does not raise
 //! mean wait over FCFS, the HPL kernel does not stretch the makespan
-//! over CFS on dedicated nodes; and on the SWF sweep — bit-exact
-//! replay, zero conservative reservation violations, fair-share
-//! user-slowdown spread no wider than FCFS's, serial-vs-pooled bit
-//! equality on an SWF cell, and walltime kills that fire without
-//! losing jobs or leaking occupancy.
+//! over CFS on dedicated nodes, DFRS keeps mean bounded slowdown at or
+//! below EASY's, gang rotation closes the oversub×HPL makespan gap to
+//! within 20% of CFS (the cell Claim 4 deliberately could not cover),
+//! and the DFRS cell replays bit for bit with zero share-conservation
+//! violations; and on the SWF sweep — bit-exact replay, zero
+//! conservative reservation violations, fair-share user-slowdown
+//! spread no wider than FCFS's, serial-vs-pooled bit equality on an
+//! SWF cell, and walltime kills that fire without losing jobs or
+//! leaking occupancy.
 //!
 //! Writes `BENCH_batch.json` in the current directory.
 //!
-//! Usage: `batch [--quick|--smoke|--swf-smoke] [--trace FILE] [--out PATH]`
+//! Usage: `batch [--quick|--smoke|--swf-smoke|--dfrs-smoke] [--trace FILE] [--out PATH]`
 
 use hpl_batch::{
-    AllocPolicy, BatchReport, BatchRun, BatchTrace, ConservativeBackfill, EasyBackfill, FairShare,
-    Fcfs, MultiQueue, Oversubscribed, SwfMap, SwfTrace, TraceTransform,
+    AllocPolicy, BatchReport, BatchRun, BatchTrace, ConservativeBackfill, Dfrs, EasyBackfill,
+    FairShare, Fcfs, MultiQueue, Oversubscribed, SwfMap, SwfTrace, TraceTransform,
 };
 use hpl_cluster::{Cluster, CosimConfig, Interconnect, NetConfig};
 use hpl_core::HplClass;
@@ -43,17 +52,35 @@ use hpl_topology::Topology;
 
 const CPUS_PER_NODE: u32 = 2;
 
+/// Gang-rotation epoch for the gang cells (see
+/// `KernelConfig::gang_epoch`).
+const GANG_EPOCH: SimDuration = SimDuration::from_micros(500);
+
+/// DFRS reallocation period.
+const DFRS_PERIOD: SimDuration = SimDuration::from_millis(1);
+
 /// The vendored 200-job SWF fixture (also used by the crate tests).
 const SWF_FIXTURE: &str = include_str!("../../../batch/tests/data/sp2_sample.swf");
 
 fn build_cluster(nodes: u32, hpc: bool, seed: u64, cosim: CosimConfig) -> Cluster {
+    build_gang_cluster(nodes, hpc, seed, cosim, None)
+}
+
+fn build_gang_cluster(
+    nodes: u32,
+    hpc: bool,
+    seed: u64,
+    cosim: CosimConfig,
+    gang: Option<SimDuration>,
+) -> Cluster {
     let mut cluster = Cluster::builder()
         .nodes_with(nodes as usize, move |i| {
-            let kc = if hpc {
+            let mut kc = if hpc {
                 KernelConfig::hpl()
             } else {
                 KernelConfig::default()
             };
+            kc.gang_epoch = gang;
             let mut b = NodeBuilder::new(Topology::smp(CPUS_PER_NODE))
                 .with_config(kc)
                 .with_noise(NoiseProfile::standard(CPUS_PER_NODE))
@@ -72,11 +99,12 @@ fn build_cluster(nodes: u32, hpc: bool, seed: u64, cosim: CosimConfig) -> Cluste
     cluster
 }
 
-fn make_policy(name: &str) -> Box<dyn AllocPolicy> {
+fn make_policy(name: &str, seed: u64) -> Box<dyn AllocPolicy> {
     match name {
         "fcfs" => Box::new(Fcfs),
         "easy" => Box::new(EasyBackfill::new()),
         "oversub" => Box::new(Oversubscribed),
+        "dfrs" => Box::new(Dfrs::new(DFRS_PERIOD, seed)),
         "conservative" => Box::new(ConservativeBackfill::new()),
         "multiq" => Box::new(MultiQueue::default()),
         "fairshare" => Box::new(FairShare::new()),
@@ -85,11 +113,35 @@ fn make_policy(name: &str) -> Box<dyn AllocPolicy> {
 }
 
 fn run_cell(trace: &BatchTrace, policy: &str, hpc: bool, nodes: u32, seed: u64) -> BatchReport {
-    let mut cluster = build_cluster(nodes, hpc, seed, CosimConfig::serial());
-    BatchRun::new(trace)
-        .mode(if hpc { SchedMode::Hpc } else { SchedMode::Cfs })
-        .run(&mut cluster, make_policy(policy).as_mut())
-        .unwrap_or_else(|o| panic!("batch cell {policy}/{hpc} did not complete: {o:?}"))
+    run_gang_cell(trace, policy, hpc, nodes, seed, None).0
+}
+
+/// Run one cell, optionally with gang rotation, returning the report
+/// plus the DFRS share-violation count (0 for other policies).
+fn run_gang_cell(
+    trace: &BatchTrace,
+    policy: &str,
+    hpc: bool,
+    nodes: u32,
+    seed: u64,
+    gang: Option<SimDuration>,
+) -> (BatchReport, u64) {
+    let mut cluster = build_gang_cluster(nodes, hpc, seed, CosimConfig::serial(), gang);
+    let mode = if hpc { SchedMode::Hpc } else { SchedMode::Cfs };
+    if policy == "dfrs" {
+        let mut p = Dfrs::new(DFRS_PERIOD, seed);
+        let report = BatchRun::new(trace)
+            .mode(mode)
+            .run(&mut cluster, &mut p)
+            .unwrap_or_else(|o| panic!("batch cell dfrs/{hpc} did not complete: {o:?}"));
+        (report, p.share_violations())
+    } else {
+        let report = BatchRun::new(trace)
+            .mode(mode)
+            .run(&mut cluster, make_policy(policy, seed).as_mut())
+            .unwrap_or_else(|o| panic!("batch cell {policy}/{hpc} did not complete: {o:?}"));
+        (report, 0)
+    }
 }
 
 struct Cell {
@@ -137,6 +189,7 @@ fn main() {
     let quick = args.iter().any(|a| a == "--quick");
     let smoke = args.iter().any(|a| a == "--smoke");
     let swf_smoke = args.iter().any(|a| a == "--swf-smoke");
+    let dfrs_smoke = args.iter().any(|a| a == "--dfrs-smoke");
     let trace_file = args
         .iter()
         .position(|a| a == "--trace")
@@ -148,6 +201,52 @@ fn main() {
         .unwrap_or_else(|| "BENCH_batch.json".into());
 
     let seed = 0xBA7C;
+
+    // ---------- DFRS smoke: gang cell twice → bit-exact → exit ----------
+    if dfrs_smoke {
+        let nodes = 4u32;
+        let trace = BatchTrace::synthetic(seed, 12, nodes);
+        eprintln!(
+            "dfrs smoke: {nodes} nodes, {} jobs, gang epoch {:?}, period {:?}",
+            trace.jobs.len(),
+            GANG_EPOCH,
+            DFRS_PERIOD
+        );
+        let (a, va) = run_gang_cell(&trace, "dfrs", true, nodes, seed, Some(GANG_EPOCH));
+        let (b, _) = run_gang_cell(&trace, "dfrs", true, nodes, seed, Some(GANG_EPOCH));
+        eprintln!(
+            "         dfrs: wait {:>8.3}ms | slowdown {:>6.2} | util {:>5.3} | makespan {:>8.3}ms",
+            a.mean_wait.as_secs_f64() * 1e3,
+            a.mean_bounded_slowdown,
+            a.utilization,
+            a.makespan.as_secs_f64() * 1e3,
+        );
+        let mut ok = true;
+        if a != b {
+            eprintln!("FAIL: dfrs gang replay diverged");
+            ok = false;
+        }
+        if va > 0 {
+            eprintln!("FAIL: {va} share-conservation violations");
+            ok = false;
+        }
+        if a.occupancy_violations > 0 || a.jobs_lost > 0 {
+            eprintln!(
+                "FAIL: occupancy_violations {} jobs_lost {}",
+                a.occupancy_violations, a.jobs_lost
+            );
+            ok = false;
+        }
+        if a.utilization > 1.0 {
+            eprintln!("FAIL: utilization {} exceeds capacity", a.utilization);
+            ok = false;
+        }
+        if !ok {
+            std::process::exit(1);
+        }
+        eprintln!("dfrs smoke: bit-exact replay, shares conserved, occupancy clean");
+        return;
+    }
 
     // ---------- SWF source ----------
     let swf_text = match &trace_file {
@@ -272,6 +371,34 @@ fn main() {
         }
     }
 
+    // Gang-rotation cells: oversubscription and DFRS on the HPL kernel
+    // with the gang epoch armed, so co-resident jobs rotate instead of
+    // serialising.
+    let mut dfrs_share_violations = 0u64;
+    if !smoke {
+        for policy in ["oversub", "dfrs"] {
+            let (report, sv) = run_gang_cell(&trace, policy, true, nodes, seed, Some(GANG_EPOCH));
+            eprintln!(
+                "{policy:>7}/hpl-gang: wait {:>8.3}ms | slowdown {:>6.2} (max {:>6.2}) | \
+                 util {:>5.3} | makespan {:>8.3}ms | depth {}",
+                report.mean_wait.as_secs_f64() * 1e3,
+                report.mean_bounded_slowdown,
+                report.max_bounded_slowdown(),
+                report.utilization,
+                report.makespan.as_secs_f64() * 1e3,
+                report.max_queue_depth
+            );
+            if policy == "dfrs" {
+                dfrs_share_violations = sv;
+            }
+            cells.push(Cell {
+                policy,
+                kernel: "hpl-gang",
+                report,
+            });
+        }
+    }
+
     // Claim 1: determinism — replaying one cell reproduces its report.
     let replay = run_cell(&trace, "easy", true, nodes, seed);
     let deterministic = cells
@@ -314,9 +441,43 @@ fn main() {
         .iter()
         .all(|p| makespan_of(p, "hpl") <= makespan_of(p, "cfs") * 1.05);
 
+    // Claim 5: DFRS under gang rotation keeps mean bounded slowdown at
+    // or below EASY's on the HPL kernel — the fractional policy's
+    // shorter waits must not be eaten by co-residency stretch.
+    let slowdown_of = |policy: &str, kernel: &str| {
+        cells
+            .iter()
+            .find(|c| c.policy == policy && c.kernel == kernel)
+            .map(|c| c.report.mean_bounded_slowdown)
+            .unwrap_or(f64::NAN)
+    };
+    let dfrs_slowdown_ok =
+        smoke || slowdown_of("dfrs", "hpl-gang") <= slowdown_of("easy", "hpl") * 1.05;
+
+    // Claim 6: gang rotation closes the oversub×HPL gap Claim 4 could
+    // not cover: with synchronized epochs the HPL kernel's
+    // 2-jobs-per-node makespan lands within 20% of CFS on the same
+    // stream (without rotation the HPL class serialises co-residents).
+    let oversub_gang_ok =
+        smoke || makespan_of("oversub", "hpl-gang") <= makespan_of("oversub", "cfs") * 1.2;
+
+    // Claim 7: the DFRS gang cell replays bit for bit and conserved
+    // per-node shares at every reallocation.
+    let dfrs_deterministic = smoke || {
+        let (replay, _) = run_gang_cell(&trace, "dfrs", true, nodes, seed, Some(GANG_EPOCH));
+        dfrs_share_violations == 0
+            && cells
+                .iter()
+                .find(|c| c.policy == "dfrs" && c.kernel == "hpl-gang")
+                .map(|c| c.report == replay)
+                .unwrap_or(false)
+    };
+
     eprintln!(
         "deterministic {deterministic} | occupancy_ok {occupancy_ok} | \
-         easy_wait_ok {easy_ok} | hpl_makespan_ok {hpl_ok}"
+         easy_wait_ok {easy_ok} | hpl_makespan_ok {hpl_ok} | \
+         dfrs_slowdown_ok {dfrs_slowdown_ok} | oversub_gang_ok {oversub_gang_ok} | \
+         dfrs_deterministic {dfrs_deterministic}"
     );
 
     // ---------- Part 2: SWF policy-zoo sweep (HPL kernel) ----------
@@ -451,6 +612,11 @@ fn main() {
     json.push_str(&format!("  \"occupancy_ok\": {occupancy_ok},\n"));
     json.push_str(&format!("  \"easy_wait_ok\": {easy_ok},\n"));
     json.push_str(&format!("  \"hpl_makespan_ok\": {hpl_ok},\n"));
+    json.push_str(&format!("  \"dfrs_slowdown_ok\": {dfrs_slowdown_ok},\n"));
+    json.push_str(&format!("  \"oversub_gang_ok\": {oversub_gang_ok},\n"));
+    json.push_str(&format!(
+        "  \"dfrs_deterministic\": {dfrs_deterministic},\n"
+    ));
     json.push_str("  \"cells\": [\n");
     for (i, c) in cells.iter().enumerate() {
         json.push_str(&format!(
@@ -502,6 +668,9 @@ fn main() {
         && occupancy_ok
         && easy_ok
         && hpl_ok
+        && dfrs_slowdown_ok
+        && oversub_gang_ok
+        && dfrs_deterministic
         && swf_deterministic
         && swf_conservative_ok
         && swf_fairshare_ok

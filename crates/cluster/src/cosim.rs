@@ -579,7 +579,17 @@ impl Cluster {
                 node.register_net_channel(chan);
             }
             launched_at.push(node.now());
-            perf_pids.push(spawn_job_tree(node, job, mode, j as u32));
+            let root = spawn_job_tree(node, job, mode, j as u32);
+            if node.cfg.gang_epoch.is_some() {
+                // Gang co-scheduling: every rank tree of this job shares
+                // one gang id — the job's id base, which the
+                // disjoint-id-range assertion above makes unique among
+                // co-resident jobs — so each node's gang controller
+                // rotates the same job in the same absolute-time epoch
+                // window without any cross-node messages.
+                node.gang_enroll(root, job.id_base);
+            }
+            perf_pids.push(root);
         }
         let job_id = self.jobs.len();
         let incarnations = placement.iter().map(|&n| self.incarnation[n]).collect();

@@ -21,6 +21,12 @@ use std::collections::VecDeque;
 pub struct HplClass {
     rqs: Vec<VecDeque<Pid>>,
     fault_wakeup_migrate: bool,
+    /// Gang rotation state pushed by the node's gang controller. While
+    /// `Some(g)`, only tasks of gang `g` (or gangless tasks) may be
+    /// picked; everyone else waits queued for their epoch. `None` (the
+    /// default, and the permanent state when `gang_epoch` is unset)
+    /// restores plain round-robin and its exact pick order.
+    gang_active: Option<u64>,
 }
 
 impl HplClass {
@@ -63,6 +69,15 @@ impl HplClass {
         }
         load
     }
+
+    /// May `task` run under the current gang rotation? Gangless tasks
+    /// (mpiexec trees launched without enrollment) always may.
+    fn gang_eligible(&self, task: &Task) -> bool {
+        match self.gang_active {
+            None => true,
+            Some(g) => task.gang.is_none() || task.gang == Some(g),
+        }
+    }
 }
 
 impl SchedClass for HplClass {
@@ -89,8 +104,15 @@ impl SchedClass for HplClass {
         debug_assert_eq!(rq.len() + 1, before, "{} not queued on {cpu}", task.pid);
     }
 
-    fn pick_next(&mut self, cpu: CpuId, _tasks: &TaskTable) -> Option<Pid> {
-        self.rqs[cpu.index()].pop_front()
+    fn pick_next(&mut self, cpu: CpuId, tasks: &TaskTable) -> Option<Pid> {
+        if self.gang_active.is_none() {
+            // No rotation: the exact historical pop-front path.
+            return self.rqs[cpu.index()].pop_front();
+        }
+        let idx = self.rqs[cpu.index()]
+            .iter()
+            .position(|&p| self.gang_eligible(tasks.get(p)))?;
+        self.rqs[cpu.index()].remove(idx)
     }
 
     fn put_prev(&mut self, cpu: CpuId, task: &mut Task, ctx: &SchedCtx<'_>) {
@@ -216,6 +238,15 @@ impl SchedClass for HplClass {
         } else {
             prev
         }
+    }
+
+    fn gang_epoch(&mut self, active: Option<u64>) -> bool {
+        let changed = self.gang_active != active;
+        self.gang_active = active;
+        // Any switch can change which queued task is eligible (and can
+        // strand the running task outside its epoch), so ask for a
+        // reschedule whenever the value moved.
+        changed
     }
 
     // No periodic_balance, idle_balance, or push_overload overrides: the
@@ -401,6 +432,42 @@ mod tests {
         assert!(hpl.tick_skippable(CpuId(0), tt.get(a)));
         hpl.enqueue(CpuId(0), tt.get_mut(b), &ctx, false);
         assert!(!hpl.tick_skippable(CpuId(0), tt.get(a)));
+    }
+
+    #[test]
+    fn gang_rotation_filters_picks() {
+        let fx = Fixture::new();
+        let mut hpl = HplClass::new();
+        hpl.init(8);
+        let mut tt = TaskTable::new();
+        let a = hpc_task(&mut tt, "a");
+        let b = hpc_task(&mut tt, "b");
+        let m = hpc_task(&mut tt, "m"); // gangless (mpiexec-style)
+        tt.get_mut(a).gang = Some(1);
+        tt.get_mut(b).gang = Some(2);
+        let ctx = fx.ctx();
+        hpl.enqueue(CpuId(0), tt.get_mut(a), &ctx, false);
+        hpl.enqueue(CpuId(0), tt.get_mut(b), &ctx, false);
+        hpl.enqueue(CpuId(0), tt.get_mut(m), &ctx, false);
+        // Rotation announcing a change requests a reschedule; repeating
+        // the same active gang does not.
+        assert!(hpl.gang_epoch(Some(2)));
+        assert!(!hpl.gang_epoch(Some(2)));
+        // Gang 2's epoch: a (gang 1) is passed over, b runs first, and
+        // the gangless task is always eligible.
+        assert_eq!(hpl.pick_next(CpuId(0), &tt), Some(b));
+        assert_eq!(hpl.pick_next(CpuId(0), &tt), Some(m));
+        assert_eq!(hpl.pick_next(CpuId(0), &tt), None);
+        assert_eq!(hpl.nr_queued(CpuId(0)), 1, "a stays queued for its turn");
+        // Gang 1's epoch: a becomes pickable again.
+        assert!(hpl.gang_epoch(Some(1)));
+        assert_eq!(hpl.pick_next(CpuId(0), &tt), Some(a));
+        // Rotation over: plain pop-front order.
+        assert!(hpl.gang_epoch(None));
+        hpl.enqueue(CpuId(0), tt.get_mut(b), &ctx, false);
+        hpl.enqueue(CpuId(0), tt.get_mut(a), &ctx, false);
+        assert_eq!(hpl.pick_next(CpuId(0), &tt), Some(b));
+        assert_eq!(hpl.pick_next(CpuId(0), &tt), Some(a));
     }
 
     #[test]

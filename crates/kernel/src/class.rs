@@ -245,6 +245,16 @@ pub trait SchedClass: Send {
     ) {
         let _ = (cpu, ctx, snap, tasks, plans);
     }
+
+    /// The node's gang controller changed the active gang (`None` =
+    /// rotation ended). A class that restricts eligibility by gang
+    /// records the new value here; returns true if the change can
+    /// affect which task this class would pick (the node then requests
+    /// a reschedule on every CPU). Default: ignore gangs.
+    fn gang_epoch(&mut self, active: Option<u64>) -> bool {
+        let _ = active;
+        false
+    }
 }
 
 #[cfg(test)]

@@ -64,6 +64,15 @@ pub struct KernelConfig {
     /// Round-robin timeslice of the HPL class. The paper uses a simple
     /// round-robin run queue; with one task per CPU it rarely matters.
     pub hpc_rr_timeslice: SimDuration,
+    /// Gang co-scheduling epoch (DFRS-style). When set, co-resident
+    /// gangs rotate at absolute virtual times `k * gang_epoch`: the
+    /// active gang at time `t` is `sorted_gangs[(t / epoch) % count]`,
+    /// so every node that shares the epoch length — and, under lockstep
+    /// co-simulation, the same virtual clock — switches the same job's
+    /// ranks in the same window without exchanging any messages.
+    /// Epoch events are armed only while two or more gangs are enrolled;
+    /// runs without gang overlap are byte-identical to `None`.
+    pub gang_epoch: Option<SimDuration>,
 
     // ---- balancing ---------------------------------------------------
     /// Balancing mode (see [`BalanceMode`]).
@@ -118,6 +127,7 @@ impl Default for KernelConfig {
 
             rt_rr_timeslice: SimDuration::from_millis(100),
             hpc_rr_timeslice: SimDuration::from_millis(100),
+            gang_epoch: None,
 
             balance: BalanceMode::Full,
             balance_cost: SimDuration::from_micros(5),
@@ -184,6 +194,9 @@ impl KernelConfig {
         if self.min_granularity > self.sched_latency {
             return Err("min_granularity exceeds sched_latency".into());
         }
+        if self.gang_epoch.is_some_and(|e| e.is_zero()) {
+            return Err("gang_epoch must be non-zero when set".into());
+        }
         Ok(())
     }
 }
@@ -222,5 +235,11 @@ mod tests {
         let mut c = KernelConfig::default();
         c.cache_cold_factor = 0.0;
         assert!(c.validate().is_err());
+
+        let mut c = KernelConfig::default();
+        c.gang_epoch = Some(SimDuration::ZERO);
+        assert!(c.validate().is_err());
+        c.gang_epoch = Some(SimDuration::from_millis(5));
+        assert!(c.validate().is_ok());
     }
 }

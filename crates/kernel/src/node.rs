@@ -50,6 +50,11 @@ enum Ev {
     },
     TimerWake(Pid),
     Irq,
+    /// A gang-rotation epoch boundary: re-derive the active gang from
+    /// the virtual clock and ask gang-aware classes to reschedule.
+    /// Armed only while [`KernelConfig::gang_epoch`] is set and two or
+    /// more gangs are enrolled.
+    GangEpoch,
     /// A cross-node message arriving from the cluster interconnect:
     /// deposit `tokens` on `chan` at this event's time. `sent_at` and
     /// `queued_ns` ride along purely for observability (latency
@@ -189,6 +194,9 @@ impl NodeBuilder {
             ff_start: vec![SimTime::ZERO; ncpus],
             net_external: std::collections::HashSet::new(),
             outbound: Vec::new(),
+            gang_refs: std::collections::BTreeMap::new(),
+            gang_active: None,
+            gang_armed: false,
             events: 0,
         };
         // Stagger per-CPU ticks across the tick period. The fast path
@@ -314,6 +322,15 @@ pub struct Node {
     net_external: std::collections::HashSet<ChanId>,
     /// Captured outbound messages awaiting cluster routing.
     outbound: Vec<NetMsg>,
+    /// Live gang membership (gang id → enrolled live tasks). `BTreeMap`
+    /// so the rotation order is the sorted gang-id order — a pure
+    /// function of the co-resident set, identical on every node that
+    /// hosts the same gangs.
+    gang_refs: std::collections::BTreeMap<u64, u32>,
+    /// Gang currently allowed to run (`None` = no rotation in force).
+    gang_active: Option<u64>,
+    /// Whether an [`Ev::GangEpoch`] is pending in the event heap.
+    gang_armed: bool,
     /// Events processed (dispatched + batch-fired ticks).
     events: u64,
 }
@@ -893,6 +910,7 @@ impl Node {
         };
         let parent_cpu = parent.map_or(CpuId(0), |p| self.tasks.get(p).cpu);
         let parent_vruntime = parent.map_or(0, |p| self.tasks.get(p).vruntime);
+        let parent_gang = parent.and_then(|p| self.tasks.get(p).gang);
         let pid = self.tasks.alloc(|pid| {
             let mut t = Task::new(pid, spec.name.clone(), spec.policy, affinity);
             t.program = Some(spec.program);
@@ -900,10 +918,16 @@ impl Node {
             t.tag = spec.tag;
             t.cpu = parent_cpu;
             t.vruntime = parent_vruntime;
+            t.gang = parent_gang;
             t
         });
         if let Some(p) = parent {
             self.tasks.get_mut(p).alive_children += 1;
+        }
+        if let Some(g) = parent_gang {
+            // The parent holds a reference, so the gang set (and with it
+            // the rotation) is unchanged: bump the count only.
+            *self.gang_refs.entry(g).or_insert(0) += 1;
         }
         self.counters.add_sw(parent_cpu, SwEvent::Forks, 1);
         // Fork placement through the class's fork balancer.
@@ -1014,6 +1038,7 @@ impl Node {
             }
             self.sync.forget(pid);
             self.cache.forget(pid);
+            self.gang_release(pid);
             if let Some(pp) = self.tasks.get(pid).parent {
                 let p = self.tasks.get_mut(pp);
                 p.alive_children = p.alive_children.saturating_sub(1);
@@ -1046,6 +1071,7 @@ impl Node {
         }
         self.sync.forget(pid);
         self.cache.forget(pid);
+        self.gang_release(pid);
         let parent = self.tasks.get(pid).parent;
         if let Some(pp) = parent {
             let p = self.tasks.get_mut(pp);
@@ -1354,6 +1380,110 @@ impl Node {
             }
             TaskState::Dead => {}
         }
+    }
+
+    // ---------------------------------------------------------------
+    // Gang co-scheduling
+    // ---------------------------------------------------------------
+
+    /// Enroll `pid` — and, through fork inheritance, every descendant
+    /// it creates from now on — in gang `gang`. Harness API, called
+    /// between events: the cluster driver enrolls each job's local
+    /// root when [`KernelConfig::gang_epoch`] is set, so all of a
+    /// job's ranks on a node share one gang id (the job id). Without
+    /// the config knob the tag is inert bookkeeping.
+    pub fn gang_enroll(&mut self, pid: Pid, gang: u64) {
+        if self.tasks.get(pid).gang == Some(gang) {
+            return;
+        }
+        self.gang_release(pid);
+        self.tasks.get_mut(pid).gang = Some(gang);
+        *self.gang_refs.entry(gang).or_insert(0) += 1;
+        self.gang_recompute();
+        self.drain();
+    }
+
+    /// The gang currently allowed to run (`None` = no rotation in
+    /// force: fewer than two gangs live, or no epoch configured).
+    pub fn gang_active(&self) -> Option<u64> {
+        self.gang_active
+    }
+
+    /// Number of live gangs enrolled on this node.
+    pub fn gang_count(&self) -> usize {
+        self.gang_refs.len()
+    }
+
+    /// Drop `pid`'s gang membership (exit/kill path). When the last
+    /// member of a gang leaves, the gang disappears from the rotation
+    /// immediately: the survivors re-derive the active slot from the
+    /// clock, so a dead job cannot hold its timeslice until the next
+    /// epoch boundary.
+    fn gang_release(&mut self, pid: Pid) {
+        let Some(g) = self.tasks.get(pid).gang else {
+            return;
+        };
+        self.tasks.get_mut(pid).gang = None;
+        let n = self
+            .gang_refs
+            .get_mut(&g)
+            .expect("released gang is enrolled");
+        *n -= 1;
+        if *n == 0 {
+            self.gang_refs.remove(&g);
+        }
+        self.gang_recompute();
+    }
+
+    /// Re-derive the active gang from the clock and the live gang set,
+    /// notify classes and observers on a change, and keep the epoch
+    /// event armed. The active gang is a pure function of virtual
+    /// time, the gang set and the epoch length —
+    /// `sorted_gangs[(t / epoch) % count]` — with no per-node phase
+    /// state, so every node that shares the virtual clock (lockstep
+    /// co-simulation) and the co-resident set switches the same gang
+    /// in the same window without exchanging any messages.
+    fn gang_recompute(&mut self) {
+        let epoch = self.cfg.gang_epoch;
+        let desired = match epoch {
+            Some(len) if self.gang_refs.len() >= 2 => {
+                let k = self.now().as_nanos() / len.as_nanos();
+                let idx = (k % self.gang_refs.len() as u64) as usize;
+                self.gang_refs.keys().nth(idx).copied()
+            }
+            _ => None,
+        };
+        if desired != self.gang_active {
+            self.gang_active = desired;
+            let mut affects_pick = false;
+            for c in self.classes.iter_mut() {
+                affects_pick |= c.gang_epoch(desired);
+            }
+            if affects_pick {
+                for r in self.resched.iter_mut() {
+                    *r = true;
+                }
+            }
+            if !self.observers.is_empty() {
+                self.emit(SchedEvent::GangEpoch {
+                    active: desired,
+                    gangs: self.gang_refs.len() as u32,
+                });
+            }
+        }
+        if let Some(len) = epoch {
+            if self.gang_refs.len() >= 2 && !self.gang_armed {
+                let k = self.now().as_nanos() / len.as_nanos();
+                let next = SimTime::ZERO + SimDuration::from_nanos((k + 1) * len.as_nanos());
+                self.queue.schedule(next, Ev::GangEpoch);
+                self.gang_armed = true;
+            }
+        }
+    }
+
+    fn on_gang_epoch(&mut self) {
+        self.gang_armed = false;
+        self.gang_recompute();
     }
 
     // ---------------------------------------------------------------
@@ -1772,6 +1902,7 @@ impl Node {
                 }
             }
             Ev::Irq => self.on_irq(),
+            Ev::GangEpoch => self.on_gang_epoch(),
             Ev::NetDeliver {
                 chan,
                 tokens,

@@ -307,6 +307,26 @@ pub enum SchedEvent {
         /// Queue depth at completion time.
         queue_depth: u32,
     },
+    /// The node's gang controller switched the active gang — an epoch
+    /// boundary fired or the live gang set changed. `None` means
+    /// rotation ended (fewer than two gangs remain).
+    GangEpoch {
+        /// Gang whose tasks are now eligible (`None`: no rotation).
+        active: Option<u64>,
+        /// Live gang count after the switch.
+        gangs: u32,
+    },
+    /// A DFRS reallocation assigned a job a fractional CPU share on a
+    /// node. Published by the batch scheduler through
+    /// [`crate::Node::publish`], like the job lifecycle events.
+    JobShare {
+        /// Batch job id.
+        job: u32,
+        /// Node index hosting the share.
+        node: u32,
+        /// Share in milli-units (1000 = the node's full CPU capacity).
+        share_milli: u32,
+    },
 }
 
 /// A sink for kernel scheduling decisions.
@@ -949,6 +969,8 @@ impl SchedObserver for MetricsSink {
                 self.m.job_wait_ns.record(waited.as_nanos());
             }
             SchedEvent::JobEnd { .. } => self.m.job_ends += 1,
+            SchedEvent::GangEpoch { .. } => self.m.gang_epochs += 1,
+            SchedEvent::JobShare { .. } => self.m.job_shares += 1,
             SchedEvent::Deactivate { .. } | SchedEvent::SetSched { .. } => {}
         }
     }

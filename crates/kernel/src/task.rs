@@ -176,6 +176,10 @@ pub struct Task {
     pub exited_at: Option<SimTime>,
     /// Group tag used by harnesses to identify application tasks.
     pub tag: Option<u32>,
+    /// Gang co-scheduling group. Inherited across fork; a gang-tagged
+    /// HPC task is eligible to run only while its gang is the node's
+    /// active gang (or no gang rotation is in force).
+    pub gang: Option<u64>,
 }
 
 impl fmt::Debug for Task {
@@ -219,6 +223,7 @@ impl Task {
             last_descheduled: SimTime::ZERO,
             exited_at: None,
             tag: None,
+            gang: None,
         }
     }
 

@@ -199,6 +199,10 @@ pub struct SchedMetrics {
     pub job_starts: u64,
     /// Batch-level job completions.
     pub job_ends: u64,
+    /// Gang-rotation switches (epoch boundaries and gang-set changes).
+    pub gang_epochs: u64,
+    /// DFRS fractional-share assignments published by the batch layer.
+    pub job_shares: u64,
     /// Switch count per CPU, indexed by CPU id.
     pub per_cpu_switches: Vec<u64>,
     /// How long tasks held a CPU before switching out, in ns.
@@ -253,6 +257,8 @@ impl SchedMetrics {
         self.job_submits += other.job_submits;
         self.job_starts += other.job_starts;
         self.job_ends += other.job_ends;
+        self.gang_epochs += other.gang_epochs;
+        self.job_shares += other.job_shares;
         if other.per_cpu_switches.len() > self.per_cpu_switches.len() {
             self.per_cpu_switches
                 .resize(other.per_cpu_switches.len(), 0);
@@ -318,6 +324,12 @@ impl SchedMetrics {
             ));
             out.push_str(&self.batch_queue_depth.render("batch_queue_depth"));
             out.push_str(&self.job_wait_ns.render("job_wait_ns"));
+        }
+        if self.gang_epochs + self.job_shares > 0 {
+            out.push_str(&format!(
+                "gang epochs {} | job shares {}\n",
+                self.gang_epochs, self.job_shares
+            ));
         }
         out
     }

@@ -118,11 +118,23 @@ pub struct InvariantOracle {
     last_at: SimTime,
     /// Fabric minimum latency for NetDeliver checks (cluster runs).
     min_net_latency: Option<SimDuration>,
+    /// Gang-rotation switch stream `(time ns, active gang)`, recorded
+    /// for the runner's cross-node epoch-alignment rule (bounded).
+    gang_log: Vec<(u64, Option<u64>)>,
+    /// Gang rotation currently in force (last `GangEpoch.active` was
+    /// `Some`). While rotating, a queued HPC task may legally be passed
+    /// over — its gang is waiting for its epoch — so the shielding,
+    /// lost-pick and rr-rotation rules exempt HPC tasks.
+    gang_rotation: bool,
     violations: Vec<Violation>,
     /// Total violations seen (may exceed `violations.len()`).
     total: u64,
     events: u64,
 }
+
+/// Cap on the recorded gang switch stream: long runs rotate millions of
+/// epochs and the alignment rule only needs a shared prefix.
+const GANG_LOG_CAP: usize = 4096;
 
 impl InvariantOracle {
     /// Build an oracle primed from `node`'s current task table and
@@ -162,6 +174,8 @@ impl InvariantOracle {
             core_of,
             last_at: node.now(),
             min_net_latency: None,
+            gang_log: Vec::new(),
+            gang_rotation: false,
             violations: Vec::new(),
             total: 0,
             events: 0,
@@ -179,6 +193,8 @@ impl InvariantOracle {
             core_of: Vec::new(),
             last_at: SimTime::from_nanos(0),
             min_net_latency: None,
+            gang_log: Vec::new(),
+            gang_rotation: false,
             violations: Vec::new(),
             total: 0,
             events: 0,
@@ -205,6 +221,14 @@ impl InvariantOracle {
     /// Events observed.
     pub fn events_seen(&self) -> u64 {
         self.events
+    }
+
+    /// The recorded gang switch stream `(time ns, active gang)`,
+    /// bounded at an internal cap. Nodes that host the same gang set
+    /// under the same epoch must record identical streams — the
+    /// runner's cross-node alignment rule.
+    pub fn gang_log(&self) -> &[(u64, Option<u64>)] {
+        &self.gang_log
     }
 
     /// End-of-run conservation check: the event-derived shadow must
@@ -360,6 +384,11 @@ impl InvariantOracle {
                                 continue;
                             }
                             let tk = class_of_policy(tv.policy);
+                            if self.gang_rotation && tk == ClassKind::Hpc {
+                                // Rotation may legally idle an HPC task
+                                // whose gang is out of its epoch.
+                                continue;
+                            }
                             if rank(tk) > rank(kind) {
                                 beaten = Some(format!(
                                     "picked {q} ({kind:?}) over runnable {tp} ({tk:?})"
@@ -389,6 +418,7 @@ impl InvariantOracle {
                             && prev == Some(q)
                             && matches!(kind, ClassKind::Hpc | ClassKind::RealTime)
                             && matches!(v.policy, Policy::Hpc | Policy::Rr(_))
+                            && !(self.gang_rotation && kind == ClassKind::Hpc)
                         {
                             let cutoff = self.cpus[cpu].prev_pick_seq;
                             let starved = self
@@ -418,7 +448,11 @@ impl InvariantOracle {
                 }
             }
             None => {
-                let waiting = self.runnable_on(cpu).next().map(|(tp, _)| *tp);
+                let rotation = self.gang_rotation;
+                let waiting = self
+                    .runnable_on(cpu)
+                    .find(|(_, tv)| !(rotation && class_of_policy(tv.policy) == ClassKind::Hpc))
+                    .map(|(tp, _)| *tp);
                 if let Some(tp) = waiting {
                     self.record(
                         at,
@@ -712,10 +746,29 @@ impl SchedObserver for InvariantOracle {
                     );
                 }
             }
+            SchedEvent::GangEpoch { active, gangs } => {
+                // An active gang only makes sense while rotation is in
+                // force (two or more gangs live); a final switch to
+                // `None` is how rotation legally ends.
+                if gangs < 2 && active.is_some() {
+                    self.record(
+                        at,
+                        "gang-active",
+                        format!("active gang {active:?} with {gangs} gang(s) live"),
+                    );
+                }
+                self.gang_rotation = active.is_some();
+                if self.gang_log.len() < GANG_LOG_CAP {
+                    self.gang_log.push((at.as_nanos(), active));
+                }
+            }
             SchedEvent::Balance { .. }
             | SchedEvent::NetSend { .. }
             | SchedEvent::Irq { .. }
             | SchedEvent::NoiseArrival { .. }
+            // Per-node share sums are audited by the runner against the
+            // Dfrs policy's own DfrsDecision records.
+            | SchedEvent::JobShare { .. }
             // Batch-level job lifecycle events come from above the
             // kernel; the batch occupancy invariant is checked by the
             // runner against Cluster::active_jobs_on instead.

@@ -16,7 +16,7 @@ use crate::scenario::{
     TopoKind, Workload,
 };
 use hpl_batch::{
-    BatchConfig, BatchRun, BatchTrace, CheckpointSpec, ConservativeBackfill, EasyBackfill,
+    BatchConfig, BatchRun, BatchTrace, CheckpointSpec, ConservativeBackfill, Dfrs, EasyBackfill,
     FairShare, Fcfs, MultiQueue,
 };
 use hpl_cluster::{
@@ -32,7 +32,7 @@ use hpl_kernel::{
     TaskSpec, TaskState,
 };
 use hpl_mpi::{launch, JobSpec, MpiOp, SchedMode};
-use hpl_sim::{Rng, SimDuration};
+use hpl_sim::{Rng, SimDuration, SimTime};
 use hpl_topology::{CpuId, CpuMask, Topology};
 
 /// Tag on all torture-soup tasks.
@@ -112,6 +112,14 @@ fn build_node(sc: &Scenario, node_idx: u64, fast: bool) -> Node {
     };
     cfg.fast_event_loop = fast;
     cfg.tickless_single_hpc = sc.hpl && sc.tickless;
+    // Batch scenarios may arm gang rotation; the cluster driver then
+    // enrolls each job's local roots so co-resident jobs timeslice in
+    // lockstep epochs instead of serialising under HPL run-to-block.
+    if let Workload::Batch(b) = &sc.workload {
+        if b.gang_epoch_us > 0 {
+            cfg.gang_epoch = Some(SimDuration::from_micros(b.gang_epoch_us));
+        }
+    }
     let mut noise = if sc.noise_pct == 0 {
         NoiseProfile::quiet()
     } else {
@@ -219,8 +227,11 @@ fn job_spec(sc: &Scenario) -> JobSpec {
 /// decision that intrudes on the head job's reservation; under
 /// conservative, any admission that delays an earlier-queued job's
 /// reservation; under fair share, any dispatch that skips a poorer
-/// user's fittable job; and, when walltime kills fired, any node still
-/// occupied after every job completed (a kill that leaked its nodes).
+/// user's fittable job; under DFRS, any audited reallocation whose
+/// shares exceed a whole CPU on some node; and, when walltime kills
+/// fired or the policy reallocates shares (DFRS), any node still
+/// occupied after every job completed (a kill or reallocation that
+/// leaked its nodes).
 fn run_batch_workload(
     sc: &Scenario,
     b: &BatchSpec,
@@ -328,6 +339,40 @@ fn run_batch_workload(
             }
             result
         }
+        BatchPolicyKind::Dfrs => {
+            let mut policy = Dfrs::new(SimDuration::from_millis(1), sc.seed);
+            let result = BatchRun::new(&trace).config(cfg).run(cluster, &mut policy);
+            for d in policy.decisions() {
+                if !d.respects_shares() {
+                    violations.push(Violation {
+                        at: d.at,
+                        rule: "batch-dfrs-shares",
+                        detail: format!(
+                            "reallocation epoch {} assigns a node more than a whole \
+                             CPU of shares: {d:?}",
+                            d.epoch
+                        ),
+                    });
+                }
+            }
+            // The counter sees ring-dropped reallocations too.
+            if policy.share_violations() as usize
+                > violations
+                    .iter()
+                    .filter(|v| v.rule == "batch-dfrs-shares")
+                    .count()
+            {
+                violations.push(Violation {
+                    at: cluster.node(0).now(),
+                    rule: "batch-dfrs-shares",
+                    detail: format!(
+                        "{} share violations total (some aged out of the audit ring)",
+                        policy.share_violations()
+                    ),
+                });
+            }
+            result
+        }
     };
     match result {
         Ok(report) => {
@@ -354,8 +399,9 @@ fn run_batch_workload(
                     ),
                 });
             }
-            if report.jobs_killed > 0 {
-                // A walltime kill must fully release its nodes: with
+            if report.jobs_killed > 0 || matches!(b.policy, BatchPolicyKind::Dfrs) {
+                // A walltime kill — or a DFRS share reallocation over a
+                // finished run — must fully release its nodes: with
                 // every job completed or killed, no node may still
                 // count an active batch job.
                 for n in 0..cluster.len() {
@@ -377,6 +423,80 @@ fn run_batch_workload(
             (RunOutcome::Completed, report.makespan.as_nanos())
         }
         Err(o) => (o, 0),
+    }
+}
+
+/// Cross-node gang rules over the oracles' recorded switch streams.
+/// With rotation unarmed the streams must be empty; under a dedicated
+/// (one-job-per-node) policy an armed epoch must stay observably inert
+/// — occupancy one means a node never hosts two gangs, so rotation can
+/// never engage; and nodes that hosted the same gang set with the same
+/// switch times (an identical co-resident history) must have switched
+/// the same gang in every window, because the active gang is a pure
+/// function of virtual time and the sorted gang set. Nodes whose
+/// histories differ — a release landing on different sides of an epoch
+/// boundary on different nodes is legal noise skew — fall into
+/// different groups and are not compared.
+fn check_gang_logs(
+    b: &BatchSpec,
+    logs: &[Vec<(u64, Option<u64>)>],
+    violations: &mut Vec<Violation>,
+) {
+    if b.gang_epoch_us == 0 {
+        for (n, log) in logs.iter().enumerate() {
+            if let Some(&(at, active)) = log.first() {
+                violations.push(Violation {
+                    at: SimTime::from_nanos(at),
+                    rule: "gang-unarmed",
+                    detail: format!("node {n} switched gang {active:?} with no epoch configured"),
+                });
+            }
+        }
+        return;
+    }
+    if !matches!(b.policy, BatchPolicyKind::Dfrs) {
+        for (n, log) in logs.iter().enumerate() {
+            if let Some(&(at, active)) = log.iter().find(|(_, a)| a.is_some()) {
+                violations.push(Violation {
+                    at: SimTime::from_nanos(at),
+                    rule: "gang-inert",
+                    detail: format!(
+                        "node {n} activated gang {active:?} under a one-job-per-node policy"
+                    ),
+                });
+            }
+        }
+        return;
+    }
+    let mut groups: std::collections::BTreeMap<(Vec<u64>, Vec<u64>), Vec<usize>> =
+        std::collections::BTreeMap::new();
+    for (n, log) in logs.iter().enumerate() {
+        let mut ids: Vec<u64> = log.iter().filter_map(|&(_, a)| a).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        let times: Vec<u64> = log.iter().map(|&(t, _)| t).collect();
+        groups.entry((ids, times)).or_default().push(n);
+    }
+    for nodes in groups.values() {
+        let first = &logs[nodes[0]];
+        for &n in &nodes[1..] {
+            if &logs[n] != first {
+                let at = logs[n]
+                    .iter()
+                    .zip(first.iter())
+                    .find(|(a, b)| a != b)
+                    .map_or(0, |(a, _)| a.0);
+                violations.push(Violation {
+                    at: SimTime::from_nanos(at),
+                    rule: "gang-alignment",
+                    detail: format!(
+                        "nodes {} and {n} host the same gang set with the same switch \
+                         times but rotate different gangs",
+                        nodes[0]
+                    ),
+                });
+            }
+        }
     }
 }
 
@@ -507,6 +627,7 @@ fn run_cluster(sc: &Scenario, fast: bool, with_trace: bool) -> RunReport {
         Workload::Soup(_) => panic!("multi-node scenarios cannot run a soup"),
     };
     let mut violations = batch_violations;
+    let mut gang_logs: Vec<Vec<(u64, Option<u64>)>> = Vec::new();
     for (i, &id) in oracle_ids.iter().enumerate() {
         let mut detached = cluster
             .node_mut(i)
@@ -522,6 +643,10 @@ fn run_cluster(sc: &Scenario, fast: bool, with_trace: bool) -> RunReport {
                 });
             }
         }
+        gang_logs.push(detached.map(|o| o.gang_log().to_vec()).unwrap_or_default());
+    }
+    if let Workload::Batch(b) = &sc.workload {
+        check_gang_logs(b, &gang_logs, &mut violations);
     }
     let trace = (!trace_ids.is_empty())
         .then(|| cluster.export_chrome_trace(&trace_ids))

@@ -184,6 +184,10 @@ pub enum BatchPolicyKind {
     MultiQueue,
     /// Per-user decayed-usage fair share.
     FairShare,
+    /// Dynamic fractional resource scheduling: two jobs per node with
+    /// audited periodic share reallocation, realised at the OS level by
+    /// gang rotation ([`BatchSpec::gang_epoch_us`]).
+    Dfrs,
 }
 
 /// A two-level batch-scheduling workload: a small job stream pushed
@@ -196,6 +200,12 @@ pub struct BatchSpec {
     /// scenarios with this on may include a deliberately under-
     /// estimated job so the kill path actually fires.
     pub walltime: bool,
+    /// Gang-rotation epoch in µs (`KernelConfig::gang_epoch`); 0 = off.
+    /// Always set for [`BatchPolicyKind::Dfrs`] scenarios so
+    /// co-resident jobs rotate; occasionally set under dedicated
+    /// policies, where rotation can never engage and the knob must be
+    /// observably inert.
+    pub gang_epoch_us: u64,
     /// The job stream (ids are trace-local; widths never exceed the
     /// scenario's node count).
     pub jobs: Vec<BatchJob>,
@@ -413,9 +423,22 @@ impl Scenario {
                 }
             })
             .collect();
+        // Drawn after every pre-existing field (the fault-plan
+        // discipline): scenario streams sampled before DFRS existed
+        // keep all earlier draws unchanged.
+        let (policy, gang_epoch_us) = if rng.chance(0.25) {
+            (BatchPolicyKind::Dfrs, *rng.choose(&[200u64, 500, 1000]))
+        } else if rng.chance(0.15) {
+            // Gang epoch armed under a dedicated policy: rotation can
+            // never engage (occupancy 1), so the knob must be inert.
+            (policy, 500)
+        } else {
+            (policy, 0)
+        };
         BatchSpec {
             policy,
             walltime,
+            gang_epoch_us,
             jobs,
         }
     }
@@ -637,10 +660,14 @@ impl Scenario {
                     BatchPolicyKind::Conservative => "conservative",
                     BatchPolicyKind::MultiQueue => "multiq",
                     BatchPolicyKind::FairShare => "fairshare",
+                    BatchPolicyKind::Dfrs => "dfrs",
                 };
                 let _ = writeln!(s, "policy {policy}");
                 if b.walltime {
                     let _ = writeln!(s, "walltime true");
+                }
+                if b.gang_epoch_us > 0 {
+                    let _ = writeln!(s, "gang_epoch_us {}", b.gang_epoch_us);
                 }
                 for j in &b.jobs {
                     let _ = writeln!(
@@ -788,6 +815,8 @@ impl Scenario {
                         batch = Some(BatchSpec {
                             policy: BatchPolicyKind::Fcfs,
                             walltime: false,
+                            // Absent in pre-DFRS artifacts; gang off.
+                            gang_epoch_us: 0,
                             jobs: Vec::new(),
                         })
                     }
@@ -803,8 +832,15 @@ impl Scenario {
                         "conservative" => BatchPolicyKind::Conservative,
                         "multiq" => BatchPolicyKind::MultiQueue,
                         "fairshare" => BatchPolicyKind::FairShare,
+                        "dfrs" => BatchPolicyKind::Dfrs,
                         s => return Err(format!("bad batch policy {s:?}")),
                     };
+                }
+                "gang_epoch_us" => {
+                    batch
+                        .as_mut()
+                        .ok_or("gang_epoch_us outside batch workload")?
+                        .gang_epoch_us = parse_num(rest)?;
                 }
                 "walltime" => {
                     batch

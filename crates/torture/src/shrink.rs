@@ -174,6 +174,18 @@ fn candidates(sc: &Scenario) -> Vec<(&'static str, Scenario)> {
                 }
                 push("drop walltime", c);
             }
+            if b.gang_epoch_us > 0 {
+                // Adopting this step means the bug is not in gang
+                // rotation — the epoch knob was incidental. The policy
+                // line itself is never shrunk away here: a DFRS failure
+                // must stay a DFRS failure unless the fcfs candidate
+                // above still reproduces it.
+                let mut c = sc.clone();
+                if let Workload::Batch(b) = &mut c.workload {
+                    b.gang_epoch_us = 0;
+                }
+                push("disable gang rotation", c);
+            }
         }
     }
     if sc.noise_pct > 0 {

@@ -2,7 +2,7 @@
 //! form replays them, and the full differential check (both event
 //! loops, oracles attached, occupancy + reservation audits) holds.
 
-use hpl_torture::{check_scenario, run_scenario, Scenario, Workload};
+use hpl_torture::{check_scenario, run_scenario, BatchPolicyKind, Scenario, Workload};
 
 /// First sampled batch scenario of a seed stream.
 fn first_batch(base_seed: u64) -> Scenario {
@@ -35,6 +35,95 @@ fn batch_scenario_passes_the_full_check() {
     assert!(
         failures.is_empty(),
         "batch scenario failed: {:?}",
+        failures.iter().map(|f| f.to_string()).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn sampler_produces_dfrs_gang_scenarios_that_round_trip() {
+    let sc = (0..400)
+        .map(|i| Scenario::sample(0xD8F5, i))
+        .find(|sc| {
+            matches!(&sc.workload,
+                Workload::Batch(b) if b.policy == BatchPolicyKind::Dfrs)
+        })
+        .expect("sampler never produced a dfrs workload in 400 draws");
+    let Workload::Batch(b) = &sc.workload else {
+        unreachable!()
+    };
+    assert!(
+        b.gang_epoch_us > 0,
+        "dfrs scenarios always arm gang rotation"
+    );
+    let text = sc.to_text();
+    assert!(text.contains("policy dfrs"), "{text}");
+    assert!(text.contains("gang_epoch_us"), "{text}");
+    let back = Scenario::from_text(&text).expect("dfrs scenario parses back");
+    assert_eq!(sc, back);
+}
+
+#[test]
+fn dfrs_gang_scenario_passes_the_full_check() {
+    // Two whole-cluster jobs submitted together: both land on both
+    // nodes (DFRS allows two jobs per node), so gang rotation engages
+    // and the dfrs share audit, occupancy-leak and cross-node
+    // gang-alignment rules all run against a live rotation.
+    let text = "\
+torture-scenario v1
+seed 41
+nodes 2
+topo smp2
+switched false
+hpl true
+tickless false
+noise_pct 0
+irq false
+parallel false
+fault none
+workload batch
+policy dfrs
+gang_epoch_us 500
+bjob 0 0 2 1 4 1000000 64 60000000 0 0
+bjob 1 0 2 1 4 1000000 64 60000000 1 0
+";
+    let sc = Scenario::from_text(text).expect("parses");
+    assert_eq!(sc.to_text(), text);
+    let failures = check_scenario(&sc);
+    assert!(
+        failures.is_empty(),
+        "dfrs gang scenario failed: {:?}",
+        failures.iter().map(|f| f.to_string()).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn gang_epoch_is_inert_under_a_dedicated_policy() {
+    // Same stream under FCFS with the epoch knob still armed: one job
+    // per node means rotation can never engage, and the gang-inert
+    // oracle rule would flag any activation.
+    let text = "\
+torture-scenario v1
+seed 41
+nodes 2
+topo smp2
+switched false
+hpl true
+tickless false
+noise_pct 0
+irq false
+parallel false
+fault none
+workload batch
+policy fcfs
+gang_epoch_us 500
+bjob 0 0 2 1 4 1000000 64 60000000 0 0
+bjob 1 0 2 1 4 1000000 64 60000000 1 0
+";
+    let sc = Scenario::from_text(text).expect("parses");
+    let failures = check_scenario(&sc);
+    assert!(
+        failures.is_empty(),
+        "inert gang knob tripped the check: {:?}",
         failures.iter().map(|f| f.to_string()).collect::<Vec<_>>()
     );
 }

@@ -23,6 +23,12 @@
 #     reservation violations, fair-share spread <= FCFS, and
 #     serial-vs-pooled bit equality. `batch --trace FILE.swf` replays
 #     an external SWF trace instead of the vendored fixture.
+#     Gang-rotation cells (oversubscribed and DFRS under the HPL kernel
+#     with a gang epoch) gate the formerly ungated oversub x HPL
+#     combination: rotation must close the run-to-block serialisation
+#     gap to within 1.2x of CFS, DFRS bounded slowdown must beat EASY,
+#     and the fractional-share audit must be violation-free and
+#     bit-exact on replay.
 #   BENCH_faults.json — the crash/churn sweep: the batch stream under a
 #     rising crash count with checkpoint/restart requeue; gates on
 #     zero lost jobs, zero occupancy violations, bit-identical replay

@@ -47,6 +47,9 @@ cargo run --release -q -p hpl-bench --bin batch -- --smoke --out target/BENCH_ba
 echo "== SWF smoke (parse vendored trace, run the policy zoo, audit invariants) =="
 cargo run --release -q -p hpl-bench --bin batch -- --swf-smoke
 
+echo "== DFRS smoke (gang rotation on, fractional shares audited, bit-exact replay) =="
+cargo run --release -q -p hpl-bench --bin batch -- --dfrs-smoke
+
 echo "== fault sweep smoke (crash/requeue sweep completes) =="
 cargo run --release -q -p hpl-bench --bin faults -- --smoke --out target/BENCH_faults_smoke.json
 

@@ -106,8 +106,8 @@ pub use hpl_workloads as workloads;
 pub mod prelude {
     pub use hpl_batch::{
         AllocPolicy, BatchConfig, BatchJob, BatchReport, BatchRun, BatchTrace, CheckpointSpec,
-        ConservativeBackfill, EasyBackfill, FairShare, Fcfs, JobOutcome, MultiQueue,
-        Oversubscribed, SwfMap, SwfTrace, TraceTransform, UserStats,
+        ConservativeBackfill, Dfrs, DfrsDecision, EasyBackfill, FairShare, Fcfs, JobOutcome,
+        MultiQueue, Oversubscribed, SwfMap, SwfTrace, TraceTransform, UserStats,
     };
     pub use hpl_bench::{run_many, run_once, NoiseKind, RunConfig, Scheduler};
     pub use hpl_cluster::{

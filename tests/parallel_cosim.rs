@@ -170,6 +170,89 @@ fn pool_width_never_changes_the_answer() {
     }
 }
 
+/// Like [`observe`], but with a gang epoch configured and **two**
+/// whole-cluster jobs co-resident on every node, so the run exercises
+/// gang enrollment, epoch rotation and release on both event-loop
+/// flavours.
+fn observe_gang(seed: u64, cosim: CosimConfig) -> Observed {
+    const NODES: u32 = 4;
+    let mut kcfg = KernelConfig::hpl();
+    kcfg.gang_epoch = Some(SimDuration::from_micros(500));
+    let mut cluster = Cluster::builder()
+        .nodes_with(NODES as usize, move |i| {
+            hpl_node_builder(Topology::smp(RANKS_PER_NODE))
+                .with_config(kcfg.clone())
+                .with_noise(NoiseProfile::standard(RANKS_PER_NODE).scaled(0.25))
+                .with_seed(Rng::for_run(seed, i as u64).next_u64())
+                .build()
+        })
+        .fabric(Interconnect::flat(NODES as usize, NetConfig::default()))
+        .cosim(cosim)
+        .build();
+    let mut metric_ids = Vec::new();
+    let mut trace_ids = Vec::new();
+    for i in 0..NODES as usize {
+        let node = cluster.node_mut(i);
+        metric_ids.push(node.attach_observer(Box::new(MetricsSink::new())));
+        trace_ids.push(node.attach_observer(Box::new(ChromeTraceSink::new(100_000))));
+        node.run_for(SimDuration::from_millis(50));
+    }
+    let a = cluster.launch(&job(NODES), SchedMode::Hpc, Placement::All);
+    let b = cluster.launch(
+        &job(NODES).with_id_base(10_000),
+        SchedMode::Hpc,
+        Placement::All,
+    );
+    let exec_a = cluster.run_to_completion(&a, 80_000_000);
+    let exec_b = cluster.run_to_completion(&b, 80_000_000);
+    let metrics = metric_ids
+        .iter()
+        .enumerate()
+        .map(|(i, &id)| {
+            format!(
+                "{:?}",
+                cluster
+                    .node(i)
+                    .observer::<MetricsSink>(id)
+                    .expect("metrics sink resolves")
+                    .metrics()
+            )
+        })
+        .collect();
+    let trace = cluster
+        .export_chrome_trace(&trace_ids)
+        .expect("trace sinks resolve");
+    validate_chrome_trace(&trace).expect("merged trace is well-formed");
+    Observed {
+        exec_ns: exec_a.as_nanos() + exec_b.as_nanos(),
+        fingerprint: cluster.state_fingerprint(),
+        events: cluster.events_processed(),
+        net_messages: cluster.net().messages(),
+        net_bytes: cluster.net().bytes(),
+        metrics,
+        trace,
+    }
+}
+
+#[test]
+fn gang_rotation_is_byte_identical_across_pooled_windows() {
+    let serial = observe_gang(0x6A16, CosimConfig::serial());
+    let parallel = observe_gang(0x6A16, forced_parallel(2));
+    assert!(serial.exec_ns > 0 && serial.events > 0 && serial.net_messages > 0);
+    assert!(
+        serial
+            .metrics
+            .iter()
+            .all(|m| m.contains("gang_epochs") && !m.contains("gang_epochs: 0")),
+        "every node must rotate gangs during the overlapped run: {:?}",
+        serial.metrics
+    );
+    assert_eq!(
+        serial, parallel,
+        "gang rotation leaked pooled-stepping state into observable output"
+    );
+}
+
 #[test]
 fn dense_window_threshold_only_gates_the_pool_not_the_result() {
     // min_active above the node count: parallel mode configured but the
