@@ -28,7 +28,7 @@
 
 use crate::policy::{AllocPolicy, ClusterView, QueuedJob, RunningJob};
 use crate::trace::{BatchJob, BatchTrace};
-use hpl_cluster::{Cluster, ClusterJobHandle, Placement};
+use hpl_cluster::{Cluster, ClusterJobHandle, JobCoordinator, Placement};
 use hpl_kernel::{RunOutcome, SchedEvent, TaskState};
 use hpl_mpi::{JobSpec, MpiOp, SchedMode};
 use hpl_sim::{SimDuration, SimTime};
@@ -374,7 +374,22 @@ impl<'a> BatchRun<'a> {
         cluster: &mut Cluster,
         policy: &mut dyn AllocPolicy,
     ) -> Result<BatchReport, RunOutcome> {
-        run_batch_inner(cluster, self.trace, policy, &self.cfg)
+        run_batch_inner(cluster, self.trace, policy, &self.cfg, None)
+    }
+
+    /// Execute the run with a coordination runtime interposed: every
+    /// launch goes through `coord` (so it can shim ranks), and every
+    /// fractional share the policy hands out is *realized* on the nodes
+    /// via [`JobCoordinator::set_share`] — in addition to being
+    /// published as the advisory [`SchedEvent::JobShare`] it always
+    /// was. [`Self::run`] is this with no coordinator, byte for byte.
+    pub fn run_coordinated(
+        self,
+        cluster: &mut Cluster,
+        policy: &mut dyn AllocPolicy,
+        coord: &mut dyn JobCoordinator,
+    ) -> Result<BatchReport, RunOutcome> {
+        run_batch_inner(cluster, self.trace, policy, &self.cfg, Some(coord))
     }
 }
 
@@ -383,6 +398,7 @@ fn run_batch_inner(
     trace: &BatchTrace,
     policy: &mut dyn AllocPolicy,
     cfg: &BatchConfig,
+    mut coordinator: Option<&mut dyn JobCoordinator>,
 ) -> Result<BatchReport, RunOutcome> {
     let nnodes = cluster.len();
     if let Some(c) = &cfg.checkpoint {
@@ -588,7 +604,10 @@ fn run_batch_inner(
             let submitted = pview[alloc.queue_idx].submitted;
             let spec = job_spec(&q.job, next_id_base, cfg.checkpoint.as_ref(), q.skip_iters);
             next_id_base = *spec.id_range().end() + 1 + ID_GAP;
-            let handle = cluster.launch(&spec, cfg.mode, Placement::on(&alloc.placement));
+            let handle = match &mut coordinator {
+                Some(c) => c.launch(cluster, &spec, cfg.mode, Placement::on(&alloc.placement)),
+                None => cluster.launch(&spec, cfg.mode, Placement::on(&alloc.placement)),
+            };
             // Batch-level start stamp: the decision-point clock (node
             // clocks inside one lockstep window can lag it by less than
             // the lookahead, and `submitted <= now` must hold).
@@ -636,6 +655,15 @@ fn run_batch_inner(
                 node: node as u32,
                 share_milli,
             });
+            // With a coordinator installed the share stops being
+            // advisory: realize it on the node, addressed by the job's
+            // gang id (its id base — unique among co-residents by the
+            // launch-time disjointness rule).
+            if let Some(c) = &mut coordinator {
+                if let Some(r) = running.iter().find(|r| r.job.id == job) {
+                    c.set_share(cluster, node, r.spec.id_base, share_milli);
+                }
+            }
         }
 
         // 6. Occupancy audit against the policy's promise.

@@ -976,6 +976,9 @@ impl DfrsDecision {
 pub struct Dfrs {
     period: SimDuration,
     seed: u64,
+    /// Per-job weights for uneven splits (see [`Self::with_job_weight`]);
+    /// jobs without an entry weigh 1.
+    weights: BTreeMap<u32, u32>,
     last_epoch: Option<u64>,
     decisions: AuditLog<DfrsDecision>,
     violations: u64,
@@ -992,10 +995,23 @@ impl Dfrs {
         Dfrs {
             period,
             seed,
+            weights: BTreeMap::new(),
             last_epoch: None,
             decisions: AuditLog::default(),
             violations: 0,
         }
+    }
+
+    /// Give `job` weight `weight` in every future split: a node's 1000
+    /// milli are divided proportionally to the residents' weights
+    /// (floor, remainder rotated exactly as in the even split). All
+    /// weights equal — including the all-default case — reproduces
+    /// [`Self::new`]'s even split bit for bit, so weighting is inert
+    /// until someone actually asks for skew.
+    pub fn with_job_weight(mut self, job: u32, weight: u32) -> Self {
+        assert!(weight > 0, "DFRS job weight must be non-zero");
+        self.weights.insert(job, weight);
+        self
     }
 
     /// The retained reallocation decisions, oldest first — the audit
@@ -1033,6 +1049,22 @@ impl Dfrs {
     /// index `(seed ^ epoch) % k`, so shares sum to exactly 1000 on
     /// every occupied node.
     pub fn shares_for(seed: u64, epoch: u64, view: &ClusterView) -> Vec<(usize, u32, u32)> {
+        Self::shares_for_weighted(seed, epoch, view, &BTreeMap::new())
+    }
+
+    /// [`Self::shares_for`] generalized to per-job weights (absent jobs
+    /// weigh 1): node capacity splits `floor(1000·wᵢ/Σw)` each, with
+    /// the remainder milli assigned round-robin from the same
+    /// `(seed ^ epoch) % k` start index as the even split. Uniform
+    /// weights make every floor equal to `1000 / k` and the remainder
+    /// `1000 % k`, so the even split falls out as the identical special
+    /// case rather than a separate code path.
+    pub fn shares_for_weighted(
+        seed: u64,
+        epoch: u64,
+        view: &ClusterView,
+        weights: &BTreeMap<u32, u32>,
+    ) -> Vec<(usize, u32, u32)> {
         let mut shares = Vec::new();
         for node in 0..view.occupancy.len() {
             let mut jobs: Vec<u32> = view
@@ -1046,12 +1078,17 @@ impl Dfrs {
             }
             jobs.sort_unstable();
             let k = jobs.len();
-            let base = 1000 / k as u32;
-            let rem = 1000 % k;
+            let w: Vec<u64> = jobs
+                .iter()
+                .map(|j| u64::from(weights.get(j).copied().unwrap_or(1)))
+                .collect();
+            let total: u64 = w.iter().sum();
+            let floors: Vec<u32> = w.iter().map(|&wi| (1000 * wi / total) as u32).collect();
+            let rem = 1000 - floors.iter().sum::<u32>();
             let start = ((seed ^ epoch) % k as u64) as usize;
             for (i, &job) in jobs.iter().enumerate() {
-                let extra = ((i + k - start) % k < rem) as u32;
-                shares.push((node, job, base + extra));
+                let extra = (((i + k - start) % k) as u32) < rem;
+                shares.push((node, job, floors[i] + u32::from(extra)));
             }
         }
         shares
@@ -1091,7 +1128,7 @@ impl AllocPolicy for Dfrs {
             return Vec::new();
         }
         self.last_epoch = Some(epoch);
-        let shares = Self::shares_for(self.seed, epoch, view);
+        let shares = Self::shares_for_weighted(self.seed, epoch, view, &self.weights);
         if shares.is_empty() {
             // Idle cluster: nothing to reallocate, nothing to audit.
             return shares;
@@ -1501,6 +1538,48 @@ mod tests {
                 .unwrap()
         };
         assert_ne!(who_extra(0), who_extra(1), "remainder rotates by epoch");
+    }
+
+    #[test]
+    fn dfrs_weighted_shares_skew_and_conserve() {
+        let running = vec![rj(10, &[0]), rj(11, &[0])];
+        let v = view(&[2], running);
+        // 3:1 weights → 750/250, no remainder to rotate.
+        let mut w = BTreeMap::new();
+        w.insert(10u32, 3u32);
+        w.insert(11u32, 1u32);
+        for epoch in 0..8u64 {
+            let shares = Dfrs::shares_for_weighted(9, epoch, &v, &w);
+            assert_eq!(shares, vec![(0, 10, 750), (0, 11, 250)]);
+        }
+        // Skewed weights with a remainder still conserve exactly.
+        w.insert(11u32, 2u32); // 3:2 → 600/400
+        let shares = Dfrs::shares_for_weighted(9, 0, &v, &w);
+        assert_eq!(shares.iter().map(|&(_, _, s)| s).sum::<u32>(), 1000);
+        assert_eq!(shares[0].2, 600);
+        // Uniform weights are byte-identical to the unweighted split.
+        let mut u = BTreeMap::new();
+        u.insert(10u32, 7u32);
+        u.insert(11u32, 7u32);
+        for (epoch, seed) in [(0u64, 0u64), (3, 9), (17, 5)] {
+            assert_eq!(
+                Dfrs::shares_for_weighted(seed, epoch, &v, &u),
+                Dfrs::shares_for(seed, epoch, &v),
+                "equal weights degenerate to the even split"
+            );
+        }
+    }
+
+    #[test]
+    fn dfrs_with_job_weight_feeds_share_update() {
+        let mut p = Dfrs::new(SimDuration::from_nanos(1_000), 3)
+            .with_job_weight(1, 3)
+            .with_job_weight(2, 1);
+        let running = vec![rj(1, &[0]), rj(2, &[0])];
+        let mut v = view(&[2], running);
+        v.now = t(1_500);
+        assert_eq!(p.share_update(&v), vec![(0, 1, 750), (0, 2, 250)]);
+        assert_eq!(p.share_violations(), 0);
     }
 
     #[test]

@@ -395,15 +395,16 @@ impl SwfMap {
 }
 
 /// A pure, deterministic trace-to-trace transform: truncation, load
-/// shaping, time and size rescaling. Operations compose in a fixed
-/// order regardless of builder-call order: truncate → arrival scale →
-/// runtime scale → width fit.
+/// shaping, time and size rescaling, tiling. Operations compose in a
+/// fixed order regardless of builder-call order: truncate → arrival
+/// scale → runtime scale → width fit → tile.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TraceTransform {
     max_jobs: Option<usize>,
     arrival_scale: f64,
     runtime_scale: f64,
     fit_nodes: Option<u32>,
+    tile: u32,
 }
 
 impl Default for TraceTransform {
@@ -413,6 +414,7 @@ impl Default for TraceTransform {
             arrival_scale: 1.0,
             runtime_scale: 1.0,
             fit_nodes: None,
+            tile: 1,
         }
     }
 }
@@ -454,6 +456,19 @@ impl TraceTransform {
         self
     }
 
+    /// Replicate the (truncated, rescaled) trace `n` times end to end:
+    /// copy `c` repeats the whole arrival pattern shifted to start
+    /// where copy `c-1`'s last arrival landed, with ids renumbered past
+    /// the previous copy's range. Tiling is how a short SWF fragment
+    /// becomes a capacity-scale workload — thousands of jobs with the
+    /// *original trace's* arrival statistics, not a synthetic
+    /// generator's.
+    pub fn tile(mut self, n: u32) -> Self {
+        assert!(n >= 1, "tile count must be >= 1");
+        self.tile = n;
+        self
+    }
+
     /// Apply to `trace`, producing a new trace. Pure: same input, same
     /// output, no seeds involved.
     pub fn apply(&self, trace: &BatchTrace) -> BatchTrace {
@@ -468,6 +483,23 @@ impl TraceTransform {
                 ((j.est_runtime_ns as f64 * self.runtime_scale).round() as u64).max(1);
             if let Some(cap) = self.fit_nodes {
                 j.nodes = j.nodes.min(cap);
+            }
+        }
+        if self.tile > 1 && !jobs.is_empty() {
+            let base: Vec<BatchJob> = jobs.clone();
+            let span = base.iter().map(|j| j.submit_ns).max().expect("non-empty");
+            let id_stride = base.iter().map(|j| j.id).max().expect("non-empty") + 1;
+            // Copies arrive back to back; a +1 ns gap keeps copy
+            // boundaries distinct even for a trace whose arrivals are
+            // all at offset 0.
+            let shift = span + 1;
+            for c in 1..self.tile {
+                for j in &base {
+                    let mut j = j.clone();
+                    j.submit_ns += u64::from(c) * shift;
+                    j.id += c * id_stride;
+                    jobs.push(j);
+                }
             }
         }
         BatchTrace { jobs }
@@ -602,5 +634,31 @@ mod tests {
             .fit(2)
             .apply(&batch);
         assert_eq!(out, again);
+    }
+
+    #[test]
+    fn transform_tile_replicates_arrivals_and_renumbers() {
+        let t = SwfTrace::from_text(MINI).unwrap();
+        let (batch, _) = t.to_batch(&SwfMap::for_cluster(8));
+        let n = batch.jobs.len();
+        let out = TraceTransform::new().tile(3).apply(&batch);
+        assert_eq!(out.jobs.len(), 3 * n);
+        // Ids unique across copies.
+        let mut ids: Vec<u32> = out.jobs.iter().map(|j| j.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 3 * n, "tiled ids stay unique");
+        // Copy c's arrivals are copy 0's, shifted by a constant.
+        let span = batch.jobs.iter().map(|j| j.submit_ns).max().unwrap() + 1;
+        for c in 0..3u64 {
+            for (i, j) in batch.jobs.iter().enumerate() {
+                let tiled = &out.jobs[c as usize * n + i];
+                assert_eq!(tiled.submit_ns, j.submit_ns + c * span);
+                assert_eq!(tiled.nodes, j.nodes);
+                assert_eq!(tiled.compute_ns, j.compute_ns);
+            }
+        }
+        // tile(1) is the identity.
+        assert_eq!(TraceTransform::new().tile(1).apply(&batch), batch);
     }
 }

@@ -21,6 +21,13 @@
 //! co-resident jobs rotate in synchronized epochs instead of
 //! serialising behind the HPL class's run-to-block order.
 //!
+//! Part 3 (capacity): the mapped SWF slice is tiled into a
+//! thousands-of-jobs workload and replayed on a 128-node cluster with
+//! pooled window stepping — bit-exact replay pinned at the 512-job
+//! sub-scale (twice), the 2048-job headline run once under a host
+//! wall-clock ceiling. Skipped under `--smoke`; `--quick` runs only
+//! the sub-scale pair.
+//!
 //! Gated claims (non-smoke): the synthetic run is deterministic, no
 //! cell violates its policy's occupancy limit, EASY does not raise
 //! mean wait over FCFS, the HPL kernel does not stretch the makespan
@@ -32,7 +39,9 @@
 //! conservative reservation violations, fair-share user-slowdown
 //! spread no wider than FCFS's, serial-vs-pooled bit equality on an
 //! SWF cell, and walltime kills that fire without losing jobs or
-//! leaking occupancy.
+//! leaking occupancy; and on the capacity cell — replay-pair bit
+//! equality, clean occupancy and zero lost jobs at both scales, and
+//! host wall ceilings (300 s per sub-scale run, 2400 s headline).
 //!
 //! Writes `BENCH_batch.json` in the current directory.
 //!
@@ -602,6 +611,87 @@ fn main() {
          swf_walltime_ok {swf_walltime_ok} | swf_occupancy_ok {swf_occupancy_ok}"
     );
 
+    // ---------- Part 3: capacity cell (tiled SWF, 128 nodes) ----------
+    // The headline scale point: the short SWF fragment is tiled end to
+    // end into a capacity workload — thousands of jobs carrying the
+    // *original trace's* arrival statistics — and replayed on a
+    // 128-node cluster under EASY backfilling with pooled window
+    // stepping. Gated on a bit-exact replay pair at the 512-job
+    // sub-scale, clean occupancy and zero lost jobs at both scales;
+    // host wall-clock per run is recorded (and sanity-capped) so
+    // capacity regressions show up in the artifact, not just in CI
+    // latency.
+    let capacity = if smoke {
+        None
+    } else {
+        let run_capacity = |cap_nodes: u32, cap_take: usize, cap_tile: u32| {
+            let (cap_mapped, cap_dropped) =
+                swf.to_batch(&SwfMap::for_cluster(cap_nodes).ns_per_sec(2_000.0));
+            // Runtimes and arrivals are compressed by the same factor
+            // on top of the usual 10x arrival squeeze: pure time
+            // compression preserves offered load, utilization and
+            // queue dynamics while cutting the event volume to
+            // something a capacity cell can replay.
+            let cap_trace = TraceTransform::new()
+                .take(cap_take)
+                .arrival_scale(0.1 * 0.2)
+                .runtime_scale(0.2)
+                .tile(cap_tile)
+                .apply(&cap_mapped);
+            eprintln!(
+                "capacity cell: {} jobs ({cap_take} x {cap_tile} tiles, {cap_dropped} dropped), \
+                 {cap_nodes} nodes, easy/hpl, pooled",
+                cap_trace.jobs.len()
+            );
+            let cosim = CosimConfig::parallel().with_threads(4).with_min_active(2);
+            let mut cluster = build_cluster(cap_nodes, true, seed ^ 0xCAB, cosim);
+            let start = std::time::Instant::now();
+            let report = BatchRun::new(&cap_trace)
+                .run(&mut cluster, &mut EasyBackfill::new())
+                .expect("capacity cell completes");
+            (cap_trace.jobs.len(), report, start.elapsed().as_secs_f64())
+        };
+        // Bit-exact replay is pinned at the 512-job sub-scale (run
+        // twice); the 2048-job headline cell runs ONCE under a wall
+        // ceiling — a second full-scale replay would double a
+        // many-minute cell to re-prove a determinism property the
+        // sub-scale pair and the SWF serial-vs-pooled gate already
+        // cover.
+        let (det_jobs, det_a, det_wall_a) = run_capacity(64, 64, 8);
+        let (_, det_b, det_wall_b) = run_capacity(64, 64, 8);
+        eprintln!(
+            "capacity replay pair ({det_jobs} jobs, 64 nodes): wall {det_wall_a:.2}s/{det_wall_b:.2}s | {}",
+            if det_a == det_b { "bit-exact" } else { "DIVERGED" }
+        );
+        let headline = if quick {
+            None
+        } else {
+            let (cap_jobs, cap_r, cap_wall) = run_capacity(128, 128, 16);
+            eprintln!(
+                "capacity headline: {cap_jobs} jobs | makespan {:>10.3}ms | util {:>5.3} | \
+                 depth {} | wall {cap_wall:.2}s",
+                cap_r.makespan.as_secs_f64() * 1e3,
+                cap_r.utilization,
+                cap_r.max_queue_depth,
+            );
+            Some((cap_jobs, cap_r, cap_wall))
+        };
+        Some((det_jobs, det_a, det_b, det_wall_a, det_wall_b, headline))
+    };
+    let clean = |r: &BatchReport| r.jobs_lost == 0 && r.occupancy_violations == 0;
+    let capacity_ok = capacity.as_ref().is_none_or(|(_, da, db, dwa, dwb, head)| {
+        da == db
+            && clean(da)
+            && da.max_queue_depth > 0
+            && dwa.max(*dwb) < 300.0
+            && head
+                .as_ref()
+                .is_none_or(|(_, r, w)| clean(r) && r.max_queue_depth > 0 && *w < 2400.0)
+    });
+    if capacity.is_some() {
+        eprintln!("capacity_ok {capacity_ok}");
+    }
+
     // ---------- JSON ----------
     let mut json = String::from("{\n  \"bench\": \"batch\",\n");
     json.push_str(&format!("  \"flavour\": \"{flavour}\",\n"));
@@ -658,7 +748,32 @@ fn main() {
         json.push_str(&cell_json(p, r, false));
     }
     json.push_str(&cell_json("walltime-fcfs", &walltime_report, true));
-    json.push_str("    ]\n  }\n}\n");
+    json.push_str("    ]\n  }");
+    if let Some((det_jobs, da, db, dwa, dwb, head)) = &capacity {
+        json.push_str(&format!(
+            ",\n  \"capacity\": {{\n    \"policy\": \"easy\",\n    \
+             \"replay\": {{\"nodes\": 64, \"jobs\": {det_jobs}, \
+             \"makespan_ms\": {:.6}, \"utilization\": {:.4}, \"max_queue_depth\": {}, \
+             \"wall_s\": [{dwa:.3}, {dwb:.3}], \"bit_exact\": {}}}",
+            da.makespan.as_secs_f64() * 1e3,
+            da.utilization,
+            da.max_queue_depth,
+            da == db
+        ));
+        match head {
+            Some((cap_jobs, r, w)) => json.push_str(&format!(
+                ",\n    \"headline\": {{\"nodes\": 128, \"jobs\": {cap_jobs}, \
+                 \"makespan_ms\": {:.6}, \"utilization\": {:.4}, \"max_queue_depth\": {}, \
+                 \"wall_s\": {w:.3}}}",
+                r.makespan.as_secs_f64() * 1e3,
+                r.utilization,
+                r.max_queue_depth,
+            )),
+            None => json.push_str(",\n    \"headline\": null"),
+        }
+        json.push_str(&format!(",\n    \"ok\": {capacity_ok}\n  }}"));
+    }
+    json.push_str("\n}\n");
     std::fs::write(&out, json).expect("write bench json");
     eprintln!("wrote {out}");
 
@@ -676,7 +791,8 @@ fn main() {
         && swf_fairshare_ok
         && swf_pooled_equal
         && swf_walltime_ok
-        && swf_occupancy_ok;
+        && swf_occupancy_ok
+        && capacity_ok;
     if !smoke && !claims_hold {
         eprintln!("FAIL: batch sweep claims do not hold");
         std::process::exit(1);

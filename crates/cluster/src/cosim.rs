@@ -41,7 +41,7 @@ use crate::pool::WorkerPool;
 use crate::window::Window;
 use hpl_kernel::observe::ChromeTraceSink;
 use hpl_kernel::{NetMsg, Node, ObserverId, Pid, RunOutcome, TaskState};
-use hpl_mpi::{find_mpiexec, spawn_job_tree, JobSpec, SchedMode};
+use hpl_mpi::{find_mpiexec, spawn_job_tree_with, JobSpec, RankWrap, SchedMode};
 use hpl_sim::time::{SimDuration, SimTime};
 use std::fmt::Write as _;
 
@@ -131,6 +131,32 @@ pub struct ClusterJobHandle {
     pub perf_pids: Vec<Pid>,
     /// Per-job-node launch times (nodes need not share a clock).
     pub launched_at: Vec<SimTime>,
+}
+
+/// A coordination runtime interposed between a batch engine and the
+/// cluster: it owns how jobs are launched (so it can shim each rank's
+/// program on the way in) and how fractional CPU shares handed down by
+/// a policy like DFRS are *realized* on the nodes — by weighted kernel
+/// slicing, a user-space lease arbiter, or anything else. Batch
+/// engines treat the trait as opaque: with no coordinator installed
+/// they call [`Cluster::launch`] directly and shares remain the
+/// advisory annotations they were. `hpl-coord` provides the reference
+/// implementations.
+pub trait JobCoordinator {
+    /// Launch `job`, standing in for [`Cluster::launch`]. Implementors
+    /// typically delegate to [`Cluster::launch_with`] to interpose a
+    /// rank shim and/or enroll the job with an initial share.
+    fn launch(
+        &mut self,
+        cluster: &mut Cluster,
+        job: &JobSpec,
+        mode: SchedMode,
+        placement: Placement,
+    ) -> ClusterJobHandle;
+
+    /// Realize gang `gang`'s milli-CPU share on cluster node `node`
+    /// (called between windows whenever a policy re-divides a node).
+    fn set_share(&mut self, cluster: &mut Cluster, node: usize, gang: u64, share_milli: u32);
 }
 
 /// A launched job the cluster routes messages for. Jobs stay in the
@@ -535,6 +561,22 @@ impl Cluster {
         mode: SchedMode,
         placement: Placement,
     ) -> ClusterJobHandle {
+        self.launch_with(job, mode, placement, &mut |_, p| p)
+    }
+
+    /// [`Self::launch`] with a [`RankWrap`] hook interposed on every
+    /// rank program as it is forked — `wrap(rank, program)` returns
+    /// what the rank actually runs. The identity closure reproduces
+    /// [`Self::launch`] byte for byte; `hpl-coord` uses the hook to
+    /// install its cooperative lease shim without this crate knowing
+    /// coordination exists.
+    pub fn launch_with(
+        &mut self,
+        job: &JobSpec,
+        mode: SchedMode,
+        placement: Placement,
+        wrap: RankWrap<'_>,
+    ) -> ClusterJobHandle {
         let placement = placement.resolve(self.nodes.len());
         assert_eq!(
             job.nodes as usize,
@@ -579,7 +621,7 @@ impl Cluster {
                 node.register_net_channel(chan);
             }
             launched_at.push(node.now());
-            let root = spawn_job_tree(node, job, mode, j as u32);
+            let root = spawn_job_tree_with(node, job, mode, j as u32, wrap);
             if node.cfg.gang_epoch.is_some() {
                 // Gang co-scheduling: every rank tree of this job shares
                 // one gang id — the job's id base, which the
@@ -606,6 +648,21 @@ impl Cluster {
             perf_pids,
             launched_at,
         }
+    }
+
+    /// Set gang `gang`'s milli-CPU share on cluster node `node` for
+    /// weighted kernel slicing ([`hpl_kernel::Node::gang_set_share`]).
+    /// Called between windows, like every other harness mutation; a
+    /// coordination runtime calls it on every node a job occupies so
+    /// the lockstep nodes keep deriving identical slice schedules from
+    /// the shared virtual clock.
+    pub fn set_gang_share(&mut self, node: usize, gang: u64, share_milli: u32) {
+        assert!(
+            !self.down[node] && !self.drained[node],
+            "set_gang_share on {} node {node}",
+            if self.down[node] { "down" } else { "drained" }
+        );
+        self.nodes[node].gang_set_share(gang, share_milli);
     }
 
     /// Advance one lockstep window. Returns `false` when every node's

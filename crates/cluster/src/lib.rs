@@ -52,7 +52,9 @@ pub mod net;
 mod pool;
 pub mod window;
 
-pub use cosim::{Cluster, ClusterBuilder, ClusterJobHandle, CosimConfig, Placement};
+pub use cosim::{
+    Cluster, ClusterBuilder, ClusterJobHandle, CosimConfig, JobCoordinator, Placement,
+};
 pub use fault::{DegradeWindow, FaultPlan, LossSpec, NodeEvent, NodeFault};
 pub use net::{Fabric, FlatFabric, Interconnect, NetConfig, Route, SwitchedFabric};
 pub use window::Window;

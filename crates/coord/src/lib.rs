@@ -1,0 +1,48 @@
+//! `hpl-coord` — realizing fractional CPU shares inside a node.
+//!
+//! The batch layer's DFRS policy hands out *fractional* shares: "job A
+//! gets 750 milli-CPUs of this node, job B gets 250". Until this crate,
+//! those shares were advisory annotations ([`SchedEvent::JobShare`]);
+//! the kernel's gang rotation still split time equally. This crate
+//! provides two deterministic arbitration backends that make the
+//! fractions real, both driving the **same** slice schedule — a pure
+//! function of the shared virtual clock, the co-resident gang set and
+//! the share table ([`hpl_kernel::gang`]) — enforced at different
+//! layers:
+//!
+//! * **[`CoordBackend::KernelWeighted`]** — the gang controller inside
+//!   each node cuts its rotation period proportionally to the shares
+//!   and preempts at every boundary. Precise, but needs kernel support
+//!   (`KernelConfig::gang_epoch` + the share table).
+//! * **[`CoordBackend::UserSpace`]** — one RT arbiter daemon per node
+//!   ([`ArbiterProgram`]) grants lease tokens to cooperating ranks
+//!   ([`CoordShim`]) that yield voluntarily at phase boundaries,
+//!   through ordinary channels and shared memory
+//!   ([`NodeCoordState`]). Runs under **any** scheduling class with
+//!   zero kernel changes, at phase-boundary granularity — the classic
+//!   OS-design trade the paper's scheduling study circles: mechanisms
+//!   in the kernel are exact, mechanisms above it are portable.
+//!
+//! Because both backends derive the schedule from the shared clock,
+//! lockstep nodes hosting the same jobs slice in alignment without any
+//! coordination messages — the property that makes gang scheduling
+//! work across a cluster carries over to weighted shares.
+//!
+//! The [`CoordRuntime`] packages either backend behind the cluster's
+//! [`hpl_cluster::JobCoordinator`] seam, so a batch engine coordinates
+//! jobs without knowing which layer does the work.
+
+#![warn(missing_docs)]
+
+pub mod arbiter;
+pub mod runtime;
+pub mod shim;
+pub mod state;
+
+pub use arbiter::ArbiterProgram;
+pub use runtime::{CoordBackend, CoordRuntime};
+pub use shim::CoordShim;
+pub use state::{ctrl_chan, lease_chan, CoordStats, NodeCoordState, SharedCoord, COORD_CHAN_BASE};
+
+// Re-exported so doc links resolve and callers need not name hpl-kernel.
+pub use hpl_kernel::observe::SchedEvent;

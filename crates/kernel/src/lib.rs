@@ -59,6 +59,7 @@ pub mod cache;
 pub mod cfs;
 pub mod class;
 pub mod config;
+pub mod gang;
 pub mod idle;
 pub mod node;
 pub mod noise;

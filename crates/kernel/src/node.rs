@@ -160,6 +160,8 @@ impl NodeBuilder {
             c.init(ncpus);
         }
         let balance_clock = BalanceClock::new(&domains);
+        let initial_shares: std::collections::BTreeMap<u64, u32> =
+            self.cfg.gang_shares.iter().copied().collect();
         let mut node = Node {
             cache: CacheModel::new(&self.topo),
             counters: PerCpuCounters::new(ncpus),
@@ -196,7 +198,9 @@ impl NodeBuilder {
             outbound: Vec::new(),
             gang_refs: std::collections::BTreeMap::new(),
             gang_active: None,
-            gang_armed: false,
+            gang_armed: None,
+            gang_shares: initial_shares,
+            gang_slice_mark: None,
             events: 0,
         };
         // Stagger per-CPU ticks across the tick period. The fast path
@@ -329,8 +333,19 @@ pub struct Node {
     gang_refs: std::collections::BTreeMap<u64, u32>,
     /// Gang currently allowed to run (`None` = no rotation in force).
     gang_active: Option<u64>,
-    /// Whether an [`Ev::GangEpoch`] is pending in the event heap.
-    gang_armed: bool,
+    /// Earliest pending [`Ev::GangEpoch`] time in ns, `None` when no
+    /// epoch event is armed. Weighted slicing may leave later stale
+    /// events in the heap after a share change; they recompute
+    /// harmlessly.
+    gang_armed: Option<u64>,
+    /// Milli-CPU share per gang (see [`Self::gang_set_share`]). Empty
+    /// means unweighted: the legacy equal-epoch rotation code path runs
+    /// and the node is byte-identical to a build without shares.
+    gang_shares: std::collections::BTreeMap<u64, u32>,
+    /// Last `(gang, boundary)` published as a [`SchedEvent::GangSlice`]
+    /// — dedups re-emission when `gang_recompute` runs mid-slice.
+    /// Observer bookkeeping only; never read by scheduling decisions.
+    gang_slice_mark: Option<(u64, u64)>,
     /// Events processed (dispatched + batch-fired ticks).
     events: u64,
 }
@@ -1289,6 +1304,16 @@ impl Node {
                     self.do_exit(pid);
                     break;
                 }
+                Step::Emit(ev) => {
+                    // Observability annotation from user-space (the
+                    // coord arbiter's lease grants). Observers are pure
+                    // sinks, so this cannot perturb the simulation; it
+                    // costs nothing when no sink is attached.
+                    if !self.observers.is_empty() {
+                        self.emit(ev);
+                    }
+                    continue;
+                }
             }
         }
         let popped = self.advancing.pop();
@@ -1403,6 +1428,39 @@ impl Node {
         self.drain();
     }
 
+    /// Enroll `pid` in gang `gang` with an explicit milli-CPU share —
+    /// [`Self::gang_enroll`] followed by [`Self::gang_set_share`] in
+    /// one call (the form the coord runtime uses at job launch).
+    pub fn gang_enroll_shared(&mut self, pid: Pid, gang: u64, share_milli: u32) {
+        self.gang_enroll(pid, gang);
+        self.gang_set_share(gang, share_milli);
+    }
+
+    /// Set gang `gang`'s milli-CPU share for weighted slicing. While
+    /// any share is set, each gang's slice of the rotation period is
+    /// proportional to its share (gangs without an entry weigh the
+    /// default 1000), computed by [`crate::gang::weighted_slices`] —
+    /// still a pure function of the shared virtual clock, so lockstep
+    /// nodes with the same gangs and shares stay aligned without
+    /// messages. Equal shares reproduce the unweighted rotation's
+    /// boundaries exactly; an empty table takes the legacy code path
+    /// byte for byte. Shares of gangs whose last member exits are
+    /// pruned automatically.
+    pub fn gang_set_share(&mut self, gang: u64, share_milli: u32) {
+        assert!(share_milli > 0, "gang share must be non-zero");
+        if self.gang_shares.insert(gang, share_milli) == Some(share_milli) {
+            return;
+        }
+        self.gang_recompute();
+        self.drain();
+    }
+
+    /// The milli-CPU share of `gang` (1000 when unset — the weighted
+    /// slicer's default weight).
+    pub fn gang_share(&self, gang: u64) -> u32 {
+        self.gang_shares.get(&gang).copied().unwrap_or(1000)
+    }
+
     /// The gang currently allowed to run (`None` = no rotation in
     /// force: fewer than two gangs live, or no epoch configured).
     pub fn gang_active(&self) -> Option<u64> {
@@ -1431,6 +1489,9 @@ impl Node {
         *n -= 1;
         if *n == 0 {
             self.gang_refs.remove(&g);
+            // A dead gang's share must not keep skewing the rotation
+            // (job ids are never recycled, so the entry is garbage).
+            self.gang_shares.remove(&g);
         }
         self.gang_recompute();
     }
@@ -1445,13 +1506,30 @@ impl Node {
     /// in the same window without exchanging any messages.
     fn gang_recompute(&mut self) {
         let epoch = self.cfg.gang_epoch;
-        let desired = match epoch {
+        // (desired active gang, next boundary in ns if rotation is in
+        // force). The weighted path runs only while a share is set, so
+        // share-free nodes execute exactly the legacy computation.
+        let (desired, boundary) = match epoch {
             Some(len) if self.gang_refs.len() >= 2 => {
-                let k = self.now().as_nanos() / len.as_nanos();
-                let idx = (k % self.gang_refs.len() as u64) as usize;
-                self.gang_refs.keys().nth(idx).copied()
+                if self.gang_shares.is_empty() {
+                    let k = self.now().as_nanos() / len.as_nanos();
+                    let idx = (k % self.gang_refs.len() as u64) as usize;
+                    (
+                        self.gang_refs.keys().nth(idx).copied(),
+                        Some((k + 1) * len.as_nanos()),
+                    )
+                } else {
+                    let gangs: Vec<(u64, u32)> = self
+                        .gang_refs
+                        .keys()
+                        .map(|&g| (g, self.gang_shares.get(&g).copied().unwrap_or(1000)))
+                        .collect();
+                    let (active, next) =
+                        crate::gang::active_at(self.now().as_nanos(), len.as_nanos(), &gangs);
+                    (Some(active), Some(next))
+                }
             }
-            _ => None,
+            _ => (None, None),
         };
         if desired != self.gang_active {
             self.gang_active = desired;
@@ -1471,18 +1549,43 @@ impl Node {
                 });
             }
         }
-        if let Some(len) = epoch {
-            if self.gang_refs.len() >= 2 && !self.gang_armed {
-                let k = self.now().as_nanos() / len.as_nanos();
-                let next = SimTime::ZERO + SimDuration::from_nanos((k + 1) * len.as_nanos());
-                self.queue.schedule(next, Ev::GangEpoch);
-                self.gang_armed = true;
+        // Weighted slicing publishes one GangSlice per slice — keyed on
+        // (gang, boundary) so mid-slice recomputes don't re-emit, and a
+        // share change that *moves* the boundary emits the corrected
+        // remainder. Absent in the unweighted path, so share-free runs
+        // keep their observer streams bit-identical.
+        if !self.gang_shares.is_empty() && !self.observers.is_empty() {
+            if let (Some(g), Some(b)) = (desired, boundary) {
+                if self.gang_slice_mark != Some((g, b)) {
+                    self.gang_slice_mark = Some((g, b));
+                    self.emit(SchedEvent::GangSlice {
+                        gang: g,
+                        share_milli: self.gang_shares.get(&g).copied().unwrap_or(1000),
+                        slice_ns: b - self.now().as_nanos(),
+                        gangs: self.gang_refs.len() as u32,
+                    });
+                }
+            }
+        }
+        if let Some(next_ns) = boundary {
+            // Arm the next slice boundary. The legacy path arms only
+            // when nothing is pending (one outstanding event, exactly
+            // as before); the weighted path additionally arms when a
+            // share change moved the boundary *earlier* than the
+            // pending event — the stale later event recomputes
+            // harmlessly when it fires.
+            if self.gang_armed.is_none_or(|armed| next_ns < armed) {
+                self.queue.schedule(
+                    SimTime::ZERO + SimDuration::from_nanos(next_ns),
+                    Ev::GangEpoch,
+                );
+                self.gang_armed = Some(next_ns);
             }
         }
     }
 
     fn on_gang_epoch(&mut self) {
-        self.gang_armed = false;
+        self.gang_armed = None;
         self.gang_recompute();
     }
 
@@ -1602,6 +1705,15 @@ impl Node {
                     from: prev,
                     to: new,
                 });
+                // Per-gang CPU-time attribution: while any gang is
+                // live, tag each switch with the incoming task's gang
+                // so MetricsSink can integrate busy time per gang.
+                // Gang-free runs emit nothing — their observer streams
+                // stay bit-identical.
+                if !self.gang_refs.is_empty() {
+                    let gang = new.and_then(|p| self.tasks.get(p).gang);
+                    self.emit(SchedEvent::GangRun { cpu, gang });
+                }
             }
             self.counters.add_sw(cpu, SwEvent::ContextSwitches, 1);
             self.cpus[idx].pending_overhead += self.cfg.ctx_switch_cost;

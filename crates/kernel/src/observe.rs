@@ -327,6 +327,45 @@ pub enum SchedEvent {
         /// Share in milli-units (1000 = the node's full CPU capacity).
         share_milli: u32,
     },
+    /// Weighted gang slicing started a slice: `gang` owns the CPU until
+    /// the slice boundary `slice_ns` from now. Emitted only while a
+    /// share table is set (see [`crate::Node::gang_set_share`]), once
+    /// per slice; a mid-slice share change re-emits with the corrected
+    /// remainder. Unweighted rotation emits only [`Self::GangEpoch`].
+    GangSlice {
+        /// Gang that owns the starting slice.
+        gang: u64,
+        /// The gang's milli-CPU share (default weight 1000).
+        share_milli: u32,
+        /// Slice length — time until the next boundary, in ns.
+        slice_ns: u64,
+        /// Live gang count (the rotation period spans `gangs` epochs).
+        gangs: u32,
+    },
+    /// A CPU's running task changed gang context (emitted alongside
+    /// [`Self::Switch`] while any gang is enrolled): the incoming
+    /// task's gang, `None` for gangless tasks or an idling CPU. This is
+    /// what lets [`MetricsSink`] integrate per-gang busy time so share
+    /// skew is *observable*, not just scheduled.
+    GangRun {
+        /// The switching CPU.
+        cpu: CpuId,
+        /// Gang of the task now running (`None`: idle or gangless).
+        gang: Option<u64>,
+    },
+    /// The user-space coordination arbiter granted a CPU lease
+    /// (`hpl-coord`'s cooperative backend; published from the arbiter
+    /// task through [`crate::Step::Emit`]).
+    Lease {
+        /// Gang (job) receiving the lease.
+        gang: u64,
+        /// The gang's registered milli-CPU share.
+        share_milli: u32,
+        /// Blocked ranks released by this grant.
+        granted: u32,
+        /// Registered co-resident jobs at grant time.
+        jobs: u32,
+    },
 }
 
 /// A sink for kernel scheduling decisions.
@@ -875,6 +914,9 @@ pub struct MetricsSink {
     woken_at: HashMap<Pid, SimTime>,
     /// Previous migration anywhere on the node (inter-arrival hist).
     last_migration: Option<SimTime>,
+    /// Per-CPU gang context and its start time (per-gang busy-time
+    /// attribution; fed by [`SchedEvent::GangRun`]).
+    gang_on: Vec<Option<(u64, SimTime)>>,
 }
 
 impl MetricsSink {
@@ -971,6 +1013,29 @@ impl SchedObserver for MetricsSink {
             SchedEvent::JobEnd { .. } => self.m.job_ends += 1,
             SchedEvent::GangEpoch { .. } => self.m.gang_epochs += 1,
             SchedEvent::JobShare { .. } => self.m.job_shares += 1,
+            SchedEvent::GangSlice { slice_ns, .. } => {
+                self.m.gang_slices += 1;
+                self.m.gang_slice_ns.record(slice_ns);
+            }
+            SchedEvent::GangRun { cpu, gang } => {
+                if cpu.index() >= self.gang_on.len() {
+                    self.gang_on.resize(cpu.index() + 1, None);
+                }
+                if let Some((g, since)) = self.gang_on[cpu.index()].take() {
+                    self.m
+                        .gang_busy
+                        .entry(g)
+                        .or_default()
+                        .record(at.since(since).as_nanos());
+                }
+                if let Some(g) = gang {
+                    self.gang_on[cpu.index()] = Some((g, at));
+                }
+            }
+            SchedEvent::Lease { granted, .. } => {
+                self.m.leases += 1;
+                self.m.lease_grants += u64::from(granted);
+            }
             SchedEvent::Deactivate { .. } | SchedEvent::SetSched { .. } => {}
         }
     }
@@ -1381,6 +1446,63 @@ mod tests {
         assert_eq!(m.migration_interarrival_ns.count(), 1);
         assert_eq!(m.migration_interarrival_ns.max(), Some(4000));
         assert_eq!(m.per_cpu_switches, vec![2]);
+    }
+
+    #[test]
+    fn metrics_sink_integrates_per_gang_busy_time() {
+        let run = |g: Option<u64>, cpu: u32| SchedEvent::GangRun {
+            cpu: CpuId(cpu),
+            gang: g,
+        };
+        let mut s = MetricsSink::new();
+        // CPU0: gang 7 runs 1000..4000 then idles; gang 9 runs
+        // 5000..5500. CPU1 concurrently: gang 7 runs 2000..2600 and
+        // hands over to gang 9 directly (no idle gap), closed at 3600.
+        s.observe(t(1_000), &run(Some(7), 0));
+        s.observe(t(2_000), &run(Some(7), 1));
+        s.observe(t(2_600), &run(Some(9), 1));
+        s.observe(t(3_600), &run(None, 1));
+        s.observe(t(4_000), &run(None, 0));
+        s.observe(t(5_000), &run(Some(9), 0));
+        s.observe(t(5_500), &run(None, 0));
+        {
+            let m = s.metrics();
+            assert_eq!(m.gang_busy_ns(7), 3_000 + 600);
+            assert_eq!(m.gang_busy_ns(9), 1_000 + 500);
+            assert_eq!(m.gang_busy.get(&7).unwrap().count(), 2);
+            // A gang never seen reads as zero, not a panic.
+            assert_eq!(m.gang_busy_ns(42), 0);
+        }
+        // Slice and lease events ride the same stream into counters.
+        s.observe(
+            t(6_000),
+            &SchedEvent::GangSlice {
+                gang: 7,
+                share_milli: 750,
+                slice_ns: 750_000,
+                gangs: 2,
+            },
+        );
+        s.observe(
+            t(6_000),
+            &SchedEvent::Lease {
+                gang: 9,
+                share_milli: 250,
+                granted: 3,
+                jobs: 2,
+            },
+        );
+        let m = s.metrics();
+        assert_eq!(m.gang_slices, 1);
+        assert_eq!(m.gang_slice_ns.max(), Some(750_000));
+        assert_eq!(m.leases, 1);
+        assert_eq!(m.lease_grants, 3);
+        // Merging folds the per-gang ledgers, not just the counters.
+        let mut merged = SchedMetrics::new();
+        merged.merge(m);
+        merged.merge(m);
+        assert_eq!(merged.gang_busy_ns(7), 2 * 3_600);
+        assert_eq!(merged.leases, 2);
     }
 
     #[test]

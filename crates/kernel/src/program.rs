@@ -97,6 +97,13 @@ pub enum Step {
     WaitChildren,
     /// Terminate.
     Exit,
+    /// Publish an observability annotation into the node's
+    /// [`crate::observe::SchedObserver`] stream — how user-space
+    /// runtimes (the `hpl-coord` arbiter's lease grants) thread their
+    /// decisions into the same trace as the kernel's own. Observers are
+    /// pure sinks, so this never perturbs the simulation; with no sink
+    /// attached it costs nothing.
+    Emit(crate::observe::SchedEvent),
 }
 
 impl fmt::Debug for Step {
@@ -125,6 +132,7 @@ impl fmt::Debug for Step {
             Step::SetAffinity { target, mask } => write!(f, "SetAffinity({target:?}, {mask})"),
             Step::WaitChildren => write!(f, "WaitChildren"),
             Step::Exit => write!(f, "Exit"),
+            Step::Emit(ev) => write!(f, "Emit({ev:?})"),
         }
     }
 }

@@ -1,0 +1,137 @@
+//! Property tests for the weighted gang-slicing math (`hpl_kernel::gang`):
+//! invariants that must hold for *any* gang set, share table, epoch
+//! length and period index — the arbitration layers (kernel gang
+//! controller, hpl-coord's user-space arbiter) both trust them.
+
+use hpl_kernel::gang::{active_at, weighted_slices};
+use proptest::prelude::*;
+
+/// A random sorted gang set with strictly increasing ids and non-zero
+/// shares (the two preconditions the kernel upholds by construction).
+fn gang_set() -> impl Strategy<Value = Vec<(u64, u32)>> {
+    proptest::collection::vec((1u64..1_000, 1u32..5_000), 1..6).prop_map(|raw| {
+        let mut id = 0u64;
+        raw.into_iter()
+            .map(|(stride, share)| {
+                id += stride;
+                (id, share)
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Slices always sum to the full rotation period, exactly — the
+    /// budget is conserved to the nanosecond for every period index.
+    #[test]
+    fn slices_conserve_the_period(
+        gangs in gang_set(),
+        epoch_ns in 1u64..10_000_000,
+        idx in 0u64..1_000,
+    ) {
+        let slices = weighted_slices(epoch_ns, &gangs, idx);
+        let sum: u64 = slices.iter().map(|&(_, s)| s).sum();
+        prop_assert_eq!(sum, epoch_ns * gangs.len() as u64);
+        // And in gang-id order, one entry per gang.
+        prop_assert_eq!(
+            slices.iter().map(|&(g, _)| g).collect::<Vec<_>>(),
+            gangs.iter().map(|&(g, _)| g).collect::<Vec<_>>()
+        );
+    }
+
+    /// A larger share never yields a shorter slice (beyond the single
+    /// remainder nanosecond a smaller gang may receive).
+    #[test]
+    fn slices_monotone_in_share(
+        gangs in gang_set(),
+        epoch_ns in 1u64..10_000_000,
+        idx in 0u64..1_000,
+    ) {
+        let slices = weighted_slices(epoch_ns, &gangs, idx);
+        for i in 0..gangs.len() {
+            for j in 0..gangs.len() {
+                if gangs[i].1 >= gangs[j].1 {
+                    prop_assert!(
+                        slices[i].1 + 1 >= slices[j].1,
+                        "share {} got {} ns but share {} got {} ns",
+                        gangs[i].1, slices[i].1, gangs[j].1, slices[j].1
+                    );
+                }
+            }
+        }
+    }
+
+    /// Equal shares degenerate to the legacy rotation: every slice is
+    /// exactly one epoch, whatever the common share value is.
+    #[test]
+    fn equal_shares_slice_one_epoch_each(
+        strides in proptest::collection::vec(1u64..100_000, 1..6),
+        share in 1u32..5_000,
+        epoch_ns in 1u64..10_000_000,
+        idx in 0u64..1_000,
+    ) {
+        let mut id = 0u64;
+        let gangs: Vec<(u64, u32)> = strides
+            .into_iter()
+            .map(|stride| {
+                id += stride;
+                (id, share)
+            })
+            .collect();
+        let slices = weighted_slices(epoch_ns, &gangs, idx);
+        for (g, s) in slices {
+            prop_assert_eq!(s, epoch_ns, "gang {} slice", g);
+        }
+    }
+
+    /// Walking `active_at` boundary to boundary from a period start
+    /// tiles the period exactly: each gang is visited once, in order,
+    /// for precisely its `weighted_slices` allotment, and the walk
+    /// lands on the period end. This ties the two functions together —
+    /// the kernel's timer rearm loop *is* this walk.
+    #[test]
+    fn boundary_walk_tiles_the_period(
+        gangs in gang_set(),
+        epoch_ns in 1u64..1_000_000,
+        idx in 0u64..1_000,
+    ) {
+        let period = epoch_ns * gangs.len() as u64;
+        let start = idx * period;
+        let mut t = start;
+        let mut visited = Vec::new();
+        while t < start + period {
+            let (g, next) = active_at(t, epoch_ns, &gangs);
+            prop_assert!(next > t, "boundary must advance: t={} next={}", t, next);
+            prop_assert!(next <= start + period, "boundary past period end");
+            visited.push((g, next - t));
+            t = next;
+        }
+        prop_assert_eq!(t, start + period, "walk must land on the period end");
+        let expected: Vec<(u64, u64)> = weighted_slices(epoch_ns, &gangs, idx)
+            .into_iter()
+            .filter(|&(_, s)| s > 0)
+            .collect();
+        prop_assert_eq!(visited, expected);
+    }
+
+    /// `active_at` is a pure function of virtual time: any two queries
+    /// inside the same slice agree on the gang and the boundary (this
+    /// is what keeps lockstep co-simulated nodes aligned without
+    /// messages, and serial vs pooled stepping bit-identical).
+    #[test]
+    fn active_at_is_stable_within_a_slice(
+        gangs in gang_set(),
+        epoch_ns in 1u64..1_000_000,
+        now in 0u64..100_000_000,
+    ) {
+        let (g, next) = active_at(now, epoch_ns, &gangs);
+        prop_assert!(gangs.iter().any(|&(id, _)| id == g));
+        for probe in [now, (now + next - 1) / 2, next - 1] {
+            if probe >= now {
+                prop_assert_eq!(active_at(probe, epoch_ns, &gangs), (g, next));
+            }
+        }
+    }
+}

@@ -12,7 +12,7 @@
 use crate::runtime::{JobSpec, RankProgram};
 use hpl_core::chrt::chrt_spec;
 use hpl_kernel::program::ScriptProgram;
-use hpl_kernel::{Node, Pid, Policy, RunOutcome, Step, TaskSpec, TaskState};
+use hpl_kernel::{Node, Pid, Policy, Program, RunOutcome, Step, TaskSpec, TaskState};
 use hpl_sim::{SimDuration, SimTime};
 
 /// Task tag marking members of the measured application (ranks +
@@ -54,14 +54,23 @@ pub struct LaunchHandle {
     pub launched_at: SimTime,
 }
 
+/// A hook wrapping each rank's program at fork time: called with the
+/// global rank index and the bare [`RankProgram`], it returns the
+/// program the rank actually runs. The identity closure reproduces the
+/// unwrapped launch exactly; `hpl-coord` uses it to interpose its
+/// cooperative lease shim without the launcher knowing coordination
+/// exists.
+pub type RankWrap<'a> = &'a mut dyn FnMut(u32, Box<dyn Program>) -> Box<dyn Program>;
+
 /// Build the mpiexec program forking the ranks in `ranks` (a single
 /// node's share of the job; the whole job on a single-node launch):
-/// fork each, wait, exit.
+/// fork each, wait, exit. Each rank's program passes through `wrap`.
 fn mpiexec_spec(
     node: &Node,
     job: &JobSpec,
     mode: SchedMode,
     ranks: std::ops::Range<u32>,
+    wrap: RankWrap<'_>,
 ) -> TaskSpec {
     let mut steps = Vec::new();
     let ncpus = node.topo.total_cpus();
@@ -76,7 +85,7 @@ fn mpiexec_spec(
         let mut spec = TaskSpec::new(
             format!("rank{rank}"),
             rank_policy,
-            Box::new(RankProgram::new(job, rank)),
+            wrap(rank, Box::new(RankProgram::new(job, rank))),
         )
         .with_tag(APP_TAG);
         if mode == SchedMode::CfsPinned {
@@ -108,7 +117,7 @@ fn mpiexec_spec(
 /// `perf stat -a -- chrt ... mpiexec ...`.
 pub fn launch(node: &mut Node, job: &JobSpec, mode: SchedMode) -> LaunchHandle {
     let launched_at = node.now();
-    let inner = mpiexec_spec(node, job, mode, 0..job.nprocs);
+    let inner = mpiexec_spec(node, job, mode, 0..job.nprocs, &mut |_, p| p);
     // Under HPL the paper wraps mpiexec in the modified chrt; under RT
     // the stock chrt does the same job. Either way perf is the root.
     let wrapped = match mode {
@@ -164,7 +173,20 @@ pub fn launch(node: &mut Node, job: &JobSpec, mode: SchedMode) -> LaunchHandle {
 /// the mpiexec pid from the task table after (or during) the lockstep
 /// run instead. Returns the root (`perf`) pid.
 pub fn spawn_job_tree(node: &mut Node, job: &JobSpec, mode: SchedMode, node_idx: u32) -> Pid {
-    let inner = mpiexec_spec(node, job, mode, job.ranks_on(node_idx));
+    spawn_job_tree_with(node, job, mode, node_idx, &mut |_, p| p)
+}
+
+/// [`spawn_job_tree`] with a [`RankWrap`] hook interposed on every rank
+/// program — the entry point coordination runtimes use to shim ranks.
+/// The identity closure makes this byte-identical to the plain spawn.
+pub fn spawn_job_tree_with(
+    node: &mut Node,
+    job: &JobSpec,
+    mode: SchedMode,
+    node_idx: u32,
+    wrap: RankWrap<'_>,
+) -> Pid {
+    let inner = mpiexec_spec(node, job, mode, job.ranks_on(node_idx), wrap);
     let wrapped = match mode {
         SchedMode::Hpc => chrt_spec("chrt", inner),
         _ => inner,

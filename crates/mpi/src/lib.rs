@@ -27,5 +27,7 @@
 pub mod launcher;
 pub mod runtime;
 
-pub use launcher::{find_mpiexec, launch, spawn_job_tree, LaunchHandle, SchedMode};
+pub use launcher::{
+    find_mpiexec, launch, spawn_job_tree, spawn_job_tree_with, LaunchHandle, RankWrap, SchedMode,
+};
 pub use runtime::{JobSpec, MpiConfig, MpiOp, RankProgram};

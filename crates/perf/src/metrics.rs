@@ -203,6 +203,12 @@ pub struct SchedMetrics {
     pub gang_epochs: u64,
     /// DFRS fractional-share assignments published by the batch layer.
     pub job_shares: u64,
+    /// Weighted gang slices started (share table in force).
+    pub gang_slices: u64,
+    /// User-space coordination lease grants (hpl-coord arbiter).
+    pub leases: u64,
+    /// Blocked ranks released across all lease grants.
+    pub lease_grants: u64,
     /// Switch count per CPU, indexed by CPU id.
     pub per_cpu_switches: Vec<u64>,
     /// How long tasks held a CPU before switching out, in ns.
@@ -219,6 +225,14 @@ pub struct SchedMetrics {
     pub batch_queue_depth: Log2Hist,
     /// Batch job queue wait (submit → start), in ns.
     pub job_wait_ns: Log2Hist,
+    /// Weighted slice lengths as scheduled, in ns.
+    pub gang_slice_ns: Log2Hist,
+    /// Per-gang busy time: one histogram of CPU-occupancy stretch
+    /// lengths per gang id, integrated from gang-tagged switch events.
+    /// `sum()` of a gang's histogram is its total attributed CPU ns —
+    /// the observable that makes a 750/250 share split *measurable*
+    /// rather than merely configured.
+    pub gang_busy: std::collections::BTreeMap<u64, Log2Hist>,
 }
 
 impl SchedMetrics {
@@ -259,6 +273,9 @@ impl SchedMetrics {
         self.job_ends += other.job_ends;
         self.gang_epochs += other.gang_epochs;
         self.job_shares += other.job_shares;
+        self.gang_slices += other.gang_slices;
+        self.leases += other.leases;
+        self.lease_grants += other.lease_grants;
         if other.per_cpu_switches.len() > self.per_cpu_switches.len() {
             self.per_cpu_switches
                 .resize(other.per_cpu_switches.len(), 0);
@@ -278,6 +295,15 @@ impl SchedMetrics {
         self.net_queue_ns.merge(&other.net_queue_ns);
         self.batch_queue_depth.merge(&other.batch_queue_depth);
         self.job_wait_ns.merge(&other.job_wait_ns);
+        self.gang_slice_ns.merge(&other.gang_slice_ns);
+        for (g, h) in &other.gang_busy {
+            self.gang_busy.entry(*g).or_default().merge(h);
+        }
+    }
+
+    /// Total CPU time attributed to `gang`, in ns (0 if never seen).
+    pub fn gang_busy_ns(&self, gang: u64) -> u64 {
+        self.gang_busy.get(&gang).map_or(0, |h| h.sum())
     }
 
     /// Compact multi-line report (counters first, then histograms).
@@ -330,6 +356,15 @@ impl SchedMetrics {
                 "gang epochs {} | job shares {}\n",
                 self.gang_epochs, self.job_shares
             ));
+        }
+        if self.gang_slices + self.leases > 0 {
+            out.push_str(&format!(
+                "gang slices {} | leases {} (ranks released {})\n",
+                self.gang_slices, self.leases, self.lease_grants
+            ));
+        }
+        for (g, h) in &self.gang_busy {
+            out.push_str(&format!("gang {g} busy {} ns\n", h.sum()));
         }
         out
     }

@@ -121,6 +121,13 @@ pub struct InvariantOracle {
     /// Gang-rotation switch stream `(time ns, active gang)`, recorded
     /// for the runner's cross-node epoch-alignment rule (bounded).
     gang_log: Vec<(u64, Option<u64>)>,
+    /// Weighted-slice stream `(start ns, gang, share milli, slice ns)`,
+    /// recorded for the runner's slice-conservation, monotonicity and
+    /// cross-node alignment rules (bounded).
+    slice_log: Vec<(u64, u64, u32, u64)>,
+    /// Lease grants seen from a user-space arbiter (`SchedEvent::Lease`),
+    /// for the runner's lease-inertness rule.
+    leases: u64,
     /// Gang rotation currently in force (last `GangEpoch.active` was
     /// `Some`). While rotating, a queued HPC task may legally be passed
     /// over — its gang is waiting for its epoch — so the shielding,
@@ -175,6 +182,8 @@ impl InvariantOracle {
             last_at: node.now(),
             min_net_latency: None,
             gang_log: Vec::new(),
+            slice_log: Vec::new(),
+            leases: 0,
             gang_rotation: false,
             violations: Vec::new(),
             total: 0,
@@ -194,6 +203,8 @@ impl InvariantOracle {
             last_at: SimTime::from_nanos(0),
             min_net_latency: None,
             gang_log: Vec::new(),
+            slice_log: Vec::new(),
+            leases: 0,
             gang_rotation: false,
             violations: Vec::new(),
             total: 0,
@@ -229,6 +240,22 @@ impl InvariantOracle {
     /// runner's cross-node alignment rule.
     pub fn gang_log(&self) -> &[(u64, Option<u64>)] {
         &self.gang_log
+    }
+
+    /// The recorded weighted-slice stream
+    /// `(start ns, gang, share milli, slice ns)`, bounded at the same
+    /// cap as the gang log. Consecutive slices must tile virtual time
+    /// exactly — the runner's slice-conservation rule — and nodes that
+    /// host the same gang/share set must record identical streams.
+    pub fn slice_log(&self) -> &[(u64, u64, u32, u64)] {
+        &self.slice_log
+    }
+
+    /// Lease grants observed from a user-space coordination arbiter.
+    /// Must stay zero when no coordinator is installed — the runner's
+    /// lease-inertness rule.
+    pub fn leases(&self) -> u64 {
+        self.leases
     }
 
     /// End-of-run conservation check: the event-derived shadow must
@@ -762,10 +789,54 @@ impl SchedObserver for InvariantOracle {
                     self.gang_log.push((at.as_nanos(), active));
                 }
             }
+            SchedEvent::GangSlice {
+                gang,
+                share_milli,
+                slice_ns,
+                gangs,
+            } => {
+                // Slices exist only under weighted rotation: at least
+                // two live gangs, a non-zero extent, a non-zero share.
+                if gangs < 2 {
+                    self.record(
+                        at,
+                        "gang-slice",
+                        format!("slice for gang {gang} with {gangs} gang(s) live"),
+                    );
+                }
+                if slice_ns == 0 {
+                    self.record(at, "gang-slice", format!("zero-length slice for gang {gang}"));
+                }
+                if share_milli == 0 {
+                    self.record(at, "gang-slice", format!("zero share for gang {gang}"));
+                }
+                if self.slice_log.len() < GANG_LOG_CAP {
+                    self.slice_log
+                        .push((at.as_nanos(), gang, share_milli, slice_ns));
+                }
+            }
+            SchedEvent::Lease {
+                gang,
+                granted,
+                jobs,
+                ..
+            } => {
+                // The arbiter grants exactly the ranks registered as
+                // waiting; more grants than registered jobs' worth of
+                // waiters means a token leak.
+                if jobs == 0 {
+                    self.record(at, "lease", format!("lease for gang {gang} with no jobs"));
+                }
+                self.leases += 1;
+                let _ = granted;
+            }
             SchedEvent::Balance { .. }
             | SchedEvent::NetSend { .. }
             | SchedEvent::Irq { .. }
             | SchedEvent::NoiseArrival { .. }
+            // Per-gang CPU attribution is integrated by MetricsSink;
+            // the shadow's own running-task view already covers it.
+            | SchedEvent::GangRun { .. }
             // Per-node share sums are audited by the runner against the
             // Dfrs policy's own DfrsDecision records.
             | SchedEvent::JobShare { .. }

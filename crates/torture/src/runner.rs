@@ -12,17 +12,18 @@
 
 use crate::oracle::{InvariantOracle, Violation};
 use crate::scenario::{
-    BatchPolicyKind, BatchSpec, Fault, ModeKind, OpKind, PolicyKind, Scenario, SoupSpec, SoupStep,
-    TopoKind, Workload,
+    BatchPolicyKind, BatchSpec, CoordKind, Fault, ModeKind, OpKind, PolicyKind, Scenario, SoupSpec,
+    SoupStep, TopoKind, Workload,
 };
 use hpl_batch::{
-    BatchConfig, BatchRun, BatchTrace, CheckpointSpec, ConservativeBackfill, Dfrs, EasyBackfill,
-    FairShare, Fcfs, MultiQueue,
+    AllocPolicy, BatchConfig, BatchReport, BatchRun, BatchTrace, CheckpointSpec,
+    ConservativeBackfill, Dfrs, EasyBackfill, FairShare, Fcfs, MultiQueue,
 };
 use hpl_cluster::{
     Cluster, CosimConfig, EmpiricalDist, Interconnect, NetConfig, NodeFault, Placement,
     ResonanceModel,
 };
+use hpl_coord::CoordRuntime;
 use hpl_core::HplClass;
 use hpl_kernel::noise::{IrqSpec, NoiseProfile};
 use hpl_kernel::observe::ChromeTraceSink;
@@ -242,6 +243,41 @@ fn run_batch_workload(
     let trace = BatchTrace {
         jobs: b.jobs.clone(),
     };
+    // Coordination runtime, when the scenario asks for one: the kernel
+    // backend realises policy shares as weighted gang slices, the
+    // user-space backend interposes a per-node arbiter daemon and rank
+    // shims. Installed before any launch, like a real deployment.
+    let mut coord = match b.coord {
+        CoordKind::Off => None,
+        CoordKind::Kernel | CoordKind::User => {
+            // Slices are cut in units of the armed gang epoch; a
+            // hand-edited artifact may leave the epoch off, so fall
+            // back to the sampler's middle draw rather than divide a
+            // zero-length period.
+            let epoch = SimDuration::from_micros(if b.gang_epoch_us > 0 {
+                b.gang_epoch_us
+            } else {
+                500
+            });
+            let mut c = if b.coord == CoordKind::Kernel {
+                CoordRuntime::kernel_weighted(epoch)
+            } else {
+                CoordRuntime::user_space(epoch)
+            };
+            c.install(cluster);
+            Some(c)
+        }
+    };
+    let mut drive = |cluster: &mut Cluster,
+                     policy: &mut dyn AllocPolicy,
+                     cfg: BatchConfig|
+     -> Result<BatchReport, RunOutcome> {
+        let run = BatchRun::new(&trace).config(cfg);
+        match &mut coord {
+            Some(c) => run.run_coordinated(cluster, policy, c),
+            None => run.run(cluster, policy),
+        }
+    };
     // Under crash churn, give jobs a checkpoint cadence so a requeued
     // job resumes instead of recomputing — exercising the full
     // crash/requeue/restore path, not just the requeue.
@@ -266,10 +302,10 @@ fn run_batch_workload(
         ..BatchConfig::default()
     };
     let result = match b.policy {
-        BatchPolicyKind::Fcfs => BatchRun::new(&trace).config(cfg).run(cluster, &mut Fcfs),
+        BatchPolicyKind::Fcfs => drive(cluster, &mut Fcfs, cfg),
         BatchPolicyKind::Easy => {
             let mut policy = EasyBackfill::new();
-            let result = BatchRun::new(&trace).config(cfg).run(cluster, &mut policy);
+            let result = drive(cluster, &mut policy, cfg);
             for d in policy.decisions() {
                 if !d.respects_reservation() {
                     violations.push(Violation {
@@ -286,7 +322,7 @@ fn run_batch_workload(
         }
         BatchPolicyKind::Conservative => {
             let mut policy = ConservativeBackfill::new();
-            let result = BatchRun::new(&trace).config(cfg).run(cluster, &mut policy);
+            let result = drive(cluster, &mut policy, cfg);
             for d in policy.decisions() {
                 if !d.respects_reservations() {
                     violations.push(Violation {
@@ -319,11 +355,11 @@ fn run_batch_workload(
         }
         BatchPolicyKind::MultiQueue => {
             let mut policy = MultiQueue::default();
-            BatchRun::new(&trace).config(cfg).run(cluster, &mut policy)
+            drive(cluster, &mut policy, cfg)
         }
         BatchPolicyKind::FairShare => {
             let mut policy = FairShare::new();
-            let result = BatchRun::new(&trace).config(cfg).run(cluster, &mut policy);
+            let result = drive(cluster, &mut policy, cfg);
             for d in policy.decisions() {
                 if !d.respects_shares() {
                     violations.push(Violation {
@@ -341,7 +377,10 @@ fn run_batch_workload(
         }
         BatchPolicyKind::Dfrs => {
             let mut policy = Dfrs::new(SimDuration::from_millis(1), sc.seed);
-            let result = BatchRun::new(&trace).config(cfg).run(cluster, &mut policy);
+            for &(job, weight) in &b.job_weights {
+                policy = policy.with_job_weight(job, weight);
+            }
+            let result = drive(cluster, &mut policy, cfg);
             for d in policy.decisions() {
                 if !d.respects_shares() {
                     violations.push(Violation {
@@ -500,6 +539,167 @@ fn check_gang_logs(
     }
 }
 
+/// Coordination rules over the oracles' weighted-slice and lease
+/// streams.
+///
+/// Inertness first: weighted kernel slices exist only under a kernel
+/// coordinator on the share-managing (DFRS) policy with rotation armed
+/// — any other configuration must keep every node's slice stream
+/// empty, and leases flow only from a user-space arbiter. Where slices
+/// do flow, three geometric rules apply:
+///
+/// - **Epoch conservation**: a periodic pair of a steady two-gang
+///   rotation (two full back-to-back periods with contiguous slices,
+///   unchanged shares and repeating lengths) tiles the rotation period
+///   exactly — `2 × epoch` for the two co-residents the DFRS occupancy
+///   limit allows, to within the single nanosecond the rotated
+///   remainder may move across period boundaries.
+/// - **Monotonicity**: within such a pair, the larger share never gets
+///   the shorter slice (beyond the remainder nanosecond).
+/// - **Cross-node alignment**: nodes hosting the same gang set with
+///   the same emission times must record identical streams — the slice
+///   schedule is a pure function of the shared virtual clock and the
+///   share table, so identical histories must yield identical cuts.
+///
+/// Engagement partials (rotation arming mid-period) and share-change
+/// corrections break the periodicity guard — a one-off partial cannot
+/// repeat at the same length one period later — and are skipped, not
+/// excused: every steady interior pair is checked.
+fn check_coord_logs(
+    b: &BatchSpec,
+    slice_logs: &[Vec<(u64, u64, u32, u64)>],
+    leases: &[u64],
+    violations: &mut Vec<Violation>,
+) {
+    let slices_armed = b.coord == CoordKind::Kernel
+        && matches!(b.policy, BatchPolicyKind::Dfrs)
+        && b.gang_epoch_us > 0;
+    if !slices_armed {
+        for (n, log) in slice_logs.iter().enumerate() {
+            if let Some(&(at, gang, ..)) = log.first() {
+                violations.push(Violation {
+                    at: SimTime::from_nanos(at),
+                    rule: "slice-inert",
+                    detail: format!("node {n} sliced gang {gang} with no kernel coordinator"),
+                });
+            }
+        }
+    }
+    if b.coord != CoordKind::User {
+        // Inertness only: no positive "leases must flow" rule here.
+        // Leases are demand-driven — a shim yields only while a second
+        // gang is co-resident on its node, and whether two jobs ever
+        // overlap is a scheduling outcome the spec cannot predict.
+        // Positive lease coverage lives in the coord crate tests and
+        // the coord bench, which construct guaranteed co-residency.
+        for (n, &l) in leases.iter().enumerate() {
+            if l > 0 {
+                violations.push(Violation {
+                    at: SimTime::from_nanos(0),
+                    rule: "lease-inert",
+                    detail: format!("node {n} granted {l} lease(s) with no user-space arbiter"),
+                });
+            }
+        }
+    }
+    if !slices_armed {
+        return;
+    }
+    let epoch_ns = b.gang_epoch_us * 1_000;
+    let period = 2 * epoch_ns;
+    for (n, log) in slice_logs.iter().enumerate() {
+        for w in log.windows(2) {
+            if w[1].0 < w[0].0 {
+                violations.push(Violation {
+                    at: SimTime::from_nanos(w[1].0),
+                    rule: "slice-order",
+                    detail: format!(
+                        "node {n}: slice emissions regress in time ({} after {})",
+                        w[1].0, w[0].0
+                    ),
+                });
+            }
+        }
+        for w in log.windows(4) {
+            let (a0, g0, s0, l0) = w[0];
+            let (a1, g1, s1, l1) = w[1];
+            let (a2, g2, s2, l2) = w[2];
+            let (a3, g3, s3, l3) = w[3];
+            // Steady two-gang rotation: two back-to-back periods with
+            // contiguous slices, the same gang pair, unchanged shares
+            // and repeating lengths. Anything else (engagement
+            // partial, share-change correction, rotation teardown)
+            // fails the guard — a correction's partial slice is
+            // contiguous and may even carry an unchanged share value,
+            // but it cannot repeat at the same length one period
+            // later.
+            let steady = a1 == a0 + l0
+                && a2 == a1 + l1
+                && a3 == a2 + l2
+                && g0 != g1
+                && (g2, g3) == (g0, g1)
+                && (s2, s3) == (s0, s1)
+                && (l2, l3) == (l0, l1);
+            if !steady {
+                continue;
+            }
+            if (l0 + l1).abs_diff(period) > 1 {
+                violations.push(Violation {
+                    at: SimTime::from_nanos(a0),
+                    rule: "slice-conservation",
+                    detail: format!(
+                        "node {n}: slices {l0}ns + {l1}ns of gangs {g0}/{g1} do not tile \
+                         the {period}ns rotation period"
+                    ),
+                });
+            }
+            if (s0 >= s1 && l0 + 1 < l1) || (s1 >= s0 && l1 + 1 < l0) {
+                violations.push(Violation {
+                    at: SimTime::from_nanos(a0),
+                    rule: "slice-monotone",
+                    detail: format!(
+                        "node {n}: share {s0} got {l0}ns but share {s1} got {l1}ns \
+                         (gangs {g0}/{g1})"
+                    ),
+                });
+            }
+        }
+    }
+    // Cross-node alignment, exactly as for the gang switch streams:
+    // nodes with an identical (gang set, emission times) history must
+    // have cut identical slices.
+    let mut groups: std::collections::BTreeMap<(Vec<u64>, Vec<u64>), Vec<usize>> =
+        std::collections::BTreeMap::new();
+    for (n, log) in slice_logs.iter().enumerate() {
+        let mut ids: Vec<u64> = log.iter().map(|&(_, g, _, _)| g).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        let times: Vec<u64> = log.iter().map(|&(t, _, _, _)| t).collect();
+        groups.entry((ids, times)).or_default().push(n);
+    }
+    for nodes in groups.values() {
+        let first = &slice_logs[nodes[0]];
+        for &n in &nodes[1..] {
+            if &slice_logs[n] != first {
+                let at = slice_logs[n]
+                    .iter()
+                    .zip(first.iter())
+                    .find(|(a, b)| a != b)
+                    .map_or(0, |(a, _)| a.0);
+                violations.push(Violation {
+                    at: SimTime::from_nanos(at),
+                    rule: "slice-alignment",
+                    detail: format!(
+                        "nodes {} and {n} host the same gang set with the same emission \
+                         times but cut different slices",
+                        nodes[0]
+                    ),
+                });
+            }
+        }
+    }
+}
+
 /// Run `sc` once on the given event-loop flavour, invariant oracles
 /// attached to every node. `with_trace` additionally captures a Chrome
 /// trace of the run (for failure artifacts).
@@ -556,9 +756,28 @@ fn run_single(sc: &Scenario, fast: bool, with_trace: bool) -> RunReport {
     if let Some(oracle) = detached.as_mut() {
         oracle.finish(&node);
     }
-    let violations = detached
+    let mut violations = detached
+        .as_ref()
         .map(|o| o.violations().to_vec())
         .unwrap_or_default();
+    // No coordinator exists on the single-node path: weighted slices
+    // and arbiter leases must both be wholly absent.
+    if let Some(oracle) = &detached {
+        if let Some(&(at, gang, ..)) = oracle.slice_log().first() {
+            violations.push(Violation {
+                at: SimTime::from_nanos(at),
+                rule: "slice-inert",
+                detail: format!("weighted slice for gang {gang} with no coordinator"),
+            });
+        }
+        if oracle.leases() > 0 {
+            violations.push(Violation {
+                at: node.now(),
+                rule: "lease-inert",
+                detail: format!("{} lease(s) granted with no arbiter", oracle.leases()),
+            });
+        }
+    }
     let trace = trace_id.and_then(|id| node.export_chrome_trace(id));
     RunReport {
         outcome,
@@ -628,6 +847,8 @@ fn run_cluster(sc: &Scenario, fast: bool, with_trace: bool) -> RunReport {
     };
     let mut violations = batch_violations;
     let mut gang_logs: Vec<Vec<(u64, Option<u64>)>> = Vec::new();
+    let mut slice_logs: Vec<Vec<(u64, u64, u32, u64)>> = Vec::new();
+    let mut lease_counts: Vec<u64> = Vec::new();
     for (i, &id) in oracle_ids.iter().enumerate() {
         let mut detached = cluster
             .node_mut(i)
@@ -643,10 +864,49 @@ fn run_cluster(sc: &Scenario, fast: bool, with_trace: bool) -> RunReport {
                 });
             }
         }
-        gang_logs.push(detached.map(|o| o.gang_log().to_vec()).unwrap_or_default());
+        gang_logs.push(
+            detached
+                .as_ref()
+                .map(|o| o.gang_log().to_vec())
+                .unwrap_or_default(),
+        );
+        slice_logs.push(
+            detached
+                .as_ref()
+                .map(|o| o.slice_log().to_vec())
+                .unwrap_or_default(),
+        );
+        lease_counts.push(detached.as_ref().map(|o| o.leases()).unwrap_or(0));
     }
-    if let Workload::Batch(b) = &sc.workload {
-        check_gang_logs(b, &gang_logs, &mut violations);
+    match &sc.workload {
+        Workload::Batch(b) => {
+            check_gang_logs(b, &gang_logs, &mut violations);
+            check_coord_logs(b, &slice_logs, &lease_counts, &mut violations);
+        }
+        _ => {
+            // No coordinator outside batch workloads: weighted slices
+            // and arbiter leases must both be wholly absent.
+            for (n, log) in slice_logs.iter().enumerate() {
+                if let Some(&(at, gang, ..)) = log.first() {
+                    violations.push(Violation {
+                        at: SimTime::from_nanos(at),
+                        rule: "slice-inert",
+                        detail: format!(
+                            "node {n} sliced gang {gang} with no coordinator in the scenario"
+                        ),
+                    });
+                }
+            }
+            for (n, &l) in lease_counts.iter().enumerate() {
+                if l > 0 {
+                    violations.push(Violation {
+                        at: cluster.node(0).now(),
+                        rule: "lease-inert",
+                        detail: format!("node {n} granted {l} lease(s) with no arbiter"),
+                    });
+                }
+            }
+        }
     }
     let trace = (!trace_ids.is_empty())
         .then(|| cluster.export_chrome_trace(&trace_ids))

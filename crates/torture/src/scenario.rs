@@ -190,6 +190,21 @@ pub enum BatchPolicyKind {
     Dfrs,
 }
 
+/// Coordination runtime interposed on a batch workload (mirrors
+/// `hpl_coord::CoordRuntime`'s two backends).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoordKind {
+    /// No coordinator: policy shares stay advisory (`JobShare` events
+    /// only), byte-identical to the pre-coordination behaviour.
+    Off,
+    /// Kernel-weighted backend: shares are realised as weighted gang
+    /// slices (`Node::gang_set_share`), so `GangSlice` events flow.
+    Kernel,
+    /// User-space backend: a per-node arbiter daemon grants CPU leases
+    /// to cooperating rank shims, so `Lease` events flow.
+    User,
+}
+
 /// A two-level batch-scheduling workload: a small job stream pushed
 /// through `hpl_batch::BatchRun` on the scenario's cluster.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -206,6 +221,18 @@ pub struct BatchSpec {
     /// policies, where rotation can never engage and the knob must be
     /// observably inert.
     pub gang_epoch_us: u64,
+    /// Coordination runtime interposed on the run ([`CoordKind::Off`]
+    /// = shares stay advisory). Only sampled for
+    /// [`BatchPolicyKind::Dfrs`] — the one share-managing policy — and
+    /// only on churn-free fault plans: a crashed node takes its arbiter
+    /// daemon and kernel share table with it, so a coordinated job
+    /// would hang on a lease no one can grant, which would read as a
+    /// liveness failure the scheduler didn't cause.
+    pub coord: CoordKind,
+    /// Per-job DFRS weights `(job id, weight)` for uneven fractional
+    /// splits; empty = even split (bit-identical to the unweighted
+    /// policy). Weights only bite under [`BatchPolicyKind::Dfrs`].
+    pub job_weights: Vec<(u32, u32)>,
     /// The job stream (ids are trace-local; widths never exceed the
     /// scenario's node count).
     pub jobs: Vec<BatchJob>,
@@ -322,6 +349,15 @@ impl Scenario {
         let plan = FaultPlan::sample(seed, if churn { self.nodes as usize } else { 1 });
         if !plan.is_none() {
             self.faults = plan;
+            // Node churn and a coordination runtime cannot coexist: a
+            // crash or drain takes the node's arbiter daemon (and its
+            // kernel share table) with it, and the restarted node comes
+            // back uncoordinated. Churny plans run with shares advisory.
+            if !self.faults.events.is_empty() {
+                if let Workload::Batch(b) = &mut self.workload {
+                    b.coord = CoordKind::Off;
+                }
+            }
         }
     }
 
@@ -391,7 +427,7 @@ impl Scenario {
         let walltime = rng.chance(0.3);
         let njobs = rng.range_u64(2, 4) as u32;
         let mut submit_ns = 0u64;
-        let jobs = (0..njobs)
+        let jobs: Vec<BatchJob> = (0..njobs)
             .map(|id| {
                 submit_ns += (rng.exp(3.0e6) as u64).min(20_000_000);
                 let width = rng.range_u64(1, nodes as u64) as u32;
@@ -435,10 +471,34 @@ impl Scenario {
         } else {
             (policy, 0)
         };
+        // Coordination draws come last (the fault-plan discipline
+        // again): scenario streams sampled before the coord layer
+        // existed keep every earlier draw unchanged. Only DFRS manages
+        // shares, so only DFRS scenarios ever interpose a coordinator
+        // or skew the split.
+        let mut coord = CoordKind::Off;
+        let mut job_weights = Vec::new();
+        if matches!(policy, BatchPolicyKind::Dfrs) {
+            coord = *rng.choose(&[
+                CoordKind::Off,
+                CoordKind::Kernel,
+                CoordKind::Kernel,
+                CoordKind::User,
+            ]);
+            if rng.chance(0.5) {
+                for j in &jobs {
+                    if rng.chance(0.7) {
+                        job_weights.push((j.id, rng.range_u64(1, 4) as u32));
+                    }
+                }
+            }
+        }
         BatchSpec {
             policy,
             walltime,
             gang_epoch_us,
+            coord,
+            job_weights,
             jobs,
         }
     }
@@ -669,6 +729,18 @@ impl Scenario {
                 if b.gang_epoch_us > 0 {
                     let _ = writeln!(s, "gang_epoch_us {}", b.gang_epoch_us);
                 }
+                match b.coord {
+                    CoordKind::Off => {}
+                    CoordKind::Kernel => {
+                        let _ = writeln!(s, "coord kernel");
+                    }
+                    CoordKind::User => {
+                        let _ = writeln!(s, "coord user");
+                    }
+                }
+                for (j, w) in &b.job_weights {
+                    let _ = writeln!(s, "jweight {j} {w}");
+                }
                 for j in &b.jobs {
                     let _ = writeln!(
                         s,
@@ -817,6 +889,10 @@ impl Scenario {
                             walltime: false,
                             // Absent in pre-DFRS artifacts; gang off.
                             gang_epoch_us: 0,
+                            // Absent in pre-coord artifacts; shares
+                            // stay advisory and splits stay even.
+                            coord: CoordKind::Off,
+                            job_weights: Vec::new(),
                             jobs: Vec::new(),
                         })
                     }
@@ -841,6 +917,28 @@ impl Scenario {
                         .as_mut()
                         .ok_or("gang_epoch_us outside batch workload")?
                         .gang_epoch_us = parse_num(rest)?;
+                }
+                "coord" => {
+                    batch.as_mut().ok_or("coord outside batch workload")?.coord = match rest {
+                        "off" => CoordKind::Off,
+                        "kernel" => CoordKind::Kernel,
+                        "user" => CoordKind::User,
+                        s => return Err(format!("bad coord {s:?}")),
+                    };
+                }
+                "jweight" => {
+                    let batch = batch.as_mut().ok_or("jweight outside batch workload")?;
+                    let nums = rest
+                        .split_whitespace()
+                        .map(parse_num)
+                        .collect::<Result<Vec<_>, _>>()?;
+                    let [job, weight]: [u64; 2] = nums
+                        .try_into()
+                        .map_err(|_| format!("jweight needs 2 fields: {rest:?}"))?;
+                    if weight == 0 {
+                        return Err(format!("jweight for job {job} is zero"));
+                    }
+                    batch.job_weights.push((job as u32, weight as u32));
                 }
                 "walltime" => {
                     batch
@@ -1140,6 +1238,84 @@ mod tests {
         let sc = Scenario::from_text("torture-scenario v1\nseed 3\nnodes 2\nworkload soup\n")
             .expect("legacy artifact parses");
         assert!(sc.faults.is_none());
+    }
+
+    #[test]
+    fn pre_coord_artifacts_default_to_advisory_shares() {
+        // Artifacts written before the coordination keys existed must
+        // replay with the advisory-share behaviour they were recorded
+        // under: no coordinator, even splits.
+        let sc = Scenario::from_text(
+            "torture-scenario v1\nseed 3\nnodes 2\nworkload batch\n\
+             policy dfrs\ngang_epoch_us 500\nbjob 0 0 1 1 1 500000 64 50000000 0 0\n",
+        )
+        .expect("legacy batch artifact parses");
+        let Workload::Batch(b) = &sc.workload else {
+            panic!("batch workload expected");
+        };
+        assert_eq!(b.coord, CoordKind::Off);
+        assert!(b.job_weights.is_empty());
+    }
+
+    #[test]
+    fn coord_keys_round_trip() {
+        let mut sc = Scenario::sample(0x5EED, 0);
+        sc.nodes = 2;
+        sc.workload = Workload::Batch(BatchSpec {
+            policy: BatchPolicyKind::Dfrs,
+            walltime: false,
+            gang_epoch_us: 500,
+            coord: CoordKind::User,
+            job_weights: vec![(0, 3), (1, 1)],
+            jobs: vec![BatchJob {
+                id: 0,
+                submit_ns: 0,
+                nodes: 1,
+                ranks_per_node: 1,
+                iters: 1,
+                compute_ns: 500_000,
+                bytes: 64,
+                est_runtime_ns: 50_000_000,
+                user: 0,
+                class: 0,
+            }],
+        });
+        let text = sc.to_text();
+        let back = Scenario::from_text(&text).expect("coordinated scenario parses");
+        assert_eq!(back, sc);
+        assert_eq!(back.to_text(), text);
+        assert!(Scenario::from_text(&text.replace("coord user", "coord bogus")).is_err());
+        assert!(Scenario::from_text(&text.replace("jweight 0 3", "jweight 0 0")).is_err());
+    }
+
+    #[test]
+    fn coordinators_ride_only_on_churn_free_dfrs_scenarios() {
+        let (mut seen_kernel, mut seen_user, mut seen_weights) = (false, false, false);
+        for i in 0..600 {
+            let sc = Scenario::sample(0xC00D, i);
+            let Workload::Batch(b) = &sc.workload else {
+                continue;
+            };
+            if b.coord != CoordKind::Off || !b.job_weights.is_empty() {
+                assert_eq!(
+                    b.policy,
+                    BatchPolicyKind::Dfrs,
+                    "coordination rides only on the share-managing policy"
+                );
+            }
+            if b.coord != CoordKind::Off {
+                assert!(
+                    sc.faults.events.is_empty(),
+                    "node churn would orphan the coordinator"
+                );
+            }
+            seen_kernel |= b.coord == CoordKind::Kernel;
+            seen_user |= b.coord == CoordKind::User;
+            seen_weights |= !b.job_weights.is_empty();
+        }
+        assert!(seen_kernel, "sampler never draws the kernel backend");
+        assert!(seen_user, "sampler never draws the user-space backend");
+        assert!(seen_weights, "sampler never skews the split");
     }
 
     #[test]

@@ -186,6 +186,24 @@ fn candidates(sc: &Scenario) -> Vec<(&'static str, Scenario)> {
                 }
                 push("disable gang rotation", c);
             }
+            if !b.job_weights.is_empty() {
+                // Adopting this step means the bug is not in the
+                // weighted share split — uniform shares reproduce it.
+                let mut c = sc.clone();
+                if let Workload::Batch(b) = &mut c.workload {
+                    b.job_weights.clear();
+                }
+                push("drop job weights", c);
+            }
+            if b.coord != crate::scenario::CoordKind::Off {
+                // Adopting this step means the bug is not in the
+                // coordination runtime — advisory shares reproduce it.
+                let mut c = sc.clone();
+                if let Workload::Batch(b) = &mut c.workload {
+                    b.coord = crate::scenario::CoordKind::Off;
+                }
+                push("coordinator off", c);
+            }
         }
     }
     if sc.noise_pct > 0 {

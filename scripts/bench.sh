@@ -33,13 +33,26 @@
 #     rising crash count with checkpoint/restart requeue; gates on
 #     zero lost jobs, zero occupancy violations, bit-identical replay
 #     and graceful bounded-slowdown degradation.
+#   BENCH_coord.json — the coordination-backend sweep: a 750/250 share
+#     split measured differentially against a 500/500 control under
+#     both the weighted kernel gang slicer and the user-space lease
+#     arbiter; gates on the all-equal-shares identity with the legacy
+#     rotation, the differential skew on both backends, a bounded
+#     user-vs-kernel coordination tax, and serial-vs-pooled bit
+#     equality.
+#
+# BENCH_batch.json additionally carries the capacity cell (non-smoke):
+# the vendored SWF fragment tiled to thousands of jobs on a 128-node
+# (64 under --quick) cluster, gated on bit-exact replay, clean
+# occupancy and a sane host wall-clock.
 #
 # No criterion, no network.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cargo build --release -p hpl-bench --bin eventloop --bin cluster --bin batch --bin faults
+cargo build --release -p hpl-bench --bin eventloop --bin cluster --bin batch --bin faults --bin coord
 ./target/release/eventloop "$@"
 ./target/release/cluster "$@"
 ./target/release/batch "$@"
 ./target/release/faults "$@"
+./target/release/coord "$@"

@@ -53,6 +53,9 @@ cargo run --release -q -p hpl-bench --bin batch -- --dfrs-smoke
 echo "== fault sweep smoke (crash/requeue sweep completes) =="
 cargo run --release -q -p hpl-bench --bin faults -- --smoke --out target/BENCH_faults_smoke.json
 
+echo "== coord smoke (weighted slicing + user-space arbiter, bit-exact replay) =="
+cargo run --release -q -p hpl-bench --bin coord -- --smoke --out target/BENCH_coord_smoke.json
+
 echo "== clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 

@@ -83,7 +83,8 @@
 //! | [`mpi`] | simulated MPI runtime and the perf/chrt/mpiexec launcher |
 //! | [`workloads`] | NAS benchmark models, noise microbenchmarks |
 //! | [`cluster`] | multi-node layer: analytic noise-resonance projection **and** mechanistic lockstep co-simulation of kernel nodes over a LogGP interconnect, with deterministic fault injection (`FaultPlan`: message loss, link degradation, node crash/drain/restart) |
-//! | [`batch`] | two-level scheduling: cluster batch queue, the allocation-policy zoo (FCFS, EASY and conservative backfilling, multi-queue with aging, fair share, oversubscribed), SWF production-trace ingestion (`SwfTrace`/`SwfMap`/`TraceTransform`), multi-job lifecycle engine (`BatchRun`) with walltime enforcement, checkpoint/restart and crash requeue |
+//! | [`coord`] | realizing fractional CPU shares inside a node: weighted kernel gang slicing and a user-space lease-arbiter runtime (`CoordRuntime`), both driving the same clock-derived slice schedule |
+//! | [`batch`] | two-level scheduling: cluster batch queue, the allocation-policy zoo (FCFS, EASY and conservative backfilling, multi-queue with aging, fair share, oversubscribed, weighted DFRS), SWF production-trace ingestion (`SwfTrace`/`SwfMap`/`TraceTransform`), multi-job lifecycle engine (`BatchRun`) with walltime enforcement, checkpoint/restart, crash requeue and coordinated runs (`run_coordinated`) |
 //! | [`bench`] | run harness, `RunConfig`/`RunTable` plumbing, the `repro` binary |
 //! | [`torture`] | seeded scheduler fuzzing: random scenarios, online invariant oracle, differential event-loop checks, failure shrinking (`torture` binary) |
 
@@ -93,6 +94,7 @@
 pub use hpl_batch as batch;
 pub use hpl_bench as bench;
 pub use hpl_cluster as cluster;
+pub use hpl_coord as coord;
 pub use hpl_core as core;
 pub use hpl_kernel as kernel;
 pub use hpl_mpi as mpi;
@@ -112,9 +114,10 @@ pub mod prelude {
     pub use hpl_bench::{run_many, run_once, NoiseKind, RunConfig, Scheduler};
     pub use hpl_cluster::{
         Cluster, ClusterBuilder, ClusterJobHandle, CosimConfig, DegradeWindow, DistError,
-        EmpiricalDist, Fabric, FaultPlan, FlatFabric, Interconnect, LossSpec, NetConfig, NodeEvent,
-        NodeFault, Placement, ResonanceModel, SwitchedFabric, Window,
+        EmpiricalDist, Fabric, FaultPlan, FlatFabric, Interconnect, JobCoordinator, LossSpec,
+        NetConfig, NodeEvent, NodeFault, Placement, ResonanceModel, SwitchedFabric, Window,
     };
+    pub use hpl_coord::{CoordBackend, CoordRuntime, CoordStats};
     pub use hpl_core::{chrt_spec, hpl_node_builder, HplClass};
     pub use hpl_kernel::noise::{NoiseProfile, NOISE_TAG};
     pub use hpl_kernel::observe::{validate_chrome_trace, ChromeTraceStats};
